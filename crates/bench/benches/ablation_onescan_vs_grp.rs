@@ -1,0 +1,49 @@
+//! Ablation bench: the low-level one-scan / multi-scan operator against the
+//! GRP-sequence semantics of Fig. 5 (DESIGN.md, ablation 1).
+//!
+//! This quantifies the benefit of the paper's secondary-storage algorithm
+//! (Fig. 8) over the straightforward translation into group-by statements —
+//! the 3-scans-versus-5-sorts discussion of Example V.11.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sprout::{ConfidenceOperator, FdSet, Strategy};
+use sprout_bench::harness::build_database;
+
+use pdb_exec::evaluate_join_order;
+use pdb_query::reduct::query_signature;
+use pdb_tpch::tpch_query;
+
+fn bench(c: &mut Criterion) {
+    let db = build_database(0.0005);
+    let fds = FdSet::from_catalog_decls(&db.catalog().fds());
+    let mut group = c.benchmark_group("ablation_onescan_vs_grp");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    for id in ["18", "B3", "10", "7"] {
+        let query = tpch_query(id).expect("catalogue id").query.expect("conjunctive");
+        let order = sprout_plan::join_order::greedy_join_order(&query, db.catalog())
+            .expect("join order");
+        let answer = evaluate_join_order(&query, db.catalog(), &order).expect("answer tuples");
+        let op = ConfidenceOperator::new(query_signature(&query, &fds).expect("tractable"));
+
+        group.bench_function(format!("q{id}_streaming"), |b| {
+            b.iter(|| op.compute(&answer, Strategy::Auto).expect("operator runs").len())
+        });
+        group.bench_function(format!("q{id}_grp_semantics"), |b| {
+            b.iter(|| {
+                op.compute(&answer, Strategy::GrpSemantics)
+                    .expect("operator runs")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for Figure 9: lazy vs. eager vs. MystiQ plans on the
+//! TPC-H queries 3, 10, 15, 16, B17, 18, 20 and 21.
+//!
+//! The companion binary `fig09` prints the full table at a larger scale; this
+//! bench keeps Criterion's statistics over a smaller database so that
+//! `cargo bench --workspace` stays affordable.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sprout::PlanKind;
+use sprout_bench::harness::build_database;
+
+use pdb_tpch::fig9_queries;
+
+fn bench(c: &mut Criterion) {
+    let db = build_database(0.0005);
+    let mut group = c.benchmark_group("fig09_plan_comparison");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for entry in fig9_queries() {
+        let query = entry.query.expect("figure 9 queries are conjunctive");
+        for (plan_name, kind) in [
+            ("lazy", PlanKind::Lazy),
+            ("eager", PlanKind::Eager),
+            ("mystiq", PlanKind::Mystiq),
+        ] {
+            group.bench_function(format!("q{}_{plan_name}", entry.id), |b| {
+                b.iter(|| {
+                    db.query(&query, kind.clone())
+                        .expect("figure 9 queries are tractable")
+                        .distinct_tuples
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 10: lazy plans for the remaining 18 TPC-H
+//! queries, separating the time to compute the answer tuples from the time
+//! to compute their confidences.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sprout::PlanKind;
+use sprout_bench::harness::build_database;
+
+use pdb_tpch::fig10_queries;
+
+fn bench(c: &mut Criterion) {
+    let db = build_database(0.0005);
+    let mut group = c.benchmark_group("fig10_lazy_remaining");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for entry in fig10_queries() {
+        let query = entry.query.expect("figure 10 queries are conjunctive");
+        group.bench_function(format!("q{}_lazy", entry.id), |b| {
+            b.iter(|| {
+                db.query(&query, PlanKind::Lazy)
+                    .expect("figure 10 queries are tractable")
+                    .distinct_tuples
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 11: the rendez-vous of eager and lazy plans as
+//! the selectivity of the constant selections varies (queries A and B).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sprout::PlanKind;
+use sprout_bench::harness::build_database;
+
+use pdb_tpch::{selectivity_query_a, selectivity_query_b};
+
+fn bench(c: &mut Criterion) {
+    let db = build_database(0.0005);
+    let mut group = c.benchmark_group("fig11_selectivity");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    // Three representative selectivities: low, medium, high.
+    for (label, p) in [("low", 0.1), ("mid", 0.5), ("high", 0.9)] {
+        let acctbal = -999.0 + p * (10_000.0 + 999.0);
+        let price = 1_000.0 + p * (400_000.0 - 1_000.0);
+        let qa = selectivity_query_a(acctbal);
+        let qb = selectivity_query_b(price);
+        for (plan_name, kind) in [("lazy", PlanKind::Lazy), ("eager", PlanKind::Eager)] {
+            group.bench_function(format!("A_{label}_{plan_name}"), |b| {
+                b.iter(|| db.query(&qa, kind.clone()).expect("query A runs").distinct_tuples)
+            });
+            group.bench_function(format!("B_{label}_{plan_name}"), |b| {
+                b.iter(|| db.query(&qb, kind.clone()).expect("query B runs").distinct_tuples)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

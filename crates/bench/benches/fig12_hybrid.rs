@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 12: hybrid plans against the eager and lazy
+//! extremes on queries C and D.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sprout::PlanKind;
+use sprout_bench::harness::build_database;
+
+use pdb_tpch::{fig12_query_c, fig12_query_d};
+
+fn bench(c: &mut Criterion) {
+    let db = build_database(0.0005);
+    let mut group = c.benchmark_group("fig12_hybrid");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let cases = [
+        ("C", fig12_query_c(), vec!["Ord".to_string()]),
+        ("D", fig12_query_d(), vec!["Supp".to_string()]),
+    ];
+    for (id, query, pushed) in cases {
+        for (plan_name, kind) in [
+            ("eager", PlanKind::Eager),
+            ("lazy", PlanKind::Lazy),
+            ("hybrid", PlanKind::Hybrid(pushed.clone())),
+        ] {
+            group.bench_function(format!("{id}_{plan_name}"), |b| {
+                b.iter(|| db.query(&query, kind.clone()).expect("query runs").distinct_tuples)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for Figure 13: the confidence operator with and without
+//! functional dependencies on the queries 2, 7, 11 and B3, compared against a
+//! plain sequential scan and a sort of the materialised answer.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sprout::{ConfidenceOperator, FdSet, Strategy};
+use sprout_bench::harness::build_database;
+
+use pdb_exec::evaluate_join_order;
+use pdb_query::reduct::query_signature;
+use pdb_tpch::tpch_query;
+
+fn bench(c: &mut Criterion) {
+    let db = build_database(0.0005);
+    let fds = FdSet::from_catalog_decls(&db.catalog().fds());
+    let mut group = c.benchmark_group("fig13_fd_effect");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    for id in ["2", "7", "11", "B3"] {
+        let query = tpch_query(id).expect("catalogue id").query.expect("conjunctive");
+        let order = sprout_plan::join_order::greedy_join_order(&query, db.catalog())
+            .expect("join order");
+        let answer = evaluate_join_order(&query, db.catalog(), &order).expect("answer tuples");
+
+        // Sequential scan baseline.
+        group.bench_function(format!("q{id}_seqscan"), |b| {
+            b.iter(|| {
+                answer
+                    .rows()
+                    .iter()
+                    .map(|r| r.lineage.len())
+                    .sum::<usize>()
+            })
+        });
+
+        // Operator with the TPC-H FDs.
+        let sig_fds = query_signature(&query, &fds).expect("tractable with FDs");
+        let op_fds = ConfidenceOperator::new(sig_fds);
+        group.bench_function(format!("q{id}_operator_with_fds"), |b| {
+            b.iter(|| op_fds.compute(&answer, Strategy::Auto).expect("operator runs").len())
+        });
+
+        // Operator without FDs, when the query stays tractable.
+        if let Ok(sig) = query_signature(&query, &FdSet::empty()) {
+            let op = ConfidenceOperator::new(sig);
+            group.bench_function(format!("q{id}_operator_no_fds"), |b| {
+                b.iter(|| op.compute(&answer, Strategy::Auto).expect("operator runs").len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

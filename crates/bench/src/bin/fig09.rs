@@ -1,0 +1,47 @@
+//! Figure 9: lazy vs. eager vs. MystiQ plans on the TPC-H queries 3, 10, 15,
+//! 16, B17, 18, 20 and 21. Prints one row per query with the wall-clock time
+//! of each plan family, mirroring the bar chart of the paper.
+
+use sprout::PlanKind;
+use sprout_bench::harness::{bench_scale_factor, build_database, run_plan, secs};
+
+use pdb_tpch::fig9_queries;
+
+fn main() {
+    let sf = bench_scale_factor();
+    eprintln!("building probabilistic TPC-H database at scale factor {sf} ...");
+    let db = build_database(sf);
+
+    println!("# Figure 9: lazy, eager and MystiQ plans (scale factor {sf})");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>14} {:>10}",
+        "query", "mystiq[s]", "eager[s]", "lazy[s]", "lazy speedup", "#distinct"
+    );
+    for entry in fig9_queries() {
+        let query = entry.query.expect("figure 9 queries are conjunctive");
+        let mystiq = run_plan(&db, &entry.id, &query, PlanKind::Mystiq, true);
+        let eager = run_plan(&db, &entry.id, &query, PlanKind::Eager, true);
+        let lazy = run_plan(&db, &entry.id, &query, PlanKind::Lazy, true);
+        match (mystiq, eager, lazy) {
+            (Ok(m), Ok(e), Ok(l)) => {
+                let speedup = m.total().as_secs_f64() / l.total().as_secs_f64().max(1e-9);
+                println!(
+                    "{:<6} {:>12} {:>12} {:>12} {:>13.1}x {:>10}",
+                    entry.id,
+                    secs(m.total()),
+                    secs(e.total()),
+                    secs(l.total()),
+                    speedup,
+                    l.distinct_tuples
+                );
+            }
+            (m, e, l) => println!(
+                "{:<6} failed: mystiq={:?} eager={:?} lazy={:?}",
+                entry.id,
+                m.err(),
+                e.err(),
+                l.err()
+            ),
+        }
+    }
+}

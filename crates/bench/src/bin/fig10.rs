@@ -1,0 +1,47 @@
+//! Figure 10: lazy plans for the remaining 18 TPC-H queries. For every query
+//! the paper plots the time to compute and store the answer tuples ("tuples")
+//! against the time to compute the distinct tuples and their probabilities
+//! ("prob"); the latter is typically orders of magnitude smaller.
+
+use sprout::PlanKind;
+use sprout_bench::harness::{bench_scale_factor, build_database, run_plan, secs};
+
+use pdb_tpch::fig10_queries;
+
+fn main() {
+    let sf = bench_scale_factor();
+    eprintln!("building probabilistic TPC-H database at scale factor {sf} ...");
+    let db = build_database(sf);
+
+    println!("# Figure 10: lazy plans for the remaining 18 queries (scale factor {sf})");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>7}",
+        "query", "tuples[s]", "prob[s]", "#answers", "#distinct", "scans"
+    );
+    for entry in fig10_queries() {
+        let query = entry.query.expect("figure 10 queries are conjunctive");
+        match run_plan(&db, &entry.id, &query, PlanKind::Lazy, true) {
+            Ok(m) => println!(
+                "{:<6} {:>12} {:>12} {:>12} {:>12} {:>7}",
+                entry.id,
+                secs(m.tuple_time),
+                secs(m.confidence_time),
+                m.answer_tuples.unwrap_or(0),
+                m.distinct_tuples,
+                m.scans.unwrap_or(0)
+            ),
+            Err(e) => println!("{:<6} failed: {e}", entry.id),
+        }
+    }
+
+    println!();
+    println!("# MystiQ log-space aggregation on the same queries (runtime errors expected");
+    println!("# for large duplicate groups — queries 1, 4, 12 and the Boolean variants in the paper)");
+    for entry in fig10_queries() {
+        let query = entry.query.expect("figure 10 queries are conjunctive");
+        match run_plan(&db, &entry.id, &query, PlanKind::MystiqLogSpace, true) {
+            Ok(m) => println!("{:<6} mystiq-log ok      {:>12}", entry.id, secs(m.total())),
+            Err(e) => println!("{:<6} mystiq-log FAILED  ({e})", entry.id),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 11: rendez-vous of eager and lazy plans when the selectivity of the
+//! constant selections is varied. Query A selects suppliers by account
+//! balance, query B selects orders by total price; at low selectivity the
+//! lazy plan wins, at high selectivity removing duplicates early pays off.
+
+use sprout::PlanKind;
+use sprout_bench::harness::{bench_scale_factor, build_database, run_plan, secs};
+
+use pdb_tpch::{selectivity_query_a, selectivity_query_b};
+
+fn main() {
+    let sf = bench_scale_factor();
+    eprintln!("building probabilistic TPC-H database at scale factor {sf} ...");
+    let db = build_database(sf);
+
+    println!("# Figure 11: eager vs. lazy plans while varying selection selectivity (scale factor {sf})");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "selectivity", "lazy(A)[s]", "eager(A)[s]", "lazy(B)[s]", "eager(B)[s]"
+    );
+    // Selectivity p: the fraction of Supp (resp. Ord) tuples passing the
+    // constant selection. acctbal is uniform in [-999, 10000]; totalprice in
+    // [1000, 400000].
+    for step in 0..=10 {
+        let p = f64::from(step) / 10.0;
+        let acctbal_threshold = -999.0 + p * (10_000.0 - (-999.0));
+        let price_threshold = 1_000.0 + p * (400_000.0 - 1_000.0);
+        let qa = selectivity_query_a(acctbal_threshold);
+        let qb = selectivity_query_b(price_threshold);
+        let lazy_a = run_plan(&db, "A", &qa, PlanKind::Lazy, true).expect("query A lazy");
+        let eager_a = run_plan(&db, "A", &qa, PlanKind::Eager, true).expect("query A eager");
+        let lazy_b = run_plan(&db, "B", &qb, PlanKind::Lazy, true).expect("query B lazy");
+        let eager_b = run_plan(&db, "B", &qb, PlanKind::Eager, true).expect("query B eager");
+        println!(
+            "{:<12.1} {:>12} {:>12} {:>12} {:>12}",
+            p,
+            secs(lazy_a.total()),
+            secs(eager_a.total()),
+            secs(lazy_b.total()),
+            secs(eager_b.total())
+        );
+    }
+}

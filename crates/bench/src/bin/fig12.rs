@@ -1,0 +1,43 @@
+//! Figure 12: hybrid plans versus the eager and lazy extremes on queries C
+//! (Cust ⋈ Ord ⋈ Item with a selective order-date predicate) and D
+//! (Nation ⋈ Supp ⋈ Psupp with a selective account-balance predicate). The
+//! hybrid plans avoid eager aggregation on the large tables and push the
+//! remaining aggregations below the unselective joins.
+
+use sprout::PlanKind;
+use sprout_bench::harness::{bench_scale_factor, build_database, run_plan, secs};
+
+use pdb_tpch::{fig12_query_c, fig12_query_d};
+
+fn main() {
+    let sf = bench_scale_factor();
+    eprintln!("building probabilistic TPC-H database at scale factor {sf} ...");
+    let db = build_database(sf);
+
+    println!("# Figure 12: hybrid versus eager and lazy plans (scale factor {sf})");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>14} {:>13}",
+        "query", "eager[s]", "lazy[s]", "hybrid[s]", "eager/hybrid", "lazy/hybrid"
+    );
+    let cases = [
+        ("C", fig12_query_c(), vec!["Ord".to_string()]),
+        ("D", fig12_query_d(), vec!["Supp".to_string()]),
+    ];
+    for (id, query, pushed) in cases {
+        let eager = run_plan(&db, id, &query, PlanKind::Eager, true).expect("eager plan");
+        let lazy = run_plan(&db, id, &query, PlanKind::Lazy, true).expect("lazy plan");
+        let hybrid =
+            run_plan(&db, id, &query, PlanKind::Hybrid(pushed), true).expect("hybrid plan");
+        let eh = eager.total().as_secs_f64() / hybrid.total().as_secs_f64().max(1e-9);
+        let lh = lazy.total().as_secs_f64() / hybrid.total().as_secs_f64().max(1e-9);
+        println!(
+            "{:<6} {:>12} {:>12} {:>12} {:>13.2}x {:>12.2}x",
+            id,
+            secs(eager.total()),
+            secs(lazy.total()),
+            secs(hybrid.total()),
+            eh,
+            lh
+        );
+    }
+}

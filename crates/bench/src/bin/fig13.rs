@@ -1,0 +1,84 @@
+//! Figure 13: the influence of functional dependencies on the confidence
+//! operator. For the queries 2, 7, 11 and B3 the paper reports the time of a
+//! plain sequential scan of the answer, the sorting time, the operator's time
+//! with and without FDs, and the answer-tuple counts.
+
+use std::time::Instant;
+
+use sprout::{ConfidenceOperator, PlanKind, Strategy};
+use sprout_bench::harness::{bench_scale_factor, build_database, run_plan, secs};
+
+use pdb_exec::evaluate_join_order;
+use pdb_tpch::tpch_query;
+
+fn main() {
+    let sf = bench_scale_factor();
+    eprintln!("building probabilistic TPC-H database at scale factor {sf} ...");
+    let db = build_database(sf);
+
+    println!("# Figure 13: influence of FDs on the confidence operator (scale factor {sf})");
+    println!(
+        "{:<6} {:>12} {:>12} {:>14} {:>14} {:>10} {:>10}",
+        "query", "seqscan[s]", "sort[s]", "op(no FDs)[s]", "op(FDs)[s]", "#answers", "#distinct"
+    );
+    for id in ["2", "7", "11", "B3"] {
+        let query = tpch_query(id).expect("catalogue id").query.expect("conjunctive");
+
+        // Materialise the answer once with the lazy join order, then time
+        // the individual stages like the paper's table does.
+        let with_fds = run_plan(&db, id, &query, PlanKind::Lazy, true).expect("lazy plan");
+        let order: Vec<String> = sprout_plan::join_order::greedy_join_order(&query, db.catalog())
+            .expect("join order")
+            .to_vec();
+        let answer = evaluate_join_order(&query, db.catalog(), &order).expect("answer tuples");
+
+        // Sequential scan: one pass over the materialised answer.
+        let start = Instant::now();
+        let mut checksum = 0usize;
+        for row in answer.rows() {
+            checksum = checksum.wrapping_add(row.lineage.len());
+        }
+        let seqscan = start.elapsed();
+        std::hint::black_box(checksum);
+
+        // Sorting time for the FD-refined signature's order.
+        let fds = sprout::FdSet::from_catalog_decls(&db.catalog().fds());
+        let sig_fds = pdb_query::reduct::query_signature(&query, &fds).expect("tractable");
+        let mut sorted = answer.clone();
+        let start = Instant::now();
+        pdb_conf::one_scan::sort_for_signature(&mut sorted, &sig_fds).expect("sortable");
+        let sort_time = start.elapsed();
+
+        // Operator with FDs on the pre-sorted answer.
+        let start = Instant::now();
+        let op = ConfidenceOperator::new(sig_fds);
+        let conf_fds = op.compute(&answer, Strategy::Auto).expect("operator runs");
+        let op_fds = start.elapsed();
+
+        // Operator without FDs (more scans); some queries are not even
+        // tractable without them.
+        let no_fd_time = match pdb_query::reduct::query_signature(&query, &sprout::FdSet::empty())
+        {
+            Ok(sig) => {
+                let start = Instant::now();
+                ConfidenceOperator::new(sig)
+                    .compute(&answer, Strategy::Auto)
+                    .expect("operator runs");
+                Some(start.elapsed())
+            }
+            Err(_) => None,
+        };
+
+        println!(
+            "{:<6} {:>12} {:>12} {:>14} {:>14} {:>10} {:>10}",
+            id,
+            secs(seqscan),
+            secs(sort_time),
+            no_fd_time.map(secs).unwrap_or_else(|| "intractable".to_string()),
+            secs(op_fds),
+            answer.len(),
+            conf_fds.len()
+        );
+        let _ = with_fds;
+    }
+}

@@ -1,0 +1,13 @@
+//! Shared harness for the benchmark suite that regenerates the paper's
+//! evaluation section (Figs. 9–13 and the Section VI case study).
+//!
+//! The original experiments ran on TPC-H scale factor 1 (1 GB) on 2008
+//! hardware inside PostgreSQL; this reproduction uses an in-memory engine and
+//! a configurable (much smaller) scale factor. Absolute times therefore do
+//! not match the paper; the *shape* of the results — which plan family wins,
+//! by roughly what factor, and where the crossovers lie — is what the
+//! harness reports and what `EXPERIMENTS.md` records.
+
+pub mod harness;
+
+pub use harness::{bench_scale_factor, build_database, run_plan, Measurement};

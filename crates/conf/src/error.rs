@@ -1,0 +1,68 @@
+//! Error type for confidence computation.
+
+use std::fmt;
+
+use pdb_exec::ExecError;
+use pdb_query::QueryError;
+
+/// Errors raised by the confidence-computation operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfError {
+    /// The signature references a relation whose lineage column is missing
+    /// from the annotated input.
+    MissingLineage(String),
+    /// The signature does not have the 1scan property but a single-scan
+    /// evaluation was requested.
+    NotOneScan(String),
+    /// Error from the static query analysis (signature/1scanTree building).
+    Query(QueryError),
+    /// Error from the execution substrate.
+    Exec(ExecError),
+}
+
+impl fmt::Display for ConfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfError::MissingLineage(r) => {
+                write!(f, "annotated input has no lineage column for relation {r}")
+            }
+            ConfError::NotOneScan(s) => {
+                write!(f, "signature {s} does not have the 1scan property")
+            }
+            ConfError::Query(e) => write!(f, "query analysis error: {e}"),
+            ConfError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfError {}
+
+impl From<QueryError> for ConfError {
+    fn from(e: QueryError) -> Self {
+        ConfError::Query(e)
+    }
+}
+
+impl From<ExecError> for ConfError {
+    fn from(e: ExecError) -> Self {
+        ConfError::Exec(e)
+    }
+}
+
+/// Convenience result alias.
+pub type ConfResult<T> = Result<T, ConfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: ConfError = QueryError::EmptyQuery.into();
+        assert!(e.to_string().contains("query analysis"));
+        let e: ConfError = ExecError::UnknownColumn("a".into()).into();
+        assert!(e.to_string().contains("execution"));
+        assert!(ConfError::MissingLineage("Ord".into()).to_string().contains("Ord"));
+        assert!(ConfError::NotOneScan("(R*S*)*".into()).to_string().contains("1scan"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # pdb-conf
+//!
+//! The paper's contribution: a query-plan operator for exact confidence
+//! computation on tuple-independent probabilistic databases.
+//!
+//! Given the lineage-annotated answer of a (possibly non-Boolean) conjunctive
+//! query and the signature of its hierarchical FD-reduct, the operator
+//! computes every distinct answer tuple together with its exact probability.
+//! Three interchangeable implementations are provided, in increasing order of
+//! sophistication, and cross-checked against each other and against
+//! brute-force lineage probability in the test suite:
+//!
+//! * [`grp`] — the declarative semantics of Fig. 5: one group-by aggregation
+//!   per star of the signature plus propagation (projection) steps, exactly
+//!   the SQL translation the paper gives.
+//! * [`one_scan`] — the streaming algorithm of Fig. 8 for signatures with the
+//!   1scan property: a single pass over the sorted answer updates running
+//!   probabilities at the nodes of the signature's 1scanTree.
+//! * [`multi_scan`] — the scan scheduling of Example V.11 for signatures
+//!   without the 1scan property: a few pre-aggregation scans reduce the
+//!   signature to a 1scan one, then the streaming algorithm finishes the job.
+//!
+//! [`operator::ConfidenceOperator`] is the public entry point that picks the
+//! strategy from the signature, and [`brute`] is the exponential ground-truth
+//! oracle used by tests and by the tiny worked examples.
+
+pub mod brute;
+pub mod error;
+pub mod grp;
+pub mod multi_scan;
+pub mod one_scan;
+pub mod operator;
+
+pub use error::{ConfError, ConfResult};
+pub use operator::{ConfidenceOperator, ConfidenceResult, Strategy};

@@ -1,0 +1,259 @@
+//! Multi-scan confidence computation for signatures without the 1scan
+//! property (Example V.11, Proposition V.10).
+//!
+//! The scan schedule derived from the signature lists pre-aggregation
+//! signatures, each of which *does* have the 1scan property. Every
+//! pre-aggregation is evaluated in its own pass: the answer is grouped by the
+//! data columns and the variable columns of the relations *not* covered by
+//! the step, the step's probability is computed with the streaming algorithm
+//! of Fig. 8 restricted to its own 1scanTree, and the group collapses to a
+//! single row whose surviving lineage column (the step's leftmost table)
+//! carries a representative variable and the computed probability — exactly
+//! the `min(V) / prob(P)` convention of Fig. 5. After all pre-aggregations
+//! the remaining signature has the 1scan property and a final scan finishes
+//! the computation.
+
+use std::collections::BTreeSet;
+
+use pdb_exec::{Annotated, AnnotatedRow};
+use pdb_query::Signature;
+use pdb_storage::Tuple;
+
+use crate::error::ConfResult;
+use crate::one_scan::{one_scan_confidences, one_scan_confidences_presorted};
+
+/// Computes `(distinct answer tuple, confidence)` pairs for an arbitrary
+/// signature by scheduling `scan_count()` scans.
+///
+/// # Errors
+/// Fails if the signature references relations missing from the answer.
+pub fn multi_scan_confidences(
+    answer: &Annotated,
+    signature: &Signature,
+) -> ConfResult<Vec<(Tuple, f64)>> {
+    if answer.is_empty() {
+        return Ok(Vec::new());
+    }
+    let schedule = signature.scan_schedule();
+    let mut current = answer.clone();
+    for step in &schedule.pre_aggregations {
+        current = apply_pre_aggregation(&current, step)?;
+    }
+    one_scan_confidences(&current, &schedule.final_signature)
+}
+
+/// Executes one pre-aggregation `[step]`: groups the input by the data
+/// columns and the lineage columns of relations outside the step, computes
+/// the step's probability per group, and collapses each group to one row in
+/// which the step's leftmost table carries the representative variable and
+/// the aggregated probability; the step's other lineage columns are dropped.
+pub fn apply_pre_aggregation(input: &Annotated, step: &Signature) -> ConfResult<Annotated> {
+    let step_tables: BTreeSet<String> = step.tables().into_iter().collect();
+    let leftmost = step.leftmost_table().to_string();
+    let other_relations: Vec<String> = input
+        .relations()
+        .iter()
+        .filter(|r| !step_tables.contains(*r))
+        .cloned()
+        .collect();
+    let leftmost_col = input.relation_index(&leftmost)?;
+    let other_cols: Vec<usize> = other_relations
+        .iter()
+        .map(|r| input.relation_index(r))
+        .collect::<Result<_, _>>()?;
+
+    // Sort so that rows of the same (data values, other-relation variables)
+    // group are contiguous and, within a group, ordered as the step's
+    // streaming evaluation requires.
+    let mut sorted = input.clone();
+    {
+        let data_cols: Vec<String> = sorted
+            .schema()
+            .names()
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut relation_order = other_relations.clone();
+        // `sort_for_signature` would re-sort only by the step's tables; we
+        // need the group-defining columns first, so sort manually here.
+        relation_order.extend(step_preorder(step)?);
+        sorted.sort_for_confidence(&data_cols, &relation_order)?;
+    }
+
+    // Output keeps the data schema and every relation except the step's
+    // non-leftmost tables, preserving the input's relative column order.
+    let kept_relations: Vec<String> = input
+        .relations()
+        .iter()
+        .filter(|r| !step_tables.contains(*r) || **r == leftmost)
+        .cloned()
+        .collect();
+    let kept_cols: Vec<usize> = kept_relations
+        .iter()
+        .map(|r| input.relation_index(r))
+        .collect::<Result<_, _>>()?;
+    let mut out = Annotated::new(sorted.schema().clone(), kept_relations);
+
+    let rows = sorted.rows();
+    let mut group_start = 0usize;
+    while group_start < rows.len() {
+        let mut group_end = group_start + 1;
+        while group_end < rows.len()
+            && same_group(&rows[group_start], &rows[group_end], &other_cols)
+        {
+            group_end += 1;
+        }
+        let group = &rows[group_start..group_end];
+        out.push(aggregate_group(group, step, &sorted, &kept_cols, leftmost_col)?);
+        group_start = group_end;
+    }
+    Ok(out)
+}
+
+/// Preorder variable-column order of a (1scan) step signature.
+fn step_preorder(step: &Signature) -> ConfResult<Vec<String>> {
+    use pdb_query::OneScanTree;
+    let tree = OneScanTree::build(step)?;
+    Ok(tree.preorder())
+}
+
+fn same_group(a: &AnnotatedRow, b: &AnnotatedRow, other_cols: &[usize]) -> bool {
+    if a.data != b.data {
+        return false;
+    }
+    other_cols.iter().all(|&c| a.lineage[c].0 == b.lineage[c].0)
+}
+
+/// Collapses one group of rows into a single pre-aggregated row.
+fn aggregate_group(
+    group: &[AnnotatedRow],
+    step: &Signature,
+    sorted: &Annotated,
+    kept_cols: &[usize],
+    leftmost_col: usize,
+) -> ConfResult<AnnotatedRow> {
+    // Evaluate the step's probability over the group alone: build a small
+    // annotated relation with an empty data tuple so the whole group is a
+    // single bag, then run the streaming algorithm on it.
+    let mut bag = Annotated::new(pdb_storage::Schema::empty(), sorted.relations().to_vec());
+    for row in group {
+        bag.push(AnnotatedRow::new(Tuple::empty(), row.lineage.clone()));
+    }
+    let confidences = one_scan_confidences_presorted(&bag, step)?;
+    debug_assert_eq!(confidences.len(), 1);
+    let prob = confidences
+        .first()
+        .map(|(_, p)| *p)
+        .expect("non-empty group produces one confidence");
+    let representative = group
+        .iter()
+        .map(|r| r.lineage[leftmost_col].0)
+        .min()
+        .expect("group is non-empty");
+
+    let exemplar = &group[0];
+    let lineage: Vec<_> = kept_cols
+        .iter()
+        .map(|&c| {
+            if c == leftmost_col {
+                (representative, prob)
+            } else {
+                exemplar.lineage[c]
+            }
+        })
+        .collect();
+    Ok(AnnotatedRow::new(exemplar.data.clone(), lineage))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_confidences;
+    use crate::grp::grp_confidences;
+    use pdb_exec::fixtures::fig1_catalog;
+    use pdb_exec::pipeline::evaluate_join_order;
+    use pdb_query::cq::intro_query_q;
+    use pdb_query::reduct::query_signature;
+    use pdb_query::FdSet;
+    use pdb_storage::tuple;
+
+    fn order(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn non_one_scan_signature_needs_multiple_scans_and_is_exact() {
+        // Without key constraints the Boolean intro query's signature is
+        // (Cust*(Ord*Item*)*)*, which needs 3 scans (Example V.11).
+        let catalog = fig1_catalog();
+        let q = intro_query_q().boolean_version();
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        assert_eq!(sig.scan_count(), 3);
+        let conf = multi_scan_confidences(&answer, &sig).unwrap();
+        assert_eq!(conf.len(), 1);
+        assert!((conf[0].1 - 0.0028).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_scan_handles_one_scan_signatures_too() {
+        let catalog = fig1_catalog();
+        let q = intro_query_q();
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        // Without FDs the non-Boolean reduct still needs 2 scans; with the
+        // per-bag refinement the final confidence must match the oracle.
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        let conf = multi_scan_confidences(&answer, &sig).unwrap();
+        assert_eq!(conf.len(), 1);
+        assert_eq!(conf[0].0, tuple!["1995-01-10"]);
+        assert!((conf[0].1 - 0.0028).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_grp_and_brute_force_without_selections() {
+        let catalog = fig1_catalog();
+        let mut q = intro_query_q();
+        q.predicates.clear();
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Ord", "Item", "Cust"])).unwrap();
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        let ours = multi_scan_confidences(&answer, &sig).unwrap();
+        let reference = grp_confidences(&answer, &sig).unwrap();
+        let oracle = brute_force_confidences(&answer);
+        assert_eq!(ours.len(), oracle.len());
+        for ((t1, p1), ((t2, p2), (t3, p3))) in
+            ours.iter().zip(reference.iter().zip(oracle.iter()))
+        {
+            assert_eq!(t1, t2);
+            assert_eq!(t1, t3);
+            assert!((p1 - p3).abs() < 1e-9, "{t1}: multi-scan {p1} vs oracle {p3}");
+            assert!((p2 - p3).abs() < 1e-9, "{t1}: grp {p2} vs oracle {p3}");
+        }
+    }
+
+    #[test]
+    fn pre_aggregation_reduces_row_count() {
+        let catalog = fig1_catalog();
+        let mut q = intro_query_q();
+        q.predicates.clear();
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let step = Signature::star(Signature::table("Item"));
+        let reduced = apply_pre_aggregation(&answer, &step).unwrap();
+        assert!(reduced.len() < answer.len());
+        assert_eq!(reduced.relations(), answer.relations());
+    }
+
+    #[test]
+    fn empty_answer_short_circuits() {
+        let catalog = fig1_catalog();
+        let mut q = intro_query_q();
+        q.predicates[0].constant = pdb_storage::Value::str("Nobody");
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        assert!(multi_scan_confidences(&answer, &sig).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,385 @@
+//! The streaming confidence-computation algorithm for 1scan signatures
+//! (paper, Fig. 8 and Section V.C).
+//!
+//! The answer relation is sorted by its data columns followed by the variable
+//! columns in preorder of the signature's 1scanTree (Example V.12). One
+//! sequential scan then suffices: every node of the 1scanTree keeps a running
+//! probability `crtP` for its current partition and an accumulated
+//! probability `allP` over finished partitions; `propagate_prob` updates them
+//! in postorder whenever the leftmost changed variable column is found, and
+//! nodes are disabled while old partitions re-occur (many-to-many
+//! relationships) so that no work is repeated.
+
+use pdb_exec::{Annotated, AnnotatedRow};
+use pdb_query::{OneScanTree, Signature};
+use pdb_storage::{Tuple, Variable};
+
+use crate::error::{ConfError, ConfResult};
+
+/// A node of the run-time 1scanTree, stored in preorder in an arena.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index of this node's variable column in the annotated input's lineage.
+    lineage_col: usize,
+    /// Children, as arena indices. The arena is laid out in preorder, so a
+    /// node's index doubles as its variable column's position in the sort
+    /// order (the `index` field of Fig. 8).
+    children: Vec<usize>,
+    enabled: bool,
+    crt_p: f64,
+    all_p: f64,
+}
+
+/// Run-time state of the one-scan operator for a single bag of duplicates.
+#[derive(Debug)]
+struct ScanState {
+    nodes: Vec<Node>,
+}
+
+impl ScanState {
+    fn new(tree: &OneScanTree, answer: &Annotated) -> ConfResult<ScanState> {
+        let mut nodes = Vec::new();
+        build_arena(tree, answer, &mut nodes)?;
+        Ok(ScanState { nodes })
+    }
+
+    /// Resets every node for a new bag of duplicates.
+    fn reset(&mut self) {
+        for n in &mut self.nodes {
+            n.enabled = true;
+            n.crt_p = 0.0;
+            n.all_p = 0.0;
+        }
+    }
+
+    /// The `propagate prob` procedure of Fig. 8, applied to the subtree
+    /// rooted at `node` for a row whose leftmost changed variable column (in
+    /// preorder positions) is `i`.
+    fn propagate(&mut self, node: usize, i: usize, row: &AnnotatedRow) {
+        // Postorder: children first.
+        for child_pos in 0..self.nodes[node].children.len() {
+            let child = self.nodes[node].children[child_pos];
+            self.propagate(child, i, row);
+        }
+        let index = node; // preorder arena layout: arena index == column index
+        if !self.nodes[node].enabled || index < i {
+            return;
+        }
+        let is_leaf = self.nodes[node].children.is_empty();
+        let row_prob = row.lineage[self.nodes[node].lineage_col].1;
+        if is_leaf && index == i {
+            // A new variable extends the current partition of this leaf.
+            let crt = self.nodes[node].crt_p;
+            self.nodes[node].crt_p = 1.0 - (1.0 - crt) * (1.0 - row_prob);
+        } else {
+            // Close the current partition: fold the children's accumulated
+            // probabilities into it and add it to the finished partitions.
+            let children = self.nodes[node].children.clone();
+            let mut crt = self.nodes[node].crt_p;
+            for c in children {
+                crt *= self.nodes[c].all_p;
+            }
+            let all = self.nodes[node].all_p;
+            self.nodes[node].all_p = 1.0 - (1.0 - crt) * (1.0 - all);
+            if index == i {
+                // A new partition of this node starts: re-seed it and all its
+                // descendants from the current row.
+                self.for_each_descendant(node, |state, d| {
+                    let col = state.nodes[d].lineage_col;
+                    state.nodes[d].enabled = true;
+                    state.nodes[d].all_p = 0.0;
+                    state.nodes[d].crt_p = row.lineage[col].1;
+                });
+                self.nodes[node].crt_p = row_prob;
+            } else {
+                // An old partition of this node re-occurs next; disable the
+                // whole subtree until an ancestor starts a new partition.
+                self.nodes[node].enabled = false;
+                self.for_each_descendant(node, |state, d| {
+                    state.nodes[d].enabled = false;
+                });
+            }
+        }
+    }
+
+    /// Closes every open partition at the end of a bag and leaves the exact
+    /// probability of the bag in the root's `allP`.
+    fn flush(&mut self) -> f64 {
+        self.flush_node(0);
+        self.nodes[0].all_p
+    }
+
+    fn flush_node(&mut self, node: usize) {
+        for child_pos in 0..self.nodes[node].children.len() {
+            let child = self.nodes[node].children[child_pos];
+            self.flush_node(child);
+        }
+        if !self.nodes[node].enabled {
+            return;
+        }
+        let children = self.nodes[node].children.clone();
+        let mut crt = self.nodes[node].crt_p;
+        for c in children {
+            crt *= self.nodes[c].all_p;
+        }
+        let all = self.nodes[node].all_p;
+        self.nodes[node].all_p = 1.0 - (1.0 - crt) * (1.0 - all);
+    }
+
+    fn for_each_descendant(&mut self, node: usize, mut f: impl FnMut(&mut ScanState, usize)) {
+        let mut stack: Vec<usize> = self.nodes[node].children.clone();
+        while let Some(d) = stack.pop() {
+            stack.extend(self.nodes[d].children.iter().copied());
+            f(self, d);
+        }
+    }
+}
+
+/// Builds the arena in preorder, mapping each tree node to the lineage column
+/// of its table in `answer`.
+fn build_arena(tree: &OneScanTree, answer: &Annotated, arena: &mut Vec<Node>) -> ConfResult<usize> {
+    let lineage_col = answer
+        .relation_index(&tree.table)
+        .map_err(|_| ConfError::MissingLineage(tree.table.clone()))?;
+    let idx = arena.len();
+    arena.push(Node {
+        lineage_col,
+        children: Vec::new(),
+        enabled: true,
+        crt_p: 0.0,
+        all_p: 0.0,
+    });
+    for child in &tree.children {
+        let child_idx = build_arena(child, answer, arena)?;
+        arena[idx].children.push(child_idx);
+    }
+    Ok(idx)
+}
+
+/// Computes `(distinct answer tuple, confidence)` pairs for a signature with
+/// the 1scan property using one scan over the sorted answer (Fig. 8).
+///
+/// The input is sorted internally (data columns, then variable columns in
+/// preorder of the 1scanTree); callers holding an already-sorted answer can
+/// use [`one_scan_confidences_presorted`].
+///
+/// # Errors
+/// Fails if the signature lacks the 1scan property or references a relation
+/// without a lineage column.
+pub fn one_scan_confidences(
+    answer: &Annotated,
+    signature: &Signature,
+) -> ConfResult<Vec<(Tuple, f64)>> {
+    let mut sorted = answer.clone();
+    sort_for_signature(&mut sorted, signature)?;
+    one_scan_confidences_presorted(&sorted, signature)
+}
+
+/// Sorts an annotated answer into the order required by
+/// [`one_scan_confidences_presorted`]: data columns first, then the variable
+/// columns of the signature's 1scanTree in preorder (Example V.12).
+///
+/// # Errors
+/// Fails if the signature lacks the 1scan property or references a missing
+/// relation.
+pub fn sort_for_signature(answer: &mut Annotated, signature: &Signature) -> ConfResult<()> {
+    let tree = one_scan_tree(signature)?;
+    let data_cols: Vec<String> = answer
+        .schema()
+        .names()
+        .into_iter()
+        .map(|s| s.to_string())
+        .collect();
+    answer.sort_for_confidence(&data_cols, &tree.preorder())?;
+    Ok(())
+}
+
+/// Like [`one_scan_confidences`] but assumes the input is already sorted.
+///
+/// # Errors
+/// Fails if the signature lacks the 1scan property or references a relation
+/// without a lineage column.
+pub fn one_scan_confidences_presorted(
+    answer: &Annotated,
+    signature: &Signature,
+) -> ConfResult<Vec<(Tuple, f64)>> {
+    if answer.is_empty() {
+        return Ok(Vec::new());
+    }
+    let tree = one_scan_tree(signature)?;
+    let mut state = ScanState::new(&tree, answer)?;
+    // Preorder positions → lineage columns, used to find the leftmost changed
+    // variable column between consecutive rows.
+    let preorder_cols: Vec<usize> = state.nodes.iter().map(|n| n.lineage_col).collect();
+
+    let mut out = Vec::new();
+    let mut prev: Option<&AnnotatedRow> = None;
+    for row in answer.rows() {
+        match prev {
+            None => {
+                state.reset();
+                state.propagate(0, 0, row);
+            }
+            Some(p) if p.data != row.data => {
+                // New bag of duplicates: finish the previous one.
+                out.push((p.data.clone(), state.flush()));
+                state.reset();
+                state.propagate(0, 0, row);
+            }
+            Some(p) => {
+                if let Some(i) = leftmost_changed(&preorder_cols, p, row) {
+                    state.propagate(0, i, row);
+                }
+                // Identical lineage in every column: a duplicate derivation,
+                // nothing to add.
+            }
+        }
+        prev = Some(row);
+    }
+    if let Some(p) = prev {
+        out.push((p.data.clone(), state.flush()));
+    }
+    Ok(out)
+}
+
+/// The preorder position of the leftmost variable column whose variable
+/// differs between two rows, or `None` if all tracked columns coincide.
+fn leftmost_changed(
+    preorder_cols: &[usize],
+    prev: &AnnotatedRow,
+    current: &AnnotatedRow,
+) -> Option<usize> {
+    for (pos, &col) in preorder_cols.iter().enumerate() {
+        let a: Variable = prev.lineage[col].0;
+        let b: Variable = current.lineage[col].0;
+        if a != b {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+fn one_scan_tree(signature: &Signature) -> ConfResult<OneScanTree> {
+    if !signature.is_one_scan() {
+        return Err(ConfError::NotOneScan(signature.to_string()));
+    }
+    OneScanTree::build(signature).map_err(ConfError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_confidences;
+    use crate::grp::grp_confidences;
+    use pdb_exec::fixtures::{fig1_catalog, fig1_catalog_with_keys};
+    use pdb_exec::pipeline::evaluate_join_order;
+    use pdb_query::cq::intro_query_q;
+    use pdb_query::reduct::query_signature;
+    use pdb_query::FdSet;
+    use pdb_storage::tuple;
+
+    fn order(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tpch_fds(catalog: &pdb_storage::Catalog) -> FdSet {
+        FdSet::from_catalog_decls(&catalog.fds())
+    }
+
+    #[test]
+    fn intro_query_with_keys_runs_in_one_scan_and_matches_example_v13() {
+        let catalog = fig1_catalog_with_keys();
+        let q = intro_query_q();
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
+        assert!(sig.is_one_scan());
+        let conf = one_scan_confidences(&answer, &sig).unwrap();
+        assert_eq!(conf.len(), 1);
+        assert_eq!(conf[0].0, tuple!["1995-01-10"]);
+        assert!((conf[0].1 - 0.0028).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_signatures_without_the_one_scan_property() {
+        let catalog = fig1_catalog();
+        let q = intro_query_q().boolean_version();
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        // Without FDs the Boolean query's signature is (Cust*(Ord*Item*)*)*.
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        assert!(!sig.is_one_scan());
+        assert!(matches!(
+            one_scan_confidences(&answer, &sig),
+            Err(ConfError::NotOneScan(_))
+        ));
+    }
+
+    #[test]
+    fn agrees_with_grp_and_brute_force_on_wider_selections() {
+        // Drop the selective predicates so every customer contributes and the
+        // answer has several distinct tuples with several derivations each.
+        let catalog = fig1_catalog_with_keys();
+        let mut q = intro_query_q();
+        q.predicates.clear();
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Ord", "Item", "Cust"])).unwrap();
+        let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
+        assert!(sig.is_one_scan());
+        let ours = one_scan_confidences(&answer, &sig).unwrap();
+        let reference = grp_confidences(&answer, &sig).unwrap();
+        let oracle = brute_force_confidences(&answer);
+        assert_eq!(ours.len(), oracle.len());
+        for ((t1, p1), ((t2, p2), (t3, p3))) in
+            ours.iter().zip(reference.iter().zip(oracle.iter()))
+        {
+            assert_eq!(t1, t2);
+            assert_eq!(t1, t3);
+            assert!((p1 - p3).abs() < 1e-9, "{t1}: one-scan {p1} vs oracle {p3}");
+            assert!((p2 - p3).abs() < 1e-9, "{t1}: grp {p2} vs oracle {p3}");
+        }
+    }
+
+    #[test]
+    fn boolean_query_produces_a_single_probability() {
+        let catalog = fig1_catalog_with_keys();
+        let q = intro_query_q().boolean_version();
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
+        let conf = one_scan_confidences(&answer, &sig).unwrap();
+        assert_eq!(conf.len(), 1);
+        assert_eq!(conf[0].0, Tuple::empty());
+        assert!((conf[0].1 - 0.0028).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_answer_is_empty() {
+        let catalog = fig1_catalog_with_keys();
+        let mut q = intro_query_q();
+        q.predicates[0].constant = pdb_storage::Value::str("Nobody");
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
+        assert!(one_scan_confidences(&answer, &sig).unwrap().is_empty());
+    }
+
+    #[test]
+    fn presorted_variant_requires_external_sort() {
+        let catalog = fig1_catalog_with_keys();
+        let mut q = intro_query_q();
+        q.predicates.clear();
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
+        let mut sorted = answer.clone();
+        sort_for_signature(&mut sorted, &sig).unwrap();
+        let a = one_scan_confidences_presorted(&sorted, &sig).unwrap();
+        let b = one_scan_confidences(&answer, &sig).unwrap();
+        assert_eq!(a.len(), b.len());
+        for ((t1, p1), (t2, p2)) in a.iter().zip(b.iter()) {
+            assert_eq!(t1, t2);
+            assert!((p1 - p2).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The public confidence-computation operator.
+//!
+//! [`ConfidenceOperator`] bundles a query signature with the machinery that
+//! evaluates it over a lineage-annotated answer. The default
+//! [`Strategy::Auto`] picks the streaming one-scan algorithm when the
+//! signature allows it and falls back to the multi-scan schedule otherwise —
+//! exactly the decision procedure of Section V.C. The other strategies exist
+//! for testing, ablation benchmarks, and the worked examples.
+
+use std::fmt;
+
+use pdb_exec::Annotated;
+use pdb_query::Signature;
+use pdb_storage::Tuple;
+
+use crate::brute::brute_force_confidences;
+use crate::error::ConfResult;
+use crate::grp::grp_confidences;
+use crate::multi_scan::multi_scan_confidences;
+use crate::one_scan::one_scan_confidences;
+
+/// The evaluation strategy of the operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// One scan if the signature has the 1scan property, multi-scan otherwise.
+    #[default]
+    Auto,
+    /// Force the streaming one-scan algorithm (fails on non-1scan signatures).
+    OneScan,
+    /// Force the multi-scan schedule.
+    MultiScan,
+    /// The declarative GRP-sequence semantics of Fig. 5.
+    GrpSemantics,
+    /// Exponential brute force over the lineage (testing / tiny inputs only).
+    BruteForce,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::Auto => "auto",
+            Strategy::OneScan => "one-scan",
+            Strategy::MultiScan => "multi-scan",
+            Strategy::GrpSemantics => "grp-semantics",
+            Strategy::BruteForce => "brute-force",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The result of confidence computation: every distinct answer tuple paired
+/// with its exact confidence, ordered by tuple.
+pub type ConfidenceResult = Vec<(Tuple, f64)>;
+
+/// A confidence-computation operator `[s]` for a fixed signature `s`.
+#[derive(Debug, Clone)]
+pub struct ConfidenceOperator {
+    signature: Signature,
+}
+
+impl ConfidenceOperator {
+    /// Creates an operator for the given signature.
+    pub fn new(signature: Signature) -> Self {
+        ConfidenceOperator { signature }
+    }
+
+    /// The operator's signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// Number of scans the operator needs (Proposition V.10).
+    pub fn scans(&self) -> usize {
+        self.signature.scan_count()
+    }
+
+    /// Computes the distinct answer tuples and their confidences.
+    ///
+    /// # Errors
+    /// Fails if the signature references relations missing from the answer,
+    /// or if [`Strategy::OneScan`] is forced on a non-1scan signature.
+    pub fn compute(&self, answer: &Annotated, strategy: Strategy) -> ConfResult<ConfidenceResult> {
+        match strategy {
+            Strategy::Auto => {
+                if self.signature.is_one_scan() {
+                    one_scan_confidences(answer, &self.signature)
+                } else {
+                    multi_scan_confidences(answer, &self.signature)
+                }
+            }
+            Strategy::OneScan => one_scan_confidences(answer, &self.signature),
+            Strategy::MultiScan => multi_scan_confidences(answer, &self.signature),
+            Strategy::GrpSemantics => grp_confidences(answer, &self.signature),
+            Strategy::BruteForce => Ok(brute_force_confidences(answer)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_exec::fixtures::{fig1_catalog, fig1_catalog_with_keys};
+    use pdb_exec::pipeline::evaluate_join_order;
+    use pdb_query::cq::intro_query_q;
+    use pdb_query::reduct::query_signature;
+    use pdb_query::FdSet;
+
+    fn order(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn all_strategies_agree_on_the_intro_query() {
+        let catalog = fig1_catalog_with_keys();
+        let q = intro_query_q();
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let fds = FdSet::from_catalog_decls(&catalog.fds());
+        let op = ConfidenceOperator::new(query_signature(&q, &fds).unwrap());
+        assert_eq!(op.scans(), 1);
+        for strategy in [
+            Strategy::Auto,
+            Strategy::OneScan,
+            Strategy::MultiScan,
+            Strategy::GrpSemantics,
+            Strategy::BruteForce,
+        ] {
+            let conf = op.compute(&answer, strategy).unwrap();
+            assert_eq!(conf.len(), 1, "{strategy}");
+            assert!((conf[0].1 - 0.0028).abs() < 1e-9, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn auto_falls_back_to_multi_scan() {
+        let catalog = fig1_catalog();
+        let q = intro_query_q().boolean_version();
+        let answer =
+            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let op = ConfidenceOperator::new(query_signature(&q, &FdSet::empty()).unwrap());
+        assert_eq!(op.scans(), 3);
+        let conf = op.compute(&answer, Strategy::Auto).unwrap();
+        assert!((conf[0].1 - 0.0028).abs() < 1e-9);
+        // Forcing one-scan on this signature is an error.
+        assert!(op.compute(&answer, Strategy::OneScan).is_err());
+    }
+
+    #[test]
+    fn strategy_display_names() {
+        assert_eq!(Strategy::Auto.to_string(), "auto");
+        assert_eq!(Strategy::OneScan.to_string(), "one-scan");
+        assert_eq!(Strategy::default(), Strategy::Auto);
+    }
+}

@@ -1,0 +1,375 @@
+//! Property-based cross-validation of the confidence-computation strategies.
+//!
+//! For randomly generated tuple-independent databases and several query
+//! shapes, the streaming one-scan algorithm (Fig. 8), the multi-scan schedule
+//! (Example V.11) and the GRP-sequence semantics (Fig. 5) must all agree with
+//! the brute-force Shannon-expansion oracle.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+use pdb_conf::brute::brute_force_confidences;
+use pdb_conf::{ConfidenceOperator, Strategy};
+use pdb_exec::pipeline::evaluate_join_order;
+use pdb_query::reduct::query_signature;
+use pdb_query::{ConjunctiveQuery, FdSet};
+use pdb_storage::{tuple, Catalog, DataType, ProbTable, Schema, Variable};
+
+/// Compares a strategy against the oracle, tuple by tuple.
+fn assert_matches_oracle(
+    op: &ConfidenceOperator,
+    answer: &pdb_exec::Annotated,
+    strategy: Strategy,
+) -> Result<(), TestCaseError> {
+    let ours = op.compute(answer, strategy).unwrap();
+    let oracle = brute_force_confidences(answer);
+    prop_assert_eq!(ours.len(), oracle.len(), "strategy {}", strategy);
+    for ((t1, p1), (t2, p2)) in ours.iter().zip(oracle.iter()) {
+        prop_assert_eq!(t1, t2, "strategy {}", strategy);
+        prop_assert!(
+            (p1 - p2).abs() < 1e-9,
+            "strategy {}: tuple {} got {} expected {}",
+            strategy,
+            t1,
+            p1,
+            p2
+        );
+    }
+    Ok(())
+}
+
+/// A probability in a comfortable range away from 0 and 1.
+fn prob() -> impl proptest::strategy::Strategy<Value = f64> {
+    (1u32..=9).prop_map(|i| f64::from(i) / 10.0)
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: the guiding TPC-H-like query over random Cust/Ord/Item data.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct CustOrdItem {
+    cust: Vec<(i64, i64, f64)>,          // (ckey, name id, prob)
+    ord: Vec<(i64, i64, i64, f64)>,      // (okey, ckey, odate id, prob)
+    item: Vec<(i64, i64, f64, f64)>,     // (okey, ckey, discount, prob)
+    with_keys: bool,
+}
+
+fn cust_ord_item_strategy() -> impl proptest::strategy::Strategy<Value = CustOrdItem> {
+    let cust = proptest::collection::vec((1i64..=3, 1i64..=2, prob()), 1..4);
+    let ord = proptest::collection::vec((1i64..=4, 1i64..=3, 1i64..=2, prob()), 1..5);
+    let item = proptest::collection::vec((1i64..=4, 1i64..=3, 0i64..=2, prob()), 1..6);
+    (cust, ord, item, proptest::bool::ANY).prop_map(|(cust, ord, item, with_keys)| {
+        let mut db = CustOrdItem {
+            cust: cust
+                .into_iter()
+                .map(|(ckey, name, p)| (ckey, name, p))
+                .collect(),
+            ord,
+            item: item
+                .into_iter()
+                .map(|(okey, ckey, d, p)| (okey, ckey, 0.1 * d as f64, p))
+                .collect(),
+            with_keys,
+        };
+        if db.with_keys {
+            // Enforce the TPC-H key constraints the FDs assert: one tuple per
+            // ckey in Cust, one tuple per okey in Ord.
+            let mut seen = BTreeSet::new();
+            db.cust.retain(|(ckey, _, _)| seen.insert(*ckey));
+            let mut seen = BTreeSet::new();
+            db.ord.retain(|(okey, _, _, _)| seen.insert(*okey));
+        }
+        db
+    })
+}
+
+fn build_cust_ord_item(db: &CustOrdItem) -> Catalog {
+    let catalog = Catalog::new();
+    let mut var = 0u64;
+    let mut next = || {
+        var += 1;
+        Variable(var)
+    };
+
+    let mut cust = ProbTable::new(
+        Schema::from_pairs(&[("ckey", DataType::Int), ("cname", DataType::Str)]).unwrap(),
+    );
+    let mut seen = BTreeSet::new();
+    for (ckey, name, p) in &db.cust {
+        if seen.insert((*ckey, *name)) {
+            cust.insert(tuple![*ckey, format!("name{name}")], next(), *p)
+                .unwrap();
+        }
+    }
+    let mut ord = ProbTable::new(
+        Schema::from_pairs(&[
+            ("okey", DataType::Int),
+            ("ckey", DataType::Int),
+            ("odate", DataType::Str),
+        ])
+        .unwrap(),
+    );
+    let mut seen = BTreeSet::new();
+    for (okey, ckey, odate, p) in &db.ord {
+        if seen.insert((*okey, *ckey, *odate)) {
+            ord.insert(tuple![*okey, *ckey, format!("date{odate}")], next(), *p)
+                .unwrap();
+        }
+    }
+    let mut item = ProbTable::new(
+        Schema::from_pairs(&[
+            ("okey", DataType::Int),
+            ("ckey", DataType::Int),
+            ("discount", DataType::Float),
+        ])
+        .unwrap(),
+    );
+    let mut seen = BTreeSet::new();
+    for (okey, ckey, discount, p) in &db.item {
+        if seen.insert((*okey, *ckey, (discount * 10.0) as i64)) {
+            item.insert(tuple![*okey, *ckey, *discount], next(), *p)
+                .unwrap();
+        }
+    }
+    catalog.register_table("Cust", cust).unwrap();
+    catalog.register_table("Ord", ord).unwrap();
+    catalog.register_table("Item", item).unwrap();
+    if db.with_keys {
+        catalog.declare_key("Cust", &["ckey"]).unwrap();
+        catalog.declare_key("Ord", &["okey"]).unwrap();
+    }
+    catalog
+}
+
+fn guiding_query(boolean: bool) -> ConjunctiveQuery {
+    let q = ConjunctiveQuery::build(
+        &[
+            ("Cust", &["ckey", "cname"]),
+            ("Ord", &["okey", "ckey", "odate"]),
+            ("Item", &["okey", "ckey", "discount"]),
+        ],
+        if boolean { &[] } else { &["odate"] },
+        vec![],
+    )
+    .unwrap();
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn guiding_query_strategies_agree_with_oracle(
+        db in cust_ord_item_strategy(),
+        boolean in proptest::bool::ANY,
+        order_pick in 0usize..3,
+    ) {
+        let catalog = build_cust_ord_item(&db);
+        let q = guiding_query(boolean);
+        let orders = [
+            ["Cust", "Ord", "Item"],
+            ["Ord", "Item", "Cust"],
+            ["Item", "Cust", "Ord"],
+        ];
+        let order: Vec<String> = orders[order_pick].iter().map(|s| s.to_string()).collect();
+        let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
+
+        let fds = if db.with_keys {
+            FdSet::from_catalog_decls(&catalog.fds())
+        } else {
+            FdSet::empty()
+        };
+        let sig = query_signature(&q, &fds).unwrap();
+        let op = ConfidenceOperator::new(sig);
+        assert_matches_oracle(&op, &answer, Strategy::Auto)?;
+        assert_matches_oracle(&op, &answer, Strategy::MultiScan)?;
+        assert_matches_oracle(&op, &answer, Strategy::GrpSemantics)?;
+        if op.signature().is_one_scan() {
+            assert_matches_oracle(&op, &answer, Strategy::OneScan)?;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: a branching 1scanTree — R1(a) ⋈ R2(a,b) ⋈ R3(a,b,d) ⋈ R4(a,c)
+// ⋈ R5(a,c,e) — whose sorted answer interleaves re-occurring partitions and
+// therefore exercises the disable/enable logic of Fig. 8.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Branching {
+    r1: Vec<(i64, f64)>,
+    r2: Vec<(i64, i64, f64)>,
+    r3: Vec<(i64, i64, i64, f64)>,
+    r4: Vec<(i64, i64, f64)>,
+    r5: Vec<(i64, i64, i64, f64)>,
+}
+
+fn branching_strategy() -> impl proptest::strategy::Strategy<Value = Branching> {
+    (
+        proptest::collection::vec((1i64..=2, prob()), 1..3),
+        proptest::collection::vec((1i64..=2, 1i64..=2, prob()), 1..3),
+        proptest::collection::vec((1i64..=2, 1i64..=2, 1i64..=2, prob()), 1..4),
+        proptest::collection::vec((1i64..=2, 1i64..=2, prob()), 1..3),
+        proptest::collection::vec((1i64..=2, 1i64..=2, 1i64..=2, prob()), 1..4),
+    )
+        .prop_map(|(r1, r2, r3, r4, r5)| Branching { r1, r2, r3, r4, r5 })
+}
+
+fn build_branching(db: &Branching) -> Catalog {
+    let catalog = Catalog::new();
+    let mut var = 0u64;
+    let mut next = || {
+        var += 1;
+        Variable(var)
+    };
+    let mut dedup_insert =
+        |table: &mut ProbTable, row: pdb_storage::Tuple, seen: &mut BTreeSet<pdb_storage::Tuple>, p: f64| {
+            if seen.insert(row.clone()) {
+                table.insert(row, next(), p).unwrap();
+            }
+        };
+
+    let mut r1 = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int)]).unwrap());
+    let mut seen = BTreeSet::new();
+    for (a, p) in &db.r1 {
+        dedup_insert(&mut r1, tuple![*a], &mut seen, *p);
+    }
+    let mut r2 =
+        ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap());
+    let mut seen = BTreeSet::new();
+    for (a, b, p) in &db.r2 {
+        dedup_insert(&mut r2, tuple![*a, *b], &mut seen, *p);
+    }
+    let mut r3 = ProbTable::new(
+        Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int), ("d", DataType::Int)])
+            .unwrap(),
+    );
+    let mut seen = BTreeSet::new();
+    for (a, b, d, p) in &db.r3 {
+        dedup_insert(&mut r3, tuple![*a, *b, *d], &mut seen, *p);
+    }
+    let mut r4 =
+        ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("c", DataType::Int)]).unwrap());
+    let mut seen = BTreeSet::new();
+    for (a, c, p) in &db.r4 {
+        dedup_insert(&mut r4, tuple![*a, *c], &mut seen, *p);
+    }
+    let mut r5 = ProbTable::new(
+        Schema::from_pairs(&[("a", DataType::Int), ("c", DataType::Int), ("e", DataType::Int)])
+            .unwrap(),
+    );
+    let mut seen = BTreeSet::new();
+    for (a, c, e, p) in &db.r5 {
+        dedup_insert(&mut r5, tuple![*a, *c, *e], &mut seen, *p);
+    }
+    catalog.register_table("R1", r1).unwrap();
+    catalog.register_table("R2", r2).unwrap();
+    catalog.register_table("R3", r3).unwrap();
+    catalog.register_table("R4", r4).unwrap();
+    catalog.register_table("R5", r5).unwrap();
+    catalog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn branching_one_scan_tree_agrees_with_oracle(db in branching_strategy()) {
+        let catalog = build_branching(&db);
+        let q = ConjunctiveQuery::build(
+            &[
+                ("R1", &["a"]),
+                ("R2", &["a", "b"]),
+                ("R3", &["a", "b", "d"]),
+                ("R4", &["a", "c"]),
+                ("R5", &["a", "c", "e"]),
+            ],
+            &[],
+            vec![],
+        )
+        .unwrap();
+        let order: Vec<String> = ["R1", "R2", "R3", "R4", "R5"].iter().map(|s| s.to_string()).collect();
+        let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        prop_assert!(sig.is_one_scan(), "signature {} should be 1scan", sig);
+        let op = ConfidenceOperator::new(sig);
+        assert_matches_oracle(&op, &answer, Strategy::OneScan)?;
+        assert_matches_oracle(&op, &answer, Strategy::GrpSemantics)?;
+        assert_matches_oracle(&op, &answer, Strategy::MultiScan)?;
+    }
+
+    #[test]
+    fn many_to_many_product_agrees_with_oracle(
+        r in proptest::collection::vec((1i64..=3, 1i64..=3, prob()), 1..5),
+        s in proptest::collection::vec((1i64..=3, 1i64..=3, prob()), 1..5),
+    ) {
+        // R(a,b) ⋈ S(a,c): the Boolean query has signature (R*S*)*, which is
+        // not 1scan and exercises the multi-scan scheduling.
+        let catalog = Catalog::new();
+        let mut var = 0u64;
+        let mut next = || { var += 1; Variable(var) };
+        let mut rt = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap());
+        let mut seen = BTreeSet::new();
+        for (a, b, p) in &r {
+            if seen.insert((*a, *b)) {
+                rt.insert(tuple![*a, *b], next(), *p).unwrap();
+            }
+        }
+        let mut st = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("c", DataType::Int)]).unwrap());
+        let mut seen = BTreeSet::new();
+        for (a, c, p) in &s {
+            if seen.insert((*a, *c)) {
+                st.insert(tuple![*a, *c], next(), *p).unwrap();
+            }
+        }
+        catalog.register_table("R", rt).unwrap();
+        catalog.register_table("S", st).unwrap();
+        let q = ConjunctiveQuery::build(&[("R", &["a", "b"]), ("S", &["a", "c"])], &[], vec![]).unwrap();
+        let order: Vec<String> = ["R", "S"].iter().map(|s| s.to_string()).collect();
+        let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        prop_assert!(!sig.is_one_scan());
+        let op = ConfidenceOperator::new(sig);
+        assert_matches_oracle(&op, &answer, Strategy::MultiScan)?;
+        assert_matches_oracle(&op, &answer, Strategy::GrpSemantics)?;
+    }
+
+    #[test]
+    fn non_boolean_projection_groups_agree_with_oracle(
+        r in proptest::collection::vec((1i64..=3, 1i64..=3, prob()), 1..6),
+        s in proptest::collection::vec((1i64..=3, 1i64..=2, prob()), 1..6),
+    ) {
+        // π_b (R(a,b) ⋈ S(a,c)): several distinct answer tuples, each its own
+        // bag of duplicates.
+        let catalog = Catalog::new();
+        let mut var = 0u64;
+        let mut next = || { var += 1; Variable(var) };
+        let mut rt = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap());
+        let mut seen = BTreeSet::new();
+        for (a, b, p) in &r {
+            if seen.insert((*a, *b)) {
+                rt.insert(tuple![*a, *b], next(), *p).unwrap();
+            }
+        }
+        let mut st = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("c", DataType::Int)]).unwrap());
+        let mut seen = BTreeSet::new();
+        for (a, c, p) in &s {
+            if seen.insert((*a, *c)) {
+                st.insert(tuple![*a, *c], next(), *p).unwrap();
+            }
+        }
+        catalog.register_table("R", rt).unwrap();
+        catalog.register_table("S", st).unwrap();
+        let q = ConjunctiveQuery::build(&[("R", &["a", "b"]), ("S", &["a", "c"])], &["b"], vec![]).unwrap();
+        let order: Vec<String> = ["S", "R"].iter().map(|s| s.to_string()).collect();
+        let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        let op = ConfidenceOperator::new(sig);
+        assert_matches_oracle(&op, &answer, Strategy::Auto)?;
+        assert_matches_oracle(&op, &answer, Strategy::GrpSemantics)?;
+    }
+}

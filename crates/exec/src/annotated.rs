@@ -1,0 +1,251 @@
+//! Lineage-annotated intermediate results.
+//!
+//! An [`Annotated`] relation is the in-memory equivalent of the paper's
+//! intermediate tables: ordinary data columns plus, for every base relation
+//! that has been joined in, one variable column `V(R)` and one probability
+//! column `P(R)`. The `V`/`P` pairs are stored per row, aligned with the list
+//! of relation names, rather than as generic [`Value`](pdb_storage::Value)
+//! columns — the paper notes variables "can be represented as integers", and
+//! the fixed layout keeps the confidence operator's inner loop branch-free.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pdb_storage::{Schema, Tuple, Variable};
+
+use crate::error::{ExecError, ExecResult};
+
+/// One row of an annotated relation: the data values plus one
+/// `(variable, probability)` pair per source relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedRow {
+    /// Data values, matching the owning relation's schema.
+    pub data: Tuple,
+    /// Lineage annotations, aligned with [`Annotated::relations`].
+    pub lineage: Vec<(Variable, f64)>,
+}
+
+impl AnnotatedRow {
+    /// Creates a row.
+    pub fn new(data: Tuple, lineage: Vec<(Variable, f64)>) -> Self {
+        AnnotatedRow { data, lineage }
+    }
+}
+
+/// An intermediate query result with per-relation lineage columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotated {
+    schema: Schema,
+    relations: Vec<String>,
+    rows: Vec<AnnotatedRow>,
+}
+
+impl Annotated {
+    /// Creates an empty annotated relation.
+    pub fn new(schema: Schema, relations: Vec<String>) -> Self {
+        Annotated {
+            schema,
+            relations,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The data schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The source relations whose `V`/`P` columns are present, in order.
+    pub fn relations(&self) -> &[String] {
+        &self.relations
+    }
+
+    /// Index of relation `name` in the lineage columns.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::UnknownRelation`] if absent.
+    pub fn relation_index(&self, name: &str) -> ExecResult<usize> {
+        self.relations
+            .iter()
+            .position(|r| r == name)
+            .ok_or_else(|| ExecError::UnknownRelation(name.to_string()))
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[AnnotatedRow] {
+        &self.rows
+    }
+
+    /// Mutable access to the rows (used by sorting and in-place aggregation).
+    pub fn rows_mut(&mut self) -> &mut Vec<AnnotatedRow> {
+        &mut self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row. The caller is responsible for arity consistency; this
+    /// is checked with a debug assertion to keep the hot path cheap.
+    pub fn push(&mut self, row: AnnotatedRow) {
+        debug_assert_eq!(row.data.arity(), self.schema.len());
+        debug_assert_eq!(row.lineage.len(), self.relations.len());
+        self.rows.push(row);
+    }
+
+    /// Index of data column `name`.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::UnknownColumn`] if absent.
+    pub fn column_index(&self, name: &str) -> ExecResult<usize> {
+        self.schema
+            .index_of(name)
+            .map_err(|_| ExecError::UnknownColumn(name.to_string()))
+    }
+
+    /// The set of distinct data tuples (the "answer tuples" of the query,
+    /// without confidences).
+    pub fn distinct_data(&self) -> BTreeSet<Tuple> {
+        self.rows.iter().map(|r| r.data.clone()).collect()
+    }
+
+    /// Sorts rows by the given data columns, then by the variables of the
+    /// given relations (in the given order) — the sort order required by the
+    /// confidence-computation operator (Example V.12: data columns first,
+    /// then variable columns in preorder of the 1scanTree).
+    ///
+    /// # Errors
+    /// Fails on unknown columns or relations.
+    pub fn sort_for_confidence(
+        &mut self,
+        data_columns: &[String],
+        relation_order: &[String],
+    ) -> ExecResult<()> {
+        let col_idx: Vec<usize> = data_columns
+            .iter()
+            .map(|c| self.column_index(c))
+            .collect::<ExecResult<_>>()?;
+        let rel_idx: Vec<usize> = relation_order
+            .iter()
+            .map(|r| self.relation_index(r))
+            .collect::<ExecResult<_>>()?;
+        self.rows.sort_by(|a, b| {
+            for &i in &col_idx {
+                let ord = a.data.value(i).cmp(b.data.value(i));
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            for &i in &rel_idx {
+                let ord = a.lineage[i].0.cmp(&b.lineage[i].0);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(())
+    }
+}
+
+impl fmt::Display for Annotated {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} |", self.schema)?;
+        for r in &self.relations {
+            write!(f, " V({r}) P({r})")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{} |", row.data)?;
+            for (v, p) in &row.lineage {
+                write!(f, " {v} {p}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_storage::{tuple, DataType};
+
+    fn sample() -> Annotated {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]).unwrap();
+        let mut t = Annotated::new(schema, vec!["R".into(), "S".into()]);
+        t.push(AnnotatedRow::new(
+            tuple![2i64],
+            vec![(Variable(5), 0.5), (Variable(1), 0.1)],
+        ));
+        t.push(AnnotatedRow::new(
+            tuple![1i64],
+            vec![(Variable(3), 0.3), (Variable(2), 0.2)],
+        ));
+        t.push(AnnotatedRow::new(
+            tuple![1i64],
+            vec![(Variable(4), 0.4), (Variable(0), 0.9)],
+        ));
+        t
+    }
+
+    #[test]
+    fn indices_and_errors() {
+        let t = sample();
+        assert_eq!(t.relation_index("S").unwrap(), 1);
+        assert!(matches!(
+            t.relation_index("T"),
+            Err(ExecError::UnknownRelation(_))
+        ));
+        assert_eq!(t.column_index("a").unwrap(), 0);
+        assert!(matches!(
+            t.column_index("zzz"),
+            Err(ExecError::UnknownColumn(_))
+        ));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn distinct_data_deduplicates() {
+        let t = sample();
+        assert_eq!(t.distinct_data().len(), 2);
+    }
+
+    #[test]
+    fn sort_orders_by_data_then_variables() {
+        let mut t = sample();
+        t.sort_for_confidence(&["a".into()], &["R".into(), "S".into()])
+            .unwrap();
+        let keys: Vec<(i64, u64)> = t
+            .rows()
+            .iter()
+            .map(|r| (r.data.value(0).as_int().unwrap(), r.lineage[0].0 .0))
+            .collect();
+        assert_eq!(keys, vec![(1, 3), (1, 4), (2, 5)]);
+    }
+
+    #[test]
+    fn sort_with_unknown_relation_fails() {
+        let mut t = sample();
+        assert!(t
+            .sort_for_confidence(&["a".into()], &["Nope".into()])
+            .is_err());
+        assert!(t
+            .sort_for_confidence(&["zzz".into()], &["R".into()])
+            .is_err());
+    }
+
+    #[test]
+    fn display_lists_lineage_columns() {
+        let s = sample().to_string();
+        assert!(s.contains("V(R)"));
+        assert!(s.contains("V(S)"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the execution engine.
+
+use std::fmt;
+
+use pdb_storage::StorageError;
+
+/// Errors raised during plan execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A referenced data column does not exist in the intermediate result.
+    UnknownColumn(String),
+    /// A referenced lineage (relation) column does not exist.
+    UnknownRelation(String),
+    /// Two inputs of a join share a lineage column, which would mean the same
+    /// base relation was scanned twice (self-joins are unsupported).
+    DuplicateRelation(String),
+    /// Underlying storage error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownColumn(c) => write!(f, "unknown data column: {c}"),
+            ExecError::UnknownRelation(r) => write!(f, "unknown lineage column for relation: {r}"),
+            ExecError::DuplicateRelation(r) => {
+                write!(f, "relation {r} appears in both join inputs (self-join unsupported)")
+            }
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+/// Convenience result alias.
+pub type ExecResult<T> = Result<T, ExecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: ExecError = StorageError::UnknownTable("Ord".into()).into();
+        assert!(e.to_string().contains("Ord"));
+        assert!(ExecError::UnknownColumn("x".into()).to_string().contains("x"));
+        assert!(ExecError::DuplicateRelation("R".into())
+            .to_string()
+            .contains("self-join"));
+    }
+}

@@ -1,0 +1,136 @@
+//! The toy database of the paper's Fig. 1, used as a shared test fixture and
+//! in examples throughout the workspace.
+//!
+//! `Cust`, `Ord` and `Item` are tuple-independent tables whose variables and
+//! probabilities match the figure (`x1..x4`, `y1..y6`, `z1..z6`); the answer
+//! to the guiding query `Q` is the single tuple `1995-01-10` with confidence
+//! `0.0028` (Example V.1).
+
+use pdb_storage::{tuple, Catalog, DataType, ProbTable, Schema, Variable};
+
+/// Variable ids of the `Cust` tuples start here (`x1` is variable 0).
+pub const CUST_VAR_BASE: u64 = 0;
+/// Variable ids of the `Ord` tuples start here (`y1` is variable 100).
+pub const ORD_VAR_BASE: u64 = 100;
+/// Variable ids of the `Item` tuples start here (`z1` is variable 200).
+pub const ITEM_VAR_BASE: u64 = 200;
+
+/// The `Cust` table of Fig. 1.
+pub fn fig1_cust() -> ProbTable {
+    let schema = Schema::from_pairs(&[("ckey", DataType::Int), ("cname", DataType::Str)])
+        .expect("static schema");
+    let mut t = ProbTable::new(schema);
+    let rows = [(1, "Joe", 0.1), (2, "Dan", 0.2), (3, "Li", 0.3), (4, "Mo", 0.4)];
+    for (i, (ckey, name, p)) in rows.iter().enumerate() {
+        t.insert(
+            tuple![*ckey as i64, *name],
+            Variable(CUST_VAR_BASE + i as u64),
+            *p,
+        )
+        .expect("static rows are valid");
+    }
+    t
+}
+
+/// The `Ord` table of Fig. 1.
+pub fn fig1_ord() -> ProbTable {
+    let schema = Schema::from_pairs(&[
+        ("okey", DataType::Int),
+        ("ckey", DataType::Int),
+        ("odate", DataType::Str),
+    ])
+    .expect("static schema");
+    let mut t = ProbTable::new(schema);
+    let rows = [
+        (1, 1, "1995-01-10", 0.1),
+        (2, 1, "1996-01-09", 0.2),
+        (3, 2, "1994-11-11", 0.3),
+        (4, 2, "1993-01-08", 0.4),
+        (5, 3, "1995-08-15", 0.5),
+        (6, 3, "1996-12-25", 0.6),
+    ];
+    for (i, (okey, ckey, odate, p)) in rows.iter().enumerate() {
+        t.insert(
+            tuple![*okey as i64, *ckey as i64, *odate],
+            Variable(ORD_VAR_BASE + i as u64),
+            *p,
+        )
+        .expect("static rows are valid");
+    }
+    t
+}
+
+/// The `Item` table of Fig. 1 (with the `ckey` column of the paper's
+/// TPC-H-like variant, which makes the guiding query hierarchical).
+pub fn fig1_item() -> ProbTable {
+    let schema = Schema::from_pairs(&[
+        ("okey", DataType::Int),
+        ("discount", DataType::Float),
+        ("ckey", DataType::Int),
+    ])
+    .expect("static schema");
+    let mut t = ProbTable::new(schema);
+    let rows = [
+        (1, 0.1, 1, 0.1),
+        (1, 0.2, 1, 0.2),
+        (3, 0.4, 2, 0.3),
+        (3, 0.1, 2, 0.4),
+        (4, 0.4, 2, 0.5),
+        (5, 0.1, 3, 0.6),
+    ];
+    for (i, (okey, discount, ckey, p)) in rows.iter().enumerate() {
+        t.insert(
+            tuple![*okey as i64, *discount, *ckey as i64],
+            Variable(ITEM_VAR_BASE + i as u64),
+            *p,
+        )
+        .expect("static rows are valid");
+    }
+    t
+}
+
+/// A catalog containing the three Fig. 1 tables, without key declarations.
+pub fn fig1_catalog() -> Catalog {
+    let catalog = Catalog::new();
+    catalog
+        .register_table("Cust", fig1_cust())
+        .expect("fresh catalog");
+    catalog
+        .register_table("Ord", fig1_ord())
+        .expect("fresh catalog");
+    catalog
+        .register_table("Item", fig1_item())
+        .expect("fresh catalog");
+    catalog
+}
+
+/// A catalog containing the three Fig. 1 tables with the TPC-H-style key
+/// declarations (`okey` is a key of `Ord`, `ckey` a key of `Cust`) that
+/// refine the guiding query's signature to `(Cust(Ord Item*)*)*`.
+pub fn fig1_catalog_with_keys() -> Catalog {
+    let catalog = fig1_catalog();
+    catalog.declare_key("Ord", &["okey"]).expect("okey exists");
+    catalog.declare_key("Cust", &["ckey"]).expect("ckey exists");
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_sizes_match_fig1() {
+        assert_eq!(fig1_cust().len(), 4);
+        assert_eq!(fig1_ord().len(), 6);
+        assert_eq!(fig1_item().len(), 6);
+        assert_eq!(fig1_catalog().total_tuples(), 16);
+    }
+
+    #[test]
+    fn keys_imply_the_tpch_fds() {
+        let catalog = fig1_catalog_with_keys();
+        let fds = catalog.fds();
+        assert_eq!(fds.len(), 2);
+        assert!(fds.iter().any(|fd| fd.table == "Ord" && fd.lhs == vec!["okey".to_string()]));
+    }
+}

@@ -1,0 +1,32 @@
+//! # pdb-exec
+//!
+//! The relational execution engine the SPROUT operator plugs into. The paper
+//! extends PostgreSQL; this crate provides the equivalent substrate as an
+//! in-memory engine:
+//!
+//! * [`annotated`] — intermediate results that carry, per source relation,
+//!   the variable (`V`) and probability (`P`) columns of the paper's data
+//!   model. Keeping the variables is exactly what allows *any* join order to
+//!   be used (Section V, "Preserving the variables during query evaluation is
+//!   sufficient to understand the relationships between tuples in the query
+//!   answer").
+//! * [`ops`] — scans, selections, projections, natural joins, sorts and
+//!   duplicate elimination over annotated results.
+//! * [`extensional`] — the extensional operators used by MystiQ-style safe
+//!   plans (Fig. 2): probabilities are combined inside joins and independent
+//!   projections, and no variable columns are kept.
+//! * [`pipeline`] — evaluation of a conjunctive query under an explicit join
+//!   order, producing the annotated answer the confidence-computation
+//!   operator consumes.
+
+pub mod annotated;
+pub mod error;
+pub mod fixtures;
+pub mod extensional;
+pub mod ops;
+pub mod pipeline;
+
+pub use annotated::{Annotated, AnnotatedRow};
+pub use error::{ExecError, ExecResult};
+pub use extensional::ExtRelation;
+pub use pipeline::evaluate_join_order;

@@ -1,0 +1,296 @@
+//! Relational operators over lineage-annotated results.
+//!
+//! All operators are materialising: they consume an [`Annotated`] input and
+//! produce a new one. The paper's central observation — that keeping the
+//! variable columns makes every join order legal — means these operators are
+//! completely standard; the probabilistic machinery lives in `pdb-conf`.
+
+use std::collections::HashMap;
+
+use pdb_storage::{ProbTable, Schema, Tuple, Value};
+use pdb_query::Predicate;
+
+use crate::annotated::{Annotated, AnnotatedRow};
+use crate::error::{ExecError, ExecResult};
+
+/// Scans a tuple-independent table into an annotated result, keeping only the
+/// attributes named in `attributes` (in that order). The lineage column is
+/// labelled `relation`.
+///
+/// # Errors
+/// Fails if an attribute is missing from the table's schema.
+pub fn scan(table: &ProbTable, relation: &str, attributes: &[String]) -> ExecResult<Annotated> {
+    let positions: Vec<usize> = attributes
+        .iter()
+        .map(|a| {
+            table
+                .schema()
+                .index_of(a)
+                .map_err(|_| ExecError::UnknownColumn(a.clone()))
+        })
+        .collect::<ExecResult<_>>()?;
+    let schema = table
+        .schema()
+        .project(&attributes.iter().map(|s| s.as_str()).collect::<Vec<_>>())?;
+    let mut out = Annotated::new(schema, vec![relation.to_string()]);
+    for i in 0..table.len() {
+        let (row, var, prob) = table.triple(i);
+        out.push(AnnotatedRow::new(row.project(&positions), vec![(var, prob)]));
+    }
+    Ok(out)
+}
+
+/// Filters rows by a constant predicate.
+///
+/// # Errors
+/// Fails if the predicate's attribute is not a data column of the input.
+pub fn filter(input: &Annotated, predicate: &Predicate) -> ExecResult<Annotated> {
+    let idx = input.column_index(&predicate.attribute)?;
+    let mut out = Annotated::new(input.schema().clone(), input.relations().to_vec());
+    for row in input.rows() {
+        if predicate.op.eval(row.data.value(idx), &predicate.constant) {
+            out.push(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Projects the data columns onto `attributes` (in order), keeping all
+/// lineage columns. Duplicates are *not* eliminated — that is the confidence
+/// operator's job.
+///
+/// # Errors
+/// Fails on unknown columns.
+pub fn project(input: &Annotated, attributes: &[String]) -> ExecResult<Annotated> {
+    let positions: Vec<usize> = attributes
+        .iter()
+        .map(|a| input.column_index(a))
+        .collect::<ExecResult<_>>()?;
+    let schema = input
+        .schema()
+        .project(&attributes.iter().map(|s| s.as_str()).collect::<Vec<_>>())?;
+    let mut out = Annotated::new(schema, input.relations().to_vec());
+    for row in input.rows() {
+        out.push(AnnotatedRow::new(
+            row.data.project(&positions),
+            row.lineage.clone(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Natural hash join on all shared data column names. The output schema is
+/// the left schema followed by the right-only columns; the lineage columns of
+/// both inputs are concatenated.
+///
+/// # Errors
+/// Fails if the inputs share a lineage relation (self-join).
+pub fn natural_join(left: &Annotated, right: &Annotated) -> ExecResult<Annotated> {
+    for r in right.relations() {
+        if left.relations().contains(r) {
+            return Err(ExecError::DuplicateRelation(r.clone()));
+        }
+    }
+    let left_names = left.schema().names();
+    let right_names = right.schema().names();
+    let shared: Vec<&str> = left_names
+        .iter()
+        .copied()
+        .filter(|n| right_names.contains(n))
+        .collect();
+    let left_key_idx: Vec<usize> = shared
+        .iter()
+        .map(|n| left.column_index(n))
+        .collect::<ExecResult<_>>()?;
+    let right_key_idx: Vec<usize> = shared
+        .iter()
+        .map(|n| right.column_index(n))
+        .collect::<ExecResult<_>>()?;
+    let right_only_idx: Vec<usize> = right_names
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !shared.contains(n))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut schema_cols = left.schema().columns().to_vec();
+    for &i in &right_only_idx {
+        schema_cols.push(right.schema().column(i).clone());
+    }
+    let schema = Schema::new(schema_cols)?;
+    let mut relations = left.relations().to_vec();
+    relations.extend(right.relations().iter().cloned());
+    let mut out = Annotated::new(schema, relations);
+
+    // Build a hash table on the smaller input by join key.
+    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows().iter().enumerate() {
+        let key: Vec<Value> = right_key_idx.iter().map(|&k| row.data.value(k).clone()).collect();
+        index.entry(key).or_default().push(i);
+    }
+    for lrow in left.rows() {
+        let key: Vec<Value> = left_key_idx.iter().map(|&k| lrow.data.value(k).clone()).collect();
+        // Joins never match on NULL keys.
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        let Some(matches) = index.get(&key) else {
+            continue;
+        };
+        for &ri in matches {
+            let rrow = &right.rows()[ri];
+            let mut data = lrow.data.clone();
+            for &i in &right_only_idx {
+                data.push(rrow.data.value(i).clone());
+            }
+            let mut lineage = lrow.lineage.clone();
+            lineage.extend(rrow.lineage.iter().copied());
+            out.push(AnnotatedRow::new(data, lineage));
+        }
+    }
+    Ok(out)
+}
+
+/// Cartesian product (the natural join of inputs sharing no column is exactly
+/// this, but an explicit function keeps call sites readable).
+///
+/// # Errors
+/// Fails if the inputs share a lineage relation.
+pub fn cross_product(left: &Annotated, right: &Annotated) -> ExecResult<Annotated> {
+    natural_join(left, right)
+}
+
+/// Eliminates duplicate data tuples, keeping the first row of each group
+/// (lineage of the survivors is arbitrary). Used to produce the plain answer
+/// relation, e.g. for the "time to compute the tuples" measurements of
+/// Fig. 10, and by the deterministic (non-probabilistic) baseline.
+pub fn distinct(input: &Annotated) -> Annotated {
+    let mut seen: HashMap<Tuple, ()> = HashMap::new();
+    let mut out = Annotated::new(input.schema().clone(), input.relations().to_vec());
+    for row in input.rows() {
+        if seen.insert(row.data.clone(), ()).is_none() {
+            out.push(row.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{fig1_cust, fig1_item, fig1_ord};
+    use pdb_query::CompareOp;
+    use pdb_storage::{tuple, DataType, Tuple, Value, Variable};
+
+    fn s(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn scan_projects_and_annotates() {
+        let cust = fig1_cust();
+        let a = scan(&cust, "Cust", &s(&["ckey", "cname"])).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.relations(), &["Cust".to_string()]);
+        assert_eq!(a.rows()[0].lineage, vec![(Variable(0), 0.1)]);
+        // Scanning a missing column fails.
+        assert!(scan(&cust, "Cust", &s(&["missing"])).is_err());
+    }
+
+    #[test]
+    fn filter_applies_predicates() {
+        let cust = fig1_cust();
+        let a = scan(&cust, "Cust", &s(&["ckey", "cname"])).unwrap();
+        let joe = filter(&a, &Predicate::new("Cust", "cname", CompareOp::Eq, "Joe")).unwrap();
+        assert_eq!(joe.len(), 1);
+        assert_eq!(joe.rows()[0].data, tuple![1i64, "Joe"]);
+        let none = filter(&a, &Predicate::new("Cust", "ckey", CompareOp::Gt, 100i64)).unwrap();
+        assert!(none.is_empty());
+        assert!(filter(&a, &Predicate::new("Cust", "zzz", CompareOp::Eq, 1i64)).is_err());
+    }
+
+    #[test]
+    fn natural_join_matches_on_shared_columns() {
+        let cust = scan(&fig1_cust(), "Cust", &s(&["ckey", "cname"])).unwrap();
+        let ord = scan(&fig1_ord(), "Ord", &s(&["okey", "ckey", "odate"])).unwrap();
+        let joined = natural_join(&cust, &ord).unwrap();
+        // Every order has a matching customer, so all 6 orders survive.
+        assert_eq!(joined.len(), 6);
+        assert_eq!(joined.schema().names(), vec!["ckey", "cname", "okey", "odate"]);
+        assert_eq!(joined.relations(), &["Cust".to_string(), "Ord".to_string()]);
+        // Lineage pairs are concatenated left-then-right.
+        assert_eq!(joined.rows()[0].lineage.len(), 2);
+    }
+
+    #[test]
+    fn join_rejects_self_joins() {
+        let cust = scan(&fig1_cust(), "Cust", &s(&["ckey", "cname"])).unwrap();
+        assert!(matches!(
+            natural_join(&cust, &cust),
+            Err(ExecError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn join_without_shared_columns_is_a_product() {
+        let cust = scan(&fig1_cust(), "Cust", &s(&["cname"])).unwrap();
+        let ord = scan(&fig1_ord(), "Ord", &s(&["odate"])).unwrap();
+        let product = cross_product(&cust, &ord).unwrap();
+        assert_eq!(product.len(), 4 * 6);
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]).unwrap();
+        let mut left_table = ProbTable::new(schema.clone());
+        left_table
+            .insert(Tuple::new(vec![Value::Null]), Variable(0), 0.5)
+            .unwrap();
+        let mut right_table = ProbTable::new(schema);
+        right_table
+            .insert(Tuple::new(vec![Value::Null]), Variable(1), 0.5)
+            .unwrap();
+        let l = scan(&left_table, "L", &s(&["k"])).unwrap();
+        let r = scan(&right_table, "R", &s(&["k"])).unwrap();
+        assert!(natural_join(&l, &r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn project_keeps_lineage_and_duplicates() {
+        let ord = scan(&fig1_ord(), "Ord", &s(&["okey", "ckey", "odate"])).unwrap();
+        let p = project(&ord, &s(&["ckey"])).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.schema().names(), vec!["ckey"]);
+        assert_eq!(p.relations().len(), 1);
+        assert_eq!(distinct(&p).len(), 3);
+        assert!(project(&ord, &s(&["nope"])).is_err());
+    }
+
+    #[test]
+    fn intro_join_produces_two_derivations_of_the_answer() {
+        // Fig. 1: the answer to Q consists of one distinct tuple
+        // (1995-01-10) with two derivations (items z1, z2).
+        let cust = filter(
+            &scan(&fig1_cust(), "Cust", &s(&["ckey", "cname"])).unwrap(),
+            &Predicate::new("Cust", "cname", CompareOp::Eq, "Joe"),
+        )
+        .unwrap();
+        let ord = scan(&fig1_ord(), "Ord", &s(&["okey", "ckey", "odate"])).unwrap();
+        let item = filter(
+            &scan(&fig1_item(), "Item", &s(&["okey", "ckey", "discount"])).unwrap(),
+            &Predicate::new("Item", "discount", CompareOp::Gt, 0.0),
+        )
+        .unwrap();
+        let co = natural_join(&cust, &ord).unwrap();
+        let all = natural_join(&co, &item).unwrap();
+        let answer = project(&all, &s(&["odate"])).unwrap();
+        assert_eq!(answer.len(), 2);
+        assert_eq!(answer.distinct_data().len(), 1);
+        let vars: Vec<u64> = answer
+            .rows()
+            .iter()
+            .map(|r| r.lineage[answer.relation_index("Item").unwrap()].0 .0)
+            .collect();
+        assert_eq!(vars, vec![200, 201]);
+    }
+}

@@ -1,0 +1,304 @@
+//! DNF lineage formulas over Boolean random variables.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use pdb_storage::Variable;
+
+/// A conjunction of (positive) variables — one derivation of an answer tuple.
+///
+/// Lineage of conjunctive queries is monotone: clauses only contain positive
+/// literals. Variables are stored as a set, so `x ∧ x` collapses to `x`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Clause {
+    vars: BTreeSet<Variable>,
+}
+
+impl Clause {
+    /// A clause over the given variables.
+    pub fn new(vars: impl IntoIterator<Item = Variable>) -> Self {
+        Clause {
+            vars: vars.into_iter().collect(),
+        }
+    }
+
+    /// The empty clause, which is identically true.
+    pub fn empty() -> Self {
+        Clause::default()
+    }
+
+    /// The variables of the clause.
+    pub fn vars(&self) -> &BTreeSet<Variable> {
+        &self.vars
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the clause is the (true) empty clause.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Whether the clause mentions `var`.
+    pub fn contains(&self, var: Variable) -> bool {
+        self.vars.contains(&var)
+    }
+
+    /// Evaluates the clause under a truth assignment (missing variables are
+    /// false).
+    pub fn eval(&self, assignment: &BTreeMap<Variable, bool>) -> bool {
+        self.vars
+            .iter()
+            .all(|v| assignment.get(v).copied().unwrap_or(false))
+    }
+
+    /// The conjunction of two clauses.
+    pub fn and(&self, other: &Clause) -> Clause {
+        Clause {
+            vars: self.vars.union(&other.vars).copied().collect(),
+        }
+    }
+
+    /// The clause restricted by setting `var` to `value`: returns `None` if
+    /// the clause becomes false (impossible for monotone clauses — setting a
+    /// variable false removes clauses containing it), otherwise the clause
+    /// with the variable removed.
+    pub fn assign(&self, var: Variable, value: bool) -> Option<Clause> {
+        if !self.vars.contains(&var) {
+            return Some(self.clone());
+        }
+        if value {
+            let mut vars = self.vars.clone();
+            vars.remove(&var);
+            Some(Clause { vars })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.vars.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, "∧")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A DNF formula: a disjunction of clauses. The empty DNF is false.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dnf {
+    clauses: Vec<Clause>,
+}
+
+impl Dnf {
+    /// The false formula (no clauses).
+    pub fn empty() -> Self {
+        Dnf::default()
+    }
+
+    /// A formula from the given clauses, deduplicated.
+    pub fn new(clauses: impl IntoIterator<Item = Clause>) -> Self {
+        let mut out = Dnf::empty();
+        for c in clauses {
+            out.add_clause(c);
+        }
+        out
+    }
+
+    /// A single-variable formula.
+    pub fn var(v: Variable) -> Self {
+        Dnf {
+            clauses: vec![Clause::new([v])],
+        }
+    }
+
+    /// Adds a clause unless it is already present.
+    pub fn add_clause(&mut self, clause: Clause) {
+        if !self.clauses.contains(&clause) {
+            self.clauses.push(clause);
+        }
+    }
+
+    /// The clauses of the formula.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the formula is false (no clauses).
+    pub fn is_false(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// All variables mentioned.
+    pub fn variables(&self) -> BTreeSet<Variable> {
+        self.clauses
+            .iter()
+            .flat_map(|c| c.vars().iter().copied())
+            .collect()
+    }
+
+    /// Evaluates the formula under a truth assignment.
+    pub fn eval(&self, assignment: &BTreeMap<Variable, bool>) -> bool {
+        self.clauses.iter().any(|c| c.eval(assignment))
+    }
+
+    /// Disjunction of two formulas.
+    pub fn or(&self, other: &Dnf) -> Dnf {
+        let mut out = self.clone();
+        for c in &other.clauses {
+            out.add_clause(c.clone());
+        }
+        out
+    }
+
+    /// Conjunction of two formulas (clause-wise distribution).
+    pub fn and(&self, other: &Dnf) -> Dnf {
+        let mut out = Dnf::empty();
+        for a in &self.clauses {
+            for b in &other.clauses {
+                out.add_clause(a.and(b));
+            }
+        }
+        out
+    }
+
+    /// The formula restricted by setting `var` to `value` (Shannon cofactor).
+    pub fn assign(&self, var: Variable, value: bool) -> Dnf {
+        let mut out = Dnf::empty();
+        for c in &self.clauses {
+            if let Some(restricted) = c.assign(var, value) {
+                out.add_clause(restricted);
+            }
+        }
+        out
+    }
+
+    /// Whether the formula is identically true (contains the empty clause).
+    pub fn is_true(&self) -> bool {
+        self.clauses.iter().any(|c| c.is_empty())
+    }
+}
+
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u64) -> Variable {
+        Variable(i)
+    }
+
+    #[test]
+    fn clause_dedups_variables() {
+        let c = Clause::new([v(1), v(1), v(2)]);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(v(1)));
+        assert!(!c.contains(v(3)));
+    }
+
+    #[test]
+    fn clause_eval() {
+        let c = Clause::new([v(1), v(2)]);
+        let mut a = BTreeMap::new();
+        a.insert(v(1), true);
+        assert!(!c.eval(&a));
+        a.insert(v(2), true);
+        assert!(c.eval(&a));
+        assert!(Clause::empty().eval(&a));
+    }
+
+    #[test]
+    fn clause_assignment_cofactors() {
+        let c = Clause::new([v(1), v(2)]);
+        assert_eq!(c.assign(v(1), true).unwrap(), Clause::new([v(2)]));
+        assert!(c.assign(v(1), false).is_none());
+        assert_eq!(c.assign(v(9), false).unwrap(), c);
+    }
+
+    #[test]
+    fn dnf_construction_and_dedup() {
+        // The intro example lineage x1y1z1 ∨ x1y1z2.
+        let d = Dnf::new([
+            Clause::new([v(1), v(10), v(100)]),
+            Clause::new([v(1), v(10), v(101)]),
+            Clause::new([v(1), v(10), v(100)]),
+        ]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.variables().len(), 4);
+        assert!(!d.is_false());
+        assert!(!d.is_true());
+    }
+
+    #[test]
+    fn dnf_eval_matches_clause_semantics() {
+        let d = Dnf::new([Clause::new([v(1), v(2)]), Clause::new([v(3)])]);
+        let mut a = BTreeMap::new();
+        a.insert(v(3), true);
+        assert!(d.eval(&a));
+        a.insert(v(3), false);
+        assert!(!d.eval(&a));
+    }
+
+    #[test]
+    fn or_and_combinators() {
+        let x = Dnf::var(v(1));
+        let y = Dnf::var(v(2));
+        let both = x.and(&y);
+        assert_eq!(both.clauses(), &[Clause::new([v(1), v(2)])]);
+        let either = x.or(&y);
+        assert_eq!(either.len(), 2);
+        // AND with false is false; OR with false is identity.
+        assert!(x.and(&Dnf::empty()).is_false());
+        assert_eq!(x.or(&Dnf::empty()), x);
+    }
+
+    #[test]
+    fn shannon_cofactor() {
+        let d = Dnf::new([Clause::new([v(1), v(2)]), Clause::new([v(3)])]);
+        let d_true = d.assign(v(1), true);
+        assert_eq!(
+            d_true.clauses(),
+            &[Clause::new([v(2)]), Clause::new([v(3)])]
+        );
+        let d_false = d.assign(v(1), false);
+        assert_eq!(d_false.clauses(), &[Clause::new([v(3)])]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Dnf::empty().to_string(), "⊥");
+        assert_eq!(Clause::empty().to_string(), "⊤");
+        let d = Dnf::new([Clause::new([v(1), v(2)])]);
+        assert_eq!(d.to_string(), "x1∧x2");
+    }
+}

@@ -1,0 +1,287 @@
+//! Eager plans: aggregate after each table and after each join, following the
+//! structure of the query tree (Fig. 7 (a)).
+//!
+//! An eager plan mirrors the safe plan of Fig. 2, except that variable
+//! columns are kept, so every intermediate aggregation is an instance of the
+//! paper's operator with a signature placed per Section V.B. Each node of the
+//! FD-reduct's query tree is evaluated to a relation with exactly one lineage
+//! column (the representative variable and probability of the aggregated
+//! group); joins between such relations multiply probabilities implicitly
+//! through the next aggregation's propagation step.
+
+use std::collections::BTreeSet;
+
+use pdb_conf::ConfidenceResult;
+use pdb_exec::{ops, Annotated, AnnotatedRow};
+use pdb_lineage::independent_or;
+use pdb_query::reduct::FdReduct;
+use pdb_query::{ConjunctiveQuery, FdSet, QueryTree};
+use pdb_storage::{Catalog, Tuple};
+
+use crate::error::{PlanError, PlanResult};
+
+/// An eager plan for a hierarchical (FD-reduct) query.
+#[derive(Debug, Clone)]
+pub struct EagerPlan {
+    query: ConjunctiveQuery,
+    tree: QueryTree,
+}
+
+impl EagerPlan {
+    /// Builds an eager plan.
+    ///
+    /// # Errors
+    /// Fails with [`PlanError::Intractable`] if the FD-reduct is not
+    /// hierarchical.
+    pub fn build(query: &ConjunctiveQuery, fds: &FdSet) -> PlanResult<EagerPlan> {
+        let reduct = FdReduct::compute(query, fds);
+        if !reduct.is_hierarchical() {
+            return Err(PlanError::Intractable(query.to_string()));
+        }
+        Ok(EagerPlan {
+            query: query.clone(),
+            tree: reduct.tree()?,
+        })
+    }
+
+    /// The query tree driving the plan.
+    pub fn tree(&self) -> &QueryTree {
+        &self.tree
+    }
+
+    /// Executes the plan, producing the distinct answer tuples and their
+    /// confidences.
+    ///
+    /// # Errors
+    /// Fails on execution errors.
+    pub fn execute(&self, catalog: &Catalog) -> PlanResult<ConfidenceResult> {
+        let head: BTreeSet<String> = self.query.head_set();
+        let (result, _) = self.eval_node(&self.tree, &BTreeSet::new(), &head, catalog)?;
+        // The root aggregation groups by the head attributes; its single
+        // lineage column holds the confidence of each distinct tuple. The
+        // projection restores the head's column order.
+        let result = ops::project(&result, &self.query.head)?;
+        let mut out: Vec<(Tuple, f64)> = result
+            .rows()
+            .iter()
+            .map(|r| (r.data.clone(), r.lineage[0].1))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Evaluates one node of the query tree into a relation with a single
+    /// lineage column, aggregated per (attributes needed above ∪ head).
+    fn eval_node(
+        &self,
+        node: &QueryTree,
+        needed_above: &BTreeSet<String>,
+        head: &BTreeSet<String>,
+        catalog: &Catalog,
+    ) -> PlanResult<(Annotated, String)> {
+        match node {
+            QueryTree::Leaf { relation, .. } => {
+                let atom = self
+                    .query
+                    .relation(relation)
+                    .ok_or_else(|| PlanError::Intractable(format!("unknown relation {relation}")))?;
+                let table = catalog.table(relation)?;
+                // Scan the physically available attributes that are needed
+                // above, in the head, or used by a predicate.
+                let scan_attrs: Vec<String> = atom
+                    .attributes
+                    .iter()
+                    .filter(|a| {
+                        table.schema().contains(a)
+                            && (needed_above.contains(*a)
+                                || head.contains(*a)
+                                || self
+                                    .query
+                                    .predicates_for(relation)
+                                    .iter()
+                                    .any(|p| &p.attribute == *a))
+                    })
+                    .cloned()
+                    .collect();
+                let mut scanned = ops::scan(&table, relation, &scan_attrs)?;
+                for pred in self.query.predicates_for(relation) {
+                    scanned = ops::filter(&scanned, pred)?;
+                }
+                let keep: Vec<String> = scanned
+                    .schema()
+                    .names()
+                    .into_iter()
+                    .filter(|a| needed_above.contains(*a) || head.contains(*a))
+                    .map(|s| s.to_string())
+                    .collect();
+                let projected = ops::project(&scanned, &keep)?;
+                Ok((aggregate_single_column(&projected), relation.clone()))
+            }
+            QueryTree::Inner { children, .. } => {
+                // Every child subtree keeps its *interface* attributes: the
+                // original query's join attributes it shares with relations
+                // outside the subtree. This is what the safe-plan projections
+                // of Fig. 2 keep, and — because functionally determined
+                // attributes are constant within each group — it groups
+                // exactly as the FD-reduct's labels prescribe.
+                let mut evaluated = Vec::with_capacity(children.len());
+                for child in children {
+                    let child_rels: BTreeSet<String> =
+                        child.relations().into_iter().collect();
+                    let child_needed = interface_attributes(&self.query, &child_rels);
+                    evaluated.push(self.eval_node(child, &child_needed, head, catalog)?);
+                }
+                let representative = evaluated[0].1.clone();
+                let mut joined = evaluated[0].0.clone();
+                for (child, _) in &evaluated[1..] {
+                    joined = ops::natural_join(&joined, child)?;
+                }
+                let keep: Vec<String> = joined
+                    .schema()
+                    .names()
+                    .into_iter()
+                    .filter(|a| needed_above.contains(*a) || head.contains(*a))
+                    .map(|s| s.to_string())
+                    .collect();
+                let projected = ops::project(&joined, &keep)?;
+                Ok((
+                    aggregate_joined(&projected, &representative),
+                    representative,
+                ))
+            }
+        }
+    }
+}
+
+/// The join attributes of `query` that occur both inside and outside the
+/// given set of relations — the columns a subplan over exactly those
+/// relations must keep for joins still to come.
+fn interface_attributes(
+    query: &ConjunctiveQuery,
+    subtree: &BTreeSet<String>,
+) -> BTreeSet<String> {
+    query
+        .join_attributes()
+        .into_iter()
+        .filter(|a| {
+            let inside = query
+                .relations
+                .iter()
+                .any(|r| subtree.contains(&r.name) && r.has_attribute(a));
+            let outside = query
+                .relations
+                .iter()
+                .any(|r| !subtree.contains(&r.name) && r.has_attribute(a));
+            inside && outside
+        })
+        .collect()
+}
+
+/// Aggregates a single-relation input: one output row per distinct data
+/// tuple, whose lineage is the minimal variable of the group and the
+/// independent-or of the group's distinct variables (the `[R*]` operator on
+/// top of a base-table scan).
+fn aggregate_single_column(input: &Annotated) -> Annotated {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<Tuple, BTreeMap<pdb_storage::Variable, f64>> = BTreeMap::new();
+    for row in input.rows() {
+        let (var, p) = row.lineage[0];
+        groups.entry(row.data.clone()).or_default().insert(var, p);
+    }
+    let mut out = Annotated::new(input.schema().clone(), input.relations().to_vec());
+    for (data, members) in groups {
+        let representative = *members.keys().next().expect("non-empty group");
+        let prob = independent_or(members.values().copied());
+        out.push(AnnotatedRow::new(data, vec![(representative, prob)]));
+    }
+    out
+}
+
+/// Aggregates the join of already-aggregated children: per output row the
+/// probability is the product of the children's probabilities (propagation);
+/// per group of duplicate data tuples the rows describe independent events
+/// and are combined with independent-or. The surviving lineage column is the
+/// representative child's.
+fn aggregate_joined(input: &Annotated, representative: &str) -> Annotated {
+    use std::collections::BTreeMap;
+    let rep_idx = input
+        .relation_index(representative)
+        .expect("representative child is part of the join");
+    let mut groups: BTreeMap<Tuple, Vec<(pdb_storage::Variable, f64)>> = BTreeMap::new();
+    for row in input.rows() {
+        let prob: f64 = row.lineage.iter().map(|(_, p)| *p).product();
+        let var = row.lineage[rep_idx].0;
+        groups.entry(row.data.clone()).or_default().push((var, prob));
+    }
+    let mut out = Annotated::new(input.schema().clone(), vec![representative.to_string()]);
+    for (data, members) in groups {
+        let rep_var = members.iter().map(|(v, _)| *v).min().expect("non-empty");
+        let prob = independent_or(members.iter().map(|(_, p)| *p));
+        out.push(AnnotatedRow::new(data, vec![(rep_var, prob)]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_exec::fixtures::{fig1_catalog, fig1_catalog_with_keys};
+    use pdb_query::cq::{intro_query_q, intro_query_q_prime};
+    use pdb_storage::tuple;
+
+    #[test]
+    fn eager_plan_matches_the_paper_confidence() {
+        let catalog = fig1_catalog();
+        let plan = EagerPlan::build(&intro_query_q(), &FdSet::empty()).unwrap();
+        let result = plan.execute(&catalog).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result[0].0, tuple!["1995-01-10"]);
+        assert!((result[0].1 - 0.0028).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eager_plan_with_fds_handles_q_prime() {
+        let catalog = fig1_catalog_with_keys();
+        let fds = FdSet::from_catalog_decls(&catalog.fds());
+        let plan = EagerPlan::build(&intro_query_q_prime(), &fds, ).unwrap();
+        let result = plan.execute(&catalog).unwrap();
+        assert_eq!(result.len(), 1);
+        assert!((result[0].1 - 0.0028).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eager_plan_agrees_with_lazy_plan_on_wider_queries() {
+        use crate::lazy::LazyPlan;
+        let catalog = fig1_catalog();
+        let mut q = intro_query_q();
+        q.predicates.clear();
+        let eager = EagerPlan::build(&q, &FdSet::empty()).unwrap();
+        let lazy = LazyPlan::build(&q, &FdSet::empty(), &catalog).unwrap();
+        let e = eager.execute(&catalog).unwrap();
+        let l = lazy.execute(&catalog).unwrap();
+        assert_eq!(e.len(), l.len());
+        for ((t1, p1), (t2, p2)) in e.iter().zip(l.iter()) {
+            assert_eq!(t1, t2);
+            assert!((p1 - p2).abs() < 1e-9, "{t1}: eager {p1} vs lazy {p2}");
+        }
+    }
+
+    #[test]
+    fn non_hierarchical_query_is_rejected() {
+        assert!(matches!(
+            EagerPlan::build(&intro_query_q_prime(), &FdSet::empty()),
+            Err(PlanError::Intractable(_))
+        ));
+    }
+
+    #[test]
+    fn boolean_query_reduces_to_one_row() {
+        let catalog = fig1_catalog();
+        let q = intro_query_q().boolean_version();
+        let plan = EagerPlan::build(&q, &FdSet::empty()).unwrap();
+        let result = plan.execute(&catalog).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result[0].0, Tuple::empty());
+        assert!((result[0].1 - 0.0028).abs() < 1e-12);
+    }
+}

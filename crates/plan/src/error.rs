@@ -1,0 +1,90 @@
+//! Error type for planning and plan execution.
+
+use std::fmt;
+
+use pdb_conf::ConfError;
+use pdb_exec::ExecError;
+use pdb_query::QueryError;
+use pdb_storage::StorageError;
+
+/// Errors raised while building or executing plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The query (or its FD-reduct under the available dependencies) is not
+    /// hierarchical, so no exact plan exists (the query is #P-hard).
+    Intractable(String),
+    /// MystiQ's log-space probability aggregation failed with a runtime error
+    /// (Section VII) — the plan produced no result.
+    MystiqRuntimeError(String),
+    /// Static analysis error.
+    Query(QueryError),
+    /// Execution error.
+    Exec(ExecError),
+    /// Confidence computation error.
+    Conf(ConfError),
+    /// Storage error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Intractable(q) => {
+                write!(f, "query has no hierarchical FD-reduct and is #P-hard: {q}")
+            }
+            PlanError::MystiqRuntimeError(q) => {
+                write!(f, "MystiQ plan failed with a runtime error on query: {q}")
+            }
+            PlanError::Query(e) => write!(f, "{e}"),
+            PlanError::Exec(e) => write!(f, "{e}"),
+            PlanError::Conf(e) => write!(f, "{e}"),
+            PlanError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<QueryError> for PlanError {
+    fn from(e: QueryError) -> Self {
+        PlanError::Query(e)
+    }
+}
+
+impl From<ExecError> for PlanError {
+    fn from(e: ExecError) -> Self {
+        PlanError::Exec(e)
+    }
+}
+
+impl From<ConfError> for PlanError {
+    fn from(e: ConfError) -> Self {
+        PlanError::Conf(e)
+    }
+}
+
+impl From<StorageError> for PlanError {
+    fn from(e: StorageError) -> Self {
+        PlanError::Storage(e)
+    }
+}
+
+/// Convenience result alias.
+pub type PlanResult<T> = Result<T, PlanError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PlanError = QueryError::EmptyQuery.into();
+        assert!(e.to_string().contains("no relation"));
+        let e: PlanError = StorageError::UnknownTable("T".into()).into();
+        assert!(e.to_string().contains("T"));
+        assert!(PlanError::Intractable("Q5".into()).to_string().contains("#P-hard"));
+        assert!(PlanError::MystiqRuntimeError("Q1".into())
+            .to_string()
+            .contains("runtime error"));
+    }
+}

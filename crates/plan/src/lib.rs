@@ -1,0 +1,37 @@
+//! # sprout-plan
+//!
+//! Query plans for confidence computation: the lazy, eager and hybrid plans
+//! of Section V.B (Fig. 7) and the MystiQ-style safe plans of Fig. 2 that the
+//! paper compares against.
+//!
+//! * [`stats`] — per-table statistics and selectivity estimation.
+//! * [`join_order`] — greedy cost-based join ordering (what the host engine's
+//!   optimizer does for SPROUT) and the query-tree-driven join order that
+//!   safe plans are restricted to.
+//! * [`placement`] — the operator-placement rules of Section V.B: restricting
+//!   a signature to the tables of a subplan and splitting propagation steps
+//!   that are not yet valid (Example V.6).
+//! * [`lazy`] — lazy plans: compute the answer tuples under the best join
+//!   order, sort once, run the confidence operator at the very end.
+//! * [`eager`] — eager plans: aggregate after each table and after each join,
+//!   following the query tree (Fig. 7 (a)).
+//! * [`hybrid`] — hybrid plans: push the per-table aggregations of a chosen
+//!   subset of relations below the joins and finish lazily (Fig. 7 (b)).
+//! * [`safe`] — MystiQ plans: extensional safe plans without variable
+//!   columns, with either the stable or the log-space probability
+//!   aggregation (Section VII).
+//! * [`planner`] — a small facade choosing and executing plans, reporting the
+//!   timings the benchmark harness consumes.
+
+pub mod eager;
+pub mod error;
+pub mod hybrid;
+pub mod join_order;
+pub mod lazy;
+pub mod placement;
+pub mod planner;
+pub mod safe;
+pub mod stats;
+
+pub use error::{PlanError, PlanResult};
+pub use planner::{PlanKind, PlanReport, Planner};

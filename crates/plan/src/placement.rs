@@ -1,0 +1,300 @@
+//! Operator placement rules (Section V.B, Example V.6).
+//!
+//! A probability-computation operator can be placed on top of any node of a
+//! plan. Its signature is obtained from the query signature by
+//!
+//! 1. replacing the parts already aggregated by operators below the node with
+//!    their leftmost table names,
+//! 2. dropping the tables that do not occur in the subplan, and
+//! 3. splitting propagation (concatenation) steps that are not yet valid —
+//!    a step `αβ` is valid only if the subplan contains all tables of the
+//!    *minimal cover* of `tables(α) ∪ tables(β)` in the query signature.
+//!
+//! The result is a list of independent operator signatures such as
+//! `[Cust*, Ord*]` for the plan-(c) placement of Example V.6.
+
+use std::collections::BTreeSet;
+
+use pdb_query::signature::{minimal_cover, signature_of_tree};
+use pdb_query::{FdSet, QueryResult, QueryTree, Signature};
+
+/// Placement analysis for one query: the query tree, the dependencies used to
+/// refine signatures, and the derived full query signature.
+#[derive(Debug, Clone)]
+pub struct PlacementContext {
+    tree: QueryTree,
+    fds: FdSet,
+    signature: Signature,
+}
+
+impl PlacementContext {
+    /// Builds the context from the FD-reduct's tree and dependency set.
+    pub fn new(tree: QueryTree, fds: FdSet) -> PlacementContext {
+        let signature = signature_of_tree(&tree, &fds);
+        PlacementContext {
+            tree,
+            fds,
+            signature,
+        }
+    }
+
+    /// The full query signature.
+    pub fn query_signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The signatures of the operator to place at a node whose subplan
+    /// contains exactly `present` tables (with live lineage columns), given
+    /// that the groups in `reduced_groups` have already been aggregated by
+    /// operators below (each group is represented by the leftmost table of
+    /// its minimal cover).
+    ///
+    /// # Errors
+    /// Fails if a referenced table is not part of the query.
+    pub fn operator_signatures(
+        &self,
+        present: &BTreeSet<String>,
+        reduced_groups: &[BTreeSet<String>],
+    ) -> QueryResult<Vec<Signature>> {
+        let mut sig = self.signature.clone();
+        for group in reduced_groups {
+            let cover = minimal_cover(&self.tree, &self.fds, group)?;
+            let representative = cover.leftmost_table().to_string();
+            sig = replace_smallest_starred_cover(&sig, group, &representative);
+        }
+        let Some(restricted) = sig.restrict_to_tables(present) else {
+            return Ok(Vec::new());
+        };
+        let mut operators = self.split_invalid(&restricted, present);
+        // Refinement from the end of Section V.B: a single-table operator
+        // inherits the (FD-refined) signature of its leaf, so `[Cust*]`
+        // becomes `[Cust]` when the key constraint makes the star redundant.
+        for op in &mut operators {
+            if let Signature::Star(inner) = op {
+                if let Signature::Table(table) = inner.as_ref() {
+                    let already_reduced = reduced_groups
+                        .iter()
+                        .any(|g| g.len() == 1 && g.contains(table));
+                    if !already_reduced {
+                        let single: BTreeSet<String> = [table.clone()].into_iter().collect();
+                        if let Ok(cover) = minimal_cover(&self.tree, &self.fds, &single) {
+                            *op = cover;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(operators)
+    }
+
+    /// Splits propagation steps whose minimal cover is not yet fully present.
+    fn split_invalid(&self, sig: &Signature, present: &BTreeSet<String>) -> Vec<Signature> {
+        match sig {
+            Signature::Table(_) => vec![sig.clone()],
+            Signature::Star(inner) => {
+                let parts = self.split_invalid(inner, present);
+                if parts.len() == 1 {
+                    vec![Signature::star(parts.into_iter().next().expect("len 1"))]
+                } else {
+                    // The aggregation above an invalid propagation cannot be
+                    // performed either: keep only the split parts.
+                    parts
+                }
+            }
+            Signature::Concat(parts) => {
+                let child_splits: Vec<Vec<Signature>> = parts
+                    .iter()
+                    .map(|p| self.split_invalid(p, present))
+                    .collect();
+                let all_single = child_splits.iter().all(|c| c.len() == 1);
+                if all_single && self.concat_valid(sig, present) {
+                    vec![Signature::concat(
+                        child_splits.into_iter().map(|mut c| c.remove(0)).collect(),
+                    )]
+                } else {
+                    child_splits.into_iter().flatten().collect()
+                }
+            }
+        }
+    }
+
+    /// Whether the propagation step combining the tables of `sig` is valid:
+    /// its minimal cover in the query signature only uses present tables.
+    fn concat_valid(&self, sig: &Signature, present: &BTreeSet<String>) -> bool {
+        let tables: BTreeSet<String> = sig.tables().into_iter().collect();
+        match minimal_cover(&self.tree, &self.fds, &tables) {
+            Ok(cover) => cover.tables().iter().all(|t| present.contains(t)),
+            Err(_) => false,
+        }
+    }
+}
+
+/// Replaces the smallest starred subexpression (or bare leaf) containing all
+/// tables of `group` by the bare `replacement` table.
+fn replace_smallest_starred_cover(
+    sig: &Signature,
+    group: &BTreeSet<String>,
+    replacement: &str,
+) -> Signature {
+    fn contains_all(sig: &Signature, group: &BTreeSet<String>) -> bool {
+        group.iter().all(|t| sig.contains_table(t))
+    }
+    match sig {
+        Signature::Table(r) => {
+            if group.len() == 1 && group.contains(r) {
+                Signature::table(replacement)
+            } else {
+                sig.clone()
+            }
+        }
+        Signature::Star(inner) => {
+            if !contains_all(sig, group) {
+                return sig.clone();
+            }
+            // Prefer a deeper starred cover if one child region still holds
+            // the whole group.
+            let deeper = replace_smallest_starred_cover(inner, group, replacement);
+            if &deeper != inner.as_ref() && smaller_cover_exists(inner, group) {
+                Signature::star(deeper)
+            } else {
+                Signature::table(replacement)
+            }
+        }
+        Signature::Concat(parts) => Signature::concat(
+            parts
+                .iter()
+                .map(|p| {
+                    if contains_all(p, group) {
+                        replace_smallest_starred_cover(p, group, replacement)
+                    } else {
+                        p.clone()
+                    }
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Whether some strict subexpression of `sig` that is a star or a single
+/// table still contains every table of `group`.
+fn smaller_cover_exists(sig: &Signature, group: &BTreeSet<String>) -> bool {
+    let contains_all =
+        |s: &Signature| group.iter().all(|t| s.contains_table(t));
+    match sig {
+        Signature::Table(_) => group.len() == 1 && contains_all(sig),
+        Signature::Star(_) => contains_all(sig),
+        Signature::Concat(parts) => parts.iter().any(|p| match p {
+            Signature::Table(_) | Signature::Star(_) => contains_all(p),
+            Signature::Concat(_) => smaller_cover_exists(p, group),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_query::cq::intro_query_q;
+    use pdb_query::fd::attr_set;
+    use pdb_query::reduct::FdReduct;
+
+    fn context(with_fds: bool) -> PlacementContext {
+        let q = intro_query_q().boolean_version();
+        let fds = if with_fds {
+            FdSet::new(vec![
+                pdb_query::FunctionalDependency::on("Ord", &["okey"], &["ckey", "odate"]),
+                pdb_query::FunctionalDependency::on("Cust", &["ckey"], &["cname"]),
+            ])
+        } else {
+            FdSet::empty()
+        };
+        let reduct = FdReduct::compute(&q, &fds);
+        PlacementContext::new(reduct.tree().unwrap(), fds)
+    }
+
+    #[test]
+    fn full_plan_placement_keeps_the_query_signature() {
+        let ctx = context(false);
+        assert_eq!(ctx.query_signature().to_string(), "(Cust* (Ord* Item*)*)*");
+        let ops = ctx
+            .operator_signatures(&attr_set(&["Cust", "Ord", "Item"]), &[])
+            .unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].to_string(), "(Cust* (Ord* Item*)*)*");
+    }
+
+    #[test]
+    fn placement_below_the_item_join_splits_the_propagation() {
+        // Example V.6, plan (c): at the node joining only Cust and Ord the
+        // propagation step is invalid (Item, in the minimal cover of
+        // {Cust, Ord}, is missing) and the operator splits into [Cust*, Ord*].
+        let ctx = context(false);
+        let ops = ctx
+            .operator_signatures(&attr_set(&["Cust", "Ord"]), &[])
+            .unwrap();
+        let rendered: Vec<String> = ops.iter().map(|s| s.to_string()).collect();
+        assert_eq!(rendered, vec!["Cust*".to_string(), "Ord*".to_string()]);
+    }
+
+    #[test]
+    fn placement_over_ord_item_subplan_is_valid() {
+        // Example V.6, plan (b): the node joining Ord and Item contains the
+        // full minimal cover of {Ord, Item}, so the operator is
+        // [(Ord*Item*)*].
+        let ctx = context(false);
+        let ops = ctx
+            .operator_signatures(&attr_set(&["Ord", "Item"]), &[])
+            .unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].to_string(), "(Ord* Item*)*");
+    }
+
+    #[test]
+    fn reduced_groups_update_ancestor_operators() {
+        // Example V.6, plan (a): after [Item*], [Ord*] and [Cust*] have run
+        // below, the operator after Ord ⋈ Item is [(Ord Item)*]; after the
+        // subsequent [(Ord Item)*] the top operator becomes [(Cust Ord)*].
+        let ctx = context(false);
+        let singles = [
+            attr_set(&["Item"]),
+            attr_set(&["Ord"]),
+            attr_set(&["Cust"]),
+        ];
+        let ops = ctx
+            .operator_signatures(&attr_set(&["Ord", "Item"]), &singles)
+            .unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].to_string(), "(Ord Item)*");
+
+        let mut reduced = singles.to_vec();
+        reduced.push(attr_set(&["Ord", "Item"]));
+        let ops = ctx
+            .operator_signatures(&attr_set(&["Cust", "Ord", "Item"]), &reduced)
+            .unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].to_string(), "(Cust Ord)*");
+    }
+
+    #[test]
+    fn fds_refine_placed_operators() {
+        // With the TPC-H keys, [Cust*] becomes [Cust] and [(Ord*Item*)*]
+        // becomes [(Ord Item*)*] (end of Section V.B).
+        let ctx = context(true);
+        let ops = ctx
+            .operator_signatures(&attr_set(&["Ord", "Item"]), &[])
+            .unwrap();
+        assert_eq!(ops[0].to_string(), "(Ord Item*)*");
+        let ops = ctx
+            .operator_signatures(&attr_set(&["Cust"]), &[])
+            .unwrap();
+        assert_eq!(ops[0].to_string(), "Cust");
+    }
+
+    #[test]
+    fn empty_restriction_yields_no_operators() {
+        let ctx = context(false);
+        assert!(ctx
+            .operator_signatures(&attr_set(&["Nation"]), &[])
+            .unwrap()
+            .is_empty());
+    }
+}

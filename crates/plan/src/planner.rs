@@ -1,0 +1,290 @@
+//! The planner facade: choose a plan kind, execute it, and report the
+//! measurements the paper's evaluation section is built from (time to compute
+//! the answer tuples vs. time to compute the probabilities, number of answer
+//! tuples vs. distinct tuples, number of scans).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use pdb_conf::ConfidenceResult;
+use pdb_exec::extensional::ProbAggregation;
+use pdb_query::reduct::FdReduct;
+use pdb_query::{ConjunctiveQuery, FdSet, Signature};
+use pdb_storage::Catalog;
+
+use crate::eager::EagerPlan;
+use crate::error::{PlanError, PlanResult};
+use crate::hybrid::HybridPlan;
+use crate::lazy::LazyPlan;
+use crate::safe::SafePlan;
+
+/// The plan families compared throughout Section VII.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Lazy plan: best join order, confidence computation at the very end.
+    Lazy,
+    /// Eager plan: aggregation after each table and each join.
+    Eager,
+    /// Hybrid plan: aggregations of the listed relations pushed to the
+    /// leaves, lazy tail.
+    Hybrid(Vec<String>),
+    /// MystiQ safe plan (extensional), with the numerically stable
+    /// aggregation.
+    Mystiq,
+    /// MystiQ safe plan with the original log-space aggregation that fails on
+    /// large duplicate groups (Section VII).
+    MystiqLogSpace,
+}
+
+impl fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanKind::Lazy => write!(f, "lazy"),
+            PlanKind::Eager => write!(f, "eager"),
+            PlanKind::Hybrid(pushed) => write!(f, "hybrid({})", pushed.join(",")),
+            PlanKind::Mystiq => write!(f, "mystiq"),
+            PlanKind::MystiqLogSpace => write!(f, "mystiq-log"),
+        }
+    }
+}
+
+/// The outcome of executing a plan, with the measurements the benchmark
+/// harness reports.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// Which plan was executed.
+    pub kind: PlanKind,
+    /// Distinct answer tuples with their confidences.
+    pub confidences: ConfidenceResult,
+    /// Number of answer tuples before duplicate elimination (lazy plans
+    /// only; other plans eliminate duplicates as they go).
+    pub answer_tuples: Option<usize>,
+    /// Number of distinct answer tuples.
+    pub distinct_tuples: usize,
+    /// Wall-clock time spent computing (and materialising) the answer tuples.
+    pub tuple_time: Duration,
+    /// Wall-clock time spent computing confidences.
+    pub confidence_time: Duration,
+    /// Number of scans the confidence operator needed (lazy/hybrid plans).
+    pub scans: Option<usize>,
+    /// The signature of the top-level confidence operator, if the plan has
+    /// one.
+    pub signature: Option<Signature>,
+}
+
+impl PlanReport {
+    /// Total wall-clock time.
+    pub fn total_time(&self) -> Duration {
+        self.tuple_time + self.confidence_time
+    }
+}
+
+/// Plans and executes queries over a catalog, using the catalog's declared
+/// keys and functional dependencies to refine signatures.
+#[derive(Debug)]
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+    use_fds: bool,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner that exploits the catalog's functional dependencies.
+    pub fn new(catalog: &'a Catalog) -> Planner<'a> {
+        Planner {
+            catalog,
+            use_fds: true,
+        }
+    }
+
+    /// A planner that ignores functional dependencies (used by the Fig. 13
+    /// ablation).
+    pub fn without_fds(catalog: &'a Catalog) -> Planner<'a> {
+        Planner {
+            catalog,
+            use_fds: false,
+        }
+    }
+
+    /// The dependency set the planner uses.
+    pub fn fds(&self) -> FdSet {
+        if self.use_fds {
+            FdSet::from_catalog_decls(&self.catalog.fds())
+        } else {
+            FdSet::empty()
+        }
+    }
+
+    /// Whether `query` is tractable for exact computation under the
+    /// available dependencies (i.e. has a hierarchical FD-reduct).
+    pub fn is_tractable(&self, query: &ConjunctiveQuery) -> bool {
+        FdReduct::compute(query, &self.fds()).is_hierarchical()
+    }
+
+    /// The signature the confidence operator would use for `query`.
+    ///
+    /// # Errors
+    /// Fails if the query is intractable.
+    pub fn signature(&self, query: &ConjunctiveQuery) -> PlanResult<Signature> {
+        FdReduct::compute(query, &self.fds())
+            .signature()
+            .map_err(PlanError::from)
+    }
+
+    /// Executes `query` with the chosen plan kind and reports timings.
+    ///
+    /// # Errors
+    /// Fails if the query is intractable, a table is missing, or (for
+    /// [`PlanKind::MystiqLogSpace`]) the aggregation overflows.
+    pub fn execute(&self, query: &ConjunctiveQuery, kind: PlanKind) -> PlanResult<PlanReport> {
+        let fds = self.fds();
+        match &kind {
+            PlanKind::Lazy => {
+                let plan = LazyPlan::build(query, &fds, self.catalog)?;
+                let start = Instant::now();
+                let answer = plan.answer_tuples(self.catalog)?;
+                let tuple_time = start.elapsed();
+                let start = Instant::now();
+                let confidences = plan.confidences(&answer)?;
+                let confidence_time = start.elapsed();
+                Ok(PlanReport {
+                    kind,
+                    answer_tuples: Some(answer.len()),
+                    distinct_tuples: confidences.len(),
+                    confidences,
+                    tuple_time,
+                    confidence_time,
+                    scans: Some(plan.scans()),
+                    signature: Some(plan.signature().clone()),
+                })
+            }
+            PlanKind::Eager => {
+                let plan = EagerPlan::build(query, &fds)?;
+                let start = Instant::now();
+                let confidences = plan.execute(self.catalog)?;
+                let total = start.elapsed();
+                Ok(PlanReport {
+                    kind,
+                    answer_tuples: None,
+                    distinct_tuples: confidences.len(),
+                    confidences,
+                    tuple_time: total,
+                    confidence_time: Duration::ZERO,
+                    scans: None,
+                    signature: None,
+                })
+            }
+            PlanKind::Hybrid(pushed) => {
+                let pushed_refs: Vec<&str> = pushed.iter().map(|s| s.as_str()).collect();
+                let plan = HybridPlan::build(query, &fds, self.catalog, &pushed_refs)?;
+                let start = Instant::now();
+                let answer = plan.answer_tuples(self.catalog)?;
+                let tuple_time = start.elapsed();
+                let start = Instant::now();
+                let operator =
+                    pdb_conf::ConfidenceOperator::new(plan.top_signature().clone());
+                let confidences = operator
+                    .compute(&answer, pdb_conf::Strategy::Auto)
+                    .map_err(PlanError::from)?;
+                let confidence_time = start.elapsed();
+                Ok(PlanReport {
+                    kind,
+                    answer_tuples: Some(answer.len()),
+                    distinct_tuples: confidences.len(),
+                    confidences,
+                    tuple_time,
+                    confidence_time,
+                    scans: Some(plan.top_signature().scan_count()),
+                    signature: Some(plan.top_signature().clone()),
+                })
+            }
+            PlanKind::Mystiq | PlanKind::MystiqLogSpace => {
+                let aggregation = if kind == PlanKind::MystiqLogSpace {
+                    ProbAggregation::MystiqLog
+                } else {
+                    ProbAggregation::Stable
+                };
+                let plan = SafePlan::build_with_aggregation(query, &fds, aggregation)?;
+                let start = Instant::now();
+                let confidences = plan.execute(self.catalog)?;
+                let total = start.elapsed();
+                Ok(PlanReport {
+                    kind,
+                    answer_tuples: None,
+                    distinct_tuples: confidences.len(),
+                    confidences,
+                    tuple_time: total,
+                    confidence_time: Duration::ZERO,
+                    scans: None,
+                    signature: None,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_exec::fixtures::{fig1_catalog, fig1_catalog_with_keys};
+    use pdb_query::cq::{intro_query_q, intro_query_q_prime};
+
+    #[test]
+    fn all_plan_kinds_agree_on_the_intro_query() {
+        let catalog = fig1_catalog_with_keys();
+        let planner = Planner::new(&catalog);
+        let q = intro_query_q();
+        let kinds = [
+            PlanKind::Lazy,
+            PlanKind::Eager,
+            PlanKind::Hybrid(vec!["Item".to_string()]),
+            PlanKind::Mystiq,
+        ];
+        for kind in kinds {
+            let report = planner.execute(&q, kind.clone()).unwrap();
+            assert_eq!(report.distinct_tuples, 1, "{kind}");
+            assert!((report.confidences[0].1 - 0.0028).abs() < 1e-9, "{kind}");
+        }
+    }
+
+    #[test]
+    fn planner_without_fds_reports_more_scans() {
+        let catalog = fig1_catalog_with_keys();
+        let q = intro_query_q();
+        let with_fds = Planner::new(&catalog).execute(&q, PlanKind::Lazy).unwrap();
+        let without = Planner::without_fds(&catalog)
+            .execute(&q, PlanKind::Lazy)
+            .unwrap();
+        assert!(without.scans.unwrap() > with_fds.scans.unwrap());
+        assert!((with_fds.confidences[0].1 - without.confidences[0].1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tractability_depends_on_fds() {
+        let with_keys = fig1_catalog_with_keys();
+        let without_keys = fig1_catalog();
+        let q = intro_query_q_prime();
+        assert!(Planner::new(&with_keys).is_tractable(&q));
+        assert!(!Planner::new(&without_keys).is_tractable(&q));
+        assert!(Planner::new(&without_keys).signature(&q).is_err());
+        assert!(matches!(
+            Planner::new(&without_keys).execute(&q, PlanKind::Lazy),
+            Err(PlanError::Intractable(_))
+        ));
+    }
+
+    #[test]
+    fn report_exposes_timings_and_counts() {
+        let catalog = fig1_catalog();
+        let planner = Planner::new(&catalog);
+        let report = planner.execute(&intro_query_q(), PlanKind::Lazy).unwrap();
+        assert_eq!(report.answer_tuples, Some(2));
+        assert_eq!(report.distinct_tuples, 1);
+        assert!(report.total_time() >= report.confidence_time);
+        assert!(report.signature.is_some());
+        assert_eq!(report.kind.to_string(), "lazy");
+        assert_eq!(
+            PlanKind::Hybrid(vec!["Item".into()]).to_string(),
+            "hybrid(Item)"
+        );
+    }
+}

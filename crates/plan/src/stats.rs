@@ -1,0 +1,189 @@
+//! Table statistics and selectivity estimation.
+//!
+//! SPROUT delegates join ordering to the host engine's cost-based optimizer
+//! (Section V.B: "Cost-based decisions can be made using the host relational
+//! database engine"). Our in-memory substrate plays that role with classic
+//! textbook estimates: per-column distinct counts, uniform-distribution
+//! selectivities for constant predicates, and containment-of-value-sets for
+//! equi-joins.
+
+use std::collections::BTreeMap;
+
+use pdb_query::{CompareOp, ConjunctiveQuery, Predicate};
+use pdb_storage::Catalog;
+
+use crate::error::PlanResult;
+
+/// Statistics of one table: cardinality and per-column distinct counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableStats {
+    /// Number of tuples.
+    pub cardinality: usize,
+    /// Distinct values per column.
+    pub distinct: BTreeMap<String, usize>,
+}
+
+/// Statistics for all tables referenced by a query.
+#[derive(Debug, Clone, Default)]
+pub struct Statistics {
+    tables: BTreeMap<String, TableStats>,
+}
+
+impl Statistics {
+    /// Collects statistics for every relation of `query` from `catalog`.
+    ///
+    /// # Errors
+    /// Fails if a referenced table is missing.
+    pub fn collect(query: &ConjunctiveQuery, catalog: &Catalog) -> PlanResult<Statistics> {
+        let mut tables = BTreeMap::new();
+        for atom in &query.relations {
+            let table = catalog.table(&atom.name)?;
+            let mut distinct = BTreeMap::new();
+            for col in table.schema().names() {
+                let values = table.data().distinct_values(col)?;
+                distinct.insert(col.to_string(), values.len());
+            }
+            tables.insert(
+                atom.name.clone(),
+                TableStats {
+                    cardinality: table.len(),
+                    distinct,
+                },
+            );
+        }
+        Ok(Statistics { tables })
+    }
+
+    /// Statistics of a single table, if collected.
+    pub fn table(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(name)
+    }
+
+    /// Estimated selectivity of a constant predicate, in `[0, 1]`.
+    pub fn predicate_selectivity(&self, predicate: &Predicate) -> f64 {
+        let Some(stats) = self.tables.get(&predicate.relation) else {
+            return 1.0;
+        };
+        let distinct = stats
+            .distinct
+            .get(&predicate.attribute)
+            .copied()
+            .unwrap_or(1)
+            .max(1) as f64;
+        match predicate.op {
+            CompareOp::Eq => 1.0 / distinct,
+            CompareOp::Ne => 1.0 - 1.0 / distinct,
+            // Without histograms, assume a range predicate keeps a third of
+            // the tuples — the classic System R default.
+            CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => 1.0 / 3.0,
+        }
+    }
+
+    /// Estimated cardinality of `relation` after applying the query's
+    /// predicates for it.
+    pub fn filtered_cardinality(&self, query: &ConjunctiveQuery, relation: &str) -> f64 {
+        let Some(stats) = self.tables.get(relation) else {
+            return 0.0;
+        };
+        let mut card = stats.cardinality as f64;
+        for p in query.predicates_for(relation) {
+            card *= self.predicate_selectivity(p);
+        }
+        card
+    }
+
+    /// Estimated cardinality of joining an intermediate result of size
+    /// `left_card` (covering `left_tables`) with `relation`, using the
+    /// containment assumption `|L ⋈ R| ≈ |L| · |R| / max(d_L, d_R)` over the
+    /// shared join attributes.
+    pub fn join_cardinality(
+        &self,
+        query: &ConjunctiveQuery,
+        left_tables: &[String],
+        left_card: f64,
+        relation: &str,
+    ) -> f64 {
+        let right_card = self.filtered_cardinality(query, relation);
+        let Some(atom) = query.relation(relation) else {
+            return left_card * right_card;
+        };
+        let mut result = left_card * right_card;
+        for attr in &atom.attributes {
+            let occurs_left = left_tables.iter().any(|t| {
+                query
+                    .relation(t)
+                    .map(|a| a.has_attribute(attr))
+                    .unwrap_or(false)
+            });
+            if !occurs_left {
+                continue;
+            }
+            let d_right = self
+                .tables
+                .get(relation)
+                .and_then(|s| s.distinct.get(attr))
+                .copied()
+                .unwrap_or(1);
+            let d_left = left_tables
+                .iter()
+                .filter_map(|t| self.tables.get(t).and_then(|s| s.distinct.get(attr)))
+                .copied()
+                .max()
+                .unwrap_or(1);
+            result /= d_left.max(d_right).max(1) as f64;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_exec::fixtures::fig1_catalog;
+    use pdb_query::cq::intro_query_q;
+
+    #[test]
+    fn collects_cardinalities_and_distinct_counts() {
+        let catalog = fig1_catalog();
+        let q = intro_query_q();
+        let stats = Statistics::collect(&q, &catalog).unwrap();
+        assert_eq!(stats.table("Cust").unwrap().cardinality, 4);
+        assert_eq!(stats.table("Ord").unwrap().cardinality, 6);
+        assert_eq!(stats.table("Ord").unwrap().distinct["ckey"], 3);
+        assert!(stats.table("Missing").is_none());
+    }
+
+    #[test]
+    fn equality_predicates_are_selective() {
+        let catalog = fig1_catalog();
+        let q = intro_query_q();
+        let stats = Statistics::collect(&q, &catalog).unwrap();
+        // cname = 'Joe' keeps 1 of 4 distinct names.
+        let sel = stats.predicate_selectivity(&q.predicates[0]);
+        assert!((sel - 0.25).abs() < 1e-12);
+        // discount > 0 uses the 1/3 default.
+        let sel = stats.predicate_selectivity(&q.predicates[1]);
+        assert!((sel - 1.0 / 3.0).abs() < 1e-12);
+        assert!((stats.filtered_cardinality(&q, "Cust") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_cardinality_uses_containment() {
+        let catalog = fig1_catalog();
+        let q = intro_query_q();
+        let stats = Statistics::collect(&q, &catalog).unwrap();
+        // Cust (1 filtered tuple) ⋈ Ord on ckey: 1 * 6 / max(4, 3) = 1.5.
+        let est = stats.join_cardinality(&q, &["Cust".to_string()], 1.0, "Ord");
+        assert!(est > 0.0 && est < 6.0);
+        // Joining with an unrelated table degenerates to a cross product.
+        let est_missing = stats.join_cardinality(&q, &["Cust".to_string()], 2.0, "Nope");
+        assert_eq!(est_missing, 0.0);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let catalog = pdb_storage::Catalog::new();
+        let q = intro_query_q();
+        assert!(Statistics::collect(&q, &catalog).is_err());
+    }
+}

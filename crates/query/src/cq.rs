@@ -1,0 +1,448 @@
+//! Conjunctive queries without self-joins.
+//!
+//! Following Section II.B of the paper, queries have the form
+//! `π_A σ_φ (R1 ⋈ … ⋈ Rn)` where `A` is the projection list, `φ` is a
+//! conjunction of comparisons between attributes and constants, and joins are
+//! natural joins: "we assume that the join attributes have the same name in
+//! the joined tables".
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use pdb_storage::Value;
+
+use crate::error::{QueryError, QueryResult};
+
+/// A comparison operator used in constant selections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluates the comparison between a column value and the constant.
+    pub fn eval(&self, left: &Value, right: &Value) -> bool {
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        match self {
+            CompareOp::Eq => left == right,
+            CompareOp::Ne => left != right,
+            CompareOp::Lt => left < right,
+            CompareOp::Le => left <= right,
+            CompareOp::Gt => left > right,
+            CompareOp::Ge => left >= right,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A unary selection predicate `relation.attribute op constant`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// The relation the attribute belongs to.
+    pub relation: String,
+    /// The attribute name (unqualified).
+    pub attribute: String,
+    /// The comparison operator.
+    pub op: CompareOp,
+    /// The constant compared against.
+    pub constant: Value,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(
+        relation: impl Into<String>,
+        attribute: impl Into<String>,
+        op: CompareOp,
+        constant: impl Into<Value>,
+    ) -> Self {
+        Predicate {
+            relation: relation.into(),
+            attribute: attribute.into(),
+            op,
+            constant: constant.into(),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{} {} {}",
+            self.relation, self.attribute, self.op, self.constant
+        )
+    }
+}
+
+/// A relation atom `R(a1, …, ak)`: a relation name with the attributes the
+/// query uses from it. Attribute names are unqualified; two atoms sharing an
+/// attribute name are joined on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationAtom {
+    /// Relation (table) name.
+    pub name: String,
+    /// Attributes of the relation, as used by this query.
+    pub attributes: Vec<String>,
+}
+
+impl RelationAtom {
+    /// Creates an atom.
+    pub fn new(name: impl Into<String>, attributes: &[&str]) -> Self {
+        RelationAtom {
+            name: name.into(),
+            attributes: attributes.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The attribute set of this atom.
+    pub fn attribute_set(&self) -> BTreeSet<String> {
+        self.attributes.iter().cloned().collect()
+    }
+
+    /// Whether the atom mentions `attr`.
+    pub fn has_attribute(&self, attr: &str) -> bool {
+        self.attributes.iter().any(|a| a == attr)
+    }
+}
+
+impl fmt::Display for RelationAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attributes.join(", "))
+    }
+}
+
+/// A conjunctive query without self-joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctiveQuery {
+    /// Relation atoms `R1 … Rn`. Each relation name occurs at most once.
+    pub relations: Vec<RelationAtom>,
+    /// Projection (head) attributes `A`. Empty for Boolean queries.
+    pub head: Vec<String>,
+    /// Conjunction of constant selection predicates `φ`.
+    pub predicates: Vec<Predicate>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates and validates a query.
+    ///
+    /// # Errors
+    /// Rejects self-joins, head attributes absent from every atom, predicates
+    /// on unknown relations or attributes, and empty queries.
+    pub fn new(
+        relations: Vec<RelationAtom>,
+        head: Vec<String>,
+        predicates: Vec<Predicate>,
+    ) -> QueryResult<Self> {
+        if relations.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        for (i, r) in relations.iter().enumerate() {
+            if relations[..i].iter().any(|s| s.name == r.name) {
+                return Err(QueryError::SelfJoin(r.name.clone()));
+            }
+        }
+        for h in &head {
+            if !relations.iter().any(|r| r.has_attribute(h)) {
+                return Err(QueryError::UnknownHeadAttribute(h.clone()));
+            }
+        }
+        for p in &predicates {
+            let atom = relations
+                .iter()
+                .find(|r| r.name == p.relation)
+                .ok_or_else(|| QueryError::UnknownRelation(p.relation.clone()))?;
+            if !atom.has_attribute(&p.attribute) {
+                return Err(QueryError::UnknownPredicateAttribute {
+                    relation: p.relation.clone(),
+                    attribute: p.attribute.clone(),
+                });
+            }
+        }
+        Ok(ConjunctiveQuery {
+            relations,
+            head,
+            predicates,
+        })
+    }
+
+    /// Builder-style constructor used heavily in tests and the TPC-H query
+    /// catalogue: atoms as `(name, attributes)` pairs.
+    pub fn build(
+        atoms: &[(&str, &[&str])],
+        head: &[&str],
+        predicates: Vec<Predicate>,
+    ) -> QueryResult<Self> {
+        ConjunctiveQuery::new(
+            atoms
+                .iter()
+                .map(|(n, attrs)| RelationAtom::new(*n, attrs))
+                .collect(),
+            head.iter().map(|s| s.to_string()).collect(),
+            predicates,
+        )
+    }
+
+    /// Whether the query is Boolean (empty head).
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// The Boolean version of this query (same body, empty head).
+    pub fn boolean_version(&self) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            relations: self.relations.clone(),
+            head: Vec::new(),
+            predicates: self.predicates.clone(),
+        }
+    }
+
+    /// The atom for relation `name`, if present.
+    pub fn relation(&self, name: &str) -> Option<&RelationAtom> {
+        self.relations.iter().find(|r| r.name == name)
+    }
+
+    /// Names of all relations, in query order.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.iter().map(|r| r.name.as_str()).collect()
+    }
+
+    /// For every attribute, the set of relations that mention it.
+    pub fn attribute_occurrences(&self) -> BTreeMap<String, BTreeSet<String>> {
+        let mut map: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for r in &self.relations {
+            for a in &r.attributes {
+                map.entry(a.clone()).or_default().insert(r.name.clone());
+            }
+        }
+        map
+    }
+
+    /// The join attributes: attributes occurring in at least two relations.
+    pub fn join_attributes(&self) -> BTreeSet<String> {
+        self.attribute_occurrences()
+            .into_iter()
+            .filter(|(_, rels)| rels.len() >= 2)
+            .map(|(a, _)| a)
+            .collect()
+    }
+
+    /// The head attribute set.
+    pub fn head_set(&self) -> BTreeSet<String> {
+        self.head.iter().cloned().collect()
+    }
+
+    /// All attributes mentioned anywhere in the query.
+    pub fn all_attributes(&self) -> BTreeSet<String> {
+        self.relations
+            .iter()
+            .flat_map(|r| r.attributes.iter().cloned())
+            .collect()
+    }
+
+    /// The predicates attached to relation `name`.
+    pub fn predicates_for(&self, name: &str) -> Vec<&Predicate> {
+        self.predicates
+            .iter()
+            .filter(|p| p.relation == name)
+            .collect()
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "π[{}] σ[", self.head.join(", "))?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "] (")?;
+        for (i, r) in self.relations.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⋈ ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The guiding query `Q` of the paper's Introduction:
+/// `π_odate σ_{cname='Joe', discount>0} (Cust ⋈_ckey Ord ⋈_{okey,ckey} Item)`,
+/// with `Item` carrying a `ckey` column so the query is hierarchical.
+///
+/// Exposed here because nearly every crate in the workspace uses it as a
+/// worked example and test fixture.
+pub fn intro_query_q() -> ConjunctiveQuery {
+    ConjunctiveQuery::build(
+        &[
+            ("Cust", &["ckey", "cname"]),
+            ("Ord", &["okey", "ckey", "odate"]),
+            ("Item", &["okey", "ckey", "discount"]),
+        ],
+        &["odate"],
+        vec![
+            Predicate::new("Cust", "cname", CompareOp::Eq, "Joe"),
+            Predicate::new("Item", "discount", CompareOp::Gt, 0.0),
+        ],
+    )
+    .expect("intro query is well-formed")
+}
+
+/// The paper's query `Q'`: like [`intro_query_q`] but `Item` has no `ckey`
+/// attribute, which makes the query non-hierarchical (the prototypical hard
+/// query) unless the functional dependency `okey → ckey` is exploited.
+pub fn intro_query_q_prime() -> ConjunctiveQuery {
+    ConjunctiveQuery::build(
+        &[
+            ("Cust", &["ckey", "cname"]),
+            ("Ord", &["okey", "ckey", "odate"]),
+            ("Item", &["okey", "discount"]),
+        ],
+        &["odate"],
+        vec![
+            Predicate::new("Cust", "cname", CompareOp::Eq, "Joe"),
+            Predicate::new("Item", "discount", CompareOp::Gt, 0.0),
+        ],
+    )
+    .expect("intro query Q' is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_op_eval() {
+        assert!(CompareOp::Eq.eval(&Value::Int(1), &Value::Int(1)));
+        assert!(CompareOp::Lt.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(CompareOp::Ge.eval(&Value::Float(2.0), &Value::Int(2)));
+        assert!(CompareOp::Ne.eval(&Value::str("a"), &Value::str("b")));
+        assert!(!CompareOp::Eq.eval(&Value::Null, &Value::Int(1)));
+        assert!(!CompareOp::Gt.eval(&Value::Int(3), &Value::Null));
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let err = ConjunctiveQuery::build(&[("R", &["a"]), ("R", &["b"])], &[], vec![]);
+        assert!(matches!(err, Err(QueryError::SelfJoin(_))));
+    }
+
+    #[test]
+    fn unknown_head_attribute_rejected() {
+        let err = ConjunctiveQuery::build(&[("R", &["a"])], &["b"], vec![]);
+        assert!(matches!(err, Err(QueryError::UnknownHeadAttribute(_))));
+    }
+
+    #[test]
+    fn predicate_validation() {
+        let err = ConjunctiveQuery::build(
+            &[("R", &["a"])],
+            &[],
+            vec![Predicate::new("S", "a", CompareOp::Eq, 1i64)],
+        );
+        assert!(matches!(err, Err(QueryError::UnknownRelation(_))));
+        let err = ConjunctiveQuery::build(
+            &[("R", &["a"])],
+            &[],
+            vec![Predicate::new("R", "b", CompareOp::Eq, 1i64)],
+        );
+        assert!(matches!(
+            err,
+            Err(QueryError::UnknownPredicateAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert!(matches!(
+            ConjunctiveQuery::build(&[], &[], vec![]),
+            Err(QueryError::EmptyQuery)
+        ));
+    }
+
+    #[test]
+    fn join_attributes_of_intro_query() {
+        let q = intro_query_q();
+        let joins = q.join_attributes();
+        assert!(joins.contains("ckey"));
+        assert!(joins.contains("okey"));
+        assert!(!joins.contains("odate"));
+        assert!(!joins.contains("cname"));
+    }
+
+    #[test]
+    fn q_prime_join_attributes() {
+        let q = intro_query_q_prime();
+        let joins = q.join_attributes();
+        assert_eq!(joins.len(), 2);
+        // ckey now only joins Cust and Ord; okey joins Ord and Item.
+        let occ = q.attribute_occurrences();
+        assert_eq!(occ["ckey"].len(), 2);
+        assert_eq!(occ["okey"].len(), 2);
+    }
+
+    #[test]
+    fn boolean_version_drops_head() {
+        let q = intro_query_q();
+        assert!(!q.is_boolean());
+        let b = q.boolean_version();
+        assert!(b.is_boolean());
+        assert_eq!(b.relations, q.relations);
+    }
+
+    #[test]
+    fn predicates_for_filters_by_relation() {
+        let q = intro_query_q();
+        assert_eq!(q.predicates_for("Cust").len(), 1);
+        assert_eq!(q.predicates_for("Item").len(), 1);
+        assert_eq!(q.predicates_for("Ord").len(), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = intro_query_q();
+        let s = q.to_string();
+        assert!(s.contains("π[odate]"));
+        assert!(s.contains("Cust(ckey, cname)"));
+        assert!(s.contains("Cust.cname = Joe"));
+    }
+
+    #[test]
+    fn accessors() {
+        let q = intro_query_q();
+        assert_eq!(q.relation_names(), vec!["Cust", "Ord", "Item"]);
+        assert!(q.relation("Ord").is_some());
+        assert!(q.relation("Nope").is_none());
+        assert_eq!(q.all_attributes().len(), 5);
+        assert_eq!(q.head_set().len(), 1);
+    }
+}

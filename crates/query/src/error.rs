@@ -1,0 +1,73 @@
+//! Error type for the query layer.
+
+use std::fmt;
+
+/// Errors raised while analysing or rewriting queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query mentions the same relation name twice (self-joins are out of
+    /// scope for the paper's tractability results).
+    SelfJoin(String),
+    /// A head (projection) attribute does not occur in any relation atom.
+    UnknownHeadAttribute(String),
+    /// A selection predicate references an attribute not in its relation.
+    UnknownPredicateAttribute {
+        /// The relation the predicate was attached to.
+        relation: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// A referenced relation atom does not exist in the query.
+    UnknownRelation(String),
+    /// The query (or its FD-reduct) is not hierarchical, so no signature can
+    /// be derived for it.
+    NotHierarchical {
+        /// Human-readable witness of the violation.
+        witness: String,
+    },
+    /// The query has no relation atoms.
+    EmptyQuery,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::SelfJoin(r) => write!(f, "relation {r} occurs more than once (self-join)"),
+            QueryError::UnknownHeadAttribute(a) => {
+                write!(f, "head attribute {a} does not occur in any relation")
+            }
+            QueryError::UnknownPredicateAttribute {
+                relation,
+                attribute,
+            } => write!(
+                f,
+                "predicate attribute {attribute} does not occur in relation {relation}"
+            ),
+            QueryError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            QueryError::NotHierarchical { witness } => {
+                write!(f, "query is not hierarchical: {witness}")
+            }
+            QueryError::EmptyQuery => write!(f, "query has no relation atoms"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Convenience result alias for the query layer.
+pub type QueryResult<T> = Result<T, QueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(QueryError::SelfJoin("R".into()).to_string().contains("R"));
+        assert!(QueryError::NotHierarchical {
+            witness: "okey vs ckey".into()
+        }
+        .to_string()
+        .contains("okey"));
+    }
+}

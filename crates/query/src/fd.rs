@@ -1,0 +1,241 @@
+//! Functional dependencies, attribute closure and the chase.
+//!
+//! Section IV of the paper: a functional dependency holds in a
+//! tuple-independent probabilistic database iff it holds in each possible
+//! world, so the classical notions apply unchanged. The closure
+//! `CLOSURE_Σ(A)` of an attribute set `A` under a set of dependencies `Σ` is
+//! computed by the usual fixpoint ("the chase"), e.g.
+//! `CLOSURE_{A→D; BD→E}(ABC) = ABCDE`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pdb_storage::catalog::FdDecl;
+
+/// A functional dependency `lhs → rhs`, optionally annotated with the
+/// relation it was declared on.
+///
+/// Because the paper's queries use natural joins (shared attribute names),
+/// the closure computation treats dependencies globally over attribute names;
+/// the `relation` annotation is informational and used for display and for
+/// validating declarations against schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDependency {
+    /// Relation the dependency was declared on, if any.
+    pub relation: Option<String>,
+    /// Determinant attribute set.
+    pub lhs: BTreeSet<String>,
+    /// Dependent attribute set.
+    pub rhs: BTreeSet<String>,
+}
+
+impl FunctionalDependency {
+    /// Creates a dependency without a relation annotation.
+    pub fn new(lhs: &[&str], rhs: &[&str]) -> Self {
+        FunctionalDependency {
+            relation: None,
+            lhs: lhs.iter().map(|s| s.to_string()).collect(),
+            rhs: rhs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Creates a dependency declared on a relation.
+    pub fn on(relation: impl Into<String>, lhs: &[&str], rhs: &[&str]) -> Self {
+        FunctionalDependency {
+            relation: Some(relation.into()),
+            ..FunctionalDependency::new(lhs, rhs)
+        }
+    }
+}
+
+impl fmt::Display for FunctionalDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(r) = &self.relation {
+            write!(f, "{r}: ")?;
+        }
+        write!(
+            f,
+            "{} → {}",
+            self.lhs.iter().cloned().collect::<Vec<_>>().join(" "),
+            self.rhs.iter().cloned().collect::<Vec<_>>().join(" ")
+        )
+    }
+}
+
+/// A set of functional dependencies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FdSet {
+    fds: Vec<FunctionalDependency>,
+}
+
+impl FdSet {
+    /// The empty dependency set.
+    pub fn empty() -> Self {
+        FdSet::default()
+    }
+
+    /// Creates a set from a list of dependencies.
+    pub fn new(fds: Vec<FunctionalDependency>) -> Self {
+        FdSet { fds }
+    }
+
+    /// Builds an [`FdSet`] from catalog declarations (keys are already
+    /// expanded into dependencies by the catalog).
+    pub fn from_catalog_decls(decls: &[FdDecl]) -> Self {
+        FdSet {
+            fds: decls
+                .iter()
+                .map(|d| FunctionalDependency {
+                    relation: Some(d.table.clone()),
+                    lhs: d.lhs.iter().cloned().collect(),
+                    rhs: d.rhs.iter().cloned().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds a dependency.
+    pub fn add(&mut self, fd: FunctionalDependency) {
+        self.fds.push(fd);
+    }
+
+    /// The dependencies in this set.
+    pub fn fds(&self) -> &[FunctionalDependency] {
+        &self.fds
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// `CLOSURE_Σ(attrs)`: the fixpoint of repeatedly adding `rhs` whenever
+    /// `lhs ⊆` the current set (the chase on attribute sets).
+    pub fn closure(&self, attrs: &BTreeSet<String>) -> BTreeSet<String> {
+        let mut closure = attrs.clone();
+        loop {
+            let before = closure.len();
+            for fd in &self.fds {
+                if fd.lhs.is_subset(&closure) {
+                    closure.extend(fd.rhs.iter().cloned());
+                }
+            }
+            if closure.len() == before {
+                return closure;
+            }
+        }
+    }
+
+    /// Closure of a slice of attribute names.
+    pub fn closure_of(&self, attrs: &[&str]) -> BTreeSet<String> {
+        self.closure(&attrs.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Whether `lhs → rhs` is implied by this set (`rhs ⊆ CLOSURE(lhs)`).
+    pub fn implies(&self, lhs: &[&str], rhs: &[&str]) -> bool {
+        let cl = self.closure_of(lhs);
+        rhs.iter().all(|a| cl.contains(*a))
+    }
+
+    /// Whether `a` and `b` have the same closure (used to detect redundant
+    /// signature refinements).
+    pub fn equivalent(&self, a: &BTreeSet<String>, b: &BTreeSet<String>) -> bool {
+        self.closure(a) == self.closure(b)
+    }
+}
+
+impl fmt::Display for FdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fd) in self.fds.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{fd}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Attribute-set literal helper used across tests.
+pub fn attr_set(attrs: &[&str]) -> BTreeSet<String> {
+    attrs.iter().map(|s| s.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_matches_paper_example() {
+        // CLOSURE_{A→D; BD→E}(ABC) = ABCDE (Section IV).
+        let fds = FdSet::new(vec![
+            FunctionalDependency::new(&["A"], &["D"]),
+            FunctionalDependency::new(&["B", "D"], &["E"]),
+        ]);
+        assert_eq!(fds.closure_of(&["A", "B", "C"]), attr_set(&["A", "B", "C", "D", "E"]));
+    }
+
+    #[test]
+    fn closure_without_fds_is_identity() {
+        let fds = FdSet::empty();
+        assert_eq!(fds.closure_of(&["x", "y"]), attr_set(&["x", "y"]));
+        assert!(fds.is_empty());
+        assert_eq!(fds.len(), 0);
+    }
+
+    #[test]
+    fn closure_requires_full_lhs() {
+        let fds = FdSet::new(vec![FunctionalDependency::new(&["A", "B"], &["C"])]);
+        assert_eq!(fds.closure_of(&["A"]), attr_set(&["A"]));
+        assert_eq!(fds.closure_of(&["A", "B"]), attr_set(&["A", "B", "C"]));
+    }
+
+    #[test]
+    fn implies_and_equivalence() {
+        let fds = FdSet::new(vec![
+            FunctionalDependency::on("Ord", &["okey"], &["ckey", "odate"]),
+            FunctionalDependency::on("Cust", &["ckey"], &["cname"]),
+        ]);
+        assert!(fds.implies(&["okey"], &["cname"]));
+        assert!(!fds.implies(&["ckey"], &["okey"]));
+        assert!(fds.equivalent(&attr_set(&["okey"]), &attr_set(&["okey", "ckey", "odate"])));
+        assert!(!fds.equivalent(&attr_set(&["ckey"]), &attr_set(&["okey"])));
+    }
+
+    #[test]
+    fn from_catalog_decls_round_trips() {
+        let decls = vec![FdDecl {
+            table: "Ord".into(),
+            lhs: vec!["okey".into()],
+            rhs: vec!["ckey".into(), "odate".into()],
+        }];
+        let fds = FdSet::from_catalog_decls(&decls);
+        assert_eq!(fds.len(), 1);
+        assert!(fds.implies(&["okey"], &["odate"]));
+        assert_eq!(fds.fds()[0].relation.as_deref(), Some("Ord"));
+    }
+
+    #[test]
+    fn transitive_chain_closure() {
+        let fds = FdSet::new(vec![
+            FunctionalDependency::new(&["a"], &["b"]),
+            FunctionalDependency::new(&["b"], &["c"]),
+            FunctionalDependency::new(&["c"], &["d"]),
+        ]);
+        assert_eq!(fds.closure_of(&["a"]), attr_set(&["a", "b", "c", "d"]));
+    }
+
+    #[test]
+    fn display_forms() {
+        let fd = FunctionalDependency::on("Ord", &["okey"], &["ckey"]);
+        assert_eq!(fd.to_string(), "Ord: okey → ckey");
+        let set = FdSet::new(vec![fd]);
+        assert!(set.to_string().contains("Ord: okey → ckey"));
+    }
+}

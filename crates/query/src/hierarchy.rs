@@ -1,0 +1,510 @@
+//! The hierarchical property and tree representations of hierarchical queries.
+//!
+//! Definition II.1 of the paper: a Boolean conjunctive query is *hierarchical*
+//! if for any two join attributes that occur in the same table, one of them
+//! participates in all joins of the other. Equivalently, the sets
+//! `atoms(a) = { R : a ∈ sch(R) }` for join attributes `a` form a laminar
+//! family. Hierarchical queries admit tree representations (Fig. 3): leaves
+//! are tables and inner nodes are join attributes occurring in all their
+//! descendants.
+//!
+//! For non-Boolean queries, attributes that occur in the projection list are
+//! not used for deciding the hierarchical property (Section II.B); the
+//! principled treatment is the FD-reduct of Section IV, implemented in
+//! [`crate::reduct`], which produces the Boolean queries these trees are
+//! built from.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::cq::ConjunctiveQuery;
+use crate::error::{QueryError, QueryResult};
+
+/// Result of the hierarchical test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyStatus {
+    /// The query is hierarchical.
+    Hierarchical,
+    /// The query is not hierarchical; the witness names two join attributes
+    /// sharing a table whose atom sets are incomparable.
+    NonHierarchical {
+        /// First offending attribute.
+        attr_a: String,
+        /// Second offending attribute.
+        attr_b: String,
+        /// A table containing both.
+        table: String,
+    },
+}
+
+impl HierarchyStatus {
+    /// Whether the status is [`HierarchyStatus::Hierarchical`].
+    pub fn is_hierarchical(&self) -> bool {
+        matches!(self, HierarchyStatus::Hierarchical)
+    }
+}
+
+impl fmt::Display for HierarchyStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyStatus::Hierarchical => write!(f, "hierarchical"),
+            HierarchyStatus::NonHierarchical {
+                attr_a,
+                attr_b,
+                table,
+            } => write!(
+                f,
+                "non-hierarchical: {attr_a} and {attr_b} co-occur in {table} but neither \
+                 participates in all joins of the other"
+            ),
+        }
+    }
+}
+
+/// Checks the hierarchical property of a query, treating it as Boolean
+/// (every attribute counts). `ignored` is the set of attributes excluded from
+/// the test — pass the head attributes (or their FD-closure) to obtain the
+/// non-Boolean variant of Definition II.1.
+pub fn hierarchy_status(query: &ConjunctiveQuery, ignored: &BTreeSet<String>) -> HierarchyStatus {
+    let occurrences = query.attribute_occurrences();
+    let join_attrs: Vec<&String> = occurrences
+        .iter()
+        .filter(|(a, rels)| rels.len() >= 2 && !ignored.contains(*a))
+        .map(|(a, _)| a)
+        .collect();
+    for (i, a) in join_attrs.iter().enumerate() {
+        for b in &join_attrs[i + 1..] {
+            let ra = &occurrences[*a];
+            let rb = &occurrences[*b];
+            let share_table = ra.intersection(rb).next();
+            if let Some(table) = share_table {
+                if !(ra.is_subset(rb) || rb.is_subset(ra)) {
+                    return HierarchyStatus::NonHierarchical {
+                        attr_a: (*a).clone(),
+                        attr_b: (*b).clone(),
+                        table: table.clone(),
+                    };
+                }
+            }
+        }
+    }
+    HierarchyStatus::Hierarchical
+}
+
+/// Convenience wrapper: the Boolean hierarchical test (no ignored attributes).
+pub fn is_hierarchical_boolean(query: &ConjunctiveQuery) -> bool {
+    hierarchy_status(query, &BTreeSet::new()).is_hierarchical()
+}
+
+/// Tree representation of a hierarchical Boolean query (paper, Fig. 3).
+///
+/// Inner nodes carry the *cumulative* attribute label (the join attributes of
+/// the node together with those of all its ancestors), matching the `L`
+/// parameter threading of the signature derivation in Fig. 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryTree {
+    /// An inner node labelled with join attributes common to all descendants.
+    Inner {
+        /// Cumulative attribute label.
+        attrs: BTreeSet<String>,
+        /// Child subtrees.
+        children: Vec<QueryTree>,
+    },
+    /// A leaf: one relation with its attribute set.
+    Leaf {
+        /// Relation name.
+        relation: String,
+        /// Attribute set of the relation (as seen by the query).
+        attrs: BTreeSet<String>,
+    },
+}
+
+impl QueryTree {
+    /// Builds the tree representation of a (Boolean) hierarchical query.
+    ///
+    /// The attribute sets of the query's atoms are taken at face value; build
+    /// the tree from an [FD-reduct](crate::reduct::FdReduct) to incorporate
+    /// functional dependencies and projections.
+    ///
+    /// # Errors
+    /// Returns [`QueryError::NotHierarchical`] if the recursion gets stuck,
+    /// which happens exactly when the query is not hierarchical.
+    pub fn build(query: &ConjunctiveQuery) -> QueryResult<QueryTree> {
+        let join_attrs = query.join_attributes();
+        let atoms: Vec<(String, BTreeSet<String>)> = query
+            .relations
+            .iter()
+            .map(|r| (r.name.clone(), r.attribute_set()))
+            .collect();
+        build_tree(&atoms, &join_attrs, &BTreeSet::new())
+    }
+
+    /// The cumulative attribute label of the root.
+    pub fn attrs(&self) -> &BTreeSet<String> {
+        match self {
+            QueryTree::Inner { attrs, .. } => attrs,
+            QueryTree::Leaf { attrs, .. } => attrs,
+        }
+    }
+
+    /// All relation names in this subtree, in left-to-right leaf order.
+    pub fn relations(&self) -> Vec<String> {
+        match self {
+            QueryTree::Leaf { relation, .. } => vec![relation.clone()],
+            QueryTree::Inner { children, .. } => {
+                children.iter().flat_map(|c| c.relations()).collect()
+            }
+        }
+    }
+
+    /// Whether this subtree contains the relation `name`.
+    pub fn contains_relation(&self, name: &str) -> bool {
+        match self {
+            QueryTree::Leaf { relation, .. } => relation == name,
+            QueryTree::Inner { children, .. } => {
+                children.iter().any(|c| c.contains_relation(name))
+            }
+        }
+    }
+
+    /// The smallest subtree containing every relation in `tables`, together
+    /// with the cumulative attribute label of its parent (∅ for the root).
+    /// This is the subtree whose signature is the *minimal cover* of
+    /// Definition III.3.
+    ///
+    /// Returns `None` if some relation in `tables` is not in the tree or
+    /// `tables` is empty.
+    pub fn minimal_subtree(&self, tables: &BTreeSet<String>) -> Option<(&QueryTree, BTreeSet<String>)> {
+        if tables.is_empty() {
+            return None;
+        }
+        self.minimal_subtree_inner(tables, &BTreeSet::new())
+    }
+
+    fn minimal_subtree_inner(
+        &self,
+        tables: &BTreeSet<String>,
+        parent_attrs: &BTreeSet<String>,
+    ) -> Option<(&QueryTree, BTreeSet<String>)> {
+        if !tables.iter().all(|t| self.contains_relation(t)) {
+            return None;
+        }
+        if let QueryTree::Inner { attrs, children } = self {
+            for child in children {
+                if let Some(found) = child.minimal_subtree_inner(tables, attrs) {
+                    return Some(found);
+                }
+            }
+        }
+        Some((self, parent_attrs.clone()))
+    }
+
+    /// Depth of the tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            QueryTree::Leaf { .. } => 1,
+            QueryTree::Inner { children, .. } => {
+                1 + children.iter().map(|c| c.depth()).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+fn build_tree(
+    atoms: &[(String, BTreeSet<String>)],
+    join_attrs: &BTreeSet<String>,
+    inherited: &BTreeSet<String>,
+) -> QueryResult<QueryTree> {
+    if atoms.is_empty() {
+        return Err(QueryError::EmptyQuery);
+    }
+    if atoms.len() == 1 {
+        return Ok(QueryTree::Leaf {
+            relation: atoms[0].0.clone(),
+            attrs: atoms[0].1.clone(),
+        });
+    }
+    // Join attributes occurring in every atom of this subset extend the label.
+    let common: BTreeSet<String> = join_attrs
+        .iter()
+        .filter(|a| atoms.iter().all(|(_, attrs)| attrs.contains(*a)))
+        .cloned()
+        .collect();
+    let label: BTreeSet<String> = inherited.union(&common).cloned().collect();
+
+    // Partition the remaining atoms by connectivity through join attributes
+    // that are not part of the label.
+    let components = connected_components(atoms, join_attrs, &label);
+    if components.len() == 1 {
+        // The atoms are still all connected through attributes we could not
+        // lift into the label: the query is not hierarchical.
+        let witness = atoms
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect::<Vec<_>>()
+            .join(", ");
+        return Err(QueryError::NotHierarchical {
+            witness: format!("atoms {{{witness}}} share no common join attribute"),
+        });
+    }
+    let mut children = Vec::with_capacity(components.len());
+    for component in components {
+        children.push(build_tree(&component, join_attrs, &label)?);
+    }
+    Ok(QueryTree::Inner {
+        attrs: label,
+        children,
+    })
+}
+
+/// Groups `atoms` into connected components where two atoms are adjacent if
+/// they share a join attribute outside `label`.
+fn connected_components(
+    atoms: &[(String, BTreeSet<String>)],
+    join_attrs: &BTreeSet<String>,
+    label: &BTreeSet<String>,
+) -> Vec<Vec<(String, BTreeSet<String>)>> {
+    let n = atoms.len();
+    let mut component: Vec<usize> = (0..n).collect();
+    // Union-find with path halving would be overkill for query-sized inputs;
+    // simple label propagation over attribute buckets is clear and fast.
+    let mut by_attr: BTreeMap<&String, Vec<usize>> = BTreeMap::new();
+    for (i, (_, attrs)) in atoms.iter().enumerate() {
+        for a in attrs {
+            if join_attrs.contains(a) && !label.contains(a) {
+                by_attr.entry(a).or_default().push(i);
+            }
+        }
+    }
+    fn find(component: &mut Vec<usize>, i: usize) -> usize {
+        let mut root = i;
+        while component[root] != root {
+            root = component[root];
+        }
+        let mut cur = i;
+        while component[cur] != root {
+            let next = component[cur];
+            component[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for members in by_attr.values() {
+        for w in members.windows(2) {
+            let a = find(&mut component, w[0]);
+            let b = find(&mut component, w[1]);
+            if a != b {
+                component[a] = b;
+            }
+        }
+    }
+    // Keep components ordered by the first (smallest-index) atom they
+    // contain so that signature derivation preserves the query's atom order.
+    let mut groups: BTreeMap<usize, Vec<(String, BTreeSet<String>)>> = BTreeMap::new();
+    let mut first_member: BTreeMap<usize, usize> = BTreeMap::new();
+    for i in 0..n {
+        let root = find(&mut component, i);
+        groups.entry(root).or_default().push(atoms[i].clone());
+        first_member.entry(root).or_insert(i);
+    }
+    let mut ordered: Vec<(usize, Vec<(String, BTreeSet<String>)>)> = groups
+        .into_iter()
+        .map(|(root, members)| (first_member[&root], members))
+        .collect();
+    ordered.sort_by_key(|(first, _)| *first);
+    ordered.into_iter().map(|(_, members)| members).collect()
+}
+
+impl fmt::Display for QueryTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryTree::Leaf { relation, attrs } => {
+                write!(
+                    f,
+                    "{relation}({})",
+                    attrs.iter().cloned().collect::<Vec<_>>().join(",")
+                )
+            }
+            QueryTree::Inner { attrs, children } => {
+                write!(
+                    f,
+                    "[{}](",
+                    attrs.iter().cloned().collect::<Vec<_>>().join(",")
+                )?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::{intro_query_q, intro_query_q_prime, ConjunctiveQuery};
+    use crate::fd::attr_set;
+
+    #[test]
+    fn intro_query_is_hierarchical() {
+        // ckey participates in both joins, okey only in one (Section I).
+        let q = intro_query_q().boolean_version();
+        assert!(is_hierarchical_boolean(&q));
+    }
+
+    #[test]
+    fn q_prime_is_non_hierarchical() {
+        let q = intro_query_q_prime().boolean_version();
+        let status = hierarchy_status(&q, &BTreeSet::new());
+        assert!(!status.is_hierarchical());
+        match status {
+            HierarchyStatus::NonHierarchical { table, .. } => assert_eq!(table, "Ord"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn ignoring_head_attributes_can_make_queries_hierarchical() {
+        // R(a,b) ⋈ S(b,c) ⋈ T(a,c): non-hierarchical, but ignoring `a`
+        // (e.g. because it is a head attribute) leaves joins on b and c that
+        // no longer violate the property.
+        let q = ConjunctiveQuery::build(
+            &[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["a", "c"])],
+            &[],
+            vec![],
+        )
+        .unwrap();
+        assert!(!is_hierarchical_boolean(&q));
+        let status = hierarchy_status(&q, &attr_set(&["a"]));
+        // b joins {R,S}, c joins {S,T}: they co-occur in S and neither set
+        // contains the other, so the query stays non-hierarchical.
+        assert!(!status.is_hierarchical());
+        // Ignoring c as well removes one of the two offenders.
+        assert!(hierarchy_status(&q, &attr_set(&["a", "c"])).is_hierarchical());
+    }
+
+    #[test]
+    fn tree_of_intro_query_matches_fig3() {
+        let q = intro_query_q().boolean_version();
+        let tree = QueryTree::build(&q).unwrap();
+        // Root is labelled {ckey} and has two children: the Cust leaf and an
+        // inner node {ckey, okey} over Ord and Item.
+        match &tree {
+            QueryTree::Inner { attrs, children } => {
+                assert_eq!(attrs, &attr_set(&["ckey"]));
+                assert_eq!(children.len(), 2);
+                let leaf_cust = children
+                    .iter()
+                    .find(|c| matches!(c, QueryTree::Leaf { relation, .. } if relation == "Cust"));
+                assert!(leaf_cust.is_some());
+                let inner = children
+                    .iter()
+                    .find(|c| matches!(c, QueryTree::Inner { .. }))
+                    .unwrap();
+                match inner {
+                    QueryTree::Inner { attrs, children } => {
+                        assert_eq!(attrs, &attr_set(&["ckey", "okey"]));
+                        let mut rels: Vec<String> =
+                            children.iter().flat_map(|c| c.relations()).collect();
+                        rels.sort();
+                        assert_eq!(rels, vec!["Item".to_string(), "Ord".to_string()]);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            _ => panic!("expected inner root"),
+        }
+        assert_eq!(tree.depth(), 3);
+    }
+
+    #[test]
+    fn tree_of_non_hierarchical_query_fails() {
+        let q = intro_query_q_prime().boolean_version();
+        assert!(matches!(
+            QueryTree::build(&q),
+            Err(QueryError::NotHierarchical { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_query_gets_empty_root() {
+        let q = ConjunctiveQuery::build(&[("R", &["a"]), ("S", &["b"])], &[], vec![]).unwrap();
+        let tree = QueryTree::build(&q).unwrap();
+        match &tree {
+            QueryTree::Inner { attrs, children } => {
+                assert!(attrs.is_empty());
+                assert_eq!(children.len(), 2);
+            }
+            _ => panic!("expected inner root"),
+        }
+    }
+
+    #[test]
+    fn single_relation_query_is_a_leaf() {
+        let q = ConjunctiveQuery::build(&[("R", &["a", "b"])], &[], vec![]).unwrap();
+        let tree = QueryTree::build(&q).unwrap();
+        assert!(matches!(tree, QueryTree::Leaf { .. }));
+        assert_eq!(tree.relations(), vec!["R".to_string()]);
+    }
+
+    #[test]
+    fn minimal_subtree_finds_lowest_cover() {
+        let q = intro_query_q().boolean_version();
+        let tree = QueryTree::build(&q).unwrap();
+        // {Ord, Item} is covered by the inner {ckey, okey} node whose parent
+        // label is {ckey} (Example III.4).
+        let (sub, parent) = tree
+            .minimal_subtree(&attr_set(&["Ord", "Item"]))
+            .unwrap();
+        assert_eq!(parent, attr_set(&["ckey"]));
+        let mut rels = sub.relations();
+        rels.sort();
+        assert_eq!(rels, vec!["Item".to_string(), "Ord".to_string()]);
+        // {Cust, Ord} needs the whole tree.
+        let (sub, parent) = tree
+            .minimal_subtree(&attr_set(&["Cust", "Ord"]))
+            .unwrap();
+        assert!(parent.is_empty());
+        assert_eq!(sub.relations().len(), 3);
+        // A single table is covered by its own leaf.
+        let (sub, _) = tree.minimal_subtree(&attr_set(&["Item"])).unwrap();
+        assert_eq!(sub.relations(), vec!["Item".to_string()]);
+        // Unknown tables yield None.
+        assert!(tree.minimal_subtree(&attr_set(&["Nope"])).is_none());
+        assert!(tree.minimal_subtree(&BTreeSet::new()).is_none());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = intro_query_q().boolean_version();
+        let tree = QueryTree::build(&q).unwrap();
+        let s = tree.to_string();
+        assert!(s.contains("[ckey]"));
+        assert!(s.contains("Cust("));
+    }
+
+    #[test]
+    fn four_level_hierarchy() {
+        // Nation(nk) — Cust(nk, ck) — Ord(nk, ck, ok) — Item(nk, ck, ok, lk):
+        // a deep chain like the conjunctive subquery of TPC-H query 7/18.
+        let q = ConjunctiveQuery::build(
+            &[
+                ("Nation", &["nk", "nname"]),
+                ("Cust", &["nk", "ck", "cname"]),
+                ("Ord", &["nk", "ck", "ok"]),
+                ("Item", &["nk", "ck", "ok", "price"]),
+            ],
+            &[],
+            vec![],
+        )
+        .unwrap();
+        assert!(is_hierarchical_boolean(&q));
+        let tree = QueryTree::build(&q).unwrap();
+        assert_eq!(tree.depth(), 4);
+        assert_eq!(tree.attrs(), &attr_set(&["nk"]));
+    }
+}

@@ -1,0 +1,30 @@
+//! # pdb-query
+//!
+//! The static query machinery of the SPROUT paper:
+//!
+//! * [`cq`] — conjunctive queries without self-joins, `π_A σ_φ (R1 ⋈ … ⋈ Rn)`,
+//!   with joins expressed by shared attribute names (paper, Section II.B).
+//! * [`fd`] — functional dependencies, attribute closure and the chase.
+//! * [`hierarchy`] — the hierarchical property (Definition II.1) and the tree
+//!   representation of hierarchical queries (Fig. 3).
+//! * [`reduct`] — FD-reducts (Definition IV.1): rewriting (possibly
+//!   non-hierarchical, possibly non-Boolean) queries into Boolean queries
+//!   whose signature can be used to process the original query.
+//! * [`signature`] — query signatures (Definition III.1), their derivation
+//!   from query trees (Fig. 4), minimal covers (Definition III.3), the 1scan
+//!   property and scan counts (Definition V.8, Proposition V.10), and the
+//!   1scanTree used by the streaming confidence-computation operator.
+
+pub mod cq;
+pub mod error;
+pub mod fd;
+pub mod hierarchy;
+pub mod reduct;
+pub mod signature;
+
+pub use cq::{CompareOp, ConjunctiveQuery, Predicate, RelationAtom};
+pub use error::{QueryError, QueryResult};
+pub use fd::{FdSet, FunctionalDependency};
+pub use hierarchy::{HierarchyStatus, QueryTree};
+pub use reduct::FdReduct;
+pub use signature::{OneScanTree, Signature};

@@ -1,0 +1,267 @@
+//! FD-reducts: rewriting queries under functional dependencies (Section IV).
+//!
+//! Given a set of dependencies `Σ` and a conjunctive query
+//! `Q = π_{A0} σ_φ (R1(A1) ⋈ … ⋈ Rn(An))`, the *FD-reduct* of `Q` under `Σ`
+//! (Definition IV.1) is the Boolean query
+//!
+//! ```text
+//! Q_fd = π_∅ σ_φ ( R1(CLOSURE_Σ(A1) − CLOSURE_Σ(A0)) ⋈ … ⋈ Rn(CLOSURE_Σ(An) − CLOSURE_Σ(A0)) )
+//! ```
+//!
+//! FD-reducts matter twice over: non-hierarchical queries can admit
+//! hierarchical FD-reducts, and non-Boolean queries are accommodated by using
+//! the signature of the (Boolean) reduct to factor the lineage of each bag of
+//! duplicate answer tuples. By Proposition IV.5, computing the full closure
+//! never misses a hierarchical rewriting reachable by any chase sequence.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::cq::{ConjunctiveQuery, RelationAtom};
+use crate::error::QueryResult;
+use crate::fd::FdSet;
+use crate::hierarchy::{hierarchy_status, HierarchyStatus, QueryTree};
+use crate::signature::{signature_of_tree, Signature};
+
+/// The FD-reduct of a query under a set of functional dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdReduct {
+    /// The original query the reduct was derived from.
+    pub original: ConjunctiveQuery,
+    /// The Boolean reduct query with closure-extended, head-reduced atoms.
+    pub reduct: ConjunctiveQuery,
+    /// The dependencies used.
+    pub fds: FdSet,
+}
+
+impl FdReduct {
+    /// Computes the FD-reduct of `query` under `fds` (Definition IV.1).
+    ///
+    /// With an empty dependency set this still removes the head attributes
+    /// from every atom, which is the "fixing the duplicate bag's values"
+    /// refinement discussed after Example IV.3.
+    pub fn compute(query: &ConjunctiveQuery, fds: &FdSet) -> FdReduct {
+        let head_closure = fds.closure(&query.head_set());
+        let relations: Vec<RelationAtom> = query
+            .relations
+            .iter()
+            .map(|atom| {
+                let closure = fds.closure(&atom.attribute_set());
+                let attrs: Vec<String> = closure
+                    .into_iter()
+                    .filter(|a| !head_closure.contains(a))
+                    .collect();
+                RelationAtom {
+                    name: atom.name.clone(),
+                    attributes: attrs,
+                }
+            })
+            .collect();
+        // The reduct keeps the original predicates: they are unary and only
+        // restrict which tuples participate, not the lineage structure.
+        let reduct = ConjunctiveQuery {
+            relations,
+            head: Vec::new(),
+            predicates: query.predicates.clone(),
+        };
+        FdReduct {
+            original: query.clone(),
+            reduct,
+            fds: fds.clone(),
+        }
+    }
+
+    /// Hierarchy status of the reduct.
+    pub fn hierarchy(&self) -> HierarchyStatus {
+        hierarchy_status(&self.reduct, &BTreeSet::new())
+    }
+
+    /// Whether the reduct is hierarchical, i.e. whether the original query is
+    /// tractable by the paper's operator under the given dependencies.
+    pub fn is_hierarchical(&self) -> bool {
+        self.hierarchy().is_hierarchical()
+    }
+
+    /// The tree representation of the reduct.
+    ///
+    /// # Errors
+    /// Fails when the reduct is not hierarchical.
+    pub fn tree(&self) -> QueryResult<QueryTree> {
+        QueryTree::build(&self.reduct)
+    }
+
+    /// The signature of the reduct, refined by the dependencies. This is the
+    /// signature the confidence-computation operator uses to process the
+    /// *original* query's answer (Section IV: "If the FD-reduct is
+    /// hierarchical, then the operator … uses its signature to efficiently
+    /// and correctly evaluate the original query on the original database").
+    ///
+    /// # Errors
+    /// Fails when the reduct is not hierarchical.
+    pub fn signature(&self) -> QueryResult<Signature> {
+        Ok(signature_of_tree(&self.tree()?, &self.fds))
+    }
+}
+
+impl fmt::Display for FdReduct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FD-reduct[{}] of {}", self.reduct, self.original)
+    }
+}
+
+/// Convenience function: the signature used to process `query` under `fds`,
+/// i.e. the signature of its FD-reduct.
+///
+/// # Errors
+/// Fails when the FD-reduct is not hierarchical.
+pub fn query_signature(query: &ConjunctiveQuery, fds: &FdSet) -> QueryResult<Signature> {
+    FdReduct::compute(query, fds).signature()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::{intro_query_q, intro_query_q_prime, ConjunctiveQuery};
+    use crate::fd::{attr_set, FunctionalDependency};
+
+    fn tpch_fds() -> FdSet {
+        FdSet::new(vec![
+            FunctionalDependency::on("Ord", &["okey"], &["ckey", "odate"]),
+            FunctionalDependency::on("Cust", &["ckey"], &["cname"]),
+        ])
+    }
+
+    #[test]
+    fn example_iv3_non_hierarchical_query_gets_hierarchical_reduct() {
+        // π_cname(Item(okey, discount) ⋈ Ord(okey, ckey, odate) ⋈ Cust(ckey, cname))
+        // is non-Boolean and non-hierarchical; under Ord: okey → ckey odate the
+        // FD-reduct is Boolean and hierarchical.
+        let q = ConjunctiveQuery::build(
+            &[
+                ("Item", &["okey", "discount"]),
+                ("Ord", &["okey", "ckey", "odate"]),
+                ("Cust", &["ckey", "cname"]),
+            ],
+            &["cname"],
+            vec![],
+        )
+        .unwrap();
+        let no_fd = FdReduct::compute(&q, &FdSet::empty());
+        assert!(!no_fd.is_hierarchical());
+
+        let fds = FdSet::new(vec![FunctionalDependency::on(
+            "Ord",
+            &["okey"],
+            &["ckey", "odate"],
+        )]);
+        let reduct = FdReduct::compute(&q, &fds);
+        assert!(reduct.is_hierarchical());
+        // Item's attributes are extended by the closure of okey.
+        let item = reduct.reduct.relation("Item").unwrap();
+        assert_eq!(
+            item.attribute_set(),
+            attr_set(&["okey", "discount", "ckey", "odate"])
+        );
+        // Cust keeps ckey only (cname is the head).
+        let cust = reduct.reduct.relation("Cust").unwrap();
+        assert_eq!(cust.attribute_set(), attr_set(&["ckey"]));
+        // Signature per Example IV.3: Cust(Ord Item*)* — possibly up to the
+        // outermost grouping star, which is absent because ckey is functionally
+        // fixed within a duplicate bag only when it is a key; here the whole
+        // signature is a single outer group per cname value.
+        let sig = reduct.signature().unwrap();
+        assert_eq!(sig.tables().len(), 3);
+        assert!(sig.is_one_scan());
+    }
+
+    #[test]
+    fn example_iv4_reduct_signature_needs_one_scan() {
+        // π_okey(Item(ckey, okey, discount) ⋈ Ord(okey, ckey, odate) ⋈ Cust(ckey, cname))
+        // with Ord: okey → ckey odate and Cust: ckey → cname reduces to
+        // π_∅(Item(discount) ⋈ Ord() ⋈ Cust()) with signature Cust Ord Item*.
+        let q = ConjunctiveQuery::build(
+            &[
+                ("Item", &["ckey", "okey", "discount"]),
+                ("Ord", &["okey", "ckey", "odate"]),
+                ("Cust", &["ckey", "cname"]),
+            ],
+            &["okey"],
+            vec![],
+        )
+        .unwrap();
+        let reduct = FdReduct::compute(&q, &tpch_fds());
+        assert!(reduct.is_hierarchical());
+        assert!(reduct.reduct.relation("Ord").unwrap().attributes.is_empty());
+        assert!(reduct.reduct.relation("Cust").unwrap().attributes.is_empty());
+        assert_eq!(
+            reduct.reduct.relation("Item").unwrap().attribute_set(),
+            attr_set(&["discount"])
+        );
+        let sig = reduct.signature().unwrap();
+        assert!(sig.is_one_scan());
+        assert_eq!(sig.scan_count(), 1);
+        // Exactly one table (Item) remains starred.
+        assert_eq!(sig.star_count(), 1);
+    }
+
+    #[test]
+    fn q_prime_becomes_hierarchical_under_okey_fd() {
+        // Section I: Q' is the prototypical hard query, but under
+        // okey → ckey it has the signature (Cust(Ord Item*)*)*.
+        let q = intro_query_q_prime();
+        assert!(!FdReduct::compute(&q, &FdSet::empty()).is_hierarchical());
+        let reduct = FdReduct::compute(&q, &tpch_fds());
+        assert!(reduct.is_hierarchical());
+        let sig = reduct.signature().unwrap();
+        assert_eq!(sig.to_string(), "(Cust (Ord Item*)*)*");
+        assert_eq!(sig.scan_count(), 1);
+    }
+
+    #[test]
+    fn intro_query_reduct_without_fds_is_hierarchical() {
+        // Q itself is hierarchical even without dependencies; dropping the
+        // head attribute odate from Ord means Ord contributes at most one
+        // tuple per (okey, ckey) pair within each duplicate bag.
+        let q = intro_query_q();
+        let reduct = FdReduct::compute(&q, &FdSet::empty());
+        assert!(reduct.is_hierarchical());
+        let sig = reduct.signature().unwrap();
+        assert_eq!(sig.to_string(), "(Cust* (Ord Item*)*)*");
+        assert_eq!(sig.scan_count(), 2);
+    }
+
+    #[test]
+    fn intro_query_reduct_with_fds_has_one_scan_signature() {
+        let q = intro_query_q();
+        let reduct = FdReduct::compute(&q, &tpch_fds());
+        let sig = reduct.signature().unwrap();
+        assert_eq!(sig.to_string(), "(Cust (Ord Item*)*)*");
+        assert_eq!(sig.scan_count(), 1);
+    }
+
+    #[test]
+    fn query_signature_helper_errors_on_hard_queries() {
+        assert!(query_signature(&intro_query_q_prime(), &FdSet::empty()).is_err());
+        assert!(query_signature(&intro_query_q_prime(), &tpch_fds()).is_ok());
+    }
+
+    #[test]
+    fn boolean_query_reduct_keeps_all_attributes() {
+        let q = intro_query_q().boolean_version();
+        let reduct = FdReduct::compute(&q, &FdSet::empty());
+        assert_eq!(
+            reduct.reduct.relation("Ord").unwrap().attribute_set(),
+            attr_set(&["okey", "ckey", "odate"])
+        );
+        assert_eq!(reduct.signature().unwrap().to_string(), "(Cust* (Ord* Item*)*)*");
+    }
+
+    #[test]
+    fn display_mentions_both_queries() {
+        let q = intro_query_q();
+        let reduct = FdReduct::compute(&q, &FdSet::empty());
+        let s = reduct.to_string();
+        assert!(s.contains("FD-reduct"));
+        assert!(s.contains("Cust"));
+    }
+}

@@ -1,0 +1,197 @@
+//! # sprout
+//!
+//! The public facade of the SPROUT reproduction: scalable processing of
+//! uncertain tables (Olteanu, Huang, Koch — ICDE 2009).
+//!
+//! A [`SproutDb`] owns a catalog of tuple-independent probabilistic tables,
+//! their key / functional-dependency declarations, and a planner. Queries are
+//! conjunctive queries without self-joins extended with the paper's `conf()`
+//! aggregation: the answer of [`SproutDb::query`] is the set of distinct
+//! answer tuples paired with their exact confidences.
+//!
+//! ```
+//! use sprout::{SproutDb, PlanKind};
+//! use pdb_exec::fixtures;
+//! use pdb_query::cq::intro_query_q;
+//!
+//! // The Fig. 1 toy database with the TPC-H-style key declarations.
+//! let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+//! let report = db.query(&intro_query_q(), PlanKind::Lazy).unwrap();
+//! assert_eq!(report.confidences.len(), 1);
+//! assert!((report.confidences[0].1 - 0.0028).abs() < 1e-9);
+//! ```
+//!
+//! The crate re-exports the building blocks (queries, signatures, plans,
+//! the confidence operator) so downstream users can drop to the lower level
+//! when they need to.
+
+use std::sync::Arc;
+
+pub use pdb_conf::{ConfidenceOperator, ConfidenceResult, Strategy};
+pub use pdb_query::{
+    CompareOp, ConjunctiveQuery, FdSet, FunctionalDependency, Predicate, Signature,
+};
+pub use pdb_storage::{Catalog, DataType, ProbTable, Schema, Table, Tuple, Value, Variable};
+pub use sprout_plan::{PlanError, PlanKind, PlanReport, PlanResult, Planner};
+
+/// A probabilistic database with the SPROUT confidence-computation engine on
+/// top.
+#[derive(Debug)]
+pub struct SproutDb {
+    catalog: Arc<Catalog>,
+}
+
+impl SproutDb {
+    /// An empty database.
+    pub fn new() -> SproutDb {
+        SproutDb {
+            catalog: Arc::new(Catalog::new()),
+        }
+    }
+
+    /// Wraps an existing catalog.
+    pub fn from_catalog(catalog: Catalog) -> SproutDb {
+        SproutDb {
+            catalog: Arc::new(catalog),
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Registers a tuple-independent table.
+    ///
+    /// # Errors
+    /// Fails if the name is already taken.
+    pub fn register_table(
+        &self,
+        name: impl Into<String>,
+        table: ProbTable,
+    ) -> PlanResult<()> {
+        self.catalog.register_table(name, table).map_err(PlanError::from)
+    }
+
+    /// Declares a key (which the planner turns into functional dependencies).
+    ///
+    /// # Errors
+    /// Fails on unknown tables or columns.
+    pub fn declare_key(&self, table: &str, attrs: &[&str]) -> PlanResult<()> {
+        self.catalog.declare_key(table, attrs).map_err(PlanError::from)
+    }
+
+    /// Declares a functional dependency `table: lhs → rhs`.
+    ///
+    /// # Errors
+    /// Fails on unknown tables or columns.
+    pub fn declare_fd(&self, table: &str, lhs: &[&str], rhs: &[&str]) -> PlanResult<()> {
+        self.catalog.declare_fd(table, lhs, rhs).map_err(PlanError::from)
+    }
+
+    /// Whether `query` admits exact confidence computation in polynomial time
+    /// under the declared dependencies (i.e. has a hierarchical FD-reduct).
+    pub fn is_tractable(&self, query: &ConjunctiveQuery) -> bool {
+        Planner::new(&self.catalog).is_tractable(query)
+    }
+
+    /// The signature the confidence operator uses for `query`.
+    ///
+    /// # Errors
+    /// Fails if the query is intractable.
+    pub fn signature(&self, query: &ConjunctiveQuery) -> PlanResult<Signature> {
+        Planner::new(&self.catalog).signature(query)
+    }
+
+    /// Executes `query` with the given plan kind, returning the full report
+    /// (confidences, tuple counts, timings).
+    ///
+    /// # Errors
+    /// Fails if the query is intractable or a referenced table is missing.
+    pub fn query(&self, query: &ConjunctiveQuery, kind: PlanKind) -> PlanResult<PlanReport> {
+        Planner::new(&self.catalog).execute(query, kind)
+    }
+
+    /// Executes `query` with a lazy plan (the default SPROUT choice) and
+    /// returns just the distinct tuples and their confidences.
+    ///
+    /// # Errors
+    /// Fails if the query is intractable or a referenced table is missing.
+    pub fn confidences(&self, query: &ConjunctiveQuery) -> PlanResult<ConfidenceResult> {
+        Ok(self.query(query, PlanKind::Lazy)?.confidences)
+    }
+
+    /// Executes `query` ignoring all declared functional dependencies — the
+    /// "no FDs" configuration of the Fig. 13 experiment.
+    ///
+    /// # Errors
+    /// Fails if the query is intractable without the dependencies.
+    pub fn query_without_fds(
+        &self,
+        query: &ConjunctiveQuery,
+        kind: PlanKind,
+    ) -> PlanResult<PlanReport> {
+        Planner::without_fds(&self.catalog).execute(query, kind)
+    }
+}
+
+impl Default for SproutDb {
+    fn default() -> Self {
+        SproutDb::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_exec::fixtures;
+    use pdb_query::cq::{intro_query_q, intro_query_q_prime};
+    use pdb_storage::tuple;
+
+    #[test]
+    fn facade_runs_the_guiding_query_end_to_end() {
+        let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+        assert!(db.is_tractable(&intro_query_q()));
+        let report = db.query(&intro_query_q(), PlanKind::Lazy).unwrap();
+        assert_eq!(report.confidences[0].0, tuple!["1995-01-10"]);
+        assert!((report.confidences[0].1 - 0.0028).abs() < 1e-9);
+        let sig = db.signature(&intro_query_q()).unwrap();
+        assert_eq!(sig.to_string(), "(Cust (Ord Item*)*)*");
+    }
+
+    #[test]
+    fn manual_registration_and_fd_declarations() {
+        let db = SproutDb::new();
+        db.register_table("Cust", fixtures::fig1_cust()).unwrap();
+        db.register_table("Ord", fixtures::fig1_ord()).unwrap();
+        db.register_table("Item", fixtures::fig1_item()).unwrap();
+        db.declare_key("Cust", &["ckey"]).unwrap();
+        db.declare_fd("Ord", &["okey"], &["ckey", "odate"]).unwrap();
+        assert!(db.is_tractable(&intro_query_q_prime()));
+        let conf = db.confidences(&intro_query_q_prime()).unwrap();
+        assert!((conf[0].1 - 0.0028).abs() < 1e-9);
+        // Duplicate registration is rejected.
+        assert!(db.register_table("Cust", fixtures::fig1_cust()).is_err());
+        assert!(db.declare_key("Cust", &["nope"]).is_err());
+    }
+
+    #[test]
+    fn without_fds_the_hard_query_is_rejected() {
+        let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+        assert!(db
+            .query_without_fds(&intro_query_q_prime(), PlanKind::Lazy)
+            .is_err());
+        // Q itself works without FDs, just with more scans.
+        let report = db
+            .query_without_fds(&intro_query_q(), PlanKind::Lazy)
+            .unwrap();
+        assert!((report.confidences[0].1 - 0.0028).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_database_is_empty() {
+        let db = SproutDb::default();
+        assert!(db.catalog().table_names().is_empty());
+        assert!(db.query(&intro_query_q(), PlanKind::Lazy).is_err());
+    }
+}

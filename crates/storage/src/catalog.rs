@@ -1,0 +1,236 @@
+//! The catalog: a named collection of tuple-independent probabilistic tables
+//! plus schema-level metadata (keys and functional dependencies).
+//!
+//! Functional dependencies are central to the paper (Section IV): they hold
+//! in a tuple-independent probabilistic database iff they hold in every
+//! possible world, and they are what makes several non-hierarchical TPC-H
+//! queries tractable. The catalog records them as plain attribute-name
+//! declarations; the query crate interprets them.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{StorageError, StorageResult};
+use crate::table::ProbTable;
+
+/// A declared functional dependency `table: lhs → rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdDecl {
+    /// Table the dependency belongs to.
+    pub table: String,
+    /// Determinant attributes.
+    pub lhs: Vec<String>,
+    /// Dependent attributes.
+    pub rhs: Vec<String>,
+}
+
+/// A named collection of probabilistic tables and their metadata.
+///
+/// The catalog is internally synchronised so it can be shared between the
+/// planner and the executor; reads are cheap (`Arc`-cloned table handles).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    inner: RwLock<CatalogInner>,
+}
+
+#[derive(Debug, Default)]
+struct CatalogInner {
+    tables: BTreeMap<String, Arc<ProbTable>>,
+    keys: BTreeMap<String, Vec<String>>,
+    fds: Vec<FdDecl>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table under `name`.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::DuplicateTable`] if the name is taken.
+    pub fn register_table(&self, name: impl Into<String>, table: ProbTable) -> StorageResult<()> {
+        let name = name.into();
+        let mut inner = self.inner.write();
+        if inner.tables.contains_key(&name) {
+            return Err(StorageError::DuplicateTable(name));
+        }
+        inner.tables.insert(name, Arc::new(table));
+        Ok(())
+    }
+
+    /// Replaces (or inserts) a table under `name`.
+    pub fn replace_table(&self, name: impl Into<String>, table: ProbTable) {
+        self.inner.write().tables.insert(name.into(), Arc::new(table));
+    }
+
+    /// Fetches the table registered under `name`.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::UnknownTable`] if no such table exists.
+    pub fn table(&self, name: &str) -> StorageResult<Arc<ProbTable>> {
+        self.inner
+            .read()
+            .tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// All registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.read().tables.keys().cloned().collect()
+    }
+
+    /// Declares `attrs` to be a key of `table`. A key `K` of table `R(A)` is
+    /// recorded as the functional dependency `R: K → A` by consumers.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::UnknownTable`] if the table is not registered,
+    /// or [`StorageError::UnknownColumn`] if an attribute is not in its schema.
+    pub fn declare_key(&self, table: &str, attrs: &[&str]) -> StorageResult<()> {
+        let t = self.table(table)?;
+        for a in attrs {
+            if !t.schema().contains(a) {
+                return Err(StorageError::UnknownColumn((*a).to_string()));
+            }
+        }
+        self.inner
+            .write()
+            .keys
+            .insert(table.to_string(), attrs.iter().map(|s| s.to_string()).collect());
+        Ok(())
+    }
+
+    /// The declared key of `table`, if any.
+    pub fn key_of(&self, table: &str) -> Option<Vec<String>> {
+        self.inner.read().keys.get(table).cloned()
+    }
+
+    /// Declares a functional dependency `table: lhs → rhs`.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::UnknownTable`] / [`StorageError::UnknownColumn`]
+    /// for dangling references.
+    pub fn declare_fd(&self, table: &str, lhs: &[&str], rhs: &[&str]) -> StorageResult<()> {
+        let t = self.table(table)?;
+        for a in lhs.iter().chain(rhs.iter()) {
+            if !t.schema().contains(a) {
+                return Err(StorageError::UnknownColumn((*a).to_string()));
+            }
+        }
+        self.inner.write().fds.push(FdDecl {
+            table: table.to_string(),
+            lhs: lhs.iter().map(|s| s.to_string()).collect(),
+            rhs: rhs.iter().map(|s| s.to_string()).collect(),
+        });
+        Ok(())
+    }
+
+    /// All declared functional dependencies, including those implied by key
+    /// declarations (`K → all attributes of the table`).
+    pub fn fds(&self) -> Vec<FdDecl> {
+        let inner = self.inner.read();
+        let mut out = inner.fds.clone();
+        for (table, key) in &inner.keys {
+            if let Some(t) = inner.tables.get(table) {
+                let rhs: Vec<String> = t
+                    .schema()
+                    .names()
+                    .into_iter()
+                    .map(|s| s.to_string())
+                    .filter(|a| !key.contains(a))
+                    .collect();
+                if !rhs.is_empty() {
+                    out.push(FdDecl {
+                        table: table.clone(),
+                        lhs: key.clone(),
+                        rhs,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of tuples across all registered tables.
+    pub fn total_tuples(&self) -> usize {
+        self.inner.read().tables.values().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+    use crate::tuple;
+    use crate::variable::Variable;
+
+    fn small_table() -> ProbTable {
+        let schema =
+            Schema::from_pairs(&[("ckey", DataType::Int), ("cname", DataType::Str)]).unwrap();
+        let mut t = ProbTable::new(schema);
+        t.insert(tuple![1i64, "Joe"], Variable(0), 0.1).unwrap();
+        t.insert(tuple![2i64, "Dan"], Variable(1), 0.2).unwrap();
+        t
+    }
+
+    #[test]
+    fn register_and_fetch() {
+        let c = Catalog::new();
+        c.register_table("Cust", small_table()).unwrap();
+        assert_eq!(c.table("Cust").unwrap().len(), 2);
+        assert!(matches!(
+            c.table("Nope"),
+            Err(StorageError::UnknownTable(_))
+        ));
+        assert_eq!(c.table_names(), vec!["Cust".to_string()]);
+        assert_eq!(c.total_tuples(), 2);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let c = Catalog::new();
+        c.register_table("Cust", small_table()).unwrap();
+        assert!(matches!(
+            c.register_table("Cust", small_table()),
+            Err(StorageError::DuplicateTable(_))
+        ));
+        // replace_table silently overwrites.
+        c.replace_table("Cust", small_table());
+        assert_eq!(c.table_names().len(), 1);
+    }
+
+    #[test]
+    fn key_declaration_validates_columns() {
+        let c = Catalog::new();
+        c.register_table("Cust", small_table()).unwrap();
+        c.declare_key("Cust", &["ckey"]).unwrap();
+        assert_eq!(c.key_of("Cust").unwrap(), vec!["ckey".to_string()]);
+        assert!(c.declare_key("Cust", &["nope"]).is_err());
+        assert!(c.declare_key("Missing", &["ckey"]).is_err());
+    }
+
+    #[test]
+    fn keys_imply_fds() {
+        let c = Catalog::new();
+        c.register_table("Cust", small_table()).unwrap();
+        c.declare_key("Cust", &["ckey"]).unwrap();
+        let fds = c.fds();
+        assert_eq!(fds.len(), 1);
+        assert_eq!(fds[0].lhs, vec!["ckey".to_string()]);
+        assert_eq!(fds[0].rhs, vec!["cname".to_string()]);
+    }
+
+    #[test]
+    fn explicit_fd_declaration() {
+        let c = Catalog::new();
+        c.register_table("Cust", small_table()).unwrap();
+        c.declare_fd("Cust", &["ckey"], &["cname"]).unwrap();
+        assert_eq!(c.fds().len(), 1);
+        assert!(c.declare_fd("Cust", &["ckey"], &["zzz"]).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors raised by storage-layer operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A schema contains two columns with the same name.
+    DuplicateColumn(String),
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A tuple has a different arity than its schema.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values in the tuple.
+        actual: usize,
+    },
+    /// A value is not admissible in its column's declared type.
+    TypeMismatch {
+        /// The offending column name.
+        column: String,
+        /// Human-readable description of the offending value.
+        value: String,
+    },
+    /// A tuple probability is outside `(0, 1]`.
+    InvalidProbability(f64),
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A table with this name already exists in the catalog.
+    DuplicateTable(String),
+    /// The possible-world enumeration was asked to expand too many variables.
+    TooManyWorlds {
+        /// Number of distinct variables in the database.
+        variables: usize,
+        /// Maximum number the enumerator accepts.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateColumn(c) => write!(f, "duplicate column name: {c}"),
+            StorageError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            StorageError::ArityMismatch { expected, actual } => {
+                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+            }
+            StorageError::TypeMismatch { column, value } => {
+                write!(f, "value {value} is not admissible in column {column}")
+            }
+            StorageError::InvalidProbability(p) => {
+                write!(f, "tuple probability {p} is outside (0, 1]")
+            }
+            StorageError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            StorageError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            StorageError::TooManyWorlds { variables, limit } => write!(
+                f,
+                "possible-world enumeration over {variables} variables exceeds the limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience result alias for the storage layer.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("arity 2"));
+        assert!(StorageError::UnknownTable("Ord".into())
+            .to_string()
+            .contains("Ord"));
+        assert!(StorageError::InvalidProbability(1.5)
+            .to_string()
+            .contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StorageError::UnknownColumn("x".into()));
+    }
+}

@@ -1,0 +1,40 @@
+//! # pdb-storage
+//!
+//! Storage layer for the SPROUT reproduction: values, schemas, tuples,
+//! deterministic relations, and *tuple-independent probabilistic tables*.
+//!
+//! A tuple-independent probabilistic table (paper, Section II.A) is a relation
+//! of schema `(A, V, P)` where `V` holds Boolean random variables, `P` holds
+//! their probabilities in `(0, 1]`, and the functional dependency `A → V P`
+//! holds. A probabilistic database is a set of such tables and represents a
+//! set of possible worlds, one per truth assignment of the variables.
+//!
+//! This crate provides:
+//!
+//! * [`Value`], [`DataType`] — the scalar value model shared by all crates.
+//! * [`Schema`], [`Column`] — named, typed column lists.
+//! * [`Tuple`] — a row of values.
+//! * [`Table`] — an in-memory deterministic relation.
+//! * [`ProbTable`] — a tuple-independent probabilistic relation: a [`Table`]
+//!   plus one [`Variable`] and one probability per tuple.
+//! * [`Catalog`] — a named collection of probabilistic tables together with
+//!   declared keys and functional dependencies.
+//! * [`worlds`] — explicit possible-world enumeration, usable as a ground
+//!   truth oracle on small databases.
+
+pub mod catalog;
+pub mod error;
+pub mod schema;
+pub mod table;
+pub mod tuple;
+pub mod value;
+pub mod variable;
+pub mod worlds;
+
+pub use catalog::Catalog;
+pub use error::{StorageError, StorageResult};
+pub use schema::{Column, DataType, Schema};
+pub use table::{ProbTable, Table};
+pub use tuple::Tuple;
+pub use value::Value;
+pub use variable::{Probability, Variable, VariableGenerator};

@@ -1,0 +1,280 @@
+//! Schemas: ordered lists of named, typed columns.
+//!
+//! Column names follow the paper's convention of qualifying attributes with
+//! their source relation when relations are combined (`Cust.ckey`), while
+//! base tables use bare attribute names (`ckey`). The schema type does not
+//! enforce either style; helpers for qualification live here.
+
+use std::fmt;
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::Value;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Days since epoch.
+    Date,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// Whether `value` is admissible in a column of this type. NULL is always
+    /// admissible; integers are admissible in float columns.
+    pub fn admits(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_))
+                | (DataType::Float, Value::Int(_))
+                | (DataType::Str, Value::Str(_))
+                | (DataType::Date, Value::Date(_))
+                | (DataType::Date, Value::Int(_))
+                | (DataType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STR",
+            DataType::Date => "DATE",
+            DataType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Column {
+    /// Column name, possibly qualified (`Ord.okey`).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Column {
+    /// Creates a new column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema from a list of columns.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::DuplicateColumn`] if two columns share a name.
+    pub fn new(columns: Vec<Column>) -> StorageResult<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|d| d.name == c.name) {
+                return Err(StorageError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> StorageResult<Self> {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The empty schema (used for Boolean query answers).
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Index of the column named `name`.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::UnknownColumn`] if the column does not exist.
+    pub fn index_of(&self, name: &str) -> StorageResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    /// Whether a column with the given name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name == name)
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// A new schema with every column name prefixed by `qualifier.`.
+    pub fn qualified(&self, qualifier: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column::new(format!("{qualifier}.{}", c.name), c.data_type))
+                .collect(),
+        }
+    }
+
+    /// Concatenates two schemas.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::DuplicateColumn`] if the result would contain
+    /// duplicate column names.
+    pub fn concat(&self, other: &Schema) -> StorageResult<Schema> {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema::new(columns)
+    }
+
+    /// Projects the schema onto the named columns, in the given order.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::UnknownColumn`] if any column is missing.
+    pub fn project(&self, names: &[&str]) -> StorageResult<Schema> {
+        let mut columns = Vec::with_capacity(names.len());
+        for n in names {
+            let idx = self.index_of(n)?;
+            columns.push(self.columns[idx].clone());
+        }
+        Schema::new(columns)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Str),
+            ("c", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = Schema::from_pairs(&[("a", DataType::Int), ("a", DataType::Str)]);
+        assert!(matches!(err, Err(StorageError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn index_of_finds_columns() {
+        let s = abc();
+        assert_eq!(s.index_of("a").unwrap(), 0);
+        assert_eq!(s.index_of("c").unwrap(), 2);
+        assert!(matches!(
+            s.index_of("zzz"),
+            Err(StorageError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn qualification_prefixes_names() {
+        let s = abc().qualified("R");
+        assert_eq!(s.names(), vec!["R.a", "R.b", "R.c"]);
+        assert_eq!(s.column(0).data_type, DataType::Int);
+    }
+
+    #[test]
+    fn concat_merges_and_detects_clashes() {
+        let s = abc();
+        let t = Schema::from_pairs(&[("d", DataType::Int)]).unwrap();
+        let joined = s.concat(&t).unwrap();
+        assert_eq!(joined.len(), 4);
+        assert!(s.concat(&s).is_err());
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let s = abc();
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn data_type_admission() {
+        assert!(DataType::Int.admits(&Value::Int(1)));
+        assert!(DataType::Float.admits(&Value::Int(1)));
+        assert!(DataType::Float.admits(&Value::Float(1.0)));
+        assert!(!DataType::Int.admits(&Value::str("x")));
+        assert!(DataType::Str.admits(&Value::Null));
+        assert!(DataType::Date.admits(&Value::Date(12)));
+        assert!(DataType::Bool.admits(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let e = Schema::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(abc().to_string(), "(a INT, b STR, c FLOAT)");
+        assert_eq!(DataType::Date.to_string(), "DATE");
+    }
+}

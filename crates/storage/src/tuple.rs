@@ -1,0 +1,134 @@
+//! Tuples: rows of scalar values.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A row of values. The interpretation of positions is given by a [`Schema`](crate::Schema).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The empty tuple (answer of a Boolean query).
+    pub fn empty() -> Self {
+        Tuple { values: Vec::new() }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at position `idx`.
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// All values, in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access to the values.
+    pub fn values_mut(&mut self) -> &mut Vec<Value> {
+        &mut self.values
+    }
+
+    /// A new tuple keeping only the values at the given positions, in order.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple {
+            values: positions.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenates two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend(self.values.iter().cloned());
+        values.extend(other.values.iter().cloned());
+        Tuple { values }
+    }
+
+    /// Appends a value in place.
+    pub fn push(&mut self, value: Value) {
+        self.values.push(value);
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Builds a tuple from a list of values convertible into [`Value`].
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_keeps_order_of_positions() {
+        let t = tuple![1i64, "b", 2.5];
+        let p = t.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Float(2.5), Value::Int(1)]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let t = tuple![1i64].concat(&tuple!["x"]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.value(1), &Value::str("x"));
+    }
+
+    #[test]
+    fn empty_tuple_has_zero_arity() {
+        assert_eq!(Tuple::empty().arity(), 0);
+        assert_eq!(Tuple::empty(), Tuple::new(vec![]));
+    }
+
+    #[test]
+    fn tuples_order_lexicographically() {
+        assert!(tuple![1i64, 2i64] < tuple![1i64, 3i64]);
+        assert!(tuple![1i64] < tuple![1i64, 0i64]);
+    }
+
+    #[test]
+    fn push_and_mutate() {
+        let mut t = Tuple::empty();
+        t.push(Value::Int(5));
+        t.values_mut()[0] = Value::Int(6);
+        assert_eq!(t, tuple![6i64]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple![1i64, "a"].to_string(), "(1, a)");
+    }
+}

@@ -1,0 +1,97 @@
+//! Date encoding shared by the generator and the query catalogue.
+//!
+//! Dates are stored as days since 1970-01-01 in [`pdb_storage::Value::Date`]
+//! columns so that range predicates reduce to integer comparisons. The
+//! encoding uses the proleptic Gregorian calendar; only the 1992–1998 window
+//! TPC-H populates is ever exercised.
+
+/// Days in each month of a non-leap year.
+const MONTH_DAYS: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Encodes a calendar date as days since 1970-01-01.
+///
+/// # Panics
+/// Panics if the month or day is out of range.
+pub fn date(year: i32, month: u32, day: u32) -> i32 {
+    assert!((1..=12).contains(&month), "month out of range: {month}");
+    let month = month as usize;
+    let mut days_in_month = MONTH_DAYS[month - 1];
+    if month == 2 && is_leap(year) {
+        days_in_month += 1;
+    }
+    assert!(
+        (1..=days_in_month as u32).contains(&day),
+        "day out of range: {year}-{month}-{day}"
+    );
+    let mut days: i32 = 0;
+    if year >= 1970 {
+        for y in 1970..year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+    } else {
+        for y in year..1970 {
+            days -= if is_leap(y) { 366 } else { 365 };
+        }
+    }
+    for m in 1..month {
+        days += MONTH_DAYS[m - 1];
+        if m == 2 && is_leap(year) {
+            days += 1;
+        }
+    }
+    days + day as i32 - 1
+}
+
+/// Parses a `YYYY-MM-DD` string into the day encoding.
+///
+/// # Panics
+/// Panics on malformed input (the query catalogue only uses literals).
+pub fn date_str(s: &str) -> i32 {
+    let mut parts = s.split('-');
+    let year: i32 = parts.next().expect("year").parse().expect("numeric year");
+    let month: u32 = parts.next().expect("month").parse().expect("numeric month");
+    let day: u32 = parts.next().expect("day").parse().expect("numeric day");
+    date(year, month, day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(date(1970, 1, 1), 0);
+        assert_eq!(date(1970, 1, 2), 1);
+        assert_eq!(date(1970, 2, 1), 31);
+    }
+
+    #[test]
+    fn leap_years_are_respected() {
+        assert_eq!(date(1972, 3, 1) - date(1972, 2, 1), 29);
+        assert_eq!(date(1973, 3, 1) - date(1973, 2, 1), 28);
+        assert_eq!(date(2000, 3, 1) - date(2000, 2, 1), 29);
+    }
+
+    #[test]
+    fn ordering_matches_calendar_ordering() {
+        assert!(date(1995, 1, 10) < date(1996, 1, 9));
+        assert!(date(1992, 1, 31) < date(1996, 9, 1));
+        assert!(date(1998, 12, 31) > date(1992, 1, 1));
+    }
+
+    #[test]
+    fn string_parsing_round_trips() {
+        assert_eq!(date_str("1995-01-10"), date(1995, 1, 10));
+        assert_eq!(date_str("1996-09-01"), date(1996, 9, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "month out of range")]
+    fn invalid_month_panics() {
+        date(1995, 13, 1);
+    }
+}

@@ -1,0 +1,433 @@
+//! Deterministic, scale-factor-parameterised TPC-H data generation.
+//!
+//! The generator reproduces the *structure* of the TPC-H population — key /
+//! foreign-key relationships, table-size ratios, value domains used by the
+//! query catalogue — with a seeded RNG so every run is reproducible. At scale
+//! factor 1 the official benchmark has 150 k customers, 1.5 M orders and
+//! ~6 M lineitems; this generator preserves those ratios at whatever scale
+//! the caller asks for (benchmarks default to much smaller factors).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pdb_storage::{tuple, DataType, Schema, Table, Value};
+
+use crate::dates::date;
+
+/// TPC-H nation names (the 25 official ones).
+pub const NATIONS: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
+    "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU",
+    "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+];
+
+/// TPC-H region names.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Market segments used by query 3.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Ship modes used by queries 12 and 19.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Part containers used by queries 17 and 19.
+pub const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP BAG",
+];
+
+/// Part types used by query 2.
+pub const PART_TYPES: [&str; 6] = [
+    "ECONOMY BRASS", "STANDARD BRASS", "PROMO STEEL", "SMALL COPPER", "LARGE TIN", "MEDIUM NICKEL",
+];
+
+/// Scale parameters: table cardinalities derived from the scale factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchScale {
+    /// TPC-H scale factor; 1.0 corresponds to the paper's 1 GB database.
+    pub scale_factor: f64,
+    /// RNG seed, so benchmarks and tests are reproducible.
+    pub seed: u64,
+}
+
+impl TpchScale {
+    /// A scale suitable for unit tests (a few hundred tuples in total).
+    pub fn tiny() -> TpchScale {
+        TpchScale {
+            scale_factor: 0.0002,
+            seed: 42,
+        }
+    }
+
+    /// A scale suitable for benchmarks on a laptop (tens of thousands of
+    /// lineitems).
+    pub fn bench() -> TpchScale {
+        TpchScale {
+            scale_factor: 0.005,
+            seed: 7,
+        }
+    }
+
+    /// An explicit scale factor with the default seed.
+    pub fn new(scale_factor: f64) -> TpchScale {
+        TpchScale {
+            scale_factor,
+            seed: 7,
+        }
+    }
+
+    /// Number of suppliers.
+    pub fn suppliers(&self) -> usize {
+        ((10_000.0 * self.scale_factor) as usize).max(5)
+    }
+
+    /// Number of customers.
+    pub fn customers(&self) -> usize {
+        ((150_000.0 * self.scale_factor) as usize).max(10)
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        ((200_000.0 * self.scale_factor) as usize).max(10)
+    }
+
+    /// Number of orders.
+    pub fn orders(&self) -> usize {
+        ((1_500_000.0 * self.scale_factor) as usize).max(30)
+    }
+}
+
+/// The eight deterministic TPC-H tables (plus the customer-side copy of
+/// `Nation`), before probabilistic conversion.
+#[derive(Debug, Clone)]
+pub struct TpchData {
+    /// `Region(rkey, rname)`.
+    pub region: Table,
+    /// `Nation(nkey, nname, rkey)` — the supplier-side copy.
+    pub nation: Table,
+    /// `NationC(cnkey, cnname, crkey)` — the customer-side copy.
+    pub nation_c: Table,
+    /// `Supp(skey, sname, nkey, acctbal)`.
+    pub supp: Table,
+    /// `Cust(ckey, cname, cnkey, cacctbal, mktsegment)`.
+    pub cust: Table,
+    /// `Part(pkey, pname, brand, type, size, container, retailprice)`.
+    pub part: Table,
+    /// `Psupp(pkey, skey, availqty, supplycost)`.
+    pub psupp: Table,
+    /// `Ord(okey, ckey, ostatus, totalprice, odate, opriority)`.
+    pub ord: Table,
+    /// `Item(okey, linenumber, pkey, skey, quantity, extendedprice, discount,
+    /// shipdate, returnflag, shipmode)`.
+    pub item: Table,
+}
+
+impl TpchData {
+    /// Generates the full database at the given scale.
+    pub fn generate(scale: TpchScale) -> TpchData {
+        let mut rng = SmallRng::seed_from_u64(scale.seed);
+        let region = gen_region();
+        let nation = gen_nation(false);
+        let nation_c = gen_nation(true);
+        let supp = gen_supp(&mut rng, scale.suppliers());
+        let cust = gen_cust(&mut rng, scale.customers());
+        let part = gen_part(&mut rng, scale.parts());
+        let psupp = gen_psupp(&mut rng, scale.parts(), scale.suppliers());
+        let (ord, item) = gen_orders_items(&mut rng, scale.orders(), scale.customers(), scale.parts(), scale.suppliers());
+        TpchData {
+            region,
+            nation,
+            nation_c,
+            supp,
+            cust,
+            part,
+            psupp,
+            ord,
+            item,
+        }
+    }
+
+    /// Total number of tuples across all tables.
+    pub fn total_tuples(&self) -> usize {
+        self.region.len()
+            + self.nation.len()
+            + self.nation_c.len()
+            + self.supp.len()
+            + self.cust.len()
+            + self.part.len()
+            + self.psupp.len()
+            + self.ord.len()
+            + self.item.len()
+    }
+}
+
+fn schema(pairs: &[(&str, DataType)]) -> Schema {
+    Schema::from_pairs(pairs).expect("static schema")
+}
+
+fn gen_region() -> Table {
+    let mut t = Table::new(schema(&[("rkey", DataType::Int), ("rname", DataType::Str)]));
+    for (i, name) in REGIONS.iter().enumerate() {
+        t.insert(tuple![i as i64, *name]).expect("valid row");
+    }
+    t
+}
+
+fn gen_nation(customer_side: bool) -> Table {
+    let (key, name, rkey) = if customer_side {
+        ("cnkey", "cnname", "crkey")
+    } else {
+        ("nkey", "nname", "rkey")
+    };
+    let mut t = Table::new(schema(&[
+        (key, DataType::Int),
+        (name, DataType::Str),
+        (rkey, DataType::Int),
+    ]));
+    for (i, nation) in NATIONS.iter().enumerate() {
+        t.insert(tuple![i as i64, *nation, (i % REGIONS.len()) as i64])
+            .expect("valid row");
+    }
+    t
+}
+
+fn gen_supp(rng: &mut SmallRng, count: usize) -> Table {
+    let mut t = Table::new(schema(&[
+        ("skey", DataType::Int),
+        ("sname", DataType::Str),
+        ("nkey", DataType::Int),
+        ("acctbal", DataType::Float),
+    ]));
+    for skey in 1..=count as i64 {
+        t.insert(tuple![
+            skey,
+            format!("Supplier#{skey:09}"),
+            rng.gen_range(0..NATIONS.len() as i64),
+            round2(rng.gen_range(-999.0..10_000.0)),
+        ])
+        .expect("valid row");
+    }
+    t
+}
+
+fn gen_cust(rng: &mut SmallRng, count: usize) -> Table {
+    let mut t = Table::new(schema(&[
+        ("ckey", DataType::Int),
+        ("cname", DataType::Str),
+        ("cnkey", DataType::Int),
+        ("cacctbal", DataType::Float),
+        ("mktsegment", DataType::Str),
+    ]));
+    for ckey in 1..=count as i64 {
+        t.insert(tuple![
+            ckey,
+            format!("Customer#{ckey:09}"),
+            rng.gen_range(0..NATIONS.len() as i64),
+            round2(rng.gen_range(-999.0..10_000.0)),
+            SEGMENTS[rng.gen_range(0..SEGMENTS.len())],
+        ])
+        .expect("valid row");
+    }
+    t
+}
+
+fn gen_part(rng: &mut SmallRng, count: usize) -> Table {
+    let mut t = Table::new(schema(&[
+        ("pkey", DataType::Int),
+        ("pname", DataType::Str),
+        ("brand", DataType::Str),
+        ("type", DataType::Str),
+        ("size", DataType::Int),
+        ("container", DataType::Str),
+        ("retailprice", DataType::Float),
+    ]));
+    for pkey in 1..=count as i64 {
+        let brand = format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6));
+        t.insert(tuple![
+            pkey,
+            format!("part {pkey} forest lace"),
+            brand,
+            PART_TYPES[rng.gen_range(0..PART_TYPES.len())],
+            rng.gen_range(1..51i64),
+            CONTAINERS[rng.gen_range(0..CONTAINERS.len())],
+            round2(900.0 + rng.gen_range(0.0..200.0)),
+        ])
+        .expect("valid row");
+    }
+    t
+}
+
+fn gen_psupp(rng: &mut SmallRng, parts: usize, suppliers: usize) -> Table {
+    let mut t = Table::new(schema(&[
+        ("pkey", DataType::Int),
+        ("skey", DataType::Int),
+        ("availqty", DataType::Int),
+        ("supplycost", DataType::Float),
+    ]));
+    // TPC-H associates 4 suppliers with every part.
+    for pkey in 1..=parts as i64 {
+        let mut chosen = Vec::new();
+        for _ in 0..4 {
+            let mut skey = rng.gen_range(1..=suppliers as i64);
+            while chosen.contains(&skey) {
+                skey = rng.gen_range(1..=suppliers as i64);
+            }
+            chosen.push(skey);
+            t.insert(tuple![
+                pkey,
+                skey,
+                rng.gen_range(1..10_000i64),
+                round2(rng.gen_range(1.0..1_000.0)),
+            ])
+            .expect("valid row");
+        }
+    }
+    t
+}
+
+fn gen_orders_items(
+    rng: &mut SmallRng,
+    orders: usize,
+    customers: usize,
+    parts: usize,
+    suppliers: usize,
+) -> (Table, Table) {
+    let mut ord = Table::new(schema(&[
+        ("okey", DataType::Int),
+        ("ckey", DataType::Int),
+        ("ostatus", DataType::Str),
+        ("totalprice", DataType::Float),
+        ("odate", DataType::Date),
+        ("opriority", DataType::Str),
+    ]));
+    let mut item = Table::new(schema(&[
+        ("okey", DataType::Int),
+        ("linenumber", DataType::Int),
+        ("pkey", DataType::Int),
+        ("skey", DataType::Int),
+        ("quantity", DataType::Int),
+        ("extendedprice", DataType::Float),
+        ("discount", DataType::Float),
+        ("shipdate", DataType::Date),
+        ("returnflag", DataType::Str),
+        ("shipmode", DataType::Str),
+    ]));
+    let start = date(1992, 1, 1);
+    let end = date(1998, 8, 2);
+    let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+    let flags = ["R", "A", "N"];
+    for okey in 1..=orders as i64 {
+        let odate = rng.gen_range(start..end);
+        let status = if rng.gen_bool(0.5) { "F" } else { "O" };
+        ord.insert(tuple![
+            okey,
+            rng.gen_range(1..=customers as i64),
+            status,
+            round2(rng.gen_range(1_000.0..400_000.0)),
+            Value::Date(odate),
+            priorities[rng.gen_range(0..priorities.len())],
+        ])
+        .expect("valid row");
+        let lines = rng.gen_range(1..=7);
+        for line in 1..=lines {
+            let shipdate = odate + rng.gen_range(1..122);
+            item.insert(tuple![
+                okey,
+                line as i64,
+                rng.gen_range(1..=parts as i64),
+                rng.gen_range(1..=suppliers as i64),
+                rng.gen_range(1..=50i64),
+                round2(rng.gen_range(900.0..100_000.0)),
+                round2(rng.gen_range(0.0..0.11)),
+                Value::Date(shipdate),
+                flags[rng.gen_range(0..flags.len())],
+                SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())],
+            ])
+            .expect("valid row");
+        }
+    }
+    (ord, item)
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_follow_the_scale_factor() {
+        let scale = TpchScale::tiny();
+        let data = TpchData::generate(scale);
+        assert_eq!(data.region.len(), 5);
+        assert_eq!(data.nation.len(), 25);
+        assert_eq!(data.nation_c.len(), 25);
+        assert_eq!(data.cust.len(), scale.customers());
+        assert_eq!(data.ord.len(), scale.orders());
+        assert_eq!(data.psupp.len(), 4 * scale.parts());
+        // Roughly 4 lineitems per order.
+        assert!(data.item.len() >= data.ord.len());
+        assert!(data.item.len() <= 7 * data.ord.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchData::generate(TpchScale::tiny());
+        let b = TpchData::generate(TpchScale::tiny());
+        assert_eq!(a.ord.rows(), b.ord.rows());
+        assert_eq!(a.item.rows(), b.item.rows());
+        // A different seed produces different data.
+        let c = TpchData::generate(TpchScale {
+            seed: 123,
+            ..TpchScale::tiny()
+        });
+        assert_ne!(a.ord.rows(), c.ord.rows());
+    }
+
+    #[test]
+    fn foreign_keys_reference_existing_tuples() {
+        let scale = TpchScale::tiny();
+        let data = TpchData::generate(scale);
+        let customers = scale.customers() as i64;
+        for row in data.ord.rows() {
+            let ckey = row.value(1).as_int().unwrap();
+            assert!(ckey >= 1 && ckey <= customers);
+        }
+        let orders = scale.orders() as i64;
+        for row in data.item.rows() {
+            let okey = row.value(0).as_int().unwrap();
+            assert!(okey >= 1 && okey <= orders);
+        }
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let data = TpchData::generate(TpchScale::tiny());
+        assert_eq!(data.ord.distinct_values("okey").unwrap().len(), data.ord.len());
+        assert_eq!(data.cust.distinct_values("ckey").unwrap().len(), data.cust.len());
+        assert_eq!(data.part.distinct_values("pkey").unwrap().len(), data.part.len());
+    }
+
+    #[test]
+    fn value_domains_match_the_query_constants() {
+        let data = TpchData::generate(TpchScale::tiny());
+        let segments = data.cust.distinct_values("mktsegment").unwrap();
+        assert!(segments.contains(&Value::str("BUILDING")));
+        let names = data.nation.distinct_values("nname").unwrap();
+        assert!(names.contains(&Value::str("FRANCE")));
+        assert!(names.contains(&Value::str("GERMANY")));
+        let modes = data.item.distinct_values("shipmode").unwrap();
+        assert!(modes.contains(&Value::str("MAIL")));
+    }
+
+    #[test]
+    fn scale_accessors() {
+        let s = TpchScale::new(0.01);
+        assert_eq!(s.customers(), 1_500);
+        assert_eq!(s.orders(), 15_000);
+        assert_eq!(s.suppliers(), 100);
+        assert_eq!(s.parts(), 2_000);
+        assert!(TpchScale::bench().scale_factor > TpchScale::tiny().scale_factor);
+    }
+}

@@ -1,0 +1,80 @@
+//! Operator placement and plan-space exploration (Section V.B, Fig. 7).
+//!
+//! Reproduces Example V.6: placing probability-computation operators at
+//! different nodes of a plan for the guiding query, showing how signatures
+//! are restricted, split, and updated when parts of the answer have already
+//! been aggregated below.
+//!
+//! Run with: `cargo run --example plan_exploration`
+
+use std::collections::BTreeSet;
+
+use pdb_query::cq::intro_query_q;
+use pdb_query::reduct::FdReduct;
+use pdb_query::FdSet;
+use sprout_plan::placement::PlacementContext;
+
+fn attrs(names: &[&str]) -> BTreeSet<String> {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+fn main() {
+    let q = intro_query_q().boolean_version();
+    let reduct = FdReduct::compute(&q, &FdSet::empty());
+    let ctx = PlacementContext::new(reduct.tree().expect("hierarchical"), FdSet::empty());
+    println!("query signature: [{}]", ctx.query_signature());
+    println!();
+
+    // Plan (c), node p: the subplan joining only Cust and Ord.
+    let ops = ctx
+        .operator_signatures(&attrs(&["Cust", "Ord"]), &[])
+        .expect("placement succeeds");
+    println!("operator after Cust ⋈ Ord (plan (c), node p):");
+    println!("  [{}]", render(&ops));
+
+    // Plan (b): the subplan joining Ord and Item contains the full minimal
+    // cover of {Ord, Item}, so the propagation step is valid.
+    let ops = ctx
+        .operator_signatures(&attrs(&["Ord", "Item"]), &[])
+        .expect("placement succeeds");
+    println!("operator after Ord ⋈ Item (plan (b)):");
+    println!("  [{}]", render(&ops));
+
+    // Plan (a): base-table operators have run below; the operator after
+    // Ord ⋈ Item and the top operator adapt accordingly.
+    let singles = [attrs(&["Item"]), attrs(&["Ord"]), attrs(&["Cust"])];
+    let ops = ctx
+        .operator_signatures(&attrs(&["Ord", "Item"]), &singles)
+        .expect("placement succeeds");
+    println!("operator after Ord ⋈ Item with [Item*],[Ord*],[Cust*] below (plan (a)):");
+    println!("  [{}]", render(&ops));
+
+    let mut reduced = singles.to_vec();
+    reduced.push(attrs(&["Ord", "Item"]));
+    let ops = ctx
+        .operator_signatures(&attrs(&["Cust", "Ord", "Item"]), &reduced)
+        .expect("placement succeeds");
+    println!("top operator of plan (a):");
+    println!("  [{}]", render(&ops));
+
+    // With the TPC-H keys the same placements simplify (end of Section V.B).
+    let fds = FdSet::new(vec![
+        pdb_query::FunctionalDependency::on("Ord", &["okey"], &["ckey", "odate"]),
+        pdb_query::FunctionalDependency::on("Cust", &["ckey"], &["cname"]),
+    ]);
+    let reduct = FdReduct::compute(&q, &fds);
+    let ctx = PlacementContext::new(reduct.tree().expect("hierarchical"), fds);
+    println!();
+    println!("with the TPC-H keys the query signature refines to [{}]", ctx.query_signature());
+    let ops = ctx
+        .operator_signatures(&attrs(&["Ord", "Item"]), &[])
+        .expect("placement succeeds");
+    println!("operator after Ord ⋈ Item becomes [{}]", render(&ops));
+}
+
+fn render(ops: &[pdb_query::Signature]) -> String {
+    ops.iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
