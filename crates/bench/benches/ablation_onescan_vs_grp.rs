@@ -25,14 +25,21 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(1));
 
     for id in ["18", "B3", "10", "7"] {
-        let query = tpch_query(id).expect("catalogue id").query.expect("conjunctive");
-        let order = sprout_plan::join_order::greedy_join_order(&query, db.catalog())
-            .expect("join order");
+        let query = tpch_query(id)
+            .expect("catalogue id")
+            .query
+            .expect("conjunctive");
+        let order =
+            sprout_plan::join_order::greedy_join_order(&query, db.catalog()).expect("join order");
         let answer = evaluate_join_order(&query, db.catalog(), &order).expect("answer tuples");
         let op = ConfidenceOperator::new(query_signature(&query, &fds).expect("tractable"));
 
         group.bench_function(format!("q{id}_streaming"), |b| {
-            b.iter(|| op.compute(&answer, Strategy::Auto).expect("operator runs").len())
+            b.iter(|| {
+                op.compute(&answer, Strategy::Auto)
+                    .expect("operator runs")
+                    .len()
+            })
         });
         group.bench_function(format!("q{id}_grp_semantics"), |b| {
             b.iter(|| {

@@ -24,10 +24,18 @@ fn bench(c: &mut Criterion) {
         let qb = selectivity_query_b(price);
         for (plan_name, kind) in [("lazy", PlanKind::Lazy), ("eager", PlanKind::Eager)] {
             group.bench_function(format!("A_{label}_{plan_name}"), |b| {
-                b.iter(|| db.query(&qa, kind.clone()).expect("query A runs").distinct_tuples)
+                b.iter(|| {
+                    db.query(&qa, kind.clone())
+                        .expect("query A runs")
+                        .distinct_tuples
+                })
             });
             group.bench_function(format!("B_{label}_{plan_name}"), |b| {
-                b.iter(|| db.query(&qb, kind.clone()).expect("query B runs").distinct_tuples)
+                b.iter(|| {
+                    db.query(&qb, kind.clone())
+                        .expect("query B runs")
+                        .distinct_tuples
+                })
             });
         }
     }

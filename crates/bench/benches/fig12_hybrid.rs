@@ -27,7 +27,11 @@ fn bench(c: &mut Criterion) {
             ("hybrid", PlanKind::Hybrid(pushed.clone())),
         ] {
             group.bench_function(format!("{id}_{plan_name}"), |b| {
-                b.iter(|| db.query(&query, kind.clone()).expect("query runs").distinct_tuples)
+                b.iter(|| {
+                    db.query(&query, kind.clone())
+                        .expect("query runs")
+                        .distinct_tuples
+                })
             });
         }
     }

@@ -22,34 +22,40 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(1));
 
     for id in ["2", "7", "11", "B3"] {
-        let query = tpch_query(id).expect("catalogue id").query.expect("conjunctive");
-        let order = sprout_plan::join_order::greedy_join_order(&query, db.catalog())
-            .expect("join order");
+        let query = tpch_query(id)
+            .expect("catalogue id")
+            .query
+            .expect("conjunctive");
+        let order =
+            sprout_plan::join_order::greedy_join_order(&query, db.catalog()).expect("join order");
         let answer = evaluate_join_order(&query, db.catalog(), &order).expect("answer tuples");
 
         // Sequential scan baseline.
         group.bench_function(format!("q{id}_seqscan"), |b| {
-            b.iter(|| {
-                answer
-                    .rows()
-                    .iter()
-                    .map(|r| r.lineage.len())
-                    .sum::<usize>()
-            })
+            b.iter(|| answer.iter().map(|r| r.lineage.len()).sum::<usize>())
         });
 
         // Operator with the TPC-H FDs.
         let sig_fds = query_signature(&query, &fds).expect("tractable with FDs");
         let op_fds = ConfidenceOperator::new(sig_fds);
         group.bench_function(format!("q{id}_operator_with_fds"), |b| {
-            b.iter(|| op_fds.compute(&answer, Strategy::Auto).expect("operator runs").len())
+            b.iter(|| {
+                op_fds
+                    .compute(&answer, Strategy::Auto)
+                    .expect("operator runs")
+                    .len()
+            })
         });
 
         // Operator without FDs, when the query stays tractable.
         if let Ok(sig) = query_signature(&query, &FdSet::empty()) {
             let op = ConfidenceOperator::new(sig);
             group.bench_function(format!("q{id}_operator_no_fds"), |b| {
-                b.iter(|| op.compute(&answer, Strategy::Auto).expect("operator runs").len())
+                b.iter(|| {
+                    op.compute(&answer, Strategy::Auto)
+                        .expect("operator runs")
+                        .len()
+                })
             });
         }
     }

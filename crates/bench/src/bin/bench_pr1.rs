@@ -1,0 +1,370 @@
+//! PR 1 regression benchmark: the allocation-lean lazy-plan hot path.
+//!
+//! Produces `BENCH_PR1.json` with two experiments:
+//!
+//! 1. **Plan families** — lazy vs. eager vs. hybrid wall-clock times on a
+//!    TPC-H workload (single-table Q1/Q6-style selections plus the join
+//!    queries of Fig. 9) at scale factors 0.01 and 0.1.
+//! 2. **Seed vs. optimized hot path** — the full lazy-plan
+//!    `join → sort → one-scan` pipeline on the Fig. 9 workload, once
+//!    through the retained row-at-a-time seed implementation
+//!    (`pdb_exec::baseline`: per-probe `Vec<Value>` keys, per-row `Tuple` /
+//!    lineage clones, `Value`-comparison sorting) and once through the
+//!    PR-1 path (normalized `u64` join keys, arena slice-append, sort-based
+//!    dedup over normalized keys). The acceptance criterion is a ≥3×
+//!    speedup on this pipeline.
+//!
+//! Run with `cargo run --release -p sprout-bench --bin bench_pr1`; set
+//! `SPROUT_BENCH_SFS=0.01,0.1` to change the scale factors and
+//! `SPROUT_BENCH_OUT` to change the output path.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::Criterion;
+
+use pdb_conf::one_scan::one_scan_confidences_presorted;
+use pdb_exec::{baseline, evaluate_join_order, ops, Annotated};
+use pdb_query::reduct::query_signature;
+use pdb_query::{ConjunctiveQuery, OneScanTree};
+use sprout::{PlanKind, SproutDb};
+use sprout_bench::harness::{build_database, run_plan};
+use sprout_plan::join_order::greedy_join_order;
+
+use pdb_tpch::{fig9_queries, tpch_query};
+
+fn main() {
+    let sfs: Vec<f64> = std::env::var("SPROUT_BENCH_SFS")
+        .unwrap_or_else(|_| "0.01,0.1".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let out_path =
+        std::env::var("SPROUT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR1.json".to_string());
+
+    let mut plan_rows = Vec::new();
+    let mut hot_path_rows = Vec::new();
+
+    for &sf in &sfs {
+        eprintln!("== scale factor {sf}: building probabilistic TPC-H database ...");
+        let db = build_database(sf);
+        plan_families(&db, sf, &mut plan_rows);
+        hot_path(&db, sf, &mut hot_path_rows);
+    }
+
+    let json = render_json(&plan_rows, &hot_path_rows);
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+
+    let speedups: Vec<f64> = hot_path_rows.iter().map(|r| r.speedup).collect();
+    if let Some(min) = speedups.iter().copied().reduce(f64::min) {
+        let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        eprintln!(
+            "hot-path speedup over the seed row-at-a-time pipeline: geomean {geomean:.2}x, min {min:.2}x"
+        );
+    }
+}
+
+struct PlanRow {
+    sf: f64,
+    query: String,
+    plan: String,
+    tuple_s: f64,
+    conf_s: f64,
+    total_s: f64,
+    distinct: usize,
+}
+
+/// Experiment 1: lazy vs. eager vs. hybrid on Q1/Q6-style selections plus
+/// the Fig. 9 join queries.
+fn plan_families(db: &SproutDb, sf: f64, out: &mut Vec<PlanRow>) {
+    let mut workload: Vec<(String, ConjunctiveQuery)> = Vec::new();
+    for id in ["1", "6", "B6"] {
+        if let Some(entry) = tpch_query(id) {
+            if let Some(q) = entry.query {
+                workload.push((entry.id, q));
+            }
+        }
+    }
+    for entry in fig9_queries() {
+        if let Some(q) = entry.query {
+            workload.push((entry.id, q));
+        }
+    }
+
+    for (id, query) in &workload {
+        let hybrid_push = hybrid_pushdown(query);
+        let plans = [
+            ("lazy", PlanKind::Lazy),
+            ("eager", PlanKind::Eager),
+            ("hybrid", PlanKind::Hybrid(hybrid_push.clone())),
+        ];
+        for (name, kind) in plans {
+            // Fastest-of-3 through the harness (plan construction included).
+            let mut best: Option<PlanRow> = None;
+            for _ in 0..3 {
+                match run_plan(db, id, query, kind.clone(), true) {
+                    Ok(m) => {
+                        let row = PlanRow {
+                            sf,
+                            query: id.clone(),
+                            plan: name.to_string(),
+                            tuple_s: m.tuple_time.as_secs_f64(),
+                            conf_s: m.confidence_time.as_secs_f64(),
+                            total_s: m.total().as_secs_f64(),
+                            distinct: m.distinct_tuples,
+                        };
+                        if best.as_ref().is_none_or(|b| row.total_s < b.total_s) {
+                            best = Some(row);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("  sf {sf} q{id} {name}: {e}");
+                        break;
+                    }
+                }
+            }
+            if let Some(row) = best {
+                eprintln!(
+                    "  sf {sf} q{} {:<6} total {:.4}s ({} distinct)",
+                    row.query, row.plan, row.total_s, row.distinct
+                );
+                out.push(row);
+            }
+        }
+    }
+}
+
+/// The hybrid plans of Fig. 12 push the aggregation of the biggest table
+/// below the joins; Item (lineitem) is the biggest, then Psupp.
+fn hybrid_pushdown(query: &ConjunctiveQuery) -> Vec<String> {
+    let rels: BTreeSet<&str> = query.relation_names().into_iter().collect();
+    for candidate in ["Item", "Psupp", "Ord"] {
+        if rels.contains(candidate) {
+            return vec![candidate.to_string()];
+        }
+    }
+    Vec::new()
+}
+
+struct HotPathRow {
+    sf: f64,
+    query: String,
+    rows: usize,
+    seed_s: f64,
+    optimized_s: f64,
+    speedup: f64,
+}
+
+/// Experiment 2: the lazy-plan `join → sort → one-scan` pipeline, seed
+/// (row-at-a-time) vs. PR-1 (arena + normalized keys), measured with the
+/// criterion harness.
+fn hot_path(db: &SproutDb, sf: f64, out: &mut Vec<HotPathRow>) {
+    let fds = sprout::FdSet::from_catalog_decls(&db.catalog().fds());
+    let mut criterion = Criterion::default();
+
+    let mut specs = Vec::new();
+    for entry in fig9_queries() {
+        let Some(query) = entry.query else { continue };
+        let Ok(sig) = query_signature(&query, &fds) else {
+            continue;
+        };
+        if !sig.is_one_scan() {
+            // The hot-path A/B needs the single-sort one-scan pipeline.
+            continue;
+        }
+        let order = greedy_join_order(&query, db.catalog()).expect("join order");
+        specs.push((entry.id, query, sig, order));
+    }
+
+    for (id, query, sig, order) in &specs {
+        let preorder = OneScanTree::build(sig).expect("1scan signature").preorder();
+        let rows = evaluate_join_order(query, db.catalog(), order)
+            .expect("answer tuples")
+            .len();
+
+        let mut group = criterion.benchmark_group(format!("pr1_hot_path_sf{sf}"));
+        group
+            .sample_size(if sf >= 0.05 { 3 } else { 5 })
+            .warm_up_time(Duration::from_millis(if sf >= 0.05 { 50 } else { 200 }))
+            .measurement_time(Duration::from_secs(if sf >= 0.05 { 20 } else { 4 }));
+        group.bench_function(format!("q{id}_seed_rowwise"), |b| {
+            b.iter(|| {
+                let answer = evaluate_join_order_rowwise(query, db.catalog(), order);
+                let data_cols = all_columns(&answer);
+                let sorted = baseline::sort_for_confidence_rowwise(&answer, &data_cols, &preorder)
+                    .expect("sortable");
+                one_scan_confidences_presorted(&sorted, sig)
+                    .expect("one scan")
+                    .len()
+            })
+        });
+        group.bench_function(format!("q{id}_optimized"), |b| {
+            b.iter(|| {
+                let answer =
+                    evaluate_join_order(query, db.catalog(), order).expect("answer tuples");
+                let data_cols = all_columns(&answer);
+                let sorted = ops::sort_dedup(&answer, &data_cols, &preorder).expect("sortable");
+                one_scan_confidences_presorted(&sorted, sig)
+                    .expect("one scan")
+                    .len()
+            })
+        });
+
+        group.finish();
+        drop(group);
+        let seed = result_secs(
+            &criterion,
+            &format!("pr1_hot_path_sf{sf}/q{id}_seed_rowwise"),
+        );
+        let optimized = result_secs(&criterion, &format!("pr1_hot_path_sf{sf}/q{id}_optimized"));
+        let speedup = seed / optimized.max(1e-12);
+        eprintln!(
+            "  sf {sf} q{id}: seed {seed:.4}s vs optimized {optimized:.4}s — {speedup:.2}x ({rows} answer rows)"
+        );
+        out.push(HotPathRow {
+            sf,
+            query: id.clone(),
+            rows,
+            seed_s: seed,
+            optimized_s: optimized,
+            speedup,
+        });
+    }
+}
+
+fn result_secs(criterion: &Criterion, id: &str) -> f64 {
+    criterion
+        .results
+        .iter()
+        .find(|(name, _)| name == id)
+        .map(|(_, s)| s.mean.as_secs_f64())
+        .expect("benchmark id was measured")
+}
+
+fn all_columns(answer: &Annotated) -> Vec<String> {
+    answer
+        .schema()
+        .names()
+        .into_iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// The seed pipeline: identical query evaluation, but joins and filters go
+/// through the retained row-at-a-time implementations.
+fn evaluate_join_order_rowwise(
+    query: &ConjunctiveQuery,
+    catalog: &sprout::Catalog,
+    order: &[String],
+) -> Annotated {
+    let head: BTreeSet<String> = query.head_set();
+    let join_attrs = query.join_attributes();
+    let mut current: Option<Annotated> = None;
+    for (step, rel_name) in order.iter().enumerate() {
+        let atom = query.relation(rel_name).expect("relation in query");
+        let table = catalog.table(rel_name).expect("table registered");
+        let keep: Vec<String> = atom
+            .attributes
+            .iter()
+            .filter(|a| {
+                head.contains(*a)
+                    || join_attrs.contains(*a)
+                    || query
+                        .predicates_for(rel_name)
+                        .iter()
+                        .any(|p| &p.attribute == *a)
+            })
+            .cloned()
+            .collect();
+        let mut scanned = baseline::scan_rowwise(&table, rel_name, &keep).expect("scan");
+        for pred in query.predicates_for(rel_name) {
+            scanned = baseline::filter_rowwise(&scanned, pred).expect("filter");
+        }
+        let post_scan: Vec<String> = scanned
+            .schema()
+            .names()
+            .into_iter()
+            .filter(|a| head.contains(*a) || join_attrs.contains(*a))
+            .map(|s| s.to_string())
+            .collect();
+        scanned = baseline::project_rowwise(&scanned, &post_scan).expect("project");
+
+        current = Some(match current {
+            None => scanned,
+            Some(acc) => baseline::natural_join_rowwise(&acc, &scanned).expect("join"),
+        });
+        if let Some(acc) = current.take() {
+            let remaining: BTreeSet<&String> = order[step + 1..].iter().collect();
+            let needed: Vec<String> = acc
+                .schema()
+                .names()
+                .into_iter()
+                .filter(|a| {
+                    head.contains(*a)
+                        || remaining.iter().any(|r| {
+                            query
+                                .relation(r)
+                                .map(|atom| atom.has_attribute(a))
+                                .unwrap_or(false)
+                        })
+                })
+                .map(|s| s.to_string())
+                .collect();
+            current = Some(baseline::project_rowwise(&acc, &needed).expect("project"));
+        }
+    }
+    let answer = current.expect("query has at least one relation");
+    baseline::project_rowwise(&answer, &query.head).expect("head projection")
+}
+
+fn render_json(plan_rows: &[PlanRow], hot_path_rows: &[HotPathRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"pr\": 1,\n");
+    s.push_str(
+        "  \"description\": \"Allocation-lean lazy-plan hot path: plan-family timings (lazy/eager/hybrid) and the join->sort->one-scan pipeline, seed row-at-a-time vs. arena + normalized keys\",\n",
+    );
+    s.push_str("  \"harness\": \"criterion (offline shim), mean over samples, min-of-3 for plan families\",\n");
+    let _ = writeln!(s, "  \"target\": \"{}\",", std::env::consts::ARCH);
+    s.push_str("  \"plan_families\": [\n");
+    for (i, r) in plan_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"plan\": \"{}\", \"tuple_s\": {:.6}, \"confidence_s\": {:.6}, \"total_s\": {:.6}, \"distinct_tuples\": {}}}",
+            r.sf, r.query, r.plan, r.tuple_s, r.conf_s, r.total_s, r.distinct
+        );
+        s.push_str(if i + 1 < plan_rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"hot_path_seed_vs_optimized\": [\n");
+    for (i, r) in hot_path_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"answer_rows\": {}, \"seed_s\": {:.6}, \"optimized_s\": {:.6}, \"speedup\": {:.3}}}",
+            r.sf, r.query, r.rows, r.seed_s, r.optimized_s, r.speedup
+        );
+        s.push_str(if i + 1 < hot_path_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    let speedups: Vec<f64> = hot_path_rows.iter().map(|r| r.speedup).collect();
+    let (geomean, min) = if speedups.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (
+            (speedups.iter().map(|x| x.ln()).sum::<f64>() / speedups.len() as f64).exp(),
+            speedups.iter().copied().fold(f64::INFINITY, f64::min),
+        )
+    };
+    let _ = writeln!(
+        s,
+        "  \"summary\": {{\"hot_path_geomean_speedup\": {geomean:.3}, \"hot_path_min_speedup\": {min:.3}, \"acceptance_threshold\": 3.0}}"
+    );
+    s.push_str("}\n");
+    s
+}

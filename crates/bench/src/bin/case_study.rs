@@ -16,8 +16,8 @@ fn main() {
 
     println!("# Section VI case study: TPC-H query classification");
     println!(
-        "{:<6} {:<26} {:<16} {:<16} {}",
-        "query", "class (paper)", "hier. w/o keys", "hier. with keys", "signature with keys"
+        "{:<6} {:<26} {:<16} {:<16} signature with keys",
+        "query", "class (paper)", "hier. w/o keys", "hier. with keys"
     );
 
     let mut counts = [0usize; 4];

@@ -36,7 +36,9 @@ fn main() {
 
     println!();
     println!("# MystiQ log-space aggregation on the same queries (runtime errors expected");
-    println!("# for large duplicate groups — queries 1, 4, 12 and the Boolean variants in the paper)");
+    println!(
+        "# for large duplicate groups — queries 1, 4, 12 and the Boolean variants in the paper)"
+    );
     for entry in fig10_queries() {
         let query = entry.query.expect("figure 10 queries are conjunctive");
         match run_plan(&db, &entry.id, &query, PlanKind::MystiqLogSpace, true) {

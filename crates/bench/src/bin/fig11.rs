@@ -13,7 +13,9 @@ fn main() {
     eprintln!("building probabilistic TPC-H database at scale factor {sf} ...");
     let db = build_database(sf);
 
-    println!("# Figure 11: eager vs. lazy plans while varying selection selectivity (scale factor {sf})");
+    println!(
+        "# Figure 11: eager vs. lazy plans while varying selection selectivity (scale factor {sf})"
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>12}",
         "selectivity", "lazy(A)[s]", "eager(A)[s]", "lazy(B)[s]", "eager(B)[s]"

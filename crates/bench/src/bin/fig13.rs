@@ -22,7 +22,10 @@ fn main() {
         "query", "seqscan[s]", "sort[s]", "op(no FDs)[s]", "op(FDs)[s]", "#answers", "#distinct"
     );
     for id in ["2", "7", "11", "B3"] {
-        let query = tpch_query(id).expect("catalogue id").query.expect("conjunctive");
+        let query = tpch_query(id)
+            .expect("catalogue id")
+            .query
+            .expect("conjunctive");
 
         // Materialise the answer once with the lazy join order, then time
         // the individual stages like the paper's table does.
@@ -35,7 +38,7 @@ fn main() {
         // Sequential scan: one pass over the materialised answer.
         let start = Instant::now();
         let mut checksum = 0usize;
-        for row in answer.rows() {
+        for row in answer.iter() {
             checksum = checksum.wrapping_add(row.lineage.len());
         }
         let seqscan = start.elapsed();
@@ -57,8 +60,7 @@ fn main() {
 
         // Operator without FDs (more scans); some queries are not even
         // tractable without them.
-        let no_fd_time = match pdb_query::reduct::query_signature(&query, &sprout::FdSet::empty())
-        {
+        let no_fd_time = match pdb_query::reduct::query_signature(&query, &sprout::FdSet::empty()) {
             Ok(sig) => {
                 let start = Instant::now();
                 ConfidenceOperator::new(sig)
@@ -74,7 +76,9 @@ fn main() {
             id,
             secs(seqscan),
             secs(sort_time),
-            no_fd_time.map(secs).unwrap_or_else(|| "intractable".to_string()),
+            no_fd_time
+                .map(secs)
+                .unwrap_or_else(|| "intractable".to_string()),
             secs(op_fds),
             answer.len(),
             conf_fds.len()

@@ -20,13 +20,13 @@ pub fn brute_force_confidences(answer: &Annotated) -> Vec<(Tuple, f64)> {
     // the same probability.
     let mut probs: BTreeMap<Variable, f64> = BTreeMap::new();
     let mut lineages: BTreeMap<Tuple, Dnf> = BTreeMap::new();
-    for row in answer.rows() {
-        for (var, p) in &row.lineage {
+    for row in answer.iter() {
+        for (var, p) in row.lineage {
             probs.entry(*var).or_insert(*p);
         }
         let clause = Clause::new(row.lineage.iter().map(|(v, _)| *v));
         lineages
-            .entry(row.data.clone())
+            .entry(row.data_tuple())
             .or_insert_with(Dnf::empty)
             .add_clause(clause);
     }
@@ -51,7 +51,10 @@ mod tests {
     fn intro_query_confidence_is_0_0028() {
         let catalog = fig1_catalog();
         let q = intro_query_q();
-        let order: Vec<String> = ["Cust", "Ord", "Item"].iter().map(|s| s.to_string()).collect();
+        let order: Vec<String> = ["Cust", "Ord", "Item"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
         let conf = brute_force_confidences(&answer);
         assert_eq!(conf.len(), 1);
@@ -65,7 +68,10 @@ mod tests {
         let mut q = intro_query_q();
         // Impossible predicate: nobody is called "Nobody".
         q.predicates[0].constant = pdb_storage::Value::str("Nobody");
-        let order: Vec<String> = ["Cust", "Ord", "Item"].iter().map(|s| s.to_string()).collect();
+        let order: Vec<String> = ["Cust", "Ord", "Item"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
         assert!(brute_force_confidences(&answer).is_empty());
     }
@@ -74,7 +80,10 @@ mod tests {
     fn boolean_query_yields_single_empty_tuple() {
         let catalog = fig1_catalog();
         let q = intro_query_q().boolean_version();
-        let order: Vec<String> = ["Cust", "Ord", "Item"].iter().map(|s| s.to_string()).collect();
+        let order: Vec<String> = ["Cust", "Ord", "Item"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
         let conf = brute_force_confidences(&answer);
         assert_eq!(conf.len(), 1);

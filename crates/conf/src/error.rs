@@ -62,7 +62,11 @@ mod tests {
         assert!(e.to_string().contains("query analysis"));
         let e: ConfError = ExecError::UnknownColumn("a".into()).into();
         assert!(e.to_string().contains("execution"));
-        assert!(ConfError::MissingLineage("Ord".into()).to_string().contains("Ord"));
-        assert!(ConfError::NotOneScan("(R*S*)*".into()).to_string().contains("1scan"));
+        assert!(ConfError::MissingLineage("Ord".into())
+            .to_string()
+            .contains("Ord"));
+        assert!(ConfError::NotOneScan("(R*S*)*".into())
+            .to_string()
+            .contains("1scan"));
     }
 }

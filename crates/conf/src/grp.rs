@@ -33,9 +33,8 @@ impl WorkTable {
         WorkTable {
             relations: answer.relations().to_vec(),
             rows: answer
-                .rows()
                 .iter()
-                .map(|r| (r.data.clone(), r.lineage.clone()))
+                .map(|r| (r.data_tuple(), r.lineage.to_vec()))
                 .collect(),
         }
     }
@@ -53,9 +52,10 @@ impl WorkTable {
     /// Fig. 5) and combine the probabilities of the group's *distinct*
     /// variables as independent events (`prob(P)`).
     fn aggregate(&mut self, relation: &str) -> ConfResult<()> {
+        type GroupKey = (Tuple, Vec<Variable>);
         let idx = self.relation_index(relation)?;
-        let mut groups: BTreeMap<(Tuple, Vec<Variable>), BTreeMap<Variable, f64>> = BTreeMap::new();
-        let mut exemplars: BTreeMap<(Tuple, Vec<Variable>), Vec<(Variable, f64)>> = BTreeMap::new();
+        let mut groups: BTreeMap<GroupKey, BTreeMap<Variable, f64>> = BTreeMap::new();
+        let mut exemplars: BTreeMap<GroupKey, Vec<(Variable, f64)>> = BTreeMap::new();
         for (data, lineage) in &self.rows {
             let others: Vec<Variable> = lineage
                 .iter()
@@ -145,7 +145,9 @@ pub fn grp_confidences(answer: &Annotated, signature: &Signature) -> ConfResult<
     // are combined accordingly.
     let mut out: BTreeMap<Tuple, Vec<f64>> = BTreeMap::new();
     for (data, lineage) in &table.rows {
-        out.entry(data.clone()).or_default().push(lineage[result_idx].1);
+        out.entry(data.clone())
+            .or_default()
+            .push(lineage[result_idx].1);
     }
     Ok(out
         .into_iter()
@@ -179,8 +181,7 @@ mod tests {
     fn intro_query_without_fds_matches_example_v1() {
         let catalog = fig1_catalog();
         let q = intro_query_q();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let sig = query_signature(&q, &FdSet::empty()).unwrap();
         let conf = grp_confidences(&answer, &sig).unwrap();
         assert_eq!(conf.len(), 1);
@@ -192,8 +193,7 @@ mod tests {
     fn refined_signature_with_keys_gives_the_same_confidence() {
         let catalog = fig1_catalog_with_keys();
         let q = intro_query_q();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Item", "Ord", "Cust"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Item", "Ord", "Cust"])).unwrap();
         let fds = FdSet::from_catalog_decls(&catalog.fds());
         let sig = query_signature(&q, &fds).unwrap();
         assert_eq!(sig.scan_count(), 1);
@@ -229,8 +229,7 @@ mod tests {
         let catalog = fig1_catalog();
         let mut q = intro_query_q();
         q.predicates[0].constant = pdb_storage::Value::str("Nobody");
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let sig = query_signature(&q, &FdSet::empty()).unwrap();
         assert!(grp_confidences(&answer, &sig).unwrap().is_empty());
     }
@@ -239,8 +238,7 @@ mod tests {
     fn missing_lineage_column_is_reported() {
         let catalog = fig1_catalog();
         let q = intro_query_q();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let sig = Signature::star(Signature::table("Nation"));
         assert!(matches!(
             grp_confidences(&answer, &sig),

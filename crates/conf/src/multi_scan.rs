@@ -15,9 +15,9 @@
 
 use std::collections::BTreeSet;
 
-use pdb_exec::{Annotated, AnnotatedRow};
+use pdb_exec::{Annotated, RowRef};
 use pdb_query::Signature;
-use pdb_storage::Tuple;
+use pdb_storage::{Tuple, Variable};
 
 use crate::error::ConfResult;
 use crate::one_scan::{one_scan_confidences, one_scan_confidences_presorted};
@@ -94,17 +94,22 @@ pub fn apply_pre_aggregation(input: &Annotated, step: &Signature) -> ConfResult<
         .collect::<Result<_, _>>()?;
     let mut out = Annotated::new(sorted.schema().clone(), kept_relations);
 
-    let rows = sorted.rows();
     let mut group_start = 0usize;
-    while group_start < rows.len() {
+    while group_start < sorted.len() {
         let mut group_end = group_start + 1;
-        while group_end < rows.len()
-            && same_group(&rows[group_start], &rows[group_end], &other_cols)
+        while group_end < sorted.len()
+            && same_group(sorted.row(group_start), sorted.row(group_end), &other_cols)
         {
             group_end += 1;
         }
-        let group = &rows[group_start..group_end];
-        out.push(aggregate_group(group, step, &sorted, &kept_cols, leftmost_col)?);
+        aggregate_group(
+            &sorted,
+            group_start..group_end,
+            step,
+            &kept_cols,
+            leftmost_col,
+            &mut out,
+        )?;
         group_start = group_end;
     }
     Ok(out)
@@ -117,27 +122,33 @@ fn step_preorder(step: &Signature) -> ConfResult<Vec<String>> {
     Ok(tree.preorder())
 }
 
-fn same_group(a: &AnnotatedRow, b: &AnnotatedRow, other_cols: &[usize]) -> bool {
+fn same_group(a: RowRef<'_>, b: RowRef<'_>, other_cols: &[usize]) -> bool {
     if a.data != b.data {
         return false;
     }
     other_cols.iter().all(|&c| a.lineage[c].0 == b.lineage[c].0)
 }
 
-/// Collapses one group of rows into a single pre-aggregated row.
+/// Collapses one group of rows (an index range of `sorted`) into a single
+/// pre-aggregated row appended to `out`.
 fn aggregate_group(
-    group: &[AnnotatedRow],
-    step: &Signature,
     sorted: &Annotated,
+    group: std::ops::Range<usize>,
+    step: &Signature,
     kept_cols: &[usize],
     leftmost_col: usize,
-) -> ConfResult<AnnotatedRow> {
+    out: &mut Annotated,
+) -> ConfResult<()> {
     // Evaluate the step's probability over the group alone: build a small
     // annotated relation with an empty data tuple so the whole group is a
     // single bag, then run the streaming algorithm on it.
-    let mut bag = Annotated::new(pdb_storage::Schema::empty(), sorted.relations().to_vec());
-    for row in group {
-        bag.push(AnnotatedRow::new(Tuple::empty(), row.lineage.clone()));
+    let mut bag = Annotated::with_row_capacity(
+        pdb_storage::Schema::empty(),
+        sorted.relations().to_vec(),
+        group.len(),
+    );
+    for i in group.clone() {
+        bag.push_row(&[], sorted.row(i).lineage);
     }
     let confidences = one_scan_confidences_presorted(&bag, step)?;
     debug_assert_eq!(confidences.len(), 1);
@@ -145,13 +156,13 @@ fn aggregate_group(
         .first()
         .map(|(_, p)| *p)
         .expect("non-empty group produces one confidence");
-    let representative = group
-        .iter()
-        .map(|r| r.lineage[leftmost_col].0)
+    let representative: Variable = group
+        .clone()
+        .map(|i| sorted.row(i).lineage[leftmost_col].0)
         .min()
         .expect("group is non-empty");
 
-    let exemplar = &group[0];
+    let exemplar = sorted.row(group.start);
     let lineage: Vec<_> = kept_cols
         .iter()
         .map(|&c| {
@@ -162,7 +173,8 @@ fn aggregate_group(
             }
         })
         .collect();
-    Ok(AnnotatedRow::new(exemplar.data.clone(), lineage))
+    out.push_row(exemplar.data, &lineage);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -187,8 +199,7 @@ mod tests {
         // (Cust*(Ord*Item*)*)*, which needs 3 scans (Example V.11).
         let catalog = fig1_catalog();
         let q = intro_query_q().boolean_version();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let sig = query_signature(&q, &FdSet::empty()).unwrap();
         assert_eq!(sig.scan_count(), 3);
         let conf = multi_scan_confidences(&answer, &sig).unwrap();
@@ -200,8 +211,7 @@ mod tests {
     fn multi_scan_handles_one_scan_signatures_too() {
         let catalog = fig1_catalog();
         let q = intro_query_q();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         // Without FDs the non-Boolean reduct still needs 2 scans; with the
         // per-bag refinement the final confidence must match the oracle.
         let sig = query_signature(&q, &FdSet::empty()).unwrap();
@@ -216,19 +226,20 @@ mod tests {
         let catalog = fig1_catalog();
         let mut q = intro_query_q();
         q.predicates.clear();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Ord", "Item", "Cust"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Ord", "Item", "Cust"])).unwrap();
         let sig = query_signature(&q, &FdSet::empty()).unwrap();
         let ours = multi_scan_confidences(&answer, &sig).unwrap();
         let reference = grp_confidences(&answer, &sig).unwrap();
         let oracle = brute_force_confidences(&answer);
         assert_eq!(ours.len(), oracle.len());
-        for ((t1, p1), ((t2, p2), (t3, p3))) in
-            ours.iter().zip(reference.iter().zip(oracle.iter()))
+        for ((t1, p1), ((t2, p2), (t3, p3))) in ours.iter().zip(reference.iter().zip(oracle.iter()))
         {
             assert_eq!(t1, t2);
             assert_eq!(t1, t3);
-            assert!((p1 - p3).abs() < 1e-9, "{t1}: multi-scan {p1} vs oracle {p3}");
+            assert!(
+                (p1 - p3).abs() < 1e-9,
+                "{t1}: multi-scan {p1} vs oracle {p3}"
+            );
             assert!((p2 - p3).abs() < 1e-9, "{t1}: grp {p2} vs oracle {p3}");
         }
     }
@@ -238,8 +249,7 @@ mod tests {
         let catalog = fig1_catalog();
         let mut q = intro_query_q();
         q.predicates.clear();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let step = Signature::star(Signature::table("Item"));
         let reduced = apply_pre_aggregation(&answer, &step).unwrap();
         assert!(reduced.len() < answer.len());
@@ -251,8 +261,7 @@ mod tests {
         let catalog = fig1_catalog();
         let mut q = intro_query_q();
         q.predicates[0].constant = pdb_storage::Value::str("Nobody");
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let sig = query_signature(&q, &FdSet::empty()).unwrap();
         assert!(multi_scan_confidences(&answer, &sig).unwrap().is_empty());
     }

@@ -10,7 +10,7 @@
 //! nodes are disabled while old partitions re-occur (many-to-many
 //! relationships) so that no work is repeated.
 
-use pdb_exec::{Annotated, AnnotatedRow};
+use pdb_exec::{Annotated, RowRef};
 use pdb_query::{OneScanTree, Signature};
 use pdb_storage::{Tuple, Variable};
 
@@ -55,7 +55,7 @@ impl ScanState {
     /// The `propagate prob` procedure of Fig. 8, applied to the subtree
     /// rooted at `node` for a row whose leftmost changed variable column (in
     /// preorder positions) is `i`.
-    fn propagate(&mut self, node: usize, i: usize, row: &AnnotatedRow) {
+    fn propagate(&mut self, node: usize, i: usize, row: RowRef<'_>) {
         // Postorder: children first.
         for child_pos in 0..self.nodes[node].children.len() {
             let child = self.nodes[node].children[child_pos];
@@ -213,8 +213,8 @@ pub fn one_scan_confidences_presorted(
     let preorder_cols: Vec<usize> = state.nodes.iter().map(|n| n.lineage_col).collect();
 
     let mut out = Vec::new();
-    let mut prev: Option<&AnnotatedRow> = None;
-    for row in answer.rows() {
+    let mut prev: Option<RowRef<'_>> = None;
+    for row in answer.iter() {
         match prev {
             None => {
                 state.reset();
@@ -222,7 +222,7 @@ pub fn one_scan_confidences_presorted(
             }
             Some(p) if p.data != row.data => {
                 // New bag of duplicates: finish the previous one.
-                out.push((p.data.clone(), state.flush()));
+                out.push((p.data_tuple(), state.flush()));
                 state.reset();
                 state.propagate(0, 0, row);
             }
@@ -237,7 +237,7 @@ pub fn one_scan_confidences_presorted(
         prev = Some(row);
     }
     if let Some(p) = prev {
-        out.push((p.data.clone(), state.flush()));
+        out.push((p.data_tuple(), state.flush()));
     }
     Ok(out)
 }
@@ -246,8 +246,8 @@ pub fn one_scan_confidences_presorted(
 /// differs between two rows, or `None` if all tracked columns coincide.
 fn leftmost_changed(
     preorder_cols: &[usize],
-    prev: &AnnotatedRow,
-    current: &AnnotatedRow,
+    prev: RowRef<'_>,
+    current: RowRef<'_>,
 ) -> Option<usize> {
     for (pos, &col) in preorder_cols.iter().enumerate() {
         let a: Variable = prev.lineage[col].0;
@@ -290,8 +290,7 @@ mod tests {
     fn intro_query_with_keys_runs_in_one_scan_and_matches_example_v13() {
         let catalog = fig1_catalog_with_keys();
         let q = intro_query_q();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
         assert!(sig.is_one_scan());
         let conf = one_scan_confidences(&answer, &sig).unwrap();
@@ -304,8 +303,7 @@ mod tests {
     fn rejects_signatures_without_the_one_scan_property() {
         let catalog = fig1_catalog();
         let q = intro_query_q().boolean_version();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         // Without FDs the Boolean query's signature is (Cust*(Ord*Item*)*)*.
         let sig = query_signature(&q, &FdSet::empty()).unwrap();
         assert!(!sig.is_one_scan());
@@ -322,16 +320,14 @@ mod tests {
         let catalog = fig1_catalog_with_keys();
         let mut q = intro_query_q();
         q.predicates.clear();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Ord", "Item", "Cust"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Ord", "Item", "Cust"])).unwrap();
         let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
         assert!(sig.is_one_scan());
         let ours = one_scan_confidences(&answer, &sig).unwrap();
         let reference = grp_confidences(&answer, &sig).unwrap();
         let oracle = brute_force_confidences(&answer);
         assert_eq!(ours.len(), oracle.len());
-        for ((t1, p1), ((t2, p2), (t3, p3))) in
-            ours.iter().zip(reference.iter().zip(oracle.iter()))
+        for ((t1, p1), ((t2, p2), (t3, p3))) in ours.iter().zip(reference.iter().zip(oracle.iter()))
         {
             assert_eq!(t1, t2);
             assert_eq!(t1, t3);
@@ -344,8 +340,7 @@ mod tests {
     fn boolean_query_produces_a_single_probability() {
         let catalog = fig1_catalog_with_keys();
         let q = intro_query_q().boolean_version();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
         let conf = one_scan_confidences(&answer, &sig).unwrap();
         assert_eq!(conf.len(), 1);
@@ -358,8 +353,7 @@ mod tests {
         let catalog = fig1_catalog_with_keys();
         let mut q = intro_query_q();
         q.predicates[0].constant = pdb_storage::Value::str("Nobody");
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
         assert!(one_scan_confidences(&answer, &sig).unwrap().is_empty());
     }
@@ -369,8 +363,7 @@ mod tests {
         let catalog = fig1_catalog_with_keys();
         let mut q = intro_query_q();
         q.predicates.clear();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
         let mut sorted = answer.clone();
         sort_for_signature(&mut sorted, &sig).unwrap();

@@ -113,8 +113,7 @@ mod tests {
     fn all_strategies_agree_on_the_intro_query() {
         let catalog = fig1_catalog_with_keys();
         let q = intro_query_q();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let fds = FdSet::from_catalog_decls(&catalog.fds());
         let op = ConfidenceOperator::new(query_signature(&q, &fds).unwrap());
         assert_eq!(op.scans(), 1);
@@ -135,8 +134,7 @@ mod tests {
     fn auto_falls_back_to_multi_scan() {
         let catalog = fig1_catalog();
         let q = intro_query_q().boolean_version();
-        let answer =
-            evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         let op = ConfidenceOperator::new(query_signature(&q, &FdSet::empty()).unwrap());
         assert_eq!(op.scans(), 3);
         let conf = op.compute(&answer, Strategy::Auto).unwrap();

@@ -51,9 +51,9 @@ fn prob() -> impl proptest::strategy::Strategy<Value = f64> {
 
 #[derive(Debug, Clone)]
 struct CustOrdItem {
-    cust: Vec<(i64, i64, f64)>,          // (ckey, name id, prob)
-    ord: Vec<(i64, i64, i64, f64)>,      // (okey, ckey, odate id, prob)
-    item: Vec<(i64, i64, f64, f64)>,     // (okey, ckey, discount, prob)
+    cust: Vec<(i64, i64, f64)>,      // (ckey, name id, prob)
+    ord: Vec<(i64, i64, i64, f64)>,  // (okey, ckey, odate id, prob)
+    item: Vec<(i64, i64, f64, f64)>, // (okey, ckey, discount, prob)
     with_keys: bool,
 }
 
@@ -63,10 +63,7 @@ fn cust_ord_item_strategy() -> impl proptest::strategy::Strategy<Value = CustOrd
     let item = proptest::collection::vec((1i64..=4, 1i64..=3, 0i64..=2, prob()), 1..6);
     (cust, ord, item, proptest::bool::ANY).prop_map(|(cust, ord, item, with_keys)| {
         let mut db = CustOrdItem {
-            cust: cust
-                .into_iter()
-                .map(|(ckey, name, p)| (ckey, name, p))
-                .collect(),
+            cust: cust.into_iter().collect(),
             ord,
             item: item
                 .into_iter()
@@ -145,7 +142,7 @@ fn build_cust_ord_item(db: &CustOrdItem) -> Catalog {
 }
 
 fn guiding_query(boolean: bool) -> ConjunctiveQuery {
-    let q = ConjunctiveQuery::build(
+    ConjunctiveQuery::build(
         &[
             ("Cust", &["ckey", "cname"]),
             ("Ord", &["okey", "ckey", "odate"]),
@@ -154,8 +151,7 @@ fn guiding_query(boolean: bool) -> ConjunctiveQuery {
         if boolean { &[] } else { &["odate"] },
         vec![],
     )
-    .unwrap();
-    q
+    .unwrap()
 }
 
 proptest! {
@@ -226,12 +222,14 @@ fn build_branching(db: &Branching) -> Catalog {
         var += 1;
         Variable(var)
     };
-    let mut dedup_insert =
-        |table: &mut ProbTable, row: pdb_storage::Tuple, seen: &mut BTreeSet<pdb_storage::Tuple>, p: f64| {
-            if seen.insert(row.clone()) {
-                table.insert(row, next(), p).unwrap();
-            }
-        };
+    let mut dedup_insert = |table: &mut ProbTable,
+                            row: pdb_storage::Tuple,
+                            seen: &mut BTreeSet<pdb_storage::Tuple>,
+                            p: f64| {
+        if seen.insert(row.clone()) {
+            table.insert(row, next(), p).unwrap();
+        }
+    };
 
     let mut r1 = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int)]).unwrap());
     let mut seen = BTreeSet::new();
@@ -245,8 +243,12 @@ fn build_branching(db: &Branching) -> Catalog {
         dedup_insert(&mut r2, tuple![*a, *b], &mut seen, *p);
     }
     let mut r3 = ProbTable::new(
-        Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int), ("d", DataType::Int)])
-            .unwrap(),
+        Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("d", DataType::Int),
+        ])
+        .unwrap(),
     );
     let mut seen = BTreeSet::new();
     for (a, b, d, p) in &db.r3 {
@@ -259,8 +261,12 @@ fn build_branching(db: &Branching) -> Catalog {
         dedup_insert(&mut r4, tuple![*a, *c], &mut seen, *p);
     }
     let mut r5 = ProbTable::new(
-        Schema::from_pairs(&[("a", DataType::Int), ("c", DataType::Int), ("e", DataType::Int)])
-            .unwrap(),
+        Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("c", DataType::Int),
+            ("e", DataType::Int),
+        ])
+        .unwrap(),
     );
     let mut seen = BTreeSet::new();
     for (a, c, e, p) in &db.r5 {
@@ -371,5 +377,140 @@ proptest! {
         let op = ConfidenceOperator::new(sig);
         assert_matches_oracle(&op, &answer, Strategy::Auto)?;
         assert_matches_oracle(&op, &answer, Strategy::GrpSemantics)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3 (PR 1): the optimized pipeline — normalized-key join,
+// sort-based dedup, streaming one-scan — against the brute-force oracle,
+// and the sort contract sort_dedup must preserve.
+// ---------------------------------------------------------------------------
+
+/// The one-scan sort order of a signature: all data columns, then the
+/// variable columns of the 1scanTree in preorder.
+fn one_scan_order(
+    answer: &pdb_exec::Annotated,
+    sig: &pdb_query::Signature,
+) -> (Vec<String>, Vec<String>) {
+    let data_cols: Vec<String> = answer
+        .schema()
+        .names()
+        .into_iter()
+        .map(|s| s.to_string())
+        .collect();
+    let preorder = pdb_query::OneScanTree::build(sig)
+        .expect("1scan signature")
+        .preorder();
+    (data_cols, preorder)
+}
+
+/// Asserts the rows of `answer` are sorted by the given data columns, then
+/// by the variables of the given lineage columns — the contract the
+/// streaming operator relies on (Example V.12).
+fn assert_preorder_sorted(answer: &pdb_exec::Annotated, data_cols: &[String], preorder: &[String]) {
+    let col_idx: Vec<usize> = data_cols
+        .iter()
+        .map(|c| answer.column_index(c).unwrap())
+        .collect();
+    let rel_idx: Vec<usize> = preorder
+        .iter()
+        .map(|r| answer.relation_index(r).unwrap())
+        .collect();
+    for i in 1..answer.len() {
+        let a = answer.row(i - 1);
+        let b = answer.row(i);
+        let key = |r: pdb_exec::RowRef<'_>| -> Vec<_> {
+            col_idx
+                .iter()
+                .map(|&c| (Some(r.data[c].clone()), None))
+                .chain(rel_idx.iter().map(|&c| (None, Some(r.lineage[c].0))))
+                .collect()
+        };
+        assert!(
+            key(a) <= key(b),
+            "rows {} and {} violate the one-scan sort contract",
+            i - 1,
+            i
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimized_pipeline_agrees_with_brute_force(
+        db in branching_strategy(),
+        boolean in proptest::bool::ANY,
+    ) {
+        let catalog = build_branching(&db);
+        let q = ConjunctiveQuery::build(
+            &[
+                ("R1", &["a"]),
+                ("R2", &["a", "b"]),
+                ("R3", &["a", "b", "d"]),
+                ("R4", &["a", "c"]),
+                ("R5", &["a", "c", "e"]),
+            ],
+            if boolean { &[] } else { &["a"] },
+            vec![],
+        )
+        .unwrap();
+        let order: Vec<String> =
+            ["R1", "R2", "R3", "R4", "R5"].iter().map(|s| s.to_string()).collect();
+        // Optimized join path (normalized u64 keys, arena append).
+        let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        prop_assert!(sig.is_one_scan());
+
+        // Sort-based dedup into the one-scan order, then the streaming scan.
+        let (data_cols, preorder) = one_scan_order(&answer, &sig);
+        let deduped = pdb_exec::ops::sort_dedup(&answer, &data_cols, &preorder).unwrap();
+        let ours =
+            pdb_conf::one_scan::one_scan_confidences_presorted(&deduped, &sig).unwrap();
+        let oracle = brute_force_confidences(&answer);
+        prop_assert_eq!(ours.len(), oracle.len());
+        for ((t1, p1), (t2, p2)) in ours.iter().zip(oracle.iter()) {
+            prop_assert_eq!(t1, t2);
+            prop_assert!(
+                (p1 - p2).abs() < 1e-9,
+                "pipeline {} vs oracle {} for {}", p1, p2, t1
+            );
+        }
+    }
+
+    #[test]
+    fn sort_dedup_preserves_the_one_scan_sort_contract(
+        db in cust_ord_item_strategy(),
+    ) {
+        let catalog = build_cust_ord_item(&db);
+        let q = guiding_query(false);
+        let order: Vec<String> =
+            ["Cust", "Ord", "Item"].iter().map(|s| s.to_string()).collect();
+        let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
+        let fds = if db.with_keys {
+            FdSet::from_catalog_decls(&catalog.fds())
+        } else {
+            FdSet::empty()
+        };
+        let sig = query_signature(&q, &fds).unwrap();
+        if !sig.is_one_scan() {
+            return Ok(());
+        }
+        let (data_cols, preorder) = one_scan_order(&answer, &sig);
+        let deduped = pdb_exec::ops::sort_dedup(&answer, &data_cols, &preorder).unwrap();
+        // Dedup only removes rows; the survivors stay in sorted order.
+        prop_assert!(deduped.len() <= answer.len());
+        assert_preorder_sorted(&deduped, &data_cols, &preorder);
+        // And the streaming operator computes identical confidences on the
+        // deduped input.
+        let from_dedup =
+            pdb_conf::one_scan::one_scan_confidences_presorted(&deduped, &sig).unwrap();
+        let from_full = pdb_conf::one_scan::one_scan_confidences(&answer, &sig).unwrap();
+        prop_assert_eq!(from_dedup.len(), from_full.len());
+        for ((t1, p1), (t2, p2)) in from_dedup.iter().zip(from_full.iter()) {
+            prop_assert_eq!(t1, t2);
+            prop_assert!((p1 - p2).abs() < 1e-12);
+        }
     }
 }

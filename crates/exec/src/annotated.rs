@@ -1,21 +1,42 @@
-//! Lineage-annotated intermediate results.
+//! Lineage-annotated intermediate results, arena-backed.
 //!
 //! An [`Annotated`] relation is the in-memory equivalent of the paper's
 //! intermediate tables: ordinary data columns plus, for every base relation
 //! that has been joined in, one variable column `V(R)` and one probability
-//! column `P(R)`. The `V`/`P` pairs are stored per row, aligned with the list
-//! of relation names, rather than as generic [`Value`](pdb_storage::Value)
-//! columns — the paper notes variables "can be represented as integers", and
-//! the fixed layout keeps the confidence operator's inner loop branch-free.
+//! column `P(R)`.
+//!
+//! # Memory layout
+//!
+//! Since PR 1 the relation is stored **columnar-by-arena** instead of
+//! row-at-a-time:
+//!
+//! * all data values live in one flat `Vec<Value>` with a fixed stride of
+//!   `schema.len()` values per row, and
+//! * all lineage pairs live in one flat `Vec<(Variable, f64)>` arena with a
+//!   fixed stride of `relations().len()` pairs per row.
+//!
+//! Because every row of a given relation carries exactly one `(V, P)` pair
+//! per source relation, the lineage arena needs no per-row span bookkeeping:
+//! row `i`'s lineage is the slice `[i·w, (i+1)·w)` for `w = relations
+//! count`. Operators grow a result by `extend_from_slice` into the two
+//! arenas — amortized slice-append — where the seed implementation
+//! allocated a fresh `Tuple` and a fresh `Vec<(Variable, f64)>` per output
+//! row. Joins concatenating an `l`-wide and an `r`-wide lineage write the
+//! `l + r` pairs contiguously, so the confidence operator's scan over
+//! variable columns walks a dense array.
+//!
+//! Rows are read through [`RowRef`], a pair of slices; [`AnnotatedRow`]
+//! remains as the owned row used by construction sites and tests.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
-use pdb_storage::{Schema, Tuple, Variable};
+use pdb_storage::{Schema, Tuple, Value, Variable};
 
 use crate::error::{ExecError, ExecResult};
+use crate::key::SortKeys;
 
-/// One row of an annotated relation: the data values plus one
+/// One owned row of an annotated relation: the data values plus one
 /// `(variable, probability)` pair per source relation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnnotatedRow {
@@ -32,12 +53,43 @@ impl AnnotatedRow {
     }
 }
 
+/// A borrowed row: a slice of data values and a slice of lineage pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowRef<'a> {
+    /// Data values, matching the owning relation's schema.
+    pub data: &'a [Value],
+    /// Lineage pairs, aligned with [`Annotated::relations`].
+    pub lineage: &'a [(Variable, f64)],
+}
+
+impl RowRef<'_> {
+    /// The data value at position `idx`.
+    #[inline]
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.data[idx]
+    }
+
+    /// The data values as an owned [`Tuple`].
+    pub fn data_tuple(&self) -> Tuple {
+        Tuple::new(self.data.to_vec())
+    }
+
+    /// An owned copy of the row.
+    pub fn to_owned_row(&self) -> AnnotatedRow {
+        AnnotatedRow::new(self.data_tuple(), self.lineage.to_vec())
+    }
+}
+
 /// An intermediate query result with per-relation lineage columns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Annotated {
     schema: Schema,
     relations: Vec<String>,
-    rows: Vec<AnnotatedRow>,
+    len: usize,
+    /// Flat data arena, `schema.len()` values per row.
+    data: Vec<Value>,
+    /// Flat lineage arena, `relations.len()` pairs per row.
+    lineage: Vec<(Variable, f64)>,
 }
 
 impl Annotated {
@@ -46,13 +98,46 @@ impl Annotated {
         Annotated {
             schema,
             relations,
-            rows: Vec::new(),
+            len: 0,
+            data: Vec::new(),
+            lineage: Vec::new(),
         }
+    }
+
+    /// Creates an empty relation with arenas pre-sized for `rows` rows.
+    pub fn with_row_capacity(schema: Schema, relations: Vec<String>, rows: usize) -> Self {
+        let data = Vec::with_capacity(rows * schema.len());
+        let lineage = Vec::with_capacity(rows * relations.len());
+        Annotated {
+            schema,
+            relations,
+            len: 0,
+            data,
+            lineage,
+        }
+    }
+
+    /// Grows the arenas to hold at least `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.data_width());
+        self.lineage.reserve(additional * self.lineage_width());
     }
 
     /// The data schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Values per row in the data arena.
+    #[inline]
+    pub fn data_width(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Pairs per row in the lineage arena.
+    #[inline]
+    pub fn lineage_width(&self) -> usize {
+        self.relations.len()
     }
 
     /// The source relations whose `V`/`P` columns are present, in order.
@@ -71,32 +156,86 @@ impl Annotated {
             .ok_or_else(|| ExecError::UnknownRelation(name.to_string()))
     }
 
-    /// The rows.
-    pub fn rows(&self) -> &[AnnotatedRow] {
-        &self.rows
+    /// The row at index `idx`.
+    #[inline]
+    pub fn row(&self, idx: usize) -> RowRef<'_> {
+        let dw = self.data_width();
+        let lw = self.lineage_width();
+        RowRef {
+            data: &self.data[idx * dw..(idx + 1) * dw],
+            lineage: &self.lineage[idx * lw..(idx + 1) * lw],
+        }
     }
 
-    /// Mutable access to the rows (used by sorting and in-place aggregation).
-    pub fn rows_mut(&mut self) -> &mut Vec<AnnotatedRow> {
-        &mut self.rows
+    /// Iterates over the rows.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = RowRef<'_>> + Clone {
+        (0..self.len).map(move |i| self.row(i))
+    }
+
+    /// The whole lineage arena (row `i` owns pairs
+    /// `[i · lineage_width(), (i+1) · lineage_width())`). Exposed so tests
+    /// can verify the amortized-append allocation behavior.
+    pub fn lineage_arena(&self) -> &[(Variable, f64)] {
+        &self.lineage
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Whether there are no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
-    /// Appends a row. The caller is responsible for arity consistency; this
-    /// is checked with a debug assertion to keep the hot path cheap.
+    /// Appends an owned row, moving its values into the arenas. The caller
+    /// is responsible for arity consistency; this is checked with a debug
+    /// assertion to keep the hot path cheap.
     pub fn push(&mut self, row: AnnotatedRow) {
         debug_assert_eq!(row.data.arity(), self.schema.len());
         debug_assert_eq!(row.lineage.len(), self.relations.len());
-        self.rows.push(row);
+        self.data.extend(row.data.into_values());
+        self.lineage.extend(row.lineage);
+        self.len += 1;
+    }
+
+    /// Appends a row from borrowed slices — the allocation-lean path: both
+    /// arenas grow by amortized `extend_from_slice`, no per-row `Vec`s.
+    #[inline]
+    pub fn push_row(&mut self, data: &[Value], lineage: &[(Variable, f64)]) {
+        debug_assert_eq!(data.len(), self.data_width());
+        debug_assert_eq!(lineage.len(), self.lineage_width());
+        self.data.extend_from_slice(data);
+        self.lineage.extend_from_slice(lineage);
+        self.len += 1;
+    }
+
+    /// Appends the join of two rows: left data, then the right values at
+    /// `right_only` positions; left lineage, then right lineage.
+    #[inline]
+    pub fn push_join_row(&mut self, left: RowRef<'_>, right: RowRef<'_>, right_only: &[usize]) {
+        self.data.extend_from_slice(left.data);
+        for &i in right_only {
+            self.data.push(right.data[i].clone());
+        }
+        self.lineage.extend_from_slice(left.lineage);
+        self.lineage.extend_from_slice(right.lineage);
+        self.len += 1;
+        debug_assert_eq!(self.data.len(), self.len * self.data_width());
+        debug_assert_eq!(self.lineage.len(), self.len * self.lineage_width());
+    }
+
+    /// Appends `src` with its data projected onto `positions` (lineage
+    /// copied unchanged).
+    #[inline]
+    pub fn push_projected_row(&mut self, src: RowRef<'_>, positions: &[usize]) {
+        for &p in positions {
+            self.data.push(src.data[p].clone());
+        }
+        self.lineage.extend_from_slice(src.lineage);
+        self.len += 1;
+        debug_assert_eq!(self.data.len(), self.len * self.data_width());
     }
 
     /// Index of data column `name`.
@@ -112,13 +251,48 @@ impl Annotated {
     /// The set of distinct data tuples (the "answer tuples" of the query,
     /// without confidences).
     pub fn distinct_data(&self) -> BTreeSet<Tuple> {
-        self.rows.iter().map(|r| r.data.clone()).collect()
+        self.iter().map(|r| r.data_tuple()).collect()
+    }
+
+    /// Builds normalized sort keys over the given data columns followed by
+    /// the variables of the given lineage columns; see
+    /// [`crate::key::SortKeys`].
+    pub(crate) fn sort_keys(&self, col_idx: &[usize], rel_idx: &[usize]) -> SortKeys {
+        let dw = self.data_width();
+        let lw = self.lineage_width();
+        SortKeys::build(
+            self.len,
+            col_idx.len(),
+            rel_idx.len(),
+            |r, c| &self.data[r * dw + col_idx[c]],
+            |r, e| self.lineage[r * lw + rel_idx[e]].0 .0,
+        )
+    }
+
+    /// Reorders the rows by the given permutation (`order[k]` = old index of
+    /// the row that ends up at position `k`).
+    pub(crate) fn apply_permutation(&mut self, order: &[u32]) {
+        debug_assert_eq!(order.len(), self.len);
+        let dw = self.data_width();
+        let lw = self.lineage_width();
+        let mut data = Vec::with_capacity(self.data.len());
+        let mut lineage = Vec::with_capacity(self.lineage.len());
+        for &i in order {
+            let i = i as usize;
+            data.extend_from_slice(&self.data[i * dw..(i + 1) * dw]);
+            lineage.extend_from_slice(&self.lineage[i * lw..(i + 1) * lw]);
+        }
+        self.data = data;
+        self.lineage = lineage;
     }
 
     /// Sorts rows by the given data columns, then by the variables of the
     /// given relations (in the given order) — the sort order required by the
     /// confidence-computation operator (Example V.12: data columns first,
     /// then variable columns in preorder of the 1scanTree).
+    ///
+    /// The sort is stable and runs over precomputed normalized keys (flat
+    /// `u64` runs) rather than `Value` comparisons; see [`crate::key`].
     ///
     /// # Errors
     /// Fails on unknown columns or relations.
@@ -135,21 +309,9 @@ impl Annotated {
             .iter()
             .map(|r| self.relation_index(r))
             .collect::<ExecResult<_>>()?;
-        self.rows.sort_by(|a, b| {
-            for &i in &col_idx {
-                let ord = a.data.value(i).cmp(b.data.value(i));
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            for &i in &rel_idx {
-                let ord = a.lineage[i].0.cmp(&b.lineage[i].0);
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+        let keys = self.sort_keys(&col_idx, &rel_idx);
+        let order = keys.sorted_permutation(self.len);
+        self.apply_permutation(&order);
         Ok(())
     }
 }
@@ -161,9 +323,9 @@ impl fmt::Display for Annotated {
             write!(f, " V({r}) P({r})")?;
         }
         writeln!(f)?;
-        for row in &self.rows {
-            write!(f, "{} |", row.data)?;
-            for (v, p) in &row.lineage {
+        for row in self.iter() {
+            write!(f, "{} |", row.data_tuple())?;
+            for (v, p) in row.lineage {
                 write!(f, " {v} {p}")?;
             }
             writeln!(f)?;
@@ -219,14 +381,23 @@ mod tests {
     }
 
     #[test]
+    fn rows_live_in_contiguous_arenas() {
+        let t = sample();
+        assert_eq!(t.lineage_arena().len(), t.len() * t.lineage_width());
+        assert_eq!(t.row(1).lineage, &[(Variable(3), 0.3), (Variable(2), 0.2)]);
+        assert_eq!(t.row(0).value(0), &Value::Int(2));
+        assert_eq!(t.row(2).data_tuple(), tuple![1i64]);
+        assert_eq!(t.iter().count(), 3);
+    }
+
+    #[test]
     fn sort_orders_by_data_then_variables() {
         let mut t = sample();
         t.sort_for_confidence(&["a".into()], &["R".into(), "S".into()])
             .unwrap();
         let keys: Vec<(i64, u64)> = t
-            .rows()
             .iter()
-            .map(|r| (r.data.value(0).as_int().unwrap(), r.lineage[0].0 .0))
+            .map(|r| (r.value(0).as_int().unwrap(), r.lineage[0].0 .0))
             .collect();
         assert_eq!(keys, vec![(1, 3), (1, 4), (2, 5)]);
     }
@@ -240,6 +411,29 @@ mod tests {
         assert!(t
             .sort_for_confidence(&["zzz".into()], &["R".into()])
             .is_err());
+    }
+
+    #[test]
+    fn sort_orders_strings_lexicographically() {
+        let schema = Schema::from_pairs(&[("s", DataType::Str)]).unwrap();
+        let mut t = Annotated::new(schema, vec!["R".into()]);
+        for (name, var) in [("Li", 1u64), ("Joe", 2), ("Mo", 3), ("Joe", 4)] {
+            t.push(AnnotatedRow::new(tuple![name], vec![(Variable(var), 0.5)]));
+        }
+        t.sort_for_confidence(&["s".into()], &["R".into()]).unwrap();
+        let order: Vec<(String, u64)> = t
+            .iter()
+            .map(|r| (r.value(0).to_string(), r.lineage[0].0 .0))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("Joe".into(), 2),
+                ("Joe".into(), 4),
+                ("Li".into(), 1),
+                ("Mo".into(), 3)
+            ]
+        );
     }
 
     #[test]

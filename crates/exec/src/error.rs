@@ -24,7 +24,10 @@ impl fmt::Display for ExecError {
             ExecError::UnknownColumn(c) => write!(f, "unknown data column: {c}"),
             ExecError::UnknownRelation(r) => write!(f, "unknown lineage column for relation: {r}"),
             ExecError::DuplicateRelation(r) => {
-                write!(f, "relation {r} appears in both join inputs (self-join unsupported)")
+                write!(
+                    f,
+                    "relation {r} appears in both join inputs (self-join unsupported)"
+                )
             }
             ExecError::Storage(e) => write!(f, "storage error: {e}"),
         }
@@ -50,7 +53,9 @@ mod tests {
     fn display_and_conversion() {
         let e: ExecError = StorageError::UnknownTable("Ord".into()).into();
         assert!(e.to_string().contains("Ord"));
-        assert!(ExecError::UnknownColumn("x".into()).to_string().contains("x"));
+        assert!(ExecError::UnknownColumn("x".into())
+            .to_string()
+            .contains("x"));
         assert!(ExecError::DuplicateRelation("R".into())
             .to_string()
             .contains("self-join"));

@@ -15,8 +15,8 @@
 
 use std::collections::HashMap;
 
-use pdb_storage::{ProbTable, Schema, Tuple, Value};
 use pdb_query::Predicate;
+use pdb_storage::{ProbTable, Schema, Tuple, Value};
 
 use crate::error::{ExecError, ExecResult};
 
@@ -295,7 +295,11 @@ mod tests {
     fn scan_and_filter_ext() {
         let cust = scan_ext(&fig1_cust(), &s(&["ckey", "cname"])).unwrap();
         assert_eq!(cust.len(), 4);
-        let joe = filter_ext(&cust, &Predicate::new("Cust", "cname", CompareOp::Eq, "Joe")).unwrap();
+        let joe = filter_ext(
+            &cust,
+            &Predicate::new("Cust", "cname", CompareOp::Eq, "Joe"),
+        )
+        .unwrap();
         assert_eq!(joe.len(), 1);
         assert!((joe.rows()[0].1 - 0.1).abs() < 1e-12);
     }
@@ -310,7 +314,10 @@ mod tests {
         let row = joined
             .rows()
             .iter()
-            .find(|(t, _)| t.value(0) == &pdb_storage::Value::Int(1) && t.value(2) == &pdb_storage::Value::Int(1))
+            .find(|(t, _)| {
+                t.value(0) == &pdb_storage::Value::Int(1)
+                    && t.value(2) == &pdb_storage::Value::Int(1)
+            })
             .unwrap();
         assert!((row.1 - 0.01).abs() < 1e-12);
     }
@@ -318,7 +325,8 @@ mod tests {
     #[test]
     fn independent_project_combines_duplicates() {
         let item = scan_ext(&fig1_item(), &s(&["okey", "ckey"])).unwrap();
-        let grouped = independent_project(&item, &s(&["okey", "ckey"]), ProbAggregation::Stable).unwrap();
+        let grouped =
+            independent_project(&item, &s(&["okey", "ckey"]), ProbAggregation::Stable).unwrap();
         // Items for okey=1 have probabilities 0.1 and 0.2 → 0.28 (Example V.1).
         let row = grouped
             .rows()
@@ -344,9 +352,15 @@ mod tests {
             &Predicate::new("Item", "discount", CompareOp::Gt, 0.0),
         )
         .unwrap();
-        let item = independent_project(&item, &s(&["ckey", "okey"]), ProbAggregation::Stable).unwrap();
+        let item =
+            independent_project(&item, &s(&["ckey", "okey"]), ProbAggregation::Stable).unwrap();
         let ord = scan_ext(&fig1_ord(), &s(&["okey", "ckey", "odate"])).unwrap();
-        let ord = independent_project(&ord, &s(&["odate", "ckey", "okey"]), ProbAggregation::Stable).unwrap();
+        let ord = independent_project(
+            &ord,
+            &s(&["odate", "ckey", "okey"]),
+            ProbAggregation::Stable,
+        )
+        .unwrap();
         let oi = natural_join_ext(&ord, &item).unwrap();
         let oi = independent_project(&oi, &s(&["odate", "ckey"]), ProbAggregation::Stable).unwrap();
         let all = natural_join_ext(&oi, &cust).unwrap();

@@ -20,7 +20,12 @@ pub fn fig1_cust() -> ProbTable {
     let schema = Schema::from_pairs(&[("ckey", DataType::Int), ("cname", DataType::Str)])
         .expect("static schema");
     let mut t = ProbTable::new(schema);
-    let rows = [(1, "Joe", 0.1), (2, "Dan", 0.2), (3, "Li", 0.3), (4, "Mo", 0.4)];
+    let rows = [
+        (1, "Joe", 0.1),
+        (2, "Dan", 0.2),
+        (3, "Li", 0.3),
+        (4, "Mo", 0.4),
+    ];
     for (i, (ckey, name, p)) in rows.iter().enumerate() {
         t.insert(
             tuple![*ckey as i64, *name],
@@ -131,6 +136,8 @@ mod tests {
         let catalog = fig1_catalog_with_keys();
         let fds = catalog.fds();
         assert_eq!(fds.len(), 2);
-        assert!(fds.iter().any(|fd| fd.table == "Ord" && fd.lhs == vec!["okey".to_string()]));
+        assert!(fds
+            .iter()
+            .any(|fd| fd.table == "Ord" && fd.lhs == vec!["okey".to_string()]));
     }
 }

@@ -1,0 +1,390 @@
+//! Normalized key encoding for the relational hot path.
+//!
+//! Joins, sorts and duplicate elimination over [`Value`] columns are the
+//! inner loops of every lazy plan. Comparing `Value` enums there means enum
+//! dispatch, string dereferences and — in the seed implementation — a
+//! `Vec<Value>` allocation per probed row. This module normalizes a row's
+//! key columns into a flat run of `u64` words *once*, so the hot loops
+//! reduce to hashing and comparing machine words:
+//!
+//! * Every cell becomes [`CELL_WIDTH`] words `(type class, primary,
+//!   tie-break)` whose lexicographic order matches [`Value`]'s total order.
+//! * Numbers map through an order-preserving `f64 → u64` bit transform with
+//!   an exact-integer tie-break, so `Int(2)` and `Float(2.0)` — which
+//!   compare equal as values — encode identically.
+//! * Strings map through a dictionary: an **order-preserving rank** when the
+//!   encoding feeds a sort ([`SortKeys`]), or an insertion-order id when
+//!   only equality matters ([`JoinKeys`], built over the join's build side;
+//!   probe-side strings missing from the dictionary cannot match and skip
+//!   the probe entirely).
+//!
+//! The encoding agrees with `Value`'s comparison everywhere except integers
+//! beyond ±2⁵³ compared against floats, where `Value`'s own ordering is not
+//! transitive; the normalized form resolves those ties by exact integer
+//! value instead.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pdb_storage::Value;
+
+/// Words per encoded cell: `(type class, primary order, tie-break)`.
+pub const CELL_WIDTH: usize = 3;
+
+/// Order-preserving bit transform for floats (NaN canonicalized greatest,
+/// `-0.0` folded onto `0.0`), matching `Value`'s total float order.
+#[inline]
+fn ordered_f64(f: f64) -> u64 {
+    let f = if f.is_nan() {
+        f64::NAN
+    } else if f == 0.0 {
+        0.0
+    } else {
+        f
+    };
+    let bits = f.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Order-preserving bit transform for signed integers.
+#[inline]
+fn ordered_i64(i: i64) -> u64 {
+    (i as u64) ^ (1 << 63)
+}
+
+/// Encodes one cell given a resolved string code. Returns
+/// `(class, primary, tiebreak)`; the type class equals `Value`'s type rank
+/// so cross-type comparisons order the same way.
+#[inline]
+fn encode_cell(v: &Value, str_code: u64) -> [u64; CELL_WIDTH] {
+    match v {
+        Value::Null => [0, 0, 0],
+        Value::Int(i) => [1, ordered_f64(*i as f64), ordered_i64(*i)],
+        Value::Float(f) => {
+            // The tie-break only matters when the primary order ties, i.e.
+            // when the float is the image of an integer; casting recovers
+            // that integer (saturating casts agree for equal primaries).
+            let tie = if f.is_nan() {
+                0
+            } else {
+                ordered_i64(*f as i64)
+            };
+            [1, ordered_f64(*f), tie]
+        }
+        Value::Str(_) => [2, str_code, 0],
+        Value::Date(d) => [3, ordered_i64(*d as i64), 0],
+        Value::Bool(b) => [4, *b as u64, 0],
+    }
+}
+
+/// FxHash-style mix of a flat key run into one 64-bit hash.
+#[inline]
+pub fn hash_words(words: &[u64]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &w in words {
+        h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Sort keys: order-preserving, dictionary-ranked strings.
+// ---------------------------------------------------------------------------
+
+/// Flat, order-preserving sort keys: one run of
+/// `columns × CELL_WIDTH + extra` words per row, comparable with plain
+/// `u64`-slice comparison.
+pub struct SortKeys {
+    words: Vec<u64>,
+    width: usize,
+}
+
+impl SortKeys {
+    /// Builds sort keys for `rows` over the cells selected by `cell_at`
+    /// (`columns` cells per row), appending `extra` trailing words per row
+    /// filled by `extra_at` (used for lineage-variable sort columns).
+    ///
+    /// Strings are ranked per column across all rows, so the resulting
+    /// order matches `Value`'s lexicographic string order.
+    pub fn build<'a>(
+        rows: usize,
+        columns: usize,
+        extra: usize,
+        mut cell_at: impl FnMut(usize, usize) -> &'a Value,
+        mut extra_at: impl FnMut(usize, usize) -> u64,
+    ) -> SortKeys {
+        // Pass 1: per-column order-preserving string dictionaries.
+        let mut dicts: Vec<Option<BTreeMap<&'a str, u64>>> = Vec::with_capacity(columns);
+        for c in 0..columns {
+            let mut dict: Option<BTreeMap<&'a str, u64>> = None;
+            for r in 0..rows {
+                if let Value::Str(s) = cell_at(r, c) {
+                    dict.get_or_insert_with(BTreeMap::new).insert(s, 0);
+                }
+            }
+            if let Some(dict) = &mut dict {
+                for (rank, (_, code)) in dict.iter_mut().enumerate() {
+                    *code = rank as u64;
+                }
+            }
+            dicts.push(dict);
+        }
+        // Pass 2: encode.
+        let width = columns * CELL_WIDTH + extra;
+        let mut words = Vec::with_capacity(rows * width);
+        for r in 0..rows {
+            for (c, dict) in dicts.iter().enumerate() {
+                let v = cell_at(r, c);
+                let code = match (v, dict) {
+                    (Value::Str(s), Some(d)) => d[s.as_ref()],
+                    _ => 0,
+                };
+                words.extend_from_slice(&encode_cell(v, code));
+            }
+            for e in 0..extra {
+                words.push(extra_at(r, e));
+            }
+        }
+        SortKeys { words, width }
+    }
+
+    /// Words per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The key run of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.width..(r + 1) * self.width]
+    }
+
+    /// A stable-sorted permutation of `0..rows` by key run.
+    pub fn sorted_permutation(&self, rows: usize) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..rows as u32).collect();
+        if self.width > 0 {
+            order.sort_by(|&a, &b| self.row(a as usize).cmp(self.row(b as usize)));
+        }
+        order
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join keys: equality-only, interned strings, precomputed hashes.
+// ---------------------------------------------------------------------------
+
+/// Flat equality keys for a join side, with per-row hashes. Rows whose key
+/// contains NULL are marked unjoinable (SQL join semantics).
+pub struct JoinKeys {
+    words: Vec<u64>,
+    hashes: Vec<u64>,
+    width: usize,
+}
+
+/// Shared string dictionary of a join: built over the build side, looked up
+/// (never extended) by the probe side.
+#[derive(Default)]
+pub struct JoinInterner<'a> {
+    codes: HashMap<&'a str, u64>,
+}
+
+impl<'a> JoinInterner<'a> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        JoinInterner::default()
+    }
+
+    fn intern(&mut self, s: &'a str) -> u64 {
+        let next = self.codes.len() as u64;
+        *self.codes.entry(s).or_insert(next)
+    }
+
+    fn lookup(&self, s: &str) -> Option<u64> {
+        self.codes.get(s).copied()
+    }
+}
+
+impl JoinKeys {
+    /// Encodes the *build* side: interns unseen strings.
+    pub fn build_side<'a>(
+        rows: usize,
+        columns: usize,
+        interner: &mut JoinInterner<'a>,
+        mut cell_at: impl FnMut(usize, usize) -> &'a Value,
+    ) -> JoinKeys {
+        let width = columns * CELL_WIDTH;
+        let mut words = Vec::with_capacity(rows * width);
+        let mut hashes = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let start = words.len();
+            let mut joinable = true;
+            for c in 0..columns {
+                let v = cell_at(r, c);
+                joinable &= !v.is_null();
+                let code = match v {
+                    Value::Str(s) => interner.intern(s),
+                    _ => 0,
+                };
+                words.extend_from_slice(&encode_cell(v, code));
+            }
+            hashes.push(if joinable {
+                joinable_hash(&words[start..])
+            } else {
+                UNJOINABLE
+            });
+        }
+        JoinKeys {
+            words,
+            hashes,
+            width,
+        }
+    }
+
+    /// Encodes one *probe* row into `scratch`, returning its hash, or `None`
+    /// if the row cannot join (NULL key, or a string absent from the build
+    /// side's dictionary).
+    #[inline]
+    pub fn probe_row<'a>(
+        interner: &JoinInterner<'_>,
+        columns: usize,
+        scratch: &mut Vec<u64>,
+        mut cell_at: impl FnMut(usize) -> &'a Value,
+    ) -> Option<u64> {
+        scratch.clear();
+        for c in 0..columns {
+            let v = cell_at(c);
+            if v.is_null() {
+                return None;
+            }
+            let code = match v {
+                Value::Str(s) => interner.lookup(s)?,
+                _ => 0,
+            };
+            scratch.extend_from_slice(&encode_cell(v, code));
+        }
+        Some(joinable_hash(scratch))
+    }
+
+    /// The hash of build-side row `r` ([`UNJOINABLE`] for NULL keys).
+    #[inline]
+    pub fn hash(&self, r: usize) -> u64 {
+        self.hashes[r]
+    }
+
+    /// The key run of build-side row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.width..(r + 1) * self.width]
+    }
+}
+
+/// Hash sentinel marking rows that can never join (NULL in a key column).
+pub const UNJOINABLE: u64 = u64::MAX;
+
+/// Hash for joinable rows, kept clear of the [`UNJOINABLE`] sentinel.
+#[inline]
+fn joinable_hash(words: &[u64]) -> u64 {
+    let h = hash_words(words);
+    if h == UNJOINABLE {
+        UNJOINABLE - 1
+    } else {
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    fn cmp_encoded(a: &Value, b: &Value) -> Ordering {
+        // Encode through a two-row sort-key table so string ranking applies.
+        let vals = [a.clone(), b.clone()];
+        let keys = SortKeys::build(2, 1, 0, |r, _| &vals[r], |_, _| 0);
+        keys.row(0).cmp(keys.row(1))
+    }
+
+    #[test]
+    fn encoding_matches_value_order() {
+        let samples = [
+            Value::Null,
+            Value::Int(-3),
+            Value::Int(0),
+            Value::Int(2),
+            Value::Float(-2.5),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(2.0),
+            Value::Float(2.5),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::str("Joe"),
+            Value::str("Li"),
+            Value::str(""),
+            Value::Date(10),
+            Value::Date(-1),
+            Value::Bool(false),
+            Value::Bool(true),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(
+                    cmp_encoded(a, b),
+                    a.cmp(b),
+                    "encoded order diverges for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int_float_equality_survives_encoding() {
+        assert_eq!(
+            cmp_encoded(&Value::Int(2), &Value::Float(2.0)),
+            Ordering::Equal
+        );
+        assert_ne!(
+            cmp_encoded(&Value::Int(2), &Value::Float(2.1)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn join_keys_match_value_equality() {
+        let build = [Value::Int(2), Value::str("x"), Value::Float(3.5)];
+        let mut interner = JoinInterner::new();
+        let keys = JoinKeys::build_side(3, 1, &mut interner, |r, _| &build[r]);
+        let mut scratch = Vec::new();
+
+        // Float(2.0) must find Int(2).
+        let h = JoinKeys::probe_row(&interner, 1, &mut scratch, |_| &Value::Float(2.0)).unwrap();
+        assert_eq!(h, keys.hash(0));
+        assert_eq!(&scratch[..], keys.row(0));
+
+        // A string present on the build side matches ...
+        let x = Value::str("x");
+        let h = JoinKeys::probe_row(&interner, 1, &mut scratch, |_| &x).unwrap();
+        assert_eq!(h, keys.hash(1));
+        // ... an absent one short-circuits.
+        let y = Value::str("y");
+        assert!(JoinKeys::probe_row(&interner, 1, &mut scratch, |_| &y).is_none());
+
+        // NULL keys never join, on either side.
+        assert!(JoinKeys::probe_row(&interner, 1, &mut scratch, |_| &Value::Null).is_none());
+        let null_side = [Value::Null];
+        let mut interner = JoinInterner::new();
+        let keys = JoinKeys::build_side(1, 1, &mut interner, |r, _| &null_side[r]);
+        assert_eq!(keys.hash(0), UNJOINABLE);
+    }
+
+    #[test]
+    fn sorted_permutation_is_stable() {
+        let vals = [Value::Int(1), Value::Int(0), Value::Int(1), Value::Int(0)];
+        let keys = SortKeys::build(4, 1, 0, |r, _| &vals[r], |_, _| 0);
+        assert_eq!(keys.sorted_permutation(4), vec![1, 3, 0, 2]);
+    }
+}

@@ -11,7 +11,11 @@
 //!   sufficient to understand the relationships between tuples in the query
 //!   answer").
 //! * [`ops`] — scans, selections, projections, natural joins, sorts and
-//!   duplicate elimination over annotated results.
+//!   duplicate elimination over annotated results. Joins and sorts run over
+//!   normalized `u64` key runs ([`key`]); duplicate elimination is
+//!   sort-based. The pre-refactor row-at-a-time implementations are retained
+//!   in [`baseline`] (and selectable engine-wide with the `seed-baseline`
+//!   feature) so benchmarks can quantify the rewrite.
 //! * [`extensional`] — the extensional operators used by MystiQ-style safe
 //!   plans (Fig. 2): probabilities are combined inside joins and independent
 //!   projections, and no variable columns are kept.
@@ -20,13 +24,15 @@
 //!   operator consumes.
 
 pub mod annotated;
+pub mod baseline;
 pub mod error;
-pub mod fixtures;
 pub mod extensional;
+pub mod fixtures;
+pub mod key;
 pub mod ops;
 pub mod pipeline;
 
-pub use annotated::{Annotated, AnnotatedRow};
+pub use annotated::{Annotated, AnnotatedRow, RowRef};
 pub use error::{ExecError, ExecResult};
 pub use extensional::ExtRelation;
 pub use pipeline::evaluate_join_order;

@@ -49,39 +49,19 @@ pub fn evaluate_join_order(
             .ok_or_else(|| ExecError::UnknownRelation(rel_name.clone()))?;
         let table = catalog.table(rel_name)?;
 
-        // Keep the attributes of this relation that are either head
-        // attributes, join attributes, or needed by a predicate we are about
-        // to apply (predicates are applied right after the scan, so the
-        // latter can be dropped afterwards but keeping the projection simple
-        // and deterministic costs little).
+        // Keep only the attributes of this relation that are head or join
+        // attributes; predicate-only columns are consumed inside the fused
+        // scan and never materialised. Attributes may be declared on the
+        // atom but absent from the stored table only if the caller
+        // mis-declared the query; scan_filter_project() reports it.
         let keep: Vec<String> = atom
             .attributes
             .iter()
-            .filter(|a| {
-                head.contains(*a)
-                    || join_attrs.contains(*a)
-                    || query
-                        .predicates_for(rel_name)
-                        .iter()
-                        .any(|p| &p.attribute == *a)
-            })
+            .filter(|a| head.contains(*a) || join_attrs.contains(*a))
             .cloned()
             .collect();
-        // Attributes may be declared on the atom but absent from the stored
-        // table only if the caller mis-declared the query; scan() reports it.
-        let mut scanned = ops::scan(&table, rel_name, &keep)?;
-        for pred in query.predicates_for(rel_name) {
-            scanned = ops::filter(&scanned, pred)?;
-        }
-        // Drop predicate-only columns once the predicates have been applied.
-        let post_scan_keep: Vec<String> = scanned
-            .schema()
-            .names()
-            .into_iter()
-            .filter(|a| head.contains(*a) || join_attrs.contains(*a))
-            .map(|s| s.to_string())
-            .collect();
-        scanned = ops::project(&scanned, &post_scan_keep)?;
+        let scanned =
+            ops::scan_filter_project(&table, rel_name, &query.predicates_for(rel_name), &keep)?;
 
         current = Some(match current {
             None => scanned,
@@ -135,7 +115,7 @@ mod tests {
         let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
         assert_eq!(answer.len(), 2);
         assert_eq!(answer.distinct_data().len(), 1);
-        assert_eq!(answer.rows()[0].data, tuple!["1995-01-10"]);
+        assert_eq!(answer.row(0).data_tuple(), tuple!["1995-01-10"]);
         assert_eq!(answer.relations().len(), 3);
     }
 

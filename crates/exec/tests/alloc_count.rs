@@ -1,0 +1,158 @@
+//! Allocation accounting for the join hot path.
+//!
+//! The PR-1 acceptance criterion is that `ops::natural_join` performs **no
+//! per-probed-row `Tuple` / `Vec<Value>` allocations**: output rows are
+//! appended to the result's flat arenas, whose growth is amortized
+//! (`O(log n)` reallocations for `n` rows). This test installs a counting
+//! global allocator and verifies exactly that, with the retained
+//! row-at-a-time baseline — which allocates per row by construction — as
+//! the control.
+//!
+//! Not compiled under `--features seed-baseline`: that configuration
+//! deliberately routes `ops` through the per-row implementations.
+
+#![cfg(not(feature = "seed-baseline"))]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pdb_exec::{baseline, ops, Annotated};
+use pdb_storage::{tuple, DataType, ProbTable, Schema, Variable};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// `R(a)` with `groups` keys and `S(a, b)` with `per_key` rows per key: the
+/// join emits `groups · per_key` rows.
+fn join_inputs(groups: i64, per_key: i64) -> (Annotated, Annotated) {
+    let mut var = 0u64;
+    let mut next = || {
+        var += 1;
+        Variable(var)
+    };
+    let mut r = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int)]).unwrap());
+    for a in 0..groups {
+        r.insert(tuple![a], next(), 0.5).unwrap();
+    }
+    let mut s =
+        ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap());
+    for a in 0..groups {
+        for b in 0..per_key {
+            s.insert(tuple![a, b], next(), 0.5).unwrap();
+        }
+    }
+    let names = |ns: &[&str]| ns.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    (
+        ops::scan(&r, "R", &names(&["a"])).unwrap(),
+        ops::scan(&s, "S", &names(&["a", "b"])).unwrap(),
+    )
+}
+
+#[test]
+fn join_lineage_growth_is_amortized_slice_append() {
+    let (left, right) = join_inputs(100, 50);
+    let output_rows = 100 * 50;
+
+    // Warm up once so lazily initialized runtime structures don't get
+    // charged to either side.
+    ops::natural_join(&left, &right).unwrap();
+    baseline::natural_join_rowwise(&left, &right).unwrap();
+
+    let mut fast_out = None;
+    let fast = allocations(|| {
+        fast_out = Some(ops::natural_join(&left, &right).unwrap());
+    });
+    let mut slow_out = None;
+    let slow = allocations(|| {
+        slow_out = Some(baseline::natural_join_rowwise(&left, &right).unwrap());
+    });
+    let fast_out = fast_out.unwrap();
+    let slow_out = slow_out.unwrap();
+    assert_eq!(fast_out.len(), output_rows);
+    assert_eq!(slow_out.len(), output_rows);
+    // Lineage really is one dense arena.
+    assert_eq!(
+        fast_out.lineage_arena().len(),
+        output_rows * fast_out.lineage_width()
+    );
+
+    // The baseline allocates at least one Tuple Vec and one lineage Vec per
+    // output row, plus a key Vec per probed row.
+    assert!(
+        slow >= 2 * output_rows,
+        "row-at-a-time baseline allocated {slow} times for {output_rows} rows"
+    );
+    // The arena join allocates bounded bookkeeping (key normalization, hash
+    // index, arena doublings) — far below one allocation per output row.
+    assert!(
+        fast < output_rows / 4,
+        "arena join allocated {fast} times for {output_rows} rows"
+    );
+    assert!(
+        fast * 10 < slow,
+        "arena join ({fast} allocs) should be at least 10x leaner than the baseline ({slow})"
+    );
+}
+
+#[test]
+fn sort_and_dedup_allocate_bounded_scratch() {
+    let (left, right) = join_inputs(50, 40);
+    let joined = ops::natural_join(&left, &right).unwrap();
+    let rows = joined.len();
+
+    let data_cols: Vec<String> = joined
+        .schema()
+        .names()
+        .into_iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rels: Vec<String> = joined.relations().to_vec();
+
+    let mut sorted = joined.clone();
+    sorted.sort_for_confidence(&data_cols, &rels).unwrap(); // warm-up
+    let mut sorted = joined.clone();
+    let sort_allocs = allocations(|| {
+        sorted.sort_for_confidence(&data_cols, &rels).unwrap();
+    });
+    // Key buffer + permutation + two rebuilt arenas + per-column dictionary
+    // bookkeeping: a handful of allocations, not O(rows).
+    assert!(
+        sort_allocs < rows / 4,
+        "normalized sort allocated {sort_allocs} times for {rows} rows"
+    );
+
+    let dedup_allocs = allocations(|| {
+        let d = ops::distinct(&joined);
+        assert_eq!(d.len(), 50 * 40);
+    });
+    assert!(
+        dedup_allocs < rows / 4,
+        "sort-based dedup allocated {dedup_allocs} times for {rows} rows"
+    );
+}

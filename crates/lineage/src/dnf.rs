@@ -1,4 +1,12 @@
 //! DNF lineage formulas over Boolean random variables.
+//!
+//! Storage is allocation-lean: a [`Clause`] keeps its variables in a sorted,
+//! deduplicated `Vec` (one contiguous allocation instead of a `BTreeSet`
+//! node per variable), and a [`Dnf`] maintains a sorted index over its
+//! clauses so duplicate detection in [`Dnf::add_clause`] is a binary search
+//! instead of a linear scan. This matters for the brute-force oracle, which
+//! builds one clause per derivation row and cofactors formulas recursively
+//! during Shannon expansion.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -8,18 +16,20 @@ use pdb_storage::Variable;
 /// A conjunction of (positive) variables — one derivation of an answer tuple.
 ///
 /// Lineage of conjunctive queries is monotone: clauses only contain positive
-/// literals. Variables are stored as a set, so `x ∧ x` collapses to `x`.
+/// literals. Variables are kept sorted and deduplicated, so `x ∧ x`
+/// collapses to `x`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Clause {
-    vars: BTreeSet<Variable>,
+    vars: Vec<Variable>,
 }
 
 impl Clause {
     /// A clause over the given variables.
     pub fn new(vars: impl IntoIterator<Item = Variable>) -> Self {
-        Clause {
-            vars: vars.into_iter().collect(),
-        }
+        let mut vars: Vec<Variable> = vars.into_iter().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        Clause { vars }
     }
 
     /// The empty clause, which is identically true.
@@ -27,8 +37,8 @@ impl Clause {
         Clause::default()
     }
 
-    /// The variables of the clause.
-    pub fn vars(&self) -> &BTreeSet<Variable> {
+    /// The variables of the clause, sorted ascending.
+    pub fn vars(&self) -> &[Variable] {
         &self.vars
     }
 
@@ -44,7 +54,7 @@ impl Clause {
 
     /// Whether the clause mentions `var`.
     pub fn contains(&self, var: Variable) -> bool {
-        self.vars.contains(&var)
+        self.vars.binary_search(&var).is_ok()
     }
 
     /// Evaluates the clause under a truth assignment (missing variables are
@@ -55,24 +65,46 @@ impl Clause {
             .all(|v| assignment.get(v).copied().unwrap_or(false))
     }
 
-    /// The conjunction of two clauses.
+    /// The conjunction of two clauses (merge of two sorted runs).
     pub fn and(&self, other: &Clause) -> Clause {
-        Clause {
-            vars: self.vars.union(&other.vars).copied().collect(),
+        let mut vars = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() && j < other.vars.len() {
+            use std::cmp::Ordering::*;
+            match self.vars[i].cmp(&other.vars[j]) {
+                Less => {
+                    vars.push(self.vars[i]);
+                    i += 1;
+                }
+                Greater => {
+                    vars.push(other.vars[j]);
+                    j += 1;
+                }
+                Equal => {
+                    vars.push(self.vars[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
         }
+        vars.extend_from_slice(&self.vars[i..]);
+        vars.extend_from_slice(&other.vars[j..]);
+        Clause { vars }
     }
 
     /// The clause restricted by setting `var` to `value`: returns `None` if
     /// the clause becomes false (impossible for monotone clauses — setting a
     /// variable false removes clauses containing it), otherwise the clause
-    /// with the variable removed.
+    /// with the variable removed. Clauses not mentioning `var` are returned
+    /// unchanged (one flat copy, no per-element rebuilding).
     pub fn assign(&self, var: Variable, value: bool) -> Option<Clause> {
-        if !self.vars.contains(&var) {
+        let Ok(pos) = self.vars.binary_search(&var) else {
             return Some(self.clone());
-        }
+        };
         if value {
-            let mut vars = self.vars.clone();
-            vars.remove(&var);
+            let mut vars = Vec::with_capacity(self.vars.len() - 1);
+            vars.extend_from_slice(&self.vars[..pos]);
+            vars.extend_from_slice(&self.vars[pos + 1..]);
             Some(Clause { vars })
         } else {
             None
@@ -96,10 +128,24 @@ impl fmt::Display for Clause {
 }
 
 /// A DNF formula: a disjunction of clauses. The empty DNF is false.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Clauses are kept in insertion order (observable through [`Dnf::clauses`]);
+/// a sorted side index makes duplicate detection logarithmic.
+#[derive(Debug, Clone, Default)]
 pub struct Dnf {
     clauses: Vec<Clause>,
+    /// Indices into `clauses`, ordered by clause; `add_clause` binary
+    /// searches here instead of scanning.
+    sorted: Vec<u32>,
 }
+
+impl PartialEq for Dnf {
+    fn eq(&self, other: &Self) -> bool {
+        self.clauses == other.clauses
+    }
+}
+
+impl Eq for Dnf {}
 
 impl Dnf {
     /// The false formula (no clauses).
@@ -120,17 +166,22 @@ impl Dnf {
     pub fn var(v: Variable) -> Self {
         Dnf {
             clauses: vec![Clause::new([v])],
+            sorted: vec![0],
         }
     }
 
     /// Adds a clause unless it is already present.
     pub fn add_clause(&mut self, clause: Clause) {
-        if !self.clauses.contains(&clause) {
+        let pos = self
+            .sorted
+            .binary_search_by(|&i| self.clauses[i as usize].cmp(&clause));
+        if let Err(insert_at) = pos {
+            self.sorted.insert(insert_at, self.clauses.len() as u32);
             self.clauses.push(clause);
         }
     }
 
-    /// The clauses of the formula.
+    /// The clauses of the formula, in insertion order.
     pub fn clauses(&self) -> &[Clause] {
         &self.clauses
     }
@@ -138,6 +189,11 @@ impl Dnf {
     /// Number of clauses.
     pub fn len(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// Whether the formula has no clauses (alias of [`Dnf::is_false`]).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
     }
 
     /// Whether the formula is false (no clauses).
@@ -158,9 +214,11 @@ impl Dnf {
         self.clauses.iter().any(|c| c.eval(assignment))
     }
 
-    /// Disjunction of two formulas.
+    /// Disjunction of two formulas. Reserves the result up front and
+    /// deduplicates through the sorted index — no repeated linear scans.
     pub fn or(&self, other: &Dnf) -> Dnf {
         let mut out = self.clone();
+        out.clauses.reserve(other.clauses.len());
         for c in &other.clauses {
             out.add_clause(c.clone());
         }
@@ -170,6 +228,8 @@ impl Dnf {
     /// Conjunction of two formulas (clause-wise distribution).
     pub fn and(&self, other: &Dnf) -> Dnf {
         let mut out = Dnf::empty();
+        out.clauses
+            .reserve(self.clauses.len() * other.clauses.len());
         for a in &self.clauses {
             for b in &other.clauses {
                 out.add_clause(a.and(b));
@@ -181,6 +241,7 @@ impl Dnf {
     /// The formula restricted by setting `var` to `value` (Shannon cofactor).
     pub fn assign(&self, var: Variable, value: bool) -> Dnf {
         let mut out = Dnf::empty();
+        out.clauses.reserve(self.clauses.len());
         for c in &self.clauses {
             if let Some(restricted) = c.assign(var, value) {
                 out.add_clause(restricted);
@@ -191,7 +252,10 @@ impl Dnf {
 
     /// Whether the formula is identically true (contains the empty clause).
     pub fn is_true(&self) -> bool {
-        self.clauses.iter().any(|c| c.is_empty())
+        // The empty clause sorts first.
+        self.sorted
+            .first()
+            .is_some_and(|&i| self.clauses[i as usize].is_empty())
     }
 }
 
@@ -227,6 +291,13 @@ mod tests {
     }
 
     #[test]
+    fn clause_vars_are_sorted_regardless_of_insertion_order() {
+        let c = Clause::new([v(5), v(1), v(3)]);
+        assert_eq!(c.vars(), &[v(1), v(3), v(5)]);
+        assert_eq!(c, Clause::new([v(3), v(5), v(1)]));
+    }
+
+    #[test]
     fn clause_eval() {
         let c = Clause::new([v(1), v(2)]);
         let mut a = BTreeMap::new();
@@ -243,6 +314,14 @@ mod tests {
         assert_eq!(c.assign(v(1), true).unwrap(), Clause::new([v(2)]));
         assert!(c.assign(v(1), false).is_none());
         assert_eq!(c.assign(v(9), false).unwrap(), c);
+    }
+
+    #[test]
+    fn clause_and_merges_sorted_runs() {
+        let a = Clause::new([v(1), v(3)]);
+        let b = Clause::new([v(2), v(3), v(4)]);
+        assert_eq!(a.and(&b), Clause::new([v(1), v(2), v(3), v(4)]));
+        assert_eq!(Clause::empty().and(&a), a);
     }
 
     #[test]
@@ -283,6 +362,14 @@ mod tests {
     }
 
     #[test]
+    fn or_deduplicates_across_operands() {
+        let a = Dnf::new([Clause::new([v(1)]), Clause::new([v(2)])]);
+        let b = Dnf::new([Clause::new([v(2)]), Clause::new([v(3)])]);
+        let union = a.or(&b);
+        assert_eq!(union.len(), 3);
+    }
+
+    #[test]
     fn shannon_cofactor() {
         let d = Dnf::new([Clause::new([v(1), v(2)]), Clause::new([v(3)])]);
         let d_true = d.assign(v(1), true);
@@ -292,6 +379,14 @@ mod tests {
         );
         let d_false = d.assign(v(1), false);
         assert_eq!(d_false.clauses(), &[Clause::new([v(3)])]);
+    }
+
+    #[test]
+    fn tautology_detection_via_sorted_index() {
+        let mut d = Dnf::new([Clause::new([v(1)])]);
+        assert!(!d.is_true());
+        d.add_clause(Clause::empty());
+        assert!(d.is_true());
     }
 
     #[test]

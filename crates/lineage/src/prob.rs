@@ -132,8 +132,10 @@ mod tests {
             Clause::new([v(1), v(12), v(22)]),
             Clause::new([v(2), v(13), v(21)]),
         ]);
-        let p: BTreeMap<Variable, f64> =
-            [1, 2, 11, 12, 13, 21, 22].iter().map(|i| (v(*i), 0.5)).collect();
+        let p: BTreeMap<Variable, f64> = [1, 2, 11, 12, 13, 21, 22]
+            .iter()
+            .map(|i| (v(*i), 0.5))
+            .collect();
         let brute = brute_force(&d, &p);
         assert!((exact_probability(&d, &p) - brute).abs() < 1e-12);
     }

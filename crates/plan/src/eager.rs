@@ -62,9 +62,8 @@ impl EagerPlan {
         // projection restores the head's column order.
         let result = ops::project(&result, &self.query.head)?;
         let mut out: Vec<(Tuple, f64)> = result
-            .rows()
             .iter()
-            .map(|r| (r.data.clone(), r.lineage[0].1))
+            .map(|r| (r.data_tuple(), r.lineage[0].1))
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
@@ -81,10 +80,9 @@ impl EagerPlan {
     ) -> PlanResult<(Annotated, String)> {
         match node {
             QueryTree::Leaf { relation, .. } => {
-                let atom = self
-                    .query
-                    .relation(relation)
-                    .ok_or_else(|| PlanError::Intractable(format!("unknown relation {relation}")))?;
+                let atom = self.query.relation(relation).ok_or_else(|| {
+                    PlanError::Intractable(format!("unknown relation {relation}"))
+                })?;
                 let table = catalog.table(relation)?;
                 // Scan the physically available attributes that are needed
                 // above, in the head, or used by a predicate.
@@ -126,8 +124,7 @@ impl EagerPlan {
                 // exactly as the FD-reduct's labels prescribe.
                 let mut evaluated = Vec::with_capacity(children.len());
                 for child in children {
-                    let child_rels: BTreeSet<String> =
-                        child.relations().into_iter().collect();
+                    let child_rels: BTreeSet<String> = child.relations().into_iter().collect();
                     let child_needed = interface_attributes(&self.query, &child_rels);
                     evaluated.push(self.eval_node(child, &child_needed, head, catalog)?);
                 }
@@ -156,10 +153,7 @@ impl EagerPlan {
 /// The join attributes of `query` that occur both inside and outside the
 /// given set of relations — the columns a subplan over exactly those
 /// relations must keep for joins still to come.
-fn interface_attributes(
-    query: &ConjunctiveQuery,
-    subtree: &BTreeSet<String>,
-) -> BTreeSet<String> {
+fn interface_attributes(query: &ConjunctiveQuery, subtree: &BTreeSet<String>) -> BTreeSet<String> {
     query
         .join_attributes()
         .into_iter()
@@ -184,9 +178,9 @@ fn interface_attributes(
 fn aggregate_single_column(input: &Annotated) -> Annotated {
     use std::collections::BTreeMap;
     let mut groups: BTreeMap<Tuple, BTreeMap<pdb_storage::Variable, f64>> = BTreeMap::new();
-    for row in input.rows() {
+    for row in input.iter() {
         let (var, p) = row.lineage[0];
-        groups.entry(row.data.clone()).or_default().insert(var, p);
+        groups.entry(row.data_tuple()).or_default().insert(var, p);
     }
     let mut out = Annotated::new(input.schema().clone(), input.relations().to_vec());
     for (data, members) in groups {
@@ -208,10 +202,13 @@ fn aggregate_joined(input: &Annotated, representative: &str) -> Annotated {
         .relation_index(representative)
         .expect("representative child is part of the join");
     let mut groups: BTreeMap<Tuple, Vec<(pdb_storage::Variable, f64)>> = BTreeMap::new();
-    for row in input.rows() {
+    for row in input.iter() {
         let prob: f64 = row.lineage.iter().map(|(_, p)| *p).product();
         let var = row.lineage[rep_idx].0;
-        groups.entry(row.data.clone()).or_default().push((var, prob));
+        groups
+            .entry(row.data_tuple())
+            .or_default()
+            .push((var, prob));
     }
     let mut out = Annotated::new(input.schema().clone(), vec![representative.to_string()]);
     for (data, members) in groups {
@@ -243,7 +240,7 @@ mod tests {
     fn eager_plan_with_fds_handles_q_prime() {
         let catalog = fig1_catalog_with_keys();
         let fds = FdSet::from_catalog_decls(&catalog.fds());
-        let plan = EagerPlan::build(&intro_query_q_prime(), &fds, ).unwrap();
+        let plan = EagerPlan::build(&intro_query_q_prime(), &fds).unwrap();
         let result = plan.execute(&catalog).unwrap();
         assert_eq!(result.len(), 1);
         assert!((result[0].1 - 0.0028).abs() < 1e-12);

@@ -82,7 +82,9 @@ mod tests {
         assert!(e.to_string().contains("no relation"));
         let e: PlanError = StorageError::UnknownTable("T".into()).into();
         assert!(e.to_string().contains("T"));
-        assert!(PlanError::Intractable("Q5".into()).to_string().contains("#P-hard"));
+        assert!(PlanError::Intractable("Q5".into())
+            .to_string()
+            .contains("#P-hard"));
         assert!(PlanError::MystiqRuntimeError("Q1".into())
             .to_string()
             .contains("runtime error"));

@@ -199,13 +199,22 @@ mod tests {
             .unwrap()
             .execute(&catalog)
             .unwrap();
-        for push in [vec![], vec!["Item"], vec!["Ord"], vec!["Item", "Cust"], vec!["Item", "Ord", "Cust"]] {
+        for push in [
+            vec![],
+            vec!["Item"],
+            vec!["Ord"],
+            vec!["Item", "Cust"],
+            vec!["Item", "Ord", "Cust"],
+        ] {
             let plan = HybridPlan::build(&q, &FdSet::empty(), &catalog, &push).unwrap();
             let result = plan.execute(&catalog).unwrap();
             assert_eq!(result.len(), lazy.len(), "pushdown {push:?}");
             for ((t1, p1), (t2, p2)) in result.iter().zip(lazy.iter()) {
                 assert_eq!(t1, t2);
-                assert!((p1 - p2).abs() < 1e-9, "pushdown {push:?} tuple {t1}: {p1} vs {p2}");
+                assert!(
+                    (p1 - p2).abs() < 1e-9,
+                    "pushdown {push:?} tuple {t1}: {p1} vs {p2}"
+                );
             }
         }
     }

@@ -178,8 +178,7 @@ fn replace_smallest_starred_cover(
 /// Whether some strict subexpression of `sig` that is a star or a single
 /// table still contains every table of `group`.
 fn smaller_cover_exists(sig: &Signature, group: &BTreeSet<String>) -> bool {
-    let contains_all =
-        |s: &Signature| group.iter().all(|t| s.contains_table(t));
+    let contains_all = |s: &Signature| group.iter().all(|t| s.contains_table(t));
     match sig {
         Signature::Table(_) => group.len() == 1 && contains_all(sig),
         Signature::Star(_) => contains_all(sig),
@@ -254,11 +253,7 @@ mod tests {
         // below, the operator after Ord ⋈ Item is [(Ord Item)*]; after the
         // subsequent [(Ord Item)*] the top operator becomes [(Cust Ord)*].
         let ctx = context(false);
-        let singles = [
-            attr_set(&["Item"]),
-            attr_set(&["Ord"]),
-            attr_set(&["Cust"]),
-        ];
+        let singles = [attr_set(&["Item"]), attr_set(&["Ord"]), attr_set(&["Cust"])];
         let ops = ctx
             .operator_signatures(&attr_set(&["Ord", "Item"]), &singles)
             .unwrap();
@@ -283,9 +278,7 @@ mod tests {
             .operator_signatures(&attr_set(&["Ord", "Item"]), &[])
             .unwrap();
         assert_eq!(ops[0].to_string(), "(Ord Item*)*");
-        let ops = ctx
-            .operator_signatures(&attr_set(&["Cust"]), &[])
-            .unwrap();
+        let ops = ctx.operator_signatures(&attr_set(&["Cust"]), &[]).unwrap();
         assert_eq!(ops[0].to_string(), "Cust");
     }
 

@@ -180,8 +180,7 @@ impl<'a> Planner<'a> {
                 let answer = plan.answer_tuples(self.catalog)?;
                 let tuple_time = start.elapsed();
                 let start = Instant::now();
-                let operator =
-                    pdb_conf::ConfidenceOperator::new(plan.top_signature().clone());
+                let operator = pdb_conf::ConfidenceOperator::new(plan.top_signature().clone());
                 let confidences = operator
                     .compute(&answer, pdb_conf::Strategy::Auto)
                     .map_err(PlanError::from)?;

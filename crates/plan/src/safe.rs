@@ -78,11 +78,8 @@ impl SafePlan {
         // so the stable aggregation is an exact no-op here.
         let result = independent_project(&result, &self.query.head, ProbAggregation::Stable)
             .map_err(|_| PlanError::MystiqRuntimeError(self.query.to_string()))?;
-        let mut out: ConfidenceResult = result
-            .rows()
-            .iter()
-            .map(|(t, p)| (t.clone(), *p))
-            .collect();
+        let mut out: ConfidenceResult =
+            result.rows().iter().map(|(t, p)| (t.clone(), *p)).collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
     }
@@ -96,10 +93,9 @@ impl SafePlan {
     ) -> PlanResult<ExtRelation> {
         match node {
             QueryTree::Leaf { relation, .. } => {
-                let atom = self
-                    .query
-                    .relation(relation)
-                    .ok_or_else(|| PlanError::Intractable(format!("unknown relation {relation}")))?;
+                let atom = self.query.relation(relation).ok_or_else(|| {
+                    PlanError::Intractable(format!("unknown relation {relation}"))
+                })?;
                 let table = catalog.table(relation)?;
                 let scan_attrs: Vec<String> = atom
                     .attributes
@@ -205,7 +201,10 @@ mod tests {
         let catalog = fig1_catalog();
         let mut q = intro_query_q();
         q.predicates.clear();
-        let safe = SafePlan::build(&q, &FdSet::empty()).unwrap().execute(&catalog).unwrap();
+        let safe = SafePlan::build(&q, &FdSet::empty())
+            .unwrap()
+            .execute(&catalog)
+            .unwrap();
         let lazy = LazyPlan::build(&q, &FdSet::empty(), &catalog)
             .unwrap()
             .execute(&catalog)

@@ -178,7 +178,10 @@ mod tests {
             FunctionalDependency::new(&["A"], &["D"]),
             FunctionalDependency::new(&["B", "D"], &["E"]),
         ]);
-        assert_eq!(fds.closure_of(&["A", "B", "C"]), attr_set(&["A", "B", "C", "D", "E"]));
+        assert_eq!(
+            fds.closure_of(&["A", "B", "C"]),
+            attr_set(&["A", "B", "C", "D", "E"])
+        );
     }
 
     #[test]

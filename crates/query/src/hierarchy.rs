@@ -161,9 +161,7 @@ impl QueryTree {
     pub fn contains_relation(&self, name: &str) -> bool {
         match self {
             QueryTree::Leaf { relation, .. } => relation == name,
-            QueryTree::Inner { children, .. } => {
-                children.iter().any(|c| c.contains_relation(name))
-            }
+            QueryTree::Inner { children, .. } => children.iter().any(|c| c.contains_relation(name)),
         }
     }
 
@@ -174,7 +172,10 @@ impl QueryTree {
     ///
     /// Returns `None` if some relation in `tables` is not in the tree or
     /// `tables` is empty.
-    pub fn minimal_subtree(&self, tables: &BTreeSet<String>) -> Option<(&QueryTree, BTreeSet<String>)> {
+    pub fn minimal_subtree(
+        &self,
+        tables: &BTreeSet<String>,
+    ) -> Option<(&QueryTree, BTreeSet<String>)> {
         if tables.is_empty() {
             return None;
         }
@@ -276,7 +277,7 @@ fn connected_components(
             }
         }
     }
-    fn find(component: &mut Vec<usize>, i: usize) -> usize {
+    fn find(component: &mut [usize], i: usize) -> usize {
         let mut root = i;
         while component[root] != root {
             root = component[root];
@@ -300,14 +301,15 @@ fn connected_components(
     }
     // Keep components ordered by the first (smallest-index) atom they
     // contain so that signature derivation preserves the query's atom order.
-    let mut groups: BTreeMap<usize, Vec<(String, BTreeSet<String>)>> = BTreeMap::new();
+    type Atom = (String, BTreeSet<String>);
+    let mut groups: BTreeMap<usize, Vec<Atom>> = BTreeMap::new();
     let mut first_member: BTreeMap<usize, usize> = BTreeMap::new();
-    for i in 0..n {
+    for (i, atom) in atoms.iter().enumerate().take(n) {
         let root = find(&mut component, i);
-        groups.entry(root).or_default().push(atoms[i].clone());
+        groups.entry(root).or_default().push(atom.clone());
         first_member.entry(root).or_insert(i);
     }
-    let mut ordered: Vec<(usize, Vec<(String, BTreeSet<String>)>)> = groups
+    let mut ordered: Vec<(usize, Vec<Atom>)> = groups
         .into_iter()
         .map(|(root, members)| (first_member[&root], members))
         .collect();
@@ -457,17 +459,13 @@ mod tests {
         let tree = QueryTree::build(&q).unwrap();
         // {Ord, Item} is covered by the inner {ckey, okey} node whose parent
         // label is {ckey} (Example III.4).
-        let (sub, parent) = tree
-            .minimal_subtree(&attr_set(&["Ord", "Item"]))
-            .unwrap();
+        let (sub, parent) = tree.minimal_subtree(&attr_set(&["Ord", "Item"])).unwrap();
         assert_eq!(parent, attr_set(&["ckey"]));
         let mut rels = sub.relations();
         rels.sort();
         assert_eq!(rels, vec!["Item".to_string(), "Ord".to_string()]);
         // {Cust, Ord} needs the whole tree.
-        let (sub, parent) = tree
-            .minimal_subtree(&attr_set(&["Cust", "Ord"]))
-            .unwrap();
+        let (sub, parent) = tree.minimal_subtree(&attr_set(&["Cust", "Ord"])).unwrap();
         assert!(parent.is_empty());
         assert_eq!(sub.relations().len(), 3);
         // A single table is covered by its own leaf.

@@ -192,7 +192,12 @@ mod tests {
         let reduct = FdReduct::compute(&q, &tpch_fds());
         assert!(reduct.is_hierarchical());
         assert!(reduct.reduct.relation("Ord").unwrap().attributes.is_empty());
-        assert!(reduct.reduct.relation("Cust").unwrap().attributes.is_empty());
+        assert!(reduct
+            .reduct
+            .relation("Cust")
+            .unwrap()
+            .attributes
+            .is_empty());
         assert_eq!(
             reduct.reduct.relation("Item").unwrap().attribute_set(),
             attr_set(&["discount"])
@@ -253,7 +258,10 @@ mod tests {
             reduct.reduct.relation("Ord").unwrap().attribute_set(),
             attr_set(&["okey", "ckey", "odate"])
         );
-        assert_eq!(reduct.signature().unwrap().to_string(), "(Cust* (Ord* Item*)*)*");
+        assert_eq!(
+            reduct.signature().unwrap().to_string(),
+            "(Cust* (Ord* Item*)*)*"
+        );
     }
 
     #[test]

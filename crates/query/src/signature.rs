@@ -126,9 +126,7 @@ impl Signature {
         match self {
             Signature::Table(_) => true,
             Signature::Star(_) => false,
-            Signature::Concat(parts) => {
-                parts.iter().any(|p| matches!(p, Signature::Table(_)))
-            }
+            Signature::Concat(parts) => parts.iter().any(|p| matches!(p, Signature::Table(_))),
         }
     }
 
@@ -191,9 +189,7 @@ impl Signature {
     pub fn restrict_to_tables(&self, tables: &BTreeSet<String>) -> Option<Signature> {
         match self {
             Signature::Table(r) => tables.contains(r).then(|| Signature::Table(r.clone())),
-            Signature::Star(inner) => inner
-                .restrict_to_tables(tables)
-                .map(Signature::star),
+            Signature::Star(inner) => inner.restrict_to_tables(tables).map(Signature::star),
             Signature::Concat(parts) => {
                 let kept: Vec<Signature> = parts
                     .iter()
@@ -555,7 +551,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper_notation() {
-        assert_eq!(sig("(Cust*(Ord*Item*)*)*").to_string(), "(Cust* (Ord* Item*)*)*");
+        assert_eq!(
+            sig("(Cust*(Ord*Item*)*)*").to_string(),
+            "(Cust* (Ord* Item*)*)*"
+        );
         assert_eq!(sig("R*S*").to_string(), "R* S*");
         assert_eq!(sig("Cust Ord Item*").to_string(), "Cust Ord Item*");
     }

@@ -65,12 +65,10 @@ impl SproutDb {
     ///
     /// # Errors
     /// Fails if the name is already taken.
-    pub fn register_table(
-        &self,
-        name: impl Into<String>,
-        table: ProbTable,
-    ) -> PlanResult<()> {
-        self.catalog.register_table(name, table).map_err(PlanError::from)
+    pub fn register_table(&self, name: impl Into<String>, table: ProbTable) -> PlanResult<()> {
+        self.catalog
+            .register_table(name, table)
+            .map_err(PlanError::from)
     }
 
     /// Declares a key (which the planner turns into functional dependencies).
@@ -78,7 +76,9 @@ impl SproutDb {
     /// # Errors
     /// Fails on unknown tables or columns.
     pub fn declare_key(&self, table: &str, attrs: &[&str]) -> PlanResult<()> {
-        self.catalog.declare_key(table, attrs).map_err(PlanError::from)
+        self.catalog
+            .declare_key(table, attrs)
+            .map_err(PlanError::from)
     }
 
     /// Declares a functional dependency `table: lhs → rhs`.
@@ -86,7 +86,9 @@ impl SproutDb {
     /// # Errors
     /// Fails on unknown tables or columns.
     pub fn declare_fd(&self, table: &str, lhs: &[&str], rhs: &[&str]) -> PlanResult<()> {
-        self.catalog.declare_fd(table, lhs, rhs).map_err(PlanError::from)
+        self.catalog
+            .declare_fd(table, lhs, rhs)
+            .map_err(PlanError::from)
     }
 
     /// Whether `query` admits exact confidence computation in polynomial time

@@ -64,7 +64,10 @@ impl Catalog {
 
     /// Replaces (or inserts) a table under `name`.
     pub fn replace_table(&self, name: impl Into<String>, table: ProbTable) {
-        self.inner.write().tables.insert(name.into(), Arc::new(table));
+        self.inner
+            .write()
+            .tables
+            .insert(name.into(), Arc::new(table));
     }
 
     /// Fetches the table registered under `name`.
@@ -98,10 +101,10 @@ impl Catalog {
                 return Err(StorageError::UnknownColumn((*a).to_string()));
             }
         }
-        self.inner
-            .write()
-            .keys
-            .insert(table.to_string(), attrs.iter().map(|s| s.to_string()).collect());
+        self.inner.write().keys.insert(
+            table.to_string(),
+            attrs.iter().map(|s| s.to_string()).collect(),
+        );
         Ok(())
     }
 

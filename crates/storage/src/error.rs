@@ -44,7 +44,10 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateColumn(c) => write!(f, "duplicate column name: {c}"),
             StorageError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             StorageError::ArityMismatch { expected, actual } => {
-                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {actual} does not match schema arity {expected}"
+                )
             }
             StorageError::TypeMismatch { column, value } => {
                 write!(f, "value {value} is not admissible in column {column}")

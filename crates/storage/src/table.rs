@@ -272,7 +272,8 @@ mod tests {
     #[test]
     fn null_is_admissible_everywhere() {
         let mut t = Table::new(schema_ab());
-        t.insert(Tuple::new(vec![Value::Null, Value::Null])).unwrap();
+        t.insert(Tuple::new(vec![Value::Null, Value::Null]))
+            .unwrap();
         assert_eq!(t.len(), 1);
     }
 

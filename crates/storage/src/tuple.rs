@@ -36,6 +36,11 @@ impl Tuple {
         &self.values
     }
 
+    /// Consumes the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
     /// Mutable access to the values.
     pub fn values_mut(&mut self) -> &mut Vec<Value> {
         &mut self.values

@@ -16,28 +16,68 @@ use crate::dates::date;
 
 /// TPC-H nation names (the 25 official ones).
 pub const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
-    "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU",
-    "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 
 /// TPC-H region names.
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
 /// Market segments used by query 3.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Ship modes used by queries 12 and 19.
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Part containers used by queries 17 and 19.
 pub const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP BAG",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP BAG",
 ];
 
 /// Part types used by query 2.
 pub const PART_TYPES: [&str; 6] = [
-    "ECONOMY BRASS", "STANDARD BRASS", "PROMO STEEL", "SMALL COPPER", "LARGE TIN", "MEDIUM NICKEL",
+    "ECONOMY BRASS",
+    "STANDARD BRASS",
+    "PROMO STEEL",
+    "SMALL COPPER",
+    "LARGE TIN",
+    "MEDIUM NICKEL",
 ];
 
 /// Scale parameters: table cardinalities derived from the scale factor.
@@ -132,7 +172,13 @@ impl TpchData {
         let cust = gen_cust(&mut rng, scale.customers());
         let part = gen_part(&mut rng, scale.parts());
         let psupp = gen_psupp(&mut rng, scale.parts(), scale.suppliers());
-        let (ord, item) = gen_orders_items(&mut rng, scale.orders(), scale.customers(), scale.parts(), scale.suppliers());
+        let (ord, item) = gen_orders_items(
+            &mut rng,
+            scale.orders(),
+            scale.customers(),
+            scale.parts(),
+            scale.suppliers(),
+        );
         TpchData {
             region,
             nation,
@@ -404,9 +450,18 @@ mod tests {
     #[test]
     fn keys_are_unique() {
         let data = TpchData::generate(TpchScale::tiny());
-        assert_eq!(data.ord.distinct_values("okey").unwrap().len(), data.ord.len());
-        assert_eq!(data.cust.distinct_values("ckey").unwrap().len(), data.cust.len());
-        assert_eq!(data.part.distinct_values("pkey").unwrap().len(), data.part.len());
+        assert_eq!(
+            data.ord.distinct_values("okey").unwrap().len(),
+            data.ord.len()
+        );
+        assert_eq!(
+            data.cust.distinct_values("ckey").unwrap().len(),
+            data.cust.len()
+        );
+        assert_eq!(
+            data.part.distinct_values("pkey").unwrap().len(),
+            data.part.len()
+        );
     }
 
     #[test]

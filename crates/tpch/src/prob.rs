@@ -97,7 +97,13 @@ mod tests {
         let a = probabilistic_catalog(&data, 1).unwrap();
         let b = probabilistic_catalog(&data, 1).unwrap();
         let c = probabilistic_catalog(&data, 2).unwrap();
-        assert_eq!(a.table("Ord").unwrap().probs(), b.table("Ord").unwrap().probs());
-        assert_ne!(a.table("Ord").unwrap().probs(), c.table("Ord").unwrap().probs());
+        assert_eq!(
+            a.table("Ord").unwrap().probs(),
+            b.table("Ord").unwrap().probs()
+        );
+        assert_ne!(
+            a.table("Ord").unwrap().probs(),
+            c.table("Ord").unwrap().probs()
+        );
     }
 }

@@ -52,15 +52,33 @@ const REGION: (&str, &[&str]) = ("Region", &["rkey", "rname"]);
 const NATION: (&str, &[&str]) = ("Nation", &["nkey", "nname", "rkey"]);
 const NATION_C: (&str, &[&str]) = ("NationC", &["cnkey", "cnname", "crkey"]);
 const SUPP: (&str, &[&str]) = ("Supp", &["skey", "sname", "nkey", "acctbal"]);
-const CUST: (&str, &[&str]) = ("Cust", &["ckey", "cname", "cnkey", "cacctbal", "mktsegment"]);
+const CUST: (&str, &[&str]) = (
+    "Cust",
+    &["ckey", "cname", "cnkey", "cacctbal", "mktsegment"],
+);
 const PART: (&str, &[&str]) = (
     "Part",
-    &["pkey", "pname", "brand", "type", "size", "container", "retailprice"],
+    &[
+        "pkey",
+        "pname",
+        "brand",
+        "type",
+        "size",
+        "container",
+        "retailprice",
+    ],
 );
 const PSUPP: (&str, &[&str]) = ("Psupp", &["pkey", "skey", "availqty", "supplycost"]);
 const ORD: (&str, &[&str]) = (
     "Ord",
-    &["okey", "ckey", "ostatus", "totalprice", "odate", "opriority"],
+    &[
+        "okey",
+        "ckey",
+        "ostatus",
+        "totalprice",
+        "odate",
+        "opriority",
+    ],
 );
 const ITEM: (&str, &[&str]) = (
     "Item",
@@ -78,11 +96,7 @@ const ITEM: (&str, &[&str]) = (
     ],
 );
 
-fn cq(
-    atoms: &[(&str, &[&str])],
-    head: &[&str],
-    predicates: Vec<Predicate>,
-) -> ConjunctiveQuery {
+fn cq(atoms: &[(&str, &[&str])], head: &[&str], predicates: Vec<Predicate>) -> ConjunctiveQuery {
     ConjunctiveQuery::build(atoms, head, predicates).expect("catalogue queries are well-formed")
 }
 
@@ -116,7 +130,12 @@ pub fn tpch_query(id: &str) -> Option<TpchQuery> {
         // Dropping the head can only remove hierarchical structure derived
         // from head attributes; the Boolean variants of interest all rely on
         // the TPC-H keys (Section VI).
-        if entry.class == QueryClass::Hierarchical && !matches!(base, "1" | "4" | "6" | "12" | "14" | "15" | "16" | "17" | "19") {
+        if entry.class == QueryClass::Hierarchical
+            && !matches!(
+                base,
+                "1" | "4" | "6" | "12" | "14" | "15" | "16" | "17" | "19"
+            )
+        {
             entry.class = QueryClass::FdReductHierarchical;
         }
     }
@@ -131,7 +150,12 @@ fn base_query(id: &str) -> Option<TpchQuery> {
             Some(cq(
                 &[ITEM],
                 &["returnflag"],
-                vec![pred("Item", "shipdate", CompareOp::Le, Value::Date(date(1998, 9, 2)))],
+                vec![pred(
+                    "Item",
+                    "shipdate",
+                    CompareOp::Le,
+                    Value::Date(date(1998, 9, 2)),
+                )],
             )),
             "pricing summary report: single-table selection on lineitem",
         ),
@@ -157,8 +181,18 @@ fn base_query(id: &str) -> Option<TpchQuery> {
                 &["okey", "odate"],
                 vec![
                     pred("Cust", "mktsegment", CompareOp::Eq, "BUILDING"),
-                    pred("Ord", "odate", CompareOp::Lt, Value::Date(date(1995, 3, 15))),
-                    pred("Item", "shipdate", CompareOp::Gt, Value::Date(date(1995, 3, 15))),
+                    pred(
+                        "Ord",
+                        "odate",
+                        CompareOp::Lt,
+                        Value::Date(date(1995, 3, 15)),
+                    ),
+                    pred(
+                        "Item",
+                        "shipdate",
+                        CompareOp::Gt,
+                        Value::Date(date(1995, 3, 15)),
+                    ),
                 ],
             )),
             "shipping priority: okey in the head keeps the query hierarchical",
@@ -171,7 +205,12 @@ fn base_query(id: &str) -> Option<TpchQuery> {
                 &["opriority"],
                 vec![
                     pred("Ord", "odate", CompareOp::Ge, Value::Date(date(1993, 7, 1))),
-                    pred("Ord", "odate", CompareOp::Lt, Value::Date(date(1993, 10, 1))),
+                    pred(
+                        "Ord",
+                        "odate",
+                        CompareOp::Lt,
+                        Value::Date(date(1993, 10, 1)),
+                    ),
                 ],
             )),
             "order priority checking: orders joined with lineitem on the order key",
@@ -183,7 +222,10 @@ fn base_query(id: &str) -> Option<TpchQuery> {
                 &[
                     ("Cust", &["ckey", "nkey"]),
                     ORD,
-                    ("Item", &["okey", "linenumber", "skey", "extendedprice", "discount"]),
+                    (
+                        "Item",
+                        &["okey", "linenumber", "skey", "extendedprice", "discount"],
+                    ),
                     ("Supp", &["skey", "nkey"]),
                     NATION,
                     REGION,
@@ -203,8 +245,18 @@ fn base_query(id: &str) -> Option<TpchQuery> {
                 &[ITEM],
                 &[],
                 vec![
-                    pred("Item", "shipdate", CompareOp::Ge, Value::Date(date(1994, 1, 1))),
-                    pred("Item", "shipdate", CompareOp::Lt, Value::Date(date(1995, 1, 1))),
+                    pred(
+                        "Item",
+                        "shipdate",
+                        CompareOp::Ge,
+                        Value::Date(date(1994, 1, 1)),
+                    ),
+                    pred(
+                        "Item",
+                        "shipdate",
+                        CompareOp::Lt,
+                        Value::Date(date(1995, 1, 1)),
+                    ),
                     pred("Item", "discount", CompareOp::Ge, 0.05),
                     pred("Item", "discount", CompareOp::Le, 0.07),
                     pred("Item", "quantity", CompareOp::Lt, 24i64),
@@ -221,8 +273,18 @@ fn base_query(id: &str) -> Option<TpchQuery> {
                 vec![
                     pred("Nation", "nname", CompareOp::Eq, "FRANCE"),
                     pred("NationC", "cnname", CompareOp::Eq, "GERMANY"),
-                    pred("Item", "shipdate", CompareOp::Ge, Value::Date(date(1995, 1, 1))),
-                    pred("Item", "shipdate", CompareOp::Le, Value::Date(date(1996, 12, 31))),
+                    pred(
+                        "Item",
+                        "shipdate",
+                        CompareOp::Ge,
+                        Value::Date(date(1995, 1, 1)),
+                    ),
+                    pred(
+                        "Item",
+                        "shipdate",
+                        CompareOp::Le,
+                        Value::Date(date(1996, 12, 31)),
+                    ),
                 ],
             )),
             "volume shipping: six-way join with two Nation copies selecting disjoint tuples",
@@ -236,7 +298,12 @@ fn base_query(id: &str) -> Option<TpchQuery> {
                 vec![
                     pred("Part", "type", CompareOp::Eq, "ECONOMY BRASS"),
                     pred("Ord", "odate", CompareOp::Ge, Value::Date(date(1995, 1, 1))),
-                    pred("Ord", "odate", CompareOp::Le, Value::Date(date(1996, 12, 31))),
+                    pred(
+                        "Ord",
+                        "odate",
+                        CompareOp::Le,
+                        Value::Date(date(1996, 12, 31)),
+                    ),
                 ],
             )),
             "national market share: Item joins Part and Supp on different non-key attributes",
@@ -258,7 +325,12 @@ fn base_query(id: &str) -> Option<TpchQuery> {
                 &[CUST, ORD, ITEM, NATION_C],
                 &["ckey", "cname", "cacctbal", "cnname"],
                 vec![
-                    pred("Ord", "odate", CompareOp::Ge, Value::Date(date(1993, 10, 1))),
+                    pred(
+                        "Ord",
+                        "odate",
+                        CompareOp::Ge,
+                        Value::Date(date(1993, 10, 1)),
+                    ),
                     pred("Ord", "odate", CompareOp::Lt, Value::Date(date(1994, 1, 1))),
                     pred("Item", "returnflag", CompareOp::Eq, "R"),
                 ],
@@ -283,8 +355,18 @@ fn base_query(id: &str) -> Option<TpchQuery> {
                 &["shipmode"],
                 vec![
                     pred("Item", "shipmode", CompareOp::Eq, "MAIL"),
-                    pred("Item", "shipdate", CompareOp::Ge, Value::Date(date(1994, 1, 1))),
-                    pred("Item", "shipdate", CompareOp::Lt, Value::Date(date(1995, 1, 1))),
+                    pred(
+                        "Item",
+                        "shipdate",
+                        CompareOp::Ge,
+                        Value::Date(date(1994, 1, 1)),
+                    ),
+                    pred(
+                        "Item",
+                        "shipdate",
+                        CompareOp::Lt,
+                        Value::Date(date(1995, 1, 1)),
+                    ),
                 ],
             )),
             "shipping modes and order priority: orders joined with lineitem on the order key",
@@ -302,8 +384,18 @@ fn base_query(id: &str) -> Option<TpchQuery> {
                 &[ITEM, PART],
                 &[],
                 vec![
-                    pred("Item", "shipdate", CompareOp::Ge, Value::Date(date(1995, 9, 1))),
-                    pred("Item", "shipdate", CompareOp::Lt, Value::Date(date(1995, 10, 1))),
+                    pred(
+                        "Item",
+                        "shipdate",
+                        CompareOp::Ge,
+                        Value::Date(date(1995, 9, 1)),
+                    ),
+                    pred(
+                        "Item",
+                        "shipdate",
+                        CompareOp::Lt,
+                        Value::Date(date(1995, 10, 1)),
+                    ),
                 ],
             )),
             "promotion effect: lineitem joined with part on the part key (Boolean only)",
@@ -315,8 +407,18 @@ fn base_query(id: &str) -> Option<TpchQuery> {
                 &[ITEM, SUPP],
                 &["skey", "sname"],
                 vec![
-                    pred("Item", "shipdate", CompareOp::Ge, Value::Date(date(1996, 1, 1))),
-                    pred("Item", "shipdate", CompareOp::Lt, Value::Date(date(1996, 4, 1))),
+                    pred(
+                        "Item",
+                        "shipdate",
+                        CompareOp::Ge,
+                        Value::Date(date(1996, 1, 1)),
+                    ),
+                    pred(
+                        "Item",
+                        "shipdate",
+                        CompareOp::Lt,
+                        Value::Date(date(1996, 4, 1)),
+                    ),
                 ],
             )),
             "top supplier: lineitem joined with supplier on the supplier key",
@@ -421,8 +523,8 @@ pub fn fig9_queries() -> Vec<TpchQuery> {
 /// The 18 queries of Fig. 10 (lazy plans: tuple time vs. probability time).
 pub fn fig10_queries() -> Vec<TpchQuery> {
     [
-        "1", "B1", "2", "B3", "4", "B4", "B6", "7", "B10", "11", "B11", "12", "B12", "B14",
-        "B15", "B16", "B18", "B19",
+        "1", "B1", "2", "B3", "4", "B4", "B6", "7", "B10", "11", "B11", "12", "B12", "B14", "B15",
+        "B16", "B18", "B19",
     ]
     .iter()
     .map(|id| tpch_query(id).expect("figure 10 ids are in the catalogue"))
@@ -456,7 +558,12 @@ pub fn fig12_query_c() -> ConjunctiveQuery {
     cq(
         &[CUST, ORD, ITEM],
         &["ckey", "cname"],
-        vec![pred("Ord", "odate", CompareOp::Lt, Value::Date(date(1992, 1, 31)))],
+        vec![pred(
+            "Ord",
+            "odate",
+            CompareOp::Lt,
+            Value::Date(date(1992, 1, 31)),
+        )],
     )
 }
 
@@ -531,7 +638,10 @@ mod tests {
                     extra_with_keys += 1;
                 }
                 QueryClass::Intractable => {
-                    assert!(!with, "query {i} must stay non-hierarchical (it is #P-hard)");
+                    assert!(
+                        !with,
+                        "query {i} must stay non-hierarchical (it is #P-hard)"
+                    );
                 }
                 QueryClass::Unsupported => unreachable!("handled above"),
             }
@@ -547,7 +657,10 @@ mod tests {
         let fds = tpch_fds();
         for id in ["B3", "B10", "B18"] {
             let q = tpch_query(id).unwrap().query.unwrap();
-            assert!(!FdReduct::compute(&q, &FdSet::empty()).is_hierarchical(), "{id}");
+            assert!(
+                !FdReduct::compute(&q, &FdSet::empty()).is_hierarchical(),
+                "{id}"
+            );
             assert!(FdReduct::compute(&q, &fds).is_hierarchical(), "{id}");
         }
     }

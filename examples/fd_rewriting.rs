@@ -31,7 +31,9 @@ fn main() {
         "  Q' -> hierarchical reduct: {}  (#P-hard)",
         FdReduct::compute(&q_prime, &no_fds).is_hierarchical()
     );
-    let sig = FdReduct::compute(&q, &no_fds).signature().expect("Q is tractable");
+    let sig = FdReduct::compute(&q, &no_fds)
+        .signature()
+        .expect("Q is tractable");
     println!("  signature of Q: {sig}   scans: {}", sig.scan_count());
     println!();
 
@@ -41,9 +43,14 @@ fn main() {
     println!("with the TPC-H key constraints {fds}:");
     for (name, query) in [("Q", &q), ("Q'", &q_prime)] {
         let reduct = FdReduct::compute(query, &fds);
-        println!("  {name} -> hierarchical reduct: {}", reduct.is_hierarchical());
+        println!(
+            "  {name} -> hierarchical reduct: {}",
+            reduct.is_hierarchical()
+        );
         if reduct.is_hierarchical() {
-            let sig = reduct.signature().expect("hierarchical reduct has a signature");
+            let sig = reduct
+                .signature()
+                .expect("hierarchical reduct has a signature");
             println!("     signature: {sig}   scans: {}", sig.scan_count());
         }
     }

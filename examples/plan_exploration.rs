@@ -65,7 +65,10 @@ fn main() {
     let reduct = FdReduct::compute(&q, &fds);
     let ctx = PlacementContext::new(reduct.tree().expect("hierarchical"), fds);
     println!();
-    println!("with the TPC-H keys the query signature refines to [{}]", ctx.query_signature());
+    println!(
+        "with the TPC-H keys the query signature refines to [{}]",
+        ctx.query_signature()
+    );
     let ops = ctx
         .operator_signatures(&attrs(&["Ord", "Item"]), &[])
         .expect("placement succeeds");

@@ -22,7 +22,9 @@ fn main() {
     println!(
         "signature: {}  (scans needed: {})",
         db.signature(&query).expect("query is tractable"),
-        db.signature(&query).expect("query is tractable").scan_count()
+        db.signature(&query)
+            .expect("query is tractable")
+            .scan_count()
     );
     println!();
 

@@ -30,7 +30,9 @@ fn main() {
         let query = entry.query.expect("figure queries are conjunctive");
         let lazy = db.query(&query, PlanKind::Lazy).expect("lazy plan runs");
         let eager = db.query(&query, PlanKind::Eager).expect("eager plan runs");
-        let mystiq = db.query(&query, PlanKind::Mystiq).expect("mystiq plan runs");
+        let mystiq = db
+            .query(&query, PlanKind::Mystiq)
+            .expect("mystiq plan runs");
         println!(
             "{:<6} {:>12?} {:>12?} {:>12?}   {:>9} {:>9}",
             id,

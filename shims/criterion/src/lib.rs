@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! a minimal wall-clock harness that is API-compatible with the subset of
+//! Criterion the benches use: `criterion_group!` / `criterion_main!`,
+//! benchmark groups, `sample_size` / `warm_up_time` / `measurement_time`,
+//! and `Bencher::iter`. Statistics are simple (mean / min / max over the
+//! collected samples) and printed to stdout; there is no HTML report, no
+//! outlier analysis and no saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampled {
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Runs closures and records their wall-clock time.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`: a short warm-up, then up to `sample_size` samples
+    /// bounded by the measurement time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_up_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warm_up_deadline {
+                break;
+            }
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        for i in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            // Always collect at least two samples so min/max are meaningful.
+            if i >= 1 && Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn stats(&self) -> Option<Sampled> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: Duration = self.samples.iter().sum();
+        Some(Sampled {
+            mean: total / self.samples.len() as u32,
+            min: *self.samples.iter().min().expect("non-empty"),
+            max: *self.samples.iter().max().expect("non-empty"),
+            samples: self.samples.len(),
+        })
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Time budget for sampling.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        match bencher.stats() {
+            Some(s) => {
+                println!(
+                    "{}/{:<40} mean {:>12.6?}  min {:>12.6?}  max {:>12.6?}  ({} samples)",
+                    self.name, id, s.mean, s.min, s.max, s.samples
+                );
+                self.criterion
+                    .results
+                    .push((format!("{}/{}", self.name, id), s));
+            }
+            None => println!("{}/{:<40} collected no samples", self.name, id),
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// All `(benchmark id, stats)` pairs measured so far.
+    pub results: Vec<(String, Sampled)>,
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("# group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Measures a stand-alone benchmark with the default settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: String = id.into();
+        self.benchmark_group(id.clone()).bench_function(id, f);
+        self
+    }
+
+    /// Final configuration hook (kept for `criterion_main!` compatibility).
+    pub fn final_summary(&self) {
+        println!("# {} benchmark(s) measured", self.results.len());
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn harness_collects_samples() {
+        let mut c = Criterion::default();
+        benches(&mut c);
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1.samples >= 2);
+    }
+}

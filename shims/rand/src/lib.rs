@@ -1,0 +1,174 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal, API-compatible subset of `rand` 0.8: [`SeedableRng`],
+//! [`Rng::gen_range`] / [`Rng::gen_bool`], and [`rngs::SmallRng`] backed by
+//! xoshiro256** seeded through SplitMix64. The generators are deterministic
+//! for a given seed, which is all the TPC-H data generator and the test
+//! suites rely on; the streams differ from upstream `rand`, so datasets are
+//! reproducible per-workspace, not bit-identical to ones generated with the
+//! real crate.
+
+/// Types that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range using `draw`, a source of
+    /// uniform 64-bit words.
+    fn sample(self, draw: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, draw: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (draw() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, draw: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (draw() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, draw: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (draw() >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample(self, draw: &mut dyn FnMut() -> u64) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        // 53-bit resolution over the closed interval.
+        let unit = (draw() >> 11) as f64 / ((1u64 << 53) - 1) as f64; // [0, 1]
+        start + unit * (end - start)
+    }
+}
+
+/// The subset of the `Rng` trait the workspace uses.
+pub trait Rng {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+
+    /// Bernoulli sample with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: Rng + ?Sized> Rng for &mut T {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as recommended by the
+            // xoshiro authors.
+            let mut sm = seed;
+            let mut next_sm = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                state: [next_sm(), next_sm(), next_sm(), next_sm()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [mut s0, mut s1, mut s2, mut s3] = self.state;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.state = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3..17i64);
+            assert!((3..17).contains(&i));
+            let j = rng.gen_range(1..=7usize);
+            assert!((1..=7).contains(&j));
+            let f = rng.gen_range(0.05..=1.0f64);
+            assert!((0.05..=1.0).contains(&f));
+            let g = rng.gen_range(-999.0..10_000.0f64);
+            assert!((-999.0..10_000.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Workspace-root crate of the SPROUT reproduction.
+//!
+//! The actual library lives in the member crates (see the README's crate
+//! graph); this root package exists so the repository-level `tests/` and
+//! `examples/` directories participate in `cargo build` / `cargo test`. It
+//! re-exports the public facade for convenience.
+
+pub use sprout::*;

@@ -29,7 +29,11 @@ fn guiding_query_all_plans_and_strategies_agree() {
         let report = db.query(&q, kind.clone()).unwrap();
         assert_eq!(report.distinct_tuples, 1, "{kind}");
         assert_eq!(report.confidences[0].0, tuple!["1995-01-10"], "{kind}");
-        let tolerance = if kind == PlanKind::MystiqLogSpace { 0.05 } else { 1e-9 };
+        let tolerance = if kind == PlanKind::MystiqLogSpace {
+            0.05
+        } else {
+            1e-9
+        };
         assert!(
             (report.confidences[0].1 - 0.0028).abs() < tolerance,
             "{kind}: {}",
@@ -38,7 +42,10 @@ fn guiding_query_all_plans_and_strategies_agree() {
     }
 
     // The operator strategies on the lazily computed answer.
-    let order: Vec<String> = ["Cust", "Ord", "Item"].iter().map(|s| s.to_string()).collect();
+    let order: Vec<String> = ["Cust", "Ord", "Item"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let answer = evaluate_join_order(&q, db.catalog(), &order).unwrap();
     let fds = FdSet::from_catalog_decls(&db.catalog().fds());
     let op = sprout::ConfidenceOperator::new(query_signature(&q, &fds).unwrap());
@@ -68,7 +75,11 @@ fn fd_rewriting_makes_the_hard_query_tractable() {
     let q_report = with_keys.query(&intro_query_q(), PlanKind::Lazy).unwrap();
     let qp_report = with_keys.query(&q_prime, PlanKind::Lazy).unwrap();
     assert_eq!(q_report.confidences.len(), qp_report.confidences.len());
-    for ((t1, p1), (t2, p2)) in q_report.confidences.iter().zip(qp_report.confidences.iter()) {
+    for ((t1, p1), (t2, p2)) in q_report
+        .confidences
+        .iter()
+        .zip(qp_report.confidences.iter())
+    {
         assert_eq!(t1, t2);
         assert!((p1 - p2).abs() < 1e-12);
     }

@@ -16,7 +16,9 @@ fn tiny_db() -> SproutDb {
 }
 
 fn assert_plans_agree(db: &SproutDb, id: &str, query: &sprout::ConjunctiveQuery) {
-    let lazy = db.query(query, PlanKind::Lazy).unwrap_or_else(|e| panic!("{id} lazy: {e}"));
+    let lazy = db
+        .query(query, PlanKind::Lazy)
+        .unwrap_or_else(|e| panic!("{id} lazy: {e}"));
     let eager = db
         .query(query, PlanKind::Eager)
         .unwrap_or_else(|e| panic!("{id} eager: {e}"));
@@ -33,7 +35,10 @@ fn assert_plans_agree(db: &SproutDb, id: &str, query: &sprout::ConjunctiveQuery)
         assert_eq!(t1, t2, "{id}");
         assert_eq!(t1, t3, "{id}");
         assert!((p1 - p2).abs() < 1e-6, "{id} {t1}: lazy {p1} vs eager {p2}");
-        assert!((p1 - p3).abs() < 1e-6, "{id} {t1}: lazy {p1} vs mystiq {p3}");
+        assert!(
+            (p1 - p3).abs() < 1e-6,
+            "{id} {t1}: lazy {p1} vs mystiq {p3}"
+        );
     }
 }
 
