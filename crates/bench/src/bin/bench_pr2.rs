@@ -1,0 +1,365 @@
+//! PR 2 regression benchmark: the parallel, allocation-free confidence
+//! engine.
+//!
+//! Produces `BENCH_PR2.json` with three experiments:
+//!
+//! 1. **Plan families** — lazy vs. eager vs. hybrid wall-clock times on the
+//!    PR-1 TPC-H workload (Q1/Q6/B6 plus the Fig. 9 join queries) at scale
+//!    factors 0.01 and 0.1, re-measured so the PR-1 numbers and the PR-2
+//!    numbers come from the same machine and build.
+//! 2. **Confidence engines** — the confidence stage of each 1scan lazy plan
+//!    (sort + streaming scan over the materialised answer), once through the
+//!    retained PR-1 recursive machine (`pdb_conf::baseline`: whole-answer
+//!    clone, physical sort, per-visit `children` clones) and once through the
+//!    flat permutation-scanning engine on a single thread. The acceptance
+//!    criterion is a ≥3× single-threaded speedup on Q1 at SF 0.1.
+//! 3. **Thread scaling** — the flat engine at 1/2/4/8 worker threads on the
+//!    same answers (bags of duplicate answer tuples are the parallel grain;
+//!    the row and bag counts are reported so the scaling numbers can be read
+//!    against the available parallelism, also reported).
+//!
+//! Every engine comparison cross-checks the results: the maximum absolute
+//! confidence difference between the seed path and the parallel engine over
+//! all bench queries is recorded (and must stay below 1e-9).
+//!
+//! Run with `cargo run --release -p sprout-bench --bin bench_pr2`; set
+//! `SPROUT_BENCH_SFS=0.01,0.1` to change the scale factors and
+//! `SPROUT_BENCH_OUT` to change the output path.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::Criterion;
+
+use pdb_conf::baseline::one_scan_confidences_recursive;
+use pdb_conf::one_scan::one_scan_confidences_with;
+use pdb_conf::Pool;
+use pdb_exec::{evaluate_join_order, Annotated};
+use pdb_query::reduct::query_signature;
+use pdb_query::{ConjunctiveQuery, Signature};
+use sprout::{PlanKind, SproutDb};
+use sprout_bench::harness::{build_database, run_plan};
+use sprout_plan::join_order::greedy_join_order;
+
+use pdb_tpch::{fig9_queries, tpch_query};
+
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let sfs: Vec<f64> = std::env::var("SPROUT_BENCH_SFS")
+        .unwrap_or_else(|_| "0.01,0.1".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let out_path =
+        std::env::var("SPROUT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+
+    let mut plan_rows = Vec::new();
+    let mut engine_rows = Vec::new();
+
+    for &sf in &sfs {
+        eprintln!("== scale factor {sf}: building probabilistic TPC-H database ...");
+        let db = build_database(sf);
+        plan_families(&db, sf, &mut plan_rows);
+        confidence_engines(&db, sf, &mut engine_rows);
+    }
+
+    let json = render_json(&plan_rows, &engine_rows);
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+
+    let speedups: Vec<f64> = engine_rows.iter().map(|r| r.speedup).collect();
+    if let Some(min) = speedups.iter().copied().reduce(f64::min) {
+        let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        eprintln!(
+            "single-threaded flat engine vs. seed recursive engine: geomean {geomean:.2}x, min {min:.2}x"
+        );
+    }
+}
+
+struct PlanRow {
+    sf: f64,
+    query: String,
+    plan: String,
+    tuple_s: f64,
+    conf_s: f64,
+    total_s: f64,
+    distinct: usize,
+}
+
+/// The PR-1 workload: Q1/Q6/B6-style selections plus the Fig. 9 join queries.
+fn workload() -> Vec<(String, ConjunctiveQuery)> {
+    let mut workload: Vec<(String, ConjunctiveQuery)> = Vec::new();
+    for id in ["1", "6", "B6"] {
+        if let Some(entry) = tpch_query(id) {
+            if let Some(q) = entry.query {
+                workload.push((entry.id, q));
+            }
+        }
+    }
+    for entry in fig9_queries() {
+        if let Some(q) = entry.query {
+            workload.push((entry.id, q));
+        }
+    }
+    workload
+}
+
+/// Experiment 1: lazy vs. eager vs. hybrid, re-measured (fastest of 3).
+fn plan_families(db: &SproutDb, sf: f64, out: &mut Vec<PlanRow>) {
+    for (id, query) in &workload() {
+        let hybrid_push = hybrid_pushdown(query);
+        let plans = [
+            ("lazy", PlanKind::Lazy),
+            ("eager", PlanKind::Eager),
+            ("hybrid", PlanKind::Hybrid(hybrid_push.clone())),
+        ];
+        for (name, kind) in plans {
+            let mut best: Option<PlanRow> = None;
+            for _ in 0..3 {
+                match run_plan(db, id, query, kind.clone(), true) {
+                    Ok(m) => {
+                        let row = PlanRow {
+                            sf,
+                            query: id.clone(),
+                            plan: name.to_string(),
+                            tuple_s: m.tuple_time.as_secs_f64(),
+                            conf_s: m.confidence_time.as_secs_f64(),
+                            total_s: m.total().as_secs_f64(),
+                            distinct: m.distinct_tuples,
+                        };
+                        if best.as_ref().is_none_or(|b| row.total_s < b.total_s) {
+                            best = Some(row);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("  sf {sf} q{id} {name}: {e}");
+                        break;
+                    }
+                }
+            }
+            if let Some(row) = best {
+                eprintln!(
+                    "  sf {sf} q{} {:<6} total {:.4}s ({} distinct)",
+                    row.query, row.plan, row.total_s, row.distinct
+                );
+                out.push(row);
+            }
+        }
+    }
+}
+
+/// The hybrid plans of Fig. 12 push the aggregation of the biggest table
+/// below the joins; Item (lineitem) is the biggest, then Psupp.
+fn hybrid_pushdown(query: &ConjunctiveQuery) -> Vec<String> {
+    let rels: BTreeSet<&str> = query.relation_names().into_iter().collect();
+    for candidate in ["Item", "Psupp", "Ord"] {
+        if rels.contains(candidate) {
+            return vec![candidate.to_string()];
+        }
+    }
+    Vec::new()
+}
+
+struct EngineRow {
+    sf: f64,
+    query: String,
+    rows: usize,
+    bags: usize,
+    seed_s: f64,
+    flat1_s: f64,
+    speedup: f64,
+    /// Flat-engine seconds at [`SCALING_THREADS`] workers.
+    threads_s: [f64; SCALING_THREADS.len()],
+    max_abs_diff: f64,
+}
+
+/// Experiments 2 and 3: the confidence stage of every 1scan lazy plan, seed
+/// recursive engine vs. the flat engine at 1/2/4/8 threads, measured with
+/// the criterion harness over the same materialised answer.
+fn confidence_engines(db: &SproutDb, sf: f64, out: &mut Vec<EngineRow>) {
+    let fds = sprout::FdSet::from_catalog_decls(&db.catalog().fds());
+    let mut criterion = Criterion::default();
+
+    let mut specs: Vec<(String, ConjunctiveQuery, Signature, Vec<String>)> = Vec::new();
+    for (id, query) in workload() {
+        let Ok(sig) = query_signature(&query, &fds) else {
+            continue;
+        };
+        if !sig.is_one_scan() {
+            // The engine A/B compares the single-scan streaming machines.
+            continue;
+        }
+        let order = greedy_join_order(&query, db.catalog()).expect("join order");
+        specs.push((id, query, sig, order));
+    }
+
+    for (id, query, sig, order) in &specs {
+        let answer: Annotated =
+            evaluate_join_order(query, db.catalog(), order).expect("answer tuples");
+        let rows = answer.len();
+        if rows == 0 {
+            continue;
+        }
+
+        let mut group = criterion.benchmark_group(format!("pr2_confidence_sf{sf}"));
+        group
+            .sample_size(if sf >= 0.05 { 3 } else { 5 })
+            .warm_up_time(Duration::from_millis(if sf >= 0.05 { 50 } else { 200 }))
+            .measurement_time(Duration::from_secs(if sf >= 0.05 { 10 } else { 3 }));
+        group.bench_function(format!("q{id}_seed_recursive"), |b| {
+            b.iter(|| {
+                one_scan_confidences_recursive(&answer, sig)
+                    .expect("seed scan")
+                    .len()
+            })
+        });
+        for &threads in &SCALING_THREADS {
+            let pool = Pool::new(threads);
+            group.bench_function(format!("q{id}_flat_t{threads}"), |b| {
+                b.iter(|| {
+                    one_scan_confidences_with(&answer, sig, &pool)
+                        .expect("flat scan")
+                        .len()
+                })
+            });
+        }
+        group.finish();
+        drop(group);
+
+        let seed_s = result_secs(
+            &criterion,
+            &format!("pr2_confidence_sf{sf}/q{id}_seed_recursive"),
+        );
+        let mut threads_s = [0.0; SCALING_THREADS.len()];
+        for (slot, &threads) in threads_s.iter_mut().zip(&SCALING_THREADS) {
+            *slot = result_secs(
+                &criterion,
+                &format!("pr2_confidence_sf{sf}/q{id}_flat_t{threads}"),
+            );
+        }
+        let flat1_s = threads_s[0];
+        let speedup = seed_s / flat1_s.max(1e-12);
+
+        // Cross-check: the parallel engine must reproduce the seed results.
+        let seed_conf = one_scan_confidences_recursive(&answer, sig).expect("seed scan");
+        let flat_conf =
+            one_scan_confidences_with(&answer, sig, &Pool::from_env()).expect("flat scan");
+        assert_eq!(
+            seed_conf.len(),
+            flat_conf.len(),
+            "q{id}: result cardinality"
+        );
+        let mut max_abs_diff = 0.0f64;
+        for ((t1, p1), (t2, p2)) in seed_conf.iter().zip(flat_conf.iter()) {
+            assert_eq!(t1, t2, "q{id}: tuple order");
+            max_abs_diff = max_abs_diff.max((p1 - p2).abs());
+        }
+        assert!(
+            max_abs_diff < 1e-9,
+            "q{id}: seed and flat engines diverged by {max_abs_diff}"
+        );
+
+        eprintln!(
+            "  sf {sf} q{id}: seed {seed_s:.4}s vs flat(1t) {flat1_s:.4}s — {speedup:.2}x ({rows} rows, {} bags)",
+            seed_conf.len()
+        );
+        out.push(EngineRow {
+            sf,
+            query: id.clone(),
+            rows,
+            bags: seed_conf.len(),
+            seed_s,
+            flat1_s,
+            speedup,
+            threads_s,
+            max_abs_diff,
+        });
+    }
+}
+
+fn result_secs(criterion: &Criterion, id: &str) -> f64 {
+    criterion
+        .results
+        .iter()
+        .find(|(name, _)| name == id)
+        .map(|(_, s)| s.mean.as_secs_f64())
+        .expect("benchmark id was measured")
+}
+
+fn render_json(plan_rows: &[PlanRow], engine_rows: &[EngineRow]) -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"pr\": 2,\n");
+    s.push_str(
+        "  \"description\": \"Parallel, allocation-free confidence engine: plan-family timings (lazy/eager/hybrid, PR-1 numbers re-measured) and the confidence stage of 1scan lazy plans, seed recursive machine vs. flat permutation-scanning engine at 1/2/4/8 threads\",\n",
+    );
+    s.push_str("  \"harness\": \"criterion (offline shim), mean over samples, min-of-3 for plan families\",\n");
+    let _ = writeln!(s, "  \"target\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(s, "  \"available_parallelism\": {parallelism},");
+    s.push_str("  \"plan_families\": [\n");
+    for (i, r) in plan_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"plan\": \"{}\", \"tuple_s\": {:.6}, \"confidence_s\": {:.6}, \"total_s\": {:.6}, \"distinct_tuples\": {}}}",
+            r.sf, r.query, r.plan, r.tuple_s, r.conf_s, r.total_s, r.distinct
+        );
+        s.push_str(if i + 1 < plan_rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"confidence_seed_vs_flat\": [\n");
+    for (i, r) in engine_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"answer_rows\": {}, \"bags\": {}, \"seed_s\": {:.6}, \"flat_1thread_s\": {:.6}, \"speedup\": {:.3}, \"max_abs_diff\": {:.3e}}}",
+            r.sf, r.query, r.rows, r.bags, r.seed_s, r.flat1_s, r.speedup, r.max_abs_diff
+        );
+        s.push_str(if i + 1 < engine_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"confidence_thread_scaling\": [\n");
+    for (i, r) in engine_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"answer_rows\": {}, \"bags\": {}",
+            r.sf, r.query, r.rows, r.bags
+        );
+        for (t, secs) in SCALING_THREADS.iter().zip(&r.threads_s) {
+            let _ = write!(s, ", \"t{t}_s\": {secs:.6}");
+        }
+        s.push('}');
+        s.push_str(if i + 1 < engine_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    let speedups: Vec<f64> = engine_rows.iter().map(|r| r.speedup).collect();
+    let (geomean, min) = if speedups.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (
+            (speedups.iter().map(|x| x.ln()).sum::<f64>() / speedups.len() as f64).exp(),
+            speedups.iter().copied().fold(f64::INFINITY, f64::min),
+        )
+    };
+    let max_diff = engine_rows
+        .iter()
+        .map(|r| r.max_abs_diff)
+        .fold(0.0f64, f64::max);
+    let _ = writeln!(
+        s,
+        "  \"summary\": {{\"seed_vs_flat_geomean_speedup\": {geomean:.3}, \"seed_vs_flat_min_speedup\": {min:.3}, \"acceptance_threshold\": 3.0, \"max_abs_diff_vs_seed\": {max_diff:.3e}}}"
+    );
+    s.push_str("}\n");
+    s
+}

@@ -11,15 +11,26 @@
 //! This is the reference implementation: simple, obviously faithful to the
 //! paper, and the baseline the low-level one-scan operator is measured
 //! against (`bench/ablation_onescan_vs_grp`).
+//!
+//! Every aggregation group contains the answer's data columns in its key, so
+//! no group ever spans two distinct answer tuples. Bags of duplicates are
+//! therefore independent, and [`grp_confidences_with`] fans contiguous bag
+//! ranges out across the worker pool — with identical results at every
+//! thread count.
 
 use std::collections::BTreeMap;
 
 use pdb_exec::Annotated;
 use pdb_lineage::independent_or;
+use pdb_par::{partition_by_weight, Pool};
 use pdb_query::Signature;
 use pdb_storage::{Tuple, Variable};
 
 use crate::error::{ConfError, ConfResult};
+
+/// One bag of duplicates: the distinct data tuple plus the answer row
+/// indices of its derivations.
+type Bag = (Tuple, Vec<u32>);
 
 /// Working representation: data tuple plus one `(variable, probability)` pair
 /// per still-active relation column.
@@ -29,16 +40,6 @@ struct WorkTable {
 }
 
 impl WorkTable {
-    fn from_annotated(answer: &Annotated) -> WorkTable {
-        WorkTable {
-            relations: answer.relations().to_vec(),
-            rows: answer
-                .iter()
-                .map(|r| (r.data_tuple(), r.lineage.to_vec()))
-                .collect(),
-        }
-    }
-
     fn relation_index(&self, name: &str) -> ConfResult<usize> {
         self.relations
             .iter()
@@ -127,16 +128,74 @@ fn eval(sig: &Signature, table: &mut WorkTable) -> ConfResult<String> {
 }
 
 /// Computes `(distinct answer tuple, confidence)` pairs by executing the
-/// signature as a sequence of aggregation and propagation steps (Fig. 5/6).
+/// signature as a sequence of aggregation and propagation steps (Fig. 5/6),
+/// using the default worker pool.
 ///
 /// # Errors
 /// Fails if the signature references a relation without a lineage column in
 /// `answer`.
 pub fn grp_confidences(answer: &Annotated, signature: &Signature) -> ConfResult<Vec<(Tuple, f64)>> {
+    grp_confidences_with(answer, signature, &Pool::from_env().for_items(answer.len()))
+}
+
+/// [`grp_confidences`] with an explicit worker pool. Rows are partitioned
+/// into bags of duplicates (distinct data tuples, in tuple order), the GRP
+/// sequence runs per contiguous bag range, and the per-range results
+/// concatenate in bag order — identical output at every pool size.
+///
+/// # Errors
+/// Fails if the signature references a relation without a lineage column in
+/// `answer`.
+pub fn grp_confidences_with(
+    answer: &Annotated,
+    signature: &Signature,
+    pool: &Pool,
+) -> ConfResult<Vec<(Tuple, f64)>> {
     if answer.is_empty() {
         return Ok(Vec::new());
     }
-    let mut table = WorkTable::from_annotated(answer);
+    // Bags as row-index lists: rows are cloned into WorkTables only once,
+    // by the worker that owns the bag.
+    let mut bags: BTreeMap<Tuple, Vec<u32>> = BTreeMap::new();
+    for (i, row) in answer.iter().enumerate() {
+        bags.entry(row.data_tuple()).or_default().push(i as u32);
+    }
+    let bags: Vec<Bag> = bags.into_iter().collect();
+    let mut bag_starts = Vec::with_capacity(bags.len());
+    let mut total = 0usize;
+    for (_, rows) in &bags {
+        bag_starts.push(total);
+        total += rows.len();
+    }
+    let chunks = partition_by_weight(&bag_starts, total, pool.threads());
+    let per_chunk: Vec<ConfResult<Vec<(Tuple, f64)>>> = pool.map_ranges(&chunks, |range| {
+        grp_over_bags(answer, &bags[range], signature)
+    });
+    let mut out = Vec::with_capacity(bags.len());
+    for chunk in per_chunk {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+/// Runs the full GRP sequence over a contiguous slice of bags. Because every
+/// aggregation key includes the data tuple, evaluating a subset of bags is
+/// exactly the global evaluation restricted to them.
+fn grp_over_bags(
+    answer: &Annotated,
+    bags: &[Bag],
+    signature: &Signature,
+) -> ConfResult<Vec<(Tuple, f64)>> {
+    let mut table = WorkTable {
+        relations: answer.relations().to_vec(),
+        rows: bags
+            .iter()
+            .flat_map(|(tuple, rows)| {
+                rows.iter()
+                    .map(move |&i| (tuple.clone(), answer.row(i as usize).lineage.to_vec()))
+            })
+            .collect(),
+    };
     let result_rel = eval(signature, &mut table)?;
     let result_idx = table.relation_index(&result_rel)?;
     // One final grouping on the data columns: with a correct signature every
@@ -220,6 +279,24 @@ mod tests {
             for ((t1, p1), (t2, p2)) in ours.iter().zip(oracle.iter()) {
                 assert_eq!(t1, t2);
                 assert!((p1 - p2).abs() < 1e-9, "{name}: {p1} vs {p2}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_grp_is_identical_to_sequential() {
+        let catalog = fig1_catalog();
+        let mut q = intro_query_q();
+        q.predicates.clear();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        let seq = grp_confidences_with(&answer, &sig, &pdb_par::Pool::sequential()).unwrap();
+        for threads in [2, 4, 8] {
+            let par = grp_confidences_with(&answer, &sig, &pdb_par::Pool::new(threads)).unwrap();
+            assert_eq!(seq.len(), par.len());
+            for ((t1, p1), (t2, p2)) in seq.iter().zip(par.iter()) {
+                assert_eq!(t1, t2);
+                assert_eq!(p1.to_bits(), p2.to_bits(), "{threads} threads: {t1}");
             }
         }
     }

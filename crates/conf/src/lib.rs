@@ -23,7 +23,15 @@
 //! [`operator::ConfidenceOperator`] is the public entry point that picks the
 //! strategy from the signature, and [`brute`] is the exponential ground-truth
 //! oracle used by tests and by the tiny worked examples.
+//!
+//! Since PR 2 the one-scan and multi-scan paths run on a flat, iterative,
+//! allocation-free Fig. 8 machine and fan out across bags of duplicate
+//! answer tuples on a [`pdb_par::Pool`] of scoped threads — with per-bag
+//! evaluation kept sequential and merge order fixed, results are
+//! bitwise-identical at every thread count. The pre-PR-2 recursive engine is
+//! retained in [`baseline`] for A/B benchmarking.
 
+pub mod baseline;
 pub mod brute;
 pub mod error;
 pub mod grp;
@@ -33,3 +41,4 @@ pub mod operator;
 
 pub use error::{ConfError, ConfResult};
 pub use operator::{ConfidenceOperator, ConfidenceResult, Strategy};
+pub use pdb_par::Pool;

@@ -12,18 +12,29 @@
 //! the `min(V) / prob(P)` convention of Fig. 5. After all pre-aggregations
 //! the remaining signature has the 1scan property and a final scan finishes
 //! the computation.
+//!
+//! Since PR 2 a pre-aggregation pass never copies or permutes its input:
+//! grouping runs over normalized `u64` sort keys ([`pdb_exec::key`], the
+//! same machinery the joins use) through a sorted row-index permutation, the
+//! per-group probability comes from the flat iterative Fig. 8 machine, and
+//! contiguous group ranges fan out across the worker pool (groups are
+//! independent, and chunk outputs concatenate in group order, so results are
+//! identical at every thread count).
 
 use std::collections::BTreeSet;
 
+use pdb_exec::key::CELL_WIDTH;
 use pdb_exec::{Annotated, RowRef};
-use pdb_query::Signature;
+use pdb_par::{partition_by_weight, Pool};
+use pdb_query::{OneScanTree, Signature};
 use pdb_storage::{Tuple, Variable};
 
 use crate::error::ConfResult;
-use crate::one_scan::{one_scan_confidences, one_scan_confidences_presorted};
+use crate::one_scan::{one_scan_confidences_with, FlatScan};
 
 /// Computes `(distinct answer tuple, confidence)` pairs for an arbitrary
-/// signature by scheduling `scan_count()` scans.
+/// signature by scheduling `scan_count()` scans, using the default worker
+/// pool.
 ///
 /// # Errors
 /// Fails if the signature references relations missing from the answer.
@@ -31,15 +42,39 @@ pub fn multi_scan_confidences(
     answer: &Annotated,
     signature: &Signature,
 ) -> ConfResult<Vec<(Tuple, f64)>> {
+    multi_scan_confidences_with(answer, signature, &Pool::from_env().for_items(answer.len()))
+}
+
+/// [`multi_scan_confidences`] with an explicit worker pool. The result is
+/// identical for every pool size.
+///
+/// # Errors
+/// Fails if the signature references relations missing from the answer.
+pub fn multi_scan_confidences_with(
+    answer: &Annotated,
+    signature: &Signature,
+    pool: &Pool,
+) -> ConfResult<Vec<(Tuple, f64)>> {
     if answer.is_empty() {
         return Ok(Vec::new());
     }
     let schedule = signature.scan_schedule();
-    let mut current = answer.clone();
+    let mut current: Option<Annotated> = None;
     for step in &schedule.pre_aggregations {
-        current = apply_pre_aggregation(&current, step)?;
+        let input = current.as_ref().unwrap_or(answer);
+        current = Some(apply_pre_aggregation_with(input, step, pool)?);
     }
-    one_scan_confidences(&current, &schedule.final_signature)
+    let input = current.as_ref().unwrap_or(answer);
+    one_scan_confidences_with(input, &schedule.final_signature, pool)
+}
+
+/// Executes one pre-aggregation `[step]` with the default worker pool; see
+/// [`apply_pre_aggregation_with`].
+///
+/// # Errors
+/// Fails if the step references relations missing from the input.
+pub fn apply_pre_aggregation(input: &Annotated, step: &Signature) -> ConfResult<Annotated> {
+    apply_pre_aggregation_with(input, step, &Pool::from_env().for_items(input.len()))
 }
 
 /// Executes one pre-aggregation `[step]`: groups the input by the data
@@ -47,7 +82,14 @@ pub fn multi_scan_confidences(
 /// the step's probability per group, and collapses each group to one row in
 /// which the step's leftmost table carries the representative variable and
 /// the aggregated probability; the step's other lineage columns are dropped.
-pub fn apply_pre_aggregation(input: &Annotated, step: &Signature) -> ConfResult<Annotated> {
+///
+/// # Errors
+/// Fails if the step references relations missing from the input.
+pub fn apply_pre_aggregation_with(
+    input: &Annotated,
+    step: &Signature,
+    pool: &Pool,
+) -> ConfResult<Annotated> {
     let step_tables: BTreeSet<String> = step.tables().into_iter().collect();
     let leftmost = step.leftmost_table().to_string();
     let other_relations: Vec<String> = input
@@ -62,22 +104,29 @@ pub fn apply_pre_aggregation(input: &Annotated, step: &Signature) -> ConfResult<
         .map(|r| input.relation_index(r))
         .collect::<Result<_, _>>()?;
 
-    // Sort so that rows of the same (data values, other-relation variables)
-    // group are contiguous and, within a group, ordered as the step's
-    // streaming evaluation requires.
-    let mut sorted = input.clone();
-    {
-        let data_cols: Vec<String> = sorted
-            .schema()
-            .names()
-            .into_iter()
-            .map(|s| s.to_string())
-            .collect();
-        let mut relation_order = other_relations.clone();
-        // `sort_for_signature` would re-sort only by the step's tables; we
-        // need the group-defining columns first, so sort manually here.
-        relation_order.extend(step_preorder(step)?);
-        sorted.sort_for_confidence(&data_cols, &relation_order)?;
+    // The step's own streaming machine, over the step signature's 1scanTree.
+    let tree = OneScanTree::build(step)?;
+    let machine = FlatScan::new(&tree, input)?;
+
+    // Sort a row-index permutation so that rows of the same (data values,
+    // other-relation variables) group are contiguous and, within a group,
+    // ordered as the step's streaming evaluation requires. Group detection
+    // then compares the normalized key prefix — flat `u64` words — instead
+    // of `Value`s.
+    let col_idx: Vec<usize> = (0..input.data_width()).collect();
+    let mut rel_idx = other_cols.clone();
+    rel_idx.extend(machine.preorder_cols().iter().map(|&c| c as usize));
+    let keys = input.sort_keys(&col_idx, &rel_idx);
+    let order = keys.sorted_permutation_with(input.len(), pool);
+    let group_words = col_idx.len() * CELL_WIDTH + other_cols.len();
+    let mut group_starts = Vec::new();
+    for k in 0..order.len() {
+        if k == 0
+            || keys.row(order[k] as usize)[..group_words]
+                != keys.row(order[k - 1] as usize)[..group_words]
+        {
+            group_starts.push(k);
+        }
     }
 
     // Output keeps the data schema and every relation except the step's
@@ -92,89 +141,55 @@ pub fn apply_pre_aggregation(input: &Annotated, step: &Signature) -> ConfResult<
         .iter()
         .map(|r| input.relation_index(r))
         .collect::<Result<_, _>>()?;
-    let mut out = Annotated::new(sorted.schema().clone(), kept_relations);
 
-    let mut group_start = 0usize;
-    while group_start < sorted.len() {
-        let mut group_end = group_start + 1;
-        while group_end < sorted.len()
-            && same_group(sorted.row(group_start), sorted.row(group_end), &other_cols)
-        {
-            group_end += 1;
+    // Fan contiguous group ranges out across the pool; each worker collapses
+    // its groups into a private output relation and the chunks concatenate in
+    // group order.
+    let chunks = partition_by_weight(&group_starts, order.len(), pool.threads());
+    let mut chunk_outputs: Vec<Annotated> = pool.map_ranges(&chunks, |groups| {
+        let mut machine = machine.clone();
+        let mut out = Annotated::with_row_capacity(
+            input.schema().clone(),
+            kept_relations.clone(),
+            groups.len(),
+        );
+        let mut lineage_scratch: Vec<(Variable, f64)> = Vec::with_capacity(kept_cols.len());
+        for g in groups {
+            let start = group_starts[g];
+            let end = group_starts.get(g + 1).copied().unwrap_or(order.len());
+            let rows = &order[start..end];
+            // The whole group is a single bag for the step's machine.
+            let prob = machine.scan_bag(input, rows);
+            let representative: Variable = rows
+                .iter()
+                .map(|&r| input.row(r as usize).lineage[leftmost_col].0)
+                .min()
+                .expect("group is non-empty");
+            let exemplar: RowRef<'_> = input.row(rows[0] as usize);
+            lineage_scratch.clear();
+            lineage_scratch.extend(kept_cols.iter().map(|&c| {
+                if c == leftmost_col {
+                    (representative, prob)
+                } else {
+                    exemplar.lineage[c]
+                }
+            }));
+            out.push_row(exemplar.data, &lineage_scratch);
         }
-        aggregate_group(
-            &sorted,
-            group_start..group_end,
-            step,
-            &kept_cols,
-            leftmost_col,
-            &mut out,
-        )?;
-        group_start = group_end;
+        out
+    });
+
+    if chunk_outputs.len() == 1 {
+        return Ok(chunk_outputs.pop().expect("one chunk"));
+    }
+    let total: usize = chunk_outputs.iter().map(Annotated::len).sum();
+    let mut out = Annotated::with_row_capacity(input.schema().clone(), kept_relations, total);
+    for chunk in &chunk_outputs {
+        for row in chunk.iter() {
+            out.push_row(row.data, row.lineage);
+        }
     }
     Ok(out)
-}
-
-/// Preorder variable-column order of a (1scan) step signature.
-fn step_preorder(step: &Signature) -> ConfResult<Vec<String>> {
-    use pdb_query::OneScanTree;
-    let tree = OneScanTree::build(step)?;
-    Ok(tree.preorder())
-}
-
-fn same_group(a: RowRef<'_>, b: RowRef<'_>, other_cols: &[usize]) -> bool {
-    if a.data != b.data {
-        return false;
-    }
-    other_cols.iter().all(|&c| a.lineage[c].0 == b.lineage[c].0)
-}
-
-/// Collapses one group of rows (an index range of `sorted`) into a single
-/// pre-aggregated row appended to `out`.
-fn aggregate_group(
-    sorted: &Annotated,
-    group: std::ops::Range<usize>,
-    step: &Signature,
-    kept_cols: &[usize],
-    leftmost_col: usize,
-    out: &mut Annotated,
-) -> ConfResult<()> {
-    // Evaluate the step's probability over the group alone: build a small
-    // annotated relation with an empty data tuple so the whole group is a
-    // single bag, then run the streaming algorithm on it.
-    let mut bag = Annotated::with_row_capacity(
-        pdb_storage::Schema::empty(),
-        sorted.relations().to_vec(),
-        group.len(),
-    );
-    for i in group.clone() {
-        bag.push_row(&[], sorted.row(i).lineage);
-    }
-    let confidences = one_scan_confidences_presorted(&bag, step)?;
-    debug_assert_eq!(confidences.len(), 1);
-    let prob = confidences
-        .first()
-        .map(|(_, p)| *p)
-        .expect("non-empty group produces one confidence");
-    let representative: Variable = group
-        .clone()
-        .map(|i| sorted.row(i).lineage[leftmost_col].0)
-        .min()
-        .expect("group is non-empty");
-
-    let exemplar = sorted.row(group.start);
-    let lineage: Vec<_> = kept_cols
-        .iter()
-        .map(|&c| {
-            if c == leftmost_col {
-                (representative, prob)
-            } else {
-                exemplar.lineage[c]
-            }
-        })
-        .collect();
-    out.push_row(exemplar.data, &lineage);
-    Ok(())
 }
 
 #[cfg(test)]
@@ -254,6 +269,31 @@ mod tests {
         let reduced = apply_pre_aggregation(&answer, &step).unwrap();
         assert!(reduced.len() < answer.len());
         assert_eq!(reduced.relations(), answer.relations());
+    }
+
+    #[test]
+    fn parallel_pre_aggregation_is_identical_to_sequential() {
+        let catalog = fig1_catalog();
+        let mut q = intro_query_q();
+        q.predicates.clear();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let step = Signature::star(Signature::table("Item"));
+        let sequential = apply_pre_aggregation_with(&answer, &step, &Pool::sequential()).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = apply_pre_aggregation_with(&answer, &step, &Pool::new(threads)).unwrap();
+            assert_eq!(sequential, parallel, "{threads} threads");
+        }
+        // And the full multi-scan pipeline agrees at every thread count.
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        let seq = multi_scan_confidences_with(&answer, &sig, &Pool::sequential()).unwrap();
+        for threads in [2, 4, 8] {
+            let par = multi_scan_confidences_with(&answer, &sig, &Pool::new(threads)).unwrap();
+            assert_eq!(seq.len(), par.len());
+            for ((t1, p1), (t2, p2)) in seq.iter().zip(par.iter()) {
+                assert_eq!(t1, t2);
+                assert_eq!(p1.to_bits(), p2.to_bits(), "{threads} threads: {t1}");
+            }
+        }
     }
 
     #[test]

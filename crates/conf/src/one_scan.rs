@@ -9,159 +9,279 @@
 //! in postorder whenever the leftmost changed variable column is found, and
 //! nodes are disabled while old partitions re-occur (many-to-many
 //! relationships) so that no work is repeated.
+//!
+//! # Engine layout (PR 2)
+//!
+//! The run-time 1scanTree is a [`FlatScan`]: preorder-flattened parallel
+//! arrays (`first_child` / `next_sibling` links plus a `subtree_end` index
+//! per node) walked iteratively in **reverse preorder**, which visits every
+//! descendant before its ancestor — the postorder dependency Fig. 8 needs —
+//! with zero allocation per row. Re-seeding or disabling a subtree is a loop
+//! over the contiguous preorder range `node+1 .. subtree_end[node]` instead
+//! of a recursive descent cloning `children` vectors.
+//!
+//! The driver never copies the answer relation: [`one_scan_confidences`]
+//! builds normalized `u64` sort keys ([`pdb_exec::key`]), sorts a row-index
+//! permutation, and scans *through* the permutation — O(rows) extra index
+//! words instead of a second copy of the arenas. Consecutive rows of the
+//! same distinct answer tuple form a *bag*; bags are independent, so the
+//! permutation is partitioned at bag boundaries and fanned out across a
+//! [`pdb_par::Pool`] of scoped threads. Every bag is evaluated sequentially
+//! by exactly one worker and the per-bag results are concatenated in bag
+//! order, so the output is bitwise-identical at every thread count.
+//!
+//! The pre-PR-2 recursive implementation is retained in [`crate::baseline`]
+//! for A/B benchmarking and regression tests.
 
+use pdb_exec::key::CELL_WIDTH;
 use pdb_exec::{Annotated, RowRef};
+use pdb_par::{partition_by_weight, Pool};
 use pdb_query::{OneScanTree, Signature};
 use pdb_storage::{Tuple, Variable};
 
 use crate::error::{ConfError, ConfResult};
 
-/// A node of the run-time 1scanTree, stored in preorder in an arena.
+const NIL: u32 = u32::MAX;
+
+/// The run-time 1scanTree, flattened into preorder parallel arrays.
+///
+/// The arena is laid out in preorder, so a node's array index doubles as its
+/// variable column's position in the sort order (the `index` of Fig. 8) and
+/// each subtree occupies the contiguous index range
+/// `[node, subtree_end[node])`.
 #[derive(Debug, Clone)]
-struct Node {
-    /// Index of this node's variable column in the annotated input's lineage.
-    lineage_col: usize,
-    /// Children, as arena indices. The arena is laid out in preorder, so a
-    /// node's index doubles as its variable column's position in the sort
-    /// order (the `index` field of Fig. 8).
-    children: Vec<usize>,
-    enabled: bool,
-    crt_p: f64,
-    all_p: f64,
+pub(crate) struct FlatScan {
+    /// Preorder position → index of the node's variable column in the
+    /// annotated input's lineage.
+    lineage_col: Vec<u32>,
+    /// First child (arena index) or [`NIL`] for leaves.
+    first_child: Vec<u32>,
+    /// Next sibling (arena index) or [`NIL`].
+    next_sibling: Vec<u32>,
+    /// One past the last preorder index of the node's subtree.
+    subtree_end: Vec<u32>,
+    /// Fig. 8 run-time state, one entry per node.
+    enabled: Vec<bool>,
+    crt_p: Vec<f64>,
+    all_p: Vec<f64>,
 }
 
-/// Run-time state of the one-scan operator for a single bag of duplicates.
-#[derive(Debug)]
-struct ScanState {
-    nodes: Vec<Node>,
-}
+impl FlatScan {
+    /// Builds the flattened machine for `tree`, mapping each node to the
+    /// lineage column of its table in `answer`.
+    pub(crate) fn new(tree: &OneScanTree, answer: &Annotated) -> ConfResult<FlatScan> {
+        let mut machine = FlatScan {
+            lineage_col: Vec::new(),
+            first_child: Vec::new(),
+            next_sibling: Vec::new(),
+            subtree_end: Vec::new(),
+            enabled: Vec::new(),
+            crt_p: Vec::new(),
+            all_p: Vec::new(),
+        };
+        machine.push_subtree(tree, answer)?;
+        Ok(machine)
+    }
 
-impl ScanState {
-    fn new(tree: &OneScanTree, answer: &Annotated) -> ConfResult<ScanState> {
-        let mut nodes = Vec::new();
-        build_arena(tree, answer, &mut nodes)?;
-        Ok(ScanState { nodes })
+    fn push_subtree(&mut self, tree: &OneScanTree, answer: &Annotated) -> ConfResult<u32> {
+        let col = answer
+            .relation_index(&tree.table)
+            .map_err(|_| ConfError::MissingLineage(tree.table.clone()))?;
+        let idx = self.lineage_col.len() as u32;
+        self.lineage_col.push(col as u32);
+        self.first_child.push(NIL);
+        self.next_sibling.push(NIL);
+        self.subtree_end.push(0);
+        self.enabled.push(true);
+        self.crt_p.push(0.0);
+        self.all_p.push(0.0);
+        let mut prev_child = NIL;
+        for child in &tree.children {
+            let c = self.push_subtree(child, answer)?;
+            if prev_child == NIL {
+                self.first_child[idx as usize] = c;
+            } else {
+                self.next_sibling[prev_child as usize] = c;
+            }
+            prev_child = c;
+        }
+        self.subtree_end[idx as usize] = self.lineage_col.len() as u32;
+        Ok(idx)
+    }
+
+    /// Number of nodes (= tracked variable columns).
+    pub(crate) fn len(&self) -> usize {
+        self.lineage_col.len()
+    }
+
+    /// Preorder positions → lineage columns.
+    pub(crate) fn preorder_cols(&self) -> &[u32] {
+        &self.lineage_col
     }
 
     /// Resets every node for a new bag of duplicates.
+    #[inline]
     fn reset(&mut self) {
-        for n in &mut self.nodes {
-            n.enabled = true;
-            n.crt_p = 0.0;
-            n.all_p = 0.0;
-        }
+        self.enabled.fill(true);
+        self.crt_p.fill(0.0);
+        self.all_p.fill(0.0);
     }
 
-    /// The `propagate prob` procedure of Fig. 8, applied to the subtree
-    /// rooted at `node` for a row whose leftmost changed variable column (in
-    /// preorder positions) is `i`.
-    fn propagate(&mut self, node: usize, i: usize, row: RowRef<'_>) {
-        // Postorder: children first.
-        for child_pos in 0..self.nodes[node].children.len() {
-            let child = self.nodes[node].children[child_pos];
-            self.propagate(child, i, row);
+    /// The preorder position of the leftmost variable column whose variable
+    /// differs between two rows, or `None` if all tracked columns coincide
+    /// (a duplicate derivation). Checked in preorder, so the comparison
+    /// exits at position 0 — the common case on sorted many-row bags —
+    /// without touching the remaining columns.
+    #[inline]
+    fn leftmost_changed(
+        &self,
+        prev: &[(Variable, f64)],
+        current: &[(Variable, f64)],
+    ) -> Option<usize> {
+        for (pos, &col) in self.lineage_col.iter().enumerate() {
+            if prev[col as usize].0 != current[col as usize].0 {
+                return Some(pos);
+            }
         }
-        let index = node; // preorder arena layout: arena index == column index
-        if !self.nodes[node].enabled || index < i {
-            return;
-        }
-        let is_leaf = self.nodes[node].children.is_empty();
-        let row_prob = row.lineage[self.nodes[node].lineage_col].1;
-        if is_leaf && index == i {
-            // A new variable extends the current partition of this leaf.
-            let crt = self.nodes[node].crt_p;
-            self.nodes[node].crt_p = 1.0 - (1.0 - crt) * (1.0 - row_prob);
-        } else {
+        None
+    }
+
+    /// The `propagate prob` procedure of Fig. 8 for a row whose leftmost
+    /// changed variable column (in preorder positions) is `i`.
+    ///
+    /// The recursive postorder of the paper is realised as one reverse
+    /// preorder sweep: every descendant has a larger arena index than its
+    /// ancestors, so iterating `(i..len).rev()` closes children before their
+    /// parent reads `allP`, exactly like the recursion — and nodes below `i`
+    /// are skipped wholesale instead of being visited and ignored.
+    #[inline]
+    fn propagate(&mut self, i: usize, lineage: &[(Variable, f64)]) {
+        for node in (i..self.len()).rev() {
+            if !self.enabled[node] {
+                continue;
+            }
+            let row_prob = lineage[self.lineage_col[node] as usize].1;
+            let first = self.first_child[node];
+            if first == NIL && node == i {
+                // A new variable extends the current partition of this leaf.
+                let crt = self.crt_p[node];
+                self.crt_p[node] = 1.0 - (1.0 - crt) * (1.0 - row_prob);
+                continue;
+            }
             // Close the current partition: fold the children's accumulated
             // probabilities into it and add it to the finished partitions.
-            let children = self.nodes[node].children.clone();
-            let mut crt = self.nodes[node].crt_p;
-            for c in children {
-                crt *= self.nodes[c].all_p;
+            let mut crt = self.crt_p[node];
+            let mut c = first;
+            while c != NIL {
+                crt *= self.all_p[c as usize];
+                c = self.next_sibling[c as usize];
             }
-            let all = self.nodes[node].all_p;
-            self.nodes[node].all_p = 1.0 - (1.0 - crt) * (1.0 - all);
-            if index == i {
+            let all = self.all_p[node];
+            self.all_p[node] = 1.0 - (1.0 - crt) * (1.0 - all);
+            let descendants = node + 1..self.subtree_end[node] as usize;
+            if node == i {
                 // A new partition of this node starts: re-seed it and all its
                 // descendants from the current row.
-                self.for_each_descendant(node, |state, d| {
-                    let col = state.nodes[d].lineage_col;
-                    state.nodes[d].enabled = true;
-                    state.nodes[d].all_p = 0.0;
-                    state.nodes[d].crt_p = row.lineage[col].1;
-                });
-                self.nodes[node].crt_p = row_prob;
+                for d in descendants {
+                    self.enabled[d] = true;
+                    self.all_p[d] = 0.0;
+                    self.crt_p[d] = lineage[self.lineage_col[d] as usize].1;
+                }
+                self.crt_p[node] = row_prob;
             } else {
                 // An old partition of this node re-occurs next; disable the
                 // whole subtree until an ancestor starts a new partition.
-                self.nodes[node].enabled = false;
-                self.for_each_descendant(node, |state, d| {
-                    state.nodes[d].enabled = false;
-                });
+                self.enabled[node] = false;
+                for d in descendants {
+                    self.enabled[d] = false;
+                }
             }
         }
     }
 
-    /// Closes every open partition at the end of a bag and leaves the exact
-    /// probability of the bag in the root's `allP`.
+    /// Closes every open partition at the end of a bag and returns the exact
+    /// probability of the bag (the root's `allP`).
+    #[inline]
     fn flush(&mut self) -> f64 {
-        self.flush_node(0);
-        self.nodes[0].all_p
+        for node in (0..self.len()).rev() {
+            // Disabling cascades to whole subtrees, so skipping a disabled
+            // node skips nothing the recursion would have updated.
+            if !self.enabled[node] {
+                continue;
+            }
+            let mut crt = self.crt_p[node];
+            let mut c = self.first_child[node];
+            while c != NIL {
+                crt *= self.all_p[c as usize];
+                c = self.next_sibling[c as usize];
+            }
+            let all = self.all_p[node];
+            self.all_p[node] = 1.0 - (1.0 - crt) * (1.0 - all);
+        }
+        self.all_p[0]
     }
 
-    fn flush_node(&mut self, node: usize) {
-        for child_pos in 0..self.nodes[node].children.len() {
-            let child = self.nodes[node].children[child_pos];
-            self.flush_node(child);
+    /// Scans one bag of duplicate derivations (row indices into `answer`, in
+    /// the one-scan sort order) and returns its exact probability.
+    pub(crate) fn scan_bag(&mut self, answer: &Annotated, rows: &[u32]) -> f64 {
+        self.reset();
+        let mut prev: Option<RowRef<'_>> = None;
+        for &r in rows {
+            let row = answer.row(r as usize);
+            match prev {
+                None => self.propagate(0, row.lineage),
+                Some(p) => {
+                    if let Some(i) = self.leftmost_changed(p.lineage, row.lineage) {
+                        self.propagate(i, row.lineage);
+                    }
+                    // Identical lineage in every column: a duplicate
+                    // derivation, nothing to add.
+                }
+            }
+            prev = Some(row);
         }
-        if !self.nodes[node].enabled {
-            return;
-        }
-        let children = self.nodes[node].children.clone();
-        let mut crt = self.nodes[node].crt_p;
-        for c in children {
-            crt *= self.nodes[c].all_p;
-        }
-        let all = self.nodes[node].all_p;
-        self.nodes[node].all_p = 1.0 - (1.0 - crt) * (1.0 - all);
-    }
-
-    fn for_each_descendant(&mut self, node: usize, mut f: impl FnMut(&mut ScanState, usize)) {
-        let mut stack: Vec<usize> = self.nodes[node].children.clone();
-        while let Some(d) = stack.pop() {
-            stack.extend(self.nodes[d].children.iter().copied());
-            f(self, d);
-        }
+        self.flush()
     }
 }
 
-/// Builds the arena in preorder, mapping each tree node to the lineage column
-/// of its table in `answer`.
-fn build_arena(tree: &OneScanTree, answer: &Annotated, arena: &mut Vec<Node>) -> ConfResult<usize> {
-    let lineage_col = answer
-        .relation_index(&tree.table)
-        .map_err(|_| ConfError::MissingLineage(tree.table.clone()))?;
-    let idx = arena.len();
-    arena.push(Node {
-        lineage_col,
-        children: Vec::new(),
-        enabled: true,
-        crt_p: 0.0,
-        all_p: 0.0,
+/// Scans all bags, fanning contiguous bag ranges out across the pool.
+///
+/// `order` is the row permutation realising the one-scan sort and
+/// `bag_starts` the positions in `order` where a new distinct answer tuple
+/// begins (`bag_starts[0] == 0`). Each worker clones the (tiny) machine and
+/// evaluates its bags sequentially; results concatenate in bag order, so the
+/// output is identical at every thread count.
+fn scan_bags(
+    machine: &FlatScan,
+    answer: &Annotated,
+    order: &[u32],
+    bag_starts: &[usize],
+    pool: &Pool,
+) -> Vec<(Tuple, f64)> {
+    let chunks = partition_by_weight(bag_starts, order.len(), pool.threads());
+    let per_chunk = pool.map_ranges(&chunks, |bags| {
+        let mut machine = machine.clone();
+        let mut out = Vec::with_capacity(bags.len());
+        for b in bags {
+            let start = bag_starts[b];
+            let end = bag_starts.get(b + 1).copied().unwrap_or(order.len());
+            let rows = &order[start..end];
+            let p = machine.scan_bag(answer, rows);
+            out.push((answer.row(rows[0] as usize).data_tuple(), p));
+        }
+        out
     });
-    for child in &tree.children {
-        let child_idx = build_arena(child, answer, arena)?;
-        arena[idx].children.push(child_idx);
-    }
-    Ok(idx)
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// Computes `(distinct answer tuple, confidence)` pairs for a signature with
-/// the 1scan property using one scan over the sorted answer (Fig. 8).
+/// the 1scan property using one scan over the sorted answer (Fig. 8),
+/// parallelised over bags of duplicates with the default worker pool.
 ///
-/// The input is sorted internally (data columns, then variable columns in
-/// preorder of the 1scanTree); callers holding an already-sorted answer can
-/// use [`one_scan_confidences_presorted`].
+/// The input is *not* copied: a row-index permutation is sorted into the
+/// one-scan order (data columns, then variable columns in preorder of the
+/// 1scanTree) and the scan walks through it. Callers holding an already
+/// physically sorted answer can use [`one_scan_confidences_presorted`].
 ///
 /// # Errors
 /// Fails if the signature lacks the 1scan property or references a relation
@@ -170,9 +290,46 @@ pub fn one_scan_confidences(
     answer: &Annotated,
     signature: &Signature,
 ) -> ConfResult<Vec<(Tuple, f64)>> {
-    let mut sorted = answer.clone();
-    sort_for_signature(&mut sorted, signature)?;
-    one_scan_confidences_presorted(&sorted, signature)
+    one_scan_confidences_with(answer, signature, &Pool::from_env().for_items(answer.len()))
+}
+
+/// [`one_scan_confidences`] with an explicit worker pool. The result is
+/// bitwise-identical for every pool size.
+///
+/// # Errors
+/// Fails if the signature lacks the 1scan property or references a relation
+/// without a lineage column.
+pub fn one_scan_confidences_with(
+    answer: &Annotated,
+    signature: &Signature,
+    pool: &Pool,
+) -> ConfResult<Vec<(Tuple, f64)>> {
+    if answer.is_empty() {
+        return Ok(Vec::new());
+    }
+    let tree = one_scan_tree(signature)?;
+    let machine = FlatScan::new(&tree, answer)?;
+    let col_idx: Vec<usize> = (0..answer.data_width()).collect();
+    let rel_idx: Vec<usize> = machine
+        .preorder_cols()
+        .iter()
+        .map(|&c| c as usize)
+        .collect();
+    let keys = answer.sort_keys(&col_idx, &rel_idx);
+    let order = keys.sorted_permutation_with(answer.len(), pool);
+    // Bags are runs of equal data keys: compare the data prefix of the
+    // normalized key runs — plain u64 words, no Value dispatch.
+    let data_words = col_idx.len() * CELL_WIDTH;
+    let mut bag_starts = Vec::new();
+    for k in 0..order.len() {
+        if k == 0
+            || keys.row(order[k] as usize)[..data_words]
+                != keys.row(order[k - 1] as usize)[..data_words]
+        {
+            bag_starts.push(k);
+        }
+    }
+    Ok(scan_bags(&machine, answer, &order, &bag_starts, pool))
 }
 
 /// Sorts an annotated answer into the order required by
@@ -194,7 +351,15 @@ pub fn sort_for_signature(answer: &mut Annotated, signature: &Signature) -> Conf
     Ok(())
 }
 
-/// Like [`one_scan_confidences`] but assumes the input is already sorted.
+/// Like [`one_scan_confidences`] but assumes the input is already physically
+/// sorted into the one-scan order.
+///
+/// Bag boundaries are detected with [`pdb_storage::Value`] equality here,
+/// versus normalized-key equality in [`one_scan_confidences`]. The two agree
+/// everywhere except integers beyond ±2⁵³ compared against floats — the
+/// corner where `Value`'s own ordering is not transitive (see
+/// [`pdb_exec::key`]); the key-based variant resolves those by exact
+/// integer value.
 ///
 /// # Errors
 /// Fails if the signature lacks the 1scan property or references a relation
@@ -203,60 +368,36 @@ pub fn one_scan_confidences_presorted(
     answer: &Annotated,
     signature: &Signature,
 ) -> ConfResult<Vec<(Tuple, f64)>> {
+    one_scan_confidences_presorted_with(
+        answer,
+        signature,
+        &Pool::from_env().for_items(answer.len()),
+    )
+}
+
+/// [`one_scan_confidences_presorted`] with an explicit worker pool.
+///
+/// # Errors
+/// Fails if the signature lacks the 1scan property or references a relation
+/// without a lineage column.
+pub fn one_scan_confidences_presorted_with(
+    answer: &Annotated,
+    signature: &Signature,
+    pool: &Pool,
+) -> ConfResult<Vec<(Tuple, f64)>> {
     if answer.is_empty() {
         return Ok(Vec::new());
     }
     let tree = one_scan_tree(signature)?;
-    let mut state = ScanState::new(&tree, answer)?;
-    // Preorder positions → lineage columns, used to find the leftmost changed
-    // variable column between consecutive rows.
-    let preorder_cols: Vec<usize> = state.nodes.iter().map(|n| n.lineage_col).collect();
-
-    let mut out = Vec::new();
-    let mut prev: Option<RowRef<'_>> = None;
-    for row in answer.iter() {
-        match prev {
-            None => {
-                state.reset();
-                state.propagate(0, 0, row);
-            }
-            Some(p) if p.data != row.data => {
-                // New bag of duplicates: finish the previous one.
-                out.push((p.data_tuple(), state.flush()));
-                state.reset();
-                state.propagate(0, 0, row);
-            }
-            Some(p) => {
-                if let Some(i) = leftmost_changed(&preorder_cols, p, row) {
-                    state.propagate(0, i, row);
-                }
-                // Identical lineage in every column: a duplicate derivation,
-                // nothing to add.
-            }
-        }
-        prev = Some(row);
-    }
-    if let Some(p) = prev {
-        out.push((p.data_tuple(), state.flush()));
-    }
-    Ok(out)
-}
-
-/// The preorder position of the leftmost variable column whose variable
-/// differs between two rows, or `None` if all tracked columns coincide.
-fn leftmost_changed(
-    preorder_cols: &[usize],
-    prev: RowRef<'_>,
-    current: RowRef<'_>,
-) -> Option<usize> {
-    for (pos, &col) in preorder_cols.iter().enumerate() {
-        let a: Variable = prev.lineage[col].0;
-        let b: Variable = current.lineage[col].0;
-        if a != b {
-            return Some(pos);
+    let machine = FlatScan::new(&tree, answer)?;
+    let order: Vec<u32> = (0..answer.len() as u32).collect();
+    let mut bag_starts = vec![0usize];
+    for k in 1..answer.len() {
+        if answer.row(k).data != answer.row(k - 1).data {
+            bag_starts.push(k);
         }
     }
-    None
+    Ok(scan_bags(&machine, answer, &order, &bag_starts, pool))
 }
 
 fn one_scan_tree(signature: &Signature) -> ConfResult<OneScanTree> {
@@ -269,6 +410,7 @@ fn one_scan_tree(signature: &Signature) -> ConfResult<OneScanTree> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baseline::one_scan_confidences_recursive;
     use crate::brute::brute_force_confidences;
     use crate::grp::grp_confidences;
     use pdb_exec::fixtures::{fig1_catalog, fig1_catalog_with_keys};
@@ -371,6 +513,40 @@ mod tests {
         let b = one_scan_confidences(&answer, &sig).unwrap();
         assert_eq!(a.len(), b.len());
         for ((t1, p1), (t2, p2)) in a.iter().zip(b.iter()) {
+            assert_eq!(t1, t2);
+            assert!((p1 - p2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_pools_are_bitwise_identical_to_sequential() {
+        let catalog = fig1_catalog_with_keys();
+        let mut q = intro_query_q();
+        q.predicates.clear();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
+        let sequential = one_scan_confidences_with(&answer, &sig, &Pool::sequential()).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = one_scan_confidences_with(&answer, &sig, &Pool::new(threads)).unwrap();
+            assert_eq!(sequential.len(), parallel.len());
+            for ((t1, p1), (t2, p2)) in sequential.iter().zip(parallel.iter()) {
+                assert_eq!(t1, t2, "{threads} threads");
+                assert_eq!(p1.to_bits(), p2.to_bits(), "{threads} threads: {t1}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_machine_matches_the_recursive_baseline() {
+        let catalog = fig1_catalog_with_keys();
+        let mut q = intro_query_q();
+        q.predicates.clear();
+        let answer = evaluate_join_order(&q, &catalog, &order(&["Item", "Ord", "Cust"])).unwrap();
+        let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
+        let flat = one_scan_confidences(&answer, &sig).unwrap();
+        let recursive = one_scan_confidences_recursive(&answer, &sig).unwrap();
+        assert_eq!(flat.len(), recursive.len());
+        for ((t1, p1), (t2, p2)) in flat.iter().zip(recursive.iter()) {
             assert_eq!(t1, t2);
             assert!((p1 - p2).abs() < 1e-12);
         }

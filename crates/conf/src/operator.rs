@@ -10,14 +10,15 @@
 use std::fmt;
 
 use pdb_exec::Annotated;
+use pdb_par::Pool;
 use pdb_query::Signature;
 use pdb_storage::Tuple;
 
 use crate::brute::brute_force_confidences;
 use crate::error::ConfResult;
-use crate::grp::grp_confidences;
-use crate::multi_scan::multi_scan_confidences;
-use crate::one_scan::one_scan_confidences;
+use crate::grp::grp_confidences_with;
+use crate::multi_scan::multi_scan_confidences_with;
+use crate::one_scan::one_scan_confidences_with;
 
 /// The evaluation strategy of the operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,20 +54,36 @@ impl fmt::Display for Strategy {
 pub type ConfidenceResult = Vec<(Tuple, f64)>;
 
 /// A confidence-computation operator `[s]` for a fixed signature `s`.
+///
+/// The operator carries the worker pool its evaluation may fan out on
+/// (bags of duplicate answer tuples are independent); results are identical
+/// at every pool size, so the pool is a pure performance knob.
 #[derive(Debug, Clone)]
 pub struct ConfidenceOperator {
     signature: Signature,
+    pool: Pool,
 }
 
 impl ConfidenceOperator {
-    /// Creates an operator for the given signature.
+    /// Creates an operator for the given signature, using the default worker
+    /// pool (`SPROUT_THREADS`, or the machine's available parallelism).
     pub fn new(signature: Signature) -> Self {
-        ConfidenceOperator { signature }
+        ConfidenceOperator::with_pool(signature, Pool::from_env())
+    }
+
+    /// Creates an operator with an explicit worker pool.
+    pub fn with_pool(signature: Signature, pool: Pool) -> Self {
+        ConfidenceOperator { signature, pool }
     }
 
     /// The operator's signature.
     pub fn signature(&self) -> &Signature {
         &self.signature
+    }
+
+    /// The worker pool the operator evaluates on.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// Number of scans the operator needs (Proposition V.10).
@@ -80,17 +97,18 @@ impl ConfidenceOperator {
     /// Fails if the signature references relations missing from the answer,
     /// or if [`Strategy::OneScan`] is forced on a non-1scan signature.
     pub fn compute(&self, answer: &Annotated, strategy: Strategy) -> ConfResult<ConfidenceResult> {
+        let pool = &self.pool.for_items(answer.len());
         match strategy {
             Strategy::Auto => {
                 if self.signature.is_one_scan() {
-                    one_scan_confidences(answer, &self.signature)
+                    one_scan_confidences_with(answer, &self.signature, pool)
                 } else {
-                    multi_scan_confidences(answer, &self.signature)
+                    multi_scan_confidences_with(answer, &self.signature, pool)
                 }
             }
-            Strategy::OneScan => one_scan_confidences(answer, &self.signature),
-            Strategy::MultiScan => multi_scan_confidences(answer, &self.signature),
-            Strategy::GrpSemantics => grp_confidences(answer, &self.signature),
+            Strategy::OneScan => one_scan_confidences_with(answer, &self.signature, pool),
+            Strategy::MultiScan => multi_scan_confidences_with(answer, &self.signature, pool),
+            Strategy::GrpSemantics => grp_confidences_with(answer, &self.signature, pool),
             Strategy::BruteForce => Ok(brute_force_confidences(answer)),
         }
     }

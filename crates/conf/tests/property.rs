@@ -381,6 +381,93 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Scenario 2b (PR 2): the parallel confidence engine. At every thread count
+// the three strategies must produce tuple orders and probabilities that are
+// bitwise-identical to their single-threaded runs, agree with each other,
+// and stay within 1e-9 of the brute-force oracle.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_confidences_are_bitwise_identical_across_thread_counts(
+        db in cust_ord_item_strategy(),
+        boolean in proptest::bool::ANY,
+    ) {
+        use pdb_conf::grp::grp_confidences_with;
+        use pdb_conf::multi_scan::multi_scan_confidences_with;
+        use pdb_conf::one_scan::one_scan_confidences_with;
+        use pdb_conf::Pool;
+
+        let catalog = build_cust_ord_item(&db);
+        let q = guiding_query(boolean);
+        let order: Vec<String> =
+            ["Cust", "Ord", "Item"].iter().map(|s| s.to_string()).collect();
+        let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
+        let fds = if db.with_keys {
+            FdSet::from_catalog_decls(&catalog.fds())
+        } else {
+            FdSet::empty()
+        };
+        let sig = query_signature(&q, &fds).unwrap();
+        let oracle = brute_force_confidences(&answer);
+
+        // Single-threaded runs of every applicable strategy ...
+        let seq = Pool::sequential();
+        let multi_1 = multi_scan_confidences_with(&answer, &sig, &seq).unwrap();
+        let grp_1 = grp_confidences_with(&answer, &sig, &seq).unwrap();
+        let one_1 = if sig.is_one_scan() {
+            Some(one_scan_confidences_with(&answer, &sig, &seq).unwrap())
+        } else {
+            None
+        };
+
+        // ... agree with the oracle and with each other.
+        for (name, result) in [("multi-scan", &multi_1), ("grp", &grp_1)]
+            .into_iter()
+            .chain(one_1.iter().map(|r| ("one-scan", r)))
+        {
+            prop_assert_eq!(result.len(), oracle.len(), "{} vs oracle", name);
+            for ((t1, p1), (t2, p2)) in result.iter().zip(oracle.iter()) {
+                prop_assert_eq!(t1, t2, "{}", name);
+                prop_assert!(
+                    (p1 - p2).abs() < 1e-9,
+                    "{}: tuple {} got {} expected {}", name, t1, p1, p2
+                );
+            }
+        }
+
+        // Parallel runs are bitwise-identical to the single-threaded ones,
+        // in tuple order and probability bits.
+        type Confidences = Vec<(pdb_storage::Tuple, f64)>;
+        for threads in [2usize, 4, 8] {
+            let pool = Pool::new(threads);
+            let runs: Vec<(&str, &Confidences, Confidences)> = {
+                let mut r = vec![
+                    ("multi-scan", &multi_1, multi_scan_confidences_with(&answer, &sig, &pool).unwrap()),
+                    ("grp", &grp_1, grp_confidences_with(&answer, &sig, &pool).unwrap()),
+                ];
+                if let Some(one_1) = &one_1 {
+                    r.push(("one-scan", one_1, one_scan_confidences_with(&answer, &sig, &pool).unwrap()));
+                }
+                r
+            };
+            for (name, sequential, parallel) in runs {
+                prop_assert_eq!(sequential.len(), parallel.len(), "{} at {} threads", name, threads);
+                for ((t1, p1), (t2, p2)) in sequential.iter().zip(parallel.iter()) {
+                    prop_assert_eq!(t1, t2, "{} at {} threads", name, threads);
+                    prop_assert_eq!(
+                        p1.to_bits(), p2.to_bits(),
+                        "{} at {} threads: tuple {} got {} expected {}", name, threads, t1, p2, p1
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scenario 3 (PR 1): the optimized pipeline — normalized-key join,
 // sort-based dedup, streaming one-scan — against the brute-force oracle,
 // and the sort contract sort_dedup must preserve.

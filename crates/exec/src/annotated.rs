@@ -256,8 +256,9 @@ impl Annotated {
 
     /// Builds normalized sort keys over the given data columns followed by
     /// the variables of the given lineage columns; see
-    /// [`crate::key::SortKeys`].
-    pub(crate) fn sort_keys(&self, col_idx: &[usize], rel_idx: &[usize]) -> SortKeys {
+    /// [`crate::key::SortKeys`]. Public so the confidence operator can sort
+    /// a row-index permutation instead of cloning and permuting the arenas.
+    pub fn sort_keys(&self, col_idx: &[usize], rel_idx: &[usize]) -> SortKeys {
         let dw = self.data_width();
         let lw = self.lineage_width();
         SortKeys::build(

@@ -23,7 +23,7 @@
 //! transitive; the normalized form resolves those ties by exact integer
 //! value instead.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 use pdb_storage::Value;
 
@@ -95,6 +95,94 @@ pub fn hash_words(words: &[u64]) -> u64 {
 // Sort keys: order-preserving, dictionary-ranked strings.
 // ---------------------------------------------------------------------------
 
+/// An open-addressing string interner (FxHash, linear probing) assigning
+/// insertion-order ids. Replaces per-row `BTreeMap` searches in the sort-key
+/// builder: interning is one hash and (usually) one probe per row, and the
+/// order-preserving rank is assigned once over the distinct strings.
+struct FxStrInterner<'a> {
+    /// Slot values are `id + 1`; 0 marks an empty slot. Power-of-two sized.
+    slots: Vec<u32>,
+    strs: Vec<&'a str>,
+}
+
+/// FxHash-style mix over the bytes of a string.
+#[inline]
+fn hash_str(s: &str) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15 ^ s.len() as u64;
+    let bytes = s.as_bytes();
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+        h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+    let mut tail = 0u64;
+    for &b in chunks.remainder() {
+        tail = (tail << 8) | b as u64;
+    }
+    (h.rotate_left(5) ^ tail).wrapping_mul(K)
+}
+
+impl<'a> FxStrInterner<'a> {
+    fn new() -> Self {
+        FxStrInterner {
+            slots: vec![0; 64],
+            strs: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn intern(&mut self, s: &'a str) -> u32 {
+        if self.strs.len() * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash_str(s) as usize & mask;
+        loop {
+            match self.slots[i] {
+                0 => {
+                    let id = self.strs.len() as u32;
+                    self.strs.push(s);
+                    self.slots[i] = id + 1;
+                    return id;
+                }
+                slot => {
+                    let id = slot - 1;
+                    if self.strs[id as usize] == s {
+                        return id;
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let mask = new_len - 1;
+        let mut slots = vec![0u32; new_len];
+        for (id, s) in self.strs.iter().enumerate() {
+            let mut i = hash_str(s) as usize & mask;
+            while slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            slots[i] = id as u32 + 1;
+        }
+        self.slots = slots;
+    }
+
+    /// Insertion-id → lexicographic rank over the interned strings.
+    fn ranks(&self) -> Vec<u64> {
+        let mut by_str: Vec<u32> = (0..self.strs.len() as u32).collect();
+        by_str.sort_unstable_by_key(|&id| self.strs[id as usize]);
+        let mut ranks = vec![0u64; self.strs.len()];
+        for (rank, &id) in by_str.iter().enumerate() {
+            ranks[id as usize] = rank as u64;
+        }
+        ranks
+    }
+}
+
 /// Flat, order-preserving sort keys: one run of
 /// `columns × CELL_WIDTH + extra` words per row, comparable with plain
 /// `u64`-slice comparison.
@@ -117,21 +205,20 @@ impl SortKeys {
         mut cell_at: impl FnMut(usize, usize) -> &'a Value,
         mut extra_at: impl FnMut(usize, usize) -> u64,
     ) -> SortKeys {
-        // Pass 1: per-column order-preserving string dictionaries.
-        let mut dicts: Vec<Option<BTreeMap<&'a str, u64>>> = Vec::with_capacity(columns);
+        // Pass 1: per-column string dictionaries. Each row's insertion id is
+        // recorded so pass 2 never searches the dictionary again; the
+        // order-preserving rank is assigned once over the distinct strings.
+        let mut dicts: Vec<Option<(Vec<u64>, Vec<u32>)>> = Vec::with_capacity(columns);
         for c in 0..columns {
-            let mut dict: Option<BTreeMap<&'a str, u64>> = None;
+            let mut interner: Option<(FxStrInterner<'a>, Vec<u32>)> = None;
             for r in 0..rows {
                 if let Value::Str(s) = cell_at(r, c) {
-                    dict.get_or_insert_with(BTreeMap::new).insert(s, 0);
+                    let (interner, ids) = interner
+                        .get_or_insert_with(|| (FxStrInterner::new(), vec![u32::MAX; rows]));
+                    ids[r] = interner.intern(s);
                 }
             }
-            if let Some(dict) = &mut dict {
-                for (rank, (_, code)) in dict.iter_mut().enumerate() {
-                    *code = rank as u64;
-                }
-            }
-            dicts.push(dict);
+            dicts.push(interner.map(|(interner, ids)| (interner.ranks(), ids)));
         }
         // Pass 2: encode.
         let width = columns * CELL_WIDTH + extra;
@@ -139,8 +226,8 @@ impl SortKeys {
         for r in 0..rows {
             for (c, dict) in dicts.iter().enumerate() {
                 let v = cell_at(r, c);
-                let code = match (v, dict) {
-                    (Value::Str(s), Some(d)) => d[s.as_ref()],
+                let code = match dict {
+                    Some((ranks, ids)) if matches!(v, Value::Str(_)) => ranks[ids[r] as usize],
                     _ => 0,
                 };
                 words.extend_from_slice(&encode_cell(v, code));
@@ -163,14 +250,180 @@ impl SortKeys {
         &self.words[r * self.width..(r + 1) * self.width]
     }
 
-    /// A stable-sorted permutation of `0..rows` by key run.
+    /// A stable-sorted permutation of `0..rows` by key run, using the
+    /// default worker pool ([`pdb_par::Pool::from_env`], degraded to
+    /// sequential for small inputs). The permutation is identical at every
+    /// thread count (chunked stable sort + tie-stable merge), so callers
+    /// need not care how many workers ran.
     pub fn sorted_permutation(&self, rows: usize) -> Vec<u32> {
-        let mut order: Vec<u32> = (0..rows as u32).collect();
-        if self.width > 0 {
-            order.sort_by(|&a, &b| self.row(a as usize).cmp(self.row(b as usize)));
-        }
-        order
+        self.sorted_permutation_with(rows, &pdb_par::Pool::from_env().for_items(rows))
     }
+
+    /// [`SortKeys::sorted_permutation`] with an explicit worker pool.
+    ///
+    /// When the key's word columns are range-compressible — the sum of the
+    /// per-column `max − min` bit widths plus the row-index bits fits in one
+    /// `u64` (or `u128`) — each row is packed into a single machine word
+    /// with the row index in the low bits, so the packed values are distinct
+    /// and their unique ascending order *is* the stable sort order. Packed
+    /// keys that come out already ascending skip the sort entirely;
+    /// otherwise they are `sort_unstable`d (adaptive pattern-defeating
+    /// quicksort on machine words), chunked across the pool's workers with
+    /// pairwise merges when it has more than one thread. Wider keys fall
+    /// back to the comparator-based stable chunk-merge sort. Every path
+    /// yields the identical permutation.
+    pub fn sorted_permutation_with(&self, rows: usize, pool: &pdb_par::Pool) -> Vec<u32> {
+        if self.width == 0 || rows < 2 {
+            return (0..rows as u32).collect();
+        }
+        if let Some(order) = self.packed_permutation(rows, pool) {
+            return order;
+        }
+        pdb_par::sorted_permutation_by(rows, pool, |a, b| {
+            self.row(a as usize).cmp(self.row(b as usize))
+        })
+    }
+
+    /// The range-compressed fast path of [`SortKeys::sorted_permutation_with`],
+    /// or `None` when the key does not fit in 128 bits.
+    fn packed_permutation(&self, rows: usize, pool: &pdb_par::Pool) -> Option<Vec<u32>> {
+        let w = self.width;
+        // Per word column: the value range actually used.
+        let mut mins = vec![u64::MAX; w];
+        let mut maxs = vec![0u64; w];
+        for r in 0..rows {
+            let run = self.row(r);
+            for c in 0..w {
+                mins[c] = mins[c].min(run[c]);
+                maxs[c] = maxs[c].max(run[c]);
+            }
+        }
+        let idx_bits = u64::BITS - (rows as u64 - 1).leading_zeros();
+        let col_bits: Vec<u32> = (0..w)
+            .map(|c| u64::BITS - (maxs[c] - mins[c]).leading_zeros())
+            .collect();
+        let total_bits = idx_bits + col_bits.iter().sum::<u32>();
+        if total_bits <= u64::BITS {
+            Some(self.pack_and_sort::<u64>(rows, &mins, &col_bits, idx_bits, pool))
+        } else if total_bits <= u128::BITS {
+            Some(self.pack_and_sort::<u128>(rows, &mins, &col_bits, idx_bits, pool))
+        } else {
+            None
+        }
+    }
+
+    fn pack_and_sort<T: PackedKey>(
+        &self,
+        rows: usize,
+        mins: &[u64],
+        col_bits: &[u32],
+        idx_bits: u32,
+        pool: &pdb_par::Pool,
+    ) -> Vec<u32> {
+        let mut packed: Vec<T> = Vec::with_capacity(rows);
+        let mut sorted_already = true;
+        for r in 0..rows {
+            let run = self.row(r);
+            let mut key = T::ZERO;
+            for (c, &bits) in col_bits.iter().enumerate() {
+                if bits > 0 {
+                    key = key.push_bits(bits, run[c] - mins[c]);
+                }
+            }
+            let key = key.push_bits(idx_bits, r as u64);
+            if let Some(&prev) = packed.last() {
+                sorted_already &= prev < key;
+            }
+            packed.push(key);
+        }
+        if !sorted_already {
+            sort_packed_chunked(&mut packed, pool);
+        }
+        let idx_mask = (1u64 << idx_bits) - 1;
+        packed.into_iter().map(|k| k.row_index(idx_mask)).collect()
+    }
+}
+
+/// A machine word wide enough to hold a range-compressed key run plus the
+/// row index in its low bits.
+trait PackedKey: Copy + Ord + Send + Sync {
+    const ZERO: Self;
+    /// `(self << bits) | value`.
+    fn push_bits(self, bits: u32, value: u64) -> Self;
+    /// The row index from the low bits.
+    fn row_index(self, idx_mask: u64) -> u32;
+}
+
+impl PackedKey for u64 {
+    const ZERO: Self = 0;
+    #[inline]
+    fn push_bits(self, bits: u32, value: u64) -> Self {
+        (self << bits) | value
+    }
+    #[inline]
+    fn row_index(self, idx_mask: u64) -> u32 {
+        (self & idx_mask) as u32
+    }
+}
+
+impl PackedKey for u128 {
+    const ZERO: Self = 0;
+    #[inline]
+    fn push_bits(self, bits: u32, value: u64) -> Self {
+        (self << bits) | value as u128
+    }
+    #[inline]
+    fn row_index(self, idx_mask: u64) -> u32 {
+        (self as u64 & idx_mask) as u32
+    }
+}
+
+/// Deterministic (possibly parallel) sort of distinct packed keys:
+/// contiguous chunks are `sort_unstable`d by the pool's workers and merged
+/// pairwise. Values are distinct (the row index lives in the low bits), so
+/// the result is their unique ascending order at every thread count.
+fn sort_packed_chunked<T: Ord + Copy + Send + Sync>(values: &mut [T], pool: &pdb_par::Pool) {
+    let n = values.len();
+    let chunks = pool.threads().min(n);
+    let ranges: Vec<std::ops::Range<usize>> = (0..chunks)
+        .map(|c| (n * c / chunks)..(n * (c + 1) / chunks))
+        .collect();
+    let mut runs: Vec<Vec<T>> = pool.map_ranges(&ranges, |r| {
+        let mut run = values[r].to_vec();
+        run.sort_unstable();
+        run
+    });
+    // Pairwise merge rounds over the sorted runs.
+    while runs.len() > 1 {
+        let pairs: Vec<(Vec<T>, Vec<T>)> = {
+            let mut pairs = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut iter = runs.drain(..);
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(b) => pairs.push((a, b)),
+                    None => pairs.push((a, Vec::new())),
+                }
+            }
+            pairs
+        };
+        runs = pool.map(&pairs, |(a, b)| {
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i] <= b[j] {
+                    out.push(a[i]);
+                    i += 1;
+                } else {
+                    out.push(b[j]);
+                    j += 1;
+                }
+            }
+            out.extend_from_slice(&a[i..]);
+            out.extend_from_slice(&b[j..]);
+            out
+        });
+    }
+    values.copy_from_slice(&runs[0]);
 }
 
 // ---------------------------------------------------------------------------
@@ -386,5 +639,57 @@ mod tests {
         let vals = [Value::Int(1), Value::Int(0), Value::Int(1), Value::Int(0)];
         let keys = SortKeys::build(4, 1, 0, |r, _| &vals[r], |_, _| 0);
         assert_eq!(keys.sorted_permutation(4), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn packed_radix_path_matches_comparator_stable_sort() {
+        // Small ranges (ints + repeated strings + a variable extra) pack
+        // into one u64; the permutation must equal a reference stable sort
+        // at every thread count.
+        let strings = ["N", "A", "R", "N", "A"];
+        let rows = 4096;
+        let vals: Vec<[Value; 2]> = (0..rows)
+            .map(|r| {
+                [
+                    Value::Int((r as i64 * 37) % 19),
+                    Value::str(strings[r % strings.len()]),
+                ]
+            })
+            .collect();
+        let keys = SortKeys::build(
+            rows,
+            2,
+            1,
+            |r, c| &vals[r][c],
+            |r, _| ((r * 61) % 23) as u64,
+        );
+        let mut expected: Vec<u32> = (0..rows as u32).collect();
+        expected.sort_by(|&a, &b| keys.row(a as usize).cmp(keys.row(b as usize)));
+        for threads in [1, 2, 4, 8] {
+            let got = keys.sorted_permutation_with(rows, &pdb_par::Pool::new(threads));
+            assert_eq!(got, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn wide_keys_fall_back_to_the_comparator_sort() {
+        // Full-range floats exhaust the 64-bit budget, forcing the
+        // comparator fallback; the result must still be the stable order.
+        let rows = 512;
+        let vals: Vec<[Value; 2]> = (0..rows)
+            .map(|r| {
+                [
+                    Value::Float(((r as f64) - 300.0) * 1.37e9),
+                    Value::Float(1.0 / (1.0 + r as f64)),
+                ]
+            })
+            .collect();
+        let keys = SortKeys::build(rows, 2, 1, |r, c| &vals[r][c], |r, _| (rows - r) as u64);
+        let mut expected: Vec<u32> = (0..rows as u32).collect();
+        expected.sort_by(|&a, &b| keys.row(a as usize).cmp(keys.row(b as usize)));
+        for threads in [1, 4] {
+            let got = keys.sorted_permutation_with(rows, &pdb_par::Pool::new(threads));
+            assert_eq!(got, expected, "{threads} threads");
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! Allocation accounting for the join hot path.
+//! Allocation accounting for the join and confidence hot paths.
 //!
 //! The PR-1 acceptance criterion is that `ops::natural_join` performs **no
 //! per-probed-row `Tuple` / `Vec<Value>` allocations**: output rows are
@@ -7,6 +7,12 @@
 //! global allocator and verifies exactly that, with the retained
 //! row-at-a-time baseline — which allocates per row by construction — as
 //! the control.
+//!
+//! PR 2 extends the accounting to the confidence path: the flat one-scan
+//! engine's inner loop over `N` rows must allocate `O(log N)` times
+//! (key/permutation buffers and arena doublings), not `O(N × nodes)` like
+//! the retained recursive machine, whose partition closes clone a
+//! `children` vector per visit.
 //!
 //! Not compiled under `--features seed-baseline`: that configuration
 //! deliberately routes `ops` through the per-row implementations.
@@ -154,5 +160,110 @@ fn sort_and_dedup_allocate_bounded_scratch() {
     assert!(
         dedup_allocs < rows / 4,
         "sort-based dedup allocated {dedup_allocs} times for {rows} rows"
+    );
+}
+
+/// A three-level answer `R(a) ⋈ S(a, b) ⋈ T(a, b, c)` projected onto `a`,
+/// with the 1scan signature `(R (S T*)*)*`: every change of `b` closes a
+/// partition of the inner `S` node, the shape that made the recursive
+/// machine clone its `children` vector per visit.
+fn confidence_inputs(
+    groups: i64,
+    per_group: i64,
+    per_pair: i64,
+) -> (Annotated, pdb_query::Signature) {
+    let mut var = 0u64;
+    let mut next = || {
+        var += 1;
+        Variable(var)
+    };
+    let names = |ns: &[&str]| ns.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let mut r = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int)]).unwrap());
+    for a in 0..groups {
+        r.insert(tuple![a], next(), 0.5).unwrap();
+    }
+    let mut s =
+        ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap());
+    let mut t = ProbTable::new(
+        Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Int),
+        ])
+        .unwrap(),
+    );
+    for a in 0..groups {
+        for b in 0..per_group {
+            s.insert(tuple![a, b], next(), 0.5).unwrap();
+            for c in 0..per_pair {
+                t.insert(tuple![a, b, c], next(), 0.5).unwrap();
+            }
+        }
+    }
+    let rs = ops::natural_join(
+        &ops::scan(&r, "R", &names(&["a"])).unwrap(),
+        &ops::scan(&s, "S", &names(&["a", "b"])).unwrap(),
+    )
+    .unwrap();
+    let rst =
+        ops::natural_join(&rs, &ops::scan(&t, "T", &names(&["a", "b", "c"])).unwrap()).unwrap();
+    let answer = ops::project(&rst, &names(&["a"])).unwrap();
+    use pdb_query::Signature;
+    let sig = Signature::star(Signature::concat(vec![
+        Signature::table("R"),
+        Signature::star(Signature::concat(vec![
+            Signature::table("S"),
+            Signature::star(Signature::table("T")),
+        ])),
+    ]));
+    assert!(sig.is_one_scan());
+    (answer, sig)
+}
+
+#[test]
+fn one_scan_inner_loop_allocates_sublinearly() {
+    use pdb_conf::baseline::one_scan_confidences_recursive;
+    use pdb_conf::one_scan::one_scan_confidences_with;
+    use pdb_conf::Pool;
+
+    let (answer, sig) = confidence_inputs(4, 50, 10);
+    let rows = answer.len();
+    assert_eq!(rows, 4 * 50 * 10);
+    let pool = Pool::sequential();
+
+    // Warm up both paths so lazily initialized runtime structures are not
+    // charged to either side.
+    one_scan_confidences_with(&answer, &sig, &pool).unwrap();
+    one_scan_confidences_recursive(&answer, &sig).unwrap();
+
+    let mut flat_out = None;
+    let flat = allocations(|| {
+        flat_out = Some(one_scan_confidences_with(&answer, &sig, &pool).unwrap());
+    });
+    let mut recursive_out = None;
+    let recursive = allocations(|| {
+        recursive_out = Some(one_scan_confidences_recursive(&answer, &sig).unwrap());
+    });
+    let flat_out = flat_out.unwrap();
+    let recursive_out = recursive_out.unwrap();
+    assert_eq!(flat_out.len(), 4);
+    assert_eq!(recursive_out.len(), 4);
+    for ((t1, p1), (t2, p2)) in flat_out.iter().zip(recursive_out.iter()) {
+        assert_eq!(t1, t2);
+        assert!((p1 - p2).abs() < 1e-12);
+    }
+
+    // The flat engine allocates bounded scratch: key words, the sorted
+    // permutation, bag bookkeeping, machine arrays, the output — far below
+    // one allocation per row.
+    assert!(
+        flat < rows / 8,
+        "flat one-scan allocated {flat} times for {rows} rows"
+    );
+    // The recursive machine clones a children vector per partition close
+    // (every change of `b`), on top of cloning and permuting the answer.
+    assert!(
+        flat * 2 < recursive,
+        "flat engine ({flat} allocs) should be leaner than the recursive baseline ({recursive})"
     );
 }

@@ -1,0 +1,363 @@
+//! # pdb-par
+//!
+//! A small scoped-thread worker pool for deterministic data-parallel
+//! fan-out. This is the sanctioned thread pool of the workspace: it has no
+//! crates.io dependencies (the build environment is offline) and is built
+//! entirely on [`std::thread::scope`], so borrowed inputs can be shared with
+//! workers without `'static` bounds or reference counting.
+//!
+//! Design rules every helper here follows:
+//!
+//! * **Determinism.** Results are returned in task order no matter how many
+//!   workers ran or how the OS scheduled them. Callers that partition work at
+//!   independent boundaries (e.g. bags of duplicate answer tuples) therefore
+//!   get bitwise-identical output at every thread count.
+//! * **Sequential degradation.** With one thread, one task, or an empty task
+//!   list the pool runs inline on the calling thread — no spawn, no
+//!   synchronization, no allocation beyond the result vector. Code using the
+//!   pool never needs a separate sequential path.
+//! * **Self-balancing.** Workers pull task indices from a shared atomic
+//!   counter, so skewed task sizes do not idle workers that finish early.
+//!
+//! [`Pool::from_env`] reads the `SPROUT_THREADS` environment variable — the
+//! engine-wide thread-count knob — and falls back to
+//! [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable controlling the default worker count.
+pub const THREADS_ENV: &str = "SPROUT_THREADS";
+
+/// Below this many items a fan-out is not worth a thread spawn:
+/// [`Pool::for_items`] degrades to the sequential pool. Callers holding an
+/// explicit pool bypass the gate — tests and benchmarks use that to exercise
+/// the parallel path on small inputs.
+pub const SEQUENTIAL_CUTOFF: usize = 512;
+
+/// A worker-pool configuration: how many OS threads a fan-out may use.
+///
+/// The pool is a *policy*, not a set of live threads: workers are spawned
+/// per [`Pool::map`] call inside a [`std::thread::scope`] and joined before
+/// it returns, so there is no global state, shutdown ordering, or channel
+/// plumbing to manage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: NonZeroUsize,
+}
+
+impl Pool {
+    /// A pool using exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero"),
+        }
+    }
+
+    /// The single-threaded pool: every `map` runs inline on the caller.
+    pub fn sequential() -> Pool {
+        Pool::new(1)
+    }
+
+    /// The default pool: `SPROUT_THREADS` if set to a positive integer,
+    /// otherwise the machine's available parallelism.
+    pub fn from_env() -> Pool {
+        let configured = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        match configured {
+            Some(n) => Pool::new(n),
+            None => Pool::new(
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1),
+            ),
+        }
+    }
+
+    /// Number of worker threads a fan-out may use.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// This pool, degraded to [`Pool::sequential`] when the workload is too
+    /// small ([`SEQUENTIAL_CUTOFF`] items) for thread spawns to pay off.
+    /// Results are identical either way; this is purely a latency guard for
+    /// the convenience entry points that pick the pool themselves.
+    pub fn for_items(&self, items: usize) -> Pool {
+        if items < SEQUENTIAL_CUTOFF {
+            Pool::sequential()
+        } else {
+            *self
+        }
+    }
+
+    /// Applies `f` to every task and returns the results **in task order**.
+    ///
+    /// Workers claim tasks through a shared atomic cursor (self-balancing)
+    /// and collect `(index, result)` pairs locally; the pairs are placed back
+    /// into task order after the scope joins, so the output is independent of
+    /// scheduling. Runs inline when the pool is sequential or there are
+    /// fewer than two tasks.
+    pub fn map<T, R, F>(&self, tasks: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.threads().min(tasks.len());
+        if workers <= 1 {
+            return tasks.iter().map(f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks.len());
+        slots.resize_with(tasks.len(), || None);
+        let worker = |out: &mut Vec<(usize, R)>| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(task) = tasks.get(i) else { break };
+            out.push((i, f(task)));
+        };
+        let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        worker(&mut local);
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pdb-par worker panicked"))
+                .collect()
+        });
+        for (i, r) in collected.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index was claimed exactly once"))
+            .collect()
+    }
+
+    /// [`Pool::map`] over index ranges: applies `f` to each range in
+    /// `ranges`, returning results in range order. Convenience wrapper for
+    /// the partition-then-fan-out pattern.
+    pub fn map_ranges<R, F>(&self, ranges: &[Range<usize>], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        self.map(ranges, |r| f(r.clone()))
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+/// Partitions `0..bounds.len()` groups into at most `parts` contiguous
+/// ranges of roughly equal *weight*, where group `g` spans the half-open
+/// item interval `[bounds[g], bounds[g + 1])` and `total` is the overall
+/// item count (`bounds` holds the group start offsets, sorted ascending,
+/// with `bounds[0] == 0`).
+///
+/// This is the bag-partitioning primitive: groups (bags of duplicate answer
+/// tuples, pre-aggregation groups) are independent units of work whose sizes
+/// can be wildly skewed, so the split is balanced by item count, not by
+/// group count. Returned ranges index into `bounds` (i.e. they are group
+/// ranges), are non-empty, and concatenate to `0..bounds.len()`.
+pub fn partition_by_weight(bounds: &[usize], total: usize, parts: usize) -> Vec<Range<usize>> {
+    let groups = bounds.len();
+    if groups == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, groups);
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        if start >= groups {
+            break;
+        }
+        // Ideal end of this part in item space; find the first group whose
+        // start offset reaches it. The last part always takes the rest.
+        let end = if p + 1 == parts {
+            groups
+        } else {
+            let target = (total * (p + 1)) / parts;
+            let mut end = start + 1;
+            while end < groups && bounds[end] < target {
+                end += 1;
+            }
+            end
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Stable parallel sort of `0..len` by a key comparator: returns the same
+/// permutation a sequential stable sort would, at every thread count.
+///
+/// The index space is split into contiguous chunks, each chunk is stably
+/// sorted by a worker, and sorted chunks are merged pairwise (left chunk
+/// wins ties, preserving ascending input order among equal keys — exactly
+/// stable-sort semantics, since chunk `k`'s indices all precede chunk
+/// `k+1`'s).
+pub fn sorted_permutation_by<F>(len: usize, pool: &Pool, compare: F) -> Vec<u32>
+where
+    F: Fn(u32, u32) -> std::cmp::Ordering + Sync,
+{
+    let chunks = pool.threads().min(len.max(1));
+    if chunks <= 1 || len < 2 {
+        let mut order: Vec<u32> = (0..len as u32).collect();
+        order.sort_by(|&a, &b| compare(a, b));
+        return order;
+    }
+    let chunk_ranges: Vec<Range<usize>> = (0..chunks)
+        .map(|c| (len * c / chunks)..(len * (c + 1) / chunks))
+        .collect();
+    let mut runs: Vec<Vec<u32>> = pool.map_ranges(&chunk_ranges, |r| {
+        let mut order: Vec<u32> = (r.start as u32..r.end as u32).collect();
+        order.sort_by(|&a, &b| compare(a, b));
+        order
+    });
+    // Pairwise merge rounds; each round's merges are themselves fanned out.
+    while runs.len() > 1 {
+        let pairs: Vec<(Vec<u32>, Vec<u32>)> = {
+            let mut pairs = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut iter = runs.drain(..);
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(b) => pairs.push((a, b)),
+                    None => pairs.push((a, Vec::new())),
+                }
+            }
+            pairs
+        };
+        runs = pool.map(&pairs, |(a, b)| merge_runs(a, b, &compare));
+    }
+    runs.pop().unwrap_or_default()
+}
+
+fn merge_runs<F>(a: &[u32], b: &[u32], compare: &F) -> Vec<u32>
+where
+    F: Fn(u32, u32) -> std::cmp::Ordering,
+{
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        // `a` comes from earlier input positions: it wins ties (stability).
+        if compare(a[i], b[j]) != std::cmp::Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_task_order_at_every_thread_count() {
+        let tasks: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = tasks.iter().map(|t| t * 2).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = Pool::new(threads);
+            assert_eq!(pool.map(&tasks, |t| t * 2), expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single_task_lists() {
+        let pool = Pool::new(8);
+        assert!(pool.map(&Vec::<usize>::new(), |t| *t).is_empty());
+        assert_eq!(pool.map(&[41], |t| t + 1), vec![42]);
+    }
+
+    #[test]
+    fn map_ranges_runs_each_range() {
+        let pool = Pool::new(4);
+        let ranges = vec![0..3, 3..7, 7..7, 7..10];
+        let sums = pool.map_ranges(&ranges, |r| r.sum::<usize>());
+        assert_eq!(sums, vec![3, 18, 0, 24]);
+    }
+
+    #[test]
+    fn pool_construction_clamps_and_reads_env() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::sequential().threads(), 1);
+        assert!(Pool::from_env().threads() >= 1);
+        assert!(Pool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn for_items_gates_small_workloads() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.for_items(SEQUENTIAL_CUTOFF - 1).threads(), 1);
+        assert_eq!(pool.for_items(SEQUENTIAL_CUTOFF).threads(), 8);
+    }
+
+    #[test]
+    fn partition_by_weight_balances_skewed_groups() {
+        // Group sizes 1, 1, 98, 1, 1 over 102 items: the heavy group must
+        // not drag every light group into one part.
+        let bounds = vec![0, 1, 2, 100, 101];
+        let parts = partition_by_weight(&bounds, 102, 3);
+        assert_eq!(parts.iter().map(|r| r.len()).sum::<usize>(), bounds.len());
+        assert_eq!(parts[0].start, 0);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+        }
+        assert!(parts.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn partition_by_weight_degenerate_inputs() {
+        assert!(partition_by_weight(&[], 0, 4).is_empty());
+        assert_eq!(partition_by_weight(&[0], 5, 4), vec![0..1]);
+        // More parts than groups: one group per part.
+        let parts = partition_by_weight(&[0, 2, 4], 6, 16);
+        assert_eq!(parts, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn sorted_permutation_matches_sequential_stable_sort() {
+        // Keys with many duplicates so stability is observable.
+        let keys: Vec<u32> = (0..1000).map(|i| (i * 37 + 11) % 10).collect();
+        let compare = |a: u32, b: u32| keys[a as usize].cmp(&keys[b as usize]);
+        let mut expected: Vec<u32> = (0..keys.len() as u32).collect();
+        expected.sort_by(|&a, &b| compare(a, b));
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = Pool::new(threads);
+            let got = sorted_permutation_by(keys.len(), &pool, compare);
+            assert_eq!(got, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn sorted_permutation_tiny_inputs() {
+        let pool = Pool::new(4);
+        assert!(sorted_permutation_by(0, &pool, |_, _| std::cmp::Ordering::Equal).is_empty());
+        assert_eq!(
+            sorted_permutation_by(1, &pool, |_, _| std::cmp::Ordering::Equal),
+            vec![0]
+        );
+    }
+}

@@ -11,9 +11,10 @@
 
 use std::collections::BTreeSet;
 
-use pdb_conf::multi_scan::apply_pre_aggregation;
+use pdb_conf::multi_scan::apply_pre_aggregation_with;
 use pdb_conf::{ConfidenceOperator, ConfidenceResult, Strategy};
 use pdb_exec::{ops, Annotated};
+use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, Signature};
 use pdb_storage::Catalog;
@@ -28,6 +29,7 @@ pub struct HybridPlan {
     join_order: Vec<String>,
     pushed: BTreeSet<String>,
     top_signature: Signature,
+    pool: Pool,
 }
 
 impl HybridPlan {
@@ -63,7 +65,15 @@ impl HybridPlan {
             join_order,
             pushed,
             top_signature,
+            pool: Pool::from_env(),
         })
+    }
+
+    /// Sets the worker pool the pushed-down aggregations and the top-level
+    /// confidence operator fan out on (the default is [`Pool::from_env`]).
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The relations whose aggregation is pushed below the joins.
@@ -82,7 +92,7 @@ impl HybridPlan {
     /// Fails on execution or confidence-computation errors.
     pub fn execute(&self, catalog: &Catalog) -> PlanResult<ConfidenceResult> {
         let answer = self.answer_tuples(catalog)?;
-        let operator = ConfidenceOperator::new(self.top_signature.clone());
+        let operator = ConfidenceOperator::with_pool(self.top_signature.clone(), self.pool);
         operator
             .compute(&answer, Strategy::Auto)
             .map_err(PlanError::from)
@@ -136,7 +146,7 @@ impl HybridPlan {
                 // projected tuple, carrying a representative variable and the
                 // group's probability.
                 let step_sig = Signature::star(Signature::table(rel_name.clone()));
-                scanned = apply_pre_aggregation(&scanned, &step_sig)?;
+                scanned = apply_pre_aggregation_with(&scanned, &step_sig, &self.pool)?;
             }
 
             current = Some(match current {

@@ -4,6 +4,7 @@
 
 use pdb_conf::{ConfidenceOperator, ConfidenceResult, Strategy};
 use pdb_exec::{evaluate_join_order, Annotated};
+use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, Signature};
 use pdb_storage::Catalog;
@@ -17,6 +18,7 @@ pub struct LazyPlan {
     query: ConjunctiveQuery,
     join_order: Vec<String>,
     signature: Signature,
+    pool: Pool,
 }
 
 impl LazyPlan {
@@ -37,7 +39,16 @@ impl LazyPlan {
             query: query.clone(),
             join_order,
             signature,
+            pool: Pool::from_env(),
         })
+    }
+
+    /// Sets the worker pool the top-level confidence operator fans out on
+    /// (the default is [`Pool::from_env`]). Confidences are identical at
+    /// every pool size.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The join order the plan uses.
@@ -78,7 +89,7 @@ impl LazyPlan {
     /// # Errors
     /// Fails on confidence-computation errors.
     pub fn confidences(&self, answer: &Annotated) -> PlanResult<ConfidenceResult> {
-        let operator = ConfidenceOperator::new(self.signature.clone());
+        let operator = ConfidenceOperator::with_pool(self.signature.clone(), self.pool);
         operator
             .compute(answer, Strategy::Auto)
             .map_err(PlanError::from)
