@@ -1,0 +1,320 @@
+//! PR 3 regression benchmark: intra-bag parallel confidence computation.
+//!
+//! The workloads are exactly the shapes PR 2's bag-level fan-out could not
+//! parallelise — answers that collapse into one (Boolean) or a handful
+//! (low-distinct projection) of huge bags:
+//!
+//! 1. **`boolean`** — the Boolean query `R(a) ⋈ S(a,b) ⋈ T(a,b,c)`: the
+//!    whole answer is a single bag with a branching 1scanTree.
+//! 2. **`low_distinct`** — the same join projected onto `a`, with only a
+//!    few distinct `a` values: a handful of huge bags.
+//!
+//! For each workload the streaming one-scan engine runs at 1/2/4/8 worker
+//! threads with the intra-bag split engaged (root-level partition splitting,
+//! `independent_or` merge) and, as the control, with splitting disabled
+//! (`SplitPolicy::never()`, the PR-2 behavior). The acceptance criteria:
+//!
+//! * the split path's confidences are **identical** to the unsplit path —
+//!   max |Δp| = 0, bit for bit — at every thread count, and
+//! * the retained seed recursive engine (`pdb_conf::baseline`) still
+//!   compiles and agrees within 1e-9.
+//!
+//! Run with `cargo run --release -p sprout-bench --bin bench_pr3`; pass
+//! `--smoke` for a seconds-long CI-sized run (tiny tables, split threshold
+//! forced low so the split machinery is still exercised). Set
+//! `SPROUT_BENCH_OUT` to change the output path (default `BENCH_PR3.json`,
+//! or `target/BENCH_PR3.smoke.json` under `--smoke`).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::Criterion;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pdb_conf::baseline::one_scan_confidences_recursive;
+use pdb_conf::one_scan::{one_scan_confidences_tuned, SplitPolicy};
+use pdb_conf::Pool;
+use pdb_exec::{evaluate_join_order, Annotated};
+use pdb_query::reduct::query_signature;
+use pdb_query::{ConjunctiveQuery, FdSet, Signature};
+use pdb_storage::{tuple, Catalog, DataType, ProbTable, Schema, Variable};
+
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Sizes {
+    groups: i64,
+    per_group: i64,
+    per_pair: i64,
+    split_policy: SplitPolicy,
+    samples: usize,
+    measure_secs: u64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes = if smoke {
+        Sizes {
+            groups: 2,
+            per_group: 16,
+            per_pair: 8,
+            // 256-row bags: force the split so the machinery is exercised.
+            split_policy: SplitPolicy::at(32),
+            samples: 2,
+            measure_secs: 1,
+        }
+    } else {
+        Sizes {
+            groups: 4,
+            per_group: 250,
+            per_pair: 50,
+            split_policy: SplitPolicy::default(),
+            samples: 5,
+            measure_secs: 5,
+        }
+    };
+    let out_path = std::env::var("SPROUT_BENCH_OUT").unwrap_or_else(|_| {
+        if smoke {
+            "target/BENCH_PR3.smoke.json".to_string()
+        } else {
+            "BENCH_PR3.json".to_string()
+        }
+    });
+
+    let catalog = build_catalog(&sizes);
+    let mut rows_out = Vec::new();
+    for (name, boolean) in [("boolean", true), ("low_distinct", false)] {
+        run_workload(name, boolean, &catalog, &sizes, &mut rows_out);
+    }
+
+    let json = render_json(smoke, &rows_out);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+
+    let max_split_diff = rows_out
+        .iter()
+        .map(|r: &WorkloadRow| r.max_abs_diff_split_vs_unsplit)
+        .fold(0.0f64, f64::max);
+    assert_eq!(
+        max_split_diff, 0.0,
+        "split path diverged from the unsplit path"
+    );
+    eprintln!("split vs unsplit max |Δp| = {max_split_diff:.1e} (must be 0)");
+}
+
+/// `R(a) ⋈ S(a,b) ⋈ T(a,b,c)` with deterministic pseudo-random
+/// probabilities; `groups` distinct `a` values, so the join emits
+/// `groups · per_group · per_pair` rows in `groups` low-distinct bags (one
+/// bag when Boolean).
+fn build_catalog(sizes: &Sizes) -> Catalog {
+    let mut var = 0u64;
+    let mut rng = SmallRng::seed_from_u64(0x5eed_5eed);
+    let mut prob = move || 0.02 + 0.9 * ((rng.next_u64() % 1000) as f64) / 1000.0;
+    let catalog = Catalog::new();
+    let mut r = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int)]).unwrap());
+    let mut s =
+        ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap());
+    let mut t = ProbTable::new(
+        Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Int),
+        ])
+        .unwrap(),
+    );
+    for a in 0..sizes.groups {
+        var += 1;
+        r.insert(tuple![a], Variable(var), prob()).unwrap();
+        for b in 0..sizes.per_group {
+            var += 1;
+            s.insert(tuple![a, b], Variable(var), prob()).unwrap();
+            for c in 0..sizes.per_pair {
+                var += 1;
+                t.insert(tuple![a, b, c], Variable(var), prob()).unwrap();
+            }
+        }
+    }
+    catalog.register_table("R", r).unwrap();
+    catalog.register_table("S", s).unwrap();
+    catalog.register_table("T", t).unwrap();
+    catalog
+}
+
+struct WorkloadRow {
+    workload: String,
+    rows: usize,
+    bags: usize,
+    /// Split-engine seconds at [`SCALING_THREADS`] workers.
+    split_s: [f64; SCALING_THREADS.len()],
+    /// Unsplit control (`SplitPolicy::never()`) at the same worker counts.
+    unsplit_s: [f64; SCALING_THREADS.len()],
+    seed_recursive_s: f64,
+    max_abs_diff_split_vs_unsplit: f64,
+    max_abs_diff_vs_seed: f64,
+}
+
+fn run_workload(
+    name: &str,
+    boolean: bool,
+    catalog: &Catalog,
+    sizes: &Sizes,
+    out: &mut Vec<WorkloadRow>,
+) {
+    let head: &[&str] = if boolean { &[] } else { &["a"] };
+    let q = ConjunctiveQuery::build(
+        &[("R", &["a"]), ("S", &["a", "b"]), ("T", &["a", "b", "c"])],
+        head,
+        vec![],
+    )
+    .unwrap();
+    let order: Vec<String> = ["R", "S", "T"].iter().map(|s| s.to_string()).collect();
+    let answer: Annotated = evaluate_join_order(&q, catalog, &order).expect("answer tuples");
+    let sig: Signature = query_signature(&q, &FdSet::empty()).expect("signature");
+    assert!(sig.is_one_scan(), "workload {name} must be 1scan");
+    let rows = answer.len();
+
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group(format!("pr3_{name}"));
+    group
+        .sample_size(sizes.samples)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_secs(sizes.measure_secs));
+    for &threads in &SCALING_THREADS {
+        let pool = Pool::new(threads);
+        group.bench_function(format!("split_t{threads}"), |b| {
+            b.iter(|| {
+                one_scan_confidences_tuned(&answer, &sig, &pool, sizes.split_policy)
+                    .expect("split scan")
+                    .len()
+            })
+        });
+        group.bench_function(format!("unsplit_t{threads}"), |b| {
+            b.iter(|| {
+                one_scan_confidences_tuned(&answer, &sig, &pool, SplitPolicy::never())
+                    .expect("unsplit scan")
+                    .len()
+            })
+        });
+    }
+    group.bench_function("seed_recursive", |b| {
+        b.iter(|| {
+            one_scan_confidences_recursive(&answer, &sig)
+                .expect("seed scan")
+                .len()
+        })
+    });
+    group.finish();
+
+    let secs = |id: &str| {
+        criterion
+            .results
+            .iter()
+            .find(|(n, _)| n == &format!("pr3_{name}/{id}"))
+            .map(|(_, s)| s.mean.as_secs_f64())
+            .expect("benchmark id was measured")
+    };
+    let mut split_s = [0.0; SCALING_THREADS.len()];
+    let mut unsplit_s = [0.0; SCALING_THREADS.len()];
+    for (i, &t) in SCALING_THREADS.iter().enumerate() {
+        split_s[i] = secs(&format!("split_t{t}"));
+        unsplit_s[i] = secs(&format!("unsplit_t{t}"));
+    }
+    let seed_recursive_s = secs("seed_recursive");
+
+    // Cross-checks: split vs unsplit must be *identical* (max |Δp| = 0) at
+    // every thread count; the seed recursive engine must agree to 1e-9.
+    let reference =
+        one_scan_confidences_tuned(&answer, &sig, &Pool::sequential(), SplitPolicy::never())
+            .expect("reference scan");
+    let bags = reference.len();
+    let mut max_split_diff = 0.0f64;
+    for &threads in &SCALING_THREADS {
+        let split =
+            one_scan_confidences_tuned(&answer, &sig, &Pool::new(threads), sizes.split_policy)
+                .expect("split scan");
+        assert_eq!(split.len(), reference.len(), "{name} at {threads} threads");
+        for ((t1, p1), (t2, p2)) in split.iter().zip(reference.iter()) {
+            assert_eq!(t1, t2, "{name} at {threads} threads");
+            max_split_diff = max_split_diff.max((p1 - p2).abs());
+        }
+    }
+    let seed = one_scan_confidences_recursive(&answer, &sig).expect("seed scan");
+    let mut max_seed_diff = 0.0f64;
+    for ((t1, p1), (t2, p2)) in seed.iter().zip(reference.iter()) {
+        assert_eq!(t1, t2, "{name}: seed tuple order");
+        max_seed_diff = max_seed_diff.max((p1 - p2).abs());
+    }
+    assert!(
+        max_seed_diff < 1e-9,
+        "{name}: seed engine diverged by {max_seed_diff}"
+    );
+
+    eprintln!(
+        "  {name}: {rows} rows, {bags} bag(s); split t1 {:.4}s vs unsplit t1 {:.4}s; split Δp = {max_split_diff:.1e}",
+        split_s[0], unsplit_s[0]
+    );
+    out.push(WorkloadRow {
+        workload: name.to_string(),
+        rows,
+        bags,
+        split_s,
+        unsplit_s,
+        seed_recursive_s,
+        max_abs_diff_split_vs_unsplit: max_split_diff,
+        max_abs_diff_vs_seed: max_seed_diff,
+    });
+}
+
+fn render_json(smoke: bool, rows: &[WorkloadRow]) -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"pr\": 3,\n");
+    s.push_str(
+        "  \"description\": \"Intra-bag parallel confidence: Boolean / low-distinct workloads (one or a few huge bags) through the one-scan engine with root-level partition splitting + independent_or merge (split) vs. bag-level fan-out only (unsplit, PR-2 behavior), at 1/2/4/8 worker threads, plus the retained seed recursive engine\",\n",
+    );
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"harness\": \"criterion (offline shim), mean over samples\",\n");
+    let _ = writeln!(s, "  \"target\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(s, "  \"available_parallelism\": {parallelism},");
+    s.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"workload\": \"{}\", \"answer_rows\": {}, \"bags\": {}",
+            r.workload, r.rows, r.bags
+        );
+        for (t, secs) in SCALING_THREADS.iter().zip(&r.split_s) {
+            let _ = write!(s, ", \"split_t{t}_s\": {secs:.6}");
+        }
+        for (t, secs) in SCALING_THREADS.iter().zip(&r.unsplit_s) {
+            let _ = write!(s, ", \"unsplit_t{t}_s\": {secs:.6}");
+        }
+        let _ = write!(
+            s,
+            ", \"seed_recursive_s\": {:.6}, \"max_abs_diff_split_vs_unsplit\": {:.1e}, \"max_abs_diff_vs_seed\": {:.3e}}}",
+            r.seed_recursive_s, r.max_abs_diff_split_vs_unsplit, r.max_abs_diff_vs_seed
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let max_split = rows
+        .iter()
+        .map(|r| r.max_abs_diff_split_vs_unsplit)
+        .fold(0.0f64, f64::max);
+    let max_seed = rows
+        .iter()
+        .map(|r| r.max_abs_diff_vs_seed)
+        .fold(0.0f64, f64::max);
+    let _ = writeln!(
+        s,
+        "  \"summary\": {{\"max_abs_diff_split_vs_unsplit\": {max_split:.1e}, \"acceptance_split_diff\": 0.0, \"max_abs_diff_vs_seed\": {max_seed:.3e}}}"
+    );
+    s.push_str("}\n");
+    s
+}

@@ -163,7 +163,9 @@ pub fn one_scan_confidences_recursive(
                 .map_err(|_| ConfError::MissingLineage(r.clone()))
         })
         .collect::<ConfResult<_>>()?;
-    let keys = answer.sort_keys(&col_idx, &rel_idx);
+    // The baseline is the A/B control: its key build stays sequential even
+    // now that `Annotated::sort_keys` defaults to the worker pool.
+    let keys = answer.sort_keys_with(&col_idx, &rel_idx, &pdb_par::Pool::sequential());
     let order =
         pdb_par::sorted_permutation_by(answer.len(), &pdb_par::Pool::sequential(), |a, b| {
             keys.row(a as usize).cmp(keys.row(b as usize))

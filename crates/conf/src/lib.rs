@@ -26,10 +26,15 @@
 //!
 //! Since PR 2 the one-scan and multi-scan paths run on a flat, iterative,
 //! allocation-free Fig. 8 machine and fan out across bags of duplicate
-//! answer tuples on a [`pdb_par::Pool`] of scoped threads — with per-bag
-//! evaluation kept sequential and merge order fixed, results are
-//! bitwise-identical at every thread count. The pre-PR-2 recursive engine is
-//! retained in [`baseline`] for A/B benchmarking.
+//! answer tuples on a [`pdb_par::Pool`] of scoped threads. Since PR 3 a
+//! single huge bag — the Boolean / low-distinct-value shape, where bag-level
+//! fan-out degenerates to one worker — is split *internally* at
+//! root-variable boundaries and its per-partition partials are folded back
+//! with a fixed-shape `independent_or` reduction ([`one_scan::SplitPolicy`]).
+//! Both levels of parallelism are deterministic: results are
+//! bitwise-identical at every thread count and for every split policy. The
+//! pre-PR-2 recursive engine is retained in [`baseline`] for A/B
+//! benchmarking.
 
 pub mod baseline;
 pub mod brute;
@@ -40,5 +45,6 @@ pub mod one_scan;
 pub mod operator;
 
 pub use error::{ConfError, ConfResult};
+pub use one_scan::{SplitPolicy, INTRA_BAG_SPLIT_THRESHOLD};
 pub use operator::{ConfidenceOperator, ConfidenceResult, Strategy};
 pub use pdb_par::Pool;

@@ -19,18 +19,25 @@
 //! per-group probability comes from the flat iterative Fig. 8 machine, and
 //! contiguous group ranges fan out across the worker pool (groups are
 //! independent, and chunk outputs concatenate in group order, so results are
-//! identical at every thread count).
+//! identical at every thread count). Since PR 3 a *single huge group* — the
+//! Boolean / low-distinct shape, where group-level fan-out degenerates to
+//! one worker — is split further at the boundaries of its step-root
+//! variable, reusing the intra-bag split machinery of [`crate::one_scan`]
+//! ([`SplitPolicy`], bitwise-identical results at every thread count).
 
 use std::collections::BTreeSet;
 
 use pdb_exec::key::CELL_WIDTH;
 use pdb_exec::{Annotated, RowRef};
-use pdb_par::{partition_by_weight, Pool};
+use pdb_par::Pool;
 use pdb_query::{OneScanTree, Signature};
 use pdb_storage::{Tuple, Variable};
 
 use crate::error::ConfResult;
-use crate::one_scan::{one_scan_confidences_with, FlatScan};
+use crate::one_scan::{
+    one_scan_confidences_tuned, run_chunks, split_bag_confidence, split_segments, FlatScan,
+    ScanSegment, SplitPolicy,
+};
 
 /// Computes `(distinct answer tuple, confidence)` pairs for an arbitrary
 /// signature by scheduling `scan_count()` scans, using the default worker
@@ -55,6 +62,21 @@ pub fn multi_scan_confidences_with(
     signature: &Signature,
     pool: &Pool,
 ) -> ConfResult<Vec<(Tuple, f64)>> {
+    multi_scan_confidences_tuned(answer, signature, pool, SplitPolicy::default())
+}
+
+/// [`multi_scan_confidences_with`] with an explicit intra-bag
+/// [`SplitPolicy`], applied to every pre-aggregation pass and the final
+/// scan. Results are bitwise-identical for every pool size and policy.
+///
+/// # Errors
+/// Fails if the signature references relations missing from the answer.
+pub fn multi_scan_confidences_tuned(
+    answer: &Annotated,
+    signature: &Signature,
+    pool: &Pool,
+    policy: SplitPolicy,
+) -> ConfResult<Vec<(Tuple, f64)>> {
     if answer.is_empty() {
         return Ok(Vec::new());
     }
@@ -62,10 +84,10 @@ pub fn multi_scan_confidences_with(
     let mut current: Option<Annotated> = None;
     for step in &schedule.pre_aggregations {
         let input = current.as_ref().unwrap_or(answer);
-        current = Some(apply_pre_aggregation_with(input, step, pool)?);
+        current = Some(apply_pre_aggregation_tuned(input, step, pool, policy)?);
     }
     let input = current.as_ref().unwrap_or(answer);
-    one_scan_confidences_with(input, &schedule.final_signature, pool)
+    one_scan_confidences_tuned(input, &schedule.final_signature, pool, policy)
 }
 
 /// Executes one pre-aggregation `[step]` with the default worker pool; see
@@ -89,6 +111,25 @@ pub fn apply_pre_aggregation_with(
     input: &Annotated,
     step: &Signature,
     pool: &Pool,
+) -> ConfResult<Annotated> {
+    apply_pre_aggregation_tuned(input, step, pool, SplitPolicy::default())
+}
+
+/// [`apply_pre_aggregation_with`] with an explicit intra-bag
+/// [`SplitPolicy`]: a group at or above the policy's row threshold is split
+/// at the boundaries of the step root's variable and scanned by several
+/// workers, with the per-partition partials folded back deterministically
+/// (see [`crate::one_scan`]) — so a pre-aggregation whose input collapses
+/// into one giant group still scales with cores. The output is
+/// bitwise-identical for every pool size and policy.
+///
+/// # Errors
+/// Fails if the step references relations missing from the input.
+pub fn apply_pre_aggregation_tuned(
+    input: &Annotated,
+    step: &Signature,
+    pool: &Pool,
+    policy: SplitPolicy,
 ) -> ConfResult<Annotated> {
     let step_tables: BTreeSet<String> = step.tables().into_iter().collect();
     let leftmost = step.leftmost_table().to_string();
@@ -116,7 +157,7 @@ pub fn apply_pre_aggregation_with(
     let col_idx: Vec<usize> = (0..input.data_width()).collect();
     let mut rel_idx = other_cols.clone();
     rel_idx.extend(machine.preorder_cols().iter().map(|&c| c as usize));
-    let keys = input.sort_keys(&col_idx, &rel_idx);
+    let keys = input.sort_keys_with(&col_idx, &rel_idx, pool);
     let order = keys.sorted_permutation_with(input.len(), pool);
     let group_words = col_idx.len() * CELL_WIDTH + other_cols.len();
     let mut group_starts = Vec::new();
@@ -142,54 +183,121 @@ pub fn apply_pre_aggregation_with(
         .map(|r| input.relation_index(r))
         .collect::<Result<_, _>>()?;
 
-    // Fan contiguous group ranges out across the pool; each worker collapses
-    // its groups into a private output relation and the chunks concatenate in
-    // group order.
-    let chunks = partition_by_weight(&group_starts, order.len(), pool.threads());
-    let mut chunk_outputs: Vec<Annotated> = pool.map_ranges(&chunks, |groups| {
-        let mut machine = machine.clone();
-        let mut out = Annotated::with_row_capacity(
-            input.schema().clone(),
-            kept_relations.clone(),
-            groups.len(),
-        );
-        let mut lineage_scratch: Vec<(Variable, f64)> = Vec::with_capacity(kept_cols.len());
-        for g in groups {
-            let start = group_starts[g];
-            let end = group_starts.get(g + 1).copied().unwrap_or(order.len());
-            let rows = &order[start..end];
-            // The whole group is a single bag for the step's machine.
-            let prob = machine.scan_bag(input, rows);
-            let representative: Variable = rows
-                .iter()
-                .map(|&r| input.row(r as usize).lineage[leftmost_col].0)
-                .min()
-                .expect("group is non-empty");
-            let exemplar: RowRef<'_> = input.row(rows[0] as usize);
-            lineage_scratch.clear();
-            lineage_scratch.extend(kept_cols.iter().map(|&c| {
-                if c == leftmost_col {
-                    (representative, prob)
-                } else {
-                    exemplar.lineage[c]
-                }
-            }));
-            out.push_row(exemplar.data, &lineage_scratch);
-        }
-        out
-    });
+    let n = group_starts.len();
+    let group_rows = |g: usize| -> &[u32] {
+        &order[group_starts[g]..group_starts.get(g + 1).copied().unwrap_or(order.len())]
+    };
+    // Fans a contiguous group run out across the pool; each worker collapses
+    // its groups into a private output relation and the chunks concatenate
+    // in group order.
+    let collapse_run = |run: std::ops::Range<usize>| -> Vec<Annotated> {
+        let lo = run.start;
+        let chunks = run_chunks(&group_starts, order.len(), &run, pool);
+        pool.map_ranges(&chunks, |groups| {
+            let mut machine = machine.clone();
+            let mut out = Annotated::with_row_capacity(
+                input.schema().clone(),
+                kept_relations.clone(),
+                groups.len(),
+            );
+            let mut lineage_scratch: Vec<(Variable, f64)> = Vec::with_capacity(kept_cols.len());
+            for g in groups {
+                let rows = group_rows(lo + g);
+                // The whole group is a single bag for the step's machine.
+                let prob = machine.scan_bag(input, rows);
+                push_collapsed(
+                    &mut out,
+                    input,
+                    rows,
+                    prob,
+                    leftmost_col,
+                    &kept_cols,
+                    &mut lineage_scratch,
+                );
+            }
+            out
+        })
+    };
 
-    if chunk_outputs.len() == 1 {
-        return Ok(chunk_outputs.pop().expect("one chunk"));
+    // Runs of ordinary groups fan out group-wise; huge groups split
+    // internally at the step root's variable boundaries ([`split_segments`]
+    // decides, and makes the whole list one run when nothing is huge or the
+    // pool is sequential). Output rows stay in group order either way.
+    let segments = split_segments(n, |g| group_rows(g).len(), pool, policy);
+    // The common case — no huge group, whole list one run — additionally
+    // gets a zero-copy return when the pool produced a single output chunk.
+    let mut whole_list_chunks: Option<Vec<Annotated>> = None;
+    if let [ScanSegment::Run(run)] = &segments[..] {
+        let mut chunk_outputs = collapse_run(run.clone());
+        if chunk_outputs.len() == 1 {
+            return Ok(chunk_outputs.pop().expect("one chunk"));
+        }
+        whole_list_chunks = Some(chunk_outputs);
     }
-    let total: usize = chunk_outputs.iter().map(Annotated::len).sum();
-    let mut out = Annotated::with_row_capacity(input.schema().clone(), kept_relations, total);
-    for chunk in &chunk_outputs {
-        for row in chunk.iter() {
-            out.push_row(row.data, row.lineage);
+
+    // One row per group either way.
+    let mut out = Annotated::with_row_capacity(input.schema().clone(), kept_relations.clone(), n);
+    let append_chunks = |out: &mut Annotated, chunks: &[Annotated]| {
+        for chunk in chunks {
+            for row in chunk.iter() {
+                out.push_row(row.data, row.lineage);
+            }
+        }
+    };
+    if let Some(chunks) = whole_list_chunks {
+        append_chunks(&mut out, &chunks);
+        return Ok(out);
+    }
+    let mut lineage_scratch: Vec<(Variable, f64)> = Vec::with_capacity(kept_cols.len());
+    for segment in segments {
+        match segment {
+            ScanSegment::Huge(g) => {
+                let rows = group_rows(g);
+                let prob = split_bag_confidence(&machine, input, rows, pool);
+                push_collapsed(
+                    &mut out,
+                    input,
+                    rows,
+                    prob,
+                    leftmost_col,
+                    &kept_cols,
+                    &mut lineage_scratch,
+                );
+            }
+            ScanSegment::Run(run) => append_chunks(&mut out, &collapse_run(run)),
         }
     }
     Ok(out)
+}
+
+/// Appends the collapsed row of one pre-aggregation group: the exemplar's
+/// data and lineage, with the step's leftmost table carrying the group's
+/// representative variable (the minimum, Fig. 5's `min(V)`) and aggregated
+/// probability.
+fn push_collapsed(
+    out: &mut Annotated,
+    input: &Annotated,
+    rows: &[u32],
+    prob: f64,
+    leftmost_col: usize,
+    kept_cols: &[usize],
+    lineage_scratch: &mut Vec<(Variable, f64)>,
+) {
+    let representative: Variable = rows
+        .iter()
+        .map(|&r| input.row(r as usize).lineage[leftmost_col].0)
+        .min()
+        .expect("group is non-empty");
+    let exemplar: RowRef<'_> = input.row(rows[0] as usize);
+    lineage_scratch.clear();
+    lineage_scratch.extend(kept_cols.iter().map(|&c| {
+        if c == leftmost_col {
+            (representative, prob)
+        } else {
+            exemplar.lineage[c]
+        }
+    }));
+    out.push_row(exemplar.data, lineage_scratch);
 }
 
 #[cfg(test)]

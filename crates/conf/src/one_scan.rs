@@ -26,22 +26,84 @@
 //! words instead of a second copy of the arenas. Consecutive rows of the
 //! same distinct answer tuple form a *bag*; bags are independent, so the
 //! permutation is partitioned at bag boundaries and fanned out across a
-//! [`pdb_par::Pool`] of scoped threads. Every bag is evaluated sequentially
-//! by exactly one worker and the per-bag results are concatenated in bag
-//! order, so the output is bitwise-identical at every thread count.
+//! [`pdb_par::Pool`] of scoped threads.
+//!
+//! # Intra-bag splitting (PR 3)
+//!
+//! Bag-level fan-out cannot help the workloads Fig. 8 is built for: a
+//! Boolean query — or a low-distinct-value projection — produces one (or a
+//! handful of) huge bag(s), and a bag used to be evaluated by exactly one
+//! worker. A bag *can* be split further, though: the root of the 1scanTree
+//! combines its partitions (runs of one root variable) with an independent
+//! `⊗` — the `allP ← 1 − (1 − crtP)(1 − allP)` fold — so the sorted row
+//! range of a huge bag is cut at **root-variable boundaries** into
+//! weight-balanced sub-ranges ([`pdb_par::partition_by_weight`]), each
+//! sub-range is scanned by its own worker with the machine *yielding* the
+//! root's per-partition fold inputs instead of folding them
+//! ([`FlatScan::scan_bag_partials`]), and the driver replays the fold over
+//! the concatenated partials with [`pdb_par::independent_or`] in partition
+//! order. The reduction shape depends only on the data (one leaf per root
+//! partition, folded left-deep), never on the worker count, and every fold
+//! step is the exact f64 expression the sequential machine executes — so
+//! the split result is **bitwise-identical** to the unsplit scan and to
+//! itself at every `SPROUT_THREADS` value. [`SplitPolicy`] sets the row
+//! threshold (default [`INTRA_BAG_SPLIT_THRESHOLD`]); a bag whose rows all
+//! share one root variable has no boundary to cut at and falls back to the
+//! sequential scan.
 //!
 //! The pre-PR-2 recursive implementation is retained in [`crate::baseline`]
 //! for A/B benchmarking and regression tests.
 
 use pdb_exec::key::CELL_WIDTH;
 use pdb_exec::{Annotated, RowRef};
-use pdb_par::{partition_by_weight, Pool};
+use pdb_par::{independent_or, independent_or_fold, partition_by_weight, Pool};
 use pdb_query::{OneScanTree, Signature};
 use pdb_storage::{Tuple, Variable};
 
 use crate::error::{ConfError, ConfResult};
 
 const NIL: u32 = u32::MAX;
+
+/// Default minimum number of rows in a single bag before the intra-bag
+/// split engages. Matches [`pdb_par::SEQUENTIAL_CUTOFF`]: below it a bag is
+/// too small for fan-out bookkeeping to pay off.
+pub const INTRA_BAG_SPLIT_THRESHOLD: usize = pdb_par::SEQUENTIAL_CUTOFF;
+
+/// Tuning knob for intra-bag parallelism: how many rows a single bag of
+/// duplicate answer tuples must have before its sorted row range is split
+/// at root-variable boundaries and fanned out across the pool.
+///
+/// The policy is a pure performance knob — confidences are bitwise-identical
+/// whether or not a bag is split, and at every thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitPolicy {
+    /// Minimum rows in one bag before splitting engages.
+    pub min_rows: usize,
+}
+
+impl SplitPolicy {
+    /// Splits bags of at least `min_rows` rows (benchmarks and tests use
+    /// small values to exercise the split on tiny inputs).
+    pub fn at(min_rows: usize) -> SplitPolicy {
+        SplitPolicy { min_rows }
+    }
+
+    /// Never splits a bag: every bag is scanned sequentially by one worker
+    /// (the pre-PR-3 behavior). Useful as the A/B control.
+    pub fn never() -> SplitPolicy {
+        SplitPolicy {
+            min_rows: usize::MAX,
+        }
+    }
+}
+
+impl Default for SplitPolicy {
+    fn default() -> Self {
+        SplitPolicy {
+            min_rows: INTRA_BAG_SPLIT_THRESHOLD,
+        }
+    }
+}
 
 /// The run-time 1scanTree, flattened into preorder parallel arrays.
 ///
@@ -146,6 +208,17 @@ impl FlatScan {
         None
     }
 
+    /// Whether the 1scanTree's root has no children (e.g. signature `R*`).
+    ///
+    /// A leaf root accumulates its variables directly into `crtP` (one
+    /// partition for the whole bag), so the split driver replays a
+    /// *per-variable* fold plus the final `flush` step; an internal root
+    /// accumulates closed partitions into `allP`, a per-partition fold.
+    #[inline]
+    pub(crate) fn root_is_leaf(&self) -> bool {
+        self.first_child[0] == NIL
+    }
+
     /// The `propagate prob` procedure of Fig. 8 for a row whose leftmost
     /// changed variable column (in preorder positions) is `i`.
     ///
@@ -156,6 +229,29 @@ impl FlatScan {
     /// are skipped wholesale instead of being visited and ignored.
     #[inline]
     fn propagate(&mut self, i: usize, lineage: &[(Variable, f64)]) {
+        // `Vec::new()` never allocates; the `false` instantiation compiles
+        // the yield branches away entirely, leaving the PR-2 hot path.
+        self.propagate_impl::<false>(i, lineage, &mut Vec::new());
+    }
+
+    /// [`FlatScan::propagate`], monomorphized over whether the **root**'s
+    /// fold inputs are yielded to `partials` instead of being folded.
+    ///
+    /// With `YIELD_ROOT`, the values the sequential machine would combine at
+    /// the root — each closed partition's `crtP · ∏ children allP` for an
+    /// internal root, each new variable's probability for a leaf root — are
+    /// pushed to `partials` in scan order and the root accumulator is left
+    /// untouched. The intra-bag split driver replays the fold over the
+    /// concatenated partials of all sub-ranges, reproducing the unsplit
+    /// result bitwise. Every non-root node behaves identically in both
+    /// instantiations.
+    #[inline]
+    fn propagate_impl<const YIELD_ROOT: bool>(
+        &mut self,
+        i: usize,
+        lineage: &[(Variable, f64)],
+        partials: &mut Vec<f64>,
+    ) {
         for node in (i..self.len()).rev() {
             if !self.enabled[node] {
                 continue;
@@ -163,9 +259,17 @@ impl FlatScan {
             let row_prob = lineage[self.lineage_col[node] as usize].1;
             let first = self.first_child[node];
             if first == NIL && node == i {
+                if YIELD_ROOT && node == 0 {
+                    // Leaf root: yield the raw fold input of
+                    // `crtP ← 1 − (1 − crtP)(1 − p)`; the driver replays it.
+                    partials.push(row_prob);
+                    continue;
+                }
                 // A new variable extends the current partition of this leaf.
+                // The shared `independent_or` keeps this the exact f64
+                // expression the split driver replays.
                 let crt = self.crt_p[node];
-                self.crt_p[node] = 1.0 - (1.0 - crt) * (1.0 - row_prob);
+                self.crt_p[node] = independent_or(row_prob, crt);
                 continue;
             }
             // Close the current partition: fold the children's accumulated
@@ -176,8 +280,14 @@ impl FlatScan {
                 crt *= self.all_p[c as usize];
                 c = self.next_sibling[c as usize];
             }
-            let all = self.all_p[node];
-            self.all_p[node] = 1.0 - (1.0 - crt) * (1.0 - all);
+            if YIELD_ROOT && node == 0 {
+                // Internal root: yield the closed partition instead of
+                // folding it into `allP`.
+                partials.push(crt);
+            } else {
+                let all = self.all_p[node];
+                self.all_p[node] = independent_or(crt, all);
+            }
             let descendants = node + 1..self.subtree_end[node] as usize;
             if node == i {
                 // A new partition of this node starts: re-seed it and all its
@@ -203,6 +313,16 @@ impl FlatScan {
     /// probability of the bag (the root's `allP`).
     #[inline]
     fn flush(&mut self) -> f64 {
+        self.flush_impl::<false>(&mut Vec::new())
+    }
+
+    /// [`FlatScan::flush`], monomorphized like
+    /// [`FlatScan::propagate_impl`]: with `YIELD_ROOT` the root's last open
+    /// partition is pushed to `partials` (internal root) or left to the
+    /// driver's replay (leaf root, whose per-variable inputs were already
+    /// yielded) and the return value is meaningless.
+    #[inline]
+    fn flush_impl<const YIELD_ROOT: bool>(&mut self, partials: &mut Vec<f64>) -> f64 {
         for node in (0..self.len()).rev() {
             // Disabling cascades to whole subtrees, so skipping a disabled
             // node skips nothing the recursion would have updated.
@@ -215,8 +335,14 @@ impl FlatScan {
                 crt *= self.all_p[c as usize];
                 c = self.next_sibling[c as usize];
             }
+            if YIELD_ROOT && node == 0 {
+                if !self.root_is_leaf() {
+                    partials.push(crt);
+                }
+                return 0.0;
+            }
             let all = self.all_p[node];
-            self.all_p[node] = 1.0 - (1.0 - crt) * (1.0 - all);
+            self.all_p[node] = independent_or(crt, all);
         }
         self.all_p[0]
     }
@@ -242,36 +368,211 @@ impl FlatScan {
         }
         self.flush()
     }
+
+    /// Scans a contiguous sub-range of a bag (rows must start at a
+    /// root-partition boundary) and appends the root's fold inputs to
+    /// `partials` instead of folding them; see
+    /// [`FlatScan::propagate_impl`]. Used by the intra-bag split driver.
+    pub(crate) fn scan_bag_partials(
+        &mut self,
+        answer: &Annotated,
+        rows: &[u32],
+        partials: &mut Vec<f64>,
+    ) {
+        self.reset();
+        let mut prev: Option<RowRef<'_>> = None;
+        for &r in rows {
+            let row = answer.row(r as usize);
+            match prev {
+                None => self.propagate_impl::<true>(0, row.lineage, partials),
+                Some(p) => {
+                    if let Some(i) = self.leftmost_changed(p.lineage, row.lineage) {
+                        self.propagate_impl::<true>(i, row.lineage, partials);
+                    }
+                }
+            }
+            prev = Some(row);
+        }
+        self.flush_impl::<true>(partials);
+    }
 }
 
-/// Scans all bags, fanning contiguous bag ranges out across the pool.
+/// Evaluates one huge bag by splitting its sorted row range at root-variable
+/// boundaries into weight-balanced sub-ranges, scanning each on its own
+/// worker, and replaying the root's `independent_or` fold over the
+/// concatenated per-partition partials in partition order.
+///
+/// The reduction shape (one leaf per root partition, folded left-deep) is a
+/// function of the data alone, and each fold step is the exact expression
+/// the sequential machine executes, so the result is bitwise-identical to
+/// [`FlatScan::scan_bag`] — at every pool size. A bag whose rows all share
+/// one root variable cannot be split and falls back to the sequential scan.
+pub(crate) fn split_bag_confidence(
+    machine: &FlatScan,
+    answer: &Annotated,
+    rows: &[u32],
+    pool: &Pool,
+) -> f64 {
+    // Root partitions are runs of one root variable; the one-scan sort
+    // orders the root's variable column right after the data columns, so
+    // the runs are contiguous within the bag. The previous row's variable
+    // is carried in a local, so the scan fetches each row exactly once.
+    let root_col = machine.preorder_cols()[0] as usize;
+    let mut part_starts = vec![0usize];
+    let mut prev = answer.row(rows[0] as usize).lineage[root_col].0;
+    for (k, &r) in rows.iter().enumerate().skip(1) {
+        let v = answer.row(r as usize).lineage[root_col].0;
+        if v != prev {
+            part_starts.push(k);
+            prev = v;
+        }
+    }
+    if part_starts.len() == 1 {
+        // Every row carries the same root variable: unsplittable.
+        return machine.clone().scan_bag(answer, rows);
+    }
+    let chunks = partition_by_weight(&part_starts, rows.len(), pool.threads());
+    let partial_lists: Vec<Vec<f64>> = pool.map_ranges(&chunks, |parts| {
+        let mut machine = machine.clone();
+        let lo = part_starts[parts.start];
+        let hi = part_starts.get(parts.end).copied().unwrap_or(rows.len());
+        let mut partials = Vec::new();
+        machine.scan_bag_partials(answer, &rows[lo..hi], &mut partials);
+        partials
+    });
+    // An internal root's fresh sub-machine closes an *empty* partition on
+    // its first row, so every sub-range but the first contributes a leading
+    // `0.0` partial the sequential fold performs only once. Folding `0.0`
+    // is a bitwise no-op here: every accumulator value is either exactly
+    // `0.0` or of the form `fl(1 − t)` with `t ∈ [0, 1]`, for which
+    // `1 − (1 − 0)(1 − acc)` reproduces `acc` exactly (`1 − acc` is exact by
+    // Sterbenz for `acc ≥ 0.5`, and for `acc < 0.5` the value `1 − acc = t`
+    // is itself representable) — so the replay stays bit-identical.
+    let mut acc = independent_or_fold(partial_lists.iter().flatten().copied());
+    if machine.root_is_leaf() {
+        // Mirror the unsplit flush: the leaf root's accumulated crtP is
+        // folded into an allP of exactly 0.0.
+        acc = independent_or(acc, 0.0);
+    }
+    acc
+}
+
+/// One scheduling segment of a bag/group list: a contiguous run of ordinary
+/// units, fanned out unit-wise across the pool, or a single huge unit whose
+/// evaluation is split internally at root-variable boundaries.
+pub(crate) enum ScanSegment {
+    Run(std::ops::Range<usize>),
+    Huge(usize),
+}
+
+/// Weight-balanced chunks of the unit run `lo..hi`, as ranges of
+/// *run-local* unit indices (add `lo` to map back to absolute units).
+/// `starts` holds the absolute unit start offsets (`starts[0] == 0`) into
+/// an item space of `len` items. The whole-list run — the common,
+/// no-huge-unit case — reuses `starts` directly; only mid-list runs rebase
+/// their offsets.
+pub(crate) fn run_chunks(
+    starts: &[usize],
+    len: usize,
+    run: &std::ops::Range<usize>,
+    pool: &Pool,
+) -> Vec<std::ops::Range<usize>> {
+    if run.is_empty() {
+        return Vec::new();
+    }
+    let (lo, hi) = (run.start, run.end);
+    let total = starts.get(hi).copied().unwrap_or(len) - starts[lo];
+    let rebased: Vec<usize>;
+    let bounds: &[usize] = if lo == 0 {
+        &starts[..hi]
+    } else {
+        rebased = starts[lo..hi].iter().map(|s| s - starts[lo]).collect();
+        &rebased
+    };
+    partition_by_weight(bounds, total, pool.threads())
+}
+
+/// Cuts the unit list `0..n` into [`ScanSegment`]s: units whose row count
+/// reaches the policy threshold (but never fewer than 2 rows — a 1-row unit
+/// has nothing to split) become [`ScanSegment::Huge`]; everything between
+/// them becomes a [`ScanSegment::Run`]. With a sequential pool — where
+/// intra-unit splitting cannot help — the whole list is one run.
+pub(crate) fn split_segments(
+    n: usize,
+    unit_rows: impl Fn(usize) -> usize,
+    pool: &Pool,
+    policy: SplitPolicy,
+) -> Vec<ScanSegment> {
+    let huge = |u: usize| unit_rows(u) >= policy.min_rows.max(2);
+    if pool.threads() <= 1 || !(0..n).any(huge) {
+        return vec![ScanSegment::Run(0..n)];
+    }
+    let mut segments = Vec::new();
+    let mut u = 0;
+    while u < n {
+        if huge(u) {
+            segments.push(ScanSegment::Huge(u));
+            u += 1;
+        } else {
+            let run_end = (u..n).find(|&x| huge(x)).unwrap_or(n);
+            segments.push(ScanSegment::Run(u..run_end));
+            u = run_end;
+        }
+    }
+    segments
+}
+
+/// Scans all bags: contiguous runs of ordinary bags fan out across the pool
+/// (each worker clones the tiny machine and evaluates its bags
+/// sequentially), while bags at or above the [`SplitPolicy`] threshold are
+/// split *internally* at root-variable boundaries
+/// ([`split_bag_confidence`]) so a single huge bag — the Boolean /
+/// low-distinct shape — also scales with cores.
 ///
 /// `order` is the row permutation realising the one-scan sort and
 /// `bag_starts` the positions in `order` where a new distinct answer tuple
-/// begins (`bag_starts[0] == 0`). Each worker clones the (tiny) machine and
-/// evaluates its bags sequentially; results concatenate in bag order, so the
-/// output is identical at every thread count.
+/// begins (`bag_starts[0] == 0`). Results concatenate in bag order and
+/// every bag's probability is bitwise-identical whether or not it was
+/// split, so the output is identical at every thread count.
 fn scan_bags(
     machine: &FlatScan,
     answer: &Annotated,
     order: &[u32],
     bag_starts: &[usize],
     pool: &Pool,
+    policy: SplitPolicy,
 ) -> Vec<(Tuple, f64)> {
-    let chunks = partition_by_weight(bag_starts, order.len(), pool.threads());
-    let per_chunk = pool.map_ranges(&chunks, |bags| {
-        let mut machine = machine.clone();
-        let mut out = Vec::with_capacity(bags.len());
-        for b in bags {
-            let start = bag_starts[b];
-            let end = bag_starts.get(b + 1).copied().unwrap_or(order.len());
-            let rows = &order[start..end];
-            let p = machine.scan_bag(answer, rows);
-            out.push((answer.row(rows[0] as usize).data_tuple(), p));
+    let n = bag_starts.len();
+    let bag_rows = |b: usize| -> &[u32] {
+        &order[bag_starts[b]..bag_starts.get(b + 1).copied().unwrap_or(order.len())]
+    };
+    let small_run = |run: std::ops::Range<usize>, out: &mut Vec<(Tuple, f64)>| {
+        let lo = run.start;
+        let chunks = run_chunks(bag_starts, order.len(), &run, pool);
+        let per_chunk = pool.map_ranges(&chunks, |bags| {
+            let mut machine = machine.clone();
+            let mut res = Vec::with_capacity(bags.len());
+            for b in bags {
+                let rows = bag_rows(lo + b);
+                let p = machine.scan_bag(answer, rows);
+                res.push((answer.row(rows[0] as usize).data_tuple(), p));
+            }
+            res
+        });
+        out.extend(per_chunk.into_iter().flatten());
+    };
+    let mut out = Vec::with_capacity(n);
+    for segment in split_segments(n, |b| bag_rows(b).len(), pool, policy) {
+        match segment {
+            ScanSegment::Run(run) => small_run(run, &mut out),
+            ScanSegment::Huge(b) => {
+                let rows = bag_rows(b);
+                let p = split_bag_confidence(machine, answer, rows, pool);
+                out.push((answer.row(rows[0] as usize).data_tuple(), p));
+            }
         }
-        out
-    });
-    per_chunk.into_iter().flatten().collect()
+    }
+    out
 }
 
 /// Computes `(distinct answer tuple, confidence)` pairs for a signature with
@@ -304,6 +605,22 @@ pub fn one_scan_confidences_with(
     signature: &Signature,
     pool: &Pool,
 ) -> ConfResult<Vec<(Tuple, f64)>> {
+    one_scan_confidences_tuned(answer, signature, pool, SplitPolicy::default())
+}
+
+/// [`one_scan_confidences_with`] with an explicit intra-bag [`SplitPolicy`].
+/// Confidences are bitwise-identical for every pool size *and* every
+/// policy — the policy only decides how much of the pool a huge bag can use.
+///
+/// # Errors
+/// Fails if the signature lacks the 1scan property or references a relation
+/// without a lineage column.
+pub fn one_scan_confidences_tuned(
+    answer: &Annotated,
+    signature: &Signature,
+    pool: &Pool,
+    policy: SplitPolicy,
+) -> ConfResult<Vec<(Tuple, f64)>> {
     if answer.is_empty() {
         return Ok(Vec::new());
     }
@@ -315,7 +632,7 @@ pub fn one_scan_confidences_with(
         .iter()
         .map(|&c| c as usize)
         .collect();
-    let keys = answer.sort_keys(&col_idx, &rel_idx);
+    let keys = answer.sort_keys_with(&col_idx, &rel_idx, pool);
     let order = keys.sorted_permutation_with(answer.len(), pool);
     // Bags are runs of equal data keys: compare the data prefix of the
     // normalized key runs — plain u64 words, no Value dispatch.
@@ -329,7 +646,14 @@ pub fn one_scan_confidences_with(
             bag_starts.push(k);
         }
     }
-    Ok(scan_bags(&machine, answer, &order, &bag_starts, pool))
+    Ok(scan_bags(
+        &machine,
+        answer,
+        &order,
+        &bag_starts,
+        pool,
+        policy,
+    ))
 }
 
 /// Sorts an annotated answer into the order required by
@@ -385,6 +709,21 @@ pub fn one_scan_confidences_presorted_with(
     signature: &Signature,
     pool: &Pool,
 ) -> ConfResult<Vec<(Tuple, f64)>> {
+    one_scan_confidences_presorted_tuned(answer, signature, pool, SplitPolicy::default())
+}
+
+/// [`one_scan_confidences_presorted_with`] with an explicit intra-bag
+/// [`SplitPolicy`].
+///
+/// # Errors
+/// Fails if the signature lacks the 1scan property or references a relation
+/// without a lineage column.
+pub fn one_scan_confidences_presorted_tuned(
+    answer: &Annotated,
+    signature: &Signature,
+    pool: &Pool,
+    policy: SplitPolicy,
+) -> ConfResult<Vec<(Tuple, f64)>> {
     if answer.is_empty() {
         return Ok(Vec::new());
     }
@@ -397,7 +736,14 @@ pub fn one_scan_confidences_presorted_with(
             bag_starts.push(k);
         }
     }
-    Ok(scan_bags(&machine, answer, &order, &bag_starts, pool))
+    Ok(scan_bags(
+        &machine,
+        answer,
+        &order,
+        &bag_starts,
+        pool,
+        policy,
+    ))
 }
 
 fn one_scan_tree(signature: &Signature) -> ConfResult<OneScanTree> {
@@ -534,6 +880,165 @@ mod tests {
                 assert_eq!(p1.to_bits(), p2.to_bits(), "{threads} threads: {t1}");
             }
         }
+    }
+
+    // -- Intra-bag split machinery (PR 3) ---------------------------------
+
+    use pdb_exec::AnnotatedRow;
+    use pdb_storage::{DataType, Schema, Value};
+
+    /// A Boolean-shaped single bag over relations R (root) and S (child)
+    /// with signature `(R S*)*`: `parts` root partitions, `parts[i]` rows
+    /// each, variables ascending so the identity permutation is the
+    /// one-scan sort order. Within a partition, child variables repeat in
+    /// runs (`dup_runs` duplicates of each full row) so split targets can
+    /// land inside duplicate-key runs.
+    fn internal_root_bag(parts: &[usize], dup_runs: usize) -> (Annotated, Signature) {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]).unwrap();
+        let mut answer = Annotated::new(schema, vec!["R".into(), "S".into()]);
+        let mut var = 0u64;
+        for (pi, &len) in parts.iter().enumerate() {
+            var += 1;
+            let root = Variable(var);
+            let root_p = 0.1 + 0.8 * ((pi % 7) as f64) / 7.0;
+            for s in 0..len {
+                var += 1;
+                let child = Variable(var);
+                let child_p = 0.05 + 0.9 * ((s % 11) as f64) / 11.0;
+                for _ in 0..dup_runs.max(1) {
+                    answer.push(AnnotatedRow::new(
+                        pdb_storage::tuple![7i64],
+                        vec![(root, root_p), (child, child_p)],
+                    ));
+                }
+            }
+        }
+        let sig = Signature::star(Signature::concat(vec![
+            Signature::table("R"),
+            Signature::star(Signature::table("S")),
+        ]));
+        assert!(sig.is_one_scan());
+        (answer, sig)
+    }
+
+    fn machine_for(answer: &Annotated, sig: &Signature) -> FlatScan {
+        FlatScan::new(&OneScanTree::build(sig).unwrap(), answer).unwrap()
+    }
+
+    #[test]
+    fn split_points_landing_mid_duplicate_run_snap_to_partition_boundaries() {
+        // Skewed partitions with 3-row duplicate runs: the weight-balanced
+        // targets of 2/3/4/8-way splits all land inside duplicate runs, and
+        // must snap to root-variable boundaries without perturbing the
+        // result by a single bit.
+        let (answer, sig) = internal_root_bag(&[1, 7, 2, 9, 1, 4], 3);
+        let machine = machine_for(&answer, &sig);
+        let rows: Vec<u32> = (0..answer.len() as u32).collect();
+        let unsplit = machine.clone().scan_bag(&answer, &rows);
+        for threads in [2, 3, 4, 8] {
+            let split = split_bag_confidence(&machine, &answer, &rows, &Pool::new(threads));
+            assert_eq!(
+                split.to_bits(),
+                unsplit.to_bits(),
+                "{threads} threads: split {split} vs unsplit {unsplit}"
+            );
+        }
+        // And through the public API with a tiny threshold.
+        let never =
+            one_scan_confidences_tuned(&answer, &sig, &Pool::sequential(), SplitPolicy::never())
+                .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let split =
+                one_scan_confidences_tuned(&answer, &sig, &Pool::new(threads), SplitPolicy::at(2))
+                    .unwrap();
+            assert_eq!(split.len(), never.len());
+            for ((t1, p1), (t2, p2)) in split.iter().zip(never.iter()) {
+                assert_eq!(t1, t2);
+                assert_eq!(p1.to_bits(), p2.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn all_rows_one_root_variable_falls_back_to_the_sequential_scan() {
+        // One root partition only: nothing to split on.
+        let (answer, sig) = internal_root_bag(&[40], 2);
+        let machine = machine_for(&answer, &sig);
+        let rows: Vec<u32> = (0..answer.len() as u32).collect();
+        let unsplit = machine.clone().scan_bag(&answer, &rows);
+        for threads in [2, 8] {
+            let split = split_bag_confidence(&machine, &answer, &rows, &Pool::new(threads));
+            assert_eq!(split.to_bits(), unsplit.to_bits(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_row_bags_survive_aggressive_split_policies() {
+        // Empty answer through the tuned API.
+        let catalog = fig1_catalog_with_keys();
+        let mut q = intro_query_q();
+        q.predicates[0].constant = Value::str("Nobody");
+        let empty = evaluate_join_order(&q, &catalog, &order(&["Cust", "Ord", "Item"])).unwrap();
+        let sig = query_signature(&q, &tpch_fds(&catalog)).unwrap();
+        assert!(
+            one_scan_confidences_tuned(&empty, &sig, &Pool::new(8), SplitPolicy::at(0))
+                .unwrap()
+                .is_empty()
+        );
+        // A single-row bag: the split driver's boundary scan finds one
+        // partition and falls back.
+        let (answer, sig) = internal_root_bag(&[1], 1);
+        let machine = machine_for(&answer, &sig);
+        let rows = vec![0u32];
+        let unsplit = machine.clone().scan_bag(&answer, &rows);
+        let split = split_bag_confidence(&machine, &answer, &rows, &Pool::new(8));
+        assert_eq!(split.to_bits(), unsplit.to_bits());
+        // And a 0-row-threshold policy cannot split 1-row bags (min 2).
+        let tuned =
+            one_scan_confidences_tuned(&answer, &sig, &Pool::new(8), SplitPolicy::at(0)).unwrap();
+        assert_eq!(tuned.len(), 1);
+        assert_eq!(tuned[0].1.to_bits(), unsplit.to_bits());
+    }
+
+    #[test]
+    fn bag_exactly_at_the_default_threshold_splits_and_stays_bitwise_identical() {
+        // A Boolean leaf-root bag (signature R*) of exactly 512 rows: the
+        // default policy engages the split at >= INTRA_BAG_SPLIT_THRESHOLD.
+        assert_eq!(INTRA_BAG_SPLIT_THRESHOLD, 512);
+        let schema = Schema::from_pairs(&[]).unwrap();
+        let mut answer = Annotated::new(schema, vec!["R".into()]);
+        let mut probs = Vec::new();
+        for v in 0..512u64 {
+            let p = 0.001 + 0.7 * ((v % 131) as f64) / 131.0;
+            probs.push(p);
+            answer.push(AnnotatedRow::new(
+                Tuple::empty(),
+                vec![(Variable(v + 1), p)],
+            ));
+        }
+        let sig = Signature::star(Signature::table("R"));
+        assert!(sig.is_one_scan());
+        let unsplit =
+            one_scan_confidences_tuned(&answer, &sig, &Pool::new(4), SplitPolicy::never()).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let split = one_scan_confidences_tuned(
+                &answer,
+                &sig,
+                &Pool::new(threads),
+                SplitPolicy::default(),
+            )
+            .unwrap();
+            assert_eq!(split.len(), 1);
+            assert_eq!(split[0].0, Tuple::empty());
+            assert_eq!(
+                split[0].1.to_bits(),
+                unsplit[0].1.to_bits(),
+                "{threads} threads"
+            );
+        }
+        // Closed form for R*: 1 − ∏(1 − p_i).
+        let expected = 1.0 - probs.iter().fold(1.0, |acc, p| acc * (1.0 - p));
+        assert!((unsplit[0].1 - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -17,8 +17,8 @@ use pdb_storage::Tuple;
 use crate::brute::brute_force_confidences;
 use crate::error::ConfResult;
 use crate::grp::grp_confidences_with;
-use crate::multi_scan::multi_scan_confidences_with;
-use crate::one_scan::one_scan_confidences_with;
+use crate::multi_scan::multi_scan_confidences_tuned;
+use crate::one_scan::{one_scan_confidences_tuned, SplitPolicy};
 
 /// The evaluation strategy of the operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,6 +62,7 @@ pub type ConfidenceResult = Vec<(Tuple, f64)>;
 pub struct ConfidenceOperator {
     signature: Signature,
     pool: Pool,
+    split_policy: SplitPolicy,
 }
 
 impl ConfidenceOperator {
@@ -73,7 +74,20 @@ impl ConfidenceOperator {
 
     /// Creates an operator with an explicit worker pool.
     pub fn with_pool(signature: Signature, pool: Pool) -> Self {
-        ConfidenceOperator { signature, pool }
+        ConfidenceOperator {
+            signature,
+            pool,
+            split_policy: SplitPolicy::default(),
+        }
+    }
+
+    /// Sets the intra-bag [`SplitPolicy`]: how many rows one bag of
+    /// duplicate answer tuples must have before its evaluation is split at
+    /// root-variable boundaries across the pool. A pure performance knob —
+    /// results are bitwise-identical for every policy and pool size.
+    pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.split_policy = policy;
+        self
     }
 
     /// The operator's signature.
@@ -84,6 +98,11 @@ impl ConfidenceOperator {
     /// The worker pool the operator evaluates on.
     pub fn pool(&self) -> &Pool {
         &self.pool
+    }
+
+    /// The operator's intra-bag split policy.
+    pub fn split_policy(&self) -> SplitPolicy {
+        self.split_policy
     }
 
     /// Number of scans the operator needs (Proposition V.10).
@@ -98,16 +117,19 @@ impl ConfidenceOperator {
     /// or if [`Strategy::OneScan`] is forced on a non-1scan signature.
     pub fn compute(&self, answer: &Annotated, strategy: Strategy) -> ConfResult<ConfidenceResult> {
         let pool = &self.pool.for_items(answer.len());
+        let policy = self.split_policy;
         match strategy {
             Strategy::Auto => {
                 if self.signature.is_one_scan() {
-                    one_scan_confidences_with(answer, &self.signature, pool)
+                    one_scan_confidences_tuned(answer, &self.signature, pool, policy)
                 } else {
-                    multi_scan_confidences_with(answer, &self.signature, pool)
+                    multi_scan_confidences_tuned(answer, &self.signature, pool, policy)
                 }
             }
-            Strategy::OneScan => one_scan_confidences_with(answer, &self.signature, pool),
-            Strategy::MultiScan => multi_scan_confidences_with(answer, &self.signature, pool),
+            Strategy::OneScan => one_scan_confidences_tuned(answer, &self.signature, pool, policy),
+            Strategy::MultiScan => {
+                multi_scan_confidences_tuned(answer, &self.signature, pool, policy)
+            }
             Strategy::GrpSemantics => grp_confidences_with(answer, &self.signature, pool),
             Strategy::BruteForce => Ok(brute_force_confidences(answer)),
         }

@@ -468,6 +468,187 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Scenario 2c (PR 3): intra-bag splitting. Boolean queries force the whole
+// answer into a single bag — exactly the shape bag-level fan-out cannot
+// parallelise — so a tiny split threshold exercises the root-level partition
+// splitting and its fixed-shape independent_or merge on proptest-sized
+// inputs. The split result must be bitwise-identical to the never-split
+// sequential scan at every worker count (Pool::new(t) pins what
+// SPROUT_THREADS ∈ {1, 2, 4, 8} would select engine-wide) and stay within
+// 1e-9 of the brute-force oracle.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forced_single_bag_split_is_bitwise_identical_and_matches_brute_force(
+        db in branching_strategy(),
+        min_rows in 2usize..6,
+    ) {
+        use pdb_conf::one_scan::{one_scan_confidences_tuned, SplitPolicy};
+        use pdb_conf::Pool;
+
+        let catalog = build_branching(&db);
+        // Boolean: one huge bag with a branching (internal-root) 1scanTree.
+        let q = ConjunctiveQuery::build(
+            &[
+                ("R1", &["a"]),
+                ("R2", &["a", "b"]),
+                ("R3", &["a", "b", "d"]),
+                ("R4", &["a", "c"]),
+                ("R5", &["a", "c", "e"]),
+            ],
+            &[],
+            vec![],
+        )
+        .unwrap();
+        let order: Vec<String> =
+            ["R1", "R2", "R3", "R4", "R5"].iter().map(|s| s.to_string()).collect();
+        let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        prop_assert!(sig.is_one_scan());
+        if answer.is_empty() {
+            return Ok(());
+        }
+
+        let unsplit = one_scan_confidences_tuned(
+            &answer, &sig, &Pool::sequential(), SplitPolicy::never(),
+        ).unwrap();
+        prop_assert_eq!(unsplit.len(), 1, "Boolean answer is one bag");
+        let oracle = brute_force_confidences(&answer);
+        prop_assert!(
+            (unsplit[0].1 - oracle[0].1).abs() < 1e-9,
+            "unsplit {} vs oracle {}", unsplit[0].1, oracle[0].1
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let split = one_scan_confidences_tuned(
+                &answer, &sig, &Pool::new(threads), SplitPolicy::at(min_rows),
+            ).unwrap();
+            prop_assert_eq!(split.len(), 1);
+            prop_assert_eq!(
+                split[0].1.to_bits(), unsplit[0].1.to_bits(),
+                "{} threads, min_rows {}: split {} vs unsplit {}",
+                threads, min_rows, split[0].1, unsplit[0].1
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_root_single_bag_split_is_bitwise_identical(
+        r in proptest::collection::vec((1i64..=6, 1i64..=4, prob()), 1..16),
+    ) {
+        use pdb_conf::one_scan::{one_scan_confidences_tuned, SplitPolicy};
+        use pdb_conf::Pool;
+
+        // A Boolean single-table query: signature R*, a *leaf* root, whose
+        // split replays the per-variable crtP fold rather than per-partition
+        // closes.
+        let catalog = Catalog::new();
+        let mut var = 0u64;
+        let mut next = || { var += 1; Variable(var) };
+        let mut rt = ProbTable::new(
+            Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap(),
+        );
+        let mut seen = BTreeSet::new();
+        for (a, b, p) in &r {
+            if seen.insert((*a, *b)) {
+                rt.insert(tuple![*a, *b], next(), *p).unwrap();
+            }
+        }
+        catalog.register_table("R", rt).unwrap();
+        let q = ConjunctiveQuery::build(&[("R", &["a", "b"])], &[], vec![]).unwrap();
+        let order: Vec<String> = vec!["R".to_string()];
+        let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        prop_assert!(sig.is_one_scan());
+
+        let unsplit = one_scan_confidences_tuned(
+            &answer, &sig, &Pool::sequential(), SplitPolicy::never(),
+        ).unwrap();
+        let oracle = brute_force_confidences(&answer);
+        prop_assert_eq!(unsplit.len(), oracle.len());
+        for ((t1, p1), (t2, p2)) in unsplit.iter().zip(oracle.iter()) {
+            prop_assert_eq!(t1, t2);
+            prop_assert!((p1 - p2).abs() < 1e-9, "unsplit {} vs oracle {}", p1, p2);
+        }
+        for threads in [1usize, 2, 4, 8] {
+            let split = one_scan_confidences_tuned(
+                &answer, &sig, &Pool::new(threads), SplitPolicy::at(2),
+            ).unwrap();
+            prop_assert_eq!(split.len(), unsplit.len());
+            for ((t1, p1), (t2, p2)) in split.iter().zip(unsplit.iter()) {
+                prop_assert_eq!(t1, t2, "{} threads", threads);
+                prop_assert_eq!(
+                    p1.to_bits(), p2.to_bits(),
+                    "{} threads: split {} vs unsplit {}", threads, p1, p2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_multi_scan_pre_aggregation_is_bitwise_identical(
+        r in proptest::collection::vec((1i64..=3, 1i64..=3, prob()), 1..6),
+        s in proptest::collection::vec((1i64..=3, 1i64..=3, prob()), 1..6),
+    ) {
+        use pdb_conf::multi_scan::multi_scan_confidences_tuned;
+        use pdb_conf::one_scan::SplitPolicy;
+        use pdb_conf::Pool;
+
+        // R(a,b) ⋈ S(a,c) Boolean: signature (R*S*)*, not 1scan, so the
+        // multi-scan schedule runs pre-aggregations whose groups also split.
+        let catalog = Catalog::new();
+        let mut var = 0u64;
+        let mut next = || { var += 1; Variable(var) };
+        let mut rt = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap());
+        let mut seen = BTreeSet::new();
+        for (a, b, p) in &r {
+            if seen.insert((*a, *b)) {
+                rt.insert(tuple![*a, *b], next(), *p).unwrap();
+            }
+        }
+        let mut st = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("c", DataType::Int)]).unwrap());
+        let mut seen = BTreeSet::new();
+        for (a, c, p) in &s {
+            if seen.insert((*a, *c)) {
+                st.insert(tuple![*a, *c], next(), *p).unwrap();
+            }
+        }
+        catalog.register_table("R", rt).unwrap();
+        catalog.register_table("S", st).unwrap();
+        let q = ConjunctiveQuery::build(&[("R", &["a", "b"]), ("S", &["a", "c"])], &[], vec![]).unwrap();
+        let order: Vec<String> = ["R", "S"].iter().map(|s| s.to_string()).collect();
+        let answer = evaluate_join_order(&q, &catalog, &order).unwrap();
+        let sig = query_signature(&q, &FdSet::empty()).unwrap();
+        prop_assert!(!sig.is_one_scan());
+
+        let unsplit = multi_scan_confidences_tuned(
+            &answer, &sig, &Pool::sequential(), SplitPolicy::never(),
+        ).unwrap();
+        let oracle = brute_force_confidences(&answer);
+        prop_assert_eq!(unsplit.len(), oracle.len());
+        for ((t1, p1), (t2, p2)) in unsplit.iter().zip(oracle.iter()) {
+            prop_assert_eq!(t1, t2);
+            prop_assert!((p1 - p2).abs() < 1e-9, "unsplit {} vs oracle {}", p1, p2);
+        }
+        for threads in [2usize, 4, 8] {
+            let split = multi_scan_confidences_tuned(
+                &answer, &sig, &Pool::new(threads), SplitPolicy::at(2),
+            ).unwrap();
+            prop_assert_eq!(split.len(), unsplit.len());
+            for ((t1, p1), (t2, p2)) in split.iter().zip(unsplit.iter()) {
+                prop_assert_eq!(t1, t2, "{} threads", threads);
+                prop_assert_eq!(
+                    p1.to_bits(), p2.to_bits(),
+                    "{} threads: split {} vs unsplit {}", threads, p1, p2
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scenario 3 (PR 1): the optimized pipeline — normalized-key join,
 // sort-based dedup, streaming one-scan — against the brute-force oracle,
 // and the sort contract sort_dedup must preserve.

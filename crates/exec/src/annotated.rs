@@ -258,15 +258,37 @@ impl Annotated {
     /// the variables of the given lineage columns; see
     /// [`crate::key::SortKeys`]. Public so the confidence operator can sort
     /// a row-index permutation instead of cloning and permuting the arenas.
+    ///
+    /// Key encoding is chunked across the default worker pool for large
+    /// relations; see [`Annotated::sort_keys_with`] to pin a pool. The keys
+    /// are bit-identical at every thread count.
     pub fn sort_keys(&self, col_idx: &[usize], rel_idx: &[usize]) -> SortKeys {
+        self.sort_keys_with(
+            col_idx,
+            rel_idx,
+            &pdb_par::Pool::from_env().for_items(self.len),
+        )
+    }
+
+    /// [`Annotated::sort_keys`] with an explicit worker pool: key encoding
+    /// (including the per-column string dictionaries) is chunked across the
+    /// pool's workers and merged into one canonical interner, so the words
+    /// are bit-identical to a sequential build.
+    pub fn sort_keys_with(
+        &self,
+        col_idx: &[usize],
+        rel_idx: &[usize],
+        pool: &pdb_par::Pool,
+    ) -> SortKeys {
         let dw = self.data_width();
         let lw = self.lineage_width();
-        SortKeys::build(
+        SortKeys::build_with(
             self.len,
             col_idx.len(),
             rel_idx.len(),
             |r, c| &self.data[r * dw + col_idx[c]],
             |r, e| self.lineage[r * lw + rel_idx[e]].0 .0,
+            pool,
         )
     }
 

@@ -191,6 +191,14 @@ pub struct SortKeys {
     width: usize,
 }
 
+/// Per-chunk, per-column string dictionary of the parallel
+/// [`SortKeys::build_with`]: the chunk's interner plus each chunk row's
+/// insertion id (`u32::MAX` for non-string cells).
+struct ChunkDict<'a> {
+    interner: FxStrInterner<'a>,
+    ids: Vec<u32>,
+}
+
 impl SortKeys {
     /// Builds sort keys for `rows` over the cells selected by `cell_at`
     /// (`columns` cells per row), appending `extra` trailing words per row
@@ -198,7 +206,120 @@ impl SortKeys {
     ///
     /// Strings are ranked per column across all rows, so the resulting
     /// order matches `Value`'s lexicographic string order.
+    ///
+    /// This entry point runs sequentially; [`SortKeys::build_with`] fans the
+    /// encoding out across a worker pool and produces bit-identical keys.
     pub fn build<'a>(
+        rows: usize,
+        columns: usize,
+        extra: usize,
+        cell_at: impl FnMut(usize, usize) -> &'a Value,
+        extra_at: impl FnMut(usize, usize) -> u64,
+    ) -> SortKeys {
+        SortKeys::build_sequential(rows, columns, extra, cell_at, extra_at)
+    }
+
+    /// [`SortKeys::build`] with an explicit worker pool.
+    ///
+    /// Both passes are chunked over contiguous row ranges: every chunk
+    /// builds its own per-column string dictionary, the per-chunk
+    /// dictionaries are merged (in chunk order, so first-occurrence ids are
+    /// stable) into one canonical interner whose **rank** assignment — a
+    /// sort over the distinct strings, independent of insertion order —
+    /// feeds the encoding, and each chunk then encodes its rows directly
+    /// into its disjoint sub-slice of the key buffer. The resulting words
+    /// are bit-identical to the sequential build at every thread count,
+    /// because ranks depend only on the distinct-string *set*.
+    pub fn build_with<'a, C, E>(
+        rows: usize,
+        columns: usize,
+        extra: usize,
+        cell_at: C,
+        extra_at: E,
+        pool: &pdb_par::Pool,
+    ) -> SortKeys
+    where
+        C: Fn(usize, usize) -> &'a Value + Sync,
+        E: Fn(usize, usize) -> u64 + Sync,
+    {
+        let chunks = pool.threads().min(rows.max(1));
+        if chunks <= 1 || rows < pdb_par::SEQUENTIAL_CUTOFF {
+            return SortKeys::build_sequential(rows, columns, extra, cell_at, extra_at);
+        }
+        let ranges: Vec<std::ops::Range<usize>> = (0..chunks)
+            .map(|c| (rows * c / chunks)..(rows * (c + 1) / chunks))
+            .collect();
+        // Pass 1 (parallel): per-chunk, per-column dictionaries.
+        let chunk_dicts: Vec<Vec<Option<ChunkDict<'a>>>> = pool.map_ranges(&ranges, |range| {
+            (0..columns)
+                .map(|c| {
+                    let mut dict: Option<ChunkDict<'a>> = None;
+                    for r in range.clone() {
+                        if let Value::Str(s) = cell_at(r, c) {
+                            let d = dict.get_or_insert_with(|| ChunkDict {
+                                interner: FxStrInterner::new(),
+                                ids: vec![u32::MAX; range.len()],
+                            });
+                            d.ids[r - range.start] = d.interner.intern(s);
+                        }
+                    }
+                    dict
+                })
+                .collect()
+        });
+        // Merge (sequential, O(distinct strings)): one canonical interner
+        // per column, visited in chunk order so ids follow first occurrence;
+        // each chunk keeps a local-id → canonical-id remap.
+        let mut col_ranks: Vec<Option<Vec<u64>>> = Vec::with_capacity(columns);
+        let mut remaps: Vec<Vec<Option<Vec<u32>>>> = (0..chunks)
+            .map(|_| (0..columns).map(|_| None).collect())
+            .collect();
+        for c in 0..columns {
+            let mut canonical: Option<FxStrInterner<'a>> = None;
+            for (ci, chunk) in chunk_dicts.iter().enumerate() {
+                if let Some(d) = &chunk[c] {
+                    let canonical = canonical.get_or_insert_with(FxStrInterner::new);
+                    remaps[ci][c] = Some(
+                        d.interner
+                            .strs
+                            .iter()
+                            .map(|s| canonical.intern(s))
+                            .collect(),
+                    );
+                }
+            }
+            col_ranks.push(canonical.map(|i| i.ranks()));
+        }
+        // Pass 2 (parallel): each chunk encodes into its slice of the buffer.
+        let width = columns * CELL_WIDTH + extra;
+        let mut words = vec![0u64; rows * width];
+        let cuts: Vec<usize> = ranges.iter().map(|r| r.start * width).collect();
+        pool.map_slices_mut(&mut words, &cuts, |ci, slice| {
+            let range = &ranges[ci];
+            let dicts = &chunk_dicts[ci];
+            let remap = &remaps[ci];
+            for (local, r) in range.clone().enumerate() {
+                let base = local * width;
+                for c in 0..columns {
+                    let v = cell_at(r, c);
+                    let code = match (&dicts[c], &remap[c], &col_ranks[c]) {
+                        (Some(d), Some(remap), Some(ranks)) if matches!(v, Value::Str(_)) => {
+                            ranks[remap[d.ids[local] as usize] as usize]
+                        }
+                        _ => 0,
+                    };
+                    slice[base + c * CELL_WIDTH..base + (c + 1) * CELL_WIDTH]
+                        .copy_from_slice(&encode_cell(v, code));
+                }
+                for e in 0..extra {
+                    slice[base + columns * CELL_WIDTH + e] = extra_at(r, e);
+                }
+            }
+        });
+        SortKeys { words, width }
+    }
+
+    fn build_sequential<'a>(
         rows: usize,
         columns: usize,
         extra: usize,

@@ -221,6 +221,55 @@ fn confidence_inputs(
 }
 
 #[test]
+fn parallel_sort_key_build_allocates_bounded_scratch() {
+    use pdb_exec::key::SortKeys;
+    use pdb_storage::Value;
+
+    // Mixed numeric/string/NULL columns, large enough for the chunked
+    // parallel build to engage (>= pdb_par::SEQUENTIAL_CUTOFF rows).
+    let rows = 4096;
+    let strings = ["lorem", "ipsum", "dolor", "sit", ""];
+    let vals: Vec<[Value; 3]> = (0..rows)
+        .map(|r| {
+            [
+                if r % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((r as i64 * 37) % 19)
+                },
+                if r % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::str(strings[r % strings.len()])
+                },
+                Value::Float(((r % 11) as f64) / 4.0),
+            ]
+        })
+        .collect();
+    let pool = pdb_par::Pool::new(4);
+    let build =
+        || SortKeys::build_with(rows, 3, 1, |r, c| &vals[r][c], |r, _| (r % 3) as u64, &pool);
+    build(); // warm-up
+    let mut keys = None;
+    let parallel = allocations(|| {
+        keys = Some(build());
+    });
+    let keys = keys.unwrap();
+    // The parallel build allocates bounded scratch per chunk (dictionaries,
+    // remaps, spawn bookkeeping) plus the one key buffer — far below one
+    // allocation per row, like the sequential build it replaces.
+    assert!(
+        parallel < rows / 4,
+        "parallel sort-key build allocated {parallel} times for {rows} rows"
+    );
+    // And it produced the sequential words.
+    let sequential = SortKeys::build(rows, 3, 1, |r, c| &vals[r][c], |r, _| (r % 3) as u64);
+    for r in 0..rows {
+        assert_eq!(keys.row(r), sequential.row(r), "row {r}");
+    }
+}
+
+#[test]
 fn one_scan_inner_loop_allocates_sublinearly() {
     use pdb_conf::baseline::one_scan_confidences_recursive;
     use pdb_conf::one_scan::one_scan_confidences_with;

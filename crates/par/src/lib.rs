@@ -18,6 +18,10 @@
 //!   pool never needs a separate sequential path.
 //! * **Self-balancing.** Workers pull task indices from a shared atomic
 //!   counter, so skewed task sizes do not idle workers that finish early.
+//!   ([`Pool::map_slices_mut`] is the one exception: disjoint `&mut`
+//!   sub-slices cannot be re-claimed through a cursor, so each worker gets a
+//!   contiguous slice group up front — callers pass roughly one slice per
+//!   worker, typically cut by [`partition_by_weight`].)
 //!
 //! [`Pool::from_env`] reads the `SPROUT_THREADS` environment variable — the
 //! engine-wide thread-count knob — and falls back to
@@ -153,6 +157,111 @@ impl Pool {
     {
         self.map(ranges, |r| f(r.clone()))
     }
+
+    /// Splits `data` at the ascending cut offsets `bounds`
+    /// (`bounds[0] == 0`; slice `i` spans `bounds[i]..bounds[i + 1]`, the
+    /// last slice runs to `data.len()`) and applies `f(slice_index, slice)`
+    /// to every sub-slice, each on exactly one worker. Results come back in
+    /// slice order.
+    ///
+    /// This is the mutable counterpart of [`Pool::map_ranges`]: workers get
+    /// disjoint `&mut` sub-slices of one pre-sized buffer, so chunked
+    /// producers (e.g. parallel key encoding) write their output in place
+    /// instead of returning per-chunk vectors that must be concatenated.
+    pub fn map_slices_mut<T, R, F>(&self, data: &mut [T], bounds: &[usize], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut [T]) -> R + Sync,
+    {
+        let n = bounds.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        debug_assert_eq!(bounds[0], 0, "bounds must start at offset 0");
+        debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(*bounds.last().expect("n > 0") <= data.len());
+        let mut slices: Vec<&mut [T]> = Vec::with_capacity(n);
+        let mut rest: &mut [T] = data;
+        let mut prev = 0usize;
+        for &cut in &bounds[1..] {
+            let (head, tail) = rest.split_at_mut(cut - prev);
+            slices.push(head);
+            prev = cut;
+            rest = tail;
+        }
+        slices.push(rest);
+        let workers = self.threads().min(n);
+        if workers <= 1 {
+            return slices
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| f(i, s))
+                .collect();
+        }
+        // Hand each worker a contiguous group of slices; collect `(index,
+        // result)` pairs and place them back in slice order after the join.
+        let mut groups: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, s) in slices.into_iter().enumerate() {
+            groups[i * workers / n].push((i, s));
+        }
+        let f = &f;
+        let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|group| {
+                    scope.spawn(move || {
+                        group
+                            .into_iter()
+                            .map(|(i, s)| (i, f(i, s)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pdb-par worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for (i, r) in collected.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slice index was visited exactly once"))
+            .collect()
+    }
+}
+
+/// The independent-or merge `1 − (1 − p)(1 − acc)`: the probability that at
+/// least one of two *independent* events fires.
+///
+/// The operand order matches the accumulator update of SPROUT's Fig. 8
+/// streaming machine (`allP ← 1 − (1 − crtP)(1 − allP)`) exactly, so a left
+/// fold of per-partition probabilities through this function replays the
+/// sequential machine's root accumulation **bitwise** — the property the
+/// intra-bag split relies on to stay identical to the unsplit scan.
+#[inline]
+pub fn independent_or(p: f64, acc: f64) -> f64 {
+    1.0 - (1.0 - p) * (1.0 - acc)
+}
+
+/// Folds independent-event probabilities with [`independent_or`] in a fixed
+/// left-deep shape (iteration order, accumulator seeded with `0.0`).
+///
+/// The reduction shape depends only on the *data* (the partition list),
+/// never on how many workers produced the partials, so the result is
+/// bitwise-identical at every thread count — and bitwise-identical to a
+/// sequential scan that folded the same values as it went.
+#[inline]
+pub fn independent_or_fold(probs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = 0.0;
+    for p in probs {
+        acc = independent_or(p, acc);
+    }
+    acc
 }
 
 impl Default for Pool {
@@ -171,13 +280,19 @@ impl Default for Pool {
 /// tuples, pre-aggregation groups) are independent units of work whose sizes
 /// can be wildly skewed, so the split is balanced by item count, not by
 /// group count. Returned ranges index into `bounds` (i.e. they are group
-/// ranges), are non-empty, and concatenate to `0..bounds.len()`.
+/// ranges), are **never zero-width**, and concatenate to `0..bounds.len()`.
+///
+/// The part count is clamped by the *item* count as well as the group count:
+/// when items ≪ workers (a handful of rows spread over many requested
+/// parts, possibly with zero-item groups in `bounds`) the split degrades to
+/// at most one part per item instead of fanning empty work units out to
+/// idle workers.
 pub fn partition_by_weight(bounds: &[usize], total: usize, parts: usize) -> Vec<Range<usize>> {
     let groups = bounds.len();
     if groups == 0 {
         return Vec::new();
     }
-    let parts = parts.clamp(1, groups);
+    let parts = parts.clamp(1, groups).min(total.max(1));
     let mut ranges = Vec::with_capacity(parts);
     let mut start = 0usize;
     for p in 0..parts {
@@ -335,6 +450,109 @@ mod tests {
         // More parts than groups: one group per part.
         let parts = partition_by_weight(&[0, 2, 4], 6, 16);
         assert_eq!(parts, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn partition_by_weight_never_returns_zero_width_partitions() {
+        // Regression: items ≪ workers. Three 1-item groups split across 16
+        // requested parts must yield exactly three 1-group, 1-item parts —
+        // no zero-width (or zero-item) ranges.
+        let parts = partition_by_weight(&[0, 1, 2], 3, 16);
+        assert_eq!(parts, vec![0..1, 1..2, 2..3]);
+        for r in &parts {
+            assert!(!r.is_empty(), "zero-width partition {r:?}");
+        }
+        // Zero-item groups present and fewer items than requested parts: the
+        // part count is capped by the item count, so no part can cover only
+        // empty groups.
+        let bounds = vec![0, 0, 1, 1, 2];
+        let parts = partition_by_weight(&bounds, 2, 16);
+        assert_eq!(parts.iter().map(|r| r.len()).sum::<usize>(), bounds.len());
+        assert!(parts.len() <= 2);
+        for r in &parts {
+            assert!(!r.is_empty(), "zero-width partition {r:?}");
+            let items = bounds.get(r.end).copied().unwrap_or(2) - bounds[r.start];
+            assert!(items >= 1, "partition {r:?} covers zero items");
+        }
+        // An empty total degrades to a single part spanning everything.
+        assert_eq!(partition_by_weight(&[0, 0, 0], 0, 8), vec![0..3]);
+        // Exhaustive sweep over small shapes: every returned range is
+        // non-empty and the ranges tile the group index space.
+        for groups in 1usize..6 {
+            for per_group in 0usize..3 {
+                let bounds: Vec<usize> = (0..groups).map(|g| g * per_group).collect();
+                let total = groups * per_group;
+                for workers in 1usize..10 {
+                    let parts = partition_by_weight(&bounds, total, workers);
+                    assert!(parts.iter().all(|r| !r.is_empty()));
+                    assert_eq!(parts.first().map(|r| r.start), Some(0));
+                    assert_eq!(parts.last().map(|r| r.end), Some(groups));
+                    for w in parts.windows(2) {
+                        assert_eq!(w[0].end, w[1].start);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_slices_mut_writes_disjoint_chunks_in_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let mut data = vec![0usize; 100];
+            let bounds = vec![0, 10, 10, 55, 99];
+            let sums = pool.map_slices_mut(&mut data, &bounds, |i, slice| {
+                for v in slice.iter_mut() {
+                    *v = i + 1;
+                }
+                slice.len()
+            });
+            assert_eq!(sums, vec![10, 0, 45, 44, 1], "{threads} threads");
+            let expected: Vec<usize> = (0..100)
+                .map(|k| match k {
+                    0..=9 => 1,
+                    10..=54 => 3,
+                    55..=98 => 4,
+                    _ => 5,
+                })
+                .collect();
+            assert_eq!(data, expected, "{threads} threads");
+        }
+        let pool = Pool::new(4);
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(pool
+            .map_slices_mut(&mut empty, &[], |_, _: &mut [u8]| 0)
+            .is_empty());
+    }
+
+    #[test]
+    fn independent_or_fold_replays_the_sequential_recurrence_bitwise() {
+        let probs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37 + 11) % 97) as f64 / 97.0)
+            .collect();
+        // The reference: Fig. 8's root accumulator update applied in order.
+        let mut acc = 0.0f64;
+        for &p in &probs {
+            acc = 1.0 - (1.0 - p) * (1.0 - acc);
+        }
+        assert_eq!(
+            independent_or_fold(probs.iter().copied()).to_bits(),
+            acc.to_bits()
+        );
+        // Splitting the fold into an arbitrary prefix/suffix and re-folding
+        // the concatenated per-partition values is the same fold: partials
+        // are per-partition, not per-chunk, so chunking cannot perturb it.
+        for cut in [0, 1, 500, 999, 1000] {
+            let (a, b) = probs.split_at(cut);
+            let rejoined: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+            assert_eq!(
+                independent_or_fold(rejoined.iter().copied()).to_bits(),
+                acc.to_bits(),
+                "cut {cut}"
+            );
+        }
+        assert_eq!(independent_or_fold([]), 0.0);
+        assert_eq!(independent_or(0.25, 0.0), 1.0 - (1.0 - 0.25) * 1.0);
     }
 
     #[test]

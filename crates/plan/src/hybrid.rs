@@ -11,8 +11,8 @@
 
 use std::collections::BTreeSet;
 
-use pdb_conf::multi_scan::apply_pre_aggregation_with;
-use pdb_conf::{ConfidenceOperator, ConfidenceResult, Strategy};
+use pdb_conf::multi_scan::apply_pre_aggregation_tuned;
+use pdb_conf::{ConfidenceOperator, ConfidenceResult, SplitPolicy, Strategy};
 use pdb_exec::{ops, Annotated};
 use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
@@ -30,6 +30,7 @@ pub struct HybridPlan {
     pushed: BTreeSet<String>,
     top_signature: Signature,
     pool: Pool,
+    split_policy: SplitPolicy,
 }
 
 impl HybridPlan {
@@ -66,6 +67,7 @@ impl HybridPlan {
             pushed,
             top_signature,
             pool: Pool::from_env(),
+            split_policy: SplitPolicy::default(),
         })
     }
 
@@ -73,6 +75,15 @@ impl HybridPlan {
     /// confidence operator fan out on (the default is [`Pool::from_env`]).
     pub fn with_pool(mut self, pool: Pool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Sets the intra-bag [`SplitPolicy`] applied both to the pushed-down
+    /// leaf aggregations (a leaf whose rows collapse into few groups is one
+    /// huge group) and to the top-level confidence operator. Results are
+    /// bitwise-identical for every policy.
+    pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.split_policy = policy;
         self
     }
 
@@ -92,7 +103,8 @@ impl HybridPlan {
     /// Fails on execution or confidence-computation errors.
     pub fn execute(&self, catalog: &Catalog) -> PlanResult<ConfidenceResult> {
         let answer = self.answer_tuples(catalog)?;
-        let operator = ConfidenceOperator::with_pool(self.top_signature.clone(), self.pool);
+        let operator = ConfidenceOperator::with_pool(self.top_signature.clone(), self.pool)
+            .with_split_policy(self.split_policy);
         operator
             .compute(&answer, Strategy::Auto)
             .map_err(PlanError::from)
@@ -146,7 +158,12 @@ impl HybridPlan {
                 // projected tuple, carrying a representative variable and the
                 // group's probability.
                 let step_sig = Signature::star(Signature::table(rel_name.clone()));
-                scanned = apply_pre_aggregation_with(&scanned, &step_sig, &self.pool)?;
+                scanned = apply_pre_aggregation_tuned(
+                    &scanned,
+                    &step_sig,
+                    &self.pool,
+                    self.split_policy,
+                )?;
             }
 
             current = Some(match current {

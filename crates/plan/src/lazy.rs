@@ -2,7 +2,7 @@
 //! order and run the confidence-computation operator once, at the very top of
 //! the plan (Fig. 7 (c)).
 
-use pdb_conf::{ConfidenceOperator, ConfidenceResult, Strategy};
+use pdb_conf::{ConfidenceOperator, ConfidenceResult, SplitPolicy, Strategy};
 use pdb_exec::{evaluate_join_order, Annotated};
 use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
@@ -19,6 +19,7 @@ pub struct LazyPlan {
     join_order: Vec<String>,
     signature: Signature,
     pool: Pool,
+    split_policy: SplitPolicy,
 }
 
 impl LazyPlan {
@@ -40,6 +41,7 @@ impl LazyPlan {
             join_order,
             signature,
             pool: Pool::from_env(),
+            split_policy: SplitPolicy::default(),
         })
     }
 
@@ -48,6 +50,16 @@ impl LazyPlan {
     /// every pool size.
     pub fn with_pool(mut self, pool: Pool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Sets the intra-bag [`SplitPolicy`] of the top-level confidence
+    /// operator: the row threshold above which one bag of duplicate answer
+    /// tuples is split at root-variable boundaries across the pool
+    /// (Boolean / low-distinct answers are one huge bag). Confidences are
+    /// bitwise-identical for every policy.
+    pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.split_policy = policy;
         self
     }
 
@@ -89,7 +101,8 @@ impl LazyPlan {
     /// # Errors
     /// Fails on confidence-computation errors.
     pub fn confidences(&self, answer: &Annotated) -> PlanResult<ConfidenceResult> {
-        let operator = ConfidenceOperator::with_pool(self.signature.clone(), self.pool);
+        let operator = ConfidenceOperator::with_pool(self.signature.clone(), self.pool)
+            .with_split_policy(self.split_policy);
         operator
             .compute(answer, Strategy::Auto)
             .map_err(PlanError::from)
