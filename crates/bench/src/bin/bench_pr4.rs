@@ -1,0 +1,507 @@
+//! PR 4 regression benchmark: the morsel-driven parallel relational
+//! pipeline (chunked scan-filter-project, radix-partitioned hash joins, and
+//! the unified bag + intra-bag confidence scheduler).
+//!
+//! Produces `BENCH_PR4.json` with three experiments over the TPC-H workload
+//! (Q1/Q6/B6 plus the Fig. 9 join queries) at scale factors 0.01 and 0.1:
+//!
+//! 1. **Plan families** — lazy vs. eager vs. hybrid wall-clock totals
+//!    (min-of-N), re-measured so they are comparable with the BENCH_PR2/PR3
+//!    trajectory from the same machine and build.
+//! 2. **Per-stage breakdown** — every 1scan lazy plan decomposed into
+//!    scan/filter (fused scans), join (partitioned hash joins +
+//!    projections), sort (the one-scan confidence sort), and confidence
+//!    (the presorted streaming scan), each timed separately.
+//! 3. **Thread scaling** — the full lazy plan (relational pipeline *and*
+//!    confidence operator on the same pool) at 1/2/4/8 worker threads.
+//!
+//! Acceptance gates asserted here, not just recorded:
+//!
+//! * the annotated answer is **identical** (values, lineage, row order) at
+//!   every thread count, and the partitioned join replays the retained seed
+//!   row-at-a-time join exactly;
+//! * confidences are **bitwise identical** (max |Δp| = 0) across every
+//!   thread count and split policy — the PR 3 engine contract, preserved by
+//!   the unified scheduler;
+//! * the retained seed recursive engine still agrees within 1e-9.
+//!
+//! Run with `cargo run --release -p sprout-bench --bin bench_pr4`; pass
+//! `--smoke` for a seconds-long CI-sized run (SF 0.01 only, single
+//! measurement). Set `SPROUT_BENCH_OUT` to change the output path (default
+//! `BENCH_PR4.json`, or `target/BENCH_PR4.smoke.json` under `--smoke`).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pdb_conf::baseline::one_scan_confidences_recursive;
+use pdb_conf::one_scan::{
+    one_scan_confidences_presorted_tuned, one_scan_confidences_tuned, sort_for_signature,
+    SplitPolicy,
+};
+use pdb_conf::Pool;
+use pdb_exec::{baseline, evaluate_join_order_with, ops, Annotated};
+use pdb_query::reduct::query_signature;
+use pdb_query::{ConjunctiveQuery, Signature};
+use sprout::{PlanKind, SproutDb};
+use sprout_bench::harness::{build_database, run_plan};
+use sprout_plan::join_order::greedy_join_order;
+use sprout_plan::lazy::LazyPlan;
+
+use pdb_tpch::{fig9_queries, tpch_query};
+
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sfs: Vec<f64> = if smoke { vec![0.01] } else { vec![0.01, 0.1] };
+    let runs = if smoke { 1 } else { 3 };
+    let out_path = std::env::var("SPROUT_BENCH_OUT").unwrap_or_else(|_| {
+        if smoke {
+            "target/BENCH_PR4.smoke.json".to_string()
+        } else {
+            "BENCH_PR4.json".to_string()
+        }
+    });
+
+    let mut plan_rows = Vec::new();
+    let mut stage_rows = Vec::new();
+    let mut scaling_rows = Vec::new();
+    let mut max_thread_diff = 0.0f64;
+    let mut max_seed_diff = 0.0f64;
+
+    for &sf in &sfs {
+        eprintln!("== scale factor {sf}: building probabilistic TPC-H database ...");
+        let db = build_database(sf);
+        plan_families(&db, sf, runs, &mut plan_rows);
+        stages_and_scaling(
+            &db,
+            sf,
+            runs,
+            &mut stage_rows,
+            &mut scaling_rows,
+            &mut max_thread_diff,
+            &mut max_seed_diff,
+        );
+    }
+
+    let json = render_json(
+        smoke,
+        &plan_rows,
+        &stage_rows,
+        &scaling_rows,
+        max_thread_diff,
+        max_seed_diff,
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+
+    assert_eq!(
+        max_thread_diff, 0.0,
+        "thread counts / split policies diverged"
+    );
+    assert!(
+        max_seed_diff < 1e-9,
+        "seed recursive engine diverged by {max_seed_diff}"
+    );
+    eprintln!(
+        "thread/policy max |Δp| = {max_thread_diff:.1e} (must be 0); seed engine max |Δp| = {max_seed_diff:.3e}"
+    );
+}
+
+/// The PR-1 workload: Q1/Q6/B6-style selections plus the Fig. 9 join queries.
+fn workload() -> Vec<(String, ConjunctiveQuery)> {
+    let mut workload: Vec<(String, ConjunctiveQuery)> = Vec::new();
+    for id in ["1", "6", "B6"] {
+        if let Some(entry) = tpch_query(id) {
+            if let Some(q) = entry.query {
+                workload.push((entry.id, q));
+            }
+        }
+    }
+    for entry in fig9_queries() {
+        if let Some(q) = entry.query {
+            workload.push((entry.id, q));
+        }
+    }
+    workload
+}
+
+struct PlanRow {
+    sf: f64,
+    query: String,
+    plan: String,
+    total_s: f64,
+    distinct: usize,
+}
+
+/// Experiment 1: lazy vs. eager vs. hybrid totals (min-of-N).
+fn plan_families(db: &SproutDb, sf: f64, runs: usize, out: &mut Vec<PlanRow>) {
+    for (id, query) in &workload() {
+        let rels: BTreeSet<&str> = query.relation_names().into_iter().collect();
+        let push: Vec<String> = ["Item", "Psupp", "Ord"]
+            .iter()
+            .find(|t| rels.contains(*t))
+            .map(|t| vec![t.to_string()])
+            .unwrap_or_default();
+        for (name, kind) in [
+            ("lazy", PlanKind::Lazy),
+            ("eager", PlanKind::Eager),
+            ("hybrid", PlanKind::Hybrid(push.clone())),
+        ] {
+            let mut best: Option<f64> = None;
+            let mut distinct = 0usize;
+            for _ in 0..runs {
+                match run_plan(db, id, query, kind.clone(), true) {
+                    Ok(m) => {
+                        let total = m.total().as_secs_f64();
+                        distinct = m.distinct_tuples;
+                        if best.is_none_or(|b| total < b) {
+                            best = Some(total);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("  sf {sf} q{id} {name}: {e}");
+                        break;
+                    }
+                }
+            }
+            if let Some(total_s) = best {
+                eprintln!("  sf {sf} q{id} {name:<6} total {total_s:.4}s ({distinct} distinct)");
+                out.push(PlanRow {
+                    sf,
+                    query: id.clone(),
+                    plan: name.to_string(),
+                    total_s,
+                    distinct,
+                });
+            }
+        }
+    }
+}
+
+struct StageRow {
+    sf: f64,
+    query: String,
+    rows: usize,
+    scan_s: f64,
+    join_s: f64,
+    sort_s: f64,
+    confidence_s: f64,
+}
+
+struct ScalingRow {
+    sf: f64,
+    query: String,
+    rows: usize,
+    /// Full lazy-plan seconds at [`SCALING_THREADS`] workers.
+    total_s: [f64; SCALING_THREADS.len()],
+}
+
+/// Replays the lazy pipeline (fused scans, partitioned joins, projections)
+/// with per-stage timers: returns the answer plus (scan/filter, join+project)
+/// seconds. The operator sequence matches `evaluate_join_order_with`.
+fn staged_answer(
+    query: &ConjunctiveQuery,
+    db: &SproutDb,
+    order: &[String],
+    pool: &Pool,
+) -> (Annotated, f64, f64) {
+    let head: BTreeSet<String> = query.head_set();
+    let join_attrs = query.join_attributes();
+    let (mut scan_s, mut join_s) = (0.0f64, 0.0f64);
+    let mut current: Option<Annotated> = None;
+    for (step, rel_name) in order.iter().enumerate() {
+        let atom = query.relation(rel_name).expect("relation in query");
+        let table = db.catalog().table(rel_name).expect("table in catalog");
+        let keep: Vec<String> = atom
+            .attributes
+            .iter()
+            .filter(|a| head.contains(*a) || join_attrs.contains(*a))
+            .cloned()
+            .collect();
+        let t0 = Instant::now();
+        let scanned = ops::scan_filter_project_with(
+            &table,
+            rel_name,
+            &query.predicates_for(rel_name),
+            &keep,
+            &pool.for_items(table.len()),
+        )
+        .expect("scan");
+        scan_s += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        current = Some(match current {
+            None => scanned,
+            Some(acc) => {
+                let gated = pool.for_items(acc.len().max(scanned.len()));
+                ops::natural_join_with(&acc, &scanned, &gated).expect("join")
+            }
+        });
+        if let Some(acc) = current.take() {
+            let remaining: BTreeSet<&String> = order[step + 1..].iter().collect();
+            let needed: Vec<String> = acc
+                .schema()
+                .names()
+                .into_iter()
+                .filter(|a| {
+                    head.contains(*a)
+                        || remaining.iter().any(|r| {
+                            query
+                                .relation(r)
+                                .map(|atom| atom.has_attribute(a))
+                                .unwrap_or(false)
+                        })
+                })
+                .map(|s| s.to_string())
+                .collect();
+            current = Some(
+                ops::project_with(&acc, &needed, &pool.for_items(acc.len())).expect("project"),
+            );
+        }
+        join_s += t0.elapsed().as_secs_f64();
+    }
+    let answer = current.expect("query has at least one relation");
+    let t0 = Instant::now();
+    let answer = ops::project_with(&answer, &query.head, &pool.for_items(answer.len()))
+        .expect("head projection");
+    join_s += t0.elapsed().as_secs_f64();
+    (answer, scan_s, join_s)
+}
+
+/// Experiments 2 and 3 plus the determinism gates, per 1scan workload query.
+#[allow(clippy::too_many_arguments)]
+fn stages_and_scaling(
+    db: &SproutDb,
+    sf: f64,
+    runs: usize,
+    stage_out: &mut Vec<StageRow>,
+    scaling_out: &mut Vec<ScalingRow>,
+    max_thread_diff: &mut f64,
+    max_seed_diff: &mut f64,
+) {
+    let fds = sprout::FdSet::from_catalog_decls(&db.catalog().fds());
+    for (id, query) in &workload() {
+        let Ok(sig): Result<Signature, _> = query_signature(query, &fds) else {
+            continue;
+        };
+        if !sig.is_one_scan() {
+            continue;
+        }
+        let order = greedy_join_order(query, db.catalog()).expect("join order");
+        let env_pool = Pool::from_env();
+
+        // -- Determinism gates -------------------------------------------
+        // The answer relation is identical (values, lineage, row order) at
+        // every thread count.
+        let reference_answer =
+            evaluate_join_order_with(query, db.catalog(), &order, &Pool::sequential())
+                .expect("answer");
+        let rows = reference_answer.len();
+        for &threads in &SCALING_THREADS[1..] {
+            let answer = evaluate_join_order_with(query, db.catalog(), &order, &Pool::new(threads))
+                .expect("answer");
+            assert_eq!(
+                answer, reference_answer,
+                "q{id}: answer diverged at {threads} threads"
+            );
+        }
+        // The partitioned join replays the seed row-at-a-time join exactly
+        // (first join step of the pipeline, both sides scanned fused).
+        if order.len() >= 2 {
+            let head: BTreeSet<String> = query.head_set();
+            let join_attrs = query.join_attributes();
+            let scan_one = |rel: &String| {
+                let atom = query.relation(rel).expect("relation");
+                let table = db.catalog().table(rel).expect("table");
+                let keep: Vec<String> = atom
+                    .attributes
+                    .iter()
+                    .filter(|a| head.contains(*a) || join_attrs.contains(*a))
+                    .cloned()
+                    .collect();
+                ops::scan_filter_project(&table, rel, &query.predicates_for(rel), &keep)
+                    .expect("scan")
+            };
+            let l = scan_one(&order[0]);
+            let r = scan_one(&order[1]);
+            let seed = baseline::natural_join_rowwise(&l, &r).expect("seed join");
+            for &threads in &SCALING_THREADS {
+                let fast = ops::natural_join_with(&l, &r, &Pool::new(threads)).expect("join");
+                assert_eq!(
+                    fast, seed,
+                    "q{id}: partitioned join diverged from the seed join at {threads} threads"
+                );
+            }
+        }
+        // Confidences are bitwise identical across thread counts and split
+        // policies; the seed recursive engine agrees within 1e-9.
+        let reference_conf = one_scan_confidences_tuned(
+            &reference_answer,
+            &sig,
+            &Pool::sequential(),
+            SplitPolicy::never(),
+        )
+        .expect("reference confidences");
+        for &threads in &SCALING_THREADS {
+            for policy in [SplitPolicy::default(), SplitPolicy::never()] {
+                let conf = one_scan_confidences_tuned(
+                    &reference_answer,
+                    &sig,
+                    &Pool::new(threads),
+                    policy,
+                )
+                .expect("confidences");
+                assert_eq!(conf.len(), reference_conf.len(), "q{id}");
+                for ((t1, p1), (t2, p2)) in conf.iter().zip(reference_conf.iter()) {
+                    assert_eq!(t1, t2, "q{id} at {threads} threads");
+                    if p1.to_bits() != p2.to_bits() {
+                        *max_thread_diff =
+                            max_thread_diff.max((p1 - p2).abs().max(f64::MIN_POSITIVE));
+                    }
+                }
+            }
+        }
+        if rows > 0 {
+            let seed_conf = one_scan_confidences_recursive(&reference_answer, &sig).expect("seed");
+            for ((t1, p1), (t2, p2)) in seed_conf.iter().zip(reference_conf.iter()) {
+                assert_eq!(t1, t2, "q{id}: seed tuple order");
+                *max_seed_diff = max_seed_diff.max((p1 - p2).abs());
+            }
+        }
+
+        // -- Experiment 2: per-stage breakdown (min-of-N) ----------------
+        let (mut scan_s, mut join_s, mut sort_s, mut conf_s) =
+            (f64::MAX, f64::MAX, f64::MAX, f64::MAX);
+        for _ in 0..runs {
+            let (answer, s, j) = staged_answer(query, db, &order, &env_pool);
+            scan_s = scan_s.min(s);
+            join_s = join_s.min(j);
+            let t0 = Instant::now();
+            let mut sorted = answer.clone();
+            sort_for_signature(&mut sorted, &sig).expect("sort");
+            sort_s = sort_s.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let conf = one_scan_confidences_presorted_tuned(
+                &sorted,
+                &sig,
+                &env_pool.for_items(sorted.len()),
+                SplitPolicy::default(),
+            )
+            .expect("confidences");
+            conf_s = conf_s.min(t0.elapsed().as_secs_f64());
+            assert_eq!(conf.len(), reference_conf.len(), "q{id}: presorted path");
+        }
+        eprintln!(
+            "  sf {sf} q{id}: {rows} rows — scan {scan_s:.4}s, join {join_s:.4}s, sort {sort_s:.4}s, confidence {conf_s:.4}s"
+        );
+        stage_out.push(StageRow {
+            sf,
+            query: id.clone(),
+            rows,
+            scan_s,
+            join_s,
+            sort_s,
+            confidence_s: conf_s,
+        });
+
+        // -- Experiment 3: full lazy plan at 1/2/4/8 threads -------------
+        let mut total_s = [f64::MAX; SCALING_THREADS.len()];
+        for (slot, &threads) in total_s.iter_mut().zip(&SCALING_THREADS) {
+            let plan = LazyPlan::build(query, &fds, db.catalog())
+                .expect("lazy plan")
+                .with_pool(Pool::new(threads));
+            for _ in 0..runs {
+                let t0 = Instant::now();
+                let result = plan.execute(db.catalog()).expect("lazy execute");
+                *slot = slot.min(t0.elapsed().as_secs_f64());
+                assert_eq!(
+                    result.len(),
+                    reference_conf.len(),
+                    "q{id} at {threads} threads"
+                );
+            }
+        }
+        scaling_out.push(ScalingRow {
+            sf,
+            query: id.clone(),
+            rows,
+            total_s,
+        });
+    }
+}
+
+fn render_json(
+    smoke: bool,
+    plan_rows: &[PlanRow],
+    stage_rows: &[StageRow],
+    scaling_rows: &[ScalingRow],
+    max_thread_diff: f64,
+    max_seed_diff: f64,
+) -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"pr\": 4,\n");
+    s.push_str(
+        "  \"description\": \"Morsel-driven parallel relational pipeline: chunked scan-filter-project, radix-partitioned hash joins, unified bag+intra-bag confidence scheduler. Plan-family totals, per-stage breakdown (scan/filter, join, sort, confidence) of 1scan lazy plans, and full-lazy-plan thread scaling at 1/2/4/8 workers; answers and confidences asserted bitwise-identical across thread counts and equal to the seed row-at-a-time join / recursive engine\",\n",
+    );
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"harness\": \"std::time::Instant, min over runs\",\n");
+    let _ = writeln!(s, "  \"target\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(s, "  \"available_parallelism\": {parallelism},");
+    s.push_str("  \"plan_families\": [\n");
+    for (i, r) in plan_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"plan\": \"{}\", \"total_s\": {:.6}, \"distinct_tuples\": {}}}",
+            r.sf, r.query, r.plan, r.total_s, r.distinct
+        );
+        s.push_str(if i + 1 < plan_rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"lazy_stage_breakdown\": [\n");
+    for (i, r) in stage_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"answer_rows\": {}, \"scan_filter_s\": {:.6}, \"join_s\": {:.6}, \"sort_s\": {:.6}, \"confidence_s\": {:.6}}}",
+            r.sf, r.query, r.rows, r.scan_s, r.join_s, r.sort_s, r.confidence_s
+        );
+        s.push_str(if i + 1 < stage_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"lazy_thread_scaling\": [\n");
+    for (i, r) in scaling_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"answer_rows\": {}",
+            r.sf, r.query, r.rows
+        );
+        for (t, secs) in SCALING_THREADS.iter().zip(&r.total_s) {
+            let _ = write!(s, ", \"t{t}_s\": {secs:.6}");
+        }
+        s.push('}');
+        s.push_str(if i + 1 < scaling_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"summary\": {{\"max_abs_diff_threads_and_policies\": {max_thread_diff:.1e}, \"acceptance_thread_diff\": 0.0, \"max_abs_diff_vs_seed\": {max_seed_diff:.3e}}}"
+    );
+    s.push_str("}\n");
+    s
+}

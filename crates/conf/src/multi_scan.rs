@@ -17,26 +17,28 @@
 //! grouping runs over normalized `u64` sort keys ([`pdb_exec::key`], the
 //! same machinery the joins use) through a sorted row-index permutation, the
 //! per-group probability comes from the flat iterative Fig. 8 machine, and
-//! contiguous group ranges fan out across the worker pool (groups are
-//! independent, and chunk outputs concatenate in group order, so results are
-//! identical at every thread count). Since PR 3 a *single huge group* — the
-//! Boolean / low-distinct shape, where group-level fan-out degenerates to
-//! one worker — is split further at the boundaries of its step-root
-//! variable, reusing the intra-bag split machinery of [`crate::one_scan`]
-//! ([`SplitPolicy`], bitwise-identical results at every thread count).
+//! groups fan out across the worker pool (groups are independent and
+//! results stay in group order, so the output is identical at every thread
+//! count). Since PR 3 a *huge group* — the Boolean / low-distinct shape,
+//! where group-level fan-out degenerates to one worker — is split further
+//! at the boundaries of its step-root variable ([`SplitPolicy`],
+//! bitwise-identical results at every thread count); since PR 4 ordinary
+//! groups and all huge-group sub-ranges are scheduled together through
+//! [`crate::one_scan`]'s unified weight-balanced scheduler (boundaries read
+//! off the sort-key words) and the collapsed output rows are written in
+//! place into disjoint arena segments.
 
 use std::collections::BTreeSet;
 
 use pdb_exec::key::CELL_WIDTH;
-use pdb_exec::{Annotated, RowRef};
-use pdb_par::Pool;
+use pdb_exec::Annotated;
+use pdb_par::{partition_by_weight, Pool};
 use pdb_query::{OneScanTree, Signature};
 use pdb_storage::{Tuple, Variable};
 
 use crate::error::ConfResult;
 use crate::one_scan::{
-    one_scan_confidences_tuned, run_chunks, split_bag_confidence, split_segments, FlatScan,
-    ScanSegment, SplitPolicy,
+    one_scan_confidences_tuned, unit_confidences, FlatScan, RootBoundaries, SplitPolicy,
 };
 
 /// Computes `(distinct answer tuple, confidence)` pairs for an arbitrary
@@ -187,117 +189,66 @@ pub fn apply_pre_aggregation_tuned(
     let group_rows = |g: usize| -> &[u32] {
         &order[group_starts[g]..group_starts.get(g + 1).copied().unwrap_or(order.len())]
     };
-    // Fans a contiguous group run out across the pool; each worker collapses
-    // its groups into a private output relation and the chunks concatenate
-    // in group order.
-    let collapse_run = |run: std::ops::Range<usize>| -> Vec<Annotated> {
-        let lo = run.start;
-        let chunks = run_chunks(&group_starts, order.len(), &run, pool);
-        pool.map_ranges(&chunks, |groups| {
-            let mut machine = machine.clone();
-            let mut out = Annotated::with_row_capacity(
-                input.schema().clone(),
-                kept_relations.clone(),
-                groups.len(),
-            );
-            let mut lineage_scratch: Vec<(Variable, f64)> = Vec::with_capacity(kept_cols.len());
-            for g in groups {
-                let rows = group_rows(lo + g);
-                // The whole group is a single bag for the step's machine.
-                let prob = machine.scan_bag(input, rows);
-                push_collapsed(
-                    &mut out,
-                    input,
-                    rows,
-                    prob,
-                    leftmost_col,
-                    &kept_cols,
-                    &mut lineage_scratch,
-                );
-            }
-            out
-        })
-    };
 
-    // Runs of ordinary groups fan out group-wise; huge groups split
-    // internally at the step root's variable boundaries ([`split_segments`]
-    // decides, and makes the whole list one run when nothing is huge or the
-    // pool is sequential). Output rows stay in group order either way.
-    let segments = split_segments(n, |g| group_rows(g).len(), pool, policy);
-    // The common case — no huge group, whole list one run — additionally
-    // gets a zero-copy return when the pool produced a single output chunk.
-    let mut whole_list_chunks: Option<Vec<Annotated>> = None;
-    if let [ScanSegment::Run(run)] = &segments[..] {
-        let mut chunk_outputs = collapse_run(run.clone());
-        if chunk_outputs.len() == 1 {
-            return Ok(chunk_outputs.pop().expect("one chunk"));
-        }
-        whole_list_chunks = Some(chunk_outputs);
-    }
+    // Per-group probabilities through the unified bag + intra-bag scheduler:
+    // ordinary groups and the sub-ranges of huge groups (cut at the step
+    // root's variable boundaries, read off the key words — the root is the
+    // first preorder extra, right after the grouping prefix) form one
+    // weight-balanced schedule, so many medium-huge groups overlap.
+    let probs = unit_confidences(
+        &machine,
+        input,
+        &order,
+        &group_starts,
+        RootBoundaries::Keys {
+            keys: &keys,
+            word: group_words,
+        },
+        pool,
+        policy,
+    );
 
-    // One row per group either way.
-    let mut out = Annotated::with_row_capacity(input.schema().clone(), kept_relations.clone(), n);
-    let append_chunks = |out: &mut Annotated, chunks: &[Annotated]| {
-        for chunk in chunks {
-            for row in chunk.iter() {
-                out.push_row(row.data, row.lineage);
-            }
-        }
-    };
-    if let Some(chunks) = whole_list_chunks {
-        append_chunks(&mut out, &chunks);
-        return Ok(out);
-    }
-    let mut lineage_scratch: Vec<(Variable, f64)> = Vec::with_capacity(kept_cols.len());
-    for segment in segments {
-        match segment {
-            ScanSegment::Huge(g) => {
+    // Collapse: exactly one output row per group — the exemplar's data and
+    // lineage, with the step's leftmost table carrying the group's
+    // representative variable (the minimum, Fig. 5's `min(V)`) and the
+    // aggregated probability. Groups are weight-balanced across the pool
+    // (the representative scan is O(group rows)) and written in place into
+    // disjoint arena segments, in group order.
+    let mut out = Annotated::with_placeholder_rows(input.schema().clone(), kept_relations, n);
+    let dw = out.data_width();
+    let lw = out.lineage_width();
+    let chunks = partition_by_weight(&group_starts, order.len(), pool.threads());
+    let data_cuts: Vec<usize> = chunks.iter().map(|c| c.start * dw).collect();
+    let lineage_cuts: Vec<usize> = chunks.iter().map(|c| c.start * lw).collect();
+    let (data, lineage) = out.arena_segments_mut();
+    pool.map_slices2_mut(
+        data,
+        &data_cuts,
+        lineage,
+        &lineage_cuts,
+        |ci, dseg, lseg| {
+            for (local, g) in chunks[ci].clone().enumerate() {
                 let rows = group_rows(g);
-                let prob = split_bag_confidence(&machine, input, rows, pool);
-                push_collapsed(
-                    &mut out,
-                    input,
-                    rows,
-                    prob,
-                    leftmost_col,
-                    &kept_cols,
-                    &mut lineage_scratch,
-                );
+                let representative: Variable = rows
+                    .iter()
+                    .map(|&r| input.row(r as usize).lineage[leftmost_col].0)
+                    .min()
+                    .expect("group is non-empty");
+                let exemplar = input.row(rows[0] as usize);
+                for j in 0..dw {
+                    dseg[local * dw + j] = exemplar.data[j].clone();
+                }
+                for (e, &c) in kept_cols.iter().enumerate() {
+                    lseg[local * lw + e] = if c == leftmost_col {
+                        (representative, probs[g])
+                    } else {
+                        exemplar.lineage[c]
+                    };
+                }
             }
-            ScanSegment::Run(run) => append_chunks(&mut out, &collapse_run(run)),
-        }
-    }
+        },
+    );
     Ok(out)
-}
-
-/// Appends the collapsed row of one pre-aggregation group: the exemplar's
-/// data and lineage, with the step's leftmost table carrying the group's
-/// representative variable (the minimum, Fig. 5's `min(V)`) and aggregated
-/// probability.
-fn push_collapsed(
-    out: &mut Annotated,
-    input: &Annotated,
-    rows: &[u32],
-    prob: f64,
-    leftmost_col: usize,
-    kept_cols: &[usize],
-    lineage_scratch: &mut Vec<(Variable, f64)>,
-) {
-    let representative: Variable = rows
-        .iter()
-        .map(|&r| input.row(r as usize).lineage[leftmost_col].0)
-        .min()
-        .expect("group is non-empty");
-    let exemplar: RowRef<'_> = input.row(rows[0] as usize);
-    lineage_scratch.clear();
-    lineage_scratch.extend(kept_cols.iter().map(|&c| {
-        if c == leftmost_col {
-            (representative, prob)
-        } else {
-            exemplar.lineage[c]
-        }
-    }));
-    out.push_row(exemplar.data, lineage_scratch);
 }
 
 #[cfg(test)]

@@ -51,10 +51,25 @@
 //! share one root variable has no boundary to cut at and falls back to the
 //! sequential scan.
 //!
+//! # Unified bag + intra-bag scheduling (PR 4)
+//!
+//! Bags and huge-bag sub-ranges no longer run as alternating segments (fan
+//! out a run of small bags, barrier, split one huge bag with the whole
+//! pool, barrier, …): [`unit_confidences`] flattens ordinary bags and the
+//! root-boundary sub-ranges of *all* huge bags into **one** work-item list,
+//! weight-balances it by row count ([`pdb_par::partition_by_weight`]), and
+//! fans it out once — so many medium-huge bags overlap across workers.
+//! Root-partition boundaries are read off the already-built sort-key words
+//! ([`RootBoundaries::Keys`], one `u64` load per row, chunked across the
+//! pool) instead of re-walking lineage columns; the presorted entry point,
+//! which builds no keys, keeps the lineage scan, and a unit test pins the
+//! two sources against each other on adversarial duplicate runs. The same
+//! scheduler drives the multi-scan pre-aggregation groups.
+//!
 //! The pre-PR-2 recursive implementation is retained in [`crate::baseline`]
 //! for A/B benchmarking and regression tests.
 
-use pdb_exec::key::CELL_WIDTH;
+use pdb_exec::key::{SortKeys, CELL_WIDTH};
 use pdb_exec::{Annotated, RowRef};
 use pdb_par::{independent_or, independent_or_fold, partition_by_weight, Pool};
 use pdb_query::{OneScanTree, Signature};
@@ -397,6 +412,76 @@ impl FlatScan {
     }
 }
 
+/// Where a bag's root-variable boundaries are read from when the intra-bag
+/// split engages.
+pub(crate) enum RootBoundaries<'a> {
+    /// The normalized sort-key words the driver already built: the root
+    /// variable is word `word` of every row's key run, so boundary detection
+    /// compares one `u64` load per row — no `Annotated` row assembly or
+    /// lineage deref — and chunks across the pool (the ROADMAP PR 3 note).
+    Keys { keys: &'a SortKeys, word: usize },
+    /// No keys exist (physically presorted input): read the root's lineage
+    /// column directly.
+    Lineage { root_col: usize },
+}
+
+impl RootBoundaries<'_> {
+    /// The root variable id of input row `row` (the extra key words hold the
+    /// raw variable id, so both sources agree exactly).
+    #[inline]
+    fn root_of(&self, answer: &Annotated, row: u32) -> u64 {
+        match self {
+            RootBoundaries::Keys { keys, word } => keys.row(row as usize)[*word],
+            RootBoundaries::Lineage { root_col } => {
+                answer.row(row as usize).lineage[*root_col].0 .0
+            }
+        }
+    }
+}
+
+/// Root-partition start offsets of the bag `rows` (offset 0 plus every `k`
+/// whose root variable differs from row `k − 1`'s), chunked across the pool
+/// for large bags. Chunk boundaries stitch exactly: a chunk's first row is
+/// compared against the previous chunk's last row, so the offsets are
+/// identical to one sequential prefix scan at every thread count (pinned by
+/// a unit test against the retained lineage scan).
+pub(crate) fn root_partition_starts(
+    answer: &Annotated,
+    rows: &[u32],
+    boundaries: &RootBoundaries<'_>,
+    pool: &Pool,
+) -> Vec<usize> {
+    let n = rows.len();
+    let chunks = pool.threads().min(n.max(1));
+    if chunks <= 1 || n < pdb_par::SEQUENTIAL_CUTOFF {
+        let mut starts = vec![0usize];
+        let mut prev = boundaries.root_of(answer, rows[0]);
+        for (k, &r) in rows.iter().enumerate().skip(1) {
+            let v = boundaries.root_of(answer, r);
+            if v != prev {
+                starts.push(k);
+                prev = v;
+            }
+        }
+        return starts;
+    }
+    let ranges = pdb_par::even_ranges(n, chunks);
+    let per_chunk: Vec<Vec<usize>> = pool.map_ranges(&ranges, |range| {
+        range
+            .filter(|&k| {
+                k > 0
+                    && boundaries.root_of(answer, rows[k])
+                        != boundaries.root_of(answer, rows[k - 1])
+            })
+            .collect()
+    });
+    let mut starts = vec![0usize];
+    for chunk in per_chunk {
+        starts.extend(chunk);
+    }
+    starts
+}
+
 /// Evaluates one huge bag by splitting its sorted row range at root-variable
 /// boundaries into weight-balanced sub-ranges, scanning each on its own
 /// worker, and replaying the root's `independent_or` fold over the
@@ -407,26 +492,20 @@ impl FlatScan {
 /// the sequential machine executes, so the result is bitwise-identical to
 /// [`FlatScan::scan_bag`] — at every pool size. A bag whose rows all share
 /// one root variable cannot be split and falls back to the sequential scan.
+///
+/// The production path schedules sub-ranges through [`unit_confidences`]
+/// instead, which overlaps many huge bags; this standalone driver is kept
+/// for the adversarial split unit tests.
+#[cfg(test)]
 pub(crate) fn split_bag_confidence(
     machine: &FlatScan,
     answer: &Annotated,
     rows: &[u32],
     pool: &Pool,
 ) -> f64 {
-    // Root partitions are runs of one root variable; the one-scan sort
-    // orders the root's variable column right after the data columns, so
-    // the runs are contiguous within the bag. The previous row's variable
-    // is carried in a local, so the scan fetches each row exactly once.
     let root_col = machine.preorder_cols()[0] as usize;
-    let mut part_starts = vec![0usize];
-    let mut prev = answer.row(rows[0] as usize).lineage[root_col].0;
-    for (k, &r) in rows.iter().enumerate().skip(1) {
-        let v = answer.row(r as usize).lineage[root_col].0;
-        if v != prev {
-            part_starts.push(k);
-            prev = v;
-        }
-    }
+    let part_starts =
+        root_partition_starts(answer, rows, &RootBoundaries::Lineage { root_col }, pool);
     if part_starts.len() == 1 {
         // Every row carries the same root variable: unsplittable.
         return machine.clone().scan_bag(answer, rows);
@@ -440,15 +519,23 @@ pub(crate) fn split_bag_confidence(
         machine.scan_bag_partials(answer, &rows[lo..hi], &mut partials);
         partials
     });
-    // An internal root's fresh sub-machine closes an *empty* partition on
-    // its first row, so every sub-range but the first contributes a leading
-    // `0.0` partial the sequential fold performs only once. Folding `0.0`
-    // is a bitwise no-op here: every accumulator value is either exactly
-    // `0.0` or of the form `fl(1 − t)` with `t ∈ [0, 1]`, for which
-    // `1 − (1 − 0)(1 − acc)` reproduces `acc` exactly (`1 − acc` is exact by
-    // Sterbenz for `acc ≥ 0.5`, and for `acc < 0.5` the value `1 − acc = t`
-    // is itself representable) — so the replay stays bit-identical.
-    let mut acc = independent_or_fold(partial_lists.iter().flatten().copied());
+    fold_partials(machine, partial_lists.iter().flatten().copied())
+}
+
+/// Folds the concatenated per-partition partials of one split unit — the
+/// exact left-deep `independent_or` replay of Fig. 8's root accumulation.
+///
+/// An internal root's fresh sub-machine closes an *empty* partition on
+/// its first row, so every sub-range but the first contributes a leading
+/// `0.0` partial the sequential fold performs only once. Folding `0.0`
+/// is a bitwise no-op here: every accumulator value is either exactly
+/// `0.0` or of the form `fl(1 − t)` with `t ∈ [0, 1]`, for which
+/// `1 − (1 − 0)(1 − acc)` reproduces `acc` exactly (`1 − acc` is exact by
+/// Sterbenz for `acc ≥ 0.5`, and for `acc < 0.5` the value `1 − acc = t`
+/// is itself representable) — so the replay stays bit-identical.
+#[inline]
+fn fold_partials(machine: &FlatScan, partials: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = independent_or_fold(partials);
     if machine.root_is_leaf() {
         // Mirror the unsplit flush: the leaf root's accumulated crtP is
         // folded into an allP of exactly 0.0.
@@ -457,122 +544,160 @@ pub(crate) fn split_bag_confidence(
     acc
 }
 
-/// One scheduling segment of a bag/group list: a contiguous run of ordinary
-/// units, fanned out unit-wise across the pool, or a single huge unit whose
-/// evaluation is split internally at root-variable boundaries.
-pub(crate) enum ScanSegment {
-    Run(std::ops::Range<usize>),
-    Huge(usize),
+/// One work item of the unified schedule: a contiguous row sub-range
+/// (`lo..hi` into the sorted permutation) of one unit — a bag of duplicate
+/// answer tuples or a pre-aggregation group.
+struct WorkItem {
+    unit: u32,
+    lo: usize,
+    hi: usize,
+    /// Sub-range of a split unit (yields the root's fold inputs) rather
+    /// than a whole unit (folds inline).
+    split: bool,
 }
 
-/// Weight-balanced chunks of the unit run `lo..hi`, as ranges of
-/// *run-local* unit indices (add `lo` to map back to absolute units).
-/// `starts` holds the absolute unit start offsets (`starts[0] == 0`) into
-/// an item space of `len` items. The whole-list run — the common,
-/// no-huge-unit case — reuses `starts` directly; only mid-list runs rebase
-/// their offsets.
-pub(crate) fn run_chunks(
-    starts: &[usize],
-    len: usize,
-    run: &std::ops::Range<usize>,
-    pool: &Pool,
-) -> Vec<std::ops::Range<usize>> {
-    if run.is_empty() {
-        return Vec::new();
-    }
-    let (lo, hi) = (run.start, run.end);
-    let total = starts.get(hi).copied().unwrap_or(len) - starts[lo];
-    let rebased: Vec<usize>;
-    let bounds: &[usize] = if lo == 0 {
-        &starts[..hi]
-    } else {
-        rebased = starts[lo..hi].iter().map(|s| s - starts[lo]).collect();
-        &rebased
-    };
-    partition_by_weight(bounds, total, pool.threads())
+enum ItemResult {
+    Whole(f64),
+    Partials(Vec<f64>),
 }
 
-/// Cuts the unit list `0..n` into [`ScanSegment`]s: units whose row count
-/// reaches the policy threshold (but never fewer than 2 rows — a 1-row unit
-/// has nothing to split) become [`ScanSegment::Huge`]; everything between
-/// them becomes a [`ScanSegment::Run`]. With a sequential pool — where
-/// intra-unit splitting cannot help — the whole list is one run.
-pub(crate) fn split_segments(
-    n: usize,
-    unit_rows: impl Fn(usize) -> usize,
-    pool: &Pool,
-    policy: SplitPolicy,
-) -> Vec<ScanSegment> {
-    let huge = |u: usize| unit_rows(u) >= policy.min_rows.max(2);
-    if pool.threads() <= 1 || !(0..n).any(huge) {
-        return vec![ScanSegment::Run(0..n)];
-    }
-    let mut segments = Vec::new();
-    let mut u = 0;
-    while u < n {
-        if huge(u) {
-            segments.push(ScanSegment::Huge(u));
-            u += 1;
-        } else {
-            let run_end = (u..n).find(|&x| huge(x)).unwrap_or(n);
-            segments.push(ScanSegment::Run(u..run_end));
-            u = run_end;
-        }
-    }
-    segments
-}
-
-/// Scans all bags: contiguous runs of ordinary bags fan out across the pool
-/// (each worker clones the tiny machine and evaluates its bags
-/// sequentially), while bags at or above the [`SplitPolicy`] threshold are
-/// split *internally* at root-variable boundaries
-/// ([`split_bag_confidence`]) so a single huge bag — the Boolean /
-/// low-distinct shape — also scales with cores.
+/// The unified bag + intra-bag scheduler: evaluates every unit of the sorted
+/// permutation and returns one probability per unit, in unit order.
 ///
-/// `order` is the row permutation realising the one-scan sort and
-/// `bag_starts` the positions in `order` where a new distinct answer tuple
-/// begins (`bag_starts[0] == 0`). Results concatenate in bag order and
-/// every bag's probability is bitwise-identical whether or not it was
-/// split, so the output is identical at every thread count.
-fn scan_bags(
+/// Ordinary units are one work item each; units at or above the
+/// [`SplitPolicy`] threshold are cut at root-variable boundaries (read off
+/// the sort-key words when available) into weight-balanced sub-range items.
+/// All items — whole units and sub-ranges alike — then form **one**
+/// row-weight-balanced global schedule ([`partition_by_weight`]), so many
+/// medium-huge units overlap across workers instead of being evaluated one
+/// at a time with a barrier in between (the pre-PR-4 behavior).
+///
+/// Determinism: an item's result depends only on its row range, and a split
+/// unit's partials are per root partition — concatenating them in item
+/// order yields the same list however the sub-ranges were cut — so the
+/// probabilities are bitwise-identical at every thread count, and identical
+/// to the unsplit sequential scan.
+pub(crate) fn unit_confidences(
     machine: &FlatScan,
     answer: &Annotated,
     order: &[u32],
-    bag_starts: &[usize],
+    unit_starts: &[usize],
+    boundaries: RootBoundaries<'_>,
     pool: &Pool,
     policy: SplitPolicy,
-) -> Vec<(Tuple, f64)> {
-    let n = bag_starts.len();
-    let bag_rows = |b: usize| -> &[u32] {
-        &order[bag_starts[b]..bag_starts.get(b + 1).copied().unwrap_or(order.len())]
+) -> Vec<f64> {
+    let n = unit_starts.len();
+    let unit_range =
+        |u: usize| unit_starts[u]..unit_starts.get(u + 1).copied().unwrap_or(order.len());
+    if pool.threads() <= 1 {
+        // Sequential: one machine, one pass over the units — intra-unit
+        // splitting cannot help without a second worker.
+        let mut machine = machine.clone();
+        return (0..n)
+            .map(|u| machine.scan_bag(answer, &order[unit_range(u)]))
+            .collect();
+    }
+    // Build the global work-item list.
+    let threshold = policy.min_rows.max(2);
+    let mut items: Vec<WorkItem> = Vec::with_capacity(n);
+    for u in 0..n {
+        let range = unit_range(u);
+        let len = range.len();
+        let whole = WorkItem {
+            unit: u as u32,
+            lo: range.start,
+            hi: range.end,
+            split: false,
+        };
+        if len < threshold {
+            items.push(whole);
+            continue;
+        }
+        let part_starts = root_partition_starts(answer, &order[range.clone()], &boundaries, pool);
+        if part_starts.len() == 1 {
+            // Every row carries the same root variable: unsplittable.
+            items.push(whole);
+            continue;
+        }
+        for parts in partition_by_weight(&part_starts, len, pool.threads()) {
+            items.push(WorkItem {
+                unit: u as u32,
+                lo: range.start + part_starts[parts.start],
+                hi: range.start + part_starts.get(parts.end).copied().unwrap_or(len),
+                split: true,
+            });
+        }
+    }
+    // One weight-balanced fan-out over all items; each worker walks its
+    // contiguous item range with a single machine clone.
+    let item_bounds: Vec<usize> = {
+        let mut bounds = Vec::with_capacity(items.len());
+        let mut offset = 0usize;
+        for item in &items {
+            bounds.push(offset);
+            offset += item.hi - item.lo;
+        }
+        bounds
     };
-    let small_run = |run: std::ops::Range<usize>, out: &mut Vec<(Tuple, f64)>| {
-        let lo = run.start;
-        let chunks = run_chunks(bag_starts, order.len(), &run, pool);
-        let per_chunk = pool.map_ranges(&chunks, |bags| {
-            let mut machine = machine.clone();
-            let mut res = Vec::with_capacity(bags.len());
-            for b in bags {
-                let rows = bag_rows(lo + b);
-                let p = machine.scan_bag(answer, rows);
-                res.push((answer.row(rows[0] as usize).data_tuple(), p));
+    let worker_ranges = partition_by_weight(&item_bounds, order.len(), pool.threads());
+    let results: Vec<Vec<ItemResult>> = pool.map_ranges(&worker_ranges, |item_range| {
+        let mut machine = machine.clone();
+        let mut out = Vec::with_capacity(item_range.len());
+        for item in &items[item_range] {
+            let rows = &order[item.lo..item.hi];
+            if item.split {
+                let mut partials = Vec::new();
+                machine.scan_bag_partials(answer, rows, &mut partials);
+                out.push(ItemResult::Partials(partials));
+            } else {
+                out.push(ItemResult::Whole(machine.scan_bag(answer, rows)));
             }
-            res
-        });
-        out.extend(per_chunk.into_iter().flatten());
-    };
-    let mut out = Vec::with_capacity(n);
-    for segment in split_segments(n, |b| bag_rows(b).len(), pool, policy) {
-        match segment {
-            ScanSegment::Run(run) => small_run(run, &mut out),
-            ScanSegment::Huge(b) => {
-                let rows = bag_rows(b);
-                let p = split_bag_confidence(machine, answer, rows, pool);
-                out.push((answer.row(rows[0] as usize).data_tuple(), p));
+        }
+        out
+    });
+    // Merge in item order: whole-unit results pass through; a split unit
+    // folds the concatenated partials of its (contiguous) items.
+    let mut probs = vec![0.0f64; n];
+    let mut pending: Vec<f64> = Vec::new();
+    let mut pending_unit: Option<u32> = None;
+    for (item, result) in items.iter().zip(results.into_iter().flatten()) {
+        if pending_unit.is_some_and(|u| u != item.unit) {
+            let u = pending_unit.take().expect("checked is_some");
+            probs[u as usize] = fold_partials(machine, pending.drain(..));
+        }
+        match result {
+            ItemResult::Whole(p) => probs[item.unit as usize] = p,
+            ItemResult::Partials(partials) => {
+                pending_unit = Some(item.unit);
+                pending.extend(partials);
             }
         }
     }
-    out
+    if let Some(u) = pending_unit {
+        probs[u as usize] = fold_partials(machine, pending.drain(..));
+    }
+    probs
+}
+
+/// Builds the `(distinct answer tuple, confidence)` output of a bag list,
+/// chunked evenly across the pool (results concatenate in bag order).
+fn collect_bag_results(
+    answer: &Annotated,
+    order: &[u32],
+    bag_starts: &[usize],
+    probs: &[f64],
+    pool: &Pool,
+) -> Vec<(Tuple, f64)> {
+    let n = bag_starts.len();
+    let ranges = pdb_par::even_ranges(n, pool.threads());
+    let chunks: Vec<Vec<(Tuple, f64)>> = pool.map_ranges(&ranges, |bags| {
+        bags.map(|b| {
+            let first = order[bag_starts[b]] as usize;
+            (answer.row(first).data_tuple(), probs[b])
+        })
+        .collect()
+    });
+    chunks.into_iter().flatten().collect()
 }
 
 /// Computes `(distinct answer tuple, confidence)` pairs for a signature with
@@ -646,13 +771,27 @@ pub fn one_scan_confidences_tuned(
             bag_starts.push(k);
         }
     }
-    Ok(scan_bags(
+    // The root's variable is the first extra key word — right after the
+    // data prefix — so the intra-bag split reads its partition boundaries
+    // off the already-built key words.
+    let probs = unit_confidences(
         &machine,
         answer,
         &order,
         &bag_starts,
+        RootBoundaries::Keys {
+            keys: &keys,
+            word: data_words,
+        },
         pool,
         policy,
+    );
+    Ok(collect_bag_results(
+        answer,
+        &order,
+        &bag_starts,
+        &probs,
+        pool,
     ))
 }
 
@@ -736,13 +875,24 @@ pub fn one_scan_confidences_presorted_tuned(
             bag_starts.push(k);
         }
     }
-    Ok(scan_bags(
+    // No sort keys exist on this path, so the split reads root boundaries
+    // from the lineage column directly.
+    let root_col = machine.preorder_cols()[0] as usize;
+    let probs = unit_confidences(
         &machine,
         answer,
         &order,
         &bag_starts,
+        RootBoundaries::Lineage { root_col },
         pool,
         policy,
+    );
+    Ok(collect_bag_results(
+        answer,
+        &order,
+        &bag_starts,
+        &probs,
+        pool,
     ))
 }
 
@@ -1039,6 +1189,138 @@ mod tests {
         // Closed form for R*: 1 − ∏(1 − p_i).
         let expected = 1.0 - probs.iter().fold(1.0, |acc, p| acc * (1.0 - p));
         assert!((unsplit[0].1 - expected).abs() < 1e-12);
+    }
+
+    /// Like [`internal_root_bag`] but with `bags` distinct answer tuples —
+    /// the many-medium-huge-bags shape the unified scheduler overlaps.
+    fn multi_bag_answer(bags: usize, parts: &[usize], dup_runs: usize) -> (Annotated, Signature) {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]).unwrap();
+        let mut answer = Annotated::new(schema, vec!["R".into(), "S".into()]);
+        let mut var = 0u64;
+        for bag in 0..bags {
+            for (pi, &len) in parts.iter().enumerate() {
+                var += 1;
+                let root = Variable(var);
+                let root_p = 0.1 + 0.8 * ((pi % 7) as f64) / 7.0;
+                for s in 0..len {
+                    var += 1;
+                    let child = Variable(var);
+                    let child_p = 0.05 + 0.9 * ((s % 11) as f64) / 11.0;
+                    for _ in 0..dup_runs.max(1) {
+                        answer.push(AnnotatedRow::new(
+                            pdb_storage::tuple![bag as i64],
+                            vec![(root, root_p), (child, child_p)],
+                        ));
+                    }
+                }
+            }
+        }
+        let sig = Signature::star(Signature::concat(vec![
+            Signature::table("R"),
+            Signature::star(Signature::table("S")),
+        ]));
+        assert!(sig.is_one_scan());
+        (answer, sig)
+    }
+
+    #[test]
+    fn key_word_boundaries_pin_the_lineage_prefix_scan() {
+        // Adversarial duplicate runs: uneven partitions with 3-row duplicate
+        // runs, large enough (>= SEQUENTIAL_CUTOFF rows) that the chunked
+        // key-word scan engages and chunk cuts land inside duplicate runs.
+        let (answer, sig) = internal_root_bag(&[1, 199, 1, 1, 150, 248], 3);
+        assert!(answer.len() >= pdb_par::SEQUENTIAL_CUTOFF);
+        let machine = machine_for(&answer, &sig);
+        let col_idx: Vec<usize> = (0..answer.data_width()).collect();
+        let rel_idx: Vec<usize> = machine
+            .preorder_cols()
+            .iter()
+            .map(|&c| c as usize)
+            .collect();
+        let keys = answer.sort_keys_with(&col_idx, &rel_idx, &Pool::sequential());
+        let order = keys.sorted_permutation_with(answer.len(), &Pool::sequential());
+        let data_words = col_idx.len() * CELL_WIDTH;
+        let root_col = machine.preorder_cols()[0] as usize;
+        // The retained sequential lineage prefix scan is the pin.
+        let expected = root_partition_starts(
+            &answer,
+            &order,
+            &RootBoundaries::Lineage { root_col },
+            &Pool::sequential(),
+        );
+        assert!(expected.len() > 1, "bag must have several root partitions");
+        for threads in [1, 2, 3, 4, 8] {
+            let keyed = root_partition_starts(
+                &answer,
+                &order,
+                &RootBoundaries::Keys {
+                    keys: &keys,
+                    word: data_words,
+                },
+                &Pool::new(threads),
+            );
+            assert_eq!(keyed, expected, "{threads} threads");
+            let lineage_chunked = root_partition_starts(
+                &answer,
+                &order,
+                &RootBoundaries::Lineage { root_col },
+                &Pool::new(threads),
+            );
+            assert_eq!(lineage_chunked, expected, "{threads} threads (lineage)");
+        }
+        // Sub-slices (as the scheduler cuts them) agree too, including a
+        // slice starting mid-bag at a non-boundary row.
+        for range in [0..600, 37..411, 599..1800] {
+            let rows = &order[range.clone()];
+            let keyed = root_partition_starts(
+                &answer,
+                rows,
+                &RootBoundaries::Keys {
+                    keys: &keys,
+                    word: data_words,
+                },
+                &Pool::new(4),
+            );
+            let lineage = root_partition_starts(
+                &answer,
+                rows,
+                &RootBoundaries::Lineage { root_col },
+                &Pool::sequential(),
+            );
+            assert_eq!(keyed, lineage, "range {range:?}");
+        }
+    }
+
+    #[test]
+    fn many_medium_huge_bags_schedule_bitwise_identically() {
+        // Seven bags of ~90 rows each with a tiny split threshold: the
+        // unified scheduler interleaves sub-ranges of several huge bags in
+        // one weight-balanced fan-out, and must still reproduce the
+        // sequential unsplit scan bit for bit.
+        let (answer, sig) = multi_bag_answer(7, &[1, 9, 2, 17, 1, 14], 2);
+        let reference =
+            one_scan_confidences_tuned(&answer, &sig, &Pool::sequential(), SplitPolicy::never())
+                .unwrap();
+        assert_eq!(reference.len(), 7);
+        for threads in [1, 2, 4, 8] {
+            for policy in [
+                SplitPolicy::at(16),
+                SplitPolicy::at(2),
+                SplitPolicy::default(),
+            ] {
+                let got =
+                    one_scan_confidences_tuned(&answer, &sig, &Pool::new(threads), policy).unwrap();
+                assert_eq!(got.len(), reference.len());
+                for ((t1, p1), (t2, p2)) in got.iter().zip(reference.iter()) {
+                    assert_eq!(t1, t2, "{threads} threads");
+                    assert_eq!(
+                        p1.to_bits(),
+                        p2.to_bits(),
+                        "{threads} threads, policy {policy:?}: {t1}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -123,6 +123,34 @@ impl Annotated {
         self.lineage.reserve(additional * self.lineage_width());
     }
 
+    /// Creates a relation of exactly `rows` placeholder rows (NULL data
+    /// values, zero lineage pairs) whose arenas are overwritten in place
+    /// through [`Annotated::arena_segments_mut`]. This is the reserve half of
+    /// the parallel operators' two-phase pattern: once per-chunk output
+    /// counts are known, the output is sized exactly and disjoint workers
+    /// fill their row ranges with no post-hoc stitch copy.
+    pub fn with_placeholder_rows(schema: Schema, relations: Vec<String>, rows: usize) -> Self {
+        let data = vec![Value::Null; rows * schema.len()];
+        let lineage = vec![(Variable(0), 0.0); rows * relations.len()];
+        Annotated {
+            schema,
+            relations,
+            len: rows,
+            data,
+            lineage,
+        }
+    }
+
+    /// Mutable views of both arenas, for disjoint parallel segment writes
+    /// (row `i` owns data `[i · data_width(), (i+1) · data_width())` and
+    /// lineage `[i · lineage_width(), (i+1) · lineage_width())`). Split the
+    /// two slices at aligned row cuts — e.g. with
+    /// [`pdb_par::Pool::map_slices2_mut`] — so each worker writes its own
+    /// row range.
+    pub fn arena_segments_mut(&mut self) -> (&mut [Value], &mut [(Variable, f64)]) {
+        (&mut self.data, &mut self.lineage)
+    }
+
     /// The data schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -457,6 +485,25 @@ mod tests {
                 ("Mo".into(), 3)
             ]
         );
+    }
+
+    #[test]
+    fn placeholder_rows_are_overwritten_through_arena_segments() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]).unwrap();
+        let mut t = Annotated::with_placeholder_rows(schema, vec!["R".into()], 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.row(1).value(0), &Value::Null);
+        let (data, lineage) = t.arena_segments_mut();
+        assert_eq!(data.len(), 3);
+        assert_eq!(lineage.len(), 3);
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = Value::Int(i as i64);
+        }
+        for (i, l) in lineage.iter_mut().enumerate() {
+            *l = (Variable(i as u64 + 1), 0.5);
+        }
+        assert_eq!(t.row(2).data_tuple(), tuple![2i64]);
+        assert_eq!(t.row(2).lineage, &[(Variable(3), 0.5)]);
     }
 
     #[test]

@@ -246,9 +246,7 @@ impl SortKeys {
         if chunks <= 1 || rows < pdb_par::SEQUENTIAL_CUTOFF {
             return SortKeys::build_sequential(rows, columns, extra, cell_at, extra_at);
         }
-        let ranges: Vec<std::ops::Range<usize>> = (0..chunks)
-            .map(|c| (rows * c / chunks)..(rows * (c + 1) / chunks))
-            .collect();
+        let ranges = pdb_par::even_ranges(rows, chunks);
         // Pass 1 (parallel): per-chunk, per-column dictionaries.
         let chunk_dicts: Vec<Vec<Option<ChunkDict<'a>>>> = pool.map_ranges(&ranges, |range| {
             (0..columns)
@@ -505,10 +503,7 @@ impl PackedKey for u128 {
 /// the result is their unique ascending order at every thread count.
 fn sort_packed_chunked<T: Ord + Copy + Send + Sync>(values: &mut [T], pool: &pdb_par::Pool) {
     let n = values.len();
-    let chunks = pool.threads().min(n);
-    let ranges: Vec<std::ops::Range<usize>> = (0..chunks)
-        .map(|c| (n * c / chunks)..(n * (c + 1) / chunks))
-        .collect();
+    let ranges = pdb_par::even_ranges(n, pool.threads());
     let mut runs: Vec<Vec<T>> = pool.map_ranges(&ranges, |r| {
         let mut run = values[r].to_vec();
         run.sort_unstable();
@@ -583,6 +578,108 @@ impl<'a> JoinInterner<'a> {
 }
 
 impl JoinKeys {
+    /// [`JoinKeys::build_side`] with an explicit worker pool: the encoding is
+    /// chunked over contiguous row ranges. Each chunk interns its strings
+    /// into a private dictionary; the per-chunk dictionaries are merged into
+    /// `interner` in chunk order (so codes are deterministic for a given
+    /// chunking) and each chunk then encodes its rows into its disjoint
+    /// sub-slices of the word and hash buffers.
+    ///
+    /// String codes are insertion-order ids, so they — and therefore the
+    /// hashes — may differ between thread counts. That is sound here because
+    /// join keys are *equality-only*: the code assignment is injective over
+    /// the distinct strings, never ordered, and never escapes into the join
+    /// output (unlike [`SortKeys`], whose rank-based codes must be
+    /// bit-identical).
+    pub fn build_side_with<'a, C>(
+        rows: usize,
+        columns: usize,
+        interner: &mut JoinInterner<'a>,
+        cell_at: C,
+        pool: &pdb_par::Pool,
+    ) -> JoinKeys
+    where
+        C: Fn(usize, usize) -> &'a Value + Sync,
+    {
+        let chunks = pool.threads().min(rows.max(1));
+        if chunks <= 1 {
+            return JoinKeys::build_side(rows, columns, interner, cell_at);
+        }
+        let ranges = pdb_par::even_ranges(rows, chunks);
+        // Pass 1 (parallel): per-chunk string dictionary plus each cell's
+        // local insertion id (`u32::MAX` for non-string cells). One interner
+        // per chunk — join codes are global across columns.
+        let chunk_dicts: Vec<Option<ChunkDict<'a>>> = pool.map_ranges(&ranges, |range| {
+            let mut dict: Option<ChunkDict<'a>> = None;
+            for r in range.clone() {
+                for c in 0..columns {
+                    if let Value::Str(s) = cell_at(r, c) {
+                        let d = dict.get_or_insert_with(|| ChunkDict {
+                            interner: FxStrInterner::new(),
+                            ids: vec![u32::MAX; range.len() * columns],
+                        });
+                        d.ids[(r - range.start) * columns + c] = d.interner.intern(s);
+                    }
+                }
+            }
+            dict
+        });
+        // Merge (sequential, O(distinct strings)): intern every chunk's
+        // strings into the shared interner in chunk order, keeping a
+        // local-id → shared-code remap per chunk.
+        let remaps: Vec<Option<Vec<u64>>> = chunk_dicts
+            .iter()
+            .map(|dict| {
+                dict.as_ref()
+                    .map(|d| d.interner.strs.iter().map(|s| interner.intern(s)).collect())
+            })
+            .collect();
+        // Pass 2 (parallel): each chunk encodes into its slice of the word
+        // and hash buffers.
+        let width = columns * CELL_WIDTH;
+        let mut words = vec![0u64; rows * width];
+        let mut hashes = vec![0u64; rows];
+        let word_cuts: Vec<usize> = ranges.iter().map(|r| r.start * width).collect();
+        let hash_cuts: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+        pool.map_slices2_mut(
+            &mut words,
+            &word_cuts,
+            &mut hashes,
+            &hash_cuts,
+            |ci, word_seg, hash_seg| {
+                let range = &ranges[ci];
+                let dict = &chunk_dicts[ci];
+                let remap = &remaps[ci];
+                for (local, r) in range.clone().enumerate() {
+                    let base = local * width;
+                    let mut joinable = true;
+                    for c in 0..columns {
+                        let v = cell_at(r, c);
+                        joinable &= !v.is_null();
+                        let code = match (dict, remap, v) {
+                            (Some(d), Some(remap), Value::Str(_)) => {
+                                remap[d.ids[local * columns + c] as usize]
+                            }
+                            _ => 0,
+                        };
+                        word_seg[base + c * CELL_WIDTH..base + (c + 1) * CELL_WIDTH]
+                            .copy_from_slice(&encode_cell(v, code));
+                    }
+                    hash_seg[local] = if joinable {
+                        joinable_hash(&word_seg[base..base + width])
+                    } else {
+                        UNJOINABLE
+                    };
+                }
+            },
+        );
+        JoinKeys {
+            words,
+            hashes,
+            width,
+        }
+    }
+
     /// Encodes the *build* side: interns unseen strings.
     pub fn build_side<'a>(
         rows: usize,
@@ -753,6 +850,58 @@ mod tests {
         let mut interner = JoinInterner::new();
         let keys = JoinKeys::build_side(1, 1, &mut interner, |r, _| &null_side[r]);
         assert_eq!(keys.hash(0), UNJOINABLE);
+    }
+
+    #[test]
+    fn parallel_build_side_preserves_equality_and_probe_compatibility() {
+        // String codes are insertion-order ids, so the concrete words may
+        // differ between chunkings — what must hold at every thread count is
+        // the equality relation and that probes through the merged interner
+        // find exactly the rows with equal key values.
+        let strings = ["x", "", "y", "x", "longer-string-value"];
+        let rows = 40;
+        let vals: Vec<[Value; 2]> = (0..rows)
+            .map(|r| {
+                [
+                    if r % 7 == 3 {
+                        Value::Null
+                    } else {
+                        Value::Int((r % 4) as i64)
+                    },
+                    Value::str(strings[r % strings.len()]),
+                ]
+            })
+            .collect();
+        for threads in [2, 4, 8] {
+            let mut interner = JoinInterner::new();
+            let keys = JoinKeys::build_side_with(
+                rows,
+                2,
+                &mut interner,
+                |r, c| &vals[r][c],
+                &pdb_par::Pool::new(threads),
+            );
+            let mut scratch = Vec::new();
+            for r in 0..rows {
+                if vals[r].iter().any(Value::is_null) {
+                    assert_eq!(keys.hash(r), UNJOINABLE, "{threads} threads row {r}");
+                    continue;
+                }
+                let h = JoinKeys::probe_row(&interner, 2, &mut scratch, |c| &vals[r][c])
+                    .expect("joinable row probes");
+                assert_eq!(h, keys.hash(r), "{threads} threads row {r}");
+                assert_eq!(&scratch[..], keys.row(r), "{threads} threads row {r}");
+                // Equality classes match value equality against every row.
+                for other in 0..rows {
+                    let values_equal = vals[r] == vals[other];
+                    assert_eq!(
+                        keys.row(r) == keys.row(other),
+                        values_equal,
+                        "{threads} threads rows {r}/{other}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

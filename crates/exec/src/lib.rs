@@ -35,4 +35,4 @@ pub mod pipeline;
 pub use annotated::{Annotated, AnnotatedRow, RowRef};
 pub use error::{ExecError, ExecResult};
 pub use extensional::ExtRelation;
-pub use pipeline::evaluate_join_order;
+pub use pipeline::{evaluate_join_order, evaluate_join_order_with};

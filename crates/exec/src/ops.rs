@@ -10,69 +10,77 @@
 //! keys are normalized to flat `u64` runs computed once per row (see
 //! [`crate::key`]) instead of per-probe `Vec<Value>` clones, and duplicate
 //! elimination is sort-based over the same normalized keys, composing with
-//! the sort the one-scan confidence operator requires anyway. The retained
-//! row-at-a-time implementation lives in [`crate::baseline`]; the
-//! `seed-baseline` feature routes the operators through it for A/B
+//! the sort the one-scan confidence operator requires anyway.
+//!
+//! # Morsel-driven parallelism (PR 4)
+//!
+//! Every operator of the relational hot path fans out on a
+//! [`pdb_par::Pool`] through a `*_with(pool)` variant (the plain entry
+//! points pick [`pdb_par::Pool::from_env`], degraded to sequential for small
+//! inputs). The contract is the one the whole workspace obeys: **the output
+//! is bitwise-identical at every thread count** — same values, same lineage,
+//! same row order — and identical to the sequential (and retained
+//! row-at-a-time seed) implementation, because every parallel operator
+//! reproduces the exact sequential emit order:
+//!
+//! * **Scan / project** — the output row count is known up front, so the
+//!   result is allocated exactly and contiguous row ranges are written in
+//!   place by disjoint workers ([`Annotated::arena_segments_mut`] +
+//!   [`pdb_par::Pool::map_slices2_mut`]).
+//! * **Filter / fused scan-filter-project** — two phases: chunks first
+//!   collect their surviving row indices (per-chunk scratch), the survivor
+//!   counts are prefix-summed into per-chunk write offsets
+//!   ([`pdb_par::exclusive_prefix_sum`]), and each chunk then materialises
+//!   its survivors into its disjoint arena segment. Stitching is by chunk
+//!   order — exactly input order — with no post-hoc copy.
+//! * **Natural join** — a radix-partitioned hash join: build-side keys are
+//!   encoded in parallel ([`crate::key::JoinKeys::build_side_with`]), rows
+//!   are scattered into `2^bits` partitions by the high bits of their key
+//!   hash, per-partition chained indexes are built in parallel, and probe
+//!   morsels (contiguous left-row ranges) probe in parallel, each emitting
+//!   its `(left row, right row)` matches in ascending order. Because every
+//!   partition's chain replays build rows ascending and morsels stitch in
+//!   left-row order, the final emit order is exactly the sequential nested
+//!   order — `(left row, right row)` lexicographic — at every thread count.
+//!
+//! The retained row-at-a-time implementation lives in [`crate::baseline`];
+//! the `seed-baseline` feature routes the operators through it for A/B
 //! benchmarking.
 
+use pdb_par::{even_ranges, Pool};
+use pdb_query::Predicate;
+use pdb_storage::{ProbTable, Schema, Value, Variable};
 #[cfg(not(feature = "seed-baseline"))]
 use std::collections::HashMap;
-
-use pdb_query::Predicate;
-use pdb_storage::{ProbTable, Schema};
 
 use crate::annotated::Annotated;
 use crate::error::{ExecError, ExecResult};
 #[cfg(not(feature = "seed-baseline"))]
 use crate::key::{JoinInterner, JoinKeys, UNJOINABLE};
 
-/// Scans a tuple-independent table into an annotated result, keeping only the
-/// attributes named in `attributes` (in that order). The lineage column is
-/// labelled `relation`.
-///
-/// # Errors
-/// Fails if an attribute is missing from the table's schema.
-pub fn scan(table: &ProbTable, relation: &str, attributes: &[String]) -> ExecResult<Annotated> {
-    let positions: Vec<usize> = attributes
-        .iter()
-        .map(|a| {
-            table
-                .schema()
-                .index_of(a)
-                .map_err(|_| ExecError::UnknownColumn(a.clone()))
-        })
-        .collect::<ExecResult<_>>()?;
-    let schema = table
-        .schema()
-        .project(&attributes.iter().map(|s| s.as_str()).collect::<Vec<_>>())?;
-    let mut out = Annotated::with_row_capacity(schema, vec![relation.to_string()], table.len());
-    for i in 0..table.len() {
-        let (row, var, prob) = table.triple(i);
-        out.push_projected_row(
-            crate::annotated::RowRef {
-                data: row.values(),
-                lineage: &[(var, prob)],
-            },
-            &positions,
-        );
-    }
-    Ok(out)
+/// Probe morsels per worker in the partitioned join: more morsels than
+/// workers lets the pool's self-balancing cursor absorb skewed match counts.
+#[cfg(not(feature = "seed-baseline"))]
+const MORSELS_PER_WORKER: usize = 4;
+
+/// The default pool of the plain operator entry points: `SPROUT_THREADS`
+/// workers, degraded to sequential below the fan-out cutoff.
+fn pool_for(rows: usize) -> Pool {
+    Pool::from_env().for_items(rows)
 }
 
-/// Fused scan → filter → project in one pass over the base table: evaluates
-/// the constant predicates against the stored row and materialises only the
-/// `keep` columns of the survivors, into a pre-sized output. Equivalent to
-/// `project(filter*(scan(..)))` without the two intermediate relations —
-/// the batch restructuring of the lazy-plan pipeline.
-///
-/// # Errors
-/// Fails if a predicate or kept attribute is missing from the table schema.
-pub fn scan_filter_project(
+/// Resolved column positions of a scan over a base table.
+struct ScanLayout {
+    keep_positions: Vec<usize>,
+    pred_positions: Vec<usize>,
+    schema: Schema,
+}
+
+fn scan_layout(
     table: &ProbTable,
-    relation: &str,
     predicates: &[&Predicate],
     keep: &[String],
-) -> ExecResult<Annotated> {
+) -> ExecResult<ScanLayout> {
     let keep_positions: Vec<usize> = keep
         .iter()
         .map(|a| {
@@ -94,22 +102,172 @@ pub fn scan_filter_project(
     let schema = table
         .schema()
         .project(&keep.iter().map(|s| s.as_str()).collect::<Vec<_>>())?;
-    let mut out = Annotated::with_row_capacity(schema, vec![relation.to_string()], table.len());
-    'rows: for i in 0..table.len() {
-        let (row, var, prob) = table.triple(i);
-        for (pred, &pos) in predicates.iter().zip(&pred_positions) {
-            if !pred.op.eval(row.value(pos), &pred.constant) {
-                continue 'rows;
-            }
-        }
-        out.push_projected_row(
-            crate::annotated::RowRef {
-                data: row.values(),
-                lineage: &[(var, prob)],
-            },
-            &keep_positions,
-        );
+    Ok(ScanLayout {
+        keep_positions,
+        pred_positions,
+        schema,
+    })
+}
+
+/// Writes table row `r`, projected onto `positions`, at row slot `k` of a
+/// disjoint arena segment pair.
+#[inline]
+fn write_table_row(
+    table: &ProbTable,
+    r: usize,
+    positions: &[usize],
+    k: usize,
+    data_seg: &mut [Value],
+    lineage_seg: &mut [(Variable, f64)],
+) {
+    let (row, var, prob) = table.triple(r);
+    let base = k * positions.len();
+    for (j, &p) in positions.iter().enumerate() {
+        data_seg[base + j] = row.value(p).clone();
     }
+    lineage_seg[k] = (var, prob);
+}
+
+/// Scans a tuple-independent table into an annotated result, keeping only the
+/// attributes named in `attributes` (in that order). The lineage column is
+/// labelled `relation`. Chunked across the default worker pool for large
+/// tables; the result is identical at every thread count.
+///
+/// # Errors
+/// Fails if an attribute is missing from the table's schema.
+pub fn scan(table: &ProbTable, relation: &str, attributes: &[String]) -> ExecResult<Annotated> {
+    scan_with(table, relation, attributes, &pool_for(table.len()))
+}
+
+/// [`scan`] with an explicit worker pool: contiguous row ranges are
+/// materialised in place by disjoint workers (the output size is known up
+/// front, so there is no stitch copy).
+///
+/// # Errors
+/// Fails if an attribute is missing from the table's schema.
+pub fn scan_with(
+    table: &ProbTable,
+    relation: &str,
+    attributes: &[String],
+    pool: &Pool,
+) -> ExecResult<Annotated> {
+    let layout = scan_layout(table, &[], attributes)?;
+    let rows = table.len();
+    if pool.threads() <= 1 || rows < 2 {
+        let mut out = Annotated::with_row_capacity(layout.schema, vec![relation.to_string()], rows);
+        for i in 0..rows {
+            let (row, var, prob) = table.triple(i);
+            out.push_projected_row(
+                crate::annotated::RowRef {
+                    data: row.values(),
+                    lineage: &[(var, prob)],
+                },
+                &layout.keep_positions,
+            );
+        }
+        return Ok(out);
+    }
+    let ranges = even_ranges(rows, pool.threads());
+    let mut out = Annotated::with_placeholder_rows(layout.schema, vec![relation.to_string()], rows);
+    let dw = out.data_width();
+    let data_cuts: Vec<usize> = ranges.iter().map(|r| r.start * dw).collect();
+    let lineage_cuts: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+    let (data, lineage) = out.arena_segments_mut();
+    pool.map_slices2_mut(
+        data,
+        &data_cuts,
+        lineage,
+        &lineage_cuts,
+        |ci, dseg, lseg| {
+            for (k, r) in ranges[ci].clone().enumerate() {
+                write_table_row(table, r, &layout.keep_positions, k, dseg, lseg);
+            }
+        },
+    );
+    Ok(out)
+}
+
+/// Fused scan → filter → project in one pass over the base table: evaluates
+/// the constant predicates against the stored row and materialises only the
+/// `keep` columns of the survivors, into a pre-sized output. Equivalent to
+/// `project(filter*(scan(..)))` without the two intermediate relations —
+/// the batch restructuring of the lazy-plan pipeline.
+///
+/// # Errors
+/// Fails if a predicate or kept attribute is missing from the table schema.
+pub fn scan_filter_project(
+    table: &ProbTable,
+    relation: &str,
+    predicates: &[&Predicate],
+    keep: &[String],
+) -> ExecResult<Annotated> {
+    scan_filter_project_with(table, relation, predicates, keep, &pool_for(table.len()))
+}
+
+/// [`scan_filter_project`] with an explicit worker pool: chunks first collect
+/// their surviving row indices, the counts are prefix-summed into write
+/// offsets, and every chunk materialises its survivors into its disjoint
+/// arena segment — input order, no post-hoc copy.
+///
+/// # Errors
+/// Fails if a predicate or kept attribute is missing from the table schema.
+pub fn scan_filter_project_with(
+    table: &ProbTable,
+    relation: &str,
+    predicates: &[&Predicate],
+    keep: &[String],
+    pool: &Pool,
+) -> ExecResult<Annotated> {
+    let layout = scan_layout(table, predicates, keep)?;
+    let rows = table.len();
+    let survives = |i: usize| {
+        let (row, _, _) = table.triple(i);
+        predicates
+            .iter()
+            .zip(&layout.pred_positions)
+            .all(|(pred, &pos)| pred.op.eval(row.value(pos), &pred.constant))
+    };
+    if pool.threads() <= 1 || rows < 2 {
+        let mut out = Annotated::with_row_capacity(layout.schema, vec![relation.to_string()], rows);
+        for i in 0..rows {
+            if !survives(i) {
+                continue;
+            }
+            let (row, var, prob) = table.triple(i);
+            out.push_projected_row(
+                crate::annotated::RowRef {
+                    data: row.values(),
+                    lineage: &[(var, prob)],
+                },
+                &layout.keep_positions,
+            );
+        }
+        return Ok(out);
+    }
+    let ranges = even_ranges(rows, pool.threads());
+    // Phase 1: per-chunk survivor lists (the only per-chunk scratch).
+    let survivors: Vec<Vec<u32>> = pool.map_ranges(&ranges, |range| {
+        range.filter(|&i| survives(i)).map(|i| i as u32).collect()
+    });
+    // Phase 2: exact-size output, disjoint in-place segment writes.
+    let (offsets, total) = pdb_par::exclusive_prefix_sum(survivors.iter().map(|s| s.len()));
+    let mut out =
+        Annotated::with_placeholder_rows(layout.schema, vec![relation.to_string()], total);
+    let dw = out.data_width();
+    let data_cuts: Vec<usize> = offsets.iter().map(|o| o * dw).collect();
+    let lineage_cuts: Vec<usize> = offsets.clone();
+    let (data, lineage) = out.arena_segments_mut();
+    pool.map_slices2_mut(
+        data,
+        &data_cuts,
+        lineage,
+        &lineage_cuts,
+        |ci, dseg, lseg| {
+            for (k, &r) in survivors[ci].iter().enumerate() {
+                write_table_row(table, r as usize, &layout.keep_positions, k, dseg, lseg);
+            }
+        },
+    );
     Ok(out)
 }
 
@@ -118,22 +276,74 @@ pub fn scan_filter_project(
 /// # Errors
 /// Fails if the predicate's attribute is not a data column of the input.
 pub fn filter(input: &Annotated, predicate: &Predicate) -> ExecResult<Annotated> {
+    filter_with(input, predicate, &pool_for(input.len()))
+}
+
+/// [`filter`] with an explicit worker pool (two-phase survivor collection,
+/// like [`scan_filter_project_with`]). With the `seed-baseline` feature the
+/// row-at-a-time implementation runs instead and the pool is ignored.
+///
+/// # Errors
+/// Fails if the predicate's attribute is not a data column of the input.
+pub fn filter_with(input: &Annotated, predicate: &Predicate, pool: &Pool) -> ExecResult<Annotated> {
     #[cfg(feature = "seed-baseline")]
-    return crate::baseline::filter_rowwise(input, predicate);
+    {
+        let _ = pool;
+        return crate::baseline::filter_rowwise(input, predicate);
+    }
 
     #[cfg(not(feature = "seed-baseline"))]
     {
         let idx = input.column_index(&predicate.attribute)?;
-        let mut out = Annotated::with_row_capacity(
+        let rows = input.len();
+        if pool.threads() <= 1 || rows < 2 {
+            let mut out = Annotated::with_row_capacity(
+                input.schema().clone(),
+                input.relations().to_vec(),
+                rows,
+            );
+            for row in input.iter() {
+                if predicate.op.eval(row.value(idx), &predicate.constant) {
+                    out.push_row(row.data, row.lineage);
+                }
+            }
+            return Ok(out);
+        }
+        let ranges = even_ranges(rows, pool.threads());
+        let survivors: Vec<Vec<u32>> = pool.map_ranges(&ranges, |range| {
+            range
+                .filter(|&i| {
+                    predicate
+                        .op
+                        .eval(input.row(i).value(idx), &predicate.constant)
+                })
+                .map(|i| i as u32)
+                .collect()
+        });
+        let (offsets, total) = pdb_par::exclusive_prefix_sum(survivors.iter().map(|s| s.len()));
+        let mut out = Annotated::with_placeholder_rows(
             input.schema().clone(),
             input.relations().to_vec(),
-            input.len(),
+            total,
         );
-        for row in input.iter() {
-            if predicate.op.eval(row.value(idx), &predicate.constant) {
-                out.push_row(row.data, row.lineage);
-            }
-        }
+        let dw = out.data_width();
+        let lw = out.lineage_width();
+        let data_cuts: Vec<usize> = offsets.iter().map(|o| o * dw).collect();
+        let lineage_cuts: Vec<usize> = offsets.iter().map(|o| o * lw).collect();
+        let (data, lineage) = out.arena_segments_mut();
+        pool.map_slices2_mut(
+            data,
+            &data_cuts,
+            lineage,
+            &lineage_cuts,
+            |ci, dseg, lseg| {
+                for (k, &r) in survivors[ci].iter().enumerate() {
+                    let row = input.row(r as usize);
+                    dseg[k * dw..(k + 1) * dw].clone_from_slice(row.data);
+                    lseg[k * lw..(k + 1) * lw].copy_from_slice(row.lineage);
+                }
+            },
+        );
         Ok(out)
     }
 }
@@ -145,6 +355,20 @@ pub fn filter(input: &Annotated, predicate: &Predicate) -> ExecResult<Annotated>
 /// # Errors
 /// Fails on unknown columns.
 pub fn project(input: &Annotated, attributes: &[String]) -> ExecResult<Annotated> {
+    project_with(input, attributes, &pool_for(input.len()))
+}
+
+/// [`project`] with an explicit worker pool: the output size equals the
+/// input size, so contiguous row ranges are written in place by disjoint
+/// workers.
+///
+/// # Errors
+/// Fails on unknown columns.
+pub fn project_with(
+    input: &Annotated,
+    attributes: &[String],
+    pool: &Pool,
+) -> ExecResult<Annotated> {
     let positions: Vec<usize> = attributes
         .iter()
         .map(|a| input.column_index(a))
@@ -152,10 +376,36 @@ pub fn project(input: &Annotated, attributes: &[String]) -> ExecResult<Annotated
     let schema = input
         .schema()
         .project(&attributes.iter().map(|s| s.as_str()).collect::<Vec<_>>())?;
-    let mut out = Annotated::with_row_capacity(schema, input.relations().to_vec(), input.len());
-    for row in input.iter() {
-        out.push_projected_row(row, &positions);
+    let rows = input.len();
+    if pool.threads() <= 1 || rows < 2 {
+        let mut out = Annotated::with_row_capacity(schema, input.relations().to_vec(), rows);
+        for row in input.iter() {
+            out.push_projected_row(row, &positions);
+        }
+        return Ok(out);
     }
+    let ranges = even_ranges(rows, pool.threads());
+    let mut out = Annotated::with_placeholder_rows(schema, input.relations().to_vec(), rows);
+    let dw = out.data_width();
+    let lw = out.lineage_width();
+    let data_cuts: Vec<usize> = ranges.iter().map(|r| r.start * dw).collect();
+    let lineage_cuts: Vec<usize> = ranges.iter().map(|r| r.start * lw).collect();
+    let (data, lineage) = out.arena_segments_mut();
+    pool.map_slices2_mut(
+        data,
+        &data_cuts,
+        lineage,
+        &lineage_cuts,
+        |ci, dseg, lseg| {
+            for (k, r) in ranges[ci].clone().enumerate() {
+                let row = input.row(r);
+                for (j, &p) in positions.iter().enumerate() {
+                    dseg[k * dw + j] = row.data[p].clone();
+                }
+                lseg[k * lw..(k + 1) * lw].copy_from_slice(row.lineage);
+            }
+        },
+    );
     Ok(out)
 }
 
@@ -222,64 +472,50 @@ pub(crate) fn join_layout(left: &Annotated, right: &Annotated) -> ExecResult<Joi
 /// run with a precomputed hash; probing encodes the probe key into a reused
 /// scratch buffer and compares machine words. The inner loop appends to the
 /// output arenas by slice-append: **no `Tuple` or `Vec<Value>` is allocated
-/// per probed row** (verified by `tests/alloc_count.rs`).
+/// per probed row** (verified by `tests/alloc_count.rs`). With a
+/// multi-threaded pool the join is radix-partitioned (see [`natural_join_with`]);
+/// the emit order — `(left row, right row)` lexicographic — is identical
+/// either way.
 ///
 /// # Errors
 /// Fails if the inputs share a lineage relation (self-join).
 pub fn natural_join(left: &Annotated, right: &Annotated) -> ExecResult<Annotated> {
+    natural_join_with(left, right, &pool_for(left.len().max(right.len())))
+}
+
+/// [`natural_join`] with an explicit worker pool: a **radix-partitioned
+/// parallel hash join**. Build-side keys are encoded in parallel, scattered
+/// into partitions by the high bits of their hash, and indexed per partition
+/// in parallel; probe morsels (contiguous left-row ranges) then probe in
+/// parallel and their matches are materialised into disjoint output
+/// segments in morsel order. Every partition chain replays build rows in
+/// ascending order, so the output is the exact sequential nested emit —
+/// `(left row, right row)` lexicographic — bitwise-identical at every
+/// thread count and to the row-at-a-time seed join.
+///
+/// With the `seed-baseline` feature the row-at-a-time implementation runs
+/// instead and the pool is ignored.
+///
+/// # Errors
+/// Fails if the inputs share a lineage relation (self-join).
+pub fn natural_join_with(
+    left: &Annotated,
+    right: &Annotated,
+    pool: &Pool,
+) -> ExecResult<Annotated> {
     #[cfg(feature = "seed-baseline")]
-    return crate::baseline::natural_join_rowwise(left, right);
+    {
+        let _ = pool;
+        return crate::baseline::natural_join_rowwise(left, right);
+    }
 
     #[cfg(not(feature = "seed-baseline"))]
     {
         let layout = join_layout(left, right)?;
-        let key_cols = layout.right_key_idx.len();
-        let mut out = Annotated::with_row_capacity(
-            layout.schema,
-            layout.relations,
-            left.len().max(right.len()),
-        );
-
-        // Build side: normalize all right-side keys once and index them with
-        // a chained hash table — one `heads` entry per distinct hash and a
-        // flat `next` link array, so building allocates no per-key buckets.
-        // Slice equality on the normalized runs resolves hash collisions.
-        let mut interner = JoinInterner::new();
-        let keys = JoinKeys::build_side(right.len(), key_cols, &mut interner, |r, c| {
-            &right.row(r).data[layout.right_key_idx[c]]
-        });
-        const NIL: u32 = u32::MAX;
-        let mut heads: HashMap<u64, u32> = HashMap::with_capacity(right.len());
-        let mut next: Vec<u32> = vec![NIL; right.len()];
-        // Reverse build order so chains replay in increasing row order.
-        for r in (0..right.len()).rev() {
-            let h = keys.hash(r);
-            if h != UNJOINABLE {
-                let head = heads.entry(h).or_insert(NIL);
-                next[r] = *head;
-                *head = r as u32;
-            }
+        if pool.threads() <= 1 || left.is_empty() || right.is_empty() {
+            return natural_join_sequential(left, right, layout);
         }
-
-        // Probe side: encode each left key into a reused scratch buffer.
-        let mut scratch: Vec<u64> = Vec::with_capacity(key_cols * crate::key::CELL_WIDTH);
-        for li in 0..left.len() {
-            let lrow = left.row(li);
-            let Some(h) = JoinKeys::probe_row(&interner, key_cols, &mut scratch, |c| {
-                &lrow.data[layout.left_key_idx[c]]
-            }) else {
-                continue;
-            };
-            let mut ri = heads.get(&h).copied().unwrap_or(NIL);
-            while ri != NIL {
-                let r = ri as usize;
-                if keys.row(r) == scratch.as_slice() {
-                    out.push_join_row(lrow, right.row(r), &layout.right_only_idx);
-                }
-                ri = next[r];
-            }
-        }
-        Ok(out)
+        natural_join_partitioned(left, right, layout, pool)
     }
 }
 
@@ -292,6 +528,213 @@ pub fn cross_product(left: &Annotated, right: &Annotated) -> ExecResult<Annotate
     natural_join(left, right)
 }
 
+#[cfg(not(feature = "seed-baseline"))]
+const JOIN_NIL: u32 = u32::MAX;
+
+/// The single-index sequential join (the PR-1 hot path), used by sequential
+/// pools and empty inputs.
+#[cfg(not(feature = "seed-baseline"))]
+fn natural_join_sequential(
+    left: &Annotated,
+    right: &Annotated,
+    layout: JoinLayout,
+) -> ExecResult<Annotated> {
+    let key_cols = layout.right_key_idx.len();
+    let mut out =
+        Annotated::with_row_capacity(layout.schema, layout.relations, left.len().max(right.len()));
+
+    // Build side: normalize all right-side keys once and index them with
+    // a chained hash table — one `heads` entry per distinct hash and a
+    // flat `next` link array, so building allocates no per-key buckets.
+    // Slice equality on the normalized runs resolves hash collisions.
+    let mut interner = JoinInterner::new();
+    let keys = JoinKeys::build_side(right.len(), key_cols, &mut interner, |r, c| {
+        &right.row(r).data[layout.right_key_idx[c]]
+    });
+    let mut heads: HashMap<u64, u32> = HashMap::with_capacity(right.len());
+    let mut next: Vec<u32> = vec![JOIN_NIL; right.len()];
+    // Reverse build order so chains replay in increasing row order.
+    for r in (0..right.len()).rev() {
+        let h = keys.hash(r);
+        if h != UNJOINABLE {
+            let head = heads.entry(h).or_insert(JOIN_NIL);
+            next[r] = *head;
+            *head = r as u32;
+        }
+    }
+
+    // Probe side: encode each left key into a reused scratch buffer.
+    let mut scratch: Vec<u64> = Vec::with_capacity(key_cols * crate::key::CELL_WIDTH);
+    for li in 0..left.len() {
+        let lrow = left.row(li);
+        let Some(h) = JoinKeys::probe_row(&interner, key_cols, &mut scratch, |c| {
+            &lrow.data[layout.left_key_idx[c]]
+        }) else {
+            continue;
+        };
+        let mut ri = heads.get(&h).copied().unwrap_or(JOIN_NIL);
+        while ri != JOIN_NIL {
+            let r = ri as usize;
+            if keys.row(r) == scratch.as_slice() {
+                out.push_join_row(lrow, right.row(r), &layout.right_only_idx);
+            }
+            ri = next[r];
+        }
+    }
+    Ok(out)
+}
+
+/// One radix partition of the build side: its rows (ascending), plus a
+/// chained hash index over local positions whose chains replay ascending.
+#[cfg(not(feature = "seed-baseline"))]
+struct PartIndex {
+    rows: Vec<u32>,
+    heads: HashMap<u64, u32>,
+    next: Vec<u32>,
+}
+
+/// Radix partition count and bit width for a parallel join on `threads`
+/// workers: a couple of partitions per worker so per-partition index builds
+/// balance, capped to keep per-chunk scatter lists small.
+#[cfg(not(feature = "seed-baseline"))]
+fn radix_partitions(threads: usize) -> (usize, u32) {
+    let parts = (threads * 2).next_power_of_two().clamp(2, 64);
+    (parts, parts.trailing_zeros())
+}
+
+/// The partition of a key hash: its `bits` high bits (the FxHash-style mix
+/// concentrates entropy in the high bits of the final multiply).
+#[cfg(not(feature = "seed-baseline"))]
+#[inline]
+fn radix_of(hash: u64, bits: u32) -> usize {
+    (hash >> (64 - bits)) as usize
+}
+
+#[cfg(not(feature = "seed-baseline"))]
+fn natural_join_partitioned(
+    left: &Annotated,
+    right: &Annotated,
+    layout: JoinLayout,
+    pool: &Pool,
+) -> ExecResult<Annotated> {
+    let JoinLayout {
+        left_key_idx,
+        right_key_idx,
+        right_only_idx,
+        schema,
+        relations,
+    } = layout;
+    let key_cols = right_key_idx.len();
+
+    // Build-side keys, encoded in parallel; the interner is shared with the
+    // probe side (lookup only from here on).
+    let mut interner = JoinInterner::new();
+    let keys = JoinKeys::build_side_with(
+        right.len(),
+        key_cols,
+        &mut interner,
+        |r, c| &right.row(r).data[right_key_idx[c]],
+        pool,
+    );
+
+    // Scatter: each chunk routes its joinable rows into per-partition lists;
+    // concatenating the chunk lists in chunk order keeps every partition's
+    // rows ascending.
+    let (parts, bits) = radix_partitions(pool.threads());
+    let scatter_ranges = even_ranges(right.len(), pool.threads());
+    let chunk_lists: Vec<Vec<Vec<u32>>> = pool.map_ranges(&scatter_ranges, |range| {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        for r in range {
+            let h = keys.hash(r);
+            if h != UNJOINABLE {
+                lists[radix_of(h, bits)].push(r as u32);
+            }
+        }
+        lists
+    });
+
+    // Per-partition chained indexes, built in parallel. Chains are linked in
+    // reverse so they replay local positions — and therefore global rows —
+    // ascending, exactly like the sequential single-index build.
+    let part_ids: Vec<usize> = (0..parts).collect();
+    let indexes: Vec<PartIndex> = pool.map(&part_ids, |&p| {
+        let mut rows: Vec<u32> = Vec::new();
+        for chunk in &chunk_lists {
+            rows.extend_from_slice(&chunk[p]);
+        }
+        let mut heads: HashMap<u64, u32> = HashMap::with_capacity(rows.len());
+        let mut next: Vec<u32> = vec![JOIN_NIL; rows.len()];
+        for local in (0..rows.len()).rev() {
+            let h = keys.hash(rows[local] as usize);
+            let head = heads.entry(h).or_insert(JOIN_NIL);
+            next[local] = *head;
+            *head = local as u32;
+        }
+        PartIndex { rows, heads, next }
+    });
+
+    // Probe: morsels of contiguous left rows, each collecting its
+    // `(left row, right row)` matches — ascending within a morsel because
+    // left rows are walked in order and chains replay ascending.
+    let morsels = even_ranges(left.len(), pool.threads() * MORSELS_PER_WORKER);
+    let matches: Vec<Vec<(u32, u32)>> = pool.map_ranges(&morsels, |range| {
+        let mut scratch: Vec<u64> = Vec::with_capacity(key_cols * crate::key::CELL_WIDTH);
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for li in range {
+            let lrow = left.row(li);
+            let Some(h) = JoinKeys::probe_row(&interner, key_cols, &mut scratch, |c| {
+                &lrow.data[left_key_idx[c]]
+            }) else {
+                continue;
+            };
+            let index = &indexes[radix_of(h, bits)];
+            let mut local = index.heads.get(&h).copied().unwrap_or(JOIN_NIL);
+            while local != JOIN_NIL {
+                let l = local as usize;
+                let r = index.rows[l] as usize;
+                if keys.row(r) == scratch.as_slice() {
+                    out.push((li as u32, r as u32));
+                }
+                local = index.next[l];
+            }
+        }
+        out
+    });
+
+    // Stitch: morsel match counts prefix-sum into exact write offsets; each
+    // morsel materialises its matches into its disjoint arena segment.
+    let (offsets, total) = pdb_par::exclusive_prefix_sum(matches.iter().map(|m| m.len()));
+    let mut out = Annotated::with_placeholder_rows(schema, relations, total);
+    let dw = out.data_width();
+    let lw = out.lineage_width();
+    let left_dw = left.data_width();
+    let left_lw = left.lineage_width();
+    let data_cuts: Vec<usize> = offsets.iter().map(|o| o * dw).collect();
+    let lineage_cuts: Vec<usize> = offsets.iter().map(|o| o * lw).collect();
+    let (data, lineage) = out.arena_segments_mut();
+    pool.map_slices2_mut(
+        data,
+        &data_cuts,
+        lineage,
+        &lineage_cuts,
+        |mi, dseg, lseg| {
+            for (k, &(li, ri)) in matches[mi].iter().enumerate() {
+                let lrow = left.row(li as usize);
+                let rrow = right.row(ri as usize);
+                let dbase = k * dw;
+                dseg[dbase..dbase + left_dw].clone_from_slice(lrow.data);
+                for (j, &i) in right_only_idx.iter().enumerate() {
+                    dseg[dbase + left_dw + j] = rrow.data[i].clone();
+                }
+                let lbase = k * lw;
+                lseg[lbase..lbase + left_lw].copy_from_slice(lrow.lineage);
+                lseg[lbase + left_lw..lbase + lw].copy_from_slice(rrow.lineage);
+            }
+        },
+    );
+    Ok(out)
+}
+
 /// Eliminates duplicate data tuples, keeping the first input row of each
 /// group (lineage of the survivors is arbitrary). Used to produce the plain
 /// answer relation, e.g. for the "time to compute the tuples" measurements
@@ -300,7 +743,9 @@ pub fn cross_product(left: &Annotated, right: &Annotated) -> ExecResult<Annotate
 /// Since PR 1 this is **sort-based**: rows are ordered by their normalized
 /// data keys and runs of equal keys collapse to their first (in input order)
 /// row. The output is therefore sorted by data tuple, the same order the
-/// confidence operator's sort produces on the data columns.
+/// confidence operator's sort produces on the data columns. The key build
+/// and the permutation sort fan out on the default pool; the collapse scan
+/// is inherently sequential.
 pub fn distinct(input: &Annotated) -> Annotated {
     #[cfg(feature = "seed-baseline")]
     return crate::baseline::distinct_rowwise(input);
@@ -458,14 +903,52 @@ mod tests {
         let ord = scan(&fig1_ord(), "Ord", &s(&["okey", "ckey", "odate"])).unwrap();
         let fast = natural_join(&cust, &ord).unwrap();
         let slow = crate::baseline::natural_join_rowwise(&cust, &ord).unwrap();
-        assert_eq!(fast.len(), slow.len());
-        assert_eq!(fast.schema(), slow.schema());
-        // Same multiset of rows (the probe order may differ).
-        let mut f: Vec<String> = fast.iter().map(|r| format!("{:?}", r)).collect();
-        let mut g: Vec<String> = slow.iter().map(|r| format!("{:?}", r)).collect();
-        f.sort();
-        g.sort();
-        assert_eq!(f, g);
+        // Same rows in the same order: both emit (left row, right row)
+        // lexicographically.
+        assert_eq!(fast, slow);
+    }
+
+    // The parallel-path contracts below are specific to the partitioned
+    // implementation; the seed baseline ignores the pool.
+    #[cfg(not(feature = "seed-baseline"))]
+    #[test]
+    fn parallel_operators_are_identical_to_sequential() {
+        let cust_t = fig1_cust();
+        let ord_t = fig1_ord();
+        let pred = Predicate::new("Ord", "okey", CompareOp::Gt, 1i64);
+        for threads in [2, 3, 4, 8] {
+            let pool = Pool::new(threads);
+            // Scan.
+            let seq = scan(&cust_t, "Cust", &s(&["ckey", "cname"])).unwrap();
+            let par = scan_with(&cust_t, "Cust", &s(&["ckey", "cname"]), &pool).unwrap();
+            assert_eq!(seq, par, "scan at {threads} threads");
+            // Fused scan-filter-project.
+            let preds = [&pred];
+            let seq_sfp =
+                scan_filter_project(&ord_t, "Ord", &preds, &s(&["okey", "ckey"])).unwrap();
+            let par_sfp =
+                scan_filter_project_with(&ord_t, "Ord", &preds, &s(&["okey", "ckey"]), &pool)
+                    .unwrap();
+            assert_eq!(seq_sfp, par_sfp, "scan_filter_project at {threads} threads");
+            // Filter + project over an annotated input.
+            let ord = scan(&ord_t, "Ord", &s(&["okey", "ckey", "odate"])).unwrap();
+            let seq_f = filter(&ord, &pred).unwrap();
+            let par_f = filter_with(&ord, &pred, &pool).unwrap();
+            assert_eq!(seq_f, par_f, "filter at {threads} threads");
+            let seq_p = project(&ord, &s(&["odate", "ckey"])).unwrap();
+            let par_p = project_with(&ord, &s(&["odate", "ckey"]), &pool).unwrap();
+            assert_eq!(seq_p, par_p, "project at {threads} threads");
+            // Join (including the product shape).
+            let cust = scan(&cust_t, "Cust", &s(&["ckey", "cname"])).unwrap();
+            let seq_j = natural_join_with(&cust, &ord, &Pool::sequential()).unwrap();
+            let par_j = natural_join_with(&cust, &ord, &pool).unwrap();
+            assert_eq!(seq_j, par_j, "join at {threads} threads");
+            let cust_p = project(&cust, &s(&["cname"])).unwrap();
+            let ord_p = project(&ord, &s(&["odate"])).unwrap();
+            let seq_x = natural_join_with(&cust_p, &ord_p, &Pool::sequential()).unwrap();
+            let par_x = natural_join_with(&cust_p, &ord_p, &pool).unwrap();
+            assert_eq!(seq_x, par_x, "product at {threads} threads");
+        }
     }
 
     #[test]
@@ -482,6 +965,8 @@ mod tests {
         let l = scan(&left_table, "L", &s(&["k"])).unwrap();
         let r = scan(&right_table, "R", &s(&["k"])).unwrap();
         assert!(natural_join(&l, &r).unwrap().is_empty());
+        // The partitioned path skips NULL keys the same way.
+        assert!(natural_join_with(&l, &r, &Pool::new(4)).unwrap().is_empty());
     }
 
     #[test]

@@ -31,6 +31,23 @@ pub fn evaluate_join_order(
     catalog: &Catalog,
     order: &[String],
 ) -> ExecResult<Annotated> {
+    evaluate_join_order_with(query, catalog, order, &pdb_par::Pool::from_env())
+}
+
+/// [`evaluate_join_order`] with an explicit worker pool: every scan, filter,
+/// projection and join of the pipeline fans out on it (each operator call is
+/// gated by its own input size, so small steps stay inline). The answer is
+/// bitwise-identical — values, lineage, row order — at every pool size.
+///
+/// # Errors
+/// Fails if `order` is not a permutation of the query's relations, or if a
+/// referenced table/column is missing from the catalog.
+pub fn evaluate_join_order_with(
+    query: &ConjunctiveQuery,
+    catalog: &Catalog,
+    order: &[String],
+    pool: &pdb_par::Pool,
+) -> ExecResult<Annotated> {
     let query_rels: BTreeSet<&str> = query.relation_names().into_iter().collect();
     let order_rels: BTreeSet<&str> = order.iter().map(|s| s.as_str()).collect();
     if query_rels != order_rels || order.len() != query.relations.len() {
@@ -60,12 +77,20 @@ pub fn evaluate_join_order(
             .filter(|a| head.contains(*a) || join_attrs.contains(*a))
             .cloned()
             .collect();
-        let scanned =
-            ops::scan_filter_project(&table, rel_name, &query.predicates_for(rel_name), &keep)?;
+        let scanned = ops::scan_filter_project_with(
+            &table,
+            rel_name,
+            &query.predicates_for(rel_name),
+            &keep,
+            &pool.for_items(table.len()),
+        )?;
 
         current = Some(match current {
             None => scanned,
-            Some(acc) => ops::natural_join(&acc, &scanned)?,
+            Some(acc) => {
+                let gated = pool.for_items(acc.len().max(scanned.len()));
+                ops::natural_join_with(&acc, &scanned, &gated)?
+            }
         });
 
         // After each join, drop columns that are neither head attributes nor
@@ -87,13 +112,17 @@ pub fn evaluate_join_order(
                 })
                 .map(|s| s.to_string())
                 .collect();
-            current = Some(ops::project(&acc, &needed)?);
+            current = Some(ops::project_with(
+                &acc,
+                &needed,
+                &pool.for_items(acc.len()),
+            )?);
         }
     }
 
     let answer = current.expect("query has at least one relation");
     // Final projection onto the head attributes, in head order.
-    ops::project(&answer, &query.head)
+    ops::project_with(&answer, &query.head, &pool.for_items(answer.len()))
 }
 
 #[cfg(test)]

@@ -270,6 +270,87 @@ fn parallel_sort_key_build_allocates_bounded_scratch() {
 }
 
 #[test]
+fn chunked_parallel_pipeline_allocates_bounded_scratch() {
+    use pdb_exec::pipeline::evaluate_join_order_with;
+    use pdb_par::Pool;
+    use pdb_query::{CompareOp, ConjunctiveQuery, Predicate};
+
+    // A 100×50 join (5000 output rows) driven through the parallel
+    // operators on an explicit 4-worker pool: every operator may allocate
+    // per-chunk scratch (survivor lists, partition lists, match buffers,
+    // thread spawns) and the exactly-sized output arenas — but never O(rows)
+    // allocations. The write phase clones `Value`s into pre-sized segments
+    // (`Arc` bumps for strings), so no per-row Vec/Tuple exists anywhere.
+    let (left, right) = join_inputs(100, 50);
+    let pool = Pool::new(4);
+    let rows = 100 * 50;
+
+    // Warm-up so lazily initialized runtime structures are not charged.
+    ops::natural_join_with(&left, &right, &pool).unwrap();
+
+    let mut join_out = None;
+    let join_allocs = allocations(|| {
+        join_out = Some(ops::natural_join_with(&left, &right, &pool).unwrap());
+    });
+    let join_out = join_out.unwrap();
+    assert_eq!(join_out.len(), rows);
+    assert!(
+        join_allocs < rows / 4,
+        "parallel partitioned join allocated {join_allocs} times for {rows} rows"
+    );
+
+    let pred = Predicate::new("S", "b", CompareOp::Lt, 25i64);
+    let filter_allocs = allocations(|| {
+        let f = ops::filter_with(&right, &pred, &pool).unwrap();
+        assert_eq!(f.len(), 100 * 25);
+    });
+    assert!(
+        filter_allocs < right.len() / 4,
+        "parallel filter allocated {filter_allocs} times for {} rows",
+        right.len()
+    );
+
+    let keep: Vec<String> = vec!["a".into()];
+    let project_allocs = allocations(|| {
+        let p = ops::project_with(&right, &keep, &pool).unwrap();
+        assert_eq!(p.len(), right.len());
+    });
+    assert!(
+        project_allocs < right.len() / 4,
+        "parallel project allocated {project_allocs} times for {} rows",
+        right.len()
+    );
+
+    // End to end: the fused-scan + partitioned-join pipeline stays bounded.
+    let catalog = pdb_storage::Catalog::new();
+    let mut r = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int)]).unwrap());
+    let mut s =
+        ProbTable::new(Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap());
+    let mut var = 0u64;
+    for a in 0..100i64 {
+        var += 1;
+        r.insert(tuple![a], Variable(var), 0.5).unwrap();
+        for b in 0..50i64 {
+            var += 1;
+            s.insert(tuple![a, b], Variable(var), 0.5).unwrap();
+        }
+    }
+    catalog.register_table("R", r).unwrap();
+    catalog.register_table("S", s).unwrap();
+    let q = ConjunctiveQuery::build(&[("R", &["a"]), ("S", &["a", "b"])], &["b"], vec![]).unwrap();
+    let order: Vec<String> = vec!["R".into(), "S".into()];
+    evaluate_join_order_with(&q, &catalog, &order, &pool).unwrap(); // warm-up
+    let pipeline_allocs = allocations(|| {
+        let answer = evaluate_join_order_with(&q, &catalog, &order, &pool).unwrap();
+        assert_eq!(answer.len(), rows);
+    });
+    assert!(
+        pipeline_allocs < rows / 2,
+        "parallel pipeline allocated {pipeline_allocs} times for {rows} rows"
+    );
+}
+
+#[test]
 fn one_scan_inner_loop_allocates_sublinearly() {
     use pdb_conf::baseline::one_scan_confidences_recursive;
     use pdb_conf::one_scan::one_scan_confidences_with;

@@ -174,36 +174,64 @@ impl Pool {
         R: Send,
         F: Fn(usize, &mut [T]) -> R + Sync,
     {
-        let n = bounds.len();
+        // One buffer is the two-buffer combinator with an empty aux side.
+        let aux_bounds = vec![0usize; bounds.len()];
+        let mut aux: [(); 0] = [];
+        self.map_slices2_mut(data, bounds, &mut aux, &aux_bounds, |i, slice, _aux| {
+            f(i, slice)
+        })
+    }
+
+    /// [`Pool::map_slices_mut`] over **two** parallel buffers: splits `data`
+    /// at `data_bounds` and `aux` at `aux_bounds` (same number of cuts, same
+    /// conventions as [`Pool::map_slices_mut`]) and applies
+    /// `f(slice_index, data_slice, aux_slice)` to every aligned sub-slice
+    /// pair. Results come back in slice order.
+    ///
+    /// This is the combinator behind parallel writes into an arena-backed
+    /// relation: the data arena and the lineage arena have different strides,
+    /// so one cut offset per arena is needed, but slice `i` of both arenas
+    /// belongs to the same row range and must be handed to the same worker.
+    pub fn map_slices2_mut<T, U, R, F>(
+        &self,
+        data: &mut [T],
+        data_bounds: &[usize],
+        aux: &mut [U],
+        aux_bounds: &[usize],
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send,
+        U: Send,
+        R: Send,
+        F: Fn(usize, &mut [T], &mut [U]) -> R + Sync,
+    {
+        let n = data_bounds.len();
+        assert_eq!(
+            n,
+            aux_bounds.len(),
+            "both bounds lists must cut the same number of slices"
+        );
         if n == 0 {
             return Vec::new();
         }
-        debug_assert_eq!(bounds[0], 0, "bounds must start at offset 0");
-        debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
-        debug_assert!(*bounds.last().expect("n > 0") <= data.len());
-        let mut slices: Vec<&mut [T]> = Vec::with_capacity(n);
-        let mut rest: &mut [T] = data;
-        let mut prev = 0usize;
-        for &cut in &bounds[1..] {
-            let (head, tail) = rest.split_at_mut(cut - prev);
-            slices.push(head);
-            prev = cut;
-            rest = tail;
-        }
-        slices.push(rest);
+        let data_slices = split_at_bounds(data, data_bounds);
+        let aux_slices = split_at_bounds(aux, aux_bounds);
+        let pairs: Vec<SlicePair<'_, T, U>> = data_slices
+            .into_iter()
+            .zip(aux_slices)
+            .enumerate()
+            .map(|(i, (d, a))| (i, d, a))
+            .collect();
         let workers = self.threads().min(n);
         if workers <= 1 {
-            return slices
-                .into_iter()
-                .enumerate()
-                .map(|(i, s)| f(i, s))
-                .collect();
+            return pairs.into_iter().map(|(i, d, a)| f(i, d, a)).collect();
         }
-        // Hand each worker a contiguous group of slices; collect `(index,
-        // result)` pairs and place them back in slice order after the join.
-        let mut groups: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, s) in slices.into_iter().enumerate() {
-            groups[i * workers / n].push((i, s));
+        // Hand each worker a contiguous group of slice pairs; collect
+        // `(index, result)` pairs and place them back in slice order.
+        let mut groups: Vec<Vec<SlicePair<'_, T, U>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, d, a) in pairs {
+            groups[i * workers / n].push((i, d, a));
         }
         let f = &f;
         let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
@@ -213,7 +241,7 @@ impl Pool {
                     scope.spawn(move || {
                         group
                             .into_iter()
-                            .map(|(i, s)| (i, f(i, s)))
+                            .map(|(i, d, a)| (i, f(i, d, a)))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -233,6 +261,54 @@ impl Pool {
             .map(|s| s.expect("every slice index was visited exactly once"))
             .collect()
     }
+}
+
+/// One indexed pair of aligned mutable sub-slices handed to a
+/// [`Pool::map_slices2_mut`] worker.
+type SlicePair<'a, T, U> = (usize, &'a mut [T], &'a mut [U]);
+
+/// Splits `data` at the ascending cut offsets `bounds` (`bounds[0] == 0`,
+/// last slice runs to `data.len()`) into disjoint mutable sub-slices.
+fn split_at_bounds<'a, T>(data: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut [T]> {
+    debug_assert_eq!(bounds.first().copied(), Some(0), "bounds must start at 0");
+    debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(bounds.last().copied().unwrap_or(0) <= data.len());
+    let mut slices = Vec::with_capacity(bounds.len());
+    let mut rest = data;
+    let mut prev = 0usize;
+    for &cut in &bounds[1..] {
+        let (head, tail) = rest.split_at_mut(cut - prev);
+        slices.push(head);
+        prev = cut;
+        rest = tail;
+    }
+    slices.push(rest);
+    slices
+}
+
+/// `parts` contiguous, even-sized ranges covering `0..n`, clamped to at most
+/// one per item and at least one range (`n == 0` yields a single empty
+/// range). The uniform-weight chunking every parallel encoder/scanner uses;
+/// for skewed work, cut by [`partition_by_weight`] instead.
+pub fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    (0..parts)
+        .map(|c| (n * c / parts)..(n * (c + 1) / parts))
+        .collect()
+}
+
+/// Exclusive prefix sum of per-chunk output counts: returns the write
+/// offsets each chunk's output starts at (`offsets[i] = counts[0] + … +
+/// counts[i-1]`) plus the total. The stitch-in-chunk-order primitive of the
+/// two-phase (count, then write-in-place) parallel operators.
+pub fn exclusive_prefix_sum(counts: impl IntoIterator<Item = usize>) -> (Vec<usize>, usize) {
+    let mut offsets = Vec::new();
+    let mut total = 0usize;
+    for c in counts {
+        offsets.push(total);
+        total += c;
+    }
+    (offsets, total)
 }
 
 /// The independent-or merge `1 − (1 − p)(1 − acc)`: the probability that at
@@ -335,9 +411,7 @@ where
         order.sort_by(|&a, &b| compare(a, b));
         return order;
     }
-    let chunk_ranges: Vec<Range<usize>> = (0..chunks)
-        .map(|c| (len * c / chunks)..(len * (c + 1) / chunks))
-        .collect();
+    let chunk_ranges = even_ranges(len, chunks);
     let mut runs: Vec<Vec<u32>> = pool.map_ranges(&chunk_ranges, |r| {
         let mut order: Vec<u32> = (r.start as u32..r.end as u32).collect();
         order.sort_by(|&a, &b| compare(a, b));
@@ -523,6 +597,88 @@ mod tests {
         assert!(pool
             .map_slices_mut(&mut empty, &[], |_, _: &mut [u8]| 0)
             .is_empty());
+    }
+
+    #[test]
+    fn map_slices2_mut_writes_aligned_disjoint_chunks() {
+        // Two arenas with different strides (3 and 2 items per "row"): the
+        // same row-range cuts map to different element offsets per arena,
+        // and every aligned pair must reach the same worker in slice order.
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let rows = 50usize;
+            let mut data = vec![0usize; rows * 3];
+            let mut aux = vec![0usize; rows * 2];
+            let row_cuts = [0usize, 7, 7, 30, 49];
+            let data_bounds: Vec<usize> = row_cuts.iter().map(|r| r * 3).collect();
+            let aux_bounds: Vec<usize> = row_cuts.iter().map(|r| r * 2).collect();
+            let lens =
+                pool.map_slices2_mut(&mut data, &data_bounds, &mut aux, &aux_bounds, |i, d, a| {
+                    assert_eq!(d.len() * 2, a.len() * 3, "aligned row ranges");
+                    for v in d.iter_mut() {
+                        *v = i + 1;
+                    }
+                    for v in a.iter_mut() {
+                        *v = 10 * (i + 1);
+                    }
+                    (d.len(), a.len())
+                });
+            assert_eq!(
+                lens,
+                vec![(21, 14), (0, 0), (69, 46), (57, 38), (3, 2)],
+                "{threads} threads"
+            );
+            let slice_of = |row: usize| match row {
+                0..=6 => 1,
+                7..=29 => 3,
+                30..=48 => 4,
+                _ => 5,
+            };
+            for r in 0..rows {
+                assert!(data[r * 3..(r + 1) * 3].iter().all(|&v| v == slice_of(r)));
+                assert!(aux[r * 2..(r + 1) * 2]
+                    .iter()
+                    .all(|&v| v == 10 * slice_of(r)));
+            }
+        }
+        let pool = Pool::new(4);
+        let (mut a, mut b): (Vec<u8>, Vec<u8>) = (Vec::new(), Vec::new());
+        assert!(pool
+            .map_slices2_mut(&mut a, &[], &mut b, &[], |_, _: &mut [u8], _: &mut [u8]| 0)
+            .is_empty());
+    }
+
+    #[test]
+    fn even_ranges_tile_the_index_space() {
+        for (n, parts) in [
+            (0usize, 4usize),
+            (1, 4),
+            (10, 3),
+            (10, 1),
+            (3, 16),
+            (100, 7),
+        ] {
+            let ranges = even_ranges(n, parts);
+            assert!(!ranges.is_empty());
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(n));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "n {n} parts {parts}");
+            }
+            if n > 0 {
+                assert!(ranges.iter().all(|r| !r.is_empty()), "n {n} parts {parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_yields_chunk_write_offsets() {
+        let (offsets, total) = exclusive_prefix_sum([3usize, 0, 5, 1]);
+        assert_eq!(offsets, vec![0, 3, 3, 8]);
+        assert_eq!(total, 9);
+        let (offsets, total) = exclusive_prefix_sum(std::iter::empty());
+        assert!(offsets.is_empty());
+        assert_eq!(total, 0);
     }
 
     #[test]

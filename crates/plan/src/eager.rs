@@ -14,6 +14,7 @@ use std::collections::BTreeSet;
 use pdb_conf::ConfidenceResult;
 use pdb_exec::{ops, Annotated, AnnotatedRow};
 use pdb_lineage::independent_or;
+use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, QueryTree};
 use pdb_storage::{Catalog, Tuple};
@@ -25,6 +26,7 @@ use crate::error::{PlanError, PlanResult};
 pub struct EagerPlan {
     query: ConjunctiveQuery,
     tree: QueryTree,
+    pool: Pool,
 }
 
 impl EagerPlan {
@@ -41,7 +43,17 @@ impl EagerPlan {
         Ok(EagerPlan {
             query: query.clone(),
             tree: reduct.tree()?,
+            pool: Pool::from_env(),
         })
+    }
+
+    /// Sets the worker pool the plan's scans, filters, projections and joins
+    /// fan out on (the default is [`Pool::from_env`]). The per-node
+    /// aggregations themselves are `BTreeMap`-based and sequential. Results
+    /// are identical at every pool size.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The query tree driving the plan.
@@ -101,9 +113,18 @@ impl EagerPlan {
                     })
                     .cloned()
                     .collect();
-                let mut scanned = ops::scan(&table, relation, &scan_attrs)?;
+                // Each operator re-gates on its own input size: a selective
+                // first predicate must not drag thread spawns onto the tiny
+                // relations behind it.
+                let mut scanned = ops::scan_with(
+                    &table,
+                    relation,
+                    &scan_attrs,
+                    &self.pool.for_items(table.len()),
+                )?;
                 for pred in self.query.predicates_for(relation) {
-                    scanned = ops::filter(&scanned, pred)?;
+                    scanned =
+                        ops::filter_with(&scanned, pred, &self.pool.for_items(scanned.len()))?;
                 }
                 let keep: Vec<String> = scanned
                     .schema()
@@ -112,7 +133,8 @@ impl EagerPlan {
                     .filter(|a| needed_above.contains(*a) || head.contains(*a))
                     .map(|s| s.to_string())
                     .collect();
-                let projected = ops::project(&scanned, &keep)?;
+                let projected =
+                    ops::project_with(&scanned, &keep, &self.pool.for_items(scanned.len()))?;
                 Ok((aggregate_single_column(&projected), relation.clone()))
             }
             QueryTree::Inner { children, .. } => {
@@ -131,7 +153,8 @@ impl EagerPlan {
                 let representative = evaluated[0].1.clone();
                 let mut joined = evaluated[0].0.clone();
                 for (child, _) in &evaluated[1..] {
-                    joined = ops::natural_join(&joined, child)?;
+                    let join_pool = self.pool.for_items(joined.len().max(child.len()));
+                    joined = ops::natural_join_with(&joined, child, &join_pool)?;
                 }
                 let keep: Vec<String> = joined
                     .schema()
@@ -140,7 +163,8 @@ impl EagerPlan {
                     .filter(|a| needed_above.contains(*a) || head.contains(*a))
                     .map(|s| s.to_string())
                     .collect();
-                let projected = ops::project(&joined, &keep)?;
+                let projected =
+                    ops::project_with(&joined, &keep, &self.pool.for_items(joined.len()))?;
                 Ok((
                     aggregate_joined(&projected, &representative),
                     representative,

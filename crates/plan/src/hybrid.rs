@@ -71,8 +71,10 @@ impl HybridPlan {
         })
     }
 
-    /// Sets the worker pool the pushed-down aggregations and the top-level
-    /// confidence operator fan out on (the default is [`Pool::from_env`]).
+    /// Sets the worker pool the whole plan fans out on — the relational
+    /// pipeline, the pushed-down aggregations, and the top-level confidence
+    /// operator (the default is [`Pool::from_env`]). Results are
+    /// bitwise-identical at every pool size.
     pub fn with_pool(mut self, pool: Pool) -> Self {
         self.pool = pool;
         self
@@ -141,9 +143,13 @@ impl HybridPlan {
                 })
                 .cloned()
                 .collect();
-            let mut scanned = ops::scan(&table, rel_name, &keep)?;
+            // Each operator re-gates on its own input size: a selective
+            // first predicate must not drag thread spawns onto the tiny
+            // relations behind it.
+            let mut scanned =
+                ops::scan_with(&table, rel_name, &keep, &self.pool.for_items(table.len()))?;
             for pred in self.query.predicates_for(rel_name) {
-                scanned = ops::filter(&scanned, pred)?;
+                scanned = ops::filter_with(&scanned, pred, &self.pool.for_items(scanned.len()))?;
             }
             let post_scan: Vec<String> = scanned
                 .schema()
@@ -152,7 +158,7 @@ impl HybridPlan {
                 .filter(|a| head.contains(*a) || join_attrs.contains(*a))
                 .map(|s| s.to_string())
                 .collect();
-            scanned = ops::project(&scanned, &post_scan)?;
+            scanned = ops::project_with(&scanned, &post_scan, &self.pool.for_items(scanned.len()))?;
             if self.pushed.contains(rel_name) {
                 // The pushed-down `[R*]` operator: one row per distinct
                 // projected tuple, carrying a representative variable and the
@@ -168,7 +174,10 @@ impl HybridPlan {
 
             current = Some(match current {
                 None => scanned,
-                Some(acc) => ops::natural_join(&acc, &scanned)?,
+                Some(acc) => {
+                    let join_pool = self.pool.for_items(acc.len().max(scanned.len()));
+                    ops::natural_join_with(&acc, &scanned, &join_pool)?
+                }
             });
             if let Some(acc) = current.take() {
                 let remaining: BTreeSet<&String> = self.join_order[step + 1..].iter().collect();
@@ -187,11 +196,19 @@ impl HybridPlan {
                     })
                     .map(|s| s.to_string())
                     .collect();
-                current = Some(ops::project(&acc, &needed)?);
+                current = Some(ops::project_with(
+                    &acc,
+                    &needed,
+                    &self.pool.for_items(acc.len()),
+                )?);
             }
         }
         let answer = current.expect("query has at least one relation");
-        Ok(ops::project(&answer, &self.query.head)?)
+        Ok(ops::project_with(
+            &answer,
+            &self.query.head,
+            &self.pool.for_items(answer.len()),
+        )?)
     }
 }
 

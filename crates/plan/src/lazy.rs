@@ -3,7 +3,7 @@
 //! the plan (Fig. 7 (c)).
 
 use pdb_conf::{ConfidenceOperator, ConfidenceResult, SplitPolicy, Strategy};
-use pdb_exec::{evaluate_join_order, Annotated};
+use pdb_exec::{evaluate_join_order_with, Annotated};
 use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, Signature};
@@ -45,9 +45,10 @@ impl LazyPlan {
         })
     }
 
-    /// Sets the worker pool the top-level confidence operator fans out on
-    /// (the default is [`Pool::from_env`]). Confidences are identical at
-    /// every pool size.
+    /// Sets the worker pool the plan fans out on — the whole relational
+    /// pipeline (scans, filters, projections, joins) *and* the top-level
+    /// confidence operator (the default is [`Pool::from_env`]). Results are
+    /// bitwise-identical at every pool size.
     pub fn with_pool(mut self, pool: Pool) -> Self {
         self.pool = pool;
         self
@@ -79,11 +80,18 @@ impl LazyPlan {
     }
 
     /// Computes the lineage-annotated answer tuples (duplicates included).
+    /// The relational pipeline fans out on the plan's pool; the answer is
+    /// bitwise-identical at every pool size.
     ///
     /// # Errors
     /// Fails on execution errors (missing tables/columns).
     pub fn answer_tuples(&self, catalog: &Catalog) -> PlanResult<Annotated> {
-        Ok(evaluate_join_order(&self.query, catalog, &self.join_order)?)
+        Ok(evaluate_join_order_with(
+            &self.query,
+            catalog,
+            &self.join_order,
+            &self.pool,
+        )?)
     }
 
     /// Executes the plan: answer tuples first, then one confidence
