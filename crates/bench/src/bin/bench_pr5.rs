@@ -1,0 +1,429 @@
+//! PR 5 regression benchmark: columnar base-table storage with zone-map
+//! chunk skipping and vectorized fused scans.
+//!
+//! Produces `BENCH_PR5.json` comparing the **row** catalog (the retained
+//! A/B control) against the **columnar** catalog (same tuples, variables
+//! and probabilities — the RNG sequence is shared) over the TPC-H workload
+//! (Q1/Q6/B6 plus the Fig. 9 join queries):
+//!
+//! 1. **Scan stage** — the fused scan-filter-project of every base table of
+//!    each query, timed row-at-a-time vs columnar (min-of-N), with the
+//!    columnar path's chunk-skip rates (chunks pruned by zone maps alone).
+//! 2. **Plan totals** — the full lazy plan on both catalogs.
+//! 3. **Thread scaling** — the full lazy plan on the columnar catalog at
+//!    1/2/4/8 workers.
+//!
+//! Acceptance gates asserted here, not just recorded:
+//!
+//! * the annotated answer is **identical** (values, lineage, row order)
+//!   across representations and at every thread count, and confidences are
+//!   **bitwise identical** (max |Δp| = 0) across representations × threads;
+//! * (full runs only) the columnar scan+filter stage beats the row path in
+//!   aggregate at SF 0.1, with nonzero chunk-skip rates on at least two
+//!   selective queries.
+//!
+//! Run with `cargo run --release -p sprout-bench --bin bench_pr5`; pass
+//! `--smoke` for a seconds-long CI-sized run (SF 0.01 only, single
+//! measurement, determinism gates only). Set `SPROUT_BENCH_OUT` to change
+//! the output path (default `BENCH_PR5.json`, or
+//! `target/BENCH_PR5.smoke.json` under `--smoke`).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pdb_exec::columnar::scan_filter_project_columnar_stats;
+use pdb_exec::{evaluate_join_order_with, ops, ColumnarScanStats};
+use pdb_par::Pool;
+use pdb_query::{ConjunctiveQuery, FdSet};
+use pdb_storage::{Catalog, StorageBacking};
+use pdb_tpch::{
+    fig9_queries, probabilistic_catalog, probabilistic_catalog_columnar, tpch_query, TpchData,
+    TpchScale,
+};
+use sprout_plan::join_order::greedy_join_order;
+use sprout_plan::lazy::LazyPlan;
+
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sfs: Vec<f64> = if smoke { vec![0.01] } else { vec![0.01, 0.1] };
+    let runs = if smoke { 1 } else { 3 };
+    let out_path = std::env::var("SPROUT_BENCH_OUT").unwrap_or_else(|_| {
+        if smoke {
+            "target/BENCH_PR5.smoke.json".to_string()
+        } else {
+            "BENCH_PR5.json".to_string()
+        }
+    });
+
+    let mut scan_rows = Vec::new();
+    let mut plan_rows = Vec::new();
+    let mut scaling_rows = Vec::new();
+    let mut max_rep_diff = 0.0f64;
+
+    for &sf in &sfs {
+        eprintln!("== scale factor {sf}: building row + columnar TPC-H catalogs ...");
+        let data = TpchData::generate(TpchScale::new(sf));
+        let row_catalog = probabilistic_catalog(&data, 1).expect("row catalog");
+        let col_catalog = probabilistic_catalog_columnar(&data, 1).expect("columnar catalog");
+        run_scale(
+            sf,
+            runs,
+            &row_catalog,
+            &col_catalog,
+            &mut scan_rows,
+            &mut plan_rows,
+            &mut scaling_rows,
+            &mut max_rep_diff,
+        );
+    }
+
+    let json = render_json(smoke, &scan_rows, &plan_rows, &scaling_rows, max_rep_diff);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+
+    assert_eq!(
+        max_rep_diff, 0.0,
+        "representations / thread counts diverged"
+    );
+    if !smoke {
+        // Acceptance: at SF 0.1 the columnar scan stage wins in aggregate
+        // and zone maps actually skip chunks on selective queries.
+        let at_sf = |sf: f64| scan_rows.iter().filter(move |r| r.sf == sf);
+        let row_total: f64 = at_sf(0.1).map(|r| r.row_s).sum();
+        let col_total: f64 = at_sf(0.1).map(|r| r.columnar_s).sum();
+        assert!(
+            col_total < row_total,
+            "columnar scan stage ({col_total:.4}s) must beat the row path ({row_total:.4}s) at SF 0.1"
+        );
+        let skipping = at_sf(0.1).filter(|r| r.stats.chunks_skipped > 0).count();
+        assert!(
+            skipping >= 2,
+            "expected nonzero chunk-skip rates on at least two queries, got {skipping}"
+        );
+    }
+    eprintln!("row-vs-columnar max |Δp| = {max_rep_diff:.1e} (must be 0)");
+}
+
+/// The PR-1 workload: Q1/Q6/B6-style selections plus the Fig. 9 join
+/// queries.
+fn workload() -> Vec<(String, ConjunctiveQuery)> {
+    let mut workload: Vec<(String, ConjunctiveQuery)> = Vec::new();
+    for id in ["1", "6", "B6"] {
+        if let Some(entry) = tpch_query(id) {
+            if let Some(q) = entry.query {
+                workload.push((entry.id, q));
+            }
+        }
+    }
+    for entry in fig9_queries() {
+        if let Some(q) = entry.query {
+            workload.push((entry.id, q));
+        }
+    }
+    workload
+}
+
+struct ScanRow {
+    sf: f64,
+    query: String,
+    row_s: f64,
+    columnar_s: f64,
+    stats: ColumnarScanStats,
+}
+
+struct PlanRow {
+    sf: f64,
+    query: String,
+    row_total_s: f64,
+    columnar_total_s: f64,
+    distinct: usize,
+}
+
+struct ScalingRow {
+    sf: f64,
+    query: String,
+    rows: usize,
+    total_s: [f64; SCALING_THREADS.len()],
+}
+
+/// The fused-scan inputs of one query step: relation, predicates, kept
+/// attributes — exactly what `evaluate_join_order_with` hands the scan.
+fn scan_steps(query: &ConjunctiveQuery, order: &[String]) -> Vec<(String, Vec<String>)> {
+    let head: BTreeSet<String> = query.head_set();
+    let join_attrs = query.join_attributes();
+    order
+        .iter()
+        .map(|rel| {
+            let atom = query.relation(rel).expect("relation in query");
+            let keep: Vec<String> = atom
+                .attributes
+                .iter()
+                .filter(|a| head.contains(*a) || join_attrs.contains(*a))
+                .cloned()
+                .collect();
+            (rel.clone(), keep)
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scale(
+    sf: f64,
+    runs: usize,
+    row_catalog: &Catalog,
+    col_catalog: &Catalog,
+    scan_out: &mut Vec<ScanRow>,
+    plan_out: &mut Vec<PlanRow>,
+    scaling_out: &mut Vec<ScalingRow>,
+    max_rep_diff: &mut f64,
+) {
+    let fds = FdSet::from_catalog_decls(&row_catalog.fds());
+    let env_pool = Pool::from_env();
+    for (id, query) in &workload() {
+        let order = greedy_join_order(query, row_catalog).expect("join order");
+        // Identical statistics must yield the identical join order.
+        assert_eq!(
+            order,
+            greedy_join_order(query, col_catalog).expect("columnar join order"),
+            "q{id}: join orders diverged across representations"
+        );
+
+        // -- Determinism gates -------------------------------------------
+        // The annotated answer is identical across representations and at
+        // every thread count.
+        let reference = evaluate_join_order_with(query, row_catalog, &order, &Pool::sequential())
+            .expect("row answer");
+        for &threads in &SCALING_THREADS {
+            let col_answer =
+                evaluate_join_order_with(query, col_catalog, &order, &Pool::new(threads))
+                    .expect("columnar answer");
+            assert_eq!(
+                col_answer, reference,
+                "q{id}: columnar answer diverged at {threads} threads"
+            );
+        }
+
+        // -- Experiment 1: the fused scan stage, row vs columnar ---------
+        let steps = scan_steps(query, &order);
+        let (mut row_s, mut col_s) = (f64::MAX, f64::MAX);
+        let mut stats = ColumnarScanStats::default();
+        for _ in 0..runs {
+            let mut acc = 0.0f64;
+            for (rel, keep) in &steps {
+                let StorageBacking::Row(table) = row_catalog.backing(rel).expect("backing") else {
+                    panic!("row catalog must hold row backings");
+                };
+                let preds = query.predicates_for(rel);
+                let t0 = Instant::now();
+                let scanned = ops::scan_filter_project_with(
+                    &table,
+                    rel,
+                    &preds,
+                    keep,
+                    &env_pool.for_items(table.len()),
+                )
+                .expect("row scan");
+                acc += t0.elapsed().as_secs_f64();
+                std::hint::black_box(&scanned);
+            }
+            row_s = row_s.min(acc);
+
+            let mut acc = 0.0f64;
+            let mut run_stats = ColumnarScanStats::default();
+            for (rel, keep) in &steps {
+                let StorageBacking::Columnar(table) = col_catalog.backing(rel).expect("backing")
+                else {
+                    panic!("columnar catalog must hold columnar backings");
+                };
+                let preds = query.predicates_for(rel);
+                let t0 = Instant::now();
+                let (scanned, s) = scan_filter_project_columnar_stats(
+                    &table,
+                    rel,
+                    &preds,
+                    keep,
+                    &env_pool.for_items(table.len()),
+                )
+                .expect("columnar scan");
+                acc += t0.elapsed().as_secs_f64();
+                std::hint::black_box(&scanned);
+                run_stats.chunks += s.chunks;
+                run_stats.chunks_skipped += s.chunks_skipped;
+                run_stats.chunks_full += s.chunks_full;
+                run_stats.rows_in += s.rows_in;
+                run_stats.rows_out += s.rows_out;
+            }
+            col_s = col_s.min(acc);
+            stats = run_stats;
+        }
+        eprintln!(
+            "  sf {sf} q{id}: scan row {row_s:.4}s vs columnar {col_s:.4}s — {}/{} chunks skipped ({:.0}%), {} of {} rows survive",
+            stats.chunks_skipped,
+            stats.chunks,
+            100.0 * stats.skip_rate(),
+            stats.rows_out,
+            stats.rows_in,
+        );
+        scan_out.push(ScanRow {
+            sf,
+            query: id.clone(),
+            row_s,
+            columnar_s: col_s,
+            stats,
+        });
+
+        // -- Experiment 2: full lazy plans on both catalogs, bitwise gate --
+        let Ok(row_plan) = LazyPlan::build(query, &fds, row_catalog) else {
+            continue; // join-only queries without a tractable signature
+        };
+        let col_plan = LazyPlan::build(query, &fds, col_catalog).expect("columnar plan");
+        let mut row_total = f64::MAX;
+        let mut col_total = f64::MAX;
+        let mut distinct = 0usize;
+        let mut reference_conf = None;
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            let conf = row_plan.execute(row_catalog).expect("row lazy plan");
+            row_total = row_total.min(t0.elapsed().as_secs_f64());
+            distinct = conf.len();
+            reference_conf = Some(conf);
+            let t0 = Instant::now();
+            let conf = col_plan.execute(col_catalog).expect("columnar lazy plan");
+            col_total = col_total.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(&conf);
+        }
+        let reference_conf = reference_conf.expect("at least one run");
+        // Confidences bitwise across representations × thread counts.
+        for &threads in &SCALING_THREADS {
+            let conf = LazyPlan::build(query, &fds, col_catalog)
+                .expect("plan")
+                .with_pool(Pool::new(threads))
+                .execute(col_catalog)
+                .expect("columnar confidences");
+            assert_eq!(conf.len(), reference_conf.len(), "q{id}");
+            for ((t1, p1), (t2, p2)) in conf.iter().zip(reference_conf.iter()) {
+                assert_eq!(t1, t2, "q{id} at {threads} threads");
+                if p1.to_bits() != p2.to_bits() {
+                    *max_rep_diff = max_rep_diff.max((p1 - p2).abs().max(f64::MIN_POSITIVE));
+                }
+            }
+        }
+        eprintln!(
+            "  sf {sf} q{id}: lazy total row {row_total:.4}s vs columnar {col_total:.4}s ({distinct} distinct)"
+        );
+        plan_out.push(PlanRow {
+            sf,
+            query: id.clone(),
+            row_total_s: row_total,
+            columnar_total_s: col_total,
+            distinct,
+        });
+
+        // -- Experiment 3: columnar lazy plan at 1/2/4/8 threads ---------
+        let mut total_s = [f64::MAX; SCALING_THREADS.len()];
+        for (slot, &threads) in total_s.iter_mut().zip(&SCALING_THREADS) {
+            let plan = LazyPlan::build(query, &fds, col_catalog)
+                .expect("plan")
+                .with_pool(Pool::new(threads));
+            for _ in 0..runs {
+                let t0 = Instant::now();
+                let result = plan.execute(col_catalog).expect("columnar lazy plan");
+                *slot = slot.min(t0.elapsed().as_secs_f64());
+                assert_eq!(result.len(), distinct, "q{id} at {threads} threads");
+            }
+        }
+        scaling_out.push(ScalingRow {
+            sf,
+            query: id.clone(),
+            rows: reference.len(),
+            total_s,
+        });
+    }
+}
+
+fn render_json(
+    smoke: bool,
+    scan_rows: &[ScanRow],
+    plan_rows: &[PlanRow],
+    scaling_rows: &[ScalingRow],
+    max_rep_diff: f64,
+) -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"pr\": 5,\n");
+    s.push_str(
+        "  \"description\": \"Columnar base-table storage: typed column vectors, chunked row groups, per-chunk zone maps, vectorized fused scans. Row-vs-columnar fused-scan stage times with chunk-skip rates per TPC-H query, full lazy-plan totals on both catalogs, and columnar thread scaling at 1/2/4/8 workers; answers and confidences asserted bitwise-identical across representations and thread counts (max |dp| = 0)\",\n",
+    );
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"harness\": \"std::time::Instant, min over runs\",\n");
+    let _ = writeln!(s, "  \"target\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(s, "  \"available_parallelism\": {parallelism},");
+    let _ = writeln!(
+        s,
+        "  \"chunk_rows\": {},",
+        pdb_storage::columnar::CHUNK_ROWS
+    );
+    s.push_str("  \"scan_stage\": [\n");
+    for (i, r) in scan_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"row_s\": {:.6}, \"columnar_s\": {:.6}, \"speedup\": {:.3}, \"chunks\": {}, \"chunks_skipped\": {}, \"chunks_full\": {}, \"skip_rate\": {:.4}, \"rows_in\": {}, \"rows_out\": {}}}",
+            r.sf,
+            r.query,
+            r.row_s,
+            r.columnar_s,
+            r.row_s / r.columnar_s.max(1e-12),
+            r.stats.chunks,
+            r.stats.chunks_skipped,
+            r.stats.chunks_full,
+            r.stats.skip_rate(),
+            r.stats.rows_in,
+            r.stats.rows_out,
+        );
+        s.push_str(if i + 1 < scan_rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"lazy_plan_totals\": [\n");
+    for (i, r) in plan_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"row_total_s\": {:.6}, \"columnar_total_s\": {:.6}, \"distinct_tuples\": {}}}",
+            r.sf, r.query, r.row_total_s, r.columnar_total_s, r.distinct
+        );
+        s.push_str(if i + 1 < plan_rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"columnar_thread_scaling\": [\n");
+    for (i, r) in scaling_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"answer_rows\": {}",
+            r.sf, r.query, r.rows
+        );
+        for (t, secs) in SCALING_THREADS.iter().zip(&r.total_s) {
+            let _ = write!(s, ", \"t{t}_s\": {secs:.6}");
+        }
+        s.push('}');
+        s.push_str(if i + 1 < scaling_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"summary\": {{\"max_abs_diff_row_vs_columnar\": {max_rep_diff:.1e}, \"acceptance_diff\": 0.0}}"
+    );
+    s.push_str("}\n");
+    s
+}

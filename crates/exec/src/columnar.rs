@@ -1,0 +1,710 @@
+//! Vectorized fused scans over columnar base tables, with zone-map chunk
+//! skipping.
+//!
+//! This is the columnar fast path of [`crate::ops::scan`] /
+//! [`crate::ops::scan_filter_project`]: the scan runs chunk-at-a-time over a
+//! [`ColumnarTable`],
+//!
+//! 1. **prunes** each chunk against the per-column zone maps — a chunk whose
+//!    `[min, max]` range cannot satisfy a predicate is skipped without
+//!    touching a single row, and a chunk whose range satisfies it entirely
+//!    (and holds no NULLs) needs no per-row evaluation at all;
+//! 2. runs **tight per-column predicate loops** over the remaining chunks —
+//!    each predicate is compiled once into a typed comparison
+//!    ([`PredEval`]) against the column's native representation (`i64`,
+//!    `f64`, `i32` days, dictionary ranks), so the inner loop compares
+//!    machine words instead of `Value` enums — producing the chunk's
+//!    survivor list;
+//! 3. **gathers** only the projected columns of the survivors straight into
+//!    the output's pre-sized arena segments
+//!    ([`Annotated::with_placeholder_rows`] +
+//!    [`pdb_par::Pool::map_slices2_mut`]), column-at-a-time within each
+//!    segment.
+//!
+//! The determinism contract of the PR-4 pipeline is preserved **exactly**:
+//! the output — values (enum variants included), lineage, row order — is
+//! bitwise-identical to the row-at-a-time scan over the equivalent
+//! [`ProbTable`](pdb_storage::ProbTable), at every thread count. The
+//! compiled predicates replay `CompareOp::eval` ∘ `Value::cmp` case by
+//! case (including NaN-greatest float normalization, cross-type rank
+//! ordering and NULL-fails-everything), and the zone maps are ordered by
+//! the same total order, so pruning can never disagree with per-row
+//! evaluation.
+
+use std::cmp::Ordering;
+
+use pdb_par::Pool;
+use pdb_query::{CompareOp, Predicate};
+use pdb_storage::{total_f64_cmp, ColumnData, ColumnarTable, Value, ZoneMap};
+
+use crate::annotated::Annotated;
+use crate::error::{ExecError, ExecResult};
+
+/// Counters describing how much work zone-map pruning saved in one scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColumnarScanStats {
+    /// Chunks in the table.
+    pub chunks: usize,
+    /// Chunks skipped entirely from their zone maps.
+    pub chunks_skipped: usize,
+    /// Chunks whose zone maps proved every row matches (no per-row work).
+    pub chunks_full: usize,
+    /// Input rows.
+    pub rows_in: usize,
+    /// Surviving rows.
+    pub rows_out: usize,
+}
+
+impl ColumnarScanStats {
+    /// Fraction of chunks skipped from zone maps alone.
+    pub fn skip_rate(&self) -> f64 {
+        if self.chunks == 0 {
+            0.0
+        } else {
+            self.chunks_skipped as f64 / self.chunks as f64
+        }
+    }
+}
+
+/// What the zone maps prove about one predicate over one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Prune {
+    /// No row of the chunk can satisfy the predicate.
+    Skip,
+    /// Every row of the chunk satisfies the predicate (requires a NULL-free
+    /// chunk: NULL fails every comparison).
+    Full,
+    /// Undecided: evaluate per row.
+    Partial,
+}
+
+/// Zone-map decision for `op constant` over a chunk summarised by `zone`.
+///
+/// Sound because the bounds and `CompareOp::eval` order values by the same
+/// total order (`Value::cmp`): if even `max` compares below an `>` constant,
+/// no row can exceed it, and so on. All-NULL chunks fail every predicate.
+fn prune_chunk(zone: &ZoneMap, op: CompareOp, constant: &Value) -> Prune {
+    if constant.is_null() {
+        // `CompareOp::eval` is false whenever either side is NULL.
+        return Prune::Skip;
+    }
+    let (Some(min), Some(max)) = (&zone.min, &zone.max) else {
+        return Prune::Skip; // all rows NULL
+    };
+    let lo = min.cmp(constant);
+    let hi = max.cmp(constant);
+    let no_nulls = zone.null_count == 0;
+    let full = |cond: bool| {
+        if cond && no_nulls {
+            Prune::Full
+        } else {
+            Prune::Partial
+        }
+    };
+    match op {
+        CompareOp::Eq => {
+            if hi == Ordering::Less || lo == Ordering::Greater {
+                Prune::Skip
+            } else {
+                full(lo == Ordering::Equal && hi == Ordering::Equal)
+            }
+        }
+        CompareOp::Ne => {
+            if lo == Ordering::Equal && hi == Ordering::Equal {
+                Prune::Skip
+            } else {
+                full(hi == Ordering::Less || lo == Ordering::Greater)
+            }
+        }
+        CompareOp::Lt => {
+            if lo != Ordering::Less {
+                Prune::Skip
+            } else {
+                full(hi == Ordering::Less)
+            }
+        }
+        CompareOp::Le => {
+            if lo == Ordering::Greater {
+                Prune::Skip
+            } else {
+                full(hi != Ordering::Greater)
+            }
+        }
+        CompareOp::Gt => {
+            if hi != Ordering::Greater {
+                Prune::Skip
+            } else {
+                full(lo == Ordering::Greater)
+            }
+        }
+        CompareOp::Ge => {
+            if hi == Ordering::Less {
+                Prune::Skip
+            } else {
+                full(lo != Ordering::Less)
+            }
+        }
+    }
+}
+
+/// One predicate compiled against one column's physical representation:
+/// yields the `Value::cmp` ordering of a non-null row against the constant
+/// without constructing a `Value`.
+enum PredEval<'a> {
+    /// The constant is NULL: every row fails.
+    AllFalse,
+    /// Constant of a different type class: `Value::cmp` falls back to the
+    /// type rank, so every non-null row compares the same way.
+    ConstOrd(Ordering),
+    /// `i64` column vs integer constant (exact integer comparison —
+    /// `Value::cmp` never goes through floats for Int/Int).
+    IntInt(i64),
+    /// `i64` column vs float constant (`Value::cmp` compares through f64).
+    IntFloat(f64),
+    /// `f64` column vs numeric constant (integers cast, as `Value::cmp`
+    /// does).
+    FloatNum(f64),
+    /// `i32` date column vs date constant.
+    DateDate(i32),
+    /// Dictionary column vs string constant: `ip` is the constant's
+    /// insertion point in the sorted dictionary, `present` whether it
+    /// occurs. Codes are ranks, so `code < ip` ⇔ the string sorts below
+    /// the constant.
+    StrRank { ip: u32, present: bool },
+    /// `bool` column vs boolean constant.
+    BoolBool(bool),
+    /// Mixed column: evaluate on the stored `Value` directly.
+    Mixed(&'a Value),
+}
+
+impl PredEval<'_> {
+    /// Compiles `constant` against `column`'s representation.
+    fn compile<'a>(column: &ColumnData, constant: &'a Value) -> PredEval<'a> {
+        use PredEval::*;
+        if constant.is_null() {
+            return AllFalse;
+        }
+        match (column, constant) {
+            (ColumnData::Mixed { .. }, _) => Mixed(constant),
+            (ColumnData::Int { .. }, Value::Int(c)) => IntInt(*c),
+            (ColumnData::Int { .. }, Value::Float(c)) => IntFloat(*c),
+            (ColumnData::Float { .. }, Value::Float(c)) => FloatNum(*c),
+            (ColumnData::Float { .. }, Value::Int(c)) => FloatNum(*c as f64),
+            (ColumnData::Date { .. }, Value::Date(c)) => DateDate(*c),
+            (ColumnData::Bool { .. }, Value::Bool(c)) => BoolBool(*c),
+            (ColumnData::Str { dict, .. }, Value::Str(c)) => {
+                let ip = dict.partition_point(|s| s.as_ref() < c.as_ref());
+                let present = dict.get(ip).is_some_and(|s| s.as_ref() == c.as_ref());
+                StrRank {
+                    ip: ip as u32,
+                    present,
+                }
+            }
+            // Different type classes: Value::cmp orders by type rank, the
+            // same way for every non-null row of the column.
+            (col, c) => {
+                let probe = representative(col);
+                ConstOrd(probe.cmp(c))
+            }
+        }
+    }
+
+    /// The `Value::cmp` ordering of non-null row `r` against the constant.
+    #[inline]
+    fn ordering(&self, column: &ColumnData, r: usize) -> Option<Ordering> {
+        match (self, column) {
+            (PredEval::AllFalse, _) => None,
+            (PredEval::ConstOrd(ord), _) => Some(*ord),
+            (PredEval::IntInt(c), ColumnData::Int { values, .. }) => Some(values[r].cmp(c)),
+            (PredEval::IntFloat(c), ColumnData::Int { values, .. }) => {
+                Some(total_f64_cmp(values[r] as f64, *c))
+            }
+            (PredEval::FloatNum(c), ColumnData::Float { values, .. }) => {
+                Some(total_f64_cmp(values[r], *c))
+            }
+            (PredEval::DateDate(c), ColumnData::Date { values, .. }) => Some(values[r].cmp(c)),
+            (PredEval::BoolBool(c), ColumnData::Bool { values, .. }) => Some(values[r].cmp(c)),
+            (PredEval::StrRank { ip, present }, ColumnData::Str { codes, .. }) => {
+                let code = codes[r];
+                Some(if code < *ip {
+                    Ordering::Less
+                } else if *present && code == *ip {
+                    Ordering::Equal
+                } else {
+                    Ordering::Greater
+                })
+            }
+            _ => unreachable!("PredEval compiled for this column"),
+        }
+    }
+
+    /// Whether non-null row `r` satisfies `op constant` — exactly
+    /// `op.eval(&column.value(r), constant)`.
+    #[inline]
+    fn matches(&self, column: &ColumnData, op: CompareOp, r: usize) -> bool {
+        if let PredEval::Mixed(c) = self {
+            if let ColumnData::Mixed { values } = column {
+                return op.eval(&values[r], c);
+            }
+        }
+        match self.ordering(column, r) {
+            None => false,
+            Some(ord) => match op {
+                CompareOp::Eq => ord == Ordering::Equal,
+                CompareOp::Ne => ord != Ordering::Equal,
+                CompareOp::Lt => ord == Ordering::Less,
+                CompareOp::Le => ord != Ordering::Greater,
+                CompareOp::Gt => ord == Ordering::Greater,
+                CompareOp::Ge => ord != Ordering::Less,
+            },
+        }
+    }
+}
+
+/// A non-null `Value` of the column's type class, for cross-type-class rank
+/// comparisons (the concrete payload never matters there).
+fn representative(column: &ColumnData) -> Value {
+    match column {
+        ColumnData::Int { .. } => Value::Int(0),
+        ColumnData::Float { .. } => Value::Float(0.0),
+        ColumnData::Str { .. } => Value::str(""),
+        ColumnData::Date { .. } => Value::Date(0),
+        ColumnData::Bool { .. } => Value::Bool(false),
+        ColumnData::Mixed { .. } => unreachable!("mixed columns evaluate Values directly"),
+    }
+}
+
+/// The survivors of one chunk.
+enum ChunkSurvivors {
+    /// Zone maps proved the chunk empty.
+    Skipped,
+    /// Every row survives (`Full` on all predicates, or no predicates).
+    All(std::ops::Range<usize>),
+    /// The listed global row indices survive.
+    Rows(Vec<u32>),
+}
+
+impl ChunkSurvivors {
+    fn count(&self) -> usize {
+        match self {
+            ChunkSurvivors::Skipped => 0,
+            ChunkSurvivors::All(r) => r.len(),
+            ChunkSurvivors::Rows(v) => v.len(),
+        }
+    }
+}
+
+/// Fused scan → filter → project over a columnar table, with an explicit
+/// worker pool. Equivalent — bitwise, including row order — to
+/// [`crate::ops::scan_filter_project_with`] over the row representation.
+///
+/// # Errors
+/// Fails if a predicate or kept attribute is missing from the table schema.
+pub fn scan_filter_project_columnar_with(
+    table: &ColumnarTable,
+    relation: &str,
+    predicates: &[&Predicate],
+    keep: &[String],
+    pool: &Pool,
+) -> ExecResult<Annotated> {
+    scan_filter_project_columnar_stats(table, relation, predicates, keep, pool).map(|(a, _)| a)
+}
+
+/// [`scan_filter_project_columnar_with`] also returning the pruning
+/// counters (chunk-skip rates), for benchmarks and diagnostics.
+///
+/// # Errors
+/// Fails if a predicate or kept attribute is missing from the table schema.
+pub fn scan_filter_project_columnar_stats(
+    table: &ColumnarTable,
+    relation: &str,
+    predicates: &[&Predicate],
+    keep: &[String],
+    pool: &Pool,
+) -> ExecResult<(Annotated, ColumnarScanStats)> {
+    let keep_positions: Vec<usize> = keep
+        .iter()
+        .map(|a| {
+            table
+                .schema()
+                .index_of(a)
+                .map_err(|_| ExecError::UnknownColumn(a.clone()))
+        })
+        .collect::<ExecResult<_>>()?;
+    let pred_positions: Vec<usize> = predicates
+        .iter()
+        .map(|p| {
+            table
+                .schema()
+                .index_of(&p.attribute)
+                .map_err(|_| ExecError::UnknownColumn(p.attribute.clone()))
+        })
+        .collect::<ExecResult<_>>()?;
+    let schema = table
+        .schema()
+        .project(&keep.iter().map(|s| s.as_str()).collect::<Vec<_>>())?;
+
+    // Compile each predicate against its column's physical representation.
+    let compiled: Vec<PredEval<'_>> = predicates
+        .iter()
+        .zip(&pred_positions)
+        .map(|(p, &c)| PredEval::compile(table.column(c), &p.constant))
+        .collect();
+
+    // Phase 1 (parallel over chunks): prune on zone maps, then tight
+    // per-column loops over undecided chunks.
+    let chunk_ids: Vec<usize> = (0..table.num_chunks()).collect();
+    let survivors: Vec<ChunkSurvivors> = pool.map(&chunk_ids, |&k| {
+        let range = table.chunk_range(k);
+        let mut all_full = true;
+        let mut partial: Vec<(usize, &PredEval<'_>, CompareOp)> = Vec::new();
+        for ((pred, &c), eval) in predicates.iter().zip(&pred_positions).zip(&compiled) {
+            match prune_chunk(table.zone(c, k), pred.op, &pred.constant) {
+                Prune::Skip => return ChunkSurvivors::Skipped,
+                Prune::Full => {}
+                Prune::Partial => {
+                    all_full = false;
+                    partial.push((c, eval, pred.op));
+                }
+            }
+        }
+        if all_full {
+            return ChunkSurvivors::All(range);
+        }
+        // Evaluate the undecided predicates column-at-a-time: the first
+        // builds the survivor list, the rest filter it in place.
+        let mut rows: Option<Vec<u32>> = None;
+        for (c, eval, op) in partial {
+            let column = table.column(c);
+            match &mut rows {
+                None => {
+                    let mut list = Vec::new();
+                    for r in range.clone() {
+                        if !column.is_null(r) && eval.matches(column, op, r) {
+                            list.push(r as u32);
+                        }
+                    }
+                    rows = Some(list);
+                }
+                Some(list) => {
+                    list.retain(|&r| {
+                        let r = r as usize;
+                        !column.is_null(r) && eval.matches(column, op, r)
+                    });
+                }
+            }
+            if rows.as_ref().is_some_and(Vec::is_empty) {
+                break;
+            }
+        }
+        ChunkSurvivors::Rows(rows.unwrap_or_default())
+    });
+
+    let stats = ColumnarScanStats {
+        chunks: survivors.len(),
+        chunks_skipped: survivors
+            .iter()
+            .filter(|s| matches!(s, ChunkSurvivors::Skipped))
+            .count(),
+        chunks_full: survivors
+            .iter()
+            .filter(|s| matches!(s, ChunkSurvivors::All(_)))
+            .count(),
+        rows_in: table.len(),
+        rows_out: survivors.iter().map(ChunkSurvivors::count).sum(),
+    };
+
+    // Phase 2: exact-size output, disjoint in-place segment writes, chunk
+    // order = input order.
+    let (offsets, total) = pdb_par::exclusive_prefix_sum(survivors.iter().map(|s| s.count()));
+    let mut out = Annotated::with_placeholder_rows(schema, vec![relation.to_string()], total);
+    let dw = out.data_width();
+    let data_cuts: Vec<usize> = offsets.iter().map(|o| o * dw).collect();
+    let lineage_cuts: Vec<usize> = offsets.clone();
+    let (data, lineage) = out.arena_segments_mut();
+    let vars = table.vars();
+    let probs = table.probs();
+    pool.map_slices2_mut(data, &data_cuts, lineage, &lineage_cuts, |k, dseg, lseg| {
+        // Gather column-at-a-time within this chunk's output segment.
+        let out_rows = lseg.len();
+        let write_col = |j: usize, dseg: &mut [Value], row_at: &dyn Fn(usize) -> usize| {
+            let column = table.column(keep_positions[j]);
+            for slot in 0..out_rows {
+                dseg[slot * dw + j] = column.value(row_at(slot));
+            }
+        };
+        match &survivors[k] {
+            ChunkSurvivors::Skipped => {}
+            ChunkSurvivors::All(range) => {
+                for j in 0..keep_positions.len() {
+                    write_col(j, dseg, &|slot| range.start + slot);
+                }
+                for (slot, r) in range.clone().enumerate() {
+                    lseg[slot] = (vars[r], probs[r]);
+                }
+            }
+            ChunkSurvivors::Rows(rows) => {
+                for j in 0..keep_positions.len() {
+                    write_col(j, dseg, &|slot| rows[slot] as usize);
+                }
+                for (slot, &r) in rows.iter().enumerate() {
+                    lseg[slot] = (vars[r as usize], probs[r as usize]);
+                }
+            }
+        }
+    });
+    Ok((out, stats))
+}
+
+/// Plain columnar scan (no predicates): decodes the `attributes` columns of
+/// every row. Bitwise-identical to [`crate::ops::scan_with`] over the row
+/// representation.
+///
+/// # Errors
+/// Fails if an attribute is missing from the table's schema.
+pub fn scan_columnar_with(
+    table: &ColumnarTable,
+    relation: &str,
+    attributes: &[String],
+    pool: &Pool,
+) -> ExecResult<Annotated> {
+    scan_filter_project_columnar_with(table, relation, &[], attributes, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_storage::{tuple, DataType, ProbTable, Schema, Tuple, Variable};
+
+    fn s(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// 256 rows over four 64-row chunks; `k` ascending so chunks have
+    /// disjoint key ranges, `name` cycling, `price` with NULLs.
+    fn sample() -> (ProbTable, ColumnarTable) {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("name", DataType::Str),
+            ("price", DataType::Float),
+        ])
+        .unwrap();
+        let names = ["Joe", "Li", "Mo"];
+        let mut t = ProbTable::new(schema);
+        for r in 0..256usize {
+            let price = if r % 5 == 0 {
+                Value::Null
+            } else {
+                Value::Float((r % 16) as f64 / 2.0)
+            };
+            t.insert(
+                Tuple::new(vec![
+                    Value::Int(r as i64),
+                    Value::str(names[r % names.len()]),
+                    price,
+                ]),
+                Variable(r as u64),
+                0.5,
+            )
+            .unwrap();
+        }
+        let c = ColumnarTable::from_prob_table_chunked(&t, &Pool::sequential(), 64).unwrap();
+        (t, c)
+    }
+
+    #[test]
+    fn columnar_scan_equals_row_scan() {
+        let (row, col) = sample();
+        let want = crate::ops::scan(&row, "R", &s(&["k", "name", "price"])).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let got =
+                scan_columnar_with(&col, "R", &s(&["k", "name", "price"]), &Pool::new(threads))
+                    .unwrap();
+            assert_eq!(got, want, "{threads} threads");
+        }
+        assert!(scan_columnar_with(&col, "R", &s(&["zzz"]), &Pool::new(2)).is_err());
+    }
+
+    #[test]
+    fn zone_maps_skip_out_of_range_chunks() {
+        let (row, col) = sample();
+        // k < 64 touches exactly the first of four chunks.
+        let pred = Predicate::new("R", "k", CompareOp::Lt, 64i64);
+        let preds = [&pred];
+        let (got, stats) =
+            scan_filter_project_columnar_stats(&col, "R", &preds, &s(&["k"]), &Pool::new(4))
+                .unwrap();
+        let want = crate::ops::scan_filter_project(&row, "R", &preds, &s(&["k"])).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.chunks, 4);
+        assert_eq!(stats.chunks_skipped, 3);
+        // The surviving chunk is fully covered by the zone map: no per-row
+        // predicate work at all.
+        assert_eq!(stats.chunks_full, 1);
+        assert_eq!(stats.rows_out, 64);
+        assert!((stats.skip_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicates_that_skip_every_chunk_yield_an_empty_result() {
+        let (row, col) = sample();
+        let pred = Predicate::new("R", "k", CompareOp::Gt, 10_000i64);
+        let preds = [&pred];
+        let (got, stats) =
+            scan_filter_project_columnar_stats(&col, "R", &preds, &s(&["k"]), &Pool::new(2))
+                .unwrap();
+        assert!(got.is_empty());
+        assert_eq!(stats.chunks_skipped, 4);
+        assert_eq!(
+            got,
+            crate::ops::scan_filter_project(&row, "R", &preds, &s(&["k"])).unwrap()
+        );
+    }
+
+    #[test]
+    fn every_operator_and_type_agrees_with_the_row_path() {
+        let (row, col) = sample();
+        let constants = [
+            Value::Int(100),
+            Value::Float(3.5),
+            Value::str("Li"),
+            Value::str("Lz"),
+            Value::Null,
+            Value::Date(5),
+        ];
+        let ops_ = [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ];
+        for attr in ["k", "name", "price"] {
+            for c in &constants {
+                for op in ops_ {
+                    let pred = Predicate::new("R", attr, op, c.clone());
+                    let preds = [&pred];
+                    let want =
+                        crate::ops::scan_filter_project(&row, "R", &preds, &s(&["k", "name"]))
+                            .unwrap();
+                    let got = scan_filter_project_columnar_with(
+                        &col,
+                        "R",
+                        &preds,
+                        &s(&["k", "name"]),
+                        &Pool::new(4),
+                    )
+                    .unwrap();
+                    assert_eq!(got, want, "{attr} {op:?} {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conjunctions_intersect_survivor_lists() {
+        let (row, col) = sample();
+        let p1 = Predicate::new("R", "k", CompareOp::Ge, 32i64);
+        let p2 = Predicate::new("R", "name", CompareOp::Eq, "Joe");
+        let p3 = Predicate::new("R", "price", CompareOp::Gt, 2.0f64);
+        let preds = [&p1, &p2, &p3];
+        let want = crate::ops::scan_filter_project(&row, "R", &preds, &s(&["k", "price"])).unwrap();
+        for threads in [1, 3, 8] {
+            let got = scan_filter_project_columnar_with(
+                &col,
+                "R",
+                &preds,
+                &s(&["k", "price"]),
+                &Pool::new(threads),
+            )
+            .unwrap();
+            assert_eq!(got, want, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn nan_chunks_are_never_wrongly_skipped() {
+        // A chunk whose only values above the constant are NaNs must stay:
+        // Value's total order ranks NaN greatest, so `> c` selects NaN rows
+        // on the row path and the zone max (NaN) must keep the chunk alive.
+        let schema = Schema::from_pairs(&[("x", DataType::Float)]).unwrap();
+        let mut t = ProbTable::new(schema);
+        for r in 0..128usize {
+            let x = if r >= 64 && r % 8 == 0 {
+                f64::NAN
+            } else {
+                (r % 10) as f64 / 10.0 // all < 1.0
+            };
+            t.insert(tuple![x], Variable(r as u64), 0.5).unwrap();
+        }
+        let col = ColumnarTable::from_prob_table_chunked(&t, &Pool::sequential(), 64).unwrap();
+        for (op, c) in [
+            (CompareOp::Gt, Value::Float(5.0)),
+            (CompareOp::Ge, Value::Float(f64::INFINITY)),
+            (CompareOp::Eq, Value::Float(f64::NAN)),
+            (CompareOp::Le, Value::Float(f64::NAN)),
+            (CompareOp::Ne, Value::Float(f64::NAN)),
+        ] {
+            let pred = Predicate::new("R", "x", op, c.clone());
+            let preds = [&pred];
+            let want = crate::ops::scan_filter_project(&t, "R", &preds, &s(&["x"])).unwrap();
+            let (got, stats) =
+                scan_filter_project_columnar_stats(&col, "R", &preds, &s(&["x"]), &Pool::new(4))
+                    .unwrap();
+            assert_eq!(got, want, "{op:?} {c:?}");
+            if op == CompareOp::Gt {
+                // The NaN-free chunk is skippable, the NaN chunk is not.
+                assert_eq!(stats.chunks_skipped, 1, "{op:?}");
+                assert_eq!(stats.rows_out, 8, "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_null_chunks_are_skipped_for_every_predicate() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        let mut t = ProbTable::new(schema);
+        for r in 0..128usize {
+            let v = if r < 64 {
+                Value::Null
+            } else {
+                Value::Int(r as i64)
+            };
+            t.insert(Tuple::new(vec![v]), Variable(r as u64), 0.5)
+                .unwrap();
+        }
+        let col = ColumnarTable::from_prob_table_chunked(&t, &Pool::sequential(), 64).unwrap();
+        let pred = Predicate::new("R", "x", CompareOp::Ge, 0i64);
+        let preds = [&pred];
+        let (got, stats) =
+            scan_filter_project_columnar_stats(&col, "R", &preds, &s(&["x"]), &Pool::new(2))
+                .unwrap();
+        assert_eq!(stats.chunks_skipped, 1);
+        assert_eq!(
+            got,
+            crate::ops::scan_filter_project(&t, "R", &preds, &s(&["x"])).unwrap()
+        );
+    }
+
+    #[test]
+    fn cross_type_constants_follow_value_rank_order() {
+        let (row, col) = sample();
+        // An Int constant against the Str column: Value::cmp orders by type
+        // rank (Str > Int), so Gt keeps everything and Lt nothing.
+        for (op, c) in [
+            (CompareOp::Gt, Value::Int(5)),
+            (CompareOp::Lt, Value::Int(5)),
+            (CompareOp::Eq, Value::Bool(true)),
+            (CompareOp::Ne, Value::Date(3)),
+        ] {
+            let pred = Predicate::new("R", "name", op, c.clone());
+            let preds = [&pred];
+            let want = crate::ops::scan_filter_project(&row, "R", &preds, &s(&["k"])).unwrap();
+            let got =
+                scan_filter_project_columnar_with(&col, "R", &preds, &s(&["k"]), &Pool::new(2))
+                    .unwrap();
+            assert_eq!(got, want, "{op:?} {c:?}");
+        }
+    }
+}

@@ -16,6 +16,11 @@
 //!   sort-based. The pre-refactor row-at-a-time implementations are retained
 //!   in [`baseline`] (and selectable engine-wide with the `seed-baseline`
 //!   feature) so benchmarks can quantify the rewrite.
+//! * [`columnar`] — the columnar fast path of the base-table scans:
+//!   vectorized fused scan-filter-project over
+//!   [`pdb_storage::ColumnarTable`]s with zone-map chunk skipping,
+//!   bitwise-identical to the row-at-a-time scan. [`ops`] dispatches on the
+//!   catalog's [`pdb_storage::StorageBacking`].
 //! * [`extensional`] — the extensional operators used by MystiQ-style safe
 //!   plans (Fig. 2): probabilities are combined inside joins and independent
 //!   projections, and no variable columns are kept.
@@ -25,6 +30,7 @@
 
 pub mod annotated;
 pub mod baseline;
+pub mod columnar;
 pub mod error;
 pub mod extensional;
 pub mod fixtures;
@@ -33,6 +39,7 @@ pub mod ops;
 pub mod pipeline;
 
 pub use annotated::{Annotated, AnnotatedRow, RowRef};
+pub use columnar::ColumnarScanStats;
 pub use error::{ExecError, ExecResult};
 pub use extensional::ExtRelation;
 pub use pipeline::{evaluate_join_order, evaluate_join_order_with};

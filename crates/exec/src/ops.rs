@@ -49,7 +49,7 @@
 
 use pdb_par::{even_ranges, Pool};
 use pdb_query::Predicate;
-use pdb_storage::{ProbTable, Schema, Value, Variable};
+use pdb_storage::{ProbTable, Schema, StorageBacking, Value, Variable};
 #[cfg(not(feature = "seed-baseline"))]
 use std::collections::HashMap;
 
@@ -269,6 +269,48 @@ pub fn scan_filter_project_with(
         },
     );
     Ok(out)
+}
+
+/// [`scan_with`] over either storage representation: row backings run the
+/// row-at-a-time scan, columnar backings decode through
+/// [`crate::columnar::scan_columnar_with`]. The output is bitwise-identical
+/// across backings (values, lineage, row order).
+///
+/// # Errors
+/// Fails if an attribute is missing from the table's schema.
+pub fn scan_backing_with(
+    backing: &StorageBacking,
+    relation: &str,
+    attributes: &[String],
+    pool: &Pool,
+) -> ExecResult<Annotated> {
+    match backing {
+        StorageBacking::Row(t) => scan_with(t, relation, attributes, pool),
+        StorageBacking::Columnar(t) => {
+            crate::columnar::scan_columnar_with(t, relation, attributes, pool)
+        }
+    }
+}
+
+/// [`scan_filter_project_with`] over either storage representation: columnar
+/// backings take the vectorized fast path — zone-map chunk skipping plus
+/// typed per-column predicate loops — and produce the **identical** result.
+///
+/// # Errors
+/// Fails if a predicate or kept attribute is missing from the table schema.
+pub fn scan_filter_project_backing_with(
+    backing: &StorageBacking,
+    relation: &str,
+    predicates: &[&Predicate],
+    keep: &[String],
+    pool: &Pool,
+) -> ExecResult<Annotated> {
+    match backing {
+        StorageBacking::Row(t) => scan_filter_project_with(t, relation, predicates, keep, pool),
+        StorageBacking::Columnar(t) => {
+            crate::columnar::scan_filter_project_columnar_with(t, relation, predicates, keep, pool)
+        }
+    }
 }
 
 /// Filters rows by a constant predicate.
@@ -637,30 +679,62 @@ fn natural_join_partitioned(
         pool,
     );
 
-    // Scatter: each chunk routes its joinable rows into per-partition lists;
-    // concatenating the chunk lists in chunk order keeps every partition's
-    // rows ascending.
+    // Scatter, as a counting sort over per-chunk histograms: chunks first
+    // count their joinable rows per partition, the counts prefix-sum into
+    // exact write offsets inside ONE flat buffer (chunk-major, grouped by
+    // partition within each chunk region), and each chunk then scatters its
+    // rows in place — no per-(chunk, partition) list allocations, bounded
+    // by `tests/alloc_count.rs`. Rows stay ascending within every chunk's
+    // partition group because the scatter walks the chunk in row order.
     let (parts, bits) = radix_partitions(pool.threads());
     let scatter_ranges = even_ranges(right.len(), pool.threads());
-    let chunk_lists: Vec<Vec<Vec<u32>>> = pool.map_ranges(&scatter_ranges, |range| {
-        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); parts];
+    let histograms: Vec<Vec<u32>> = pool.map_ranges(&scatter_ranges, |range| {
+        let mut hist = vec![0u32; parts];
         for r in range {
             let h = keys.hash(r);
             if h != UNJOINABLE {
-                lists[radix_of(h, bits)].push(r as u32);
+                hist[radix_of(h, bits)] += 1;
             }
         }
-        lists
+        hist
+    });
+    let (chunk_offsets, total_joinable) = pdb_par::exclusive_prefix_sum(
+        histograms
+            .iter()
+            .map(|h| h.iter().map(|&c| c as usize).sum()),
+    );
+    let mut scattered = vec![0u32; total_joinable];
+    pool.map_slices_mut(&mut scattered, &chunk_offsets, |ci, seg| {
+        // Exclusive prefix over this chunk's histogram = each partition's
+        // write cursor within the chunk's region.
+        let mut cursors = vec![0u32; parts];
+        let mut acc = 0u32;
+        for (p, cursor) in cursors.iter_mut().enumerate() {
+            *cursor = acc;
+            acc += histograms[ci][p];
+        }
+        for r in scatter_ranges[ci].clone() {
+            let h = keys.hash(r);
+            if h != UNJOINABLE {
+                let p = radix_of(h, bits);
+                seg[cursors[p] as usize] = r as u32;
+                cursors[p] += 1;
+            }
+        }
     });
 
-    // Per-partition chained indexes, built in parallel. Chains are linked in
-    // reverse so they replay local positions — and therefore global rows —
-    // ascending, exactly like the sequential single-index build.
+    // Per-partition chained indexes, built in parallel: partition p's rows
+    // are its groups of every chunk region, in chunk order — exactly the
+    // concatenation the per-chunk lists used to produce. Chains are linked
+    // in reverse so they replay local positions — and therefore global rows
+    // — ascending, exactly like the sequential single-index build.
     let part_ids: Vec<usize> = (0..parts).collect();
     let indexes: Vec<PartIndex> = pool.map(&part_ids, |&p| {
-        let mut rows: Vec<u32> = Vec::new();
-        for chunk in &chunk_lists {
-            rows.extend_from_slice(&chunk[p]);
+        let size: usize = histograms.iter().map(|h| h[p] as usize).sum();
+        let mut rows: Vec<u32> = Vec::with_capacity(size);
+        for (ci, hist) in histograms.iter().enumerate() {
+            let start = chunk_offsets[ci] + hist[..p].iter().map(|&c| c as usize).sum::<usize>();
+            rows.extend_from_slice(&scattered[start..start + hist[p] as usize]);
         }
         let mut heads: HashMap<u64, u32> = HashMap::with_capacity(rows.len());
         let mut next: Vec<u32> = vec![JOIN_NIL; rows.len()];
@@ -743,30 +817,83 @@ fn natural_join_partitioned(
 /// Since PR 1 this is **sort-based**: rows are ordered by their normalized
 /// data keys and runs of equal keys collapse to their first (in input order)
 /// row. The output is therefore sorted by data tuple, the same order the
-/// confidence operator's sort produces on the data columns. The key build
-/// and the permutation sort fan out on the default pool; the collapse scan
-/// is inherently sequential.
+/// confidence operator's sort produces on the data columns. Key build,
+/// permutation sort **and** the collapse scan all fan out on the default
+/// pool (the collapse is chunked boundary detection with stitched chunk
+/// edges; see [`collapse_sorted`]); the result is bitwise-identical at
+/// every thread count.
 pub fn distinct(input: &Annotated) -> Annotated {
     #[cfg(feature = "seed-baseline")]
     return crate::baseline::distinct_rowwise(input);
 
     #[cfg(not(feature = "seed-baseline"))]
-    {
-        let all_cols: Vec<usize> = (0..input.data_width()).collect();
-        let keys = input.sort_keys(&all_cols, &[]);
-        let order = keys.sorted_permutation(input.len());
-        let mut out = Annotated::new(input.schema().clone(), input.relations().to_vec());
-        let mut prev: Option<u32> = None;
-        for &i in &order {
-            let duplicate = prev.is_some_and(|p| keys.row(p as usize) == keys.row(i as usize));
-            if !duplicate {
-                let row = input.row(i as usize);
-                out.push_row(row.data, row.lineage);
+    distinct_with(input, &pool_for(input.len()))
+}
+
+/// [`distinct`] with an explicit worker pool.
+#[cfg(not(feature = "seed-baseline"))]
+pub fn distinct_with(input: &Annotated, pool: &Pool) -> Annotated {
+    let all_cols: Vec<usize> = (0..input.data_width()).collect();
+    let keys = input.sort_keys_with(&all_cols, &[], pool);
+    let order = keys.sorted_permutation_with(input.len(), pool);
+    collapse_sorted(input, &order, pool, |prev, row| {
+        keys.row(prev) == keys.row(row)
+    })
+}
+
+/// Collapses runs of duplicate rows in an already-sorted permutation:
+/// row `order[k]` survives iff `k == 0` or `is_duplicate(order[k-1],
+/// order[k])` is false, and survivors are emitted in permutation order.
+///
+/// This replays the sequential collapse exactly **provided `is_duplicate`
+/// is an equivalence on each equal-key run** (duplicate rows are *fully*
+/// equal to the survivor they collapse into, so comparing against the
+/// immediately preceding row is the same as comparing against the last
+/// survivor — the form the sequential scan used). Under that contract the
+/// scan is chunkable: each chunk detects its survivors independently, with
+/// its leading edge stitched against the last row of the previous chunk.
+///
+/// Two phases like every parallel operator here: per-chunk survivor lists,
+/// prefix-summed write offsets, disjoint in-place segment writes.
+fn collapse_sorted(
+    input: &Annotated,
+    order: &[u32],
+    pool: &Pool,
+    is_duplicate: impl Fn(usize, usize) -> bool + Sync,
+) -> Annotated {
+    let positions = even_ranges(order.len(), pool.threads());
+    // Phase 1: chunked boundary detection. Position k's predecessor is
+    // order[k - 1] even across chunk edges (read-only, so chunks stitch
+    // without synchronisation).
+    let survivors: Vec<Vec<u32>> = pool.map_ranges(&positions, |range| {
+        range
+            .filter(|&k| k == 0 || !is_duplicate(order[k - 1] as usize, order[k] as usize))
+            .map(|k| order[k])
+            .collect()
+    });
+    // Phase 2: exact-size output, disjoint in-place segment writes.
+    let (offsets, total) = pdb_par::exclusive_prefix_sum(survivors.iter().map(|s| s.len()));
+    let mut out =
+        Annotated::with_placeholder_rows(input.schema().clone(), input.relations().to_vec(), total);
+    let dw = out.data_width();
+    let lw = out.lineage_width();
+    let data_cuts: Vec<usize> = offsets.iter().map(|o| o * dw).collect();
+    let lineage_cuts: Vec<usize> = offsets.iter().map(|o| o * lw).collect();
+    let (data, lineage) = out.arena_segments_mut();
+    pool.map_slices2_mut(
+        data,
+        &data_cuts,
+        lineage,
+        &lineage_cuts,
+        |ci, dseg, lseg| {
+            for (k, &r) in survivors[ci].iter().enumerate() {
+                let row = input.row(r as usize);
+                dseg[k * dw..(k + 1) * dw].clone_from_slice(row.data);
+                lseg[k * lw..(k + 1) * lw].copy_from_slice(row.lineage);
             }
-            prev = Some(i);
-        }
-        out
-    }
+        },
+    );
+    out
 }
 
 /// Sorts `input` into the confidence order (`data_columns`, then the
@@ -785,6 +912,28 @@ pub fn sort_dedup(
     data_columns: &[String],
     relation_order: &[String],
 ) -> ExecResult<Annotated> {
+    sort_dedup_with(input, data_columns, relation_order, &pool_for(input.len()))
+}
+
+/// [`sort_dedup`] with an explicit worker pool. Key build, permutation sort
+/// and the collapse scan all fan out; the result is bitwise-identical at
+/// every thread count.
+///
+/// The sequential collapse compared each row against the *last survivor*;
+/// the chunked collapse compares against the *immediately preceding* row.
+/// The two agree because "exact duplicate" — equal sort key, equal data,
+/// equal lineage variables — is transitive: a dropped row is fully equal to
+/// the survivor it collapsed into, so comparing against it is comparing
+/// against the survivor.
+///
+/// # Errors
+/// Fails on unknown columns or relations.
+pub fn sort_dedup_with(
+    input: &Annotated,
+    data_columns: &[String],
+    relation_order: &[String],
+    pool: &Pool,
+) -> ExecResult<Annotated> {
     let col_idx: Vec<usize> = data_columns
         .iter()
         .map(|c| input.column_index(c))
@@ -793,38 +942,25 @@ pub fn sort_dedup(
         .iter()
         .map(|r| input.relation_index(r))
         .collect::<ExecResult<_>>()?;
-    // One key build, one permutation sort, one output pass — the input is
-    // never cloned or permuted in place.
-    let keys = input.sort_keys(&col_idx, &rel_idx);
-    let order = keys.sorted_permutation(input.len());
-    let mut out = Annotated::with_row_capacity(
-        input.schema().clone(),
-        input.relations().to_vec(),
-        input.len(),
-    );
-    let mut prev: Option<u32> = None;
-    for &i in &order {
-        let row = input.row(i as usize);
+    // One key build, one permutation sort, one chunked collapse — the input
+    // is never cloned or permuted in place.
+    let keys = input.sort_keys_with(&col_idx, &rel_idx, pool);
+    let order = keys.sorted_permutation_with(input.len(), pool);
+    Ok(collapse_sorted(input, &order, pool, |prev, row| {
         // Candidate duplicates share a sort key; confirm on the full row
         // (all data columns and all lineage variables, not just the sorted
         // ones) before dropping.
-        let duplicate = prev.is_some_and(|p| {
-            keys.row(p as usize) == keys.row(i as usize) && {
-                let prow = input.row(p as usize);
-                prow.data == row.data
-                    && prow
-                        .lineage
-                        .iter()
-                        .zip(row.lineage.iter())
-                        .all(|(a, b)| a.0 == b.0)
-            }
-        });
-        if !duplicate {
-            out.push_row(row.data, row.lineage);
-            prev = Some(i);
+        keys.row(prev) == keys.row(row) && {
+            let prow = input.row(prev);
+            let rrow = input.row(row);
+            prow.data == rrow.data
+                && prow
+                    .lineage
+                    .iter()
+                    .zip(rrow.lineage.iter())
+                    .all(|(a, b)| a.0 == b.0)
         }
-    }
-    Ok(out)
+    }))
 }
 
 #[cfg(test)]

@@ -64,20 +64,22 @@ pub fn evaluate_join_order_with(
         let atom = query
             .relation(rel_name)
             .ok_or_else(|| ExecError::UnknownRelation(rel_name.clone()))?;
-        let table = catalog.table(rel_name)?;
+        let table = catalog.backing(rel_name)?;
 
         // Keep only the attributes of this relation that are head or join
         // attributes; predicate-only columns are consumed inside the fused
         // scan and never materialised. Attributes may be declared on the
         // atom but absent from the stored table only if the caller
         // mis-declared the query; scan_filter_project() reports it.
+        // Columnar backings take the vectorized zone-map fast path; the
+        // result is identical either way.
         let keep: Vec<String> = atom
             .attributes
             .iter()
             .filter(|a| head.contains(*a) || join_attrs.contains(*a))
             .cloned()
             .collect();
-        let scanned = ops::scan_filter_project_with(
+        let scanned = ops::scan_filter_project_backing_with(
             &table,
             rel_name,
             &query.predicates_for(rel_name),

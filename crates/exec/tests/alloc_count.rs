@@ -397,3 +397,27 @@ fn one_scan_inner_loop_allocates_sublinearly() {
         "flat engine ({flat} allocs) should be leaner than the recursive baseline ({recursive})"
     );
 }
+
+#[test]
+fn partitioned_join_scatter_allocates_o_chunks_plus_partitions() {
+    // PR 5: the radix scatter is a counting sort over per-chunk histograms
+    // — one histogram per chunk, one flat scatter buffer, one cursor array
+    // per chunk — instead of `chunks x partitions` growing Vec<u32> lists.
+    // On this shape (8 workers -> 16 partitions, 8 scatter chunks, 4096
+    // build rows of mostly-distinct keys) the whole join stays in the low
+    // hundreds of allocations; the per-(chunk, partition) lists alone cost
+    // ~600 more (each non-empty list reallocates ~log2(rows/lists) times).
+    let (left, right) = join_inputs(64, 64); // 4096 build rows, 4096 matches
+    let pool = pdb_par::Pool::new(8);
+    ops::natural_join_with(&left, &right, &pool).unwrap(); // warm-up
+    let mut out = None;
+    let allocs = allocations(|| {
+        out = Some(ops::natural_join_with(&left, &right, &pool).unwrap());
+    });
+    assert_eq!(out.unwrap().len(), 64 * 64);
+    assert!(
+        allocs < 768,
+        "partitioned join allocated {allocs} times; the counting-sort \
+         scatter should keep this shape well under 768"
+    );
+}

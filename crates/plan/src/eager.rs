@@ -95,7 +95,7 @@ impl EagerPlan {
                 let atom = self.query.relation(relation).ok_or_else(|| {
                     PlanError::Intractable(format!("unknown relation {relation}"))
                 })?;
-                let table = catalog.table(relation)?;
+                let table = catalog.backing(relation)?;
                 // Scan the physically available attributes that are needed
                 // above, in the head, or used by a predicate.
                 let scan_attrs: Vec<String> = atom
@@ -113,19 +113,17 @@ impl EagerPlan {
                     })
                     .cloned()
                     .collect();
-                // Each operator re-gates on its own input size: a selective
-                // first predicate must not drag thread spawns onto the tiny
-                // relations behind it.
-                let mut scanned = ops::scan_with(
+                // The leaf runs one fused scan-filter-project, gated on the
+                // base table's size; a columnar backing's zone maps prune
+                // before any row is decoded. The result is identical across
+                // backings.
+                let scanned = ops::scan_filter_project_backing_with(
                     &table,
                     relation,
+                    &self.query.predicates_for(relation),
                     &scan_attrs,
                     &self.pool.for_items(table.len()),
                 )?;
-                for pred in self.query.predicates_for(relation) {
-                    scanned =
-                        ops::filter_with(&scanned, pred, &self.pool.for_items(scanned.len()))?;
-                }
                 let keep: Vec<String> = scanned
                     .schema()
                     .names()

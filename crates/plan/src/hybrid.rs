@@ -127,7 +127,7 @@ impl HybridPlan {
                 .query
                 .relation(rel_name)
                 .ok_or_else(|| PlanError::Intractable(format!("unknown relation {rel_name}")))?;
-            let table = catalog.table(rel_name)?;
+            let table = catalog.backing(rel_name)?;
             let keep: Vec<String> = atom
                 .attributes
                 .iter()
@@ -143,14 +143,16 @@ impl HybridPlan {
                 })
                 .cloned()
                 .collect();
-            // Each operator re-gates on its own input size: a selective
-            // first predicate must not drag thread spawns onto the tiny
-            // relations behind it.
-            let mut scanned =
-                ops::scan_with(&table, rel_name, &keep, &self.pool.for_items(table.len()))?;
-            for pred in self.query.predicates_for(rel_name) {
-                scanned = ops::filter_with(&scanned, pred, &self.pool.for_items(scanned.len()))?;
-            }
+            // One fused scan-filter-project per leaf, gated on the base
+            // table's size; columnar backings take their zone-map fast
+            // path. Results are identical either way.
+            let mut scanned = ops::scan_filter_project_backing_with(
+                &table,
+                rel_name,
+                &self.query.predicates_for(rel_name),
+                &keep,
+                &self.pool.for_items(table.len()),
+            )?;
             let post_scan: Vec<String> = scanned
                 .schema()
                 .names()

@@ -31,17 +31,19 @@ pub struct Statistics {
 
 impl Statistics {
     /// Collects statistics for every relation of `query` from `catalog`.
+    /// Works on either storage backing — columnar tables answer distinct
+    /// counts from their typed columns (dictionary sizes for strings)
+    /// without materialising a row view.
     ///
     /// # Errors
     /// Fails if a referenced table is missing.
     pub fn collect(query: &ConjunctiveQuery, catalog: &Catalog) -> PlanResult<Statistics> {
         let mut tables = BTreeMap::new();
         for atom in &query.relations {
-            let table = catalog.table(&atom.name)?;
+            let table = catalog.backing(&atom.name)?;
             let mut distinct = BTreeMap::new();
-            for col in table.schema().names() {
-                let values = table.data().distinct_values(col)?;
-                distinct.insert(col.to_string(), values.len());
+            for col in table.schema().names().into_iter().map(str::to_string) {
+                distinct.insert(col.clone(), table.distinct_count(&col)?);
             }
             tables.insert(
                 atom.name.clone(),

@@ -12,8 +12,59 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::columnar::ColumnarTable;
 use crate::error::{StorageError, StorageResult};
+use crate::schema::Schema;
 use crate::table::ProbTable;
+
+/// The physical representation a catalog entry is stored in.
+///
+/// Exec-layer scans dispatch on this: row backings run the row-at-a-time
+/// operators, columnar backings run the vectorized fused scan with zone-map
+/// chunk skipping. Both decode to identical `Value`s, so query results are
+/// bitwise-identical across representations.
+#[derive(Debug, Clone)]
+pub enum StorageBacking {
+    /// Row-major storage (the seed representation, and the A/B control).
+    Row(Arc<ProbTable>),
+    /// Column-major storage with per-chunk zone maps.
+    Columnar(Arc<ColumnarTable>),
+}
+
+impl StorageBacking {
+    /// The data schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            StorageBacking::Row(t) => t.schema(),
+            StorageBacking::Columnar(t) => t.schema(),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        match self {
+            StorageBacking::Row(t) => t.len(),
+            StorageBacking::Columnar(t) => t.len(),
+        }
+    }
+
+    /// Whether the table has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct values in column `name`, NULL counted as one
+    /// value (the planner's statistics source, identical across backings).
+    ///
+    /// # Errors
+    /// Fails on unknown columns.
+    pub fn distinct_count(&self, name: &str) -> StorageResult<usize> {
+        match self {
+            StorageBacking::Row(t) => Ok(t.data().distinct_values(name)?.len()),
+            StorageBacking::Columnar(t) => t.distinct_count(name),
+        }
+    }
+}
 
 /// A declared functional dependency `table: lhs → rhs`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +88,10 @@ pub struct Catalog {
 
 #[derive(Debug, Default)]
 struct CatalogInner {
-    tables: BTreeMap<String, Arc<ProbTable>>,
+    tables: BTreeMap<String, StorageBacking>,
+    /// Materialised row views of columnar backings, built lazily for
+    /// consumers that still require a [`ProbTable`] (see [`Catalog::table`]).
+    row_views: BTreeMap<String, Arc<ProbTable>>,
     keys: BTreeMap<String, Vec<String>>,
     fds: Vec<FdDecl>,
 }
@@ -48,39 +102,104 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Registers a table under `name`.
+    /// Registers a row-major table under `name`.
     ///
     /// # Errors
     /// Returns [`StorageError::DuplicateTable`] if the name is taken.
     pub fn register_table(&self, name: impl Into<String>, table: ProbTable) -> StorageResult<()> {
+        self.register_backing(name, StorageBacking::Row(Arc::new(table)))
+    }
+
+    /// Registers a columnar table under `name`.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::DuplicateTable`] if the name is taken.
+    pub fn register_columnar(
+        &self,
+        name: impl Into<String>,
+        table: ColumnarTable,
+    ) -> StorageResult<()> {
+        self.register_backing(name, StorageBacking::Columnar(Arc::new(table)))
+    }
+
+    /// Registers a table under `name` in either representation.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::DuplicateTable`] if the name is taken.
+    pub fn register_backing(
+        &self,
+        name: impl Into<String>,
+        backing: StorageBacking,
+    ) -> StorageResult<()> {
         let name = name.into();
         let mut inner = self.inner.write();
         if inner.tables.contains_key(&name) {
             return Err(StorageError::DuplicateTable(name));
         }
-        inner.tables.insert(name, Arc::new(table));
+        inner.tables.insert(name, backing);
         Ok(())
     }
 
-    /// Replaces (or inserts) a table under `name`.
+    /// Replaces (or inserts) a row-major table under `name`.
     pub fn replace_table(&self, name: impl Into<String>, table: ProbTable) {
-        self.inner
-            .write()
+        let name = name.into();
+        let mut inner = self.inner.write();
+        inner.row_views.remove(&name);
+        inner
             .tables
-            .insert(name.into(), Arc::new(table));
+            .insert(name, StorageBacking::Row(Arc::new(table)));
     }
 
-    /// Fetches the table registered under `name`.
+    /// The storage backing registered under `name` — the representation
+    /// scans dispatch on.
     ///
     /// # Errors
     /// Returns [`StorageError::UnknownTable`] if no such table exists.
-    pub fn table(&self, name: &str) -> StorageResult<Arc<ProbTable>> {
+    pub fn backing(&self, name: &str) -> StorageResult<StorageBacking> {
         self.inner
             .read()
             .tables
             .get(name)
             .cloned()
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Fetches the table registered under `name` as a row-major
+    /// [`ProbTable`]. Row backings return their table directly; columnar
+    /// backings materialise (and cache) an identical row view on first use —
+    /// the compatibility path for consumers outside the columnar fast path
+    /// (e.g. the extensional/MystiQ operators).
+    ///
+    /// # Errors
+    /// Returns [`StorageError::UnknownTable`] if no such table exists.
+    pub fn table(&self, name: &str) -> StorageResult<Arc<ProbTable>> {
+        {
+            let inner = self.inner.read();
+            match inner.tables.get(name) {
+                Some(StorageBacking::Row(t)) => return Ok(t.clone()),
+                Some(StorageBacking::Columnar(_)) => {
+                    if let Some(view) = inner.row_views.get(name) {
+                        return Ok(view.clone());
+                    }
+                }
+                None => return Err(StorageError::UnknownTable(name.to_string())),
+            }
+        }
+        let mut inner = self.inner.write();
+        // Re-check under the write lock: another thread may have
+        // materialised the view — or replaced the backing entirely — while
+        // we upgraded.
+        if let Some(view) = inner.row_views.get(name) {
+            return Ok(view.clone());
+        }
+        let columnar = match inner.tables.get(name).cloned() {
+            Some(StorageBacking::Columnar(c)) => c,
+            Some(StorageBacking::Row(t)) => return Ok(t),
+            None => return Err(StorageError::UnknownTable(name.to_string())),
+        };
+        let view = Arc::new(columnar.to_prob_table()?);
+        inner.row_views.insert(name.to_string(), view.clone());
+        Ok(view)
     }
 
     /// All registered table names, sorted.
@@ -95,7 +214,7 @@ impl Catalog {
     /// Returns [`StorageError::UnknownTable`] if the table is not registered,
     /// or [`StorageError::UnknownColumn`] if an attribute is not in its schema.
     pub fn declare_key(&self, table: &str, attrs: &[&str]) -> StorageResult<()> {
-        let t = self.table(table)?;
+        let t = self.backing(table)?;
         for a in attrs {
             if !t.schema().contains(a) {
                 return Err(StorageError::UnknownColumn((*a).to_string()));
@@ -119,7 +238,7 @@ impl Catalog {
     /// Returns [`StorageError::UnknownTable`] / [`StorageError::UnknownColumn`]
     /// for dangling references.
     pub fn declare_fd(&self, table: &str, lhs: &[&str], rhs: &[&str]) -> StorageResult<()> {
-        let t = self.table(table)?;
+        let t = self.backing(table)?;
         for a in lhs.iter().chain(rhs.iter()) {
             if !t.schema().contains(a) {
                 return Err(StorageError::UnknownColumn((*a).to_string()));
@@ -226,6 +345,36 @@ mod tests {
         assert_eq!(fds.len(), 1);
         assert_eq!(fds[0].lhs, vec!["ckey".to_string()]);
         assert_eq!(fds[0].rhs, vec!["cname".to_string()]);
+    }
+
+    #[test]
+    fn columnar_backings_register_and_materialise_row_views() {
+        let c = Catalog::new();
+        let row = small_table();
+        let columnar = ColumnarTable::from_prob_table(&row, &pdb_par::Pool::sequential()).unwrap();
+        c.register_columnar("Cust", columnar).unwrap();
+        assert!(matches!(
+            c.backing("Cust").unwrap(),
+            StorageBacking::Columnar(_)
+        ));
+        assert_eq!(c.backing("Cust").unwrap().len(), 2);
+        assert_eq!(
+            c.backing("Cust").unwrap().distinct_count("cname").unwrap(),
+            2
+        );
+        assert_eq!(c.total_tuples(), 2);
+        // The row view materialises identically (and is cached: same Arc).
+        let view = c.table("Cust").unwrap();
+        assert_eq!(&*view, &row);
+        assert!(Arc::ptr_eq(&view, &c.table("Cust").unwrap()));
+        // Keys and FDs declare against columnar backings too.
+        c.declare_key("Cust", &["ckey"]).unwrap();
+        assert_eq!(c.fds().len(), 1);
+        // Duplicate names are rejected across representations.
+        assert!(matches!(
+            c.register_table("Cust", small_table()),
+            Err(StorageError::DuplicateTable(_))
+        ));
     }
 
     #[test]

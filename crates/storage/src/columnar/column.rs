@@ -1,0 +1,300 @@
+//! Typed column vectors and null bitmaps — the physical layer of
+//! [`crate::columnar::ColumnarTable`].
+//!
+//! Each attribute is stored as one dense, typed vector plus a null bitmap.
+//! The vector variant is chosen from the column's [`DataType`] **only when
+//! every non-null stored value is the canonical [`Value`] variant of that
+//! type**; columns mixing representations (legal under
+//! [`DataType::admits`], e.g. `Value::Int` stored in a `FLOAT` column) fall
+//! back to [`ColumnData::Mixed`], which keeps the original `Value`s so that
+//! decoding reproduces the row representation **bitwise** — the columnar
+//! scan's determinism contract is that its output equals the row-at-a-time
+//! scan exactly, value enum variants included.
+//!
+//! Strings are dictionary-encoded with an **order-preserving** dictionary:
+//! `dict` is sorted lexicographically and `codes[r]` is the rank of row
+//! `r`'s string, so comparing codes compares strings and the per-chunk
+//! min/max codes double as zone-map bounds.
+
+use std::sync::Arc;
+
+use crate::schema::DataType;
+use crate::value::Value;
+
+/// A null bitmap: bit `r` is set iff row `r` is SQL NULL.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+}
+
+impl NullBitmap {
+    /// An all-valid bitmap sized for `rows` rows.
+    pub fn new(rows: usize) -> NullBitmap {
+        NullBitmap {
+            words: vec![0; rows.div_ceil(64)],
+        }
+    }
+
+    /// Marks row `r` as NULL.
+    #[inline]
+    pub fn set_null(&mut self, r: usize) {
+        self.words[r / 64] |= 1 << (r % 64);
+    }
+
+    /// Whether row `r` is NULL.
+    #[inline]
+    pub fn is_null(&self, r: usize) -> bool {
+        self.words[r / 64] & (1 << (r % 64)) != 0
+    }
+
+    /// Number of NULL rows in `range` (callers keep ranges word-aligned for
+    /// the popcount fast path, but any range is correct).
+    pub fn count_nulls(&self, range: std::ops::Range<usize>) -> usize {
+        if range.start.is_multiple_of(64) && range.end.is_multiple_of(64) {
+            return self.words[range.start / 64..range.end / 64]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum();
+        }
+        range.filter(|&r| self.is_null(r)).count()
+    }
+
+    /// The backing words (64 rows per word). Exposed so parallel ingest can
+    /// fill disjoint chunk-aligned word ranges in place.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+}
+
+/// One attribute's values, stored as a typed vector plus the null bitmap.
+///
+/// For every variant the value vector has one (possibly meaningless, for
+/// NULL rows) entry per row; NULL-ness lives exclusively in the bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int { values: Vec<i64>, nulls: NullBitmap },
+    /// 64-bit floats, stored bit-exactly (NaN payloads included).
+    Float { values: Vec<f64>, nulls: NullBitmap },
+    /// Dictionary-encoded strings: `dict` sorted lexicographically,
+    /// `codes[r]` the rank of row `r`'s string (0 for NULL rows).
+    Str {
+        dict: Vec<Arc<str>>,
+        codes: Vec<u32>,
+        nulls: NullBitmap,
+    },
+    /// Days since 1970-01-01.
+    Date { values: Vec<i32>, nulls: NullBitmap },
+    /// Booleans.
+    Bool {
+        values: Vec<bool>,
+        nulls: NullBitmap,
+    },
+    /// Escape hatch for columns whose stored values are not uniformly the
+    /// canonical variant of the declared type (e.g. integers in a FLOAT
+    /// column): the original `Value`s, kept verbatim.
+    Mixed { values: Vec<Value> },
+}
+
+impl ColumnData {
+    /// Reconstructs row `r`'s value exactly as the row representation stores
+    /// it.
+    #[inline]
+    pub fn value(&self, r: usize) -> Value {
+        match self {
+            ColumnData::Int { values, nulls } => {
+                if nulls.is_null(r) {
+                    Value::Null
+                } else {
+                    Value::Int(values[r])
+                }
+            }
+            ColumnData::Float { values, nulls } => {
+                if nulls.is_null(r) {
+                    Value::Null
+                } else {
+                    Value::Float(values[r])
+                }
+            }
+            ColumnData::Str { dict, codes, nulls } => {
+                if nulls.is_null(r) {
+                    Value::Null
+                } else {
+                    Value::Str(dict[codes[r] as usize].clone())
+                }
+            }
+            ColumnData::Date { values, nulls } => {
+                if nulls.is_null(r) {
+                    Value::Null
+                } else {
+                    Value::Date(values[r])
+                }
+            }
+            ColumnData::Bool { values, nulls } => {
+                if nulls.is_null(r) {
+                    Value::Null
+                } else {
+                    Value::Bool(values[r])
+                }
+            }
+            ColumnData::Mixed { values } => values[r].clone(),
+        }
+    }
+
+    /// Whether row `r` is NULL.
+    #[inline]
+    pub fn is_null(&self, r: usize) -> bool {
+        match self {
+            ColumnData::Int { nulls, .. }
+            | ColumnData::Float { nulls, .. }
+            | ColumnData::Str { nulls, .. }
+            | ColumnData::Date { nulls, .. }
+            | ColumnData::Bool { nulls, .. } => nulls.is_null(r),
+            ColumnData::Mixed { values } => values[r].is_null(),
+        }
+    }
+
+    /// Number of distinct values in the column, NULL counted as one value —
+    /// the same count [`crate::table::Table::distinct_values`] produces on
+    /// the row representation (the planner's statistics source).
+    pub fn distinct_count(&self, rows: usize) -> usize {
+        use std::collections::BTreeSet;
+        let has_null = (0..rows).any(|r| self.is_null(r));
+        let non_null = match self {
+            ColumnData::Int { values, nulls } => (0..rows)
+                .filter(|&r| !nulls.is_null(r))
+                .map(|r| values[r])
+                .collect::<BTreeSet<_>>()
+                .len(),
+            ColumnData::Float { values, nulls } => (0..rows)
+                .filter(|&r| !nulls.is_null(r))
+                // Fold -0.0 onto 0.0 and all NaNs together, matching
+                // `Value`'s total order (one distinct NaN, -0.0 == 0.0).
+                .map(|r| {
+                    let f = values[r];
+                    if f.is_nan() {
+                        f64::NAN.to_bits()
+                    } else if f == 0.0 {
+                        0.0f64.to_bits()
+                    } else {
+                        f.to_bits()
+                    }
+                })
+                .collect::<BTreeSet<_>>()
+                .len(),
+            // The dictionary is exactly the distinct non-null strings.
+            ColumnData::Str { dict, .. } => dict.len(),
+            ColumnData::Date { values, nulls } => (0..rows)
+                .filter(|&r| !nulls.is_null(r))
+                .map(|r| values[r])
+                .collect::<BTreeSet<_>>()
+                .len(),
+            ColumnData::Bool { values, nulls } => (0..rows)
+                .filter(|&r| !nulls.is_null(r))
+                .map(|r| values[r])
+                .collect::<BTreeSet<_>>()
+                .len(),
+            ColumnData::Mixed { values } => {
+                // `Value`'s own total order already equates -0.0/0.0, NaNs,
+                // and cross-type numeric equals — and includes NULL, so
+                // return directly.
+                return values[..rows].iter().collect::<BTreeSet<_>>().len();
+            }
+        };
+        non_null + has_null as usize
+    }
+
+    /// Whether `value` is the canonical variant for a column of `data_type`
+    /// (NULL is canonical everywhere).
+    pub fn is_canonical(data_type: DataType, value: &Value) -> bool {
+        matches!(
+            (data_type, value),
+            (_, Value::Null)
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_))
+                | (DataType::Str, Value::Str(_))
+                | (DataType::Date, Value::Date(_))
+                | (DataType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_set_and_count() {
+        let mut b = NullBitmap::new(200);
+        for r in [0, 63, 64, 127, 199] {
+            b.set_null(r);
+        }
+        assert!(b.is_null(64));
+        assert!(!b.is_null(1));
+        assert_eq!(b.count_nulls(0..200), 5);
+        assert_eq!(b.count_nulls(0..64), 2); // word-aligned popcount path
+        assert_eq!(b.count_nulls(1..64), 1); // unaligned fallback
+    }
+
+    #[test]
+    fn typed_columns_round_trip_values() {
+        let mut nulls = NullBitmap::new(3);
+        nulls.set_null(1);
+        let col = ColumnData::Int {
+            values: vec![7, 0, -2],
+            nulls,
+        };
+        assert_eq!(col.value(0), Value::Int(7));
+        assert_eq!(col.value(1), Value::Null);
+        assert_eq!(col.value(2), Value::Int(-2));
+        assert!(col.is_null(1));
+        assert_eq!(col.distinct_count(3), 3); // {7, -2, NULL}
+    }
+
+    #[test]
+    fn string_column_decodes_through_the_dictionary() {
+        let dict: Vec<Arc<str>> = vec![Arc::from("a"), Arc::from("b")];
+        let col = ColumnData::Str {
+            dict,
+            codes: vec![1, 0, 1],
+            nulls: NullBitmap::new(3),
+        };
+        assert_eq!(col.value(0), Value::str("b"));
+        assert_eq!(col.value(1), Value::str("a"));
+        assert_eq!(col.distinct_count(3), 2);
+    }
+
+    #[test]
+    fn float_distinct_folds_negative_zero_and_nans() {
+        let col = ColumnData::Float {
+            values: vec![0.0, -0.0, f64::NAN, f64::NAN, 1.5],
+            nulls: NullBitmap::new(5),
+        };
+        // {0.0, NaN, 1.5}
+        assert_eq!(col.distinct_count(5), 3);
+    }
+
+    #[test]
+    fn mixed_column_keeps_original_variants() {
+        let col = ColumnData::Mixed {
+            values: vec![Value::Int(2), Value::Float(2.0), Value::Null],
+        };
+        assert_eq!(col.value(0), Value::Int(2));
+        assert!(matches!(col.value(1), Value::Float(_)));
+        // Value::cmp equates Int(2) and Float(2.0): {2, NULL}.
+        assert_eq!(col.distinct_count(3), 2);
+        assert!(col.is_null(2));
+    }
+
+    #[test]
+    fn canonical_variant_check() {
+        assert!(ColumnData::is_canonical(
+            DataType::Float,
+            &Value::Float(1.0)
+        ));
+        assert!(!ColumnData::is_canonical(DataType::Float, &Value::Int(1)));
+        assert!(ColumnData::is_canonical(DataType::Float, &Value::Null));
+        assert!(ColumnData::is_canonical(DataType::Date, &Value::Date(3)));
+        assert!(!ColumnData::is_canonical(DataType::Date, &Value::Int(3)));
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-chunk zone maps: min/max/null-count summaries of a column's values
+//! within one row group.
+//!
+//! The bounds are kept as [`Value`]s and are ordered by `Value`'s **total**
+//! order (NULL < numbers < strings < dates < booleans, NaN greatest among
+//! floats, `-0.0 == 0.0`) — exactly the order constant predicates evaluate
+//! under, so a pruning decision made against the bounds can never disagree
+//! with a per-row evaluation. NULLs are excluded from the bounds (they fail
+//! every comparison predicate) and tracked in `null_count` instead; a chunk
+//! of only NULLs has no bounds at all.
+
+use crate::value::Value;
+
+/// The summary of one column over one chunk of rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneMap {
+    /// Smallest non-null value in the chunk, under `Value`'s total order.
+    /// `None` iff every row of the chunk is NULL.
+    pub min: Option<Value>,
+    /// Largest non-null value in the chunk (for floats this makes NaN the
+    /// maximum whenever one is present, mirroring `Value`'s NaN-greatest
+    /// normalization).
+    pub max: Option<Value>,
+    /// Number of NULL rows in the chunk.
+    pub null_count: usize,
+    /// Number of rows in the chunk.
+    pub rows: usize,
+}
+
+impl ZoneMap {
+    /// Builds the zone map of `values`, skipping NULLs.
+    pub fn build<'a>(values: impl Iterator<Item = &'a Value>) -> ZoneMap {
+        let mut min: Option<&Value> = None;
+        let mut max: Option<&Value> = None;
+        let mut null_count = 0usize;
+        let mut rows = 0usize;
+        for v in values {
+            rows += 1;
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            if min.is_none_or(|m| v < m) {
+                min = Some(v);
+            }
+            if max.is_none_or(|m| v > m) {
+                max = Some(v);
+            }
+        }
+        ZoneMap {
+            min: min.cloned(),
+            max: max.cloned(),
+            rows,
+            null_count,
+        }
+    }
+
+    /// Whether every row of the chunk is NULL (no comparison predicate can
+    /// select anything from it).
+    pub fn all_null(&self) -> bool {
+        self.null_count == self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_skip_nulls() {
+        let vals = [Value::Null, Value::Int(3), Value::Int(-1), Value::Null];
+        let z = ZoneMap::build(vals.iter());
+        assert_eq!(z.min, Some(Value::Int(-1)));
+        assert_eq!(z.max, Some(Value::Int(3)));
+        assert_eq!(z.null_count, 2);
+        assert_eq!(z.rows, 4);
+        assert!(!z.all_null());
+    }
+
+    #[test]
+    fn all_null_chunk_has_no_bounds() {
+        let vals = [Value::Null, Value::Null];
+        let z = ZoneMap::build(vals.iter());
+        assert_eq!(z.min, None);
+        assert_eq!(z.max, None);
+        assert!(z.all_null());
+    }
+
+    #[test]
+    fn nan_is_the_float_maximum() {
+        // `Value`'s total order normalizes NaN greater than every float;
+        // the zone bounds must agree or a `> c` predicate could wrongly
+        // skip a chunk whose only matches are NaNs.
+        let vals = [
+            Value::Float(1.0),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+        ];
+        let z = ZoneMap::build(vals.iter());
+        assert_eq!(z.min, Some(Value::Float(1.0)));
+        assert!(matches!(z.max, Some(Value::Float(f)) if f.is_nan()));
+    }
+
+    #[test]
+    fn negative_zero_folds_onto_zero() {
+        let vals = [Value::Float(-0.0), Value::Float(0.0)];
+        let z = ZoneMap::build(vals.iter());
+        // -0.0 == 0.0 under the total order: either representative is a
+        // correct bound, and both compare equal to every constant the same
+        // way.
+        assert_eq!(z.min, Some(Value::Float(0.0)));
+        assert_eq!(z.max, Some(Value::Float(0.0)));
+    }
+
+    #[test]
+    fn string_bounds_are_lexicographic() {
+        let vals = [Value::str("Mo"), Value::str("Joe"), Value::str("Li")];
+        let z = ZoneMap::build(vals.iter());
+        assert_eq!(z.min, Some(Value::str("Joe")));
+        assert_eq!(z.max, Some(Value::str("Mo")));
+    }
+}

@@ -29,6 +29,9 @@ pub enum StorageError {
     UnknownTable(String),
     /// A table with this name already exists in the catalog.
     DuplicateTable(String),
+    /// A columnar chunk size is zero or not a multiple of 64 (chunk
+    /// boundaries must fall on null-bitmap word boundaries).
+    InvalidChunkSize(usize),
     /// The possible-world enumeration was asked to expand too many variables.
     TooManyWorlds {
         /// Number of distinct variables in the database.
@@ -57,6 +60,12 @@ impl fmt::Display for StorageError {
             }
             StorageError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             StorageError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            StorageError::InvalidChunkSize(n) => {
+                write!(
+                    f,
+                    "columnar chunk size {n} is not a positive multiple of 64"
+                )
+            }
             StorageError::TooManyWorlds { variables, limit } => write!(
                 f,
                 "possible-world enumeration over {variables} variables exceeds the limit of {limit}"

@@ -17,12 +17,17 @@
 //! * [`Table`] — an in-memory deterministic relation.
 //! * [`ProbTable`] — a tuple-independent probabilistic relation: a [`Table`]
 //!   plus one [`Variable`] and one probability per tuple.
+//! * [`ColumnarTable`] — the same relation stored column-major: typed
+//!   column vectors with null bitmaps, fixed-size row groups, and per-chunk
+//!   zone maps for predicate-driven chunk skipping.
 //! * [`Catalog`] — a named collection of probabilistic tables together with
-//!   declared keys and functional dependencies.
+//!   declared keys and functional dependencies; each entry is a
+//!   [`StorageBacking`] (row or columnar), and scans dispatch on it.
 //! * [`worlds`] — explicit possible-world enumeration, usable as a ground
 //!   truth oracle on small databases.
 
 pub mod catalog;
+pub mod columnar;
 pub mod error;
 pub mod schema;
 pub mod table;
@@ -31,10 +36,11 @@ pub mod value;
 pub mod variable;
 pub mod worlds;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, StorageBacking};
+pub use columnar::{ColumnData, ColumnarTable, NullBitmap, ZoneMap};
 pub use error::{StorageError, StorageResult};
 pub use schema::{Column, DataType, Schema};
 pub use table::{ProbTable, Table};
 pub use tuple::Tuple;
-pub use value::Value;
+pub use value::{total_f64_cmp, Value};
 pub use variable::{Probability, Variable, VariableGenerator};

@@ -153,8 +153,11 @@ impl std::hash::Hash for Value {
     }
 }
 
-/// Total order on f64 with NaN greatest and -0.0 == 0.0.
-fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+/// Total order on f64 with NaN greatest and -0.0 == 0.0 — the float
+/// normalization [`Value::cmp`] uses. Public so downstream typed fast paths
+/// (the columnar predicate loops) compare native `f64`s with **exactly**
+/// this order instead of re-implementing it.
+pub fn total_f64_cmp(a: f64, b: f64) -> Ordering {
     match (a.is_nan(), b.is_nan()) {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,

@@ -26,7 +26,7 @@ pub mod queries;
 
 pub use dates::{date, date_str};
 pub use gen::{TpchData, TpchScale};
-pub use prob::probabilistic_catalog;
+pub use prob::{probabilistic_catalog, probabilistic_catalog_columnar};
 pub use queries::{
     case_study_queries, fig10_queries, fig12_query_c, fig12_query_d, fig9_queries,
     selectivity_query_a, selectivity_query_b, tpch_query, QueryClass, TpchQuery,

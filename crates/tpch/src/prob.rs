@@ -9,7 +9,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use pdb_storage::{Catalog, ProbTable, StorageResult, Table, VariableGenerator};
+use pdb_storage::{Catalog, ColumnarTable, ProbTable, StorageResult, Table, VariableGenerator};
 
 use crate::gen::TpchData;
 
@@ -20,9 +20,24 @@ use crate::gen::TpchData;
 /// assigned sequentially across tables, mirroring the paper's "distinct
 /// Boolean random variable per tuple" setup.
 pub fn probabilistic_catalog(data: &TpchData, seed: u64) -> StorageResult<Catalog> {
+    build_catalog(data, seed, false)
+}
+
+/// [`probabilistic_catalog`] emitting **columnar** base tables: the same
+/// tuples, variables and probabilities (the RNG sequence is identical), but
+/// every table is registered as a [`ColumnarTable`] — typed column vectors,
+/// chunked row groups, per-chunk zone maps — so scans take the vectorized
+/// zone-map fast path. Query results are bitwise-identical to the row
+/// catalog's; the row catalog remains the A/B control.
+pub fn probabilistic_catalog_columnar(data: &TpchData, seed: u64) -> StorageResult<Catalog> {
+    build_catalog(data, seed, true)
+}
+
+fn build_catalog(data: &TpchData, seed: u64, columnar: bool) -> StorageResult<Catalog> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut gen = VariableGenerator::new();
     let catalog = Catalog::new();
+    let pool = pdb_par::Pool::from_env();
 
     let mut register = |name: &str, table: &Table| -> StorageResult<()> {
         let prob = ProbTable::from_table(table.clone(), &mut gen, |_| {
@@ -31,7 +46,11 @@ pub fn probabilistic_catalog(data: &TpchData, seed: u64) -> StorageResult<Catalo
             let p: f64 = rng.gen_range(0.05..=1.0);
             (p * 100.0).round() / 100.0
         })?;
-        catalog.register_table(name, prob)
+        if columnar {
+            catalog.register_columnar(name, ColumnarTable::from_prob_table(&prob, &pool)?)
+        } else {
+            catalog.register_table(name, prob)
+        }
     };
 
     register("Region", &data.region)?;
@@ -89,6 +108,29 @@ mod tests {
                 assert!(seen.insert(var), "variable {var} reused across tuples");
             }
         }
+    }
+
+    #[test]
+    fn columnar_catalog_holds_the_same_tuples_variables_and_probabilities() {
+        let data = TpchData::generate(TpchScale::tiny());
+        let row = probabilistic_catalog(&data, 1).unwrap();
+        let col = probabilistic_catalog_columnar(&data, 1).unwrap();
+        assert_eq!(col.table_names(), row.table_names());
+        for name in row.table_names() {
+            assert!(matches!(
+                col.backing(&name).unwrap(),
+                pdb_storage::StorageBacking::Columnar(_)
+            ));
+            // Materialising the columnar backing reproduces the row table
+            // exactly — same tuples, same variables, same probabilities.
+            assert_eq!(
+                &*col.table(&name).unwrap(),
+                &*row.table(&name).unwrap(),
+                "{name}"
+            );
+        }
+        assert_eq!(col.key_of("Item"), row.key_of("Item"));
+        assert_eq!(col.fds().len(), row.fds().len());
     }
 
     #[test]
