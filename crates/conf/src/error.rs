@@ -3,6 +3,8 @@
 use std::fmt;
 
 use pdb_exec::ExecError;
+use pdb_govern::{SproutError, Stage};
+use pdb_par::TaskFailure;
 use pdb_query::QueryError;
 
 /// Errors raised by the confidence-computation operator.
@@ -18,6 +20,26 @@ pub enum ConfError {
     Query(QueryError),
     /// Error from the execution substrate.
     Exec(ExecError),
+    /// The query governor interrupted confidence computation (cancellation,
+    /// deadline, memory budget) or a worker panicked and was isolated.
+    Governed(SproutError),
+}
+
+impl ConfError {
+    /// Converts a [`pdb_par`] task failure into a conf error: a task that
+    /// returned `Err` propagates its error verbatim; a task that panicked is
+    /// isolated into [`SproutError::WorkerPanic`] naming the `stage` and the
+    /// work item.
+    pub fn from_task_failure(stage: Stage, failure: TaskFailure<ConfError>) -> ConfError {
+        match failure {
+            TaskFailure::Err { error, .. } => error,
+            TaskFailure::Panic { item, message } => ConfError::Governed(SproutError::WorkerPanic {
+                stage,
+                item,
+                message,
+            }),
+        }
+    }
 }
 
 impl fmt::Display for ConfError {
@@ -31,6 +53,7 @@ impl fmt::Display for ConfError {
             }
             ConfError::Query(e) => write!(f, "query analysis error: {e}"),
             ConfError::Exec(e) => write!(f, "execution error: {e}"),
+            ConfError::Governed(e) => write!(f, "{e}"),
         }
     }
 }
@@ -45,7 +68,18 @@ impl From<QueryError> for ConfError {
 
 impl From<ExecError> for ConfError {
     fn from(e: ExecError) -> Self {
-        ConfError::Exec(e)
+        // A governed interruption keeps its identity across layers instead
+        // of burying itself inside an Exec wrapper.
+        match e {
+            ExecError::Governed(g) => ConfError::Governed(g),
+            other => ConfError::Exec(other),
+        }
+    }
+}
+
+impl From<SproutError> for ConfError {
+    fn from(e: SproutError) -> Self {
+        ConfError::Governed(e)
     }
 }
 

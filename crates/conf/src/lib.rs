@@ -47,4 +47,5 @@ pub mod operator;
 pub use error::{ConfError, ConfResult};
 pub use one_scan::{SplitPolicy, INTRA_BAG_SPLIT_THRESHOLD};
 pub use operator::{ConfidenceOperator, ConfidenceResult, Strategy};
+pub use pdb_govern::{ExecContext, GovernorBuilder, QueryGovernor, SproutError, Stage};
 pub use pdb_par::Pool;

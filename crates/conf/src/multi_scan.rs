@@ -32,13 +32,14 @@ use std::collections::BTreeSet;
 
 use pdb_exec::key::CELL_WIDTH;
 use pdb_exec::Annotated;
+use pdb_govern::ExecContext;
 use pdb_par::{partition_by_weight, Pool};
 use pdb_query::{OneScanTree, Signature};
 use pdb_storage::{Tuple, Variable};
 
 use crate::error::ConfResult;
 use crate::one_scan::{
-    one_scan_confidences_tuned, unit_confidences, FlatScan, RootBoundaries, SplitPolicy,
+    one_scan_confidences_ctx, unit_confidences, FlatScan, RootBoundaries, SplitPolicy,
 };
 
 /// Computes `(distinct answer tuple, confidence)` pairs for an arbitrary
@@ -79,6 +80,24 @@ pub fn multi_scan_confidences_tuned(
     pool: &Pool,
     policy: SplitPolicy,
 ) -> ConfResult<Vec<(Tuple, f64)>> {
+    multi_scan_confidences_ctx(answer, signature, pool, policy, &ExecContext::unbounded())
+}
+
+/// [`multi_scan_confidences_tuned`] under a governor [`ExecContext`]: every
+/// pre-aggregation pass and the final scan run their `conf.bag` checkpoints,
+/// and an interrupted pass surfaces as [`ConfError::Governed`]. A governed
+/// run that completes is bitwise-identical to an ungoverned one.
+///
+/// # Errors
+/// Fails if the signature references relations missing from the answer, or
+/// with [`ConfError::Governed`] when the governor interrupts a scan.
+pub fn multi_scan_confidences_ctx(
+    answer: &Annotated,
+    signature: &Signature,
+    pool: &Pool,
+    policy: SplitPolicy,
+    ctx: &ExecContext,
+) -> ConfResult<Vec<(Tuple, f64)>> {
     if answer.is_empty() {
         return Ok(Vec::new());
     }
@@ -86,10 +105,10 @@ pub fn multi_scan_confidences_tuned(
     let mut current: Option<Annotated> = None;
     for step in &schedule.pre_aggregations {
         let input = current.as_ref().unwrap_or(answer);
-        current = Some(apply_pre_aggregation_tuned(input, step, pool, policy)?);
+        current = Some(apply_pre_aggregation_ctx(input, step, pool, policy, ctx)?);
     }
     let input = current.as_ref().unwrap_or(answer);
-    one_scan_confidences_tuned(input, &schedule.final_signature, pool, policy)
+    one_scan_confidences_ctx(input, &schedule.final_signature, pool, policy, ctx)
 }
 
 /// Executes one pre-aggregation `[step]` with the default worker pool; see
@@ -132,6 +151,22 @@ pub fn apply_pre_aggregation_tuned(
     step: &Signature,
     pool: &Pool,
     policy: SplitPolicy,
+) -> ConfResult<Annotated> {
+    apply_pre_aggregation_ctx(input, step, pool, policy, &ExecContext::unbounded())
+}
+
+/// [`apply_pre_aggregation_tuned`] under a governor [`ExecContext`] (see
+/// [`multi_scan_confidences_ctx`]).
+///
+/// # Errors
+/// Fails if the step references relations missing from the input, or with
+/// [`ConfError::Governed`] when the governor interrupts the pass.
+pub fn apply_pre_aggregation_ctx(
+    input: &Annotated,
+    step: &Signature,
+    pool: &Pool,
+    policy: SplitPolicy,
+    ctx: &ExecContext,
 ) -> ConfResult<Annotated> {
     let step_tables: BTreeSet<String> = step.tables().into_iter().collect();
     let leftmost = step.leftmost_table().to_string();
@@ -206,7 +241,8 @@ pub fn apply_pre_aggregation_tuned(
         },
         pool,
         policy,
-    );
+        ctx,
+    )?;
 
     // Collapse: exactly one output row per group — the exemplar's data and
     // lineage, with the step's leftmost table carrying the group's

@@ -71,6 +71,7 @@
 
 use pdb_exec::key::{SortKeys, CELL_WIDTH};
 use pdb_exec::{Annotated, RowRef};
+use pdb_govern::{ExecContext, Stage};
 use pdb_par::{independent_or, independent_or_fold, partition_by_weight, Pool};
 use pdb_query::{OneScanTree, Signature};
 use pdb_storage::{Tuple, Variable};
@@ -577,6 +578,7 @@ enum ItemResult {
 /// order yields the same list however the sub-ranges were cut — so the
 /// probabilities are bitwise-identical at every thread count, and identical
 /// to the unsplit sequential scan.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn unit_confidences(
     machine: &FlatScan,
     answer: &Annotated,
@@ -585,17 +587,22 @@ pub(crate) fn unit_confidences(
     boundaries: RootBoundaries<'_>,
     pool: &Pool,
     policy: SplitPolicy,
-) -> Vec<f64> {
+    ctx: &ExecContext,
+) -> ConfResult<Vec<f64>> {
     let n = unit_starts.len();
     let unit_range =
         |u: usize| unit_starts[u]..unit_starts.get(u + 1).copied().unwrap_or(order.len());
     if pool.threads() <= 1 {
         // Sequential: one machine, one pass over the units — intra-unit
-        // splitting cannot help without a second worker.
+        // splitting cannot help without a second worker. Checkpoint per
+        // unit, like the parallel path checkpoints per work item.
         let mut machine = machine.clone();
-        return (0..n)
-            .map(|u| machine.scan_bag(answer, &order[unit_range(u)]))
-            .collect();
+        let mut probs = Vec::with_capacity(n);
+        for u in 0..n {
+            ctx.checkpoint(Stage::Confidence, "conf.bag", u)?;
+            probs.push(machine.scan_bag(answer, &order[unit_range(u)]));
+        }
+        return Ok(probs);
     }
     // Build the global work-item list.
     let threshold = policy.min_rows.max(2);
@@ -640,21 +647,27 @@ pub(crate) fn unit_confidences(
         bounds
     };
     let worker_ranges = partition_by_weight(&item_bounds, order.len(), pool.threads());
-    let results: Vec<Vec<ItemResult>> = pool.map_ranges(&worker_ranges, |item_range| {
-        let mut machine = machine.clone();
-        let mut out = Vec::with_capacity(item_range.len());
-        for item in &items[item_range] {
-            let rows = &order[item.lo..item.hi];
-            if item.split {
-                let mut partials = Vec::new();
-                machine.scan_bag_partials(answer, rows, &mut partials);
-                out.push(ItemResult::Partials(partials));
-            } else {
-                out.push(ItemResult::Whole(machine.scan_bag(answer, rows)));
+    let results: Vec<Vec<ItemResult>> = pool
+        .try_map_ranges(&worker_ranges, |_, item_range| {
+            let mut machine = machine.clone();
+            let mut out = Vec::with_capacity(item_range.len());
+            for (off, item) in items[item_range.clone()].iter().enumerate() {
+                // Checkpoint on the *global* work-item index so the
+                // fault-injection sweep addresses items deterministically
+                // however they are distributed across workers.
+                ctx.checkpoint(Stage::Confidence, "conf.bag", item_range.start + off)?;
+                let rows = &order[item.lo..item.hi];
+                if item.split {
+                    let mut partials = Vec::new();
+                    machine.scan_bag_partials(answer, rows, &mut partials);
+                    out.push(ItemResult::Partials(partials));
+                } else {
+                    out.push(ItemResult::Whole(machine.scan_bag(answer, rows)));
+                }
             }
-        }
-        out
-    });
+            Ok(out)
+        })
+        .map_err(|f| ConfError::from_task_failure(Stage::Confidence, f))?;
     // Merge in item order: whole-unit results pass through; a split unit
     // folds the concatenated partials of its (contiguous) items.
     let mut probs = vec![0.0f64; n];
@@ -676,7 +689,7 @@ pub(crate) fn unit_confidences(
     if let Some(u) = pending_unit {
         probs[u as usize] = fold_partials(machine, pending.drain(..));
     }
-    probs
+    Ok(probs)
 }
 
 /// Builds the `(distinct answer tuple, confidence)` output of a bag list,
@@ -746,6 +759,26 @@ pub fn one_scan_confidences_tuned(
     pool: &Pool,
     policy: SplitPolicy,
 ) -> ConfResult<Vec<(Tuple, f64)>> {
+    one_scan_confidences_ctx(answer, signature, pool, policy, &ExecContext::unbounded())
+}
+
+/// [`one_scan_confidences_tuned`] under a governor [`ExecContext`]: the bag
+/// scheduler runs a cancellation / deadline checkpoint at every work item
+/// (`conf.bag`), and an interrupted scan surfaces as
+/// [`ConfError::Governed`]. A governed run that completes is
+/// bitwise-identical to an ungoverned one.
+///
+/// # Errors
+/// Fails if the signature lacks the 1scan property or references a relation
+/// without a lineage column, or with [`ConfError::Governed`] when the
+/// governor interrupts the scan.
+pub fn one_scan_confidences_ctx(
+    answer: &Annotated,
+    signature: &Signature,
+    pool: &Pool,
+    policy: SplitPolicy,
+    ctx: &ExecContext,
+) -> ConfResult<Vec<(Tuple, f64)>> {
     if answer.is_empty() {
         return Ok(Vec::new());
     }
@@ -785,7 +818,8 @@ pub fn one_scan_confidences_tuned(
         },
         pool,
         policy,
-    );
+        ctx,
+    )?;
     Ok(collect_bag_results(
         answer,
         &order,
@@ -886,7 +920,8 @@ pub fn one_scan_confidences_presorted_tuned(
         RootBoundaries::Lineage { root_col },
         pool,
         policy,
-    );
+        &ExecContext::unbounded(),
+    )?;
     Ok(collect_bag_results(
         answer,
         &order,

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use pdb_exec::Annotated;
+use pdb_govern::{ExecContext, QueryGovernor, Stage};
 use pdb_par::Pool;
 use pdb_query::Signature;
 use pdb_storage::Tuple;
@@ -17,8 +18,8 @@ use pdb_storage::Tuple;
 use crate::brute::brute_force_confidences;
 use crate::error::ConfResult;
 use crate::grp::grp_confidences_with;
-use crate::multi_scan::multi_scan_confidences_tuned;
-use crate::one_scan::{one_scan_confidences_tuned, SplitPolicy};
+use crate::multi_scan::multi_scan_confidences_ctx;
+use crate::one_scan::{one_scan_confidences_ctx, SplitPolicy};
 
 /// The evaluation strategy of the operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +64,7 @@ pub struct ConfidenceOperator {
     signature: Signature,
     pool: Pool,
     split_policy: SplitPolicy,
+    governor: Option<QueryGovernor>,
 }
 
 impl ConfidenceOperator {
@@ -78,7 +80,17 @@ impl ConfidenceOperator {
             signature,
             pool,
             split_policy: SplitPolicy::default(),
+            governor: None,
         }
+    }
+
+    /// Attaches a [`QueryGovernor`]: subsequent [`compute`](Self::compute)
+    /// calls observe its cancellation token, deadline, and memory budget at
+    /// every bag-boundary checkpoint, returning
+    /// [`ConfError::Governed`](crate::ConfError::Governed) when interrupted.
+    pub fn with_governor(mut self, governor: QueryGovernor) -> Self {
+        self.governor = Some(governor);
+        self
     }
 
     /// Sets the intra-bag [`SplitPolicy`]: how many rows one bag of
@@ -105,6 +117,11 @@ impl ConfidenceOperator {
         self.split_policy
     }
 
+    /// The governor attached via [`with_governor`](Self::with_governor), if any.
+    pub fn governor(&self) -> Option<&QueryGovernor> {
+        self.governor.as_ref()
+    }
+
     /// Number of scans the operator needs (Proposition V.10).
     pub fn scans(&self) -> usize {
         self.signature.scan_count()
@@ -118,20 +135,31 @@ impl ConfidenceOperator {
     pub fn compute(&self, answer: &Annotated, strategy: Strategy) -> ConfResult<ConfidenceResult> {
         let pool = &self.pool.for_items(answer.len());
         let policy = self.split_policy;
+        let ctx = ExecContext::from_governor(self.governor.as_ref());
         match strategy {
             Strategy::Auto => {
                 if self.signature.is_one_scan() {
-                    one_scan_confidences_tuned(answer, &self.signature, pool, policy)
+                    one_scan_confidences_ctx(answer, &self.signature, pool, policy, &ctx)
                 } else {
-                    multi_scan_confidences_tuned(answer, &self.signature, pool, policy)
+                    multi_scan_confidences_ctx(answer, &self.signature, pool, policy, &ctx)
                 }
             }
-            Strategy::OneScan => one_scan_confidences_tuned(answer, &self.signature, pool, policy),
-            Strategy::MultiScan => {
-                multi_scan_confidences_tuned(answer, &self.signature, pool, policy)
+            Strategy::OneScan => {
+                one_scan_confidences_ctx(answer, &self.signature, pool, policy, &ctx)
             }
-            Strategy::GrpSemantics => grp_confidences_with(answer, &self.signature, pool),
-            Strategy::BruteForce => Ok(brute_force_confidences(answer)),
+            Strategy::MultiScan => {
+                multi_scan_confidences_ctx(answer, &self.signature, pool, policy, &ctx)
+            }
+            // The sequential reference strategies check the governor once on
+            // entry; they exist for testing and tiny inputs only.
+            Strategy::GrpSemantics => {
+                ctx.checkpoint(Stage::Confidence, "conf.bag", 0)?;
+                grp_confidences_with(answer, &self.signature, pool)
+            }
+            Strategy::BruteForce => {
+                ctx.checkpoint(Stage::Confidence, "conf.bag", 0)?;
+                Ok(brute_force_confidences(answer))
+            }
         }
     }
 }

@@ -33,9 +33,10 @@
 
 use std::cmp::Ordering;
 
+use pdb_govern::{ExecContext, Stage};
 use pdb_par::Pool;
 use pdb_query::{CompareOp, Predicate};
-use pdb_storage::{total_f64_cmp, ColumnData, ColumnarTable, Value, ZoneMap};
+use pdb_storage::{total_f64_cmp, ColumnData, ColumnarTable, Value, Variable, ZoneMap};
 
 use crate::annotated::Annotated;
 use crate::error::{ExecError, ExecResult};
@@ -310,6 +311,25 @@ pub fn scan_filter_project_columnar_with(
     scan_filter_project_columnar_stats(table, relation, predicates, keep, pool).map(|(a, _)| a)
 }
 
+/// [`scan_filter_project_columnar_with`] under a governor context:
+/// checkpoints at every phase-1 chunk (`scan.chunk`) and phase-2 gather
+/// segment (`scan.gather`), and memory accounting for the survivor arenas.
+///
+/// # Errors
+/// Fails if a predicate or kept attribute is missing from the table schema,
+/// or with [`ExecError::Governed`] when the governor interrupts the scan.
+pub fn scan_filter_project_columnar_ctx(
+    table: &ColumnarTable,
+    relation: &str,
+    predicates: &[&Predicate],
+    keep: &[String],
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ExecResult<Annotated> {
+    scan_filter_project_columnar_stats_ctx(table, relation, predicates, keep, pool, ctx)
+        .map(|(a, _)| a)
+}
+
 /// [`scan_filter_project_columnar_with`] also returning the pruning
 /// counters (chunk-skip rates), for benchmarks and diagnostics.
 ///
@@ -321,6 +341,30 @@ pub fn scan_filter_project_columnar_stats(
     predicates: &[&Predicate],
     keep: &[String],
     pool: &Pool,
+) -> ExecResult<(Annotated, ColumnarScanStats)> {
+    scan_filter_project_columnar_stats_ctx(
+        table,
+        relation,
+        predicates,
+        keep,
+        pool,
+        &ExecContext::unbounded(),
+    )
+}
+
+/// [`scan_filter_project_columnar_stats`] under a governor context (see
+/// [`scan_filter_project_columnar_ctx`]).
+///
+/// # Errors
+/// Fails if a predicate or kept attribute is missing from the table schema,
+/// or with [`ExecError::Governed`] when the governor interrupts the scan.
+pub fn scan_filter_project_columnar_stats_ctx(
+    table: &ColumnarTable,
+    relation: &str,
+    predicates: &[&Predicate],
+    keep: &[String],
+    pool: &Pool,
+    ctx: &ExecContext,
 ) -> ExecResult<(Annotated, ColumnarScanStats)> {
     let keep_positions: Vec<usize> = keep
         .iter()
@@ -354,51 +398,54 @@ pub fn scan_filter_project_columnar_stats(
     // Phase 1 (parallel over chunks): prune on zone maps, then tight
     // per-column loops over undecided chunks.
     let chunk_ids: Vec<usize> = (0..table.num_chunks()).collect();
-    let survivors: Vec<ChunkSurvivors> = pool.map(&chunk_ids, |&k| {
-        let range = table.chunk_range(k);
-        let mut all_full = true;
-        let mut partial: Vec<(usize, &PredEval<'_>, CompareOp)> = Vec::new();
-        for ((pred, &c), eval) in predicates.iter().zip(&pred_positions).zip(&compiled) {
-            match prune_chunk(table.zone(c, k), pred.op, &pred.constant) {
-                Prune::Skip => return ChunkSurvivors::Skipped,
-                Prune::Full => {}
-                Prune::Partial => {
-                    all_full = false;
-                    partial.push((c, eval, pred.op));
-                }
-            }
-        }
-        if all_full {
-            return ChunkSurvivors::All(range);
-        }
-        // Evaluate the undecided predicates column-at-a-time: the first
-        // builds the survivor list, the rest filter it in place.
-        let mut rows: Option<Vec<u32>> = None;
-        for (c, eval, op) in partial {
-            let column = table.column(c);
-            match &mut rows {
-                None => {
-                    let mut list = Vec::new();
-                    for r in range.clone() {
-                        if !column.is_null(r) && eval.matches(column, op, r) {
-                            list.push(r as u32);
-                        }
+    let survivors: Vec<ChunkSurvivors> = pool
+        .try_map(&chunk_ids, |_, &k| {
+            ctx.checkpoint(Stage::Scan, "scan.chunk", k)?;
+            let range = table.chunk_range(k);
+            let mut all_full = true;
+            let mut partial: Vec<(usize, &PredEval<'_>, CompareOp)> = Vec::new();
+            for ((pred, &c), eval) in predicates.iter().zip(&pred_positions).zip(&compiled) {
+                match prune_chunk(table.zone(c, k), pred.op, &pred.constant) {
+                    Prune::Skip => return Ok(ChunkSurvivors::Skipped),
+                    Prune::Full => {}
+                    Prune::Partial => {
+                        all_full = false;
+                        partial.push((c, eval, pred.op));
                     }
-                    rows = Some(list);
-                }
-                Some(list) => {
-                    list.retain(|&r| {
-                        let r = r as usize;
-                        !column.is_null(r) && eval.matches(column, op, r)
-                    });
                 }
             }
-            if rows.as_ref().is_some_and(Vec::is_empty) {
-                break;
+            if all_full {
+                return Ok(ChunkSurvivors::All(range));
             }
-        }
-        ChunkSurvivors::Rows(rows.unwrap_or_default())
-    });
+            // Evaluate the undecided predicates column-at-a-time: the first
+            // builds the survivor list, the rest filter it in place.
+            let mut rows: Option<Vec<u32>> = None;
+            for (c, eval, op) in partial {
+                let column = table.column(c);
+                match &mut rows {
+                    None => {
+                        let mut list = Vec::new();
+                        for r in range.clone() {
+                            if !column.is_null(r) && eval.matches(column, op, r) {
+                                list.push(r as u32);
+                            }
+                        }
+                        rows = Some(list);
+                    }
+                    Some(list) => {
+                        list.retain(|&r| {
+                            let r = r as usize;
+                            !column.is_null(r) && eval.matches(column, op, r)
+                        });
+                    }
+                }
+                if rows.as_ref().is_some_and(Vec::is_empty) {
+                    break;
+                }
+            }
+            Ok(ChunkSurvivors::Rows(rows.unwrap_or_default()))
+        })
+        .map_err(|f| ExecError::from_task_failure(Stage::Scan, f))?;
 
     let stats = ColumnarScanStats {
         chunks: survivors.len(),
@@ -417,6 +464,12 @@ pub fn scan_filter_project_columnar_stats(
     // Phase 2: exact-size output, disjoint in-place segment writes, chunk
     // order = input order.
     let (offsets, total) = pdb_par::exclusive_prefix_sum(survivors.iter().map(|s| s.count()));
+    ctx.account(
+        Stage::Scan,
+        total
+            * (schema.len() * std::mem::size_of::<Value>()
+                + std::mem::size_of::<(Variable, f64)>()),
+    )?;
     let mut out = Annotated::with_placeholder_rows(schema, vec![relation.to_string()], total);
     let dw = out.data_width();
     let data_cuts: Vec<usize> = offsets.iter().map(|o| o * dw).collect();
@@ -424,7 +477,8 @@ pub fn scan_filter_project_columnar_stats(
     let (data, lineage) = out.arena_segments_mut();
     let vars = table.vars();
     let probs = table.probs();
-    pool.map_slices2_mut(data, &data_cuts, lineage, &lineage_cuts, |k, dseg, lseg| {
+    pool.try_map_slices2_mut(data, &data_cuts, lineage, &lineage_cuts, |k, dseg, lseg| {
+        ctx.checkpoint(Stage::Scan, "scan.gather", k)?;
         // Gather column-at-a-time within this chunk's output segment.
         let out_rows = lseg.len();
         let write_col = |j: usize, dseg: &mut [Value], row_at: &dyn Fn(usize) -> usize| {
@@ -452,7 +506,9 @@ pub fn scan_filter_project_columnar_stats(
                 }
             }
         }
-    });
+        Ok(())
+    })
+    .map_err(|f| ExecError::from_task_failure(Stage::Scan, f))?;
     Ok((out, stats))
 }
 
@@ -469,6 +525,22 @@ pub fn scan_columnar_with(
     pool: &Pool,
 ) -> ExecResult<Annotated> {
     scan_filter_project_columnar_with(table, relation, &[], attributes, pool)
+}
+
+/// [`scan_columnar_with`] under a governor context (see
+/// [`scan_filter_project_columnar_ctx`]).
+///
+/// # Errors
+/// Fails if an attribute is missing from the table's schema, or with
+/// [`ExecError::Governed`] when the governor interrupts the scan.
+pub fn scan_columnar_ctx(
+    table: &ColumnarTable,
+    relation: &str,
+    attributes: &[String],
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ExecResult<Annotated> {
+    scan_filter_project_columnar_ctx(table, relation, &[], attributes, pool, ctx)
 }
 
 #[cfg(test)]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use pdb_govern::{SproutError, Stage};
+use pdb_par::TaskFailure;
 use pdb_storage::StorageError;
 
 /// Errors raised during plan execution.
@@ -16,6 +18,26 @@ pub enum ExecError {
     DuplicateRelation(String),
     /// Underlying storage error.
     Storage(StorageError),
+    /// The query governor interrupted execution (cancellation, deadline,
+    /// memory budget) or a worker panicked and was isolated.
+    Governed(SproutError),
+}
+
+impl ExecError {
+    /// Converts a [`pdb_par`] task failure into an exec error: a task that
+    /// returned `Err` propagates its error verbatim; a task that panicked is
+    /// isolated into [`SproutError::WorkerPanic`] naming the `stage` and the
+    /// work item.
+    pub fn from_task_failure(stage: Stage, failure: TaskFailure<ExecError>) -> ExecError {
+        match failure {
+            TaskFailure::Err { error, .. } => error,
+            TaskFailure::Panic { item, message } => ExecError::Governed(SproutError::WorkerPanic {
+                stage,
+                item,
+                message,
+            }),
+        }
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -30,6 +52,7 @@ impl fmt::Display for ExecError {
                 )
             }
             ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::Governed(e) => write!(f, "{e}"),
         }
     }
 }
@@ -39,6 +62,12 @@ impl std::error::Error for ExecError {}
 impl From<StorageError> for ExecError {
     fn from(e: StorageError) -> Self {
         ExecError::Storage(e)
+    }
+}
+
+impl From<SproutError> for ExecError {
+    fn from(e: SproutError) -> Self {
+        ExecError::Governed(e)
     }
 }
 

@@ -42,4 +42,5 @@ pub use annotated::{Annotated, AnnotatedRow, RowRef};
 pub use columnar::ColumnarScanStats;
 pub use error::{ExecError, ExecResult};
 pub use extensional::ExtRelation;
-pub use pipeline::{evaluate_join_order, evaluate_join_order_with};
+pub use pdb_govern::{ExecContext, GovernorBuilder, QueryGovernor, SproutError, Stage};
+pub use pipeline::{evaluate_join_order, evaluate_join_order_ctx, evaluate_join_order_with};

@@ -46,7 +46,25 @@
 //! The retained row-at-a-time implementation lives in [`crate::baseline`];
 //! the `seed-baseline` feature routes the operators through it for A/B
 //! benchmarking.
+//!
+//! # Governed execution (PR 6)
+//!
+//! The hot-path operators additionally come in `*_ctx` variants taking a
+//! [`pdb_govern::ExecContext`]: a cooperative cancellation / deadline
+//! checkpoint runs at every morsel boundary (phase-1 survivor chunks and
+//! phase-2 segment writes of the fused scan, probe morsels and stitch
+//! segments of the join, write segments of the project — and every
+//! [`SEQ_CHECK_EVERY`] rows on the sequential fallbacks), and the output
+//! arenas are charged against the governor's memory budget before they are
+//! allocated. Checkpoints only ever **stop** work — they never reorder it —
+//! so a governed run that completes is bitwise-identical to an ungoverned
+//! one. The `*_with` variants delegate with [`ExecContext::unbounded`],
+//! where every checkpoint is an inert null check. A worker that panics
+//! inside a governed operator is isolated by [`pdb_par::Pool::try_map`] and
+//! friends and surfaces as [`pdb_govern::SproutError::WorkerPanic`]; the
+//! partially-written output is discarded and the pool stays reusable.
 
+use pdb_govern::{ExecContext, Stage};
 use pdb_par::{even_ranges, Pool};
 use pdb_query::Predicate;
 use pdb_storage::{ProbTable, Schema, StorageBacking, Value, Variable};
@@ -62,6 +80,19 @@ use crate::key::{JoinInterner, JoinKeys, UNJOINABLE};
 /// workers lets the pool's self-balancing cursor absorb skewed match counts.
 #[cfg(not(feature = "seed-baseline"))]
 const MORSELS_PER_WORKER: usize = 4;
+
+/// Row period of the governor checkpoints on sequential fallback paths: the
+/// parallel paths checkpoint once per morsel/segment, the sequential paths
+/// every this many rows, so cancellation latency stays bounded at
+/// `SPROUT_THREADS=1` too.
+pub const SEQ_CHECK_EVERY: usize = 1024;
+
+/// Bytes of a result's flat arenas: `rows` rows of `dw` data values and `lw`
+/// lineage pairs. Charged against the governor's memory budget before
+/// [`Annotated::with_placeholder_rows`] allocates them.
+fn arena_bytes(rows: usize, dw: usize, lw: usize) -> usize {
+    rows * (dw * std::mem::size_of::<Value>() + lw * std::mem::size_of::<(Variable, f64)>())
+}
 
 /// The default pool of the plain operator entry points: `SPROUT_THREADS`
 /// workers, degraded to sequential below the fan-out cutoff.
@@ -151,11 +182,31 @@ pub fn scan_with(
     attributes: &[String],
     pool: &Pool,
 ) -> ExecResult<Annotated> {
+    scan_ctx(table, relation, attributes, pool, &ExecContext::unbounded())
+}
+
+/// [`scan_with`] under a governor context: checkpoints at every write
+/// segment (`scan.write`, sequential fallback every [`SEQ_CHECK_EVERY`]
+/// rows at `scan.morsel`) and memory accounting for the output arenas.
+///
+/// # Errors
+/// Fails if an attribute is missing from the table's schema, or with
+/// [`ExecError::Governed`] when the governor interrupts the scan.
+pub fn scan_ctx(
+    table: &ProbTable,
+    relation: &str,
+    attributes: &[String],
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ExecResult<Annotated> {
     let layout = scan_layout(table, &[], attributes)?;
     let rows = table.len();
     if pool.threads() <= 1 || rows < 2 {
         let mut out = Annotated::with_row_capacity(layout.schema, vec![relation.to_string()], rows);
         for i in 0..rows {
+            if i % SEQ_CHECK_EVERY == 0 {
+                ctx.checkpoint(Stage::Scan, "scan.morsel", i / SEQ_CHECK_EVERY)?;
+            }
             let (row, var, prob) = table.triple(i);
             out.push_projected_row(
                 crate::annotated::RowRef {
@@ -168,22 +219,26 @@ pub fn scan_with(
         return Ok(out);
     }
     let ranges = even_ranges(rows, pool.threads());
+    ctx.account(Stage::Scan, arena_bytes(rows, layout.schema.len(), 1))?;
     let mut out = Annotated::with_placeholder_rows(layout.schema, vec![relation.to_string()], rows);
     let dw = out.data_width();
     let data_cuts: Vec<usize> = ranges.iter().map(|r| r.start * dw).collect();
     let lineage_cuts: Vec<usize> = ranges.iter().map(|r| r.start).collect();
     let (data, lineage) = out.arena_segments_mut();
-    pool.map_slices2_mut(
+    pool.try_map_slices2_mut(
         data,
         &data_cuts,
         lineage,
         &lineage_cuts,
         |ci, dseg, lseg| {
+            ctx.checkpoint(Stage::Scan, "scan.write", ci)?;
             for (k, r) in ranges[ci].clone().enumerate() {
                 write_table_row(table, r, &layout.keep_positions, k, dseg, lseg);
             }
+            Ok(())
         },
-    );
+    )
+    .map_err(|f| ExecError::from_task_failure(Stage::Scan, f))?;
     Ok(out)
 }
 
@@ -218,6 +273,32 @@ pub fn scan_filter_project_with(
     keep: &[String],
     pool: &Pool,
 ) -> ExecResult<Annotated> {
+    scan_filter_project_ctx(
+        table,
+        relation,
+        predicates,
+        keep,
+        pool,
+        &ExecContext::unbounded(),
+    )
+}
+
+/// [`scan_filter_project_with`] under a governor context: checkpoints at
+/// every phase-1 survivor chunk (`scan.morsel`) and phase-2 write segment
+/// (`scan.write`), sequential fallback every [`SEQ_CHECK_EVERY`] rows, and
+/// memory accounting for the survivor arenas.
+///
+/// # Errors
+/// Fails if a predicate or kept attribute is missing from the table schema,
+/// or with [`ExecError::Governed`] when the governor interrupts the scan.
+pub fn scan_filter_project_ctx(
+    table: &ProbTable,
+    relation: &str,
+    predicates: &[&Predicate],
+    keep: &[String],
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ExecResult<Annotated> {
     let layout = scan_layout(table, predicates, keep)?;
     let rows = table.len();
     let survives = |i: usize| {
@@ -230,6 +311,9 @@ pub fn scan_filter_project_with(
     if pool.threads() <= 1 || rows < 2 {
         let mut out = Annotated::with_row_capacity(layout.schema, vec![relation.to_string()], rows);
         for i in 0..rows {
+            if i % SEQ_CHECK_EVERY == 0 {
+                ctx.checkpoint(Stage::Scan, "scan.morsel", i / SEQ_CHECK_EVERY)?;
+            }
             if !survives(i) {
                 continue;
             }
@@ -246,28 +330,35 @@ pub fn scan_filter_project_with(
     }
     let ranges = even_ranges(rows, pool.threads());
     // Phase 1: per-chunk survivor lists (the only per-chunk scratch).
-    let survivors: Vec<Vec<u32>> = pool.map_ranges(&ranges, |range| {
-        range.filter(|&i| survives(i)).map(|i| i as u32).collect()
-    });
+    let survivors: Vec<Vec<u32>> = pool
+        .try_map_ranges(&ranges, |ci, range| {
+            ctx.checkpoint(Stage::Scan, "scan.morsel", ci)?;
+            Ok(range.filter(|&i| survives(i)).map(|i| i as u32).collect())
+        })
+        .map_err(|f| ExecError::from_task_failure(Stage::Scan, f))?;
     // Phase 2: exact-size output, disjoint in-place segment writes.
     let (offsets, total) = pdb_par::exclusive_prefix_sum(survivors.iter().map(|s| s.len()));
+    ctx.account(Stage::Scan, arena_bytes(total, layout.schema.len(), 1))?;
     let mut out =
         Annotated::with_placeholder_rows(layout.schema, vec![relation.to_string()], total);
     let dw = out.data_width();
     let data_cuts: Vec<usize> = offsets.iter().map(|o| o * dw).collect();
     let lineage_cuts: Vec<usize> = offsets.clone();
     let (data, lineage) = out.arena_segments_mut();
-    pool.map_slices2_mut(
+    pool.try_map_slices2_mut(
         data,
         &data_cuts,
         lineage,
         &lineage_cuts,
         |ci, dseg, lseg| {
+            ctx.checkpoint(Stage::Scan, "scan.write", ci)?;
             for (k, &r) in survivors[ci].iter().enumerate() {
                 write_table_row(table, r as usize, &layout.keep_positions, k, dseg, lseg);
             }
+            Ok(())
         },
-    );
+    )
+    .map_err(|f| ExecError::from_task_failure(Stage::Scan, f))?;
     Ok(out)
 }
 
@@ -284,10 +375,31 @@ pub fn scan_backing_with(
     attributes: &[String],
     pool: &Pool,
 ) -> ExecResult<Annotated> {
+    scan_backing_ctx(
+        backing,
+        relation,
+        attributes,
+        pool,
+        &ExecContext::unbounded(),
+    )
+}
+
+/// [`scan_backing_with`] under a governor context.
+///
+/// # Errors
+/// Fails if an attribute is missing from the table's schema, or with
+/// [`ExecError::Governed`] when the governor interrupts the scan.
+pub fn scan_backing_ctx(
+    backing: &StorageBacking,
+    relation: &str,
+    attributes: &[String],
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ExecResult<Annotated> {
     match backing {
-        StorageBacking::Row(t) => scan_with(t, relation, attributes, pool),
+        StorageBacking::Row(t) => scan_ctx(t, relation, attributes, pool, ctx),
         StorageBacking::Columnar(t) => {
-            crate::columnar::scan_columnar_with(t, relation, attributes, pool)
+            crate::columnar::scan_columnar_ctx(t, relation, attributes, pool, ctx)
         }
     }
 }
@@ -305,11 +417,37 @@ pub fn scan_filter_project_backing_with(
     keep: &[String],
     pool: &Pool,
 ) -> ExecResult<Annotated> {
+    scan_filter_project_backing_ctx(
+        backing,
+        relation,
+        predicates,
+        keep,
+        pool,
+        &ExecContext::unbounded(),
+    )
+}
+
+/// [`scan_filter_project_backing_with`] under a governor context: both
+/// backings run their checkpoints (`scan.morsel`/`scan.write` on row
+/// backings, `scan.chunk`/`scan.gather` on columnar backings) and produce
+/// the identical result when uninterrupted.
+///
+/// # Errors
+/// Fails if a predicate or kept attribute is missing from the table schema,
+/// or with [`ExecError::Governed`] when the governor interrupts the scan.
+pub fn scan_filter_project_backing_ctx(
+    backing: &StorageBacking,
+    relation: &str,
+    predicates: &[&Predicate],
+    keep: &[String],
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ExecResult<Annotated> {
     match backing {
-        StorageBacking::Row(t) => scan_filter_project_with(t, relation, predicates, keep, pool),
-        StorageBacking::Columnar(t) => {
-            crate::columnar::scan_filter_project_columnar_with(t, relation, predicates, keep, pool)
-        }
+        StorageBacking::Row(t) => scan_filter_project_ctx(t, relation, predicates, keep, pool, ctx),
+        StorageBacking::Columnar(t) => crate::columnar::scan_filter_project_columnar_ctx(
+            t, relation, predicates, keep, pool, ctx,
+        ),
     }
 }
 
@@ -411,6 +549,22 @@ pub fn project_with(
     attributes: &[String],
     pool: &Pool,
 ) -> ExecResult<Annotated> {
+    project_ctx(input, attributes, pool, &ExecContext::unbounded())
+}
+
+/// [`project_with`] under a governor context: checkpoints at every write
+/// segment (`project.write`, sequential fallback every [`SEQ_CHECK_EVERY`]
+/// rows) and memory accounting for the output arenas.
+///
+/// # Errors
+/// Fails on unknown columns, or with [`ExecError::Governed`] when the
+/// governor interrupts the projection.
+pub fn project_ctx(
+    input: &Annotated,
+    attributes: &[String],
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ExecResult<Annotated> {
     let positions: Vec<usize> = attributes
         .iter()
         .map(|a| input.column_index(a))
@@ -421,24 +575,32 @@ pub fn project_with(
     let rows = input.len();
     if pool.threads() <= 1 || rows < 2 {
         let mut out = Annotated::with_row_capacity(schema, input.relations().to_vec(), rows);
-        for row in input.iter() {
+        for (i, row) in input.iter().enumerate() {
+            if i % SEQ_CHECK_EVERY == 0 {
+                ctx.checkpoint(Stage::Project, "project.write", i / SEQ_CHECK_EVERY)?;
+            }
             out.push_projected_row(row, &positions);
         }
         return Ok(out);
     }
     let ranges = even_ranges(rows, pool.threads());
+    ctx.account(
+        Stage::Project,
+        arena_bytes(rows, schema.len(), input.lineage_width()),
+    )?;
     let mut out = Annotated::with_placeholder_rows(schema, input.relations().to_vec(), rows);
     let dw = out.data_width();
     let lw = out.lineage_width();
     let data_cuts: Vec<usize> = ranges.iter().map(|r| r.start * dw).collect();
     let lineage_cuts: Vec<usize> = ranges.iter().map(|r| r.start * lw).collect();
     let (data, lineage) = out.arena_segments_mut();
-    pool.map_slices2_mut(
+    pool.try_map_slices2_mut(
         data,
         &data_cuts,
         lineage,
         &lineage_cuts,
         |ci, dseg, lseg| {
+            ctx.checkpoint(Stage::Project, "project.write", ci)?;
             for (k, r) in ranges[ci].clone().enumerate() {
                 let row = input.row(r);
                 for (j, &p) in positions.iter().enumerate() {
@@ -446,8 +608,10 @@ pub fn project_with(
                 }
                 lseg[k * lw..(k + 1) * lw].copy_from_slice(row.lineage);
             }
+            Ok(())
         },
-    );
+    )
+    .map_err(|f| ExecError::from_task_failure(Stage::Project, f))?;
     Ok(out)
 }
 
@@ -545,9 +709,27 @@ pub fn natural_join_with(
     right: &Annotated,
     pool: &Pool,
 ) -> ExecResult<Annotated> {
+    natural_join_ctx(left, right, pool, &ExecContext::unbounded())
+}
+
+/// [`natural_join_with`] under a governor context: checkpoints at every
+/// probe morsel (`join.probe`) and stitch segment (`join.write`), sequential
+/// fallback every [`SEQ_CHECK_EVERY`] probe rows, and memory accounting for
+/// the radix scatter buffer and the output arenas.
+///
+/// # Errors
+/// Fails if the inputs share a lineage relation (self-join), or with
+/// [`ExecError::Governed`] when the governor interrupts the join.
+pub fn natural_join_ctx(
+    left: &Annotated,
+    right: &Annotated,
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ExecResult<Annotated> {
     #[cfg(feature = "seed-baseline")]
     {
         let _ = pool;
+        ctx.checkpoint(Stage::Join, "join.probe", 0)?;
         return crate::baseline::natural_join_rowwise(left, right);
     }
 
@@ -555,9 +737,9 @@ pub fn natural_join_with(
     {
         let layout = join_layout(left, right)?;
         if pool.threads() <= 1 || left.is_empty() || right.is_empty() {
-            return natural_join_sequential(left, right, layout);
+            return natural_join_sequential(left, right, layout, ctx);
         }
-        natural_join_partitioned(left, right, layout, pool)
+        natural_join_partitioned(left, right, layout, pool, ctx)
     }
 }
 
@@ -580,6 +762,7 @@ fn natural_join_sequential(
     left: &Annotated,
     right: &Annotated,
     layout: JoinLayout,
+    ctx: &ExecContext,
 ) -> ExecResult<Annotated> {
     let key_cols = layout.right_key_idx.len();
     let mut out =
@@ -608,6 +791,9 @@ fn natural_join_sequential(
     // Probe side: encode each left key into a reused scratch buffer.
     let mut scratch: Vec<u64> = Vec::with_capacity(key_cols * crate::key::CELL_WIDTH);
     for li in 0..left.len() {
+        if li % SEQ_CHECK_EVERY == 0 {
+            ctx.checkpoint(Stage::Join, "join.probe", li / SEQ_CHECK_EVERY)?;
+        }
         let lrow = left.row(li);
         let Some(h) = JoinKeys::probe_row(&interner, key_cols, &mut scratch, |c| {
             &lrow.data[layout.left_key_idx[c]]
@@ -658,6 +844,7 @@ fn natural_join_partitioned(
     right: &Annotated,
     layout: JoinLayout,
     pool: &Pool,
+    ctx: &ExecContext,
 ) -> ExecResult<Annotated> {
     let JoinLayout {
         left_key_idx,
@@ -703,6 +890,7 @@ fn natural_join_partitioned(
             .iter()
             .map(|h| h.iter().map(|&c| c as usize).sum()),
     );
+    ctx.account(Stage::Join, total_joinable * std::mem::size_of::<u32>())?;
     let mut scattered = vec![0u32; total_joinable];
     pool.map_slices_mut(&mut scattered, &chunk_offsets, |ci, seg| {
         // Exclusive prefix over this chunk's histogram = each partition's
@@ -751,33 +939,44 @@ fn natural_join_partitioned(
     // `(left row, right row)` matches — ascending within a morsel because
     // left rows are walked in order and chains replay ascending.
     let morsels = even_ranges(left.len(), pool.threads() * MORSELS_PER_WORKER);
-    let matches: Vec<Vec<(u32, u32)>> = pool.map_ranges(&morsels, |range| {
-        let mut scratch: Vec<u64> = Vec::with_capacity(key_cols * crate::key::CELL_WIDTH);
-        let mut out: Vec<(u32, u32)> = Vec::new();
-        for li in range {
-            let lrow = left.row(li);
-            let Some(h) = JoinKeys::probe_row(&interner, key_cols, &mut scratch, |c| {
-                &lrow.data[left_key_idx[c]]
-            }) else {
-                continue;
-            };
-            let index = &indexes[radix_of(h, bits)];
-            let mut local = index.heads.get(&h).copied().unwrap_or(JOIN_NIL);
-            while local != JOIN_NIL {
-                let l = local as usize;
-                let r = index.rows[l] as usize;
-                if keys.row(r) == scratch.as_slice() {
-                    out.push((li as u32, r as u32));
+    let matches: Vec<Vec<(u32, u32)>> = pool
+        .try_map_ranges(&morsels, |mi, range| {
+            ctx.checkpoint(Stage::Join, "join.probe", mi)?;
+            let mut scratch: Vec<u64> = Vec::with_capacity(key_cols * crate::key::CELL_WIDTH);
+            let mut out: Vec<(u32, u32)> = Vec::new();
+            for li in range {
+                let lrow = left.row(li);
+                let Some(h) = JoinKeys::probe_row(&interner, key_cols, &mut scratch, |c| {
+                    &lrow.data[left_key_idx[c]]
+                }) else {
+                    continue;
+                };
+                let index = &indexes[radix_of(h, bits)];
+                let mut local = index.heads.get(&h).copied().unwrap_or(JOIN_NIL);
+                while local != JOIN_NIL {
+                    let l = local as usize;
+                    let r = index.rows[l] as usize;
+                    if keys.row(r) == scratch.as_slice() {
+                        out.push((li as u32, r as u32));
+                    }
+                    local = index.next[l];
                 }
-                local = index.next[l];
             }
-        }
-        out
-    });
+            Ok(out)
+        })
+        .map_err(|f| ExecError::from_task_failure(Stage::Join, f))?;
 
     // Stitch: morsel match counts prefix-sum into exact write offsets; each
     // morsel materialises its matches into its disjoint arena segment.
     let (offsets, total) = pdb_par::exclusive_prefix_sum(matches.iter().map(|m| m.len()));
+    ctx.account(
+        Stage::Join,
+        arena_bytes(
+            total,
+            schema.len(),
+            left.lineage_width() + right.lineage_width(),
+        ),
+    )?;
     let mut out = Annotated::with_placeholder_rows(schema, relations, total);
     let dw = out.data_width();
     let lw = out.lineage_width();
@@ -786,12 +985,13 @@ fn natural_join_partitioned(
     let data_cuts: Vec<usize> = offsets.iter().map(|o| o * dw).collect();
     let lineage_cuts: Vec<usize> = offsets.iter().map(|o| o * lw).collect();
     let (data, lineage) = out.arena_segments_mut();
-    pool.map_slices2_mut(
+    pool.try_map_slices2_mut(
         data,
         &data_cuts,
         lineage,
         &lineage_cuts,
         |mi, dseg, lseg| {
+            ctx.checkpoint(Stage::Join, "join.write", mi)?;
             for (k, &(li, ri)) in matches[mi].iter().enumerate() {
                 let lrow = left.row(li as usize);
                 let rrow = right.row(ri as usize);
@@ -804,8 +1004,10 @@ fn natural_join_partitioned(
                 lseg[lbase..lbase + left_lw].copy_from_slice(lrow.lineage);
                 lseg[lbase + left_lw..lbase + lw].copy_from_slice(rrow.lineage);
             }
+            Ok(())
         },
-    );
+    )
+    .map_err(|f| ExecError::from_task_failure(Stage::Join, f))?;
     Ok(out)
 }
 

@@ -11,6 +11,7 @@
 
 use std::collections::BTreeSet;
 
+use pdb_govern::ExecContext;
 use pdb_query::ConjunctiveQuery;
 use pdb_storage::Catalog;
 
@@ -48,6 +49,27 @@ pub fn evaluate_join_order_with(
     order: &[String],
     pool: &pdb_par::Pool,
 ) -> ExecResult<Annotated> {
+    evaluate_join_order_ctx(query, catalog, order, pool, &ExecContext::unbounded())
+}
+
+/// [`evaluate_join_order_with`] under a governor [`ExecContext`]: every
+/// scan, join and projection of the pipeline runs its cancellation /
+/// deadline / budget checkpoints, and an interrupted step surfaces as
+/// [`ExecError::Governed`] naming the stage. A governed run that completes
+/// is bitwise-identical to an ungoverned one — checkpoints only stop work,
+/// they never reorder it.
+///
+/// # Errors
+/// Fails if `order` is not a permutation of the query's relations, if a
+/// referenced table/column is missing from the catalog, or with
+/// [`ExecError::Governed`] when the governor interrupts evaluation.
+pub fn evaluate_join_order_ctx(
+    query: &ConjunctiveQuery,
+    catalog: &Catalog,
+    order: &[String],
+    pool: &pdb_par::Pool,
+    ctx: &ExecContext,
+) -> ExecResult<Annotated> {
     let query_rels: BTreeSet<&str> = query.relation_names().into_iter().collect();
     let order_rels: BTreeSet<&str> = order.iter().map(|s| s.as_str()).collect();
     if query_rels != order_rels || order.len() != query.relations.len() {
@@ -79,19 +101,20 @@ pub fn evaluate_join_order_with(
             .filter(|a| head.contains(*a) || join_attrs.contains(*a))
             .cloned()
             .collect();
-        let scanned = ops::scan_filter_project_backing_with(
+        let scanned = ops::scan_filter_project_backing_ctx(
             &table,
             rel_name,
             &query.predicates_for(rel_name),
             &keep,
             &pool.for_items(table.len()),
+            ctx,
         )?;
 
         current = Some(match current {
             None => scanned,
             Some(acc) => {
                 let gated = pool.for_items(acc.len().max(scanned.len()));
-                ops::natural_join_with(&acc, &scanned, &gated)?
+                ops::natural_join_ctx(&acc, &scanned, &gated, ctx)?
             }
         });
 
@@ -114,17 +137,18 @@ pub fn evaluate_join_order_with(
                 })
                 .map(|s| s.to_string())
                 .collect();
-            current = Some(ops::project_with(
+            current = Some(ops::project_ctx(
                 &acc,
                 &needed,
                 &pool.for_items(acc.len()),
+                ctx,
             )?);
         }
     }
 
     let answer = current.expect("query has at least one relation");
     // Final projection onto the head attributes, in head order.
-    ops::project_with(&answer, &query.head, &pool.for_items(answer.len()))
+    ops::project_ctx(&answer, &query.head, &pool.for_items(answer.len()), ctx)
 }
 
 #[cfg(test)]

@@ -29,10 +29,58 @@
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Environment variable controlling the default worker count.
 pub const THREADS_ENV: &str = "SPROUT_THREADS";
+
+/// Why a `try_map*` fan-out failed.
+///
+/// Work-item closures run under [`std::panic::catch_unwind`], so a panicking
+/// item is reported here instead of tearing down the process — the pool (a
+/// per-call [`std::thread::scope`]) is always left reusable. When several
+/// items fail before the cooperative abort stops the remaining workers, the
+/// failure with the **lowest item index** among those observed is reported;
+/// with a single failing item (the fault-injection case) the report is
+/// therefore fully deterministic.
+#[derive(Debug)]
+pub enum TaskFailure<E> {
+    /// The closure returned `Err` for work item `item`.
+    Err {
+        /// Index of the failing work item.
+        item: usize,
+        /// The error the closure returned.
+        error: E,
+    },
+    /// The closure panicked on work item `item`.
+    Panic {
+        /// Index of the panicking work item.
+        item: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl<E> TaskFailure<E> {
+    /// Index of the work item the failure is attributed to.
+    pub fn item(&self) -> usize {
+        match self {
+            TaskFailure::Err { item, .. } | TaskFailure::Panic { item, .. } => *item,
+        }
+    }
+}
+
+/// Renders a caught panic payload for [`TaskFailure::Panic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Below this many items a fan-out is not worth a thread spawn:
 /// [`Pool::for_items`] degrades to the sequential pool. Callers holding an
@@ -158,6 +206,102 @@ impl Pool {
         self.map(ranges, |r| f(r.clone()))
     }
 
+    /// Fallible, panic-isolated [`Pool::map`]: applies `f(item_index, task)`
+    /// to every task and returns the results in task order, or the first
+    /// (lowest-indexed observed) [`TaskFailure`].
+    ///
+    /// Each work item runs under `catch_unwind`, so a panicking closure
+    /// yields [`TaskFailure::Panic`] instead of unwinding through the pool;
+    /// the remaining workers stop claiming items through a cooperative abort
+    /// flag. On `Err` the partial results are dropped — a failed fan-out
+    /// never exposes partially-computed output. The governed operators are
+    /// built on this: their checkpoint errors propagate out of the closure
+    /// as `Err`, and injected panics surface as `Panic`.
+    pub fn try_map<T, R, E, F>(&self, tasks: &[T], f: F) -> Result<Vec<R>, TaskFailure<E>>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let workers = self.threads().min(tasks.len());
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(tasks.len());
+            for (i, task) in tasks.iter().enumerate() {
+                out.push(run_item(&f, i, task)?);
+            }
+            return Ok(out);
+        }
+        let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let worker = |ok: &mut Vec<(usize, R)>| -> Option<TaskFailure<E>> {
+            loop {
+                if abort.load(Ordering::Relaxed) {
+                    return None;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let task = tasks.get(i)?;
+                match run_item(&f, i, task) {
+                    Ok(r) => ok.push((i, r)),
+                    Err(failure) => {
+                        abort.store(true, Ordering::Relaxed);
+                        return Some(failure);
+                    }
+                }
+            }
+        };
+        type TaskOutcome<R, E> = (Vec<(usize, R)>, Option<TaskFailure<E>>);
+        let collected: Vec<TaskOutcome<R, E>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        let failure = worker(&mut local);
+                        (local, failure)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pdb-par worker harness never panics"))
+                .collect()
+        });
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks.len());
+        slots.resize_with(tasks.len(), || None);
+        let mut first_failure: Option<TaskFailure<E>> = None;
+        for (oks, failure) in collected {
+            if let Some(f) = failure {
+                if first_failure.as_ref().is_none_or(|b| f.item() < b.item()) {
+                    first_failure = Some(f);
+                }
+            }
+            for (i, r) in oks {
+                slots[i] = Some(r);
+            }
+        }
+        if let Some(failure) = first_failure {
+            return Err(failure);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every task index was claimed exactly once"))
+            .collect())
+    }
+
+    /// [`Pool::try_map`] over index ranges (`f(range_index, range)`).
+    pub fn try_map_ranges<R, E, F>(
+        &self,
+        ranges: &[Range<usize>],
+        f: F,
+    ) -> Result<Vec<R>, TaskFailure<E>>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(usize, Range<usize>) -> Result<R, E> + Sync,
+    {
+        self.try_map(ranges, |i, r| f(i, r.clone()))
+    }
+
     /// Splits `data` at the ascending cut offsets `bounds`
     /// (`bounds[0] == 0`; slice `i` spans `bounds[i]..bounds[i + 1]`, the
     /// last slice runs to `data.len()`) and applies `f(slice_index, slice)`
@@ -168,6 +312,15 @@ impl Pool {
     /// disjoint `&mut` sub-slices of one pre-sized buffer, so chunked
     /// producers (e.g. parallel key encoding) write their output in place
     /// instead of returning per-chunk vectors that must be concatenated.
+    ///
+    /// # Panics on worker panic
+    /// If a slice closure panics, this call panics on the calling thread
+    /// (naming the slice) after all workers have stopped — it **never
+    /// returns normally** with some segments written and others not, so a
+    /// half-written buffer can only be observed by code that deliberately
+    /// catches the panic. Callers that catch must treat `data` as poisoned
+    /// and discard it; use [`Pool::try_map_slices_mut`] to get the same
+    /// guarantee as an `Err` return instead of a panic.
     pub fn map_slices_mut<T, R, F>(&self, data: &mut [T], bounds: &[usize], f: F) -> Vec<R>
     where
         T: Send,
@@ -182,6 +335,34 @@ impl Pool {
         })
     }
 
+    /// Fallible, panic-isolated [`Pool::map_slices_mut`]: the closure
+    /// returns `Result`, and a failing or panicking slice yields the
+    /// lowest-indexed observed [`TaskFailure`] after the cooperative abort
+    /// stops the remaining workers.
+    ///
+    /// On `Err`, segments that already ran **have been written**: the caller
+    /// owns `data` and must discard it (the governed operators drop the
+    /// placeholder arenas on error, so a partially-written relation is never
+    /// observable downstream).
+    pub fn try_map_slices_mut<T, R, E, F>(
+        &self,
+        data: &mut [T],
+        bounds: &[usize],
+        f: F,
+    ) -> Result<Vec<R>, TaskFailure<E>>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &mut [T]) -> Result<R, E> + Sync,
+    {
+        let aux_bounds = vec![0usize; bounds.len()];
+        let mut aux: [(); 0] = [];
+        self.try_map_slices2_mut(data, bounds, &mut aux, &aux_bounds, |i, slice, _aux| {
+            f(i, slice)
+        })
+    }
+
     /// [`Pool::map_slices_mut`] over **two** parallel buffers: splits `data`
     /// at `data_bounds` and `aux` at `aux_bounds` (same number of cuts, same
     /// conventions as [`Pool::map_slices_mut`]) and applies
@@ -192,6 +373,12 @@ impl Pool {
     /// relation: the data arena and the lineage arena have different strides,
     /// so one cut offset per arena is needed, but slice `i` of both arenas
     /// belongs to the same row range and must be handed to the same worker.
+    ///
+    /// # Panics on worker panic
+    /// Same poisoned-state contract as [`Pool::map_slices_mut`]: a panicking
+    /// slice closure makes this call panic on the calling thread (after the
+    /// cooperative abort stops the remaining workers) instead of returning
+    /// normally, so partially-written buffers are never silently observable.
     pub fn map_slices2_mut<T, U, R, F>(
         &self,
         data: &mut [T],
@@ -206,6 +393,35 @@ impl Pool {
         R: Send,
         F: Fn(usize, &mut [T], &mut [U]) -> R + Sync,
     {
+        match self.try_map_slices2_mut(data, data_bounds, aux, aux_bounds, |i, d, a| {
+            Ok::<R, std::convert::Infallible>(f(i, d, a))
+        }) {
+            Ok(results) => results,
+            Err(TaskFailure::Panic { item, message }) => {
+                panic!("pdb-par worker panicked on slice {item}: {message}")
+            }
+            Err(TaskFailure::Err { error, .. }) => match error {},
+        }
+    }
+
+    /// Fallible, panic-isolated [`Pool::map_slices2_mut`]; see
+    /// [`Pool::try_map_slices_mut`] for the failure contract (on `Err` both
+    /// buffers may be partially written and must be discarded).
+    pub fn try_map_slices2_mut<T, U, R, E, F>(
+        &self,
+        data: &mut [T],
+        data_bounds: &[usize],
+        aux: &mut [U],
+        aux_bounds: &[usize],
+        f: F,
+    ) -> Result<Vec<R>, TaskFailure<E>>
+    where
+        T: Send,
+        U: Send,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &mut [T], &mut [U]) -> Result<R, E> + Sync,
+    {
         let n = data_bounds.len();
         assert_eq!(
             n,
@@ -213,7 +429,7 @@ impl Pool {
             "both bounds lists must cut the same number of slices"
         );
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let data_slices = split_at_bounds(data, data_bounds);
         let aux_slices = split_at_bounds(aux, aux_bounds);
@@ -225,41 +441,108 @@ impl Pool {
             .collect();
         let workers = self.threads().min(n);
         if workers <= 1 {
-            return pairs.into_iter().map(|(i, d, a)| f(i, d, a)).collect();
+            let mut out = Vec::with_capacity(n);
+            for (i, d, a) in pairs {
+                out.push(run_slice_pair(&f, i, d, a)?);
+            }
+            return Ok(out);
         }
         // Hand each worker a contiguous group of slice pairs; collect
-        // `(index, result)` pairs and place them back in slice order.
+        // `(index, result)` pairs and place them back in slice order. A
+        // failure flips the abort flag so other workers stop before their
+        // next pair.
         let mut groups: Vec<Vec<SlicePair<'_, T, U>>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, d, a) in pairs {
             groups[i * workers / n].push((i, d, a));
         }
         let f = &f;
-        let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let abort = AtomicBool::new(false);
+        let abort_ref = &abort;
+        type SliceOutcome<R, E> = (Vec<(usize, R)>, Option<TaskFailure<E>>);
+        let collected: Vec<SliceOutcome<R, E>> = std::thread::scope(|scope| {
             let handles: Vec<_> = groups
                 .into_iter()
                 .map(|group| {
                     scope.spawn(move || {
-                        group
-                            .into_iter()
-                            .map(|(i, d, a)| (i, f(i, d, a)))
-                            .collect::<Vec<_>>()
+                        let mut oks = Vec::with_capacity(group.len());
+                        let mut failure = None;
+                        for (i, d, a) in group {
+                            if abort_ref.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            match run_slice_pair(f, i, d, a) {
+                                Ok(r) => oks.push((i, r)),
+                                Err(e) => {
+                                    abort_ref.store(true, Ordering::Relaxed);
+                                    failure = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        (oks, failure)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("pdb-par worker panicked"))
+                .map(|h| h.join().expect("pdb-par worker harness never panics"))
                 .collect()
         });
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
-        for (i, r) in collected.into_iter().flatten() {
-            slots[i] = Some(r);
+        let mut first_failure: Option<TaskFailure<E>> = None;
+        for (oks, failure) in collected {
+            if let Some(f) = failure {
+                if first_failure.as_ref().is_none_or(|b| f.item() < b.item()) {
+                    first_failure = Some(f);
+                }
+            }
+            for (i, r) in oks {
+                slots[i] = Some(r);
+            }
         }
-        slots
+        if let Some(failure) = first_failure {
+            return Err(failure);
+        }
+        Ok(slots
             .into_iter()
             .map(|s| s.expect("every slice index was visited exactly once"))
-            .collect()
+            .collect())
+    }
+}
+
+/// Runs one `try_map` work item under `catch_unwind`.
+fn run_item<T, R, E, F>(f: &F, i: usize, task: &T) -> Result<R, TaskFailure<E>>
+where
+    F: Fn(usize, &T) -> Result<R, E>,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(i, task))) {
+        Ok(Ok(r)) => Ok(r),
+        Ok(Err(error)) => Err(TaskFailure::Err { item: i, error }),
+        Err(payload) => Err(TaskFailure::Panic {
+            item: i,
+            message: panic_message(payload),
+        }),
+    }
+}
+
+/// Runs one `try_map_slices2_mut` slice pair under `catch_unwind`.
+fn run_slice_pair<T, U, R, E, F>(
+    f: &F,
+    i: usize,
+    d: &mut [T],
+    a: &mut [U],
+) -> Result<R, TaskFailure<E>>
+where
+    F: Fn(usize, &mut [T], &mut [U]) -> Result<R, E>,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(i, d, a))) {
+        Ok(Ok(r)) => Ok(r),
+        Ok(Err(error)) => Err(TaskFailure::Err { item: i, error }),
+        Err(payload) => Err(TaskFailure::Panic {
+            item: i,
+            message: panic_message(payload),
+        }),
     }
 }
 
@@ -722,6 +1005,222 @@ mod tests {
             let pool = Pool::new(threads);
             let got = sorted_permutation_by(keys.len(), &pool, compare);
             assert_eq!(got, expected, "{threads} threads");
+        }
+    }
+
+    /// Runs `f` with the default panic hook silenced, so expected injected
+    /// panics don't spam test output.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(hook);
+        r
+    }
+
+    #[test]
+    fn try_map_matches_map_on_the_happy_path() {
+        let tasks: Vec<usize> = (0..600).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let want = pool.map(&tasks, |t| t * 3);
+            let got = pool
+                .try_map(&tasks, |i, t| {
+                    assert_eq!(i, *t);
+                    Ok::<usize, ()>(t * 3)
+                })
+                .unwrap();
+            assert_eq!(got, want, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn try_map_reports_closure_errors_with_their_item() {
+        let tasks: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let err = pool
+                .try_map(&tasks, |i, t| {
+                    if *t == 42 {
+                        Err(format!("bad item {i}"))
+                    } else {
+                        Ok(*t)
+                    }
+                })
+                .unwrap_err();
+            match err {
+                TaskFailure::Err { item, error } => {
+                    assert_eq!(item, 42, "{threads} threads");
+                    assert_eq!(error, "bad item 42");
+                }
+                other => panic!("expected Err failure, got {other:?}"),
+            }
+            // The pool stays reusable after a failed fan-out.
+            assert_eq!(pool.try_map(&tasks, |_, t| Ok::<_, ()>(*t)).unwrap(), tasks);
+        }
+    }
+
+    #[test]
+    fn try_map_isolates_worker_panics_and_leaves_the_pool_reusable() {
+        let tasks: Vec<usize> = (0..200).collect();
+        quiet_panics(|| {
+            for threads in [1, 2, 4, 8] {
+                let pool = Pool::new(threads);
+                let err = pool
+                    .try_map(&tasks, |_, t| {
+                        if *t == 7 {
+                            panic!("injected panic on {t}");
+                        }
+                        Ok::<usize, ()>(*t)
+                    })
+                    .unwrap_err();
+                match err {
+                    TaskFailure::Panic { item, message } => {
+                        assert_eq!(item, 7, "{threads} threads");
+                        assert!(message.contains("injected panic on 7"), "{message}");
+                    }
+                    other => panic!("expected Panic failure, got {other:?}"),
+                }
+                // Pool is reusable: the scope joined every worker cleanly.
+                let doubled = pool.try_map(&tasks, |_, t| Ok::<_, ()>(t * 2)).unwrap();
+                assert_eq!(doubled[7], 14, "{threads} threads");
+            }
+        });
+    }
+
+    #[test]
+    fn try_map_reports_the_lowest_indexed_failure_when_single() {
+        // With exactly one failing item the reported failure is fully
+        // deterministic at every thread count (the fault-injection case).
+        let tasks: Vec<usize> = (0..500).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let err = pool
+                .try_map(&tasks, |i, _| if i == 123 { Err(i) } else { Ok(()) })
+                .unwrap_err();
+            assert_eq!(err.item(), 123, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn try_map_ranges_passes_range_indices() {
+        let pool = Pool::new(4);
+        let ranges = even_ranges(100, 7);
+        let got = pool
+            .try_map_ranges(&ranges, |i, r| Ok::<_, ()>((i, r.len())))
+            .unwrap();
+        for (i, (ri, len)) in got.iter().enumerate() {
+            assert_eq!(i, *ri);
+            assert_eq!(*len, ranges[i].len());
+        }
+    }
+
+    #[test]
+    fn try_map_slices_mut_err_means_discard_the_buffer() {
+        // The poisoned-state contract: on Err, segments that ran were
+        // written; the caller must discard the buffer. The combinator must
+        // report the failure (never return Ok) and stay reusable.
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let mut data = vec![0usize; 100];
+            let bounds = vec![0, 25, 50, 75];
+            let err = pool
+                .try_map_slices_mut(&mut data, &bounds, |i, slice| {
+                    if i == 2 {
+                        return Err("slice 2 refused");
+                    }
+                    for v in slice.iter_mut() {
+                        *v = i + 1;
+                    }
+                    Ok(())
+                })
+                .unwrap_err();
+            match err {
+                TaskFailure::Err { item, error } => {
+                    assert_eq!(item, 2, "{threads} threads");
+                    assert_eq!(error, "slice 2 refused");
+                }
+                other => panic!("expected Err failure, got {other:?}"),
+            }
+            // Reusable afterwards; a clean run writes every segment.
+            let mut fresh = vec![0usize; 100];
+            pool.try_map_slices_mut(&mut fresh, &bounds, |i, slice| {
+                for v in slice.iter_mut() {
+                    *v = i + 1;
+                }
+                Ok::<_, ()>(())
+            })
+            .unwrap();
+            assert!(fresh.iter().all(|&v| v >= 1));
+        }
+    }
+
+    #[test]
+    fn map_slices_mut_panics_rather_than_returning_a_poisoned_buffer() {
+        // Satellite regression: a worker panic must never let
+        // `map_slices_mut` return *normally* with some segments written and
+        // others not. The call panics on the calling thread (naming the
+        // slice), and the buffer is only observable to code that
+        // deliberately catches — which must then discard it.
+        quiet_panics(|| {
+            for threads in [1, 2, 4, 8] {
+                let pool = Pool::new(threads);
+                let mut data = vec![0usize; 80];
+                let bounds = vec![0, 20, 40, 60];
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    pool.map_slices_mut(&mut data, &bounds, |i, slice| {
+                        if i == 1 {
+                            panic!("injected slice panic");
+                        }
+                        for v in slice.iter_mut() {
+                            *v = 1;
+                        }
+                    });
+                }));
+                let payload = result.expect_err("worker panic must propagate, not be swallowed");
+                let message = panic_message(payload);
+                assert!(
+                    message.contains("slice 1") && message.contains("injected slice panic"),
+                    "{threads} threads: {message}"
+                );
+                // The pool (scoped threads) survived and is reusable.
+                let mut fresh = vec![0usize; 80];
+                pool.map_slices_mut(&mut fresh, &bounds, |_, slice| {
+                    for v in slice.iter_mut() {
+                        *v = 7;
+                    }
+                });
+                assert!(fresh.iter().all(|&v| v == 7), "{threads} threads");
+            }
+        });
+    }
+
+    #[test]
+    fn try_map_slices2_mut_happy_path_matches_infallible() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let rows = 50usize;
+            let mut data = vec![0usize; rows * 3];
+            let mut aux = vec![0usize; rows * 2];
+            let row_cuts = [0usize, 7, 7, 30, 49];
+            let data_bounds: Vec<usize> = row_cuts.iter().map(|r| r * 3).collect();
+            let aux_bounds: Vec<usize> = row_cuts.iter().map(|r| r * 2).collect();
+            let lens = pool
+                .try_map_slices2_mut(&mut data, &data_bounds, &mut aux, &aux_bounds, |i, d, a| {
+                    for v in d.iter_mut() {
+                        *v = i + 1;
+                    }
+                    for v in a.iter_mut() {
+                        *v = 10 * (i + 1);
+                    }
+                    Ok::<_, ()>((d.len(), a.len()))
+                })
+                .unwrap();
+            assert_eq!(
+                lens,
+                vec![(21, 14), (0, 0), (69, 46), (57, 38), (3, 2)],
+                "{threads} threads"
+            );
         }
     }
 

@@ -13,6 +13,7 @@ use std::collections::BTreeSet;
 
 use pdb_conf::ConfidenceResult;
 use pdb_exec::{ops, Annotated, AnnotatedRow};
+use pdb_govern::{ExecContext, QueryGovernor};
 use pdb_lineage::independent_or;
 use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
@@ -27,6 +28,7 @@ pub struct EagerPlan {
     query: ConjunctiveQuery,
     tree: QueryTree,
     pool: Pool,
+    governor: Option<QueryGovernor>,
 }
 
 impl EagerPlan {
@@ -44,7 +46,18 @@ impl EagerPlan {
             query: query.clone(),
             tree: reduct.tree()?,
             pool: Pool::from_env(),
+            governor: None,
         })
+    }
+
+    /// Attaches a [`QueryGovernor`]: the plan's scans, projections and joins
+    /// observe its cancellation token, deadline, and memory budget at every
+    /// morsel/chunk checkpoint, returning [`PlanError::Governed`] when
+    /// interrupted. The happy path is bitwise-identical to the ungoverned
+    /// one.
+    pub fn with_governor(mut self, governor: QueryGovernor) -> Self {
+        self.governor = Some(governor);
+        self
     }
 
     /// Sets the worker pool the plan's scans, filters, projections and joins
@@ -67,8 +80,9 @@ impl EagerPlan {
     /// # Errors
     /// Fails on execution errors.
     pub fn execute(&self, catalog: &Catalog) -> PlanResult<ConfidenceResult> {
+        let ctx = ExecContext::from_governor(self.governor.as_ref());
         let head: BTreeSet<String> = self.query.head_set();
-        let (result, _) = self.eval_node(&self.tree, &BTreeSet::new(), &head, catalog)?;
+        let (result, _) = self.eval_node(&self.tree, &BTreeSet::new(), &head, catalog, &ctx)?;
         // The root aggregation groups by the head attributes; its single
         // lineage column holds the confidence of each distinct tuple. The
         // projection restores the head's column order.
@@ -89,6 +103,7 @@ impl EagerPlan {
         needed_above: &BTreeSet<String>,
         head: &BTreeSet<String>,
         catalog: &Catalog,
+        ctx: &ExecContext,
     ) -> PlanResult<(Annotated, String)> {
         match node {
             QueryTree::Leaf { relation, .. } => {
@@ -117,12 +132,13 @@ impl EagerPlan {
                 // base table's size; a columnar backing's zone maps prune
                 // before any row is decoded. The result is identical across
                 // backings.
-                let scanned = ops::scan_filter_project_backing_with(
+                let scanned = ops::scan_filter_project_backing_ctx(
                     &table,
                     relation,
                     &self.query.predicates_for(relation),
                     &scan_attrs,
                     &self.pool.for_items(table.len()),
+                    ctx,
                 )?;
                 let keep: Vec<String> = scanned
                     .schema()
@@ -132,7 +148,7 @@ impl EagerPlan {
                     .map(|s| s.to_string())
                     .collect();
                 let projected =
-                    ops::project_with(&scanned, &keep, &self.pool.for_items(scanned.len()))?;
+                    ops::project_ctx(&scanned, &keep, &self.pool.for_items(scanned.len()), ctx)?;
                 Ok((aggregate_single_column(&projected), relation.clone()))
             }
             QueryTree::Inner { children, .. } => {
@@ -146,13 +162,13 @@ impl EagerPlan {
                 for child in children {
                     let child_rels: BTreeSet<String> = child.relations().into_iter().collect();
                     let child_needed = interface_attributes(&self.query, &child_rels);
-                    evaluated.push(self.eval_node(child, &child_needed, head, catalog)?);
+                    evaluated.push(self.eval_node(child, &child_needed, head, catalog, ctx)?);
                 }
                 let representative = evaluated[0].1.clone();
                 let mut joined = evaluated[0].0.clone();
                 for (child, _) in &evaluated[1..] {
                     let join_pool = self.pool.for_items(joined.len().max(child.len()));
-                    joined = ops::natural_join_with(&joined, child, &join_pool)?;
+                    joined = ops::natural_join_ctx(&joined, child, &join_pool, ctx)?;
                 }
                 let keep: Vec<String> = joined
                     .schema()
@@ -162,7 +178,7 @@ impl EagerPlan {
                     .map(|s| s.to_string())
                     .collect();
                 let projected =
-                    ops::project_with(&joined, &keep, &self.pool.for_items(joined.len()))?;
+                    ops::project_ctx(&joined, &keep, &self.pool.for_items(joined.len()), ctx)?;
                 Ok((
                     aggregate_joined(&projected, &representative),
                     representative,

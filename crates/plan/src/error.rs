@@ -4,6 +4,7 @@ use std::fmt;
 
 use pdb_conf::ConfError;
 use pdb_exec::ExecError;
+use pdb_govern::SproutError;
 use pdb_query::QueryError;
 use pdb_storage::StorageError;
 
@@ -24,6 +25,9 @@ pub enum PlanError {
     Conf(ConfError),
     /// Storage error.
     Storage(StorageError),
+    /// The query governor interrupted plan execution (cancellation, deadline,
+    /// memory budget) or a worker panicked and was isolated.
+    Governed(SproutError),
 }
 
 impl fmt::Display for PlanError {
@@ -39,6 +43,7 @@ impl fmt::Display for PlanError {
             PlanError::Exec(e) => write!(f, "{e}"),
             PlanError::Conf(e) => write!(f, "{e}"),
             PlanError::Storage(e) => write!(f, "{e}"),
+            PlanError::Governed(e) => write!(f, "{e}"),
         }
     }
 }
@@ -53,13 +58,27 @@ impl From<QueryError> for PlanError {
 
 impl From<ExecError> for PlanError {
     fn from(e: ExecError) -> Self {
-        PlanError::Exec(e)
+        // A governed interruption keeps its identity across layers instead
+        // of burying itself inside an Exec wrapper.
+        match e {
+            ExecError::Governed(g) => PlanError::Governed(g),
+            other => PlanError::Exec(other),
+        }
     }
 }
 
 impl From<ConfError> for PlanError {
     fn from(e: ConfError) -> Self {
-        PlanError::Conf(e)
+        match e {
+            ConfError::Governed(g) => PlanError::Governed(g),
+            other => PlanError::Conf(other),
+        }
+    }
+}
+
+impl From<SproutError> for PlanError {
+    fn from(e: SproutError) -> Self {
+        PlanError::Governed(e)
     }
 }
 

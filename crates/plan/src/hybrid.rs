@@ -11,9 +11,10 @@
 
 use std::collections::BTreeSet;
 
-use pdb_conf::multi_scan::apply_pre_aggregation_tuned;
+use pdb_conf::multi_scan::apply_pre_aggregation_ctx;
 use pdb_conf::{ConfidenceOperator, ConfidenceResult, SplitPolicy, Strategy};
 use pdb_exec::{ops, Annotated};
+use pdb_govern::{ExecContext, QueryGovernor};
 use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, Signature};
@@ -31,6 +32,7 @@ pub struct HybridPlan {
     top_signature: Signature,
     pool: Pool,
     split_policy: SplitPolicy,
+    governor: Option<QueryGovernor>,
 }
 
 impl HybridPlan {
@@ -68,7 +70,19 @@ impl HybridPlan {
             top_signature,
             pool: Pool::from_env(),
             split_policy: SplitPolicy::default(),
+            governor: None,
         })
+    }
+
+    /// Attaches a [`QueryGovernor`]: the relational pipeline, the pushed-down
+    /// aggregations, and the top-level confidence operator observe its
+    /// cancellation token, deadline, and memory budget at every
+    /// morsel/chunk/bag checkpoint, returning [`PlanError::Governed`] when
+    /// interrupted. The happy path is bitwise-identical to the ungoverned
+    /// one.
+    pub fn with_governor(mut self, governor: QueryGovernor) -> Self {
+        self.governor = Some(governor);
+        self
     }
 
     /// Sets the worker pool the whole plan fans out on — the relational
@@ -105,8 +119,11 @@ impl HybridPlan {
     /// Fails on execution or confidence-computation errors.
     pub fn execute(&self, catalog: &Catalog) -> PlanResult<ConfidenceResult> {
         let answer = self.answer_tuples(catalog)?;
-        let operator = ConfidenceOperator::with_pool(self.top_signature.clone(), self.pool)
+        let mut operator = ConfidenceOperator::with_pool(self.top_signature.clone(), self.pool)
             .with_split_policy(self.split_policy);
+        if let Some(gov) = &self.governor {
+            operator = operator.with_governor(gov.clone());
+        }
         operator
             .compute(&answer, Strategy::Auto)
             .map_err(PlanError::from)
@@ -118,6 +135,7 @@ impl HybridPlan {
     /// # Errors
     /// Fails on execution errors.
     pub fn answer_tuples(&self, catalog: &Catalog) -> PlanResult<Annotated> {
+        let ctx = ExecContext::from_governor(self.governor.as_ref());
         let head: BTreeSet<String> = self.query.head_set();
         let join_attrs = self.query.join_attributes();
         let mut current: Option<Annotated> = None;
@@ -146,12 +164,13 @@ impl HybridPlan {
             // One fused scan-filter-project per leaf, gated on the base
             // table's size; columnar backings take their zone-map fast
             // path. Results are identical either way.
-            let mut scanned = ops::scan_filter_project_backing_with(
+            let mut scanned = ops::scan_filter_project_backing_ctx(
                 &table,
                 rel_name,
                 &self.query.predicates_for(rel_name),
                 &keep,
                 &self.pool.for_items(table.len()),
+                &ctx,
             )?;
             let post_scan: Vec<String> = scanned
                 .schema()
@@ -160,17 +179,23 @@ impl HybridPlan {
                 .filter(|a| head.contains(*a) || join_attrs.contains(*a))
                 .map(|s| s.to_string())
                 .collect();
-            scanned = ops::project_with(&scanned, &post_scan, &self.pool.for_items(scanned.len()))?;
+            scanned = ops::project_ctx(
+                &scanned,
+                &post_scan,
+                &self.pool.for_items(scanned.len()),
+                &ctx,
+            )?;
             if self.pushed.contains(rel_name) {
                 // The pushed-down `[R*]` operator: one row per distinct
                 // projected tuple, carrying a representative variable and the
                 // group's probability.
                 let step_sig = Signature::star(Signature::table(rel_name.clone()));
-                scanned = apply_pre_aggregation_tuned(
+                scanned = apply_pre_aggregation_ctx(
                     &scanned,
                     &step_sig,
                     &self.pool,
                     self.split_policy,
+                    &ctx,
                 )?;
             }
 
@@ -178,7 +203,7 @@ impl HybridPlan {
                 None => scanned,
                 Some(acc) => {
                     let join_pool = self.pool.for_items(acc.len().max(scanned.len()));
-                    ops::natural_join_with(&acc, &scanned, &join_pool)?
+                    ops::natural_join_ctx(&acc, &scanned, &join_pool, &ctx)?
                 }
             });
             if let Some(acc) = current.take() {
@@ -198,18 +223,20 @@ impl HybridPlan {
                     })
                     .map(|s| s.to_string())
                     .collect();
-                current = Some(ops::project_with(
+                current = Some(ops::project_ctx(
                     &acc,
                     &needed,
                     &self.pool.for_items(acc.len()),
+                    &ctx,
                 )?);
             }
         }
         let answer = current.expect("query has at least one relation");
-        Ok(ops::project_with(
+        Ok(ops::project_ctx(
             &answer,
             &self.query.head,
             &self.pool.for_items(answer.len()),
+            &ctx,
         )?)
     }
 }

@@ -3,7 +3,8 @@
 //! the plan (Fig. 7 (c)).
 
 use pdb_conf::{ConfidenceOperator, ConfidenceResult, SplitPolicy, Strategy};
-use pdb_exec::{evaluate_join_order_with, Annotated};
+use pdb_exec::{evaluate_join_order_ctx, Annotated};
+use pdb_govern::{ExecContext, QueryGovernor};
 use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, Signature};
@@ -20,6 +21,7 @@ pub struct LazyPlan {
     signature: Signature,
     pool: Pool,
     split_policy: SplitPolicy,
+    governor: Option<QueryGovernor>,
 }
 
 impl LazyPlan {
@@ -42,7 +44,18 @@ impl LazyPlan {
             signature,
             pool: Pool::from_env(),
             split_policy: SplitPolicy::default(),
+            governor: None,
         })
+    }
+
+    /// Attaches a [`QueryGovernor`]: the relational pipeline and the
+    /// confidence operator observe its cancellation token, deadline, and
+    /// memory budget at every morsel/chunk/bag checkpoint, returning
+    /// [`PlanError::Governed`] when interrupted. The happy path is
+    /// bitwise-identical to the ungoverned one.
+    pub fn with_governor(mut self, governor: QueryGovernor) -> Self {
+        self.governor = Some(governor);
+        self
     }
 
     /// Sets the worker pool the plan fans out on — the whole relational
@@ -86,11 +99,13 @@ impl LazyPlan {
     /// # Errors
     /// Fails on execution errors (missing tables/columns).
     pub fn answer_tuples(&self, catalog: &Catalog) -> PlanResult<Annotated> {
-        Ok(evaluate_join_order_with(
+        let ctx = ExecContext::from_governor(self.governor.as_ref());
+        Ok(evaluate_join_order_ctx(
             &self.query,
             catalog,
             &self.join_order,
             &self.pool,
+            &ctx,
         )?)
     }
 
@@ -109,8 +124,11 @@ impl LazyPlan {
     /// # Errors
     /// Fails on confidence-computation errors.
     pub fn confidences(&self, answer: &Annotated) -> PlanResult<ConfidenceResult> {
-        let operator = ConfidenceOperator::with_pool(self.signature.clone(), self.pool)
+        let mut operator = ConfidenceOperator::with_pool(self.signature.clone(), self.pool)
             .with_split_policy(self.split_policy);
+        if let Some(gov) = &self.governor {
+            operator = operator.with_governor(gov.clone());
+        }
         operator
             .compute(answer, Strategy::Auto)
             .map_err(PlanError::from)

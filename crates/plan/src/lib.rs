@@ -34,4 +34,5 @@ pub mod safe;
 pub mod stats;
 
 pub use error::{PlanError, PlanResult};
+pub use pdb_govern::{ExecContext, GovernorBuilder, QueryGovernor, SproutError, Stage};
 pub use planner::{PlanKind, PlanReport, Planner};

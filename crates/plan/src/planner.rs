@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use pdb_conf::ConfidenceResult;
 use pdb_exec::extensional::ProbAggregation;
+use pdb_govern::{ExecContext, QueryGovernor, Stage};
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, Signature};
 use pdb_storage::Catalog;
@@ -85,6 +86,7 @@ impl PlanReport {
 pub struct Planner<'a> {
     catalog: &'a Catalog,
     use_fds: bool,
+    governor: Option<QueryGovernor>,
 }
 
 impl<'a> Planner<'a> {
@@ -93,6 +95,7 @@ impl<'a> Planner<'a> {
         Planner {
             catalog,
             use_fds: true,
+            governor: None,
         }
     }
 
@@ -102,7 +105,19 @@ impl<'a> Planner<'a> {
         Planner {
             catalog,
             use_fds: false,
+            governor: None,
         }
+    }
+
+    /// Attaches a [`QueryGovernor`] to every plan the planner executes:
+    /// lazy, eager, and hybrid plans observe its cancellation token,
+    /// deadline, and memory budget at every morsel/chunk/bag checkpoint and
+    /// return [`PlanError::Governed`] when interrupted. The extensional
+    /// MystiQ comparators check the governor once on entry only — they are
+    /// the baseline the paper compares against, not a governed engine path.
+    pub fn with_governor(mut self, governor: QueryGovernor) -> Self {
+        self.governor = Some(governor);
+        self
     }
 
     /// The dependency set the planner uses.
@@ -139,7 +154,10 @@ impl<'a> Planner<'a> {
         let fds = self.fds();
         match &kind {
             PlanKind::Lazy => {
-                let plan = LazyPlan::build(query, &fds, self.catalog)?;
+                let mut plan = LazyPlan::build(query, &fds, self.catalog)?;
+                if let Some(gov) = &self.governor {
+                    plan = plan.with_governor(gov.clone());
+                }
                 let start = Instant::now();
                 let answer = plan.answer_tuples(self.catalog)?;
                 let tuple_time = start.elapsed();
@@ -158,7 +176,10 @@ impl<'a> Planner<'a> {
                 })
             }
             PlanKind::Eager => {
-                let plan = EagerPlan::build(query, &fds)?;
+                let mut plan = EagerPlan::build(query, &fds)?;
+                if let Some(gov) = &self.governor {
+                    plan = plan.with_governor(gov.clone());
+                }
                 let start = Instant::now();
                 let confidences = plan.execute(self.catalog)?;
                 let total = start.elapsed();
@@ -175,12 +196,18 @@ impl<'a> Planner<'a> {
             }
             PlanKind::Hybrid(pushed) => {
                 let pushed_refs: Vec<&str> = pushed.iter().map(|s| s.as_str()).collect();
-                let plan = HybridPlan::build(query, &fds, self.catalog, &pushed_refs)?;
+                let mut plan = HybridPlan::build(query, &fds, self.catalog, &pushed_refs)?;
+                if let Some(gov) = &self.governor {
+                    plan = plan.with_governor(gov.clone());
+                }
                 let start = Instant::now();
                 let answer = plan.answer_tuples(self.catalog)?;
                 let tuple_time = start.elapsed();
                 let start = Instant::now();
-                let operator = pdb_conf::ConfidenceOperator::new(plan.top_signature().clone());
+                let mut operator = pdb_conf::ConfidenceOperator::new(plan.top_signature().clone());
+                if let Some(gov) = &self.governor {
+                    operator = operator.with_governor(gov.clone());
+                }
                 let confidences = operator
                     .compute(&answer, pdb_conf::Strategy::Auto)
                     .map_err(PlanError::from)?;
@@ -197,6 +224,13 @@ impl<'a> Planner<'a> {
                 })
             }
             PlanKind::Mystiq | PlanKind::MystiqLogSpace => {
+                // The extensional comparators stay ungoverned internally;
+                // the governor is still observed once on entry.
+                ExecContext::from_governor(self.governor.as_ref()).checkpoint(
+                    Stage::Plan,
+                    "plan.enter",
+                    0,
+                )?;
                 let aggregation = if kind == PlanKind::MystiqLogSpace {
                     ProbAggregation::MystiqLog
                 } else {

@@ -1,0 +1,234 @@
+//! PR 6 governor integration tests.
+//!
+//! The load-bearing property: governance checkpoints only ever STOP work,
+//! they never reorder it. A governed run that is not interrupted is
+//! bitwise-identical to the ungoverned run at every thread count and both
+//! storage backings; an interrupted run returns a structured error naming
+//! its stage, leaves the pool reusable, and an immediate re-run reproduces
+//! the baseline bit for bit.
+
+use std::time::Duration;
+
+use pdb_exec::{fixtures, ops, ExecContext, ExecError};
+use pdb_par::Pool;
+use pdb_query::{ConjunctiveQuery, FdSet};
+use pdb_storage::Catalog;
+use pdb_tpch::{
+    probabilistic_catalog, probabilistic_catalog_columnar, tpch_query, TpchData, TpchScale,
+};
+use sprout_plan::lazy::LazyPlan;
+use sprout_plan::{GovernorBuilder, PlanError, PlanKind, Planner, SproutError};
+
+const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+fn q1() -> ConjunctiveQuery {
+    tpch_query("1")
+        .expect("catalogue has Q1")
+        .query
+        .expect("Q1 is conjunctive")
+}
+
+fn tiny_catalogs() -> (Catalog, Catalog) {
+    let data = TpchData::generate(TpchScale::tiny());
+    let row = probabilistic_catalog(&data, 1).expect("row catalog");
+    let col = probabilistic_catalog_columnar(&data, 1).expect("columnar catalog");
+    (row, col)
+}
+
+fn assert_bitwise_eq(
+    baseline: &[(pdb_storage::Tuple, f64)],
+    got: &[(pdb_storage::Tuple, f64)],
+    context: &str,
+) {
+    assert_eq!(baseline.len(), got.len(), "{context}: row counts differ");
+    for ((t1, p1), (t2, p2)) in baseline.iter().zip(got.iter()) {
+        assert_eq!(t1, t2, "{context}: tuples differ");
+        assert_eq!(
+            p1.to_bits(),
+            p2.to_bits(),
+            "{context}: confidences differ on {t1}: {p1} vs {p2}"
+        );
+    }
+}
+
+#[test]
+fn governed_happy_path_is_bitwise_identical_across_threads_and_backings() {
+    let q = q1();
+    let (row, col) = tiny_catalogs();
+    let fds = FdSet::from_catalog_decls(&row.fds());
+    let baseline = LazyPlan::build(&q, &fds, &row)
+        .unwrap()
+        .with_pool(Pool::sequential())
+        .execute(&row)
+        .unwrap();
+    for catalog in [&row, &col] {
+        for threads in POOL_SIZES {
+            let gov = GovernorBuilder::new()
+                .deadline(Duration::from_secs(3600))
+                .memory_budget(1 << 30)
+                .build();
+            let governed = LazyPlan::build(&q, &fds, catalog)
+                .unwrap()
+                .with_pool(Pool::new(threads))
+                .with_governor(gov.clone())
+                .execute(catalog)
+                .unwrap();
+            assert_bitwise_eq(&baseline, &governed, &format!("{threads} threads"));
+            assert!(gov.checkpoints_seen() > 0, "governor saw no checkpoints");
+        }
+    }
+}
+
+/// The satellite-3 exhaustive sweep: cancel at *every* checkpoint index of a
+/// small Q1 run, at every pool size. Every interruption must surface as
+/// `Cancelled`, leave the pool reusable, and an immediate re-run on the same
+/// plan must be bitwise-equal to the uninterrupted baseline.
+#[test]
+fn cancellation_at_every_checkpoint_of_a_small_q1_run() {
+    let q = q1();
+    let (row, _) = tiny_catalogs();
+    let fds = FdSet::from_catalog_decls(&row.fds());
+    for threads in POOL_SIZES {
+        let plan = LazyPlan::build(&q, &fds, &row)
+            .unwrap()
+            .with_pool(Pool::new(threads));
+        let baseline = plan.clone().execute(&row).unwrap();
+
+        // Count the checkpoints of one uninterrupted governed run.
+        let counter = GovernorBuilder::new().build();
+        let governed = plan
+            .clone()
+            .with_governor(counter.clone())
+            .execute(&row)
+            .unwrap();
+        assert_bitwise_eq(&baseline, &governed, &format!("{threads} threads, counter"));
+        let total = counter.checkpoints_seen();
+        assert!(total > 0, "Q1 run saw no checkpoints at {threads} threads");
+
+        for k in 1..=total {
+            let gov = GovernorBuilder::new().cancel_after_checkpoints(k).build();
+            let interrupted = plan.clone().with_governor(gov).execute(&row);
+            match interrupted {
+                Err(PlanError::Governed(SproutError::Cancelled { .. })) => {}
+                other => panic!(
+                    "{threads} threads, checkpoint {k}/{total}: expected Cancelled, got {other:?}"
+                ),
+            }
+            // The pool survived the interruption: the very same plan value
+            // (same pool handle) reproduces the baseline bit for bit.
+            let rerun = plan.clone().execute(&row).unwrap();
+            assert_bitwise_eq(
+                &baseline,
+                &rerun,
+                &format!("{threads} threads, re-run after cancel at {k}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn pre_cancelled_governor_interrupts_at_the_first_checkpoint() {
+    let q = q1();
+    let (row, _) = tiny_catalogs();
+    let fds = FdSet::from_catalog_decls(&row.fds());
+    let gov = GovernorBuilder::new().build();
+    gov.cancel();
+    let result = LazyPlan::build(&q, &fds, &row)
+        .unwrap()
+        .with_governor(gov)
+        .execute(&row);
+    match result {
+        Err(PlanError::Governed(SproutError::Cancelled { .. })) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_interrupts_with_elapsed_and_budget() {
+    let q = q1();
+    let (row, _) = tiny_catalogs();
+    let fds = FdSet::from_catalog_decls(&row.fds());
+    let gov = GovernorBuilder::new().deadline(Duration::ZERO).build();
+    let result = LazyPlan::build(&q, &fds, &row)
+        .unwrap()
+        .with_governor(gov)
+        .execute(&row);
+    match result {
+        Err(PlanError::Governed(SproutError::DeadlineExceeded {
+            elapsed, deadline, ..
+        })) => {
+            assert!(elapsed >= deadline);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // An ungoverned re-run on the same catalog is unaffected.
+    let rerun = LazyPlan::build(&q, &fds, &row).unwrap().execute(&row);
+    assert!(rerun.is_ok());
+}
+
+/// Memory-budget exhaustion on the partitioned join path: the governed
+/// context charges the scatter buffer and the output arenas before
+/// allocating them, so a one-byte budget fails deterministically.
+#[test]
+fn memory_budget_exhaustion_interrupts_the_partitioned_join() {
+    let catalog = fixtures::fig1_catalog();
+    let cust = catalog.table("Cust").unwrap();
+    let ord = catalog.table("Ord").unwrap();
+    let left = ops::scan(&cust, "Cust", &["ckey".into(), "cname".into()]).unwrap();
+    let right = ops::scan(&ord, "Ord", &["okey".into(), "ckey".into()]).unwrap();
+    let gov = GovernorBuilder::new().memory_budget(1).build();
+    let ctx = ExecContext::governed(&gov);
+    // Pool::new(2) bypasses the for_items size gate, forcing the
+    // partitioned (accounting) join path even on the Fig. 1 toy tables.
+    let result = ops::natural_join_ctx(&left, &right, &Pool::new(2), &ctx);
+    match result {
+        Err(ExecError::Governed(SproutError::MemoryBudgetExceeded {
+            requested, budget, ..
+        })) => {
+            assert!(requested > budget);
+        }
+        other => panic!("expected MemoryBudgetExceeded, got {other:?}"),
+    }
+    // The same join under an unbounded context still works.
+    let ok = ops::natural_join_ctx(&left, &right, &Pool::new(2), &ExecContext::unbounded());
+    assert!(ok.is_ok());
+}
+
+#[test]
+fn planner_facade_threads_the_governor_through_every_plan_kind() {
+    let catalog = fixtures::fig1_catalog_with_keys();
+    let q = pdb_query::cq::intro_query_q();
+    for kind in [
+        PlanKind::Lazy,
+        PlanKind::Eager,
+        PlanKind::Hybrid(vec!["Item".to_string()]),
+        PlanKind::Mystiq,
+    ] {
+        // Uninterrupted: governed result matches the ungoverned one.
+        let baseline = Planner::new(&catalog).execute(&q, kind.clone()).unwrap();
+        let gov = GovernorBuilder::new().build();
+        let governed = Planner::new(&catalog)
+            .with_governor(gov.clone())
+            .execute(&q, kind.clone())
+            .unwrap();
+        assert_bitwise_eq(
+            &baseline.confidences,
+            &governed.confidences,
+            &format!("{kind}"),
+        );
+        assert!(
+            gov.checkpoints_seen() > 0,
+            "{kind}: governor saw no checkpoints"
+        );
+        // Pre-cancelled: every plan kind observes the token.
+        let cancelled = GovernorBuilder::new().build();
+        cancelled.cancel();
+        let result = Planner::new(&catalog)
+            .with_governor(cancelled)
+            .execute(&q, kind.clone());
+        match result {
+            Err(PlanError::Governed(SproutError::Cancelled { .. })) => {}
+            other => panic!("{kind}: expected Cancelled, got {other:?}"),
+        }
+    }
+}

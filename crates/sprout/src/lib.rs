@@ -32,7 +32,10 @@ pub use pdb_query::{
     CompareOp, ConjunctiveQuery, FdSet, FunctionalDependency, Predicate, Signature,
 };
 pub use pdb_storage::{Catalog, DataType, ProbTable, Schema, Table, Tuple, Value, Variable};
-pub use sprout_plan::{PlanError, PlanKind, PlanReport, PlanResult, Planner};
+pub use sprout_plan::{
+    ExecContext, GovernorBuilder, PlanError, PlanKind, PlanReport, PlanResult, Planner,
+    QueryGovernor, SproutError, Stage,
+};
 
 /// A probabilistic database with the SPROUT confidence-computation engine on
 /// top.
@@ -121,6 +124,36 @@ impl SproutDb {
     /// Fails if the query is intractable or a referenced table is missing.
     pub fn confidences(&self, query: &ConjunctiveQuery) -> PlanResult<ConfidenceResult> {
         Ok(self.query(query, PlanKind::Lazy)?.confidences)
+    }
+
+    /// Executes `query` under a [`QueryGovernor`]: the whole plan —
+    /// relational pipeline, pushed-down aggregations, confidence operator —
+    /// observes the governor's cancellation token, wall-clock deadline, and
+    /// memory budget at every morsel/chunk/bag checkpoint, and worker panics
+    /// are isolated into [`SproutError::WorkerPanic`] instead of aborting
+    /// the process. The happy path is bitwise-identical to [`Self::query`].
+    ///
+    /// # Errors
+    /// Returns the governor's interruption ([`SproutError::Cancelled`],
+    /// [`SproutError::DeadlineExceeded`], [`SproutError::MemoryBudgetExceeded`],
+    /// [`SproutError::WorkerPanic`]) verbatim; any other planning or
+    /// execution failure is wrapped as [`SproutError::Failed`].
+    pub fn query_governed(
+        &self,
+        query: &ConjunctiveQuery,
+        kind: PlanKind,
+        governor: &QueryGovernor,
+    ) -> Result<PlanReport, SproutError> {
+        Planner::new(&self.catalog)
+            .with_governor(governor.clone())
+            .execute(query, kind)
+            .map_err(|e| match e {
+                PlanError::Governed(g) => g,
+                other => SproutError::Failed {
+                    stage: Stage::Plan,
+                    message: other.to_string(),
+                },
+            })
     }
 
     /// Executes `query` ignoring all declared functional dependencies — the

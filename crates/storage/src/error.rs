@@ -9,6 +9,13 @@ pub enum StorageError {
     DuplicateColumn(String),
     /// A referenced column does not exist in the schema.
     UnknownColumn(String),
+    /// A column index is outside the schema's arity.
+    ColumnIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of columns in the schema.
+        arity: usize,
+    },
     /// A tuple has a different arity than its schema.
     ArityMismatch {
         /// Number of columns in the schema.
@@ -46,6 +53,9 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::DuplicateColumn(c) => write!(f, "duplicate column name: {c}"),
             StorageError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            StorageError::ColumnIndexOutOfRange { index, arity } => {
+                write!(f, "column index {index} is outside schema arity {arity}")
+            }
             StorageError::ArityMismatch { expected, actual } => {
                 write!(
                     f,

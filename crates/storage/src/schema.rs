@@ -147,8 +147,26 @@ impl Schema {
     }
 
     /// The column at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is outside the schema's arity; callers handling
+    /// untrusted indices should use [`Schema::try_column`].
     pub fn column(&self, idx: usize) -> &Column {
-        &self.columns[idx]
+        self.try_column(idx).expect("column index within arity")
+    }
+
+    /// The column at `idx`, with a typed error for out-of-range indices.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::ColumnIndexOutOfRange`] if `idx` is outside
+    /// the schema's arity.
+    pub fn try_column(&self, idx: usize) -> StorageResult<&Column> {
+        self.columns
+            .get(idx)
+            .ok_or(StorageError::ColumnIndexOutOfRange {
+                index: idx,
+                arity: self.columns.len(),
+            })
     }
 
     /// A new schema with every column name prefixed by `qualifier.`.
@@ -235,6 +253,16 @@ mod tests {
         let s = abc().qualified("R");
         assert_eq!(s.names(), vec!["R.a", "R.b", "R.c"]);
         assert_eq!(s.column(0).data_type, DataType::Int);
+    }
+
+    #[test]
+    fn try_column_reports_out_of_range_indices() {
+        let s = abc();
+        assert_eq!(s.try_column(2).unwrap().name, "c");
+        assert_eq!(
+            s.try_column(3),
+            Err(StorageError::ColumnIndexOutOfRange { index: 3, arity: 3 })
+        );
     }
 
     #[test]
