@@ -121,7 +121,7 @@ pub fn filter_rowwise(input: &Annotated, predicate: &Predicate) -> ExecResult<An
     let idx = input.column_index(&predicate.attribute)?;
     let mut out = Annotated::new(input.schema().clone(), input.relations().to_vec());
     for row in input.iter() {
-        if predicate.op.eval(&row.data[idx], &predicate.constant) {
+        if predicate.matches(&row.data[idx]) {
             out.push(row.to_owned_row());
         }
     }

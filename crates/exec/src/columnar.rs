@@ -1,54 +1,72 @@
-//! Vectorized fused scans over columnar base tables, with zone-map chunk
-//! skipping.
+//! Vectorized fused scans over columnar base tables: bitmask predicate
+//! kernels, zone-statistics chunk skipping, and (optionally) late string
+//! materialization.
 //!
 //! This is the columnar fast path of [`crate::ops::scan`] /
 //! [`crate::ops::scan_filter_project`]: the scan runs chunk-at-a-time over a
 //! [`ColumnarTable`],
 //!
-//! 1. **prunes** each chunk against the per-column zone maps — a chunk whose
-//!    `[min, max]` range cannot satisfy a predicate is skipped without
-//!    touching a single row, and a chunk whose range satisfies it entirely
-//!    (and holds no NULLs) needs no per-row evaluation at all;
-//! 2. runs **tight per-column predicate loops** over the remaining chunks —
-//!    each predicate is compiled once into a typed comparison
-//!    ([`PredEval`]) against the column's native representation (`i64`,
-//!    `f64`, `i32` days, dictionary ranks), so the inner loop compares
-//!    machine words instead of `Value` enums — producing the chunk's
-//!    survivor list;
+//! 1. **prunes** each chunk against the per-column zone statistics — the
+//!    `[min, max]` range decides ordered predicates, the per-chunk bloom
+//!    filter decides `Eq`/`Ne`/`In` membership (no false negatives, so an
+//!    absent probe skips the chunk outright), and a chunk the statistics
+//!    prove *entirely* matching (null-free, range inside the predicate)
+//!    needs no per-row evaluation at all;
+//! 2. runs **compare-to-bitmask kernels** ([`crate::kernel`]) over the
+//!    remaining chunks — each predicate is compiled once into a typed
+//!    comparison ([`PredEval`]) against the column's native representation
+//!    (`i64`, `f64`, `i32` days, `bool`, dictionary ranks), then a
+//!    branch-free loop fills a 16×`u64` selection bitmask per 1024-row
+//!    chunk; the null bitmap is AND-ed out, conjunctions AND their masks,
+//!    `IN` alternatives OR theirs. `Mixed` columns consult the per-chunk
+//!    representation tag and run a typed loop whenever the chunk is
+//!    uniformly typed, falling back to per-row `Value` evaluation only on
+//!    genuinely heterogeneous chunks;
 //! 3. **gathers** only the projected columns of the survivors straight into
-//!    the output's pre-sized arena segments
-//!    ([`Annotated::with_placeholder_rows`] +
-//!    [`pdb_par::Pool::map_slices2_mut`]), column-at-a-time within each
-//!    segment.
+//!    the output's pre-sized arena segments (sized by mask popcounts —
+//!    never a per-row `Vec` push), iterating set mask bits with one typed
+//!    loop per (column, segment). Dictionary columns can be gathered as
+//!    **ranks** (`Value::Int` codes) instead of decoded `Arc<str>`s; ranks
+//!    order exactly like their strings, which is what lets the late
+//!    materialization path carry them through join → sort → dedup and
+//!    decode only final answers.
 //!
 //! The determinism contract of the PR-4 pipeline is preserved **exactly**:
 //! the output — values (enum variants included), lineage, row order — is
 //! bitwise-identical to the row-at-a-time scan over the equivalent
 //! [`ProbTable`](pdb_storage::ProbTable), at every thread count. The
-//! compiled predicates replay `CompareOp::eval` ∘ `Value::cmp` case by
-//! case (including NaN-greatest float normalization, cross-type rank
-//! ordering and NULL-fails-everything), and the zone maps are ordered by
-//! the same total order, so pruning can never disagree with per-row
-//! evaluation.
+//! compiled predicates and kernels replay `CompareOp::eval` ∘ `Value::cmp`
+//! case by case (including NaN-greatest float normalization, cross-type
+//! rank ordering and NULL-fails-everything), the zone statistics are built
+//! from the same total order, and `PredEval` is retained as the scalar
+//! oracle: debug builds re-check every chunk's mask against it row by row.
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 use pdb_govern::{ExecContext, Stage};
 use pdb_par::Pool;
 use pdb_query::{CompareOp, Predicate};
+use pdb_storage::columnar::ChunkRepr;
 use pdb_storage::{total_f64_cmp, ColumnData, ColumnarTable, Value, Variable, ZoneMap};
 
 use crate::annotated::Annotated;
 use crate::error::{ExecError, ExecResult};
+use crate::kernel;
 
-/// Counters describing how much work zone-map pruning saved in one scan.
+/// Counters describing how much work zone-statistics pruning saved in one
+/// scan.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ColumnarScanStats {
     /// Chunks in the table.
     pub chunks: usize,
-    /// Chunks skipped entirely from their zone maps.
+    /// Chunks skipped entirely from their zone statistics.
     pub chunks_skipped: usize,
-    /// Chunks whose zone maps proved every row matches (no per-row work).
+    /// Of the skipped chunks, how many only the bloom filter could prune
+    /// (the min/max range alone was inconclusive).
+    pub chunks_bloom_skipped: usize,
+    /// Chunks whose zone statistics proved every row matches (no per-row
+    /// work).
     pub chunks_full: usize,
     /// Input rows.
     pub rows_in: usize,
@@ -57,7 +75,7 @@ pub struct ColumnarScanStats {
 }
 
 impl ColumnarScanStats {
-    /// Fraction of chunks skipped from zone maps alone.
+    /// Fraction of chunks skipped from zone statistics alone.
     pub fn skip_rate(&self) -> f64 {
         if self.chunks == 0 {
             0.0
@@ -67,7 +85,7 @@ impl ColumnarScanStats {
     }
 }
 
-/// What the zone maps prove about one predicate over one chunk.
+/// What the zone statistics prove about one predicate over one chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Prune {
     /// No row of the chunk can satisfy the predicate.
@@ -79,7 +97,8 @@ enum Prune {
     Partial,
 }
 
-/// Zone-map decision for `op constant` over a chunk summarised by `zone`.
+/// Zone-map decision for `op constant` over a chunk summarised by `zone`,
+/// from the `[min, max]` bounds alone.
 ///
 /// Sound because the bounds and `CompareOp::eval` order values by the same
 /// total order (`Value::cmp`): if even `max` compares below an `>` constant,
@@ -103,7 +122,7 @@ fn prune_chunk(zone: &ZoneMap, op: CompareOp, constant: &Value) -> Prune {
         }
     };
     match op {
-        CompareOp::Eq => {
+        CompareOp::Eq | CompareOp::In => {
             if hi == Ordering::Less || lo == Ordering::Greater {
                 Prune::Skip
             } else {
@@ -148,9 +167,61 @@ fn prune_chunk(zone: &ZoneMap, op: CompareOp, constant: &Value) -> Prune {
     }
 }
 
+/// [`prune_chunk`] sharpened by the chunk's bloom filter. Returns the
+/// decision plus whether the bloom filter (not the range) made a `Skip`
+/// possible.
+///
+/// - `Eq`: range-inconclusive but the probe is absent ⇒ no row equals the
+///   constant ⇒ `Skip` (the filter has no false negatives).
+/// - `Ne`: probe absent and the chunk null-free ⇒ *every* row differs ⇒
+///   `Full`.
+fn prune_one(zone: &ZoneMap, op: CompareOp, constant: &Value) -> (Prune, bool) {
+    let base = prune_chunk(zone, op, constant);
+    match (op, base) {
+        (CompareOp::Eq | CompareOp::In, Prune::Partial) if !zone.may_contain(constant) => {
+            (Prune::Skip, true)
+        }
+        (CompareOp::Ne, Prune::Partial) if zone.null_count == 0 && !zone.may_contain(constant) => {
+            (Prune::Full, false)
+        }
+        _ => (base, false),
+    }
+}
+
+/// Pruning decision for one compiled predicate (`IN` combines its
+/// alternatives: all-skip ⇒ skip, any-full ⇒ full).
+fn prune_pred(zone: &ZoneMap, cp: &CompiledPred<'_>) -> (Prune, bool) {
+    if cp.op != CompareOp::In {
+        return prune_one(zone, cp.op, cp.constants[0]);
+    }
+    let mut all_skip = true;
+    let mut any_full = false;
+    let mut by_bloom = false;
+    for c in &cp.constants {
+        let (p, b) = prune_one(zone, CompareOp::Eq, c);
+        match p {
+            Prune::Skip => by_bloom |= b,
+            Prune::Full => {
+                all_skip = false;
+                any_full = true;
+            }
+            Prune::Partial => all_skip = false,
+        }
+    }
+    if all_skip {
+        (Prune::Skip, by_bloom)
+    } else if any_full {
+        (Prune::Full, false)
+    } else {
+        (Prune::Partial, false)
+    }
+}
+
 /// One predicate compiled against one column's physical representation:
 /// yields the `Value::cmp` ordering of a non-null row against the constant
-/// without constructing a `Value`.
+/// without constructing a `Value`. The bitmask kernels are the vectorized
+/// form of exactly this dispatch; `PredEval` stays as the scalar oracle
+/// (debug builds verify every mask against it).
 enum PredEval<'a> {
     /// The constant is NULL: every row fails.
     AllFalse,
@@ -174,7 +245,8 @@ enum PredEval<'a> {
     StrRank { ip: u32, present: bool },
     /// `bool` column vs boolean constant.
     BoolBool(bool),
-    /// Mixed column: evaluate on the stored `Value` directly.
+    /// Mixed column: evaluate on the stored `Value` directly (the kernel
+    /// layer specializes per chunk through the representation tag).
     Mixed(&'a Value),
 }
 
@@ -211,6 +283,9 @@ impl PredEval<'_> {
     }
 
     /// The `Value::cmp` ordering of non-null row `r` against the constant.
+    /// Only the debug-build oracle walks rows scalar-wise in release-shaped
+    /// code paths, hence the `dead_code` allowance outside debug builds.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     #[inline]
     fn ordering(&self, column: &ColumnData, r: usize) -> Option<Ordering> {
         match (self, column) {
@@ -240,7 +315,9 @@ impl PredEval<'_> {
     }
 
     /// Whether non-null row `r` satisfies `op constant` — exactly
-    /// `op.eval(&column.value(r), constant)`.
+    /// `op.eval(&column.value(r), constant)`. Retained as the scalar oracle
+    /// the debug-build cross-check runs against every masked chunk.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     #[inline]
     fn matches(&self, column: &ColumnData, op: CompareOp, r: usize) -> bool {
         if let PredEval::Mixed(c) = self {
@@ -250,15 +327,22 @@ impl PredEval<'_> {
         }
         match self.ordering(column, r) {
             None => false,
-            Some(ord) => match op {
-                CompareOp::Eq => ord == Ordering::Equal,
-                CompareOp::Ne => ord != Ordering::Equal,
-                CompareOp::Lt => ord == Ordering::Less,
-                CompareOp::Le => ord != Ordering::Greater,
-                CompareOp::Gt => ord == Ordering::Greater,
-                CompareOp::Ge => ord != Ordering::Less,
-            },
+            Some(ord) => op_ord(op, ord),
         }
+    }
+}
+
+/// Whether an ordering outcome satisfies `op` (`In` behaves as `Eq`
+/// against a single constant).
+#[inline]
+fn op_ord(op: CompareOp, ord: Ordering) -> bool {
+    match op {
+        CompareOp::Eq | CompareOp::In => ord == Ordering::Equal,
+        CompareOp::Ne => ord != Ordering::Equal,
+        CompareOp::Lt => ord == Ordering::Less,
+        CompareOp::Le => ord != Ordering::Greater,
+        CompareOp::Gt => ord == Ordering::Greater,
+        CompareOp::Ge => ord != Ordering::Less,
     }
 }
 
@@ -275,14 +359,28 @@ fn representative(column: &ColumnData) -> Value {
     }
 }
 
+/// One predicate compiled for the scan: its operator, column position, and
+/// one [`PredEval`] per constant (one for every operator except `In`).
+struct CompiledPred<'a> {
+    op: CompareOp,
+    col: usize,
+    constants: Vec<&'a Value>,
+    evals: Vec<PredEval<'a>>,
+}
+
 /// The survivors of one chunk.
 enum ChunkSurvivors {
-    /// Zone maps proved the chunk empty.
+    /// Zone statistics proved the chunk empty.
     Skipped,
     /// Every row survives (`Full` on all predicates, or no predicates).
     All(std::ops::Range<usize>),
-    /// The listed global row indices survive.
-    Rows(Vec<u32>),
+    /// Selection bitmask relative to the chunk start; `count` is its
+    /// popcount.
+    Mask {
+        start: usize,
+        words: Vec<u64>,
+        count: usize,
+    },
 }
 
 impl ChunkSurvivors {
@@ -290,9 +388,202 @@ impl ChunkSurvivors {
         match self {
             ChunkSurvivors::Skipped => 0,
             ChunkSurvivors::All(r) => r.len(),
-            ChunkSurvivors::Rows(v) => v.len(),
+            ChunkSurvivors::Mask { count, .. } => *count,
         }
     }
+}
+
+/// The chunk's null-bitmap words, for typed columns (chunk starts are
+/// 64-aligned, so the slice is exact). `Mixed` columns carry NULLs inline.
+fn null_words<'a>(column: &'a ColumnData, range: &std::ops::Range<usize>) -> Option<&'a [u64]> {
+    let nulls = match column {
+        ColumnData::Int { nulls, .. }
+        | ColumnData::Float { nulls, .. }
+        | ColumnData::Str { nulls, .. }
+        | ColumnData::Date { nulls, .. }
+        | ColumnData::Bool { nulls, .. } => nulls,
+        ColumnData::Mixed { .. } => return None,
+    };
+    let w0 = range.start / 64;
+    Some(&nulls.words()[w0..w0 + kernel::mask_words(range.len())])
+}
+
+/// Fills `out` with the selection mask of one compiled comparison over one
+/// chunk, dispatching to the typed kernel for the column's representation.
+/// NULL handling for typed columns happens in the caller (one
+/// `and_not_nulls` per predicate); `Mixed` chunks fail NULL rows inline.
+fn eval_mask(
+    column: &ColumnData,
+    repr: ChunkRepr,
+    eval: &PredEval<'_>,
+    op: CompareOp,
+    range: &std::ops::Range<usize>,
+    out: &mut [u64],
+) {
+    let rg = range.clone();
+    match (eval, column) {
+        (PredEval::AllFalse, _) => kernel::fill_const(false, rg.len(), out),
+        (PredEval::ConstOrd(ord), _) => kernel::fill_const(op_ord(op, *ord), rg.len(), out),
+        (PredEval::IntInt(c), ColumnData::Int { values, .. }) => {
+            kernel::fill_i64(&values[rg], *c, op, out)
+        }
+        (PredEval::IntFloat(c), ColumnData::Int { values, .. }) => {
+            kernel::fill_i64_vs_f64(&values[rg], *c, op, out)
+        }
+        (PredEval::FloatNum(c), ColumnData::Float { values, .. }) => {
+            kernel::fill_f64(&values[rg], *c, op, out)
+        }
+        (PredEval::DateDate(c), ColumnData::Date { values, .. }) => {
+            kernel::fill_i32(&values[rg], *c, op, out)
+        }
+        (PredEval::BoolBool(c), ColumnData::Bool { values, .. }) => {
+            kernel::fill_bool(&values[rg], *c, op, out)
+        }
+        (PredEval::StrRank { ip, present }, ColumnData::Str { codes, .. }) => {
+            kernel::fill_rank(&codes[rg], *ip, *present, op, out)
+        }
+        (PredEval::Mixed(c), ColumnData::Mixed { values }) => {
+            mixed_chunk_mask(&values[rg], repr, op, c, out)
+        }
+        _ => unreachable!("PredEval compiled for this column"),
+    }
+}
+
+/// Selection mask over a `Mixed` chunk. The per-chunk representation tag
+/// lets uniformly-typed chunks run a typed loop (one enum-variant check per
+/// row, no `Value::cmp` dispatch); only genuinely heterogeneous chunks fall
+/// back to full per-row `Value` evaluation.
+fn mixed_chunk_mask(
+    vals: &[Value],
+    repr: ChunkRepr,
+    op: CompareOp,
+    constant: &Value,
+    out: &mut [u64],
+) {
+    let n = vals.len();
+    match (repr, constant) {
+        (ChunkRepr::Int, Value::Int(c)) => kernel::fill_with(
+            n,
+            out,
+            |i| matches!(&vals[i], Value::Int(x) if op_ord(op, x.cmp(c))),
+        ),
+        (ChunkRepr::Int, Value::Float(c)) => kernel::fill_with(
+            n,
+            out,
+            |i| matches!(&vals[i], Value::Int(x) if op_ord(op, total_f64_cmp(*x as f64, *c))),
+        ),
+        (ChunkRepr::Float, Value::Float(c)) => kernel::fill_with(
+            n,
+            out,
+            |i| matches!(&vals[i], Value::Float(x) if op_ord(op, total_f64_cmp(*x, *c))),
+        ),
+        (ChunkRepr::Float, Value::Int(c)) => {
+            let cf = *c as f64;
+            kernel::fill_with(
+                n,
+                out,
+                |i| matches!(&vals[i], Value::Float(x) if op_ord(op, total_f64_cmp(*x, cf))),
+            )
+        }
+        (ChunkRepr::Date, Value::Date(c)) => kernel::fill_with(
+            n,
+            out,
+            |i| matches!(&vals[i], Value::Date(x) if op_ord(op, x.cmp(c))),
+        ),
+        (ChunkRepr::Bool, Value::Bool(c)) => kernel::fill_with(
+            n,
+            out,
+            |i| matches!(&vals[i], Value::Bool(x) if op_ord(op, x.cmp(c))),
+        ),
+        (ChunkRepr::Str, Value::Str(c)) => kernel::fill_with(
+            n,
+            out,
+            |i| matches!(&vals[i], Value::Str(s) if op_ord(op, s.as_ref().cmp(c.as_ref()))),
+        ),
+        (ChunkRepr::Hetero, _) => kernel::fill_with(n, out, |i| op.eval(&vals[i], constant)),
+        // Uniform chunk, constant of a different type class: every non-null
+        // row compares by type rank, the same way.
+        (_, _) => {
+            let probe = repr_representative(repr);
+            let res = op_ord(op, probe.cmp(constant));
+            kernel::fill_with(n, out, |i| !vals[i].is_null() && res)
+        }
+    }
+}
+
+/// A non-null `Value` of a uniform chunk representation's type class.
+fn repr_representative(repr: ChunkRepr) -> Value {
+    match repr {
+        ChunkRepr::Int => Value::Int(0),
+        ChunkRepr::Float => Value::Float(0.0),
+        ChunkRepr::Str => Value::str(""),
+        ChunkRepr::Date => Value::Date(0),
+        ChunkRepr::Bool => Value::Bool(false),
+        ChunkRepr::Hetero => unreachable!("hetero chunks take the per-row path"),
+    }
+}
+
+/// Builds the full selection mask of one predicate over one chunk into
+/// `out` (`IN` ORs one equality mask per alternative, built in `scratch`),
+/// then ANDs the null bitmap out for typed columns.
+fn build_pred_mask(
+    table: &ColumnarTable,
+    k: usize,
+    range: &std::ops::Range<usize>,
+    cp: &CompiledPred<'_>,
+    out: &mut [u64],
+    scratch: &mut [u64],
+) {
+    let column = table.column(cp.col);
+    let repr = table.zone(cp.col, k).repr;
+    let op = if cp.op == CompareOp::In {
+        CompareOp::Eq
+    } else {
+        cp.op
+    };
+    for (ci, eval) in cp.evals.iter().enumerate() {
+        if ci == 0 {
+            eval_mask(column, repr, eval, op, range, out);
+        } else {
+            eval_mask(column, repr, eval, op, range, scratch);
+            kernel::or_into(out, scratch);
+        }
+    }
+    // Typed kernels evaluate the (meaningless) stored natives of NULL rows;
+    // clear them in one pass. Mixed chunks already failed NULLs per row.
+    if let Some(nw) = null_words(column, range) {
+        kernel::and_not_nulls(out, nw);
+    }
+}
+
+/// Scalar-oracle check of one chunk's mask: row `r` survives iff every
+/// compiled predicate matches under [`PredEval`] (`IN` = any alternative
+/// equal). Debug builds assert this for every masked chunk.
+#[cfg(debug_assertions)]
+fn mask_agrees_with_oracle(
+    table: &ColumnarTable,
+    compiled: &[CompiledPred<'_>],
+    range: &std::ops::Range<usize>,
+    mask: &[u64],
+) -> bool {
+    for (i, r) in range.clone().enumerate() {
+        let want = compiled.iter().all(|cp| {
+            let column = table.column(cp.col);
+            if column.is_null(r) {
+                return false;
+            }
+            if cp.op == CompareOp::In {
+                cp.evals.iter().any(|e| e.matches(column, CompareOp::Eq, r))
+            } else {
+                cp.evals[0].matches(column, cp.op, r)
+            }
+        });
+        let got = mask[i / 64] >> (i % 64) & 1 == 1;
+        if want != got {
+            return false;
+        }
+    }
+    true
 }
 
 /// Fused scan → filter → project over a columnar table, with an explicit
@@ -366,6 +657,38 @@ pub fn scan_filter_project_columnar_stats_ctx(
     pool: &Pool,
     ctx: &ExecContext,
 ) -> ExecResult<(Annotated, ColumnarScanStats)> {
+    let ranked = vec![false; keep.len()];
+    scan_filter_project_columnar_ranked_ctx(table, relation, predicates, keep, &ranked, pool, ctx)
+        .map(|(a, _, s)| (a, s))
+}
+
+/// The full scan entry point: like
+/// [`scan_filter_project_columnar_stats_ctx`], but columns whose `ranked`
+/// flag is set **and** which are dictionary-encoded are gathered as
+/// dictionary ranks (`Value::Int(code)`) instead of decoded strings — the
+/// late-materialization representation. The second return value holds, per
+/// kept column, the dictionary to decode ranks through (`Some` exactly for
+/// the columns gathered ranked).
+///
+/// Ranks are order-identical to their strings (the dictionary is sorted),
+/// so joins, sorts and duplicate elimination over ranked columns produce
+/// exactly the row set and order the decoded path would; callers decode at
+/// the final gather via [`crate::late`].
+///
+/// # Errors
+/// Fails if a predicate or kept attribute is missing from the table schema,
+/// or with [`ExecError::Governed`] when the governor interrupts the scan.
+#[allow(clippy::type_complexity)]
+pub fn scan_filter_project_columnar_ranked_ctx(
+    table: &ColumnarTable,
+    relation: &str,
+    predicates: &[&Predicate],
+    keep: &[String],
+    ranked: &[bool],
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ExecResult<(Annotated, Vec<Option<Arc<[Arc<str>]>>>, ColumnarScanStats)> {
+    assert_eq!(ranked.len(), keep.len(), "one ranked flag per kept column");
     let keep_positions: Vec<usize> = keep
         .iter()
         .map(|a| {
@@ -388,62 +711,98 @@ pub fn scan_filter_project_columnar_stats_ctx(
         .schema()
         .project(&keep.iter().map(|s| s.as_str()).collect::<Vec<_>>())?;
 
-    // Compile each predicate against its column's physical representation.
-    let compiled: Vec<PredEval<'_>> = predicates
+    // Compile each predicate against its column's physical representation
+    // (one PredEval per constant; several only for IN).
+    let compiled: Vec<CompiledPred<'_>> = predicates
         .iter()
         .zip(&pred_positions)
-        .map(|(p, &c)| PredEval::compile(table.column(c), &p.constant))
+        .map(|(p, &c)| {
+            let column = table.column(c);
+            let constants: Vec<&Value> = if p.op == CompareOp::In {
+                p.constants().collect()
+            } else {
+                vec![&p.constant]
+            };
+            let evals = constants
+                .iter()
+                .map(|v| PredEval::compile(column, v))
+                .collect();
+            CompiledPred {
+                op: p.op,
+                col: c,
+                constants,
+                evals,
+            }
+        })
         .collect();
 
-    // Phase 1 (parallel over chunks): prune on zone maps, then tight
-    // per-column loops over undecided chunks.
+    // Which kept columns are gathered as dictionary ranks, and their
+    // decode dictionaries.
+    let dicts: Vec<Option<Arc<[Arc<str>]>>> = keep_positions
+        .iter()
+        .zip(ranked)
+        .map(|(&c, &want)| match (want, table.column(c)) {
+            (true, ColumnData::Str { dict, .. }) => Some(Arc::from(dict.as_slice())),
+            _ => None,
+        })
+        .collect();
+    let rank_col: Vec<bool> = dicts.iter().map(Option::is_some).collect();
+
+    // Phase 1 (parallel over chunks): prune on zone statistics, then
+    // bitmask kernels over undecided chunks.
     let chunk_ids: Vec<usize> = (0..table.num_chunks()).collect();
-    let survivors: Vec<ChunkSurvivors> = pool
+    let survivors: Vec<(ChunkSurvivors, bool)> = pool
         .try_map(&chunk_ids, |_, &k| {
             ctx.checkpoint(Stage::Scan, "scan.chunk", k)?;
             let range = table.chunk_range(k);
             let mut all_full = true;
-            let mut partial: Vec<(usize, &PredEval<'_>, CompareOp)> = Vec::new();
-            for ((pred, &c), eval) in predicates.iter().zip(&pred_positions).zip(&compiled) {
-                match prune_chunk(table.zone(c, k), pred.op, &pred.constant) {
-                    Prune::Skip => return Ok(ChunkSurvivors::Skipped),
-                    Prune::Full => {}
-                    Prune::Partial => {
+            let mut partial: Vec<&CompiledPred<'_>> = Vec::new();
+            for cp in &compiled {
+                match prune_pred(table.zone(cp.col, k), cp) {
+                    (Prune::Skip, by_bloom) => return Ok((ChunkSurvivors::Skipped, by_bloom)),
+                    (Prune::Full, _) => {}
+                    (Prune::Partial, _) => {
                         all_full = false;
-                        partial.push((c, eval, pred.op));
+                        partial.push(cp);
                     }
                 }
             }
             if all_full {
-                return Ok(ChunkSurvivors::All(range));
+                return Ok((ChunkSurvivors::All(range), false));
             }
-            // Evaluate the undecided predicates column-at-a-time: the first
-            // builds the survivor list, the rest filter it in place.
-            let mut rows: Option<Vec<u32>> = None;
-            for (c, eval, op) in partial {
-                let column = table.column(c);
-                match &mut rows {
-                    None => {
-                        let mut list = Vec::new();
-                        for r in range.clone() {
-                            if !column.is_null(r) && eval.matches(column, op, r) {
-                                list.push(r as u32);
-                            }
-                        }
-                        rows = Some(list);
-                    }
-                    Some(list) => {
-                        list.retain(|&r| {
-                            let r = r as usize;
-                            !column.is_null(r) && eval.matches(column, op, r)
-                        });
+            // Selection bitmask: first undecided predicate fills it, the
+            // rest AND theirs in (alternative masks for IN go through the
+            // scratch buffer). Fixed-size allocations per chunk, never per
+            // row.
+            let words = kernel::mask_words(range.len());
+            let mut acc = vec![0u64; words];
+            let mut pm = vec![0u64; words];
+            let mut am = vec![0u64; words];
+            for (i, cp) in partial.iter().enumerate() {
+                if i == 0 {
+                    build_pred_mask(table, k, &range, cp, &mut acc, &mut am);
+                } else {
+                    build_pred_mask(table, k, &range, cp, &mut pm, &mut am);
+                    kernel::and_into(&mut acc, &pm);
+                    if kernel::popcount(&acc) == 0 {
+                        break;
                     }
                 }
-                if rows.as_ref().is_some_and(Vec::is_empty) {
-                    break;
-                }
             }
-            Ok(ChunkSurvivors::Rows(rows.unwrap_or_default()))
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                mask_agrees_with_oracle(table, &compiled, &range, &acc),
+                "kernel mask disagrees with the PredEval scalar oracle (chunk {k})"
+            );
+            let count = kernel::popcount(&acc);
+            Ok((
+                ChunkSurvivors::Mask {
+                    start: range.start,
+                    words: acc,
+                    count,
+                },
+                false,
+            ))
         })
         .map_err(|f| ExecError::from_task_failure(Stage::Scan, f))?;
 
@@ -451,19 +810,20 @@ pub fn scan_filter_project_columnar_stats_ctx(
         chunks: survivors.len(),
         chunks_skipped: survivors
             .iter()
-            .filter(|s| matches!(s, ChunkSurvivors::Skipped))
+            .filter(|(s, _)| matches!(s, ChunkSurvivors::Skipped))
             .count(),
+        chunks_bloom_skipped: survivors.iter().filter(|(_, b)| *b).count(),
         chunks_full: survivors
             .iter()
-            .filter(|s| matches!(s, ChunkSurvivors::All(_)))
+            .filter(|(s, _)| matches!(s, ChunkSurvivors::All(_)))
             .count(),
         rows_in: table.len(),
-        rows_out: survivors.iter().map(ChunkSurvivors::count).sum(),
+        rows_out: survivors.iter().map(|(s, _)| s.count()).sum(),
     };
 
-    // Phase 2: exact-size output, disjoint in-place segment writes, chunk
-    // order = input order.
-    let (offsets, total) = pdb_par::exclusive_prefix_sum(survivors.iter().map(|s| s.count()));
+    // Phase 2: exact-size output (survivor popcounts), disjoint in-place
+    // segment writes, chunk order = input order.
+    let (offsets, total) = pdb_par::exclusive_prefix_sum(survivors.iter().map(|(s, _)| s.count()));
     ctx.account(
         Stage::Scan,
         total
@@ -479,37 +839,112 @@ pub fn scan_filter_project_columnar_stats_ctx(
     let probs = table.probs();
     pool.try_map_slices2_mut(data, &data_cuts, lineage, &lineage_cuts, |k, dseg, lseg| {
         ctx.checkpoint(Stage::Scan, "scan.gather", k)?;
-        // Gather column-at-a-time within this chunk's output segment.
-        let out_rows = lseg.len();
-        let write_col = |j: usize, dseg: &mut [Value], row_at: &dyn Fn(usize) -> usize| {
-            let column = table.column(keep_positions[j]);
-            for slot in 0..out_rows {
-                dseg[slot * dw + j] = column.value(row_at(slot));
-            }
-        };
-        match &survivors[k] {
+        match &survivors[k].0 {
             ChunkSurvivors::Skipped => {}
             ChunkSurvivors::All(range) => {
-                for j in 0..keep_positions.len() {
-                    write_col(j, dseg, &|slot| range.start + slot);
+                for (j, &c) in keep_positions.iter().enumerate() {
+                    gather_column(table.column(c), range.clone(), rank_col[j], dseg, j, dw);
                 }
                 for (slot, r) in range.clone().enumerate() {
                     lseg[slot] = (vars[r], probs[r]);
                 }
             }
-            ChunkSurvivors::Rows(rows) => {
-                for j in 0..keep_positions.len() {
-                    write_col(j, dseg, &|slot| rows[slot] as usize);
+            ChunkSurvivors::Mask { start, words, .. } => {
+                for (j, &c) in keep_positions.iter().enumerate() {
+                    gather_column(
+                        table.column(c),
+                        kernel::mask_rows(*start, words),
+                        rank_col[j],
+                        dseg,
+                        j,
+                        dw,
+                    );
                 }
-                for (slot, &r) in rows.iter().enumerate() {
-                    lseg[slot] = (vars[r as usize], probs[r as usize]);
+                for (slot, r) in kernel::mask_rows(*start, words).enumerate() {
+                    lseg[slot] = (vars[r], probs[r]);
                 }
             }
         }
         Ok(())
     })
     .map_err(|f| ExecError::from_task_failure(Stage::Scan, f))?;
-    Ok((out, stats))
+    Ok((out, dicts, stats))
+}
+
+/// Gathers one projected column of a chunk's survivors into the output
+/// segment: one typed loop per (column, segment) — the `Value` enum is
+/// matched once, not once per cell. `ranked` gathers dictionary columns as
+/// rank codes (`Value::Int`) instead of cloning `Arc<str>`s.
+fn gather_column(
+    column: &ColumnData,
+    rows: impl Iterator<Item = usize>,
+    ranked: bool,
+    dseg: &mut [Value],
+    j: usize,
+    dw: usize,
+) {
+    match column {
+        ColumnData::Int { values, nulls } => {
+            for (slot, r) in rows.enumerate() {
+                dseg[slot * dw + j] = if nulls.is_null(r) {
+                    Value::Null
+                } else {
+                    Value::Int(values[r])
+                };
+            }
+        }
+        ColumnData::Float { values, nulls } => {
+            for (slot, r) in rows.enumerate() {
+                dseg[slot * dw + j] = if nulls.is_null(r) {
+                    Value::Null
+                } else {
+                    Value::Float(values[r])
+                };
+            }
+        }
+        ColumnData::Str { dict, codes, nulls } => {
+            if ranked {
+                for (slot, r) in rows.enumerate() {
+                    dseg[slot * dw + j] = if nulls.is_null(r) {
+                        Value::Null
+                    } else {
+                        Value::Int(codes[r] as i64)
+                    };
+                }
+            } else {
+                for (slot, r) in rows.enumerate() {
+                    dseg[slot * dw + j] = if nulls.is_null(r) {
+                        Value::Null
+                    } else {
+                        Value::Str(dict[codes[r] as usize].clone())
+                    };
+                }
+            }
+        }
+        ColumnData::Date { values, nulls } => {
+            for (slot, r) in rows.enumerate() {
+                dseg[slot * dw + j] = if nulls.is_null(r) {
+                    Value::Null
+                } else {
+                    Value::Date(values[r])
+                };
+            }
+        }
+        ColumnData::Bool { values, nulls } => {
+            for (slot, r) in rows.enumerate() {
+                dseg[slot * dw + j] = if nulls.is_null(r) {
+                    Value::Null
+                } else {
+                    Value::Bool(values[r])
+                };
+            }
+        }
+        ColumnData::Mixed { values } => {
+            for (slot, r) in rows.enumerate() {
+                dseg[slot * dw + j] = values[r].clone();
+            }
+        }
+    }
 }
 
 /// Plain columnar scan (no predicates): decodes the `attributes` columns of
@@ -675,6 +1110,116 @@ mod tests {
     }
 
     #[test]
+    fn in_predicates_agree_with_the_row_path_and_prune() {
+        let (row, col) = sample();
+        // Values drawn from the first and third chunks only.
+        let pred = Predicate::is_in("R", "k", [3i64, 140, 150]);
+        let preds = [&pred];
+        let want = crate::ops::scan_filter_project(&row, "R", &preds, &s(&["k", "name"])).unwrap();
+        assert_eq!(want.len(), 3);
+        for threads in [1, 2, 8] {
+            let (got, stats) = scan_filter_project_columnar_stats(
+                &col,
+                "R",
+                &preds,
+                &s(&["k", "name"]),
+                &Pool::new(threads),
+            )
+            .unwrap();
+            assert_eq!(got, want, "{threads} threads");
+            // Chunks 1 ([64,128)) and 3 ([192,256)) hold none of the listed
+            // keys: min/max range pruning alone removes them.
+            assert_eq!(stats.chunks_skipped, 2, "{threads} threads");
+        }
+        // IN over strings, including absent alternatives.
+        let pred = Predicate::is_in("R", "name", ["Mo", "Nope", "Joe"]);
+        let preds = [&pred];
+        let want = crate::ops::scan_filter_project(&row, "R", &preds, &s(&["k"])).unwrap();
+        let got = scan_filter_project_columnar_with(&col, "R", &preds, &s(&["k"]), &Pool::new(4))
+            .unwrap();
+        assert_eq!(got, want);
+        // NULL alternatives match nothing; an all-NULL list skips everything.
+        let pred = Predicate::is_in("R", "k", [Value::Null]);
+        let preds = [&pred];
+        let (got, stats) =
+            scan_filter_project_columnar_stats(&col, "R", &preds, &s(&["k"]), &Pool::new(2))
+                .unwrap();
+        assert!(got.is_empty());
+        assert_eq!(stats.chunks_skipped, 4);
+    }
+
+    #[test]
+    fn bloom_filters_skip_absent_equality_probes() {
+        // Two distinct strings per 64-row chunk, disjoint across chunks —
+        // every chunk's [min, max] range covers "name-0150" but only one
+        // chunk actually contains it.
+        let schema = Schema::from_pairs(&[("name", DataType::Str)]).unwrap();
+        let mut t = ProbTable::new(schema);
+        for r in 0..256usize {
+            t.insert(
+                Tuple::new(vec![Value::str(format!("name-{:04}", (r / 32) * 50))]),
+                Variable(r as u64),
+                0.5,
+            )
+            .unwrap();
+        }
+        let col = ColumnarTable::from_prob_table_chunked(&t, &Pool::sequential(), 64).unwrap();
+        let pred = Predicate::new("R", "name", CompareOp::Eq, "name-0150");
+        let preds = [&pred];
+        let (got, stats) =
+            scan_filter_project_columnar_stats(&col, "R", &preds, &s(&["name"]), &Pool::new(4))
+                .unwrap();
+        let want = crate::ops::scan_filter_project(&t, "R", &preds, &s(&["name"])).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 32);
+        // Chunk 0 holds 0000/0050, chunk 1 holds 0100/0150, chunk 2 holds
+        // 0200/0250, chunk 3 holds 0300/0350. Range pruning removes chunks
+        // 0 and 3 (constant outside [min,max]); chunk 2's range [0200,0250]
+        // also excludes 0150 — only the bloom filter is needed nowhere.
+        // Probe an absent value *inside* a chunk's range instead:
+        let pred = Predicate::new("R", "name", CompareOp::Eq, "name-0120");
+        let preds = [&pred];
+        let (got, stats2) =
+            scan_filter_project_columnar_stats(&col, "R", &preds, &s(&["name"]), &Pool::new(4))
+                .unwrap();
+        assert!(got.is_empty());
+        // "name-0120" sorts inside chunk 1's [0100, 0150] range, so min/max
+        // cannot prune it — the bloom filter must.
+        assert_eq!(stats2.chunks_skipped, 4);
+        assert!(stats2.chunks_bloom_skipped >= 1, "{stats2:?}");
+        assert_eq!(stats.chunks_skipped, 3);
+    }
+
+    #[test]
+    fn bloom_ne_promotes_chunks_to_full() {
+        // A null-free chunk that provably does not contain the constant
+        // satisfies `Ne` wholesale: no per-row work.
+        let schema = Schema::from_pairs(&[("v", DataType::Int)]).unwrap();
+        let mut t = ProbTable::new(schema);
+        for r in 0..128usize {
+            // Chunk 0: {0, 10}; chunk 1: {100, 110}. Two distinct keys per
+            // chunk keep the bloom filters sparse.
+            let v = (r / 64 * 100 + (r % 2) * 10) as i64;
+            t.insert(tuple![v], Variable(r as u64), 0.5).unwrap();
+        }
+        let col = ColumnarTable::from_prob_table_chunked(&t, &Pool::sequential(), 64).unwrap();
+        // 5 lies inside chunk 0's [0, 10] range but occurs nowhere.
+        let pred = Predicate::new("R", "v", CompareOp::Ne, 5i64);
+        let preds = [&pred];
+        let (got, stats) =
+            scan_filter_project_columnar_stats(&col, "R", &preds, &s(&["v"]), &Pool::new(2))
+                .unwrap();
+        assert_eq!(got.len(), 128);
+        assert_eq!(
+            got,
+            crate::ops::scan_filter_project(&t, "R", &preds, &s(&["v"])).unwrap()
+        );
+        // Both chunks are Full: chunk 1 from its range alone (5 < 100),
+        // chunk 0 only via the bloom filter (5 ∈ [0, 10] but absent).
+        assert_eq!(stats.chunks_full, 2);
+    }
+
+    #[test]
     fn conjunctions_intersect_survivor_lists() {
         let (row, col) = sample();
         let p1 = Predicate::new("R", "k", CompareOp::Ge, 32i64);
@@ -778,5 +1323,103 @@ mod tests {
                     .unwrap();
             assert_eq!(got, want, "{op:?} {c:?}");
         }
+    }
+
+    #[test]
+    fn mixed_columns_with_uniform_chunks_agree_with_the_row_path() {
+        // A FLOAT column holding one stray Int: chunk 0 is uniformly Float
+        // (typed loop through the repr tag), chunk 1 is heterogeneous
+        // (per-row fallback). Both must agree with the row path exactly.
+        let schema = Schema::from_pairs(&[("x", DataType::Float)]).unwrap();
+        let mut t = ProbTable::new(schema);
+        for r in 0..128usize {
+            let v = if r == 100 {
+                Value::Int(3)
+            } else if r % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Float((r % 9) as f64 - 4.0)
+            };
+            t.insert(Tuple::new(vec![v]), Variable(r as u64), 0.5)
+                .unwrap();
+        }
+        let col = ColumnarTable::from_prob_table_chunked(&t, &Pool::sequential(), 64).unwrap();
+        assert!(matches!(col.column(0), ColumnData::Mixed { .. }));
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
+            for c in [
+                Value::Float(0.0),
+                Value::Int(3),
+                Value::Float(-4.0),
+                Value::str("zz"),
+            ] {
+                let pred = Predicate::new("R", "x", op, c.clone());
+                let preds = [&pred];
+                let want = crate::ops::scan_filter_project(&t, "R", &preds, &s(&["x"])).unwrap();
+                let got =
+                    scan_filter_project_columnar_with(&col, "R", &preds, &s(&["x"]), &Pool::new(3))
+                        .unwrap();
+                assert_eq!(got, want, "{op:?} {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_scan_gathers_codes_and_decodes_back() {
+        let (_, col) = sample();
+        let pred = Predicate::new("R", "k", CompareOp::Lt, 10i64);
+        let preds = [&pred];
+        let keep = s(&["k", "name"]);
+        let (plain, dicts0, _) = scan_filter_project_columnar_ranked_ctx(
+            &col,
+            "R",
+            &preds,
+            &keep,
+            &[false, false],
+            &Pool::new(2),
+            &ExecContext::unbounded(),
+        )
+        .unwrap();
+        assert!(dicts0.iter().all(Option::is_none));
+        let (ranked, dicts, _) = scan_filter_project_columnar_ranked_ctx(
+            &col,
+            "R",
+            &preds,
+            &keep,
+            &[true, true],
+            &Pool::new(2),
+            &ExecContext::unbounded(),
+        )
+        .unwrap();
+        // Only the Str column is rankable.
+        assert!(dicts[0].is_none());
+        let dict = dicts[1].as_ref().unwrap();
+        assert_eq!(ranked.len(), plain.len());
+        for (rr, pr) in ranked.iter().zip(plain.iter()) {
+            assert_eq!(rr.data[0], pr.data[0]);
+            let Value::Int(code) = rr.data[1] else {
+                panic!("ranked cell should be an Int code");
+            };
+            assert_eq!(Value::Str(dict[code as usize].clone()), pr.data[1]);
+            assert_eq!(rr.lineage, pr.lineage);
+        }
+        // Rank order is string order: sorting by code sorts by string.
+        let mut by_code: Vec<(i64, Value)> = ranked
+            .iter()
+            .zip(plain.iter())
+            .map(|(rr, pr)| {
+                let Value::Int(c) = rr.data[1] else { panic!() };
+                (c, pr.data[1].clone())
+            })
+            .collect();
+        by_code.sort_by_key(|(c, _)| *c);
+        let strings: Vec<&Value> = by_code.iter().map(|(_, s)| s).collect();
+        assert!(strings.windows(2).all(|w| w[0] <= w[1]));
     }
 }

@@ -144,7 +144,7 @@ pub fn filter_ext(input: &ExtRelation, predicate: &Predicate) -> ExecResult<ExtR
     let idx = input.column_index(&predicate.attribute)?;
     let mut out = ExtRelation::new(input.schema().clone());
     for (row, p) in input.rows() {
-        if predicate.op.eval(row.value(idx), &predicate.constant) {
+        if predicate.matches(row.value(idx)) {
             out.push(row.clone(), *p);
         }
     }

@@ -1,0 +1,419 @@
+//! Late string materialization for the columnar pipeline.
+//!
+//! The PR-5 columnar scan decoded dictionary strings eagerly: every
+//! surviving row cloned an `Arc<str>` per string column, and those clones
+//! were then carried — and re-cloned — through every join, projection and
+//! sort of the pipeline, only to be hashed and compared as opaque strings.
+//! This module keeps string head columns in their **dictionary rank**
+//! representation (`Value::Int(code)`) all the way through the relational
+//! pipeline and decodes them back to `Value::Str` once, on the final
+//! answer:
+//!
+//! * the columnar scan gathers ranks instead of decoded strings
+//!   ([`crate::columnar::scan_filter_project_columnar_ranked_ctx`]) — no
+//!   per-cell `Arc` clone, no refcount traffic;
+//! * dictionaries are **sorted**, so ranks order exactly like their strings
+//!   (`code_a < code_b ⇔ str_a < str_b`): joins, sorts, grouping and
+//!   duplicate elimination over ranked columns produce precisely the row
+//!   set *and row order* the decoded path would;
+//! * the final gather decodes each surviving cell exactly once — the
+//!   number of string materializations is bounded by the answer size, not
+//!   by the intermediate result sizes ([`LateMatStats::decoded_strings`],
+//!   asserted by the alloc-count harness).
+//!
+//! Only columns that are **head attributes and not join attributes** ride
+//! as ranks: ranks are only meaningful against their own dictionary, so a
+//! join attribute — compared against another table's column — must stay
+//! decoded (on TPC-H all join keys are integers anyway, so this costs
+//! nothing). Row-backed relations scan exactly as before; the late path
+//! over them degenerates to [`crate::pipeline::evaluate_join_order_ctx`].
+//!
+//! The determinism contract is unchanged: the decoded answer is
+//! bitwise-identical — values, lineage, row order — to the eager-decode
+//! pipeline, at every thread count and on either storage backing.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use pdb_govern::{ExecContext, Stage};
+use pdb_par::Pool;
+use pdb_query::ConjunctiveQuery;
+use pdb_storage::{Catalog, StorageBacking, Value};
+
+use crate::annotated::Annotated;
+use crate::error::{ExecError, ExecResult};
+use crate::ops;
+
+/// Counters describing one late-materialized evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LateMatStats {
+    /// Head columns carried through the pipeline as dictionary ranks.
+    pub ranked_columns: usize,
+    /// `Arc<str>` values materialized at the final decode — bounded by
+    /// `ranked_columns × answer rows` (NULL cells decode to NULL for free).
+    pub decoded_strings: usize,
+}
+
+/// [`crate::pipeline::evaluate_join_order`] with late string
+/// materialization (see the module docs). The answer is bitwise-identical.
+///
+/// # Errors
+/// Fails if `order` is not a permutation of the query's relations, or if a
+/// referenced table/column is missing from the catalog.
+pub fn evaluate_join_order_late(
+    query: &ConjunctiveQuery,
+    catalog: &Catalog,
+    order: &[String],
+) -> ExecResult<Annotated> {
+    evaluate_join_order_late_with(query, catalog, order, &Pool::from_env())
+}
+
+/// [`evaluate_join_order_late`] with an explicit worker pool.
+///
+/// # Errors
+/// Fails if `order` is not a permutation of the query's relations, or if a
+/// referenced table/column is missing from the catalog.
+pub fn evaluate_join_order_late_with(
+    query: &ConjunctiveQuery,
+    catalog: &Catalog,
+    order: &[String],
+    pool: &Pool,
+) -> ExecResult<Annotated> {
+    evaluate_join_order_late_ctx(query, catalog, order, pool, &ExecContext::unbounded())
+}
+
+/// [`evaluate_join_order_late_with`] under a governor context. The decode
+/// pass checkpoints per output segment (`late.decode`, [`Stage::Project`]).
+///
+/// # Errors
+/// Fails if `order` is not a permutation of the query's relations, if a
+/// referenced table/column is missing from the catalog, or with
+/// [`ExecError::Governed`] when the governor interrupts evaluation.
+pub fn evaluate_join_order_late_ctx(
+    query: &ConjunctiveQuery,
+    catalog: &Catalog,
+    order: &[String],
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ExecResult<Annotated> {
+    evaluate_join_order_late_stats_ctx(query, catalog, order, pool, ctx).map(|(a, _)| a)
+}
+
+/// [`evaluate_join_order_late_ctx`] also returning the late-materialization
+/// counters.
+///
+/// # Errors
+/// See [`evaluate_join_order_late_ctx`].
+pub fn evaluate_join_order_late_stats_ctx(
+    query: &ConjunctiveQuery,
+    catalog: &Catalog,
+    order: &[String],
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ExecResult<(Annotated, LateMatStats)> {
+    let query_rels: BTreeSet<&str> = query.relation_names().into_iter().collect();
+    let order_rels: BTreeSet<&str> = order.iter().map(|s| s.as_str()).collect();
+    if query_rels != order_rels || order.len() != query.relations.len() {
+        return Err(ExecError::UnknownRelation(format!(
+            "join order {order:?} is not a permutation of the query relations {query_rels:?}"
+        )));
+    }
+
+    let head: BTreeSet<String> = query.head_set();
+    let join_attrs = query.join_attributes();
+
+    // attribute → dictionary, for every column scanned as ranks. Attribute
+    // names are unique across relations here (an attribute occurring in two
+    // atoms is a join attribute, and join attributes are never ranked).
+    let mut dicts: BTreeMap<String, Arc<[Arc<str>]>> = BTreeMap::new();
+
+    let mut current: Option<Annotated> = None;
+    for (step, rel_name) in order.iter().enumerate() {
+        let atom = query
+            .relation(rel_name)
+            .ok_or_else(|| ExecError::UnknownRelation(rel_name.clone()))?;
+        let table = catalog.backing(rel_name)?;
+
+        let keep: Vec<String> = atom
+            .attributes
+            .iter()
+            .filter(|a| head.contains(*a) || join_attrs.contains(*a))
+            .cloned()
+            .collect();
+        let predicates = query.predicates_for(rel_name);
+        let scan_pool = pool.for_items(table.len());
+        let scanned = match &table {
+            StorageBacking::Row(t) => {
+                ops::scan_filter_project_ctx(t, rel_name, &predicates, &keep, &scan_pool, ctx)?
+            }
+            StorageBacking::Columnar(t) => {
+                // Rank-carry every head column that is not a join attribute;
+                // the scan honours the flag only where the column really is
+                // dictionary-encoded and reports which ones via `col_dicts`.
+                let ranked: Vec<bool> = keep
+                    .iter()
+                    .map(|a| head.contains(a) && !join_attrs.contains(a))
+                    .collect();
+                let (scanned, col_dicts, _) =
+                    crate::columnar::scan_filter_project_columnar_ranked_ctx(
+                        t,
+                        rel_name,
+                        &predicates,
+                        &keep,
+                        &ranked,
+                        &scan_pool,
+                        ctx,
+                    )?;
+                for (a, d) in keep.iter().zip(col_dicts) {
+                    if let Some(d) = d {
+                        dicts.insert(a.clone(), d);
+                    }
+                }
+                scanned
+            }
+        };
+
+        current = Some(match current {
+            None => scanned,
+            Some(acc) => {
+                let gated = pool.for_items(acc.len().max(scanned.len()));
+                ops::natural_join_ctx(&acc, &scanned, &gated, ctx)?
+            }
+        });
+
+        if let Some(acc) = current.take() {
+            let remaining: BTreeSet<&String> = order[step + 1..].iter().collect();
+            let needed: Vec<String> = acc
+                .schema()
+                .names()
+                .into_iter()
+                .filter(|a| {
+                    head.contains(*a)
+                        || remaining.iter().any(|r| {
+                            query
+                                .relation(r)
+                                .map(|atom| atom.has_attribute(a))
+                                .unwrap_or(false)
+                        })
+                })
+                .map(|s| s.to_string())
+                .collect();
+            current = Some(ops::project_ctx(
+                &acc,
+                &needed,
+                &pool.for_items(acc.len()),
+                ctx,
+            )?);
+        }
+    }
+
+    let answer = current.expect("query has at least one relation");
+    let mut answer = ops::project_ctx(&answer, &query.head, &pool.for_items(answer.len()), ctx)?;
+
+    // Final decode: replace rank codes with their dictionary strings, in
+    // place, each surviving cell exactly once.
+    let ranked_cols: Vec<(usize, Arc<[Arc<str>]>)> = answer
+        .schema()
+        .names()
+        .into_iter()
+        .enumerate()
+        .filter_map(|(j, a)| dicts.get(a).map(|d| (j, d.clone())))
+        .collect();
+    let mut stats = LateMatStats {
+        ranked_columns: ranked_cols.len(),
+        decoded_strings: 0,
+    };
+    if ranked_cols.is_empty() || answer.is_empty() {
+        return Ok((answer, stats));
+    }
+    let rows = answer.len();
+    let dw = answer.data_width();
+    let decode_pool = pool.for_items(rows);
+    let ranges = pdb_par::even_ranges(rows, decode_pool.threads());
+    let cuts: Vec<usize> = ranges.iter().map(|r| r.start * dw).collect();
+    let (data, _) = answer.arena_segments_mut();
+    let decoded = decode_pool
+        .try_map_slices_mut(data, &cuts, |seg_idx, seg| {
+            ctx.checkpoint(Stage::Project, "late.decode", seg_idx)?;
+            let mut n = 0usize;
+            for row in seg.chunks_exact_mut(dw) {
+                for (j, dict) in &ranked_cols {
+                    let cell = &mut row[*j];
+                    match cell {
+                        Value::Int(code) => {
+                            *cell = Value::Str(dict[*code as usize].clone());
+                            n += 1;
+                        }
+                        Value::Null => {}
+                        other => unreachable!("rank cell holds {other:?}"),
+                    }
+                }
+            }
+            Ok::<usize, ExecError>(n)
+        })
+        .map_err(|f| ExecError::from_task_failure(Stage::Project, f))?;
+    stats.decoded_strings = decoded.into_iter().sum();
+    Ok((answer, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::evaluate_join_order_with;
+    use pdb_query::cq::intro_query_q;
+    use pdb_query::{CompareOp, ConjunctiveQuery, Predicate, RelationAtom};
+    use pdb_storage::{ColumnarTable, DataType, ProbTable, Schema, Tuple, Variable};
+
+    fn order(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Two-table catalog with string head columns: `Cust(ckey, cname)` ⋈
+    /// `Ord(ckey, status)` on an integer key, with enough rows to span
+    /// several chunks.
+    fn string_catalog(columnar: bool) -> Catalog {
+        let cust_schema =
+            Schema::from_pairs(&[("ckey", DataType::Int), ("cname", DataType::Str)]).unwrap();
+        let ord_schema =
+            Schema::from_pairs(&[("ckey", DataType::Int), ("status", DataType::Str)]).unwrap();
+        let names = ["Ann", "Bob", "Joe", "Li", "Mo"];
+        let mut cust = ProbTable::new(cust_schema);
+        for r in 0..150usize {
+            cust.insert(
+                Tuple::new(vec![
+                    Value::Int(r as i64),
+                    Value::str(names[r % names.len()]),
+                ]),
+                Variable(r as u64),
+                0.4,
+            )
+            .unwrap();
+        }
+        let mut ord = ProbTable::new(ord_schema);
+        for r in 0..300usize {
+            let status = if r % 7 == 0 {
+                Value::Null
+            } else {
+                Value::str(if r % 2 == 0 { "open" } else { "shipped" })
+            };
+            ord.insert(
+                Tuple::new(vec![Value::Int((r % 150) as i64), status]),
+                Variable(1000 + r as u64),
+                0.6,
+            )
+            .unwrap();
+        }
+        let catalog = Catalog::new();
+        if columnar {
+            let pool = Pool::sequential();
+            catalog
+                .register_columnar(
+                    "Cust",
+                    ColumnarTable::from_prob_table_chunked(&cust, &pool, 64).unwrap(),
+                )
+                .unwrap();
+            catalog
+                .register_columnar(
+                    "Ord",
+                    ColumnarTable::from_prob_table_chunked(&ord, &pool, 64).unwrap(),
+                )
+                .unwrap();
+        } else {
+            catalog.register_table("Cust", cust).unwrap();
+            catalog.register_table("Ord", ord).unwrap();
+        }
+        catalog
+    }
+
+    fn string_query() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            vec![
+                RelationAtom::new("Cust", &["ckey", "cname"]),
+                RelationAtom::new("Ord", &["ckey", "status"]),
+            ],
+            vec!["cname".to_string(), "status".to_string()],
+            vec![Predicate::new("Cust", "ckey", CompareOp::Lt, 120i64)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn late_path_is_bitwise_identical_to_the_eager_path() {
+        let q = string_query();
+        let columnar = string_catalog(true);
+        let row = string_catalog(false);
+        let o = order(&["Cust", "Ord"]);
+        let want = evaluate_join_order_with(&q, &row, &o, &Pool::sequential()).unwrap();
+        assert!(!want.is_empty());
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let (late, stats) = evaluate_join_order_late_stats_ctx(
+                &q,
+                &columnar,
+                &o,
+                &pool,
+                &ExecContext::unbounded(),
+            )
+            .unwrap();
+            assert_eq!(late, want, "{threads} threads");
+            assert_eq!(stats.ranked_columns, 2, "{threads} threads");
+            // Every decode produced an answer cell: bounded by the output.
+            assert!(stats.decoded_strings <= 2 * late.len());
+            // NULL statuses decode for free.
+            let nulls = late.iter().filter(|r| r.data[1].is_null()).count();
+            assert_eq!(stats.decoded_strings, 2 * late.len() - nulls);
+        }
+    }
+
+    #[test]
+    fn late_path_over_row_backing_degenerates_to_the_eager_pipeline() {
+        let q = string_query();
+        let row = string_catalog(false);
+        let o = order(&["Ord", "Cust"]);
+        let want = evaluate_join_order_with(&q, &row, &o, &Pool::new(2)).unwrap();
+        let (late, stats) = evaluate_join_order_late_stats_ctx(
+            &q,
+            &row,
+            &o,
+            &Pool::new(2),
+            &ExecContext::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(late, want);
+        assert_eq!(stats, LateMatStats::default());
+    }
+
+    #[test]
+    fn fig1_answer_matches_under_late_materialization() {
+        // The paper's Fig. 1 catalog is row-backed; convert it to columnar
+        // and check the intro query end to end.
+        let row = crate::fixtures::fig1_catalog();
+        let columnar = Catalog::new();
+        for name in ["Cust", "Ord", "Item"] {
+            let StorageBacking::Row(t) = row.backing(name).unwrap() else {
+                panic!("fixture is row-backed");
+            };
+            columnar
+                .register_columnar(
+                    name,
+                    ColumnarTable::from_prob_table(&t, &Pool::sequential()).unwrap(),
+                )
+                .unwrap();
+        }
+        let q = intro_query_q();
+        let o = order(&["Cust", "Ord", "Item"]);
+        let want = evaluate_join_order_with(&q, &row, &o, &Pool::sequential()).unwrap();
+        let late = evaluate_join_order_late_with(&q, &columnar, &o, &Pool::new(4)).unwrap();
+        assert_eq!(late, want);
+        assert_eq!(late.len(), 2);
+    }
+
+    #[test]
+    fn invalid_orders_are_rejected() {
+        let q = string_query();
+        let catalog = string_catalog(true);
+        assert!(evaluate_join_order_late(&q, &catalog, &order(&["Cust"])).is_err());
+        assert!(evaluate_join_order_late(&q, &catalog, &order(&["Cust", "Nope"])).is_err());
+    }
+}

@@ -34,7 +34,9 @@ pub mod columnar;
 pub mod error;
 pub mod extensional;
 pub mod fixtures;
+pub mod kernel;
 pub mod key;
+pub mod late;
 pub mod ops;
 pub mod pipeline;
 
@@ -42,5 +44,9 @@ pub use annotated::{Annotated, AnnotatedRow, RowRef};
 pub use columnar::ColumnarScanStats;
 pub use error::{ExecError, ExecResult};
 pub use extensional::ExtRelation;
+pub use late::{
+    evaluate_join_order_late, evaluate_join_order_late_ctx, evaluate_join_order_late_with,
+    LateMatStats,
+};
 pub use pdb_govern::{ExecContext, GovernorBuilder, QueryGovernor, SproutError, Stage};
 pub use pipeline::{evaluate_join_order, evaluate_join_order_ctx, evaluate_join_order_with};

@@ -306,7 +306,7 @@ pub fn scan_filter_project_ctx(
         predicates
             .iter()
             .zip(&layout.pred_positions)
-            .all(|(pred, &pos)| pred.op.eval(row.value(pos), &pred.constant))
+            .all(|(pred, &pos)| pred.matches(row.value(pos)))
     };
     if pool.threads() <= 1 || rows < 2 {
         let mut out = Annotated::with_row_capacity(layout.schema, vec![relation.to_string()], rows);
@@ -483,7 +483,7 @@ pub fn filter_with(input: &Annotated, predicate: &Predicate, pool: &Pool) -> Exe
                 rows,
             );
             for row in input.iter() {
-                if predicate.op.eval(row.value(idx), &predicate.constant) {
+                if predicate.matches(row.value(idx)) {
                     out.push_row(row.data, row.lineage);
                 }
             }
@@ -492,11 +492,7 @@ pub fn filter_with(input: &Annotated, predicate: &Predicate, pool: &Pool) -> Exe
         let ranges = even_ranges(rows, pool.threads());
         let survivors: Vec<Vec<u32>> = pool.map_ranges(&ranges, |range| {
             range
-                .filter(|&i| {
-                    predicate
-                        .op
-                        .eval(input.row(i).value(idx), &predicate.constant)
-                })
+                .filter(|&i| predicate.matches(input.row(i).value(idx)))
                 .map(|i| i as u32)
                 .collect()
         });

@@ -9,15 +9,12 @@
 //! join attributes), and produces the lineage-annotated answer relation the
 //! confidence-computation operator consumes.
 
-use std::collections::BTreeSet;
-
 use pdb_govern::ExecContext;
 use pdb_query::ConjunctiveQuery;
 use pdb_storage::Catalog;
 
 use crate::annotated::Annotated;
-use crate::error::{ExecError, ExecResult};
-use crate::ops;
+use crate::error::ExecResult;
 
 /// Evaluates `query` over `catalog` joining relations in the order given by
 /// `order` (relation names). Returns the annotated answer projected onto the
@@ -70,90 +67,20 @@ pub fn evaluate_join_order_ctx(
     pool: &pdb_par::Pool,
     ctx: &ExecContext,
 ) -> ExecResult<Annotated> {
-    let query_rels: BTreeSet<&str> = query.relation_names().into_iter().collect();
-    let order_rels: BTreeSet<&str> = order.iter().map(|s| s.as_str()).collect();
-    if query_rels != order_rels || order.len() != query.relations.len() {
-        return Err(ExecError::UnknownRelation(format!(
-            "join order {order:?} is not a permutation of the query relations {query_rels:?}"
-        )));
-    }
-
-    let head: BTreeSet<String> = query.head_set();
-    let join_attrs = query.join_attributes();
-
-    let mut current: Option<Annotated> = None;
-    for (step, rel_name) in order.iter().enumerate() {
-        let atom = query
-            .relation(rel_name)
-            .ok_or_else(|| ExecError::UnknownRelation(rel_name.clone()))?;
-        let table = catalog.backing(rel_name)?;
-
-        // Keep only the attributes of this relation that are head or join
-        // attributes; predicate-only columns are consumed inside the fused
-        // scan and never materialised. Attributes may be declared on the
-        // atom but absent from the stored table only if the caller
-        // mis-declared the query; scan_filter_project() reports it.
-        // Columnar backings take the vectorized zone-map fast path; the
-        // result is identical either way.
-        let keep: Vec<String> = atom
-            .attributes
-            .iter()
-            .filter(|a| head.contains(*a) || join_attrs.contains(*a))
-            .cloned()
-            .collect();
-        let scanned = ops::scan_filter_project_backing_ctx(
-            &table,
-            rel_name,
-            &query.predicates_for(rel_name),
-            &keep,
-            &pool.for_items(table.len()),
-            ctx,
-        )?;
-
-        current = Some(match current {
-            None => scanned,
-            Some(acc) => {
-                let gated = pool.for_items(acc.len().max(scanned.len()));
-                ops::natural_join_ctx(&acc, &scanned, &gated, ctx)?
-            }
-        });
-
-        // After each join, drop columns that are neither head attributes nor
-        // join attributes of a relation still to come.
-        if let Some(acc) = current.take() {
-            let remaining: BTreeSet<&String> = order[step + 1..].iter().collect();
-            let needed: Vec<String> = acc
-                .schema()
-                .names()
-                .into_iter()
-                .filter(|a| {
-                    head.contains(*a)
-                        || remaining.iter().any(|r| {
-                            query
-                                .relation(r)
-                                .map(|atom| atom.has_attribute(a))
-                                .unwrap_or(false)
-                        })
-                })
-                .map(|s| s.to_string())
-                .collect();
-            current = Some(ops::project_ctx(
-                &acc,
-                &needed,
-                &pool.for_items(acc.len()),
-                ctx,
-            )?);
-        }
-    }
-
-    let answer = current.expect("query has at least one relation");
-    // Final projection onto the head attributes, in head order.
-    ops::project_ctx(&answer, &query.head, &pool.for_items(answer.len()), ctx)
+    // One pipeline serves both backings: `late` keeps only the attributes of
+    // each relation that are head or join attributes (predicate-only columns
+    // are consumed inside the fused scan and never materialised), pushes
+    // selections into the scans, joins in the given order, and projects
+    // after every join. On columnar backings it additionally carries string
+    // head columns as dictionary ranks, decoded only on the final answer —
+    // the result is bitwise-identical either way.
+    crate::late::evaluate_join_order_late_ctx(query, catalog, order, pool, ctx)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ExecError;
     use crate::fixtures::fig1_catalog;
     use pdb_query::cq::{intro_query_q, intro_query_q_prime};
     use pdb_storage::{tuple, Catalog};

@@ -399,6 +399,108 @@ fn one_scan_inner_loop_allocates_sublinearly() {
 }
 
 #[test]
+fn bitmask_scan_allocates_bounded_scratch() {
+    // PR 7: the masked columnar scan builds one fixed-width bitmask per
+    // chunk (16 u64 words for 1024 rows) and gathers survivors into
+    // popcount-pre-sized arenas — no per-row Vec growth anywhere. The
+    // predicate is deliberately Partial on every chunk (the constant sits
+    // mid-domain) so the kernel/mask path runs, not the zone-map shortcut.
+    use pdb_exec::columnar::scan_filter_project_columnar_with;
+    use pdb_par::Pool;
+    use pdb_query::{CompareOp, Predicate};
+    use pdb_storage::{ColumnarTable, Value};
+
+    let rows = 8192usize;
+    let mut t =
+        ProbTable::new(Schema::from_pairs(&[("k", DataType::Int), ("s", DataType::Str)]).unwrap());
+    let strings = ["ash", "birch", "cedar", "oak"];
+    for r in 0..rows {
+        t.insert(
+            tuple![
+                Value::Int((r % 100) as i64),
+                Value::str(strings[r % strings.len()])
+            ],
+            Variable(r as u64),
+            0.5,
+        )
+        .unwrap();
+    }
+    let pool = Pool::new(4);
+    let col = ColumnarTable::from_prob_table(&t, &pool).unwrap();
+    let pred = Predicate::new("R", "k", CompareOp::Lt, 50i64);
+    let preds = [&pred];
+    let keep: Vec<String> = vec!["k".into(), "s".into()];
+    scan_filter_project_columnar_with(&col, "R", &preds, &keep, &pool).unwrap(); // warm-up
+    let mut out = None;
+    let allocs = allocations(|| {
+        out = Some(scan_filter_project_columnar_with(&col, "R", &preds, &keep, &pool).unwrap());
+    });
+    let out = out.unwrap();
+    let expected = (0..rows).filter(|r| (r % 100) < 50).count();
+    assert_eq!(out.len(), expected);
+    assert!(
+        allocs < out.len() / 4,
+        "bitmask scan allocated {allocs} times for {} output rows",
+        out.len()
+    );
+}
+
+#[test]
+fn late_materialization_decodes_at_most_the_output_strings() {
+    // PR 7: string head columns ride the pipeline as dictionary ranks; an
+    // `Arc<str>` is materialized only per string cell of the *final*
+    // answer, never per intermediate row. The filter drops 3/4 of the rows
+    // before the join, so decoding eagerly would cost 4x more.
+    use pdb_exec::late::evaluate_join_order_late_stats_ctx;
+    use pdb_exec::ExecContext;
+    use pdb_par::Pool;
+    use pdb_query::{CompareOp, ConjunctiveQuery, Predicate};
+    use pdb_storage::{Catalog, ColumnarTable, Value};
+
+    let rows = 2048usize;
+    let mut r = ProbTable::new(
+        Schema::from_pairs(&[("a", DataType::Int), ("name", DataType::Str)]).unwrap(),
+    );
+    for i in 0..rows {
+        r.insert(
+            tuple![
+                Value::Int((i % 4) as i64),
+                Value::str(format!("name-{}", i % 64))
+            ],
+            Variable(i as u64),
+            0.5,
+        )
+        .unwrap();
+    }
+    let mut s = ProbTable::new(Schema::from_pairs(&[("a", DataType::Int)]).unwrap());
+    s.insert(tuple![Value::Int(0i64)], Variable(1_000_000), 0.5)
+        .unwrap();
+    let pool = Pool::new(2);
+    let catalog = Catalog::new();
+    catalog
+        .register_columnar("R", ColumnarTable::from_prob_table(&r, &pool).unwrap())
+        .unwrap();
+    catalog
+        .register_columnar("S", ColumnarTable::from_prob_table(&s, &pool).unwrap())
+        .unwrap();
+    let q = ConjunctiveQuery::build(
+        &[("R", &["a", "name"]), ("S", &["a"])],
+        &["name"],
+        vec![Predicate::new("R", "a", CompareOp::Eq, 0i64)],
+    )
+    .unwrap();
+    let order: Vec<String> = vec!["R".into(), "S".into()];
+    let (answer, stats) =
+        evaluate_join_order_late_stats_ctx(&q, &catalog, &order, &pool, &ExecContext::unbounded())
+            .unwrap();
+    assert_eq!(answer.len(), rows / 4);
+    assert_eq!(stats.ranked_columns, 1);
+    // One decode per string cell of the answer — not per scanned row.
+    assert_eq!(stats.decoded_strings, answer.len());
+    assert!(stats.decoded_strings <= answer.len() * answer.schema().len());
+}
+
+#[test]
 fn partitioned_join_scatter_allocates_o_chunks_plus_partitions() {
     // PR 5: the radix scatter is a counting sort over per-chunk histograms
     // — one histogram per chunk, one flat scatter buffer, one cursor array

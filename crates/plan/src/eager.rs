@@ -9,16 +9,17 @@
 //! group); joins between such relations multiply probabilities implicitly
 //! through the next aggregation's propagation step.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
 
 use pdb_conf::ConfidenceResult;
 use pdb_exec::{ops, Annotated, AnnotatedRow};
-use pdb_govern::{ExecContext, QueryGovernor};
+use pdb_govern::{ExecContext, QueryGovernor, SproutError, Stage};
 use pdb_lineage::independent_or;
-use pdb_par::Pool;
+use pdb_par::{Pool, TaskFailure};
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, QueryTree};
-use pdb_storage::{Catalog, Tuple};
+use pdb_storage::{Catalog, Tuple, Variable};
 
 use crate::error::{PlanError, PlanResult};
 
@@ -60,10 +61,10 @@ impl EagerPlan {
         self
     }
 
-    /// Sets the worker pool the plan's scans, filters, projections and joins
-    /// fan out on (the default is [`Pool::from_env`]). The per-node
-    /// aggregations themselves are `BTreeMap`-based and sequential. Results
-    /// are identical at every pool size.
+    /// Sets the worker pool the plan's scans, filters, projections, joins
+    /// *and per-node aggregations* fan out on (the default is
+    /// [`Pool::from_env`]; aggregations build per-worker chunk maps merged
+    /// in chunk order). Results are identical at every pool size.
     pub fn with_pool(mut self, pool: Pool) -> Self {
         self.pool = pool;
         self
@@ -149,7 +150,10 @@ impl EagerPlan {
                     .collect();
                 let projected =
                     ops::project_ctx(&scanned, &keep, &self.pool.for_items(scanned.len()), ctx)?;
-                Ok((aggregate_single_column(&projected), relation.clone()))
+                Ok((
+                    aggregate_single_column(&projected, &self.pool, ctx)?,
+                    relation.clone(),
+                ))
             }
             QueryTree::Inner { children, .. } => {
                 // Every child subtree keeps its *interface* attributes: the
@@ -180,7 +184,7 @@ impl EagerPlan {
                 let projected =
                     ops::project_ctx(&joined, &keep, &self.pool.for_items(joined.len()), ctx)?;
                 Ok((
-                    aggregate_joined(&projected, &representative),
+                    aggregate_joined(&projected, &representative, &self.pool, ctx)?,
                     representative,
                 ))
             }
@@ -209,16 +213,70 @@ fn interface_attributes(query: &ConjunctiveQuery, subtree: &BTreeSet<String>) ->
         .collect()
 }
 
+/// Rows per aggregation chunk: one per-worker map and one governor
+/// checkpoint per chunk (the kernel-chunk granularity every other stage
+/// observes).
+const AGG_CHUNK_ROWS: usize = 1024;
+
+/// The input cut into `AGG_CHUNK_ROWS`-sized row ranges.
+fn agg_chunks(rows: usize) -> Vec<Range<usize>> {
+    (0..rows.div_ceil(AGG_CHUNK_ROWS))
+        .map(|k| k * AGG_CHUNK_ROWS..((k + 1) * AGG_CHUNK_ROWS).min(rows))
+        .collect()
+}
+
+/// Converts a parallel aggregation failure: task errors propagate verbatim,
+/// worker panics are isolated into [`SproutError::WorkerPanic`].
+fn agg_task_failure(failure: TaskFailure<PlanError>) -> PlanError {
+    match failure {
+        TaskFailure::Err { error, .. } => error,
+        TaskFailure::Panic { item, message } => PlanError::Governed(SproutError::WorkerPanic {
+            stage: Stage::Aggregate,
+            item,
+            message,
+        }),
+    }
+}
+
 /// Aggregates a single-relation input: one output row per distinct data
 /// tuple, whose lineage is the minimal variable of the group and the
 /// independent-or of the group's distinct variables (the `[R*]` operator on
 /// top of a base-table scan).
-fn aggregate_single_column(input: &Annotated) -> Annotated {
-    use std::collections::BTreeMap;
-    let mut groups: BTreeMap<Tuple, BTreeMap<pdb_storage::Variable, f64>> = BTreeMap::new();
-    for row in input.iter() {
-        let (var, p) = row.lineage[0];
-        groups.entry(row.data_tuple()).or_default().insert(var, p);
+///
+/// Parallel and deterministic: workers aggregate fixed row chunks into
+/// per-chunk maps, merged in ascending chunk order — a later chunk's
+/// `(variable → probability)` entry overwrites an earlier chunk's exactly
+/// as later rows overwrite earlier ones in the sequential loop, so the
+/// merged groups (and the `BTreeMap`-ordered output) are identical at
+/// every thread count. Checkpoints `eager.aggregate` per chunk.
+///
+/// # Errors
+/// Fails with [`PlanError::Governed`] when the governor interrupts.
+fn aggregate_single_column(
+    input: &Annotated,
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> PlanResult<Annotated> {
+    type Groups = BTreeMap<Tuple, BTreeMap<Variable, f64>>;
+    let chunks = agg_chunks(input.len());
+    let partials: Vec<Groups> = pool
+        .for_items(input.len())
+        .try_map(&chunks, |k, range| {
+            ctx.checkpoint(Stage::Aggregate, "eager.aggregate", k)?;
+            let mut groups: Groups = BTreeMap::new();
+            for i in range.clone() {
+                let row = input.row(i);
+                let (var, p) = row.lineage[0];
+                groups.entry(row.data_tuple()).or_default().insert(var, p);
+            }
+            Ok::<_, PlanError>(groups)
+        })
+        .map_err(agg_task_failure)?;
+    let mut groups: Groups = BTreeMap::new();
+    for partial in partials {
+        for (data, members) in partial {
+            groups.entry(data).or_default().extend(members);
+        }
     }
     let mut out = Annotated::new(input.schema().clone(), input.relations().to_vec());
     for (data, members) in groups {
@@ -226,7 +284,7 @@ fn aggregate_single_column(input: &Annotated) -> Annotated {
         let prob = independent_or(members.values().copied());
         out.push(AnnotatedRow::new(data, vec![(representative, prob)]));
     }
-    out
+    Ok(out)
 }
 
 /// Aggregates the join of already-aggregated children: per output row the
@@ -234,19 +292,47 @@ fn aggregate_single_column(input: &Annotated) -> Annotated {
 /// per group of duplicate data tuples the rows describe independent events
 /// and are combined with independent-or. The surviving lineage column is the
 /// representative child's.
-fn aggregate_joined(input: &Annotated, representative: &str) -> Annotated {
-    use std::collections::BTreeMap;
+///
+/// Parallel and deterministic like [`aggregate_single_column`]: per-chunk
+/// group vectors are concatenated in ascending chunk order, reproducing the
+/// sequential row order within every group (the independent-or folds the
+/// same floats in the same order).
+///
+/// # Errors
+/// Fails with [`PlanError::Governed`] when the governor interrupts.
+fn aggregate_joined(
+    input: &Annotated,
+    representative: &str,
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> PlanResult<Annotated> {
+    type Groups = BTreeMap<Tuple, Vec<(Variable, f64)>>;
     let rep_idx = input
         .relation_index(representative)
         .expect("representative child is part of the join");
-    let mut groups: BTreeMap<Tuple, Vec<(pdb_storage::Variable, f64)>> = BTreeMap::new();
-    for row in input.iter() {
-        let prob: f64 = row.lineage.iter().map(|(_, p)| *p).product();
-        let var = row.lineage[rep_idx].0;
-        groups
-            .entry(row.data_tuple())
-            .or_default()
-            .push((var, prob));
+    let chunks = agg_chunks(input.len());
+    let partials: Vec<Groups> = pool
+        .for_items(input.len())
+        .try_map(&chunks, |k, range| {
+            ctx.checkpoint(Stage::Aggregate, "eager.aggregate", k)?;
+            let mut groups: Groups = BTreeMap::new();
+            for i in range.clone() {
+                let row = input.row(i);
+                let prob: f64 = row.lineage.iter().map(|(_, p)| *p).product();
+                let var = row.lineage[rep_idx].0;
+                groups
+                    .entry(row.data_tuple())
+                    .or_default()
+                    .push((var, prob));
+            }
+            Ok::<_, PlanError>(groups)
+        })
+        .map_err(agg_task_failure)?;
+    let mut groups: Groups = BTreeMap::new();
+    for partial in partials {
+        for (data, members) in partial {
+            groups.entry(data).or_default().extend(members);
+        }
     }
     let mut out = Annotated::new(input.schema().clone(), vec![representative.to_string()]);
     for (data, members) in groups {
@@ -254,7 +340,7 @@ fn aggregate_joined(input: &Annotated, representative: &str) -> Annotated {
         let prob = independent_or(members.iter().map(|(_, p)| *p));
         out.push(AnnotatedRow::new(data, vec![(rep_var, prob)]));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -298,6 +384,80 @@ mod tests {
         for ((t1, p1), (t2, p2)) in e.iter().zip(l.iter()) {
             assert_eq!(t1, t2);
             assert!((p1 - p2).abs() < 1e-9, "{t1}: eager {p1} vs lazy {p2}");
+        }
+    }
+
+    #[test]
+    fn eager_plan_is_bitwise_identical_across_thread_counts() {
+        // Tentpole (d): the parallel per-node aggregations merge per-chunk
+        // maps in a deterministic order, so the answer (tuples, confidences)
+        // is bitwise-identical at every pool size.
+        let catalog = fig1_catalog();
+        let q = intro_query_q();
+        let reference = EagerPlan::build(&q, &FdSet::empty())
+            .unwrap()
+            .with_pool(Pool::sequential())
+            .execute(&catalog)
+            .unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let result = EagerPlan::build(&q, &FdSet::empty())
+                .unwrap()
+                .with_pool(Pool::new(threads))
+                .execute(&catalog)
+                .unwrap();
+            assert_eq!(result.len(), reference.len(), "{threads} threads");
+            for ((t1, p1), (t2, p2)) in reference.iter().zip(result.iter()) {
+                assert_eq!(t1, t2, "{threads} threads");
+                assert_eq!(p1.to_bits(), p2.to_bits(), "{threads} threads: {t1}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_aggregation_handles_many_chunks() {
+        // More rows than AGG_CHUNK_ROWS so the aggregation genuinely fans
+        // out into several per-chunk maps; duplicates straddle chunk
+        // boundaries to exercise the cross-chunk merge.
+        use pdb_query::{ConjunctiveQuery, RelationAtom};
+        use pdb_storage::{DataType, ProbTable, Schema, Value, Variable};
+
+        let schema = Schema::from_pairs(&[("g", DataType::Int), ("x", DataType::Int)]).unwrap();
+        let mut table = ProbTable::new(schema);
+        let rows = 4 * AGG_CHUNK_ROWS + 7;
+        for i in 0..rows {
+            table
+                .insert(
+                    tuple![Value::Int((i % 5) as i64), Value::Int((i % 97) as i64)],
+                    Variable(i as u64),
+                    0.25,
+                )
+                .unwrap();
+        }
+        let catalog = Catalog::new();
+        catalog.register_table("R", table).unwrap();
+        let q = ConjunctiveQuery::new(
+            vec![RelationAtom::new("R", &["g", "x"])],
+            vec!["g".to_string()],
+            vec![],
+        )
+        .unwrap();
+        let reference = EagerPlan::build(&q, &FdSet::empty())
+            .unwrap()
+            .with_pool(Pool::sequential())
+            .execute(&catalog)
+            .unwrap();
+        assert_eq!(reference.len(), 5);
+        for threads in [2usize, 8] {
+            let result = EagerPlan::build(&q, &FdSet::empty())
+                .unwrap()
+                .with_pool(Pool::new(threads))
+                .execute(&catalog)
+                .unwrap();
+            assert_eq!(result.len(), reference.len());
+            for ((t1, p1), (t2, p2)) in reference.iter().zip(result.iter()) {
+                assert_eq!(t1, t2);
+                assert_eq!(p1.to_bits(), p2.to_bits(), "{t1}");
+            }
         }
     }
 

@@ -31,11 +31,18 @@ pub fn greedy_join_order(query: &ConjunctiveQuery, catalog: &Catalog) -> PlanRes
         .collect();
     let mut order: Vec<String> = Vec::with_capacity(remaining.len());
 
-    // Seed: the most selective relation.
+    // Seed: the most selective relation; equal output estimates fall back
+    // to the cheaper scan (the columnar zone statistics' chunk-distinct
+    // hints estimate how many chunks an Eq/In probe actually reads).
     remaining.sort_by(|a, b| {
         stats
             .filtered_cardinality(query, a)
             .total_cmp(&stats.filtered_cardinality(query, b))
+            .then_with(|| {
+                stats
+                    .scan_cost(query, a)
+                    .total_cmp(&stats.scan_cost(query, b))
+            })
     });
     let seed = remaining.remove(0);
     let mut current_card = stats.filtered_cardinality(query, &seed);

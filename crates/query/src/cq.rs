@@ -28,16 +28,22 @@ pub enum CompareOp {
     Gt,
     /// `>=`
     Ge,
+    /// `IN (v1, …, vk)` — set membership against the predicate's
+    /// `alternatives` list. Against a single constant it degenerates to `=`.
+    In,
 }
 
 impl CompareOp {
     /// Evaluates the comparison between a column value and the constant.
+    ///
+    /// `In` here compares against the single constant only; membership over a
+    /// full alternative list goes through [`Predicate::matches`].
     pub fn eval(&self, left: &Value, right: &Value) -> bool {
         if left.is_null() || right.is_null() {
             return false;
         }
         match self {
-            CompareOp::Eq => left == right,
+            CompareOp::Eq | CompareOp::In => left == right,
             CompareOp::Ne => left != right,
             CompareOp::Lt => left < right,
             CompareOp::Le => left <= right,
@@ -56,6 +62,7 @@ impl fmt::Display for CompareOp {
             CompareOp::Le => "<=",
             CompareOp::Gt => ">",
             CompareOp::Ge => ">=",
+            CompareOp::In => "IN",
         };
         f.write_str(s)
     }
@@ -72,6 +79,9 @@ pub struct Predicate {
     pub op: CompareOp,
     /// The constant compared against.
     pub constant: Value,
+    /// Additional constants for `In` predicates; `constant` holds the first
+    /// list element and this holds the rest (empty for every other operator).
+    pub alternatives: Vec<Value>,
 }
 
 impl Predicate {
@@ -87,12 +97,59 @@ impl Predicate {
             attribute: attribute.into(),
             op,
             constant: constant.into(),
+            alternatives: Vec::new(),
+        }
+    }
+
+    /// Creates an `IN (v1, …, vk)` membership predicate. The list must be
+    /// non-empty; NULL list elements never match (SQL semantics).
+    pub fn is_in(
+        relation: impl Into<String>,
+        attribute: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<Value>>,
+    ) -> Self {
+        let mut list: Vec<Value> = values.into_iter().map(Into::into).collect();
+        assert!(!list.is_empty(), "IN list must be non-empty");
+        let constant = list.remove(0);
+        Predicate {
+            relation: relation.into(),
+            attribute: attribute.into(),
+            op: CompareOp::In,
+            constant,
+            alternatives: list,
+        }
+    }
+
+    /// All constants the predicate compares against: `constant` followed by
+    /// `alternatives` (length 1 for every operator except `In`).
+    pub fn constants(&self) -> impl Iterator<Item = &Value> {
+        std::iter::once(&self.constant).chain(self.alternatives.iter())
+    }
+
+    /// The single evaluation oracle: whether column value `v` satisfies this
+    /// predicate. NULL column values never match, and for `In` NULL list
+    /// elements never match either.
+    pub fn matches(&self, v: &Value) -> bool {
+        match self.op {
+            CompareOp::In => !v.is_null() && self.constants().any(|c| !c.is_null() && v == c),
+            op => op.eval(v, &self.constant),
         }
     }
 }
 
 impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.op == CompareOp::In {
+            write!(
+                f,
+                "{}.{} IN ({}",
+                self.relation, self.attribute, self.constant
+            )?;
+            for alt in &self.alternatives {
+                write!(f, ", {alt}")?;
+            }
+            return write!(f, ")");
+        }
         write!(
             f,
             "{}.{} {} {}",
@@ -348,6 +405,50 @@ mod tests {
         assert!(CompareOp::Ne.eval(&Value::str("a"), &Value::str("b")));
         assert!(!CompareOp::Eq.eval(&Value::Null, &Value::Int(1)));
         assert!(!CompareOp::Gt.eval(&Value::Int(3), &Value::Null));
+    }
+
+    #[test]
+    fn in_predicate_matches_membership() {
+        let p = Predicate::is_in("R", "a", [1i64, 3, 5]);
+        assert_eq!(p.op, CompareOp::In);
+        assert!(p.matches(&Value::Int(3)));
+        assert!(p.matches(&Value::Int(5)));
+        assert!(!p.matches(&Value::Int(2)));
+        assert!(!p.matches(&Value::Null));
+        // Cross-variant numeric equality holds for membership too.
+        assert!(p.matches(&Value::Float(1.0)));
+        // NULL list elements never match anything.
+        let p = Predicate::is_in("R", "a", [Value::Null, Value::Int(7)]);
+        assert!(p.matches(&Value::Int(7)));
+        assert!(!p.matches(&Value::Null));
+        // Display renders the full list.
+        let p = Predicate::is_in("R", "a", ["x", "y"]);
+        assert_eq!(p.to_string(), "R.a IN (x, y)");
+    }
+
+    #[test]
+    fn matches_agrees_with_eval_for_scalar_ops() {
+        let p = Predicate::new("R", "a", CompareOp::Le, 4i64);
+        for v in [Value::Int(3), Value::Int(4), Value::Int(5), Value::Null] {
+            assert_eq!(p.matches(&v), p.op.eval(&v, &p.constant));
+        }
+    }
+
+    #[test]
+    fn in_query_validates_like_any_predicate() {
+        let q = ConjunctiveQuery::build(
+            &[("R", &["a"])],
+            &["a"],
+            vec![Predicate::is_in("R", "a", [1i64, 2])],
+        )
+        .unwrap();
+        assert_eq!(q.predicates_for("R").len(), 1);
+        let err = ConjunctiveQuery::build(
+            &[("R", &["a"])],
+            &[],
+            vec![Predicate::is_in("S", "a", [1i64])],
+        );
+        assert!(matches!(err, Err(QueryError::UnknownRelation(_))));
     }
 
     #[test]

@@ -64,6 +64,13 @@ impl NullBitmap {
     pub fn words_mut(&mut self) -> &mut [u64] {
         &mut self.words
     }
+
+    /// The backing words, read-only (64 rows per word). The columnar scan's
+    /// bitmask kernels AND `!words` into their selection masks so NULL rows
+    /// fail every predicate without a per-row branch.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 /// One attribute's values, stored as a typed vector plus the null bitmap.

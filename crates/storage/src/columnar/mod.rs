@@ -29,7 +29,9 @@ mod column;
 mod zone;
 
 pub use column::{ColumnData, NullBitmap};
-pub use zone::ZoneMap;
+pub use zone::{
+    bloom_key, bloom_key_str, bloom_probe, ChunkRepr, ZoneMap, ZoneMapBuilder, BLOOM_WORDS,
+};
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -175,6 +177,23 @@ impl ColumnarTable {
     pub fn distinct_count(&self, name: &str) -> StorageResult<usize> {
         let c = self.schema.index_of(name)?;
         Ok(self.columns[c].distinct_count(self.len))
+    }
+
+    /// The largest per-chunk distinct-count hint for column `name`: an
+    /// upper bound on how many distinct values any single chunk holds.
+    /// Planners use it to estimate how many chunks an equality predicate
+    /// can skip (a column whose chunks each hold few of the table's
+    /// distinct values prunes well).
+    ///
+    /// # Errors
+    /// Fails on unknown columns.
+    pub fn max_chunk_distinct(&self, name: &str) -> StorageResult<usize> {
+        let c = self.schema.index_of(name)?;
+        Ok(self.zones[c]
+            .iter()
+            .map(|z| z.distinct as usize)
+            .max()
+            .unwrap_or(0))
     }
 
     /// Materialises the row representation (same rows, same variables, same
@@ -325,35 +344,23 @@ fn build_typed<'a, T: Native>(
         &word_cuts,
         |k, vseg, wseg| {
             let range = chunks[k].clone();
-            let mut min: Option<T> = None;
-            let mut max: Option<T> = None;
-            let mut null_count = 0usize;
+            // The builder computes bounds under Value's total order (NaN
+            // greatest, -0.0 == 0.0 — exactly what Value::cmp yields on the
+            // canonical variants), plus the bloom filter and distinct hint.
+            let mut stats = zone::ZoneMapBuilder::new();
             for (i, r) in range.clone().enumerate() {
                 match extract(cell(r)) {
                     Some(v) => {
                         vseg[i] = v;
-                        // Bounds under Value's total order (NaN greatest,
-                        // -0.0 == 0.0 — exactly what Value::cmp yields on
-                        // the canonical variants).
-                        if min.is_none_or(|m| v.to_value() < m.to_value()) {
-                            min = Some(v);
-                        }
-                        if max.is_none_or(|m| v.to_value() > m.to_value()) {
-                            max = Some(v);
-                        }
+                        stats.push(&v.to_value());
                     }
                     None => {
                         wseg[i / 64] |= 1 << (i % 64);
-                        null_count += 1;
+                        stats.push_null();
                     }
                 }
             }
-            ZoneMap {
-                min: min.map(Native::to_value),
-                max: max.map(Native::to_value),
-                null_count,
-                rows: range.len(),
-            }
+            stats.finish()
         },
     );
     (T::into_column(values, nulls), zones)
@@ -393,6 +400,7 @@ fn build_str<'a>(
             let mut min_code: Option<u32> = None;
             let mut max_code: Option<u32> = None;
             let mut null_count = 0usize;
+            let mut seen_codes: Vec<u32> = Vec::new();
             for (i, r) in range.clone().enumerate() {
                 match cell(r) {
                     Value::Str(s) => {
@@ -401,6 +409,7 @@ fn build_str<'a>(
                             .expect("every string was collected in pass 1")
                             as u32;
                         cseg[i] = code;
+                        seen_codes.push(code);
                         if min_code.is_none_or(|m| code < m) {
                             min_code = Some(code);
                         }
@@ -414,11 +423,34 @@ fn build_str<'a>(
                     }
                 }
             }
+            // Bloom + distinct over the chunk's distinct codes: each
+            // distinct string is hashed exactly once. The distinct hint
+            // counts distinct hash keys, matching ZoneMapBuilder.
+            seen_codes.sort_unstable();
+            seen_codes.dedup();
+            let mut keys: Vec<u64> = seen_codes
+                .iter()
+                .map(|&c| zone::bloom_key_str(&dict[c as usize]))
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            let mut bloom = [0u64; zone::BLOOM_WORDS];
+            for &key in &keys {
+                zone::bloom_insert(&mut bloom, key);
+            }
+            let repr = if seen_codes.is_empty() {
+                ChunkRepr::Hetero
+            } else {
+                ChunkRepr::Str
+            };
             ZoneMap {
                 min: min_code.map(|c| Value::Str(dict[c as usize].clone())),
                 max: max_code.map(|c| Value::Str(dict[c as usize].clone())),
                 null_count,
                 rows: range.len(),
+                bloom,
+                distinct: keys.len() as u32,
+                repr,
             }
         },
     );
@@ -574,6 +606,56 @@ mod tests {
             );
         }
         assert!(col.distinct_count("missing").is_err());
+    }
+
+    #[test]
+    fn chunk_bloom_and_distinct_hints_cover_every_representation() {
+        let table = mixed_table(200);
+        let col = ColumnarTable::from_prob_table_chunked(&table, &Pool::new(4), 64).unwrap();
+        for c in 0..4 {
+            for k in 0..col.num_chunks() {
+                let z = col.zone(c, k);
+                // No false negatives: every stored value probes positive.
+                for r in col.chunk_range(k) {
+                    let v = col.value(r, c);
+                    if !v.is_null() {
+                        assert!(z.may_contain(&v), "col {c} chunk {k} row {r}");
+                    }
+                }
+                assert!(z.distinct as usize <= z.rows - z.null_count);
+            }
+        }
+        // The name column holds 4 distinct strings; chunks cannot exceed it.
+        assert!(col.max_chunk_distinct("name").unwrap() <= 4);
+        // The ascending int column is unique: chunks hold chunk_rows values.
+        assert_eq!(col.max_chunk_distinct("k").unwrap(), 64);
+        assert!(col.max_chunk_distinct("missing").is_err());
+    }
+
+    #[test]
+    fn chunk_repr_tags_follow_the_stored_variants() {
+        let table = mixed_table(100);
+        let col = ColumnarTable::from_prob_table_chunked(&table, &Pool::sequential(), 64).unwrap();
+        assert_eq!(col.zone(0, 0).repr, ChunkRepr::Int);
+        assert_eq!(col.zone(1, 0).repr, ChunkRepr::Str);
+        assert_eq!(col.zone(2, 0).repr, ChunkRepr::Float);
+        assert_eq!(col.zone(3, 0).repr, ChunkRepr::Date);
+        // A Mixed column with a uniformly-Float chunk gets tagged Float.
+        let schema = Schema::from_pairs(&[("x", DataType::Float)]).unwrap();
+        let mut t = ProbTable::new(schema);
+        for r in 0..65 {
+            let v = if r == 64 {
+                Value::Int(7)
+            } else {
+                Value::Float(r as f64)
+            };
+            t.insert(Tuple::new(vec![v]), Variable(r as u64), 0.5)
+                .unwrap();
+        }
+        let col = ColumnarTable::from_prob_table_chunked(&t, &Pool::sequential(), 64).unwrap();
+        assert!(matches!(col.column(0), ColumnData::Mixed { .. }));
+        assert_eq!(col.zone(0, 0).repr, ChunkRepr::Float);
+        assert_eq!(col.zone(0, 1).repr, ChunkRepr::Int);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Per-chunk zone maps: min/max/null-count summaries of a column's values
-//! within one row group.
+//! Per-chunk zone statistics: min/max bounds, null counts, blocked bloom
+//! filters, distinct-count hints, and representation tags for a column's
+//! values within one row group.
 //!
 //! The bounds are kept as [`Value`]s and are ordered by `Value`'s **total**
 //! order (NULL < numbers < strings < dates < booleans, NaN greatest among
@@ -8,8 +9,66 @@
 //! with a per-row evaluation. NULLs are excluded from the bounds (they fail
 //! every comparison predicate) and tracked in `null_count` instead; a chunk
 //! of only NULLs has no bounds at all.
+//!
+//! The v2 statistics extend pruning beyond ranges:
+//!
+//! - **Blocked bloom filter** (`bloom`): every distinct non-null value of
+//!   the chunk is hashed through [`bloom_key`] and sets two bits inside one
+//!   64-bit block of a 256-bit filter. [`ZoneMap::may_contain`] therefore
+//!   has **no false negatives**: if it returns `false`, no row of the chunk
+//!   equals the probed value, and an `Eq`/`In` scan can skip the chunk (or
+//!   a `Ne` scan can take it wholesale when the chunk is also null-free).
+//! - **Distinct hint** (`distinct`): the number of distinct [`bloom_key`]s
+//!   in the chunk — equal values always share a key, so the hint never
+//!   exceeds the true distinct count (hash collisions can only lower it).
+//! - **Representation tag** (`repr`): the uniform non-null [`Value`]
+//!   variant of the chunk, if there is one. Typed columns are uniform by
+//!   construction; for `Mixed` columns the tag is what lets the scan run a
+//!   typed kernel over a chunk that happens to be uniformly typed instead
+//!   of falling back to per-row `Value` dispatch.
+//!
+//! All three are built from the chunk's value *set*, so they are identical
+//! at every ingest thread count (bloom insertion is bitwise OR — order
+//! independent).
 
-use crate::value::Value;
+use crate::value::{normal_bits, Value};
+
+/// Words in the per-chunk blocked bloom filter (256 bits total).
+pub const BLOOM_WORDS: usize = 4;
+
+/// The uniform non-null value variant of a chunk, if any.
+///
+/// `Hetero` means the chunk mixes variants (or has no non-null values at
+/// all — such chunks are pruned before the tag is ever consulted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkRepr {
+    /// Every non-null value is `Value::Int`.
+    Int,
+    /// Every non-null value is `Value::Float`.
+    Float,
+    /// Every non-null value is `Value::Str`.
+    Str,
+    /// Every non-null value is `Value::Date`.
+    Date,
+    /// Every non-null value is `Value::Bool`.
+    Bool,
+    /// Mixed variants (or all-null).
+    Hetero,
+}
+
+impl ChunkRepr {
+    /// The representation tag of a single non-null value.
+    fn of(v: &Value) -> ChunkRepr {
+        match v {
+            Value::Null => ChunkRepr::Hetero,
+            Value::Int(_) => ChunkRepr::Int,
+            Value::Float(_) => ChunkRepr::Float,
+            Value::Str(_) => ChunkRepr::Str,
+            Value::Date(_) => ChunkRepr::Date,
+            Value::Bool(_) => ChunkRepr::Bool,
+        }
+    }
+}
 
 /// The summary of one column over one chunk of rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,34 +84,24 @@ pub struct ZoneMap {
     pub null_count: usize,
     /// Number of rows in the chunk.
     pub rows: usize,
+    /// Blocked bloom filter over the [`bloom_key`]s of every non-null value
+    /// in the chunk. No false negatives: absent key ⇒ absent value.
+    pub bloom: [u64; BLOOM_WORDS],
+    /// Number of distinct [`bloom_key`]s among the chunk's non-null values —
+    /// a deterministic lower-bound hint on the true distinct count.
+    pub distinct: u32,
+    /// Uniform non-null value variant of the chunk, if any.
+    pub repr: ChunkRepr,
 }
 
 impl ZoneMap {
-    /// Builds the zone map of `values`, skipping NULLs.
+    /// Builds the zone statistics of `values`, skipping NULLs.
     pub fn build<'a>(values: impl Iterator<Item = &'a Value>) -> ZoneMap {
-        let mut min: Option<&Value> = None;
-        let mut max: Option<&Value> = None;
-        let mut null_count = 0usize;
-        let mut rows = 0usize;
+        let mut b = ZoneMapBuilder::new();
         for v in values {
-            rows += 1;
-            if v.is_null() {
-                null_count += 1;
-                continue;
-            }
-            if min.is_none_or(|m| v < m) {
-                min = Some(v);
-            }
-            if max.is_none_or(|m| v > m) {
-                max = Some(v);
-            }
+            b.push(v);
         }
-        ZoneMap {
-            min: min.cloned(),
-            max: max.cloned(),
-            rows,
-            null_count,
-        }
+        b.finish()
     }
 
     /// Whether every row of the chunk is NULL (no comparison predicate can
@@ -60,6 +109,169 @@ impl ZoneMap {
     pub fn all_null(&self) -> bool {
         self.null_count == self.rows
     }
+
+    /// Bloom probe: whether the chunk *may* contain a row equal to `v`.
+    ///
+    /// `false` is definitive (the filter has every non-null value of the
+    /// chunk inserted, so there are no false negatives); `true` means the
+    /// scan must look. NULL never matches an equality predicate, so probing
+    /// NULL returns `false`.
+    pub fn may_contain(&self, v: &Value) -> bool {
+        match bloom_key(v) {
+            None => false,
+            Some(key) => bloom_probe(&self.bloom, key),
+        }
+    }
+}
+
+/// Incremental [`ZoneMap`] construction; used by the chunk-parallel ingest
+/// paths so every representation computes the statistics the same way.
+#[derive(Debug)]
+pub struct ZoneMapBuilder {
+    min: Option<Value>,
+    max: Option<Value>,
+    null_count: usize,
+    rows: usize,
+    bloom: [u64; BLOOM_WORDS],
+    keys: Vec<u64>,
+    repr: Option<ChunkRepr>,
+}
+
+impl Default for ZoneMapBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ZoneMapBuilder {
+    /// An empty builder.
+    pub fn new() -> ZoneMapBuilder {
+        ZoneMapBuilder {
+            min: None,
+            max: None,
+            null_count: 0,
+            rows: 0,
+            bloom: [0; BLOOM_WORDS],
+            keys: Vec::new(),
+            repr: None,
+        }
+    }
+
+    /// Records one row's value.
+    pub fn push(&mut self, v: &Value) {
+        self.rows += 1;
+        let Some(key) = bloom_key(v) else {
+            self.null_count += 1;
+            return;
+        };
+        bloom_insert(&mut self.bloom, key);
+        self.keys.push(key);
+        let tag = ChunkRepr::of(v);
+        match self.repr {
+            None => self.repr = Some(tag),
+            Some(r) if r == tag => {}
+            Some(_) => self.repr = Some(ChunkRepr::Hetero),
+        }
+        if self.min.as_ref().is_none_or(|m| v < m) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| v > m) {
+            self.max = Some(v.clone());
+        }
+    }
+
+    /// Records one NULL row.
+    pub fn push_null(&mut self) {
+        self.rows += 1;
+        self.null_count += 1;
+    }
+
+    /// Finishes the statistics.
+    pub fn finish(mut self) -> ZoneMap {
+        self.keys.sort_unstable();
+        self.keys.dedup();
+        ZoneMap {
+            min: self.min,
+            max: self.max,
+            null_count: self.null_count,
+            rows: self.rows,
+            bloom: self.bloom,
+            distinct: self.keys.len() as u32,
+            repr: self.repr.unwrap_or(ChunkRepr::Hetero),
+        }
+    }
+}
+
+/// The normalized 64-bit hash key of a value: equal values (under `Value`'s
+/// total order, including `Int(2) == Float(2.0)`, `-0.0 == 0.0`, and
+/// NaN == NaN) always produce equal keys. `None` for NULL, which never
+/// participates in equality pruning.
+pub fn bloom_key(v: &Value) -> Option<u64> {
+    let (class, bits) = match v {
+        Value::Null => return None,
+        // Numbers hash through their normalized f64 bit pattern so that
+        // cross-variant equal values agree (Value::cmp compares Int against
+        // Float through f64 as well).
+        Value::Int(i) => (1u64, normal_bits(*i as f64)),
+        Value::Float(f) => (1u64, normal_bits(*f)),
+        Value::Str(s) => return Some(bloom_key_str(s)),
+        Value::Date(d) => (3u64, *d as u32 as u64),
+        Value::Bool(b) => (4u64, *b as u64),
+    };
+    Some(mix(mix(0x9e37_79b9_7f4a_7c15, class), bits))
+}
+
+/// [`bloom_key`] of `Value::Str(s)` without constructing the `Value`; the
+/// dictionary ingest path hashes each distinct string exactly once.
+pub fn bloom_key_str(s: &str) -> u64 {
+    mix(mix(0x9e37_79b9_7f4a_7c15, 2u64), hash_bytes(s.as_bytes()))
+}
+
+/// Sets the two filter bits of `key` (both inside one 64-bit block).
+pub fn bloom_insert(bloom: &mut [u64; BLOOM_WORDS], key: u64) {
+    let (w, mask) = bloom_slot(key);
+    bloom[w] |= mask;
+}
+
+/// Tests the two filter bits of `key`.
+pub fn bloom_probe(bloom: &[u64; BLOOM_WORDS], key: u64) -> bool {
+    let (w, mask) = bloom_slot(key);
+    bloom[w] & mask == mask
+}
+
+#[inline]
+fn bloom_slot(key: u64) -> (usize, u64) {
+    // Finalize before slotting: the multiply in `mix` disperses *upward*
+    // (bit `i` of a product depends only on bits `0..=i` of the operands),
+    // so keys whose inputs differ only in high bits — e.g. the f64 bit
+    // patterns of small integers, whose mantissa low bits are all zero —
+    // would share their low 14 bits and land in one slot. Folding the high
+    // half down twice around a second odd multiply makes every input bit
+    // reach the slot bits.
+    let k = (key ^ (key >> 32)).wrapping_mul(0xd6e8_feb8_6659_fd93);
+    let k = k ^ (k >> 32);
+    let b1 = k & 63;
+    let b2 = (k >> 6) & 63;
+    let w = ((k >> 12) & (BLOOM_WORDS as u64 - 1)) as usize;
+    (w, (1u64 << b1) | (1u64 << b2))
+}
+
+#[inline]
+fn mix(h: u64, x: u64) -> u64 {
+    (h.rotate_left(5) ^ x).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = mix(0x9e37_79b9_7f4a_7c15, bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = mix(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let mut tail = 0u64;
+    for (i, b) in chunks.remainder().iter().enumerate() {
+        tail |= (*b as u64) << (8 * i);
+    }
+    mix(h, tail)
 }
 
 #[cfg(test)]
@@ -75,6 +287,8 @@ mod tests {
         assert_eq!(z.null_count, 2);
         assert_eq!(z.rows, 4);
         assert!(!z.all_null());
+        assert_eq!(z.distinct, 2);
+        assert_eq!(z.repr, ChunkRepr::Int);
     }
 
     #[test]
@@ -84,6 +298,9 @@ mod tests {
         assert_eq!(z.min, None);
         assert_eq!(z.max, None);
         assert!(z.all_null());
+        assert_eq!(z.distinct, 0);
+        assert_eq!(z.bloom, [0; BLOOM_WORDS]);
+        assert!(!z.may_contain(&Value::Int(1)));
     }
 
     #[test]
@@ -99,6 +316,8 @@ mod tests {
         let z = ZoneMap::build(vals.iter());
         assert_eq!(z.min, Some(Value::Float(1.0)));
         assert!(matches!(z.max, Some(Value::Float(f)) if f.is_nan()));
+        // NaN == NaN under the total order, so the bloom must agree.
+        assert!(z.may_contain(&Value::Float(f64::NAN)));
     }
 
     #[test]
@@ -110,6 +329,9 @@ mod tests {
         // way.
         assert_eq!(z.min, Some(Value::Float(0.0)));
         assert_eq!(z.max, Some(Value::Float(0.0)));
+        assert_eq!(z.distinct, 1);
+        assert!(z.may_contain(&Value::Float(-0.0)));
+        assert!(z.may_contain(&Value::Float(0.0)));
     }
 
     #[test]
@@ -118,5 +340,79 @@ mod tests {
         let z = ZoneMap::build(vals.iter());
         assert_eq!(z.min, Some(Value::str("Joe")));
         assert_eq!(z.max, Some(Value::str("Mo")));
+        assert_eq!(z.repr, ChunkRepr::Str);
+        assert_eq!(z.distinct, 3);
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let vals: Vec<Value> = (0..500).map(|i| Value::Int(i * 7 - 100)).collect();
+        let z = ZoneMap::build(vals.iter());
+        for v in &vals {
+            assert!(z.may_contain(v), "{v} wrongly reported absent");
+        }
+        assert!(!z.may_contain(&Value::Null));
+    }
+
+    #[test]
+    fn bloom_prunes_absent_values_on_small_chunks() {
+        // A chunk with few distinct values leaves most filter bits clear:
+        // probing values outside the set must usually miss.
+        let vals = [Value::str("PROMO"), Value::str("STEEL")];
+        let z = ZoneMap::build(vals.iter());
+        let misses = (0..100)
+            .filter(|i| !z.may_contain(&Value::str(format!("other-{i}"))))
+            .count();
+        assert!(misses > 90, "only {misses}/100 absent values pruned");
+    }
+
+    #[test]
+    fn bloom_disperses_small_integer_keys() {
+        // Small integers hash through f64 bit patterns whose low mantissa
+        // bits are all zero; without a finalizer in `bloom_slot` they would
+        // all land in one slot and every absent probe would false-positive.
+        let vals = [Value::Int(0), Value::Int(10)];
+        let z = ZoneMap::build(vals.iter());
+        let misses = (0..100)
+            .filter(|i| !z.may_contain(&Value::Int(1000 + i)))
+            .count();
+        assert!(misses > 90, "only {misses}/100 absent integers pruned");
+        assert!(z.may_contain(&Value::Int(10)));
+        assert!(z.may_contain(&Value::Float(10.0)));
+    }
+
+    #[test]
+    fn bloom_keys_agree_across_equal_variants() {
+        assert_eq!(bloom_key(&Value::Int(2)), bloom_key(&Value::Float(2.0)));
+        assert_eq!(
+            bloom_key(&Value::Float(-0.0)),
+            bloom_key(&Value::Float(0.0))
+        );
+        assert_ne!(bloom_key(&Value::Int(5)), bloom_key(&Value::Date(5)));
+        assert_eq!(bloom_key(&Value::Null), None);
+    }
+
+    #[test]
+    fn repr_tags_uniform_and_mixed_chunks() {
+        let z = ZoneMap::build([Value::Int(1), Value::Null, Value::Int(2)].iter());
+        assert_eq!(z.repr, ChunkRepr::Int);
+        let z = ZoneMap::build([Value::Int(1), Value::Float(2.0)].iter());
+        assert_eq!(z.repr, ChunkRepr::Hetero);
+        let z = ZoneMap::build([Value::Null].iter());
+        assert_eq!(z.repr, ChunkRepr::Hetero);
+        let z = ZoneMap::build([Value::Date(3)].iter());
+        assert_eq!(z.repr, ChunkRepr::Date);
+    }
+
+    #[test]
+    fn distinct_hint_counts_normalized_keys() {
+        let vals = [
+            Value::Int(2),
+            Value::Float(2.0), // equal to Int(2) — one key
+            Value::Int(3),
+            Value::Int(3),
+        ];
+        let z = ZoneMap::build(vals.iter());
+        assert_eq!(z.distinct, 2);
     }
 }

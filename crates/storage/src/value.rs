@@ -166,8 +166,11 @@ pub fn total_f64_cmp(a: f64, b: f64) -> Ordering {
     }
 }
 
-/// Bit pattern used for hashing floats consistently with `total_f64_cmp`.
-fn normal_bits(f: f64) -> u64 {
+/// Bit pattern used for hashing floats consistently with `total_f64_cmp`:
+/// NaNs collapse onto one pattern and `-0.0` onto `0.0`, so equal floats
+/// (under the total order) always share bits. Used by `Value`'s `Hash` and
+/// by the per-chunk bloom filters.
+pub(crate) fn normal_bits(f: f64) -> u64 {
     if f.is_nan() {
         f64::NAN.to_bits()
     } else if f == 0.0 {

@@ -286,15 +286,35 @@ fn gen_part(rng: &mut SmallRng, count: usize) -> Table {
         ("container", DataType::Str),
         ("retailprice", DataType::Float),
     ]));
-    for pkey in 1..=count as i64 {
-        let brand = format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6));
+    // The catalogue attributes are drawn from the same distributions as
+    // before, then assigned to ascending part keys in sorted
+    // (type, brand, size, container) order: a real part catalogue is
+    // organised by product line, so parts of one type/brand/size sit next
+    // to each other. The clustering is what gives per-chunk distinct
+    // counts and bloom filters on these columns their selectivity — an
+    // `Eq`/`In` probe on `size` or `brand` skips the chunks holding other
+    // product lines.
+    let mut attrs: Vec<(String, String, i64, &str)> = (0..count)
+        .map(|_| {
+            let brand = format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6));
+            (
+                PART_TYPES[rng.gen_range(0..PART_TYPES.len())].to_string(),
+                brand,
+                rng.gen_range(1..51i64),
+                CONTAINERS[rng.gen_range(0..CONTAINERS.len())],
+            )
+        })
+        .collect();
+    attrs.sort_unstable();
+    for (i, (ptype, brand, size, container)) in attrs.into_iter().enumerate() {
+        let pkey = i as i64 + 1;
         t.insert(tuple![
             pkey,
             format!("part {pkey} forest lace"),
             brand,
-            PART_TYPES[rng.gen_range(0..PART_TYPES.len())],
-            rng.gen_range(1..51i64),
-            CONTAINERS[rng.gen_range(0..CONTAINERS.len())],
+            ptype,
+            size,
+            container,
             round2(900.0 + rng.gen_range(0.0..200.0)),
         ])
         .expect("valid row");
@@ -369,9 +389,15 @@ fn gen_orders_items(
     // selective.
     let mut odates: Vec<i32> = (0..orders).map(|_| rng.gen_range(start..end)).collect();
     odates.sort_unstable();
+    // Order status is date-correlated, as in the real benchmark: orders up
+    // to the median date have been fulfilled (`F`), later ones are still
+    // open (`O`). With date-clustered insertion this makes `ostatus`
+    // constant within almost every chunk, so equality probes on it prune
+    // half the table instead of scanning all of it.
+    let median = odates[orders / 2];
     for okey in 1..=orders as i64 {
         let odate = odates[okey as usize - 1];
-        let status = if rng.gen_bool(0.5) { "F" } else { "O" };
+        let status = if odate <= median { "F" } else { "O" };
         ord.insert(tuple![
             okey,
             rng.gen_range(1..=customers as i64),
@@ -465,6 +491,49 @@ mod tests {
             let d = row.value(4).as_int().unwrap();
             assert!(d >= prev, "odate regressed");
             prev = d;
+        }
+    }
+
+    #[test]
+    fn parts_are_clustered_by_catalogue_order() {
+        // Part attributes are assigned to ascending pkeys in sorted
+        // (type, brand, size, container) order, so chunks of the part table
+        // hold few distinct catalogue values.
+        let data = TpchData::generate(TpchScale::tiny());
+        let mut prev: Option<(String, String, i64, String)> = None;
+        for row in data.part.rows() {
+            let key = (
+                row.value(3).to_string(),
+                row.value(2).to_string(),
+                row.value(4).as_int().unwrap(),
+                row.value(5).to_string(),
+            );
+            if let Some(p) = &prev {
+                assert!(*p <= key, "catalogue order regressed: {p:?} > {key:?}");
+            }
+            prev = Some(key);
+        }
+    }
+
+    #[test]
+    fn order_status_is_date_correlated() {
+        // `F` iff the order date is at or before the median date: with
+        // date-clustered insertion, `ostatus` is constant within almost
+        // every chunk.
+        let data = TpchData::generate(TpchScale::tiny());
+        let mut dates: Vec<i64> = data
+            .ord
+            .rows()
+            .iter()
+            .map(|r| r.value(4).as_int().unwrap())
+            .collect();
+        dates.sort_unstable();
+        let median = dates[dates.len() / 2];
+        for row in data.ord.rows() {
+            let d = row.value(4).as_int().unwrap();
+            let status = row.value(2).to_string();
+            let expected = if d <= median { "F" } else { "O" };
+            assert_eq!(status, expected, "odate {d} vs median {median}");
         }
     }
 
