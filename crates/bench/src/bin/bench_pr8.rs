@@ -1,0 +1,402 @@
+//! PR 8 regression benchmark: the unsafe-query confidence subsystem —
+//! read-once factorization, anytime dissociation bounds, and the
+//! `ApproxPolicy` fallback in the planner.
+//!
+//! Produces `BENCH_PR8.json` over the TPC-H-derived *unsafe* variants
+//! (Q5/Q8/Q9 and their Boolean forms — the catalogue's `Intractable`
+//! entries, which `PlanError::UnsafeQuery` rejects without a policy):
+//!
+//! 1. **Fallback stage** — join + intensional confidence through
+//!    [`FallbackPlan`] under `Bounds`, recording the **read-once hit
+//!    rate** (tuples whose lineage factored exactly vs tuples that fell
+//!    through to dissociation bounds) and the bracket widths.
+//! 2. **Width vs rounds** — the anytime curve: bracket width as the
+//!    refinement budget grows (`with_max_rounds` sweep), per query.
+//! 3. **Exact-path overhead** — safe queries through [`Planner`] with and
+//!    without an `ApproxPolicy` attached: the policy is only consulted
+//!    after an `UnsafeQuery` rejection, so safe plans must be free.
+//!
+//! Acceptance gates asserted here, not just recorded:
+//!
+//! * fallback brackets are sane (`0 ≤ lo ≤ hi ≤ 1`) and **bitwise
+//!   identical** across 1/2/4/8 workers for a fixed seed;
+//! * bracket widths tighten **monotonically** as the rounds budget grows;
+//! * safe-plan confidences with a policy attached are **bitwise
+//!   identical** to the policy-free run (max |Δp| = 0).
+//!
+//! Run with `cargo run --release -p sprout-bench --bin bench_pr8`; pass
+//! `--smoke` for a seconds-long CI-sized run (SF 0.01, gates only). Set
+//! `SPROUT_BENCH_OUT` to change the output path (default `BENCH_PR8.json`,
+//! or `target/BENCH_PR8.smoke.json` under `--smoke`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pdb_conf::ConfMethod;
+use pdb_par::Pool;
+use pdb_tpch::{probabilistic_catalog, tpch_query, TpchData, TpchScale};
+use sprout_plan::{ApproxPolicy, FallbackPlan, PlanKind, Planner};
+
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 42;
+
+/// The catalogue's `Intractable` entries: no safe plan exists, so these are
+/// exactly the queries the fallback chain is for. (Q5's catalogue form keeps
+/// the paper's `Cust.nkey` — the very column whose sharing makes it unsafe —
+/// which the generator names `cnkey`, so Q5 classifies but cannot execute
+/// over the generated data; the bench skips such entries and says so.)
+const UNSAFE_IDS: [&str; 6] = ["5", "8", "9", "B5", "B8", "B9"];
+
+/// Safe queries for the overhead experiment: attaching a policy must not
+/// change (or slow) them.
+const SAFE_IDS: [&str; 3] = ["1", "6", "B6"];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sfs: Vec<f64> = if smoke { vec![0.01] } else { vec![0.01, 0.1] };
+    let runs = if smoke { 1 } else { 5 };
+    let rounds_sweep: &[usize] = if smoke {
+        &[0, 2, 8]
+    } else {
+        &[0, 1, 2, 4, 8, 16]
+    };
+    let out_path = std::env::var("SPROUT_BENCH_OUT").unwrap_or_else(|_| {
+        if smoke {
+            "target/BENCH_PR8.smoke.json".to_string()
+        } else {
+            "BENCH_PR8.json".to_string()
+        }
+    });
+
+    let mut fallback_rows = Vec::new();
+    let mut sweep_rows = Vec::new();
+    let mut overhead_rows = Vec::new();
+    let mut max_rep_diff = 0.0f64;
+
+    for &sf in &sfs {
+        eprintln!("== scale factor {sf}: building the TPC-H catalog ...");
+        let data = TpchData::generate(TpchScale::new(sf));
+        let catalog = probabilistic_catalog(&data, 1).expect("catalog");
+
+        // -- Experiment 1 + determinism gate: the fallback chain ----------
+        for id in UNSAFE_IDS {
+            let entry = tpch_query(id).expect("catalogue entry");
+            let query = entry.query.expect("intractable entries carry a CQ");
+            let plan = FallbackPlan::build(&query, &catalog, ApproxPolicy::Bounds { eps: 1e-3 })
+                .expect("fallback plan")
+                .with_seed(SEED)
+                .with_max_rounds(16);
+
+            let mut join_s = f64::MAX;
+            let mut answer = match plan.answer_tuples(&catalog) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!(
+                        "  sf {sf} q{id}: skipped (not executable over the generated schema: {e})"
+                    );
+                    continue;
+                }
+            };
+            for _ in 0..runs {
+                let t0 = Instant::now();
+                answer = plan.answer_tuples(&catalog).expect("join stage");
+                join_s = join_s.min(t0.elapsed().as_secs_f64());
+            }
+            let answer = answer;
+
+            let mut conf_s = f64::MAX;
+            let mut result = None;
+            for _ in 0..runs {
+                let t0 = Instant::now();
+                let r = plan.confidences(&answer).expect("confidence stage");
+                conf_s = conf_s.min(t0.elapsed().as_secs_f64());
+                result = Some(r);
+            }
+            let result = result.expect("at least one run");
+
+            let readonce = result
+                .iter()
+                .filter(|t| t.method == ConfMethod::ReadOnce)
+                .count();
+            let mut max_width = 0.0f64;
+            let mut width_sum = 0.0f64;
+            for t in &result {
+                assert!(
+                    0.0 <= t.lo && t.lo <= t.hi && t.hi <= 1.0,
+                    "q{id}: insane bracket [{}, {}]",
+                    t.lo,
+                    t.hi
+                );
+                max_width = max_width.max(t.width());
+                width_sum += t.width();
+            }
+
+            // Determinism: fixed seed ⇒ bitwise-identical brackets at every
+            // pool size, including the sequential reference.
+            let reference = plan
+                .clone()
+                .with_pool(Pool::sequential())
+                .confidences(&answer)
+                .expect("sequential reference");
+            for &threads in &SCALING_THREADS {
+                let got = plan
+                    .clone()
+                    .with_pool(Pool::new(threads))
+                    .confidences(&answer)
+                    .expect("pooled confidences");
+                assert_eq!(got.len(), reference.len(), "q{id} at {threads} threads");
+                for (g, r) in got.iter().zip(reference.iter()) {
+                    assert_eq!(g.tuple, r.tuple, "q{id} at {threads} threads");
+                    assert_eq!(g.rounds, r.rounds, "q{id} at {threads} threads");
+                    if g.lo.to_bits() != r.lo.to_bits() || g.hi.to_bits() != r.hi.to_bits() {
+                        let d = (g.lo - r.lo).abs().max((g.hi - r.hi).abs());
+                        max_rep_diff = max_rep_diff.max(d.max(f64::MIN_POSITIVE));
+                    }
+                }
+            }
+
+            let hit_rate = readonce as f64 / result.len().max(1) as f64;
+            eprintln!(
+                "  sf {sf} q{id}: join {join_s:.4}s conf {conf_s:.4}s — {}/{} tuples read-once ({:.0}%), max width {max_width:.2e}",
+                readonce,
+                result.len(),
+                100.0 * hit_rate,
+            );
+            fallback_rows.push(FallbackRow {
+                sf,
+                query: id.to_string(),
+                join_s,
+                conf_s,
+                answer_rows: answer.len(),
+                distinct: result.len(),
+                readonce,
+                hit_rate,
+                mean_width: width_sum / result.len().max(1) as f64,
+                max_width,
+            });
+
+            // -- Experiment 2: the anytime width-vs-rounds curve ----------
+            let mut last_widths: Vec<f64> = vec![f64::INFINITY; result.len()];
+            for &rounds in rounds_sweep {
+                // eps 0 ⇒ the rounds cap is the only stopping rule, so the
+                // sweep measures the curve, not the tolerance.
+                let capped =
+                    FallbackPlan::build(&query, &catalog, ApproxPolicy::Bounds { eps: 0.0 })
+                        .expect("fallback plan")
+                        .with_seed(SEED)
+                        .with_max_rounds(rounds);
+                let t0 = Instant::now();
+                let swept = capped.confidences(&answer).expect("capped confidences");
+                let conf_s = t0.elapsed().as_secs_f64();
+                let mut max_width = 0.0f64;
+                let mut width_sum = 0.0f64;
+                for (t, last) in swept.iter().zip(last_widths.iter_mut()) {
+                    assert!(
+                        t.width() <= *last + 1e-12,
+                        "q{id}: width {} grew past {} at {rounds} rounds",
+                        t.width(),
+                        last
+                    );
+                    *last = t.width();
+                    max_width = max_width.max(t.width());
+                    width_sum += t.width();
+                }
+                sweep_rows.push(SweepRow {
+                    sf,
+                    query: id.to_string(),
+                    rounds,
+                    conf_s,
+                    mean_width: width_sum / swept.len().max(1) as f64,
+                    max_width,
+                });
+            }
+        }
+
+        // -- Experiment 3: exact-path overhead on safe queries ------------
+        for id in SAFE_IDS {
+            let entry = tpch_query(id).expect("catalogue entry");
+            let query = entry.query.expect("safe entries carry a CQ");
+            let plain = Planner::new(&catalog);
+            let with_policy = Planner::new(&catalog)
+                .with_approx_policy(ApproxPolicy::Bounds { eps: 1e-3 })
+                .with_approx_seed(SEED);
+
+            let reference = plain
+                .execute(&query, PlanKind::Lazy)
+                .expect("policy-free run");
+            let mut plain_s = f64::MAX;
+            let mut policy_s = f64::MAX;
+            for _ in 0..runs.max(3) {
+                let t0 = Instant::now();
+                let report = plain.execute(&query, PlanKind::Lazy).expect("plain run");
+                plain_s = plain_s.min(t0.elapsed().as_secs_f64());
+                std::hint::black_box(&report);
+
+                let t0 = Instant::now();
+                let report = with_policy
+                    .execute(&query, PlanKind::Lazy)
+                    .expect("policy run");
+                policy_s = policy_s.min(t0.elapsed().as_secs_f64());
+
+                // Safe plans never consult the policy: same exact path, no
+                // approx block, bitwise-identical confidences.
+                assert!(report.approx.is_none(), "q{id}: safe plan went approximate");
+                assert_eq!(
+                    report.confidences.len(),
+                    reference.confidences.len(),
+                    "q{id}: answer cardinality changed under a policy"
+                );
+                for ((t1, p1), (t2, p2)) in
+                    report.confidences.iter().zip(reference.confidences.iter())
+                {
+                    assert_eq!(t1, t2, "q{id}: tuples diverged under a policy");
+                    if p1.to_bits() != p2.to_bits() {
+                        max_rep_diff = max_rep_diff.max((p1 - p2).abs().max(f64::MIN_POSITIVE));
+                    }
+                }
+            }
+            eprintln!(
+                "  sf {sf} q{id}: policy-free {plain_s:.4}s vs policy-attached {policy_s:.4}s ({:+.2}%)",
+                100.0 * (policy_s - plain_s) / plain_s.max(1e-12)
+            );
+            overhead_rows.push(OverheadRow {
+                sf,
+                query: id.to_string(),
+                plain_s,
+                policy_s,
+            });
+        }
+    }
+
+    let json = render_json(
+        smoke,
+        &fallback_rows,
+        &sweep_rows,
+        &overhead_rows,
+        max_rep_diff,
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+
+    assert_eq!(
+        max_rep_diff, 0.0,
+        "pool sizes / policies diverged on a confidence value"
+    );
+    eprintln!("cross-pool/policy max |Δp| = {max_rep_diff:.1e} (must be 0)");
+}
+
+struct FallbackRow {
+    sf: f64,
+    query: String,
+    join_s: f64,
+    conf_s: f64,
+    answer_rows: usize,
+    distinct: usize,
+    readonce: usize,
+    hit_rate: f64,
+    mean_width: f64,
+    max_width: f64,
+}
+
+struct SweepRow {
+    sf: f64,
+    query: String,
+    rounds: usize,
+    conf_s: f64,
+    mean_width: f64,
+    max_width: f64,
+}
+
+struct OverheadRow {
+    sf: f64,
+    query: String,
+    plain_s: f64,
+    policy_s: f64,
+}
+
+fn render_json(
+    smoke: bool,
+    fallback_rows: &[FallbackRow],
+    sweep_rows: &[SweepRow],
+    overhead_rows: &[OverheadRow],
+    max_rep_diff: f64,
+) -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"pr\": 8,\n");
+    s.push_str(
+        "  \"description\": \"Unsafe-query confidence subsystem: DNF read-once factorization (exact when it succeeds), anytime dissociation bounds otherwise, threaded through the planner as ApproxPolicy so intractable queries fall back instead of erroring. Fallback stage timings with read-once hit rates on the Intractable TPC-H variants (Q5/Q8/Q9 + Boolean forms), bracket width vs refinement rounds, and exact-path overhead on safe queries; brackets asserted bitwise-identical across 1/2/4/8 workers and safe plans asserted bitwise-identical with and without a policy (max |dp| = 0)\",\n",
+    );
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"harness\": \"std::time::Instant, min over runs\",\n");
+    let _ = writeln!(s, "  \"target\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(s, "  \"available_parallelism\": {parallelism},");
+    let _ = writeln!(s, "  \"seed\": {SEED},");
+    s.push_str("  \"fallback_stage\": [\n");
+    for (i, r) in fallback_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"join_s\": {:.6}, \"conf_s\": {:.6}, \"answer_rows\": {}, \"distinct_tuples\": {}, \"readonce_tuples\": {}, \"readonce_hit_rate\": {:.4}, \"mean_width\": {:.6e}, \"max_width\": {:.6e}}}",
+            r.sf,
+            r.query,
+            r.join_s,
+            r.conf_s,
+            r.answer_rows,
+            r.distinct,
+            r.readonce,
+            r.hit_rate,
+            r.mean_width,
+            r.max_width,
+        );
+        s.push_str(if i + 1 < fallback_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"width_vs_rounds\": [\n");
+    for (i, r) in sweep_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"rounds\": {}, \"conf_s\": {:.6}, \"mean_width\": {:.6e}, \"max_width\": {:.6e}}}",
+            r.sf, r.query, r.rounds, r.conf_s, r.mean_width, r.max_width,
+        );
+        s.push_str(if i + 1 < sweep_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"exact_path_overhead\": [\n");
+    for (i, r) in overhead_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sf\": {}, \"query\": \"{}\", \"plain_s\": {:.6}, \"policy_s\": {:.6}, \"overhead_pct\": {:.3}, \"bitwise_identical\": true}}",
+            r.sf,
+            r.query,
+            r.plain_s,
+            r.policy_s,
+            100.0 * (r.policy_s - r.plain_s) / r.plain_s.max(1e-12),
+        );
+        s.push_str(if i + 1 < overhead_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"summary\": {{\"max_abs_diff\": {max_rep_diff:.1e}, \"acceptance_diff\": 0.0}}"
+    );
+    s.push_str("}\n");
+    s
+}

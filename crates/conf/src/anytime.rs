@@ -1,0 +1,664 @@
+//! Confidence computation for *unsafe* queries: exact read-once evaluation
+//! with an anytime dissociation-bounds fallback.
+//!
+//! Safe plans do not exist for queries without a hierarchical FD-reduct —
+//! exact confidence computation is #P-hard in general. On concrete data,
+//! however, the per-tuple DNF lineage often still factors read-once
+//! ([`pdb_lineage::factorize`]), in which case the probability is exact and
+//! linear. When it does not, dissociation yields deterministic `[lo, hi]`
+//! bounds (Gatterbauer & Suciu, arXiv:1412.1069) that an anytime Shannon
+//! refinement loop tightens monotonically until they are `eps`-wide, the
+//! formula is exhausted (bounds collapse to the exact value), or the query
+//! governor's deadline fires — in which case the *best bounds so far* are
+//! returned instead of an error. Cancellation still aborts.
+//!
+//! The policy knob is [`ApproxPolicy`]: `Exact` admits only the exact paths
+//! (safe plan upstream, read-once here) and fails on a blocked formula;
+//! `Bounds { eps }` falls through to dissociation. The refinement loop is
+//! deterministic given its seed at every `SPROUT_THREADS` value: bags fan
+//! out on the pool in task order and each bag's evaluation is sequential
+//! with a per-bag seeded tie-breaker.
+
+use std::collections::BTreeMap;
+
+use pdb_exec::Annotated;
+use pdb_govern::{ExecContext, SproutError, Stage};
+use pdb_lineage::readonce::{factorize, Factorization};
+use pdb_lineage::{Clause, Dnf};
+use pdb_par::Pool;
+use pdb_storage::{Tuple, Variable};
+
+use crate::error::{ConfError, ConfResult};
+
+/// How confidences of a query without a safe plan may be computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ApproxPolicy {
+    /// Exact answers only: safe plan, or read-once factorization of the
+    /// lineage. A blocked (provably not read-once) formula is an error.
+    Exact,
+    /// Exact where possible, dissociation bounds otherwise: refinement stops
+    /// once `hi − lo ≤ eps` (use `eps = 0.0` to run to exhaustion or the
+    /// deadline).
+    Bounds {
+        /// Target bound width.
+        eps: f64,
+    },
+}
+
+impl std::fmt::Display for ApproxPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApproxPolicy::Exact => write!(f, "exact"),
+            ApproxPolicy::Bounds { eps } => write!(f, "bounds(eps={eps})"),
+        }
+    }
+}
+
+/// How one answer tuple's confidence was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfMethod {
+    /// The lineage factored read-once: `lo == hi` is the exact probability.
+    ReadOnce,
+    /// Dissociation bounds, refined by the anytime loop.
+    Dissociation,
+}
+
+/// One answer tuple with its confidence bracket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleConfidence {
+    /// The answer tuple.
+    pub tuple: Tuple,
+    /// Lower bound on the confidence (equal to `hi` on exact paths).
+    pub lo: f64,
+    /// Upper bound on the confidence.
+    pub hi: f64,
+    /// Which evaluator produced the bracket.
+    pub method: ConfMethod,
+    /// Refinement iterations spent on this tuple (0 on exact paths).
+    pub rounds: usize,
+}
+
+impl TupleConfidence {
+    /// Bracket width `hi − lo` (0 on exact paths).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Point estimate: the exact value when the bracket is closed, the
+    /// midpoint otherwise.
+    pub fn value(&self) -> f64 {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            0.5 * (self.lo + self.hi)
+        }
+    }
+}
+
+/// The result of unsafe-query confidence computation: every distinct answer
+/// tuple with its bracket, ordered by tuple.
+pub type ApproxResult = Vec<TupleConfidence>;
+
+/// Configuration of the anytime evaluator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnytimeConfig {
+    /// Exact-only or bounds fallback.
+    pub policy: ApproxPolicy,
+    /// Seed of the deterministic refinement tie-breaker.
+    pub seed: u64,
+    /// Optional cap on refinement iterations per tuple (`None` = until the
+    /// width target, exhaustion, or the deadline). Used by the benchmarks to
+    /// chart width against iteration count.
+    pub max_rounds: Option<usize>,
+}
+
+impl AnytimeConfig {
+    /// A configuration with the given policy, seed 0 and no round cap.
+    pub fn new(policy: ApproxPolicy) -> AnytimeConfig {
+        AnytimeConfig {
+            policy,
+            seed: 0,
+            max_rounds: None,
+        }
+    }
+
+    /// Sets the refinement seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps refinement iterations per tuple.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = Some(rounds);
+        self
+    }
+}
+
+/// Computes per-tuple confidence brackets from lineage alone — no signature
+/// required, which is the point: this is the evaluator for queries *without*
+/// a safe plan. Bags of duplicate answer tuples fan out on `pool` in task
+/// order; results are bitwise-identical at every pool size.
+///
+/// # Errors
+/// Fails with [`ConfError::NotReadOnce`] under [`ApproxPolicy::Exact`] when a
+/// tuple's lineage is provably not read-once, and propagates governor
+/// cancellation. A deadline during bounds refinement is *not* an error: the
+/// best bounds so far are returned.
+pub fn anytime_confidences_ctx(
+    answer: &Annotated,
+    config: &AnytimeConfig,
+    pool: &Pool,
+    ctx: &ExecContext,
+) -> ConfResult<ApproxResult> {
+    // Bag construction, exactly as the brute-force oracle does it: one DNF
+    // clause per derivation row, variable marginals read off the lineage
+    // annotations.
+    let mut probs: BTreeMap<Variable, f64> = BTreeMap::new();
+    let mut lineages: BTreeMap<Tuple, Dnf> = BTreeMap::new();
+    for row in answer.iter() {
+        for (var, p) in row.lineage {
+            probs.entry(*var).or_insert(*p);
+        }
+        let clause = Clause::new(row.lineage.iter().map(|(v, _)| *v));
+        lineages
+            .entry(row.data_tuple())
+            .or_insert_with(Dnf::empty)
+            .add_clause(clause);
+    }
+    let bags: Vec<(Tuple, Dnf)> = lineages.into_iter().collect();
+    let pool = pool.for_items(bags.len());
+    pool.try_map(&bags, |i, (tuple, dnf)| {
+        match ctx.checkpoint(Stage::Confidence, "conf.bag", i) {
+            Ok(()) => {}
+            Err(e @ SproutError::DeadlineExceeded { .. }) => {
+                return match config.policy {
+                    // Exact paths cannot degrade: the deadline is an error,
+                    // like in every other exact evaluator.
+                    ApproxPolicy::Exact => Err(ConfError::Governed(e)),
+                    // Bounds mode honours the anytime contract even when the
+                    // deadline beats the bag to its first checkpoint: the
+                    // single-shot crude bounds are the best bounds so far.
+                    ApproxPolicy::Bounds { .. } => {
+                        let (lo, hi) = crude_bounds(dnf, &probs);
+                        Ok(TupleConfidence {
+                            tuple: tuple.clone(),
+                            lo,
+                            hi,
+                            method: ConfMethod::Dissociation,
+                            rounds: 0,
+                        })
+                    }
+                };
+            }
+            Err(e) => return Err(ConfError::Governed(e)),
+        }
+        let bag_seed = config
+            .seed
+            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        evaluate_bag(tuple, dnf, &probs, config, bag_seed, ctx)
+    })
+    .map_err(|f| ConfError::from_task_failure(Stage::Confidence, f))
+}
+
+/// Evaluates one bag: read-once if the lineage factors, dissociation bounds
+/// otherwise (policy permitting).
+fn evaluate_bag(
+    tuple: &Tuple,
+    dnf: &Dnf,
+    probs: &BTreeMap<Variable, f64>,
+    config: &AnytimeConfig,
+    seed: u64,
+    ctx: &ExecContext,
+) -> ConfResult<TupleConfidence> {
+    match factorize(dnf) {
+        Factorization::Constant(b) => Ok(exact_result(tuple, if b { 1.0 } else { 0.0 })),
+        Factorization::ReadOnce(tree) => Ok(exact_result(tuple, tree.probability(probs))),
+        Factorization::Blocked(_) => match config.policy {
+            ApproxPolicy::Exact => Err(ConfError::NotReadOnce(format!(
+                "lineage of {tuple} ({} clauses over {} variables) is not read-once",
+                dnf.len(),
+                dnf.variables().len()
+            ))),
+            ApproxPolicy::Bounds { eps } => {
+                dissociation_bounds(tuple, dnf, probs, eps, config, seed, ctx)
+            }
+        },
+    }
+}
+
+fn exact_result(tuple: &Tuple, p: f64) -> TupleConfidence {
+    TupleConfidence {
+        tuple: tuple.clone(),
+        lo: p,
+        hi: p,
+        method: ConfMethod::ReadOnce,
+        rounds: 0,
+    }
+}
+
+/// One open or closed leaf of the Shannon refinement tree.
+#[derive(Debug)]
+struct BoundsLeaf {
+    /// Product of the branch probabilities on the path from the root.
+    mass: f64,
+    /// The cofactor formula at this leaf.
+    dnf: Dnf,
+    /// Valid bounds on the cofactor's probability.
+    lo: f64,
+    hi: f64,
+    /// Whether the leaf can be refined further (`false` once exact).
+    open: bool,
+}
+
+/// Anytime dissociation bounds for a formula that does not factor read-once.
+///
+/// The loop maintains a Shannon expansion frontier: the global bracket is
+/// `Σ massᵢ · [loᵢ, hiᵢ]` over the leaves. Each iteration splits the open
+/// leaf with the largest bracket contribution on its most frequent variable
+/// (seeded tie-break), re-bounding both cofactors — read-once cofactors
+/// close exactly. The reported bracket is clamped against its predecessor,
+/// so it tightens monotonically. A deadline mid-refinement returns the best
+/// bracket so far; cancellation aborts.
+#[allow(clippy::too_many_arguments)]
+fn dissociation_bounds(
+    tuple: &Tuple,
+    dnf: &Dnf,
+    probs: &BTreeMap<Variable, f64>,
+    eps: f64,
+    config: &AnytimeConfig,
+    seed: u64,
+    ctx: &ExecContext,
+) -> ConfResult<TupleConfidence> {
+    let mut rng = SplitMix64::new(seed);
+    let (lo0, hi0) = crude_bounds(dnf, probs);
+    let mut leaves = vec![BoundsLeaf {
+        mass: 1.0,
+        dnf: dnf.clone(),
+        lo: lo0,
+        hi: hi0,
+        open: true,
+    }];
+    let mut global_lo = lo0;
+    let mut global_hi = hi0;
+    let mut rounds = 0usize;
+    loop {
+        if global_hi - global_lo <= eps {
+            break;
+        }
+        if let Some(cap) = config.max_rounds {
+            if rounds >= cap {
+                break;
+            }
+        }
+        // Open leaf with the largest contribution to the bracket width; the
+        // frontier is scanned in insertion order, so ties resolve to the
+        // earliest leaf — deterministic.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, leaf) in leaves.iter().enumerate() {
+            if !leaf.open {
+                continue;
+            }
+            let w = leaf.mass * (leaf.hi - leaf.lo);
+            if best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((i, w));
+            }
+        }
+        let Some((idx, _)) = best else {
+            // Exhausted: every leaf is exact, the bracket is the exact value.
+            break;
+        };
+        match ctx.checkpoint(Stage::Confidence, "conf.bounds", rounds) {
+            Ok(()) => {}
+            Err(SproutError::DeadlineExceeded { .. }) => break,
+            Err(e) => return Err(ConfError::Governed(e)),
+        }
+        rounds += 1;
+
+        // Condition on the most frequent variable of the chosen cofactor;
+        // equally frequent candidates are broken by the seeded generator.
+        let var = {
+            let leaf = &leaves[idx];
+            let mut counts: BTreeMap<Variable, usize> = BTreeMap::new();
+            for clause in leaf.dnf.clauses() {
+                for v in clause.vars() {
+                    *counts.entry(*v).or_insert(0) += 1;
+                }
+            }
+            let max = counts.values().copied().max().unwrap_or(0);
+            let candidates: Vec<Variable> = counts
+                .into_iter()
+                .filter(|(_, c)| *c == max)
+                .map(|(v, _)| v)
+                .collect();
+            candidates[(rng.next() % candidates.len() as u64) as usize]
+        };
+        let p = probs.get(&var).copied().unwrap_or(0.0);
+        let parent = leaves.swap_remove(idx);
+        for (value, branch_p) in [(true, p), (false, 1.0 - p)] {
+            if branch_p == 0.0 {
+                continue;
+            }
+            let cofactor = parent.dnf.assign(var, value);
+            let leaf = bound_leaf(cofactor, parent.mass * branch_p, probs);
+            leaves.push(leaf);
+        }
+        // Re-sum the frontier and clamp: both the old and the new bracket
+        // are valid, so their intersection is valid and monotone.
+        let mut sum_lo = 0.0;
+        let mut sum_hi = 0.0;
+        for leaf in &leaves {
+            sum_lo += leaf.mass * leaf.lo;
+            sum_hi += leaf.mass * leaf.hi;
+        }
+        global_lo = global_lo.max(sum_lo);
+        global_hi = global_hi.min(sum_hi);
+    }
+    Ok(TupleConfidence {
+        tuple: tuple.clone(),
+        lo: global_lo,
+        hi: global_hi,
+        method: ConfMethod::Dissociation,
+        rounds,
+    })
+}
+
+/// Bounds a cofactor: constants and read-once formulas close exactly, the
+/// rest get crude dissociation bounds and stay open.
+fn bound_leaf(dnf: Dnf, mass: f64, probs: &BTreeMap<Variable, f64>) -> BoundsLeaf {
+    match factorize(&dnf) {
+        Factorization::Constant(b) => {
+            let p = if b { 1.0 } else { 0.0 };
+            BoundsLeaf {
+                mass,
+                dnf,
+                lo: p,
+                hi: p,
+                open: false,
+            }
+        }
+        Factorization::ReadOnce(tree) => {
+            let p = tree.probability(probs);
+            BoundsLeaf {
+                mass,
+                dnf,
+                lo: p,
+                hi: p,
+                open: false,
+            }
+        }
+        Factorization::Blocked(_) => {
+            let (lo, hi) = crude_bounds(&dnf, probs);
+            BoundsLeaf {
+                mass,
+                dnf,
+                lo,
+                hi,
+                open: true,
+            }
+        }
+    }
+}
+
+/// Single-shot dissociation bounds for a monotone DNF.
+///
+/// Upper: treat the clauses as independent events — valid because monotone
+/// events over a product measure are positively associated (the oblivious
+/// upper bound of full dissociation). Lower: the independent-or over a
+/// greedily chosen variable-disjoint subfamily of clauses (genuinely
+/// independent events whose union is implied), improved by the best single
+/// clause.
+fn crude_bounds(dnf: &Dnf, probs: &BTreeMap<Variable, f64>) -> (f64, f64) {
+    let clause_prob = |c: &Clause| -> f64 {
+        c.vars()
+            .iter()
+            .map(|v| probs.get(v).copied().unwrap_or(0.0))
+            .product()
+    };
+    let mut miss_all = 1.0f64;
+    let mut best_single = 0.0f64;
+    let mut miss_disjoint = 1.0f64;
+    let mut used: Vec<Variable> = Vec::new();
+    for clause in dnf.clauses() {
+        let p = clause_prob(clause);
+        miss_all *= 1.0 - p;
+        best_single = best_single.max(p);
+        if clause.vars().iter().all(|v| !used.contains(v)) {
+            used.extend_from_slice(clause.vars());
+            miss_disjoint *= 1.0 - p;
+        }
+    }
+    let hi = 1.0 - miss_all;
+    let lo = best_single.max(1.0 - miss_disjoint).min(hi);
+    (lo, hi)
+}
+
+/// SplitMix64: a tiny deterministic generator for refinement tie-breaks
+/// (keeps the crate dependency-free; streams match the published SplitMix64
+/// constants).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_exec::AnnotatedRow;
+    use pdb_lineage::exact_probability;
+    use pdb_storage::{tuple, DataType, Schema};
+
+    /// A Boolean answer whose single bag carries the given DNF: one row per
+    /// clause, one lineage column per clause position (padded with fresh
+    /// always-true-irrelevant variables is unnecessary — rows may repeat
+    /// variables across columns).
+    fn answer_for(clauses: &[&[u64]], probs: &BTreeMap<Variable, f64>) -> Annotated {
+        let width = clauses.iter().map(|c| c.len()).max().unwrap();
+        let relations: Vec<String> = (0..width).map(|i| format!("R{i}")).collect();
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]).unwrap();
+        let mut t = Annotated::new(schema, relations);
+        for clause in clauses {
+            // Pad by repeating the last variable: Clause::new dedups.
+            let mut lineage: Vec<(Variable, f64)> = clause
+                .iter()
+                .map(|v| (Variable(*v), probs[&Variable(*v)]))
+                .collect();
+            while lineage.len() < width {
+                lineage.push(*lineage.last().unwrap());
+            }
+            t.push(AnnotatedRow::new(tuple![1i64], lineage));
+        }
+        t
+    }
+
+    fn probs_for(vars: &[u64]) -> BTreeMap<Variable, f64> {
+        vars.iter()
+            .map(|v| (Variable(*v), 0.1 + 0.8 * ((v * 7 % 11) as f64 / 11.0)))
+            .collect()
+    }
+
+    fn oracle(clauses: &[&[u64]], probs: &BTreeMap<Variable, f64>) -> f64 {
+        let mut d = Dnf::empty();
+        for c in clauses {
+            d.add_clause(Clause::new(c.iter().map(|v| Variable(*v))));
+        }
+        exact_probability(&d, probs)
+    }
+
+    #[test]
+    fn read_once_bag_is_exact() {
+        let probs = probs_for(&[1, 2, 3]);
+        let answer = answer_for(&[&[1, 3], &[2, 3]], &probs);
+        let config = AnytimeConfig::new(ApproxPolicy::Exact);
+        let got =
+            anytime_confidences_ctx(&answer, &config, &Pool::new(2), &ExecContext::unbounded())
+                .unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].method, ConfMethod::ReadOnce);
+        let want = oracle(&[&[1, 3], &[2, 3]], &probs);
+        assert!((got[0].value() - want).abs() < 1e-12);
+        assert_eq!(got[0].width(), 0.0);
+    }
+
+    #[test]
+    fn exact_policy_rejects_blocked_lineage() {
+        let probs = probs_for(&[1, 2, 3, 4]);
+        let answer = answer_for(&[&[1, 2], &[2, 3], &[3, 4]], &probs);
+        let config = AnytimeConfig::new(ApproxPolicy::Exact);
+        let err =
+            anytime_confidences_ctx(&answer, &config, &Pool::new(1), &ExecContext::unbounded())
+                .unwrap_err();
+        assert!(matches!(err, ConfError::NotReadOnce(_)));
+        assert!(err.to_string().contains("not read-once"));
+    }
+
+    #[test]
+    fn bounds_bracket_the_oracle_and_collapse_on_exhaustion() {
+        let clauses: &[&[u64]] = &[&[1, 2], &[2, 3], &[3, 4]];
+        let probs = probs_for(&[1, 2, 3, 4]);
+        let answer = answer_for(clauses, &probs);
+        let want = oracle(clauses, &probs);
+        // eps = 0 runs to exhaustion: the bracket collapses to the exact
+        // value.
+        let config = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.0 });
+        let got =
+            anytime_confidences_ctx(&answer, &config, &Pool::new(4), &ExecContext::unbounded())
+                .unwrap();
+        assert_eq!(got[0].method, ConfMethod::Dissociation);
+        assert!(got[0].rounds > 0);
+        assert!((got[0].lo - want).abs() < 1e-12, "{} vs {want}", got[0].lo);
+        assert!((got[0].hi - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_eps_stops_earlier_but_still_brackets() {
+        let clauses: &[&[u64]] = &[&[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 6]];
+        let probs = probs_for(&[1, 2, 3, 4, 5, 6]);
+        let answer = answer_for(clauses, &probs);
+        let want = oracle(clauses, &probs);
+        let loose = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.2 });
+        let tight = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 1e-3 });
+        let pool = Pool::new(1);
+        let ctx = ExecContext::unbounded();
+        let a = anytime_confidences_ctx(&answer, &loose, &pool, &ctx).unwrap();
+        let b = anytime_confidences_ctx(&answer, &tight, &pool, &ctx).unwrap();
+        for r in [&a[0], &b[0]] {
+            assert!(r.lo <= want + 1e-12 && want <= r.hi + 1e-12);
+        }
+        assert!(b[0].width() <= a[0].width() + 1e-12);
+        assert!(b[0].width() <= 1e-3 + 1e-12);
+        assert!(a[0].rounds <= b[0].rounds);
+    }
+
+    #[test]
+    fn max_rounds_cap_is_respected_and_width_shrinks_with_more_rounds() {
+        let clauses: &[&[u64]] = &[&[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 6]];
+        let probs = probs_for(&[1, 2, 3, 4, 5, 6]);
+        let answer = answer_for(clauses, &probs);
+        let pool = Pool::new(1);
+        let ctx = ExecContext::unbounded();
+        let mut prev = f64::INFINITY;
+        for cap in [0, 1, 2, 4, 8, 16] {
+            let config = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.0 }).with_max_rounds(cap);
+            let got = anytime_confidences_ctx(&answer, &config, &pool, &ctx).unwrap();
+            assert!(got[0].rounds <= cap);
+            assert!(got[0].width() <= prev + 1e-12, "cap {cap} widened");
+            prev = got[0].width();
+        }
+    }
+
+    #[test]
+    fn results_are_bitwise_identical_across_pool_sizes_and_stable_per_seed() {
+        let clauses: &[&[u64]] = &[&[1, 2], &[2, 3], &[3, 4], &[4, 5]];
+        let probs = probs_for(&[1, 2, 3, 4, 5]);
+        let answer = answer_for(clauses, &probs);
+        let ctx = ExecContext::unbounded();
+        let config = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.05 }).with_seed(42);
+        let reference = anytime_confidences_ctx(&answer, &config, &Pool::new(1), &ctx).unwrap();
+        for threads in [2, 4, 8] {
+            let got = anytime_confidences_ctx(&answer, &config, &Pool::new(threads), &ctx).unwrap();
+            assert_eq!(got.len(), reference.len());
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.lo.to_bits(), b.lo.to_bits(), "threads={threads}");
+                assert_eq!(a.hi.to_bits(), b.hi.to_bits(), "threads={threads}");
+                assert_eq!(a.rounds, b.rounds);
+            }
+        }
+        // The same seed reproduces the run exactly.
+        let again = anytime_confidences_ctx(&answer, &config, &Pool::new(3), &ctx).unwrap();
+        assert_eq!(again, reference);
+    }
+
+    #[test]
+    fn deadline_returns_best_bounds_instead_of_error() {
+        use pdb_govern::GovernorBuilder;
+        use std::time::Duration;
+        let clauses: &[&[u64]] = &[&[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 6], &[6, 7]];
+        let probs = probs_for(&[1, 2, 3, 4, 5, 6, 7]);
+        let answer = answer_for(clauses, &probs);
+        let want = oracle(clauses, &probs);
+        // A deadline that has already expired: every refinement checkpoint
+        // fails, so only the crude initial bounds survive — returned, not
+        // raised.
+        let gov = GovernorBuilder::new().deadline(Duration::ZERO).build();
+        std::thread::sleep(Duration::from_millis(2));
+        let ctx = ExecContext::governed(&gov);
+        let config = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.0 });
+        let got = anytime_confidences_ctx(&answer, &config, &Pool::new(2), &ctx).unwrap();
+        assert_eq!(got[0].rounds, 0);
+        assert!(got[0].lo <= want + 1e-12 && want <= got[0].hi + 1e-12);
+        assert!(got[0].width() > 0.0);
+    }
+
+    #[test]
+    fn cancellation_still_aborts() {
+        use pdb_govern::QueryGovernor;
+        let clauses: &[&[u64]] = &[&[1, 2], &[2, 3], &[3, 4]];
+        let probs = probs_for(&[1, 2, 3, 4]);
+        let answer = answer_for(clauses, &probs);
+        let gov = QueryGovernor::new();
+        gov.cancel();
+        let ctx = ExecContext::governed(&gov);
+        let config = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.0 });
+        let err = anytime_confidences_ctx(&answer, &config, &Pool::new(2), &ctx).unwrap_err();
+        assert!(matches!(
+            err,
+            ConfError::Governed(SproutError::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_bags_keep_tuple_order() {
+        let probs = probs_for(&[1, 2, 3, 4]);
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]).unwrap();
+        let mut t = Annotated::new(schema, vec!["R".into()]);
+        for (val, var) in [(2i64, 1u64), (1, 2), (1, 3), (2, 4)] {
+            t.push(AnnotatedRow::new(
+                tuple![val],
+                vec![(Variable(var), probs[&Variable(var)])],
+            ));
+        }
+        let config = AnytimeConfig::new(ApproxPolicy::Exact);
+        let got =
+            anytime_confidences_ctx(&t, &config, &Pool::new(2), &ExecContext::unbounded()).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].tuple, tuple![1i64]);
+        assert_eq!(got[1].tuple, tuple![2i64]);
+        // Single-relation lineage is always read-once: an ∨ of leaves.
+        let p2 = probs[&Variable(2)];
+        let p3 = probs[&Variable(3)];
+        let want = 1.0 - (1.0 - p2) * (1.0 - p3);
+        assert!((got[0].value() - want).abs() < 1e-12);
+    }
+}

@@ -16,6 +16,10 @@ pub enum ConfError {
     /// The signature does not have the 1scan property but a single-scan
     /// evaluation was requested.
     NotOneScan(String),
+    /// An unsafe query's lineage is provably not read-once and the
+    /// [`ApproxPolicy::Exact`](crate::ApproxPolicy::Exact) policy forbids
+    /// falling back to dissociation bounds.
+    NotReadOnce(String),
     /// Error from the static query analysis (signature/1scanTree building).
     Query(QueryError),
     /// Error from the execution substrate.
@@ -50,6 +54,9 @@ impl fmt::Display for ConfError {
             }
             ConfError::NotOneScan(s) => {
                 write!(f, "signature {s} does not have the 1scan property")
+            }
+            ConfError::NotReadOnce(s) => {
+                write!(f, "exact policy admits no plan: {s}")
             }
             ConfError::Query(e) => write!(f, "query analysis error: {e}"),
             ConfError::Exec(e) => write!(f, "execution error: {e}"),

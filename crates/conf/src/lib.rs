@@ -24,6 +24,12 @@
 //! strategy from the signature, and [`brute`] is the exponential ground-truth
 //! oracle used by tests and by the tiny worked examples.
 //!
+//! For queries *without* a safe plan (no hierarchical FD-reduct — exact
+//! computation is #P-hard), [`anytime`] is a fourth evaluator family that
+//! works from lineage alone: exact read-once factorization where the
+//! per-tuple DNF factors, and anytime dissociation `[lo, hi]` bounds
+//! everywhere else, selected by the [`ApproxPolicy`] knob.
+//!
 //! Since PR 2 the one-scan and multi-scan paths run on a flat, iterative,
 //! allocation-free Fig. 8 machine and fan out across bags of duplicate
 //! answer tuples on a [`pdb_par::Pool`] of scoped threads. Since PR 3 a
@@ -36,6 +42,7 @@
 //! pre-PR-2 recursive engine is retained in [`baseline`] for A/B
 //! benchmarking.
 
+pub mod anytime;
 pub mod baseline;
 pub mod brute;
 pub mod error;
@@ -44,6 +51,9 @@ pub mod multi_scan;
 pub mod one_scan;
 pub mod operator;
 
+pub use anytime::{
+    anytime_confidences_ctx, AnytimeConfig, ApproxPolicy, ApproxResult, ConfMethod, TupleConfidence,
+};
 pub use error::{ConfError, ConfResult};
 pub use one_scan::{SplitPolicy, INTRA_BAG_SPLIT_THRESHOLD};
 pub use operator::{ConfidenceOperator, ConfidenceResult, Strategy};

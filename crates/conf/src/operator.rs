@@ -15,6 +15,7 @@ use pdb_par::Pool;
 use pdb_query::Signature;
 use pdb_storage::Tuple;
 
+use crate::anytime::{anytime_confidences_ctx, AnytimeConfig, ApproxPolicy, ApproxResult};
 use crate::brute::brute_force_confidences;
 use crate::error::ConfResult;
 use crate::grp::grp_confidences_with;
@@ -65,6 +66,7 @@ pub struct ConfidenceOperator {
     pool: Pool,
     split_policy: SplitPolicy,
     governor: Option<QueryGovernor>,
+    approx: AnytimeConfig,
 }
 
 impl ConfidenceOperator {
@@ -81,6 +83,7 @@ impl ConfidenceOperator {
             pool,
             split_policy: SplitPolicy::default(),
             governor: None,
+            approx: AnytimeConfig::new(ApproxPolicy::Exact),
         }
     }
 
@@ -102,6 +105,21 @@ impl ConfidenceOperator {
         self
     }
 
+    /// Sets the [`ApproxPolicy`] consulted by
+    /// [`compute_anytime`](Self::compute_anytime). Signature-driven
+    /// [`compute`](Self::compute) is always exact and ignores the policy.
+    pub fn with_approx_policy(mut self, policy: ApproxPolicy) -> Self {
+        self.approx.policy = policy;
+        self
+    }
+
+    /// Sets the seed of the anytime refinement tie-breaker (deterministic
+    /// per seed at every pool size).
+    pub fn with_approx_seed(mut self, seed: u64) -> Self {
+        self.approx.seed = seed;
+        self
+    }
+
     /// The operator's signature.
     pub fn signature(&self) -> &Signature {
         &self.signature
@@ -115,6 +133,11 @@ impl ConfidenceOperator {
     /// The operator's intra-bag split policy.
     pub fn split_policy(&self) -> SplitPolicy {
         self.split_policy
+    }
+
+    /// The operator's unsafe-query approximation policy.
+    pub fn approx_policy(&self) -> ApproxPolicy {
+        self.approx.policy
     }
 
     /// The governor attached via [`with_governor`](Self::with_governor), if any.
@@ -161,6 +184,23 @@ impl ConfidenceOperator {
                 Ok(brute_force_confidences(answer))
             }
         }
+    }
+
+    /// Computes confidence *brackets* from lineage alone — the evaluator for
+    /// queries without a safe plan, where the signature machinery does not
+    /// apply. Per-tuple DNFs that factor read-once are exact; the rest get
+    /// anytime dissociation bounds under the operator's [`ApproxPolicy`]
+    /// (an error under [`ApproxPolicy::Exact`]).
+    ///
+    /// # Errors
+    /// Fails with [`ConfError::NotReadOnce`](crate::ConfError::NotReadOnce)
+    /// when the policy is `Exact` and some tuple's lineage is provably not
+    /// read-once, and on governor cancellation. A governor *deadline* during
+    /// bounds refinement returns the best bounds so far instead.
+    pub fn compute_anytime(&self, answer: &Annotated) -> ConfResult<ApproxResult> {
+        let pool = self.pool.for_items(answer.len());
+        let ctx = ExecContext::from_governor(self.governor.as_ref());
+        anytime_confidences_ctx(answer, &self.approx, &pool, &ctx)
     }
 }
 

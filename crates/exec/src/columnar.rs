@@ -1220,6 +1220,41 @@ mod tests {
     }
 
     #[test]
+    fn saturated_blooms_keep_scans_exact_on_high_cardinality_columns() {
+        // 128 distinct ints per chunk — past the ~64-key cliff the filter is
+        // stored as the all-ones sentinel: probes cannot prune, but results
+        // must still be exact, and `Ne` must not wrongly promote to Full.
+        let schema = Schema::from_pairs(&[("v", DataType::Int)]).unwrap();
+        let mut t = ProbTable::new(schema);
+        for r in 0..256usize {
+            t.insert(tuple![r as i64 * 2], Variable(r as u64), 0.5)
+                .unwrap();
+        }
+        let col = ColumnarTable::from_prob_table_chunked(&t, &Pool::sequential(), 128).unwrap();
+        for k in 0..2 {
+            assert!(col.zone(0, k).bloom_saturated(), "chunk {k}");
+        }
+        // Absent value inside chunk 0's range: only row evaluation decides.
+        let pred = Predicate::new("R", "v", CompareOp::Eq, 5i64);
+        let preds = [&pred];
+        let (got, stats) =
+            scan_filter_project_columnar_stats(&col, "R", &preds, &s(&["v"]), &Pool::new(2))
+                .unwrap();
+        assert!(got.is_empty());
+        assert_eq!(stats.chunks_bloom_skipped, 0);
+        // Present values still come back exactly.
+        let pred = Predicate::is_in("R", "v", [0i64, 254, 510]);
+        let preds = [&pred];
+        let got = scan_filter_project_columnar_with(&col, "R", &preds, &s(&["v"]), &Pool::new(4))
+            .unwrap();
+        assert_eq!(
+            got,
+            crate::ops::scan_filter_project(&t, "R", &preds, &s(&["v"])).unwrap()
+        );
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
     fn conjunctions_intersect_survivor_lists() {
         let (row, col) = sample();
         let p1 = Predicate::new("R", "k", CompareOp::Ge, 32i64);

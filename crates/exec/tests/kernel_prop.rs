@@ -134,22 +134,36 @@ proptest! {
 
     /// `In` probes with present, absent, and NULL members agree with the
     /// row path and never drop rows (bloom filters only ever *keep*).
+    /// Degenerate lists — empty, or NULLs only — must select nothing on
+    /// both paths, never panic or select everything.
     #[test]
     fn in_kernels_agree_with_the_scalar_path(
         seed in 1u64..u64::MAX / 2,
         rows in 1usize..300,
         null_den in 0u32..5,
-        members in proptest::collection::vec(-10i64..60, 1..6),
-        with_null in proptest::bool::ANY,
+        members in proptest::collection::vec(-10i64..60, 0..6),
+        list_kind in 0u32..3, // 0: ints only, 1: ints + NULL, 2: NULLs only
         threads in 0usize..4,
     ) {
         let row = kernel_table(seed, rows, null_den);
         let col = ColumnarTable::from_prob_table_chunked(&row, &Pool::new(2), 64).unwrap();
-        let mut list: Vec<Value> = members.iter().map(|m| Value::Int(*m)).collect();
-        if with_null {
+        let mut list: Vec<Value> = if list_kind == 2 {
+            members.iter().map(|_| Value::Null).collect()
+        } else {
+            members.iter().map(|m| Value::Int(*m)).collect()
+        };
+        if list_kind == 1 {
             list.push(Value::Null);
         }
+        let degenerate = list.iter().all(Value::is_null); // empty or all-NULL
         let p_i = Predicate::is_in("R", "i", list);
+        if degenerate {
+            let preds = [&p_i];
+            let got = scan_filter_project_columnar_with(
+                &col, "R", &preds, &names(&["i"]), &Pool::new(POOLS[threads]),
+            ).unwrap();
+            prop_assert!(got.is_empty(), "degenerate IN list must select nothing");
+        }
         let p_s = Predicate::is_in("R", "s", ["oak", "yew", ""]);
         let keep = names(&["i", "s"]);
         for preds in [vec![&p_i], vec![&p_s], vec![&p_i, &p_s]] {

@@ -17,9 +17,14 @@
 //! * [`independent_or`] / [`independent_and`] — the linear-time probability
 //!   combinators for one-occurrence-form (1OF) formulas that the paper's
 //!   operator is built from.
+//! * [`factorize`] / [`ReadOnceTree`] — read-once factorization of monotone
+//!   DNF: the exact linear-time fallback for lineage of *unsafe* queries,
+//!   returning the blocking sub-formula when no read-once form exists.
 
 pub mod dnf;
 pub mod prob;
+pub mod readonce;
 
 pub use dnf::{Clause, Dnf};
 pub use prob::{exact_probability, independent_and, independent_or};
+pub use readonce::{factorize, Factorization, ReadOnceTree};

@@ -1,0 +1,514 @@
+//! Read-once factorization of monotone DNF lineage.
+//!
+//! A monotone Boolean formula is *read-once* (1OF) if it is equivalent to a
+//! formula in which every variable appears exactly once. For such formulas
+//! the probability is computed exactly in one bottom-up pass: independent
+//! products at ∧-nodes and the inclusion–exclusion-free
+//! `1 − Π(1 − pᵢ)` combinator at ∨-nodes — the same combinators the
+//! paper's operator is built from. Lineage of many #P-hard (unsafe) queries
+//! still factors read-once on concrete data, which is what makes the
+//! fallback path of the unsafe-query subsystem worthwhile (Roy et al.,
+//! arXiv:1012.0335).
+//!
+//! [`factorize`] implements the unate recursive decomposition:
+//!
+//! 1. the DNF is absorption-minimized (positive IDNF),
+//! 2. ∨-decomposition splits the clause set into connected components of
+//!    the "shares a variable" relation,
+//! 3. ∧-decomposition splits a connected clause set along the connected
+//!    components of the *complement* of the variable co-occurrence graph and
+//!    verifies *normality*: the clause set must be exactly the cross product
+//!    of its projections onto the components.
+//!
+//! When both decompositions are stuck the sub-formula in hand is provably
+//! not read-once and is returned as the blocking witness
+//! ([`Factorization::Blocked`]) — the dissociation bounds evaluator takes
+//! over from there.
+
+use std::collections::BTreeMap;
+
+use pdb_storage::Variable;
+
+use crate::dnf::{Clause, Dnf};
+
+/// A read-once factorization tree: every variable occurs in exactly one leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOnceTree {
+    /// A single variable.
+    Leaf(Variable),
+    /// Conjunction of independent subtrees (disjoint variable sets).
+    And(Vec<ReadOnceTree>),
+    /// Disjunction of independent subtrees (disjoint variable sets).
+    Or(Vec<ReadOnceTree>),
+}
+
+impl ReadOnceTree {
+    /// Exact probability of the subtree under independent variables with the
+    /// given marginals: one bottom-up pass, products at ∧, `1 − Π(1 − pᵢ)`
+    /// at ∨. Variables missing from `probs` are treated as impossible
+    /// (probability 0).
+    pub fn probability(&self, probs: &BTreeMap<Variable, f64>) -> f64 {
+        match self {
+            ReadOnceTree::Leaf(v) => probs.get(v).copied().unwrap_or(0.0),
+            ReadOnceTree::And(children) => children.iter().map(|c| c.probability(probs)).product(),
+            ReadOnceTree::Or(children) => {
+                let none: f64 = children
+                    .iter()
+                    .map(|c| 1.0 - c.probability(probs))
+                    .product();
+                1.0 - none
+            }
+        }
+    }
+
+    /// Number of leaves — equal to the number of distinct variables, since
+    /// every variable occurs exactly once.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            ReadOnceTree::Leaf(_) => 1,
+            ReadOnceTree::And(children) | ReadOnceTree::Or(children) => {
+                children.iter().map(|c| c.leaf_count()).sum()
+            }
+        }
+    }
+
+    /// The variables of the tree, in leaf order.
+    pub fn variables(&self) -> Vec<Variable> {
+        let mut out = Vec::with_capacity(self.leaf_count());
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<Variable>) {
+        match self {
+            ReadOnceTree::Leaf(v) => out.push(*v),
+            ReadOnceTree::And(children) | ReadOnceTree::Or(children) => {
+                for c in children {
+                    c.collect_variables(out);
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of [`factorize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Factorization {
+    /// The formula is constant (empty DNF is false; a DNF containing the
+    /// empty clause is true).
+    Constant(bool),
+    /// The formula factors read-once.
+    ReadOnce(ReadOnceTree),
+    /// The formula is not read-once; the witness is the first sub-formula on
+    /// which both decompositions got stuck.
+    Blocked(Dnf),
+}
+
+impl Factorization {
+    /// The read-once tree, if the formula factored.
+    pub fn tree(&self) -> Option<&ReadOnceTree> {
+        match self {
+            Factorization::ReadOnce(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the formula factored read-once (constants count as trivially
+    /// read-once).
+    pub fn is_read_once(&self) -> bool {
+        !matches!(self, Factorization::Blocked(_))
+    }
+}
+
+/// Factorizes a monotone DNF into a read-once tree, or returns the blocking
+/// sub-formula when no read-once form exists.
+pub fn factorize(dnf: &Dnf) -> Factorization {
+    if dnf.is_false() {
+        return Factorization::Constant(false);
+    }
+    if dnf.is_true() {
+        return Factorization::Constant(true);
+    }
+    let clauses = minimize(dnf.clauses().iter().map(|c| c.vars().to_vec()).collect());
+    if clauses.iter().any(|c| c.is_empty()) {
+        // An empty clause survived minimization: the formula is true.
+        return Factorization::Constant(true);
+    }
+    match build(&clauses) {
+        Ok(tree) => Factorization::ReadOnce(tree),
+        Err(blocking) => {
+            let mut witness = Dnf::empty();
+            for c in blocking {
+                witness.add_clause(Clause::new(c));
+            }
+            Factorization::Blocked(witness)
+        }
+    }
+}
+
+/// Absorption-minimizes a positive clause set: drops duplicates and every
+/// clause that is a superset of another clause. The result is the unique
+/// positive IDNF of the input.
+fn minimize(mut clauses: Vec<Vec<Variable>>) -> Vec<Vec<Variable>> {
+    // Clause variables are already sorted (Clause keeps them sorted); sort
+    // the clause list by (length, content) so absorbers precede absorbees
+    // and the output order is canonical.
+    clauses.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    clauses.dedup();
+    let mut kept: Vec<Vec<Variable>> = Vec::with_capacity(clauses.len());
+    'outer: for c in clauses {
+        for k in &kept {
+            if is_subset(k, &c) {
+                continue 'outer;
+            }
+        }
+        kept.push(c);
+    }
+    kept
+}
+
+/// Whether sorted slice `a` is a subset of sorted slice `b`.
+fn is_subset(a: &[Variable], b: &[Variable]) -> bool {
+    let mut bi = b.iter();
+    'next: for x in a {
+        for y in bi.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'next,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Recursive unate decomposition over a minimized clause set. `Err` carries
+/// the blocking clause set.
+#[allow(clippy::type_complexity)]
+fn build(clauses: &[Vec<Variable>]) -> Result<ReadOnceTree, Vec<Vec<Variable>>> {
+    debug_assert!(!clauses.is_empty());
+    if clauses.len() == 1 {
+        return Ok(conjunction_of(&clauses[0]));
+    }
+
+    // ∨-decomposition: connected components of clauses sharing a variable.
+    let components = clause_components(clauses);
+    if components.len() > 1 {
+        let mut children = Vec::with_capacity(components.len());
+        for component in components {
+            children.push(build(&component)?);
+        }
+        return Ok(ReadOnceTree::Or(children));
+    }
+
+    // ∧-decomposition: co-components of the variable co-occurrence graph.
+    let vars = distinct_vars(clauses);
+    let groups = co_components(clauses, &vars);
+    if groups.len() <= 1 {
+        // Neither decomposition applies: provably not read-once.
+        return Err(clauses.to_vec());
+    }
+
+    // Project the clause set onto every group and verify normality: the
+    // clause set must be exactly the cross product of its projections.
+    let mut children = Vec::with_capacity(groups.len());
+    let mut product: usize = 1;
+    let mut projections = Vec::with_capacity(groups.len());
+    for group in &groups {
+        let mut proj: Vec<Vec<Variable>> = Vec::with_capacity(clauses.len());
+        for clause in clauses {
+            let p: Vec<Variable> = clause
+                .iter()
+                .filter(|v| group.contains(v))
+                .copied()
+                .collect();
+            if p.is_empty() {
+                // A clause misses a whole component: not a cross product.
+                return Err(clauses.to_vec());
+            }
+            proj.push(p);
+        }
+        proj.sort_unstable();
+        proj.dedup();
+        product = product.saturating_mul(proj.len());
+        projections.push(proj);
+    }
+    // Every (minimized, distinct) clause is the union of its projections, so
+    // it maps to a distinct combination; |clauses| == Π|projᵢ| therefore
+    // holds exactly when the map is onto the cross product.
+    if product != clauses.len() {
+        return Err(clauses.to_vec());
+    }
+    for proj in projections {
+        // Projections of a minimal normal clause set are minimal themselves,
+        // but re-minimize defensively: it is cheap and keeps the recursion's
+        // precondition airtight.
+        children.push(build(&minimize(proj))?);
+    }
+    Ok(ReadOnceTree::And(children))
+}
+
+/// A clause as a read-once (sub)tree: a single leaf or a conjunction of
+/// leaves.
+fn conjunction_of(clause: &[Variable]) -> ReadOnceTree {
+    if clause.len() == 1 {
+        ReadOnceTree::Leaf(clause[0])
+    } else {
+        ReadOnceTree::And(clause.iter().map(|v| ReadOnceTree::Leaf(*v)).collect())
+    }
+}
+
+/// Sorted distinct variables of a clause set.
+fn distinct_vars(clauses: &[Vec<Variable>]) -> Vec<Variable> {
+    let mut vars: Vec<Variable> = clauses.iter().flatten().copied().collect();
+    vars.sort_unstable();
+    vars.dedup();
+    vars
+}
+
+/// Connected components of the clause set under "shares a variable",
+/// ordered by their smallest clause index (so the tree shape is canonical).
+fn clause_components(clauses: &[Vec<Variable>]) -> Vec<Vec<Vec<Variable>>> {
+    let n = clauses.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = i;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut by_var: BTreeMap<Variable, usize> = BTreeMap::new();
+    for (i, clause) in clauses.iter().enumerate() {
+        for v in clause {
+            match by_var.get(v) {
+                Some(&j) => {
+                    let a = find(&mut parent, i);
+                    let b = find(&mut parent, j);
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+                None => {
+                    by_var.insert(*v, i);
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<Vec<Variable>>> = BTreeMap::new();
+    let mut first: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, clause) in clauses.iter().enumerate() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(clause.clone());
+        first.entry(root).or_insert(i);
+    }
+    let mut ordered: Vec<(usize, Vec<Vec<Variable>>)> = groups
+        .into_iter()
+        .map(|(root, members)| (first[&root], members))
+        .collect();
+    ordered.sort_unstable_by_key(|(i, _)| *i);
+    ordered.into_iter().map(|(_, members)| members).collect()
+}
+
+/// Connected components of the *complement* of the variable co-occurrence
+/// graph, each returned as a sorted variable list, ordered by smallest
+/// variable. One single component means no ∧-decomposition exists.
+fn co_components(clauses: &[Vec<Variable>], vars: &[Variable]) -> Vec<Vec<Variable>> {
+    let n = vars.len();
+    let index: BTreeMap<Variable, usize> = vars.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+    // Co-occurrence adjacency as bitset rows (bag-scale formulas: n is small).
+    let words = n.div_ceil(64);
+    let mut adj = vec![0u64; n * words];
+    for clause in clauses {
+        for (k, a) in clause.iter().enumerate() {
+            let ia = index[a];
+            for b in &clause[k + 1..] {
+                let ib = index[b];
+                adj[ia * words + ib / 64] |= 1 << (ib % 64);
+                adj[ib * words + ia / 64] |= 1 << (ia % 64);
+            }
+        }
+    }
+    // BFS over complement edges: neighbors of v are the unvisited vertices
+    // *not* adjacent to v in the co-occurrence graph.
+    let mut visited = vec![false; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut queue = vec![start];
+        let mut members = vec![start];
+        while let Some(v) = queue.pop() {
+            let row = &adj[v * words..(v + 1) * words];
+            for u in 0..n {
+                if !visited[u] && row[u / 64] & (1 << (u % 64)) == 0 {
+                    visited[u] = true;
+                    queue.push(u);
+                    members.push(u);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members.into_iter().map(|i| vars[i]).collect());
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::exact_probability;
+
+    fn v(i: u64) -> Variable {
+        Variable(i)
+    }
+
+    fn dnf(clauses: &[&[u64]]) -> Dnf {
+        let mut d = Dnf::empty();
+        for c in clauses {
+            d.add_clause(Clause::new(c.iter().map(|i| v(*i))));
+        }
+        d
+    }
+
+    fn probs(d: &Dnf) -> BTreeMap<Variable, f64> {
+        d.variables()
+            .into_iter()
+            .map(|var| {
+                // Distinct, reproducible marginals in (0, 1).
+                let p = 0.05 + 0.9 * ((var.0 * 37 % 19) as f64 / 19.0);
+                (var, p)
+            })
+            .collect()
+    }
+
+    fn assert_exact(d: &Dnf) {
+        let f = factorize(d);
+        let tree = f.tree().expect("expected read-once");
+        let ps = probs(d);
+        let got = tree.probability(&ps);
+        let want = exact_probability(d, &ps);
+        assert!(
+            (got - want).abs() < 1e-12,
+            "tree {got} vs oracle {want} on {d}"
+        );
+        // Read-once: every variable occurs exactly once.
+        let mut vars = tree.variables();
+        vars.sort_unstable();
+        let mut distinct = vars.clone();
+        distinct.dedup();
+        assert_eq!(vars, distinct, "variable repeated in tree for {d}");
+        assert_eq!(vars.len(), d.variables().len());
+    }
+
+    #[test]
+    fn constants_factor_trivially() {
+        assert_eq!(factorize(&Dnf::empty()), Factorization::Constant(false));
+        let mut t = Dnf::empty();
+        t.add_clause(Clause::empty());
+        assert_eq!(factorize(&t), Factorization::Constant(true));
+    }
+
+    #[test]
+    fn single_variable_and_single_clause() {
+        assert_eq!(
+            factorize(&dnf(&[&[3]])),
+            Factorization::ReadOnce(ReadOnceTree::Leaf(v(3)))
+        );
+        assert_exact(&dnf(&[&[1, 2, 3]]));
+    }
+
+    #[test]
+    fn disjoint_clauses_or_decompose() {
+        // xy ∨ zu: independent clauses.
+        assert_exact(&dnf(&[&[1, 2], &[3, 4]]));
+    }
+
+    #[test]
+    fn shared_variable_and_decomposes() {
+        // xb ∨ yb = (x ∨ y) ∧ b.
+        let d = dnf(&[&[1, 3], &[2, 3]]);
+        assert_exact(&d);
+        match factorize(&d).tree().unwrap() {
+            ReadOnceTree::And(children) => assert_eq!(children.len(), 2),
+            other => panic!("expected ∧-root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_product_factorizes() {
+        // (x ∨ y)(a ∨ b) expanded: xa ∨ xb ∨ ya ∨ yb.
+        assert_exact(&dnf(&[&[1, 3], &[1, 4], &[2, 3], &[2, 4]]));
+    }
+
+    #[test]
+    fn nested_factorization() {
+        // x(a ∨ bc) ∨ d expanded: xa ∨ xbc ∨ d.
+        assert_exact(&dnf(&[&[1, 2], &[1, 3, 4], &[5]]));
+    }
+
+    #[test]
+    fn absorption_is_applied_before_decomposition() {
+        // xy ∨ x ≡ x: the absorbed clause must not block factorization.
+        let d = dnf(&[&[1, 2], &[1]]);
+        assert_eq!(
+            factorize(&d),
+            Factorization::ReadOnce(ReadOnceTree::Leaf(v(1)))
+        );
+    }
+
+    #[test]
+    fn the_path_p4_is_blocked() {
+        // xy ∨ yz ∨ zu: the canonical non-read-once monotone formula (its
+        // co-occurrence graph is the path P4).
+        let d = dnf(&[&[1, 2], &[2, 3], &[3, 4]]);
+        match factorize(&d) {
+            Factorization::Blocked(witness) => {
+                assert_eq!(witness.len(), 3);
+                assert_eq!(witness.variables().len(), 4);
+            }
+            other => panic!("expected blocked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_witness_is_the_inner_subformula() {
+        // (P4) ∨ w: the ∨-decomposition strips the independent clause and
+        // the witness is the P4 core only.
+        let d = dnf(&[&[1, 2], &[2, 3], &[3, 4], &[9]]);
+        match factorize(&d) {
+            Factorization::Blocked(witness) => {
+                assert_eq!(witness.len(), 3);
+                assert!(!witness.variables().contains(&v(9)));
+            }
+            other => panic!("expected blocked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_normal_connected_formula_is_blocked() {
+        // xa ∨ xb ∨ ya: connected, co-components {x,y} and {a,b}, but the
+        // clause set is not the full cross product (ya present, yb absent).
+        let d = dnf(&[&[1, 3], &[1, 4], &[2, 3]]);
+        assert!(matches!(factorize(&d), Factorization::Blocked(_)));
+    }
+
+    #[test]
+    fn leaf_count_and_variables() {
+        let d = dnf(&[&[1, 3], &[2, 3]]);
+        let tree = factorize(&d).tree().unwrap().clone();
+        assert_eq!(tree.leaf_count(), 3);
+        let mut vars = tree.variables();
+        vars.sort_unstable();
+        assert_eq!(vars, vec![v(1), v(2), v(3)]);
+    }
+}

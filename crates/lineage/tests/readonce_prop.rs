@@ -1,0 +1,142 @@
+//! Property tests for the read-once factorization pass.
+//!
+//! Three angles:
+//!
+//! * **Soundness on arbitrary DNFs** — whenever [`factorize`] claims a
+//!   read-once tree, its one-pass probability must equal the brute-force
+//!   possible-worlds oracle ([`exact_probability`]), and the tree must
+//!   mention every variable exactly once.
+//! * **Completeness on known-read-once formulas** — a DNF *expanded from* a
+//!   random read-once tree must factor back into a read-once form.
+//! * **Blocked witnesses** — formulas embedding the path P4
+//!   (`xy ∨ yz ∨ zu`, the canonical non-read-once pattern) must come back
+//!   [`Factorization::Blocked`], with a witness that is itself entangled
+//!   (every clause shares a variable with another).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use pdb_lineage::{exact_probability, factorize, Clause, Dnf, Factorization};
+use pdb_storage::Variable;
+
+fn probs_for(formula: &Dnf) -> BTreeMap<Variable, f64> {
+    formula
+        .variables()
+        .into_iter()
+        .map(|v| (v, 0.1 + 0.8 * ((v.0 * 7 % 11) as f64 / 11.0)))
+        .collect()
+}
+
+fn dnf_from(clauses: &[Vec<u64>]) -> Dnf {
+    let mut d = Dnf::empty();
+    for c in clauses {
+        d.add_clause(Clause::new(c.iter().map(|v| Variable(*v))));
+    }
+    d
+}
+
+/// A random read-once tree over fresh variables, returned as the pair
+/// (equivalent DNF, number of leaves). `shape` drives the recursion
+/// deterministically.
+fn read_once_dnf(shape: &[u8], next: &mut u64, depth: usize) -> Dnf {
+    if depth >= 3 || shape.is_empty() {
+        let v = Variable(*next);
+        *next += 1;
+        return Dnf::var(v);
+    }
+    let arity = 2 + (shape[0] % 2) as usize;
+    let children: Vec<Dnf> = (0..arity)
+        .map(|i| read_once_dnf(&shape[(1 + i).min(shape.len())..], next, depth + 1))
+        .collect();
+    let mut it = children.into_iter();
+    let first = it.next().unwrap();
+    if shape[0].is_multiple_of(2) {
+        it.fold(first, |acc, c| acc.or(&c))
+    } else {
+        it.fold(first, |acc, c| acc.and(&c))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary small DNFs: when the pass claims read-once, the one-pass
+    /// evaluation equals the possible-worlds oracle and every variable
+    /// appears exactly once in the tree.
+    #[test]
+    fn read_once_trees_agree_with_the_possible_worlds_oracle(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec(0u64..8, 1..4), 1..6),
+    ) {
+        let dnf = dnf_from(&clauses);
+        let probs = probs_for(&dnf);
+        let want = exact_probability(&dnf, &probs);
+        match factorize(&dnf) {
+            Factorization::ReadOnce(tree) => {
+                prop_assert_eq!(tree.leaf_count(), tree.variables().len(),
+                    "read-once trees mention each variable once");
+                let got = tree.probability(&probs);
+                prop_assert!((got - want).abs() < 1e-12,
+                    "tree gave {got}, oracle {want} for {dnf}");
+            }
+            Factorization::Constant(b) => {
+                prop_assert_eq!(want, if b { 1.0 } else { 0.0 });
+            }
+            Factorization::Blocked(witness) => {
+                // The witness is a sub-formula of the absorption-minimized
+                // input: every one of its variables occurs in the input.
+                let vars = dnf.variables();
+                for v in witness.variables() {
+                    prop_assert!(vars.contains(&v), "witness var {v:?} not in input");
+                }
+                prop_assert!(witness.len() >= 3,
+                    "a blocked witness needs at least 3 entangled clauses");
+            }
+        }
+    }
+
+    /// DNFs expanded from random read-once trees always factor back:
+    /// the pass is complete, not just sound.
+    #[test]
+    fn expansions_of_read_once_trees_factor_back(
+        shape in proptest::collection::vec(0u8..=255, 1..12),
+    ) {
+        let mut next = 0u64;
+        let dnf = read_once_dnf(&shape, &mut next, 0);
+        let probs = probs_for(&dnf);
+        let want = exact_probability(&dnf, &probs);
+        match factorize(&dnf) {
+            Factorization::ReadOnce(tree) => {
+                let got = tree.probability(&probs);
+                prop_assert!((got - want).abs() < 1e-12, "{dnf}: {got} vs {want}");
+            }
+            other => prop_assert!(false, "expected read-once for {dnf}, got {other:?}"),
+        }
+    }
+
+    /// Embedding the path P4 over fresh variables into any read-once
+    /// formula makes the result provably not read-once: the pass must say
+    /// Blocked (never silently return a wrong tree).
+    #[test]
+    fn formulas_embedding_p4_are_blocked(
+        shape in proptest::collection::vec(0u8..=255, 0..8),
+        or_composition in proptest::bool::ANY,
+    ) {
+        let mut next = 100u64; // P4 below uses 0..4
+        let harmless = read_once_dnf(&shape, &mut next, 0);
+        let p4 = dnf_from(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        // ∨-composition keeps the components variable-disjoint, so the
+        // blocked component is exactly the embedded P4; ∧-composition
+        // distributes it into every clause.
+        let dnf = if or_composition { p4.or(&harmless) } else { p4.and(&harmless) };
+        match factorize(&dnf) {
+            Factorization::Blocked(witness) => {
+                let vars = witness.variables();
+                prop_assert!(vars.iter().any(|v| v.0 < 4),
+                    "witness {witness} must involve the P4 core");
+            }
+            other => prop_assert!(false, "expected blocked for {dnf}, got {other:?}"),
+        }
+    }
+}

@@ -36,12 +36,13 @@ impl EagerPlan {
     /// Builds an eager plan.
     ///
     /// # Errors
-    /// Fails with [`PlanError::Intractable`] if the FD-reduct is not
-    /// hierarchical.
+    /// Fails with [`PlanError::UnsafeQuery`] (naming the blocking attribute
+    /// pair) if the FD-reduct is not hierarchical.
     pub fn build(query: &ConjunctiveQuery, fds: &FdSet) -> PlanResult<EagerPlan> {
         let reduct = FdReduct::compute(query, fds);
-        if !reduct.is_hierarchical() {
-            return Err(PlanError::Intractable(query.to_string()));
+        let status = reduct.hierarchy();
+        if !status.is_hierarchical() {
+            return Err(PlanError::unsafe_query(query, &status));
         }
         Ok(EagerPlan {
             query: query.clone(),
@@ -109,7 +110,7 @@ impl EagerPlan {
         match node {
             QueryTree::Leaf { relation, .. } => {
                 let atom = self.query.relation(relation).ok_or_else(|| {
-                    PlanError::Intractable(format!("unknown relation {relation}"))
+                    PlanError::Query(pdb_query::QueryError::UnknownRelation(relation.clone()))
                 })?;
                 let table = catalog.backing(relation)?;
                 // Scan the physically available attributes that are needed
@@ -465,7 +466,7 @@ mod tests {
     fn non_hierarchical_query_is_rejected() {
         assert!(matches!(
             EagerPlan::build(&intro_query_q_prime(), &FdSet::empty()),
-            Err(PlanError::Intractable(_))
+            Err(PlanError::UnsafeQuery { .. })
         ));
     }
 

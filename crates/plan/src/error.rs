@@ -5,15 +5,27 @@ use std::fmt;
 use pdb_conf::ConfError;
 use pdb_exec::ExecError;
 use pdb_govern::SproutError;
-use pdb_query::QueryError;
+use pdb_query::hierarchy::HierarchyStatus;
+use pdb_query::{ConjunctiveQuery, QueryError};
 use pdb_storage::StorageError;
 
 /// Errors raised while building or executing plans.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {
     /// The query (or its FD-reduct under the available dependencies) is not
-    /// hierarchical, so no exact plan exists (the query is #P-hard).
-    Intractable(String),
+    /// hierarchical, so no safe plan exists and exact evaluation is #P-hard.
+    /// The witness names the blocking attribute pair: two join attributes
+    /// co-occurring in `table` with incomparable atom sets.
+    UnsafeQuery {
+        /// Display form of the offending query.
+        query: String,
+        /// First blocking join attribute.
+        attr_a: String,
+        /// Second blocking join attribute.
+        attr_b: String,
+        /// A table in which both attributes occur.
+        table: String,
+    },
     /// MystiQ's log-space probability aggregation failed with a runtime error
     /// (Section VII) — the plan produced no result.
     MystiqRuntimeError(String),
@@ -30,12 +42,46 @@ pub enum PlanError {
     Governed(SproutError),
 }
 
+impl PlanError {
+    /// The typed unsafe-query error for a hierarchy violation: extracts the
+    /// blocking attribute pair from the FD-reduct's [`HierarchyStatus`]
+    /// witness. Call only with a non-hierarchical status; a (buggy)
+    /// hierarchical status degrades to an empty witness rather than a panic.
+    pub fn unsafe_query(query: &ConjunctiveQuery, status: &HierarchyStatus) -> PlanError {
+        match status {
+            HierarchyStatus::NonHierarchical {
+                attr_a,
+                attr_b,
+                table,
+            } => PlanError::UnsafeQuery {
+                query: query.to_string(),
+                attr_a: attr_a.clone(),
+                attr_b: attr_b.clone(),
+                table: table.clone(),
+            },
+            HierarchyStatus::Hierarchical => PlanError::UnsafeQuery {
+                query: query.to_string(),
+                attr_a: String::new(),
+                attr_b: String::new(),
+                table: String::new(),
+            },
+        }
+    }
+}
+
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlanError::Intractable(q) => {
-                write!(f, "query has no hierarchical FD-reduct and is #P-hard: {q}")
-            }
+            PlanError::UnsafeQuery {
+                query,
+                attr_a,
+                attr_b,
+                table,
+            } => write!(
+                f,
+                "query has no safe plan and is #P-hard (join attributes {attr_a} and {attr_b} \
+                 co-occur in {table} but neither participates in all joins of the other): {query}"
+            ),
             PlanError::MystiqRuntimeError(q) => {
                 write!(f, "MystiQ plan failed with a runtime error on query: {q}")
             }
@@ -101,11 +147,41 @@ mod tests {
         assert!(e.to_string().contains("no relation"));
         let e: PlanError = StorageError::UnknownTable("T".into()).into();
         assert!(e.to_string().contains("T"));
-        assert!(PlanError::Intractable("Q5".into())
-            .to_string()
-            .contains("#P-hard"));
+        let unsafe_err = PlanError::UnsafeQuery {
+            query: "Q5".into(),
+            attr_a: "skey".into(),
+            attr_b: "okey".into(),
+            table: "Item".into(),
+        };
+        let s = unsafe_err.to_string();
+        assert!(s.contains("#P-hard") && s.contains("skey") && s.contains("okey"));
+        assert!(s.contains("Item") && s.contains("Q5"));
         assert!(PlanError::MystiqRuntimeError("Q1".into())
             .to_string()
             .contains("runtime error"));
+    }
+
+    #[test]
+    fn unsafe_query_carries_the_hierarchy_witness() {
+        use pdb_query::cq::intro_query_q_prime;
+        use pdb_query::reduct::FdReduct;
+        use pdb_query::FdSet;
+        let q = intro_query_q_prime();
+        let reduct = FdReduct::compute(&q, &FdSet::empty());
+        let status = reduct.hierarchy();
+        assert!(!status.is_hierarchical());
+        match PlanError::unsafe_query(&q, &status) {
+            PlanError::UnsafeQuery {
+                attr_a,
+                attr_b,
+                table,
+                query,
+            } => {
+                assert!(!attr_a.is_empty() && !attr_b.is_empty());
+                assert!(!table.is_empty());
+                assert!(query.contains("Ord"));
+            }
+            other => panic!("expected UnsafeQuery, got {other:?}"),
+        }
     }
 }

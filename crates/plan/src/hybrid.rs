@@ -40,8 +40,8 @@ impl HybridPlan {
     /// relations below the joins.
     ///
     /// # Errors
-    /// Fails with [`PlanError::Intractable`] if the FD-reduct is not
-    /// hierarchical.
+    /// Fails with [`PlanError::UnsafeQuery`] (naming the blocking attribute
+    /// pair) if the FD-reduct is not hierarchical.
     pub fn build(
         query: &ConjunctiveQuery,
         fds: &FdSet,
@@ -49,8 +49,9 @@ impl HybridPlan {
         push_down: &[&str],
     ) -> PlanResult<HybridPlan> {
         let reduct = FdReduct::compute(query, fds);
-        if !reduct.is_hierarchical() {
-            return Err(PlanError::Intractable(query.to_string()));
+        let status = reduct.hierarchy();
+        if !status.is_hierarchical() {
+            return Err(PlanError::unsafe_query(query, &status));
         }
         let signature = reduct.signature()?;
         let pushed: BTreeSet<String> = push_down
@@ -141,10 +142,9 @@ impl HybridPlan {
         let mut current: Option<Annotated> = None;
 
         for (step, rel_name) in self.join_order.iter().enumerate() {
-            let atom = self
-                .query
-                .relation(rel_name)
-                .ok_or_else(|| PlanError::Intractable(format!("unknown relation {rel_name}")))?;
+            let atom = self.query.relation(rel_name).ok_or_else(|| {
+                PlanError::Query(pdb_query::QueryError::UnknownRelation(rel_name.clone()))
+            })?;
             let table = catalog.backing(rel_name)?;
             let keep: Vec<String> = atom
                 .attributes

@@ -29,12 +29,13 @@ impl LazyPlan {
     /// `fds` and the catalog's statistics for join ordering.
     ///
     /// # Errors
-    /// Fails with [`PlanError::Intractable`] if the FD-reduct is not
-    /// hierarchical.
+    /// Fails with [`PlanError::UnsafeQuery`] (naming the blocking attribute
+    /// pair) if the FD-reduct is not hierarchical.
     pub fn build(query: &ConjunctiveQuery, fds: &FdSet, catalog: &Catalog) -> PlanResult<LazyPlan> {
         let reduct = FdReduct::compute(query, fds);
-        if !reduct.is_hierarchical() {
-            return Err(PlanError::Intractable(query.to_string()));
+        let status = reduct.hierarchy();
+        if !status.is_hierarchical() {
+            return Err(PlanError::unsafe_query(query, &status));
         }
         let signature = reduct.signature()?;
         let join_order = greedy_join_order(query, catalog)?;
@@ -169,10 +170,12 @@ mod tests {
     fn q_prime_is_intractable_without_fds_but_planable_with_them() {
         let catalog = fig1_catalog_with_keys();
         let q = intro_query_q_prime();
-        assert!(matches!(
-            LazyPlan::build(&q, &FdSet::empty(), &catalog),
-            Err(PlanError::Intractable(_))
-        ));
+        match LazyPlan::build(&q, &FdSet::empty(), &catalog) {
+            Err(PlanError::UnsafeQuery { attr_a, attr_b, .. }) => {
+                assert!(!attr_a.is_empty() && !attr_b.is_empty());
+            }
+            other => panic!("expected UnsafeQuery, got {other:?}"),
+        }
         let fds = FdSet::from_catalog_decls(&catalog.fds());
         let plan = LazyPlan::build(&q, &fds, &catalog).unwrap();
         let result = plan.execute(&catalog).unwrap();

@@ -17,6 +17,9 @@
 //!   following the query tree (Fig. 7 (a)).
 //! * [`hybrid`] — hybrid plans: push the per-table aggregations of a chosen
 //!   subset of relations below the joins and finish lazily (Fig. 7 (b)).
+//! * [`fallback`] — fallback plans for unsafe queries: lazy joins, then
+//!   per-tuple read-once factorization (exact) or anytime dissociation
+//!   bounds, under an [`ApproxPolicy`].
 //! * [`safe`] — MystiQ plans: extensional safe plans without variable
 //!   columns, with either the stable or the log-space probability
 //!   aggregation (Section VII).
@@ -25,6 +28,7 @@
 
 pub mod eager;
 pub mod error;
+pub mod fallback;
 pub mod hybrid;
 pub mod join_order;
 pub mod lazy;
@@ -34,5 +38,7 @@ pub mod safe;
 pub mod stats;
 
 pub use error::{PlanError, PlanResult};
+pub use fallback::FallbackPlan;
+pub use pdb_conf::{ApproxPolicy, ApproxResult, ConfMethod, TupleConfidence};
 pub use pdb_govern::{ExecContext, GovernorBuilder, QueryGovernor, SproutError, Stage};
 pub use planner::{PlanKind, PlanReport, Planner};

@@ -6,7 +6,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use pdb_conf::ConfidenceResult;
+use pdb_conf::{ApproxPolicy, ApproxResult, ConfidenceResult};
 use pdb_exec::extensional::ProbAggregation;
 use pdb_govern::{ExecContext, QueryGovernor, Stage};
 use pdb_query::reduct::FdReduct;
@@ -15,6 +15,7 @@ use pdb_storage::Catalog;
 
 use crate::eager::EagerPlan;
 use crate::error::{PlanError, PlanResult};
+use crate::fallback::FallbackPlan;
 use crate::hybrid::HybridPlan;
 use crate::lazy::LazyPlan;
 use crate::safe::SafePlan;
@@ -71,6 +72,11 @@ pub struct PlanReport {
     /// The signature of the top-level confidence operator, if the plan has
     /// one.
     pub signature: Option<Signature>,
+    /// Per-tuple confidence *brackets* when the query had no safe plan and
+    /// the planner fell back to the intensional evaluators (`None` on the
+    /// exact plan families). `confidences` then holds each bracket's
+    /// [`value`](pdb_conf::TupleConfidence::value).
+    pub approx: Option<ApproxResult>,
 }
 
 impl PlanReport {
@@ -87,6 +93,8 @@ pub struct Planner<'a> {
     catalog: &'a Catalog,
     use_fds: bool,
     governor: Option<QueryGovernor>,
+    approx_policy: Option<ApproxPolicy>,
+    approx_seed: u64,
 }
 
 impl<'a> Planner<'a> {
@@ -96,6 +104,8 @@ impl<'a> Planner<'a> {
             catalog,
             use_fds: true,
             governor: None,
+            approx_policy: None,
+            approx_seed: 0,
         }
     }
 
@@ -106,7 +116,27 @@ impl<'a> Planner<'a> {
             catalog,
             use_fds: false,
             governor: None,
+            approx_policy: None,
+            approx_seed: 0,
         }
+    }
+
+    /// Enables the intensional fallback for unsafe queries: when the chosen
+    /// plan kind fails with [`PlanError::UnsafeQuery`], the planner retries
+    /// with a [`FallbackPlan`] under `policy` (read-once factorization,
+    /// then anytime dissociation bounds if the policy allows them) instead
+    /// of surfacing the error. Queries *with* a safe plan are unaffected —
+    /// their results stay bitwise-identical to a planner without a policy.
+    pub fn with_approx_policy(mut self, policy: ApproxPolicy) -> Self {
+        self.approx_policy = Some(policy);
+        self
+    }
+
+    /// Sets the seed of the fallback's refinement tie-breaker (deterministic
+    /// per seed at every pool size).
+    pub fn with_approx_seed(mut self, seed: u64) -> Self {
+        self.approx_seed = seed;
+        self
     }
 
     /// Attaches a [`QueryGovernor`] to every plan the planner executes:
@@ -145,12 +175,26 @@ impl<'a> Planner<'a> {
             .map_err(PlanError::from)
     }
 
-    /// Executes `query` with the chosen plan kind and reports timings.
+    /// Executes `query` with the chosen plan kind and reports timings. When
+    /// an approximation policy is set (see
+    /// [`with_approx_policy`](Self::with_approx_policy)) and the query has
+    /// no safe plan, the planner falls back to the intensional evaluators
+    /// instead of erroring, and the report's `approx` field is `Some`.
     ///
     /// # Errors
-    /// Fails if the query is intractable, a table is missing, or (for
+    /// Fails with [`PlanError::UnsafeQuery`] if the query has no safe plan
+    /// and no approximation policy is set, if a table is missing, or (for
     /// [`PlanKind::MystiqLogSpace`]) the aggregation overflows.
     pub fn execute(&self, query: &ConjunctiveQuery, kind: PlanKind) -> PlanResult<PlanReport> {
+        match self.execute_exact(query, kind.clone()) {
+            Err(PlanError::UnsafeQuery { .. }) if self.approx_policy.is_some() => {
+                self.execute_fallback(query, kind)
+            }
+            other => other,
+        }
+    }
+
+    fn execute_exact(&self, query: &ConjunctiveQuery, kind: PlanKind) -> PlanResult<PlanReport> {
         let fds = self.fds();
         match &kind {
             PlanKind::Lazy => {
@@ -173,6 +217,7 @@ impl<'a> Planner<'a> {
                     confidence_time,
                     scans: Some(plan.scans()),
                     signature: Some(plan.signature().clone()),
+                    approx: None,
                 })
             }
             PlanKind::Eager => {
@@ -192,6 +237,7 @@ impl<'a> Planner<'a> {
                     confidence_time: Duration::ZERO,
                     scans: None,
                     signature: None,
+                    approx: None,
                 })
             }
             PlanKind::Hybrid(pushed) => {
@@ -221,6 +267,7 @@ impl<'a> Planner<'a> {
                     confidence_time,
                     scans: Some(plan.top_signature().scan_count()),
                     signature: Some(plan.top_signature().clone()),
+                    approx: None,
                 })
             }
             PlanKind::Mystiq | PlanKind::MystiqLogSpace => {
@@ -249,9 +296,46 @@ impl<'a> Planner<'a> {
                     confidence_time: Duration::ZERO,
                     scans: None,
                     signature: None,
+                    approx: None,
                 })
             }
         }
+    }
+
+    /// The unsafe-query path: lazy joins, then read-once factorization and
+    /// (policy permitting) anytime dissociation bounds on the per-tuple
+    /// lineage. The requested plan kind is recorded unchanged in the report
+    /// so callers can see which exact family was attempted.
+    fn execute_fallback(&self, query: &ConjunctiveQuery, kind: PlanKind) -> PlanResult<PlanReport> {
+        let policy = self
+            .approx_policy
+            .expect("fallback runs only with a policy");
+        let mut plan =
+            FallbackPlan::build(query, self.catalog, policy)?.with_seed(self.approx_seed);
+        if let Some(gov) = &self.governor {
+            plan = plan.with_governor(gov.clone());
+        }
+        let start = Instant::now();
+        let answer = plan.answer_tuples(self.catalog)?;
+        let tuple_time = start.elapsed();
+        let start = Instant::now();
+        let approx = plan.confidences(&answer)?;
+        let confidence_time = start.elapsed();
+        let confidences: ConfidenceResult = approx
+            .iter()
+            .map(|t| (t.tuple.clone(), t.value()))
+            .collect();
+        Ok(PlanReport {
+            kind,
+            answer_tuples: Some(answer.len()),
+            distinct_tuples: confidences.len(),
+            confidences,
+            tuple_time,
+            confidence_time,
+            scans: None,
+            signature: None,
+            approx: Some(approx),
+        })
     }
 }
 
@@ -301,8 +385,32 @@ mod tests {
         assert!(Planner::new(&without_keys).signature(&q).is_err());
         assert!(matches!(
             Planner::new(&without_keys).execute(&q, PlanKind::Lazy),
-            Err(PlanError::Intractable(_))
+            Err(PlanError::UnsafeQuery { .. })
         ));
+    }
+
+    #[test]
+    fn policy_falls_back_on_unsafe_queries_and_leaves_safe_ones_untouched() {
+        let without_keys = fig1_catalog();
+        let q = intro_query_q_prime();
+        // With a policy the unsafe query produces brackets instead of erroring.
+        let planner =
+            Planner::new(&without_keys).with_approx_policy(ApproxPolicy::Bounds { eps: 1e-9 });
+        let report = planner.execute(&q, PlanKind::Lazy).unwrap();
+        let brackets = report.approx.as_ref().unwrap();
+        assert_eq!(brackets.len(), 1);
+        assert!(brackets[0].lo <= 0.0028 + 1e-12 && 0.0028 <= brackets[0].hi + 1e-12);
+        // A safe query under the same policy is bitwise-identical to the
+        // policy-free planner: the fallback never runs.
+        let exact = Planner::new(&without_keys)
+            .execute(&intro_query_q(), PlanKind::Lazy)
+            .unwrap();
+        let with_policy = planner.execute(&intro_query_q(), PlanKind::Lazy).unwrap();
+        assert!(with_policy.approx.is_none());
+        assert_eq!(
+            exact.confidences[0].1.to_bits(),
+            with_policy.confidences[0].1.to_bits()
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl SafePlan {
     /// aggregation.
     ///
     /// # Errors
-    /// Fails with [`PlanError::Intractable`] if the query has no hierarchical
+    /// Fails with [`PlanError::UnsafeQuery`] if the query has no hierarchical
     /// FD-reduct (no safe plan exists).
     pub fn build(query: &ConjunctiveQuery, fds: &FdSet) -> PlanResult<SafePlan> {
         SafePlan::build_with_aggregation(query, fds, ProbAggregation::Stable)
@@ -43,16 +43,17 @@ impl SafePlan {
     /// Builds a safe plan with an explicit probability aggregation mode.
     ///
     /// # Errors
-    /// Fails with [`PlanError::Intractable`] if the query has no hierarchical
-    /// FD-reduct.
+    /// Fails with [`PlanError::UnsafeQuery`] (naming the blocking attribute
+    /// pair) if the query has no hierarchical FD-reduct.
     pub fn build_with_aggregation(
         query: &ConjunctiveQuery,
         fds: &FdSet,
         aggregation: ProbAggregation,
     ) -> PlanResult<SafePlan> {
         let reduct = FdReduct::compute(query, fds);
-        if !reduct.is_hierarchical() {
-            return Err(PlanError::Intractable(query.to_string()));
+        let status = reduct.hierarchy();
+        if !status.is_hierarchical() {
+            return Err(PlanError::unsafe_query(query, &status));
         }
         Ok(SafePlan {
             query: query.clone(),
@@ -94,7 +95,7 @@ impl SafePlan {
         match node {
             QueryTree::Leaf { relation, .. } => {
                 let atom = self.query.relation(relation).ok_or_else(|| {
-                    PlanError::Intractable(format!("unknown relation {relation}"))
+                    PlanError::Query(pdb_query::QueryError::UnknownRelation(relation.clone()))
                 })?;
                 let table = catalog.table(relation)?;
                 let scan_attrs: Vec<String> = atom
@@ -220,7 +221,7 @@ mod tests {
     fn non_hierarchical_queries_have_no_safe_plan() {
         assert!(matches!(
             SafePlan::build(&intro_query_q_prime(), &FdSet::empty()),
-            Err(PlanError::Intractable(_))
+            Err(PlanError::UnsafeQuery { .. })
         ));
         // With the key FDs a (FD-reduct-based) plan exists.
         let catalog = fig1_catalog_with_keys();

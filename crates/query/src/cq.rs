@@ -101,16 +101,21 @@ impl Predicate {
         }
     }
 
-    /// Creates an `IN (v1, …, vk)` membership predicate. The list must be
-    /// non-empty; NULL list elements never match (SQL semantics).
+    /// Creates an `IN (v1, …, vk)` membership predicate. NULL list elements
+    /// never match (SQL semantics), and an *empty* list selects nothing: it
+    /// is represented as the single member NULL, which every evaluation path
+    /// (oracle, kernels, zone pruning) already treats as never-matching.
     pub fn is_in(
         relation: impl Into<String>,
         attribute: impl Into<String>,
         values: impl IntoIterator<Item = impl Into<Value>>,
     ) -> Self {
         let mut list: Vec<Value> = values.into_iter().map(Into::into).collect();
-        assert!(!list.is_empty(), "IN list must be non-empty");
-        let constant = list.remove(0);
+        let constant = if list.is_empty() {
+            Value::Null
+        } else {
+            list.remove(0)
+        };
         Predicate {
             relation: relation.into(),
             attribute: attribute.into(),
@@ -424,6 +429,32 @@ mod tests {
         // Display renders the full list.
         let p = Predicate::is_in("R", "a", ["x", "y"]);
         assert_eq!(p.to_string(), "R.a IN (x, y)");
+    }
+
+    #[test]
+    fn empty_in_list_selects_nothing() {
+        // SQL's `a IN ()` is a contradiction, not an error: it is encoded as
+        // the single member NULL, which no value ever equals.
+        let p = Predicate::is_in("R", "a", Vec::<Value>::new());
+        assert_eq!(p.op, CompareOp::In);
+        assert_eq!(p.constant, Value::Null);
+        assert!(p.alternatives.is_empty());
+        for v in [
+            Value::Int(0),
+            Value::str(""),
+            Value::Null,
+            Value::Bool(false),
+        ] {
+            assert!(!p.matches(&v), "{v} must not match IN ()");
+        }
+    }
+
+    #[test]
+    fn all_null_in_list_selects_nothing() {
+        let p = Predicate::is_in("R", "a", [Value::Null, Value::Null]);
+        for v in [Value::Int(1), Value::Float(f64::NAN), Value::Null] {
+            assert!(!p.matches(&v), "{v} must not match IN (NULL, NULL)");
+        }
     }
 
     #[test]

@@ -33,8 +33,8 @@ pub use pdb_query::{
 };
 pub use pdb_storage::{Catalog, DataType, ProbTable, Schema, Table, Tuple, Value, Variable};
 pub use sprout_plan::{
-    ExecContext, GovernorBuilder, PlanError, PlanKind, PlanReport, PlanResult, Planner,
-    QueryGovernor, SproutError, Stage,
+    ApproxPolicy, ApproxResult, ConfMethod, ExecContext, FallbackPlan, GovernorBuilder, PlanError,
+    PlanKind, PlanReport, PlanResult, Planner, QueryGovernor, SproutError, Stage, TupleConfidence,
 };
 
 /// A probabilistic database with the SPROUT confidence-computation engine on
@@ -156,6 +156,59 @@ impl SproutDb {
             })
     }
 
+    /// Executes `query` with an [`ApproxPolicy`] for the unsafe case: if the
+    /// query has no safe plan under the declared dependencies, the planner
+    /// falls back to read-once factorization of the per-tuple lineage (exact
+    /// when it succeeds) and, when the policy is [`ApproxPolicy::Bounds`],
+    /// anytime dissociation brackets for the rest — instead of erroring.
+    /// Queries with a safe plan are executed exactly as by [`Self::query`],
+    /// bitwise-identically.
+    ///
+    /// # Errors
+    /// Fails if a referenced table is missing, or — under
+    /// [`ApproxPolicy::Exact`] — if some tuple's lineage is provably not
+    /// read-once.
+    pub fn query_with_policy(
+        &self,
+        query: &ConjunctiveQuery,
+        kind: PlanKind,
+        policy: ApproxPolicy,
+    ) -> PlanResult<PlanReport> {
+        Planner::new(&self.catalog)
+            .with_approx_policy(policy)
+            .execute(query, kind)
+    }
+
+    /// Executes `query` with a lazy plan, returning per-tuple confidence
+    /// *brackets* `[lo, hi]` that are exact (`lo == hi`) whenever a safe plan
+    /// or a read-once factorization exists and `eps`-tight dissociation
+    /// bounds otherwise.
+    ///
+    /// # Errors
+    /// Fails if a referenced table is missing.
+    pub fn confidence_bounds(
+        &self,
+        query: &ConjunctiveQuery,
+        eps: f64,
+    ) -> PlanResult<ApproxResult> {
+        let report = self.query_with_policy(query, PlanKind::Lazy, ApproxPolicy::Bounds { eps })?;
+        Ok(match report.approx {
+            Some(brackets) => brackets,
+            // A safe plan ran: exact confidences become width-zero brackets.
+            None => report
+                .confidences
+                .into_iter()
+                .map(|(tuple, p)| TupleConfidence {
+                    tuple,
+                    lo: p,
+                    hi: p,
+                    method: ConfMethod::ReadOnce,
+                    rounds: 0,
+                })
+                .collect(),
+        })
+    }
+
     /// Executes `query` ignoring all declared functional dependencies — the
     /// "no FDs" configuration of the Fig. 13 experiment.
     ///
@@ -221,6 +274,33 @@ mod tests {
             .query_without_fds(&intro_query_q(), PlanKind::Lazy)
             .unwrap();
         assert!((report.confidences[0].1 - 0.0028).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_turns_the_unsafe_rejection_into_brackets() {
+        // Without FDs Q' has no safe plan: the plain path errors, the policy
+        // path produces brackets containing the true confidence.
+        let db = SproutDb::from_catalog(fixtures::fig1_catalog());
+        assert!(db.query(&intro_query_q_prime(), PlanKind::Lazy).is_err());
+        let report = db
+            .query_with_policy(
+                &intro_query_q_prime(),
+                PlanKind::Lazy,
+                ApproxPolicy::Bounds { eps: 1e-9 },
+            )
+            .unwrap();
+        let brackets = report.approx.unwrap();
+        assert_eq!(brackets.len(), 1);
+        assert!(brackets[0].lo <= 0.0028 + 1e-12 && 0.0028 <= brackets[0].hi + 1e-12);
+    }
+
+    #[test]
+    fn confidence_bounds_are_width_zero_on_safe_queries() {
+        let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+        let brackets = db.confidence_bounds(&intro_query_q(), 1e-6).unwrap();
+        assert_eq!(brackets.len(), 1);
+        assert_eq!(brackets[0].lo, brackets[0].hi);
+        assert!((brackets[0].value() - 0.0028).abs() < 1e-9);
     }
 
     #[test]

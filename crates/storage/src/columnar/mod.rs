@@ -30,7 +30,8 @@ mod zone;
 
 pub use column::{ColumnData, NullBitmap};
 pub use zone::{
-    bloom_key, bloom_key_str, bloom_probe, ChunkRepr, ZoneMap, ZoneMapBuilder, BLOOM_WORDS,
+    bloom_key, bloom_key_str, bloom_probe, saturate_bloom, ChunkRepr, ZoneMap, ZoneMapBuilder,
+    BLOOM_SATURATION_DISTINCT, BLOOM_WORDS,
 };
 
 use std::collections::BTreeSet;
@@ -443,13 +444,14 @@ fn build_str<'a>(
             } else {
                 ChunkRepr::Str
             };
+            let distinct = keys.len() as u32;
             ZoneMap {
                 min: min_code.map(|c| Value::Str(dict[c as usize].clone())),
                 max: max_code.map(|c| Value::Str(dict[c as usize].clone())),
                 null_count,
                 rows: range.len(),
-                bloom,
-                distinct: keys.len() as u32,
+                bloom: zone::saturate_bloom(bloom, distinct),
+                distinct,
                 repr,
             }
         },

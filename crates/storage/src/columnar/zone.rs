@@ -36,6 +36,26 @@ use crate::value::{normal_bits, Value};
 /// Words in the per-chunk blocked bloom filter (256 bits total).
 pub const BLOOM_WORDS: usize = 4;
 
+/// Distinct-key count above which the filter is stored *saturated* (all
+/// bits set). With two bits per key in 256 bits, a chunk holding more than
+/// ~64 distinct values has most bits set anyway: nearly every absent probe
+/// false-positives, so the filter is pure per-probe overhead. The sentinel
+/// makes [`ZoneMap::may_contain`] answer `true` without hashing, and lets
+/// planners ([`ZoneMap::bloom_saturated`]) see at build time that equality
+/// pruning will not help on this chunk.
+pub const BLOOM_SATURATION_DISTINCT: u32 = 64;
+
+/// The saturation rule shared by every ingest path: past
+/// [`BLOOM_SATURATION_DISTINCT`] distinct keys the filter collapses to the
+/// all-ones sentinel (still no false negatives — it admits everything).
+pub fn saturate_bloom(bloom: [u64; BLOOM_WORDS], distinct: u32) -> [u64; BLOOM_WORDS] {
+    if distinct > BLOOM_SATURATION_DISTINCT {
+        [u64::MAX; BLOOM_WORDS]
+    } else {
+        bloom
+    }
+}
+
 /// The uniform non-null value variant of a chunk, if any.
 ///
 /// `Hetero` means the chunk mixes variants (or has no non-null values at
@@ -117,10 +137,22 @@ impl ZoneMap {
     /// scan must look. NULL never matches an equality predicate, so probing
     /// NULL returns `false`.
     pub fn may_contain(&self, v: &Value) -> bool {
+        if self.bloom_saturated() {
+            // Skip the hash entirely: a saturated filter admits every
+            // non-null probe anyway.
+            return !matches!(v, Value::Null);
+        }
         match bloom_key(v) {
             None => false,
             Some(key) => bloom_probe(&self.bloom, key),
         }
+    }
+
+    /// Whether the chunk's filter was saturated at build time (more than
+    /// [`BLOOM_SATURATION_DISTINCT`] distinct keys): every non-null probe
+    /// answers `true`, so equality pruning cannot skip this chunk.
+    pub fn bloom_saturated(&self) -> bool {
+        self.bloom == [u64::MAX; BLOOM_WORDS]
     }
 }
 
@@ -190,13 +222,14 @@ impl ZoneMapBuilder {
     pub fn finish(mut self) -> ZoneMap {
         self.keys.sort_unstable();
         self.keys.dedup();
+        let distinct = self.keys.len() as u32;
         ZoneMap {
             min: self.min,
             max: self.max,
             null_count: self.null_count,
             rows: self.rows,
-            bloom: self.bloom,
-            distinct: self.keys.len() as u32,
+            bloom: saturate_bloom(self.bloom, distinct),
+            distinct,
             repr: self.repr.unwrap_or(ChunkRepr::Hetero),
         }
     }
@@ -352,6 +385,46 @@ mod tests {
             assert!(z.may_contain(v), "{v} wrongly reported absent");
         }
         assert!(!z.may_contain(&Value::Null));
+    }
+
+    #[test]
+    fn high_cardinality_chunks_saturate_at_build_time() {
+        // Past the cliff the filter is the all-ones sentinel: probes answer
+        // `true` without hashing, and the saturation is visible to planners.
+        let vals: Vec<Value> = (0..200).map(Value::Int).collect();
+        let z = ZoneMap::build(vals.iter());
+        assert!(z.distinct > BLOOM_SATURATION_DISTINCT);
+        assert!(z.bloom_saturated());
+        assert_eq!(z.bloom, [u64::MAX; BLOOM_WORDS]);
+        assert!(z.may_contain(&Value::Int(12345)));
+        assert!(!z.may_contain(&Value::Null));
+
+        // At or below the threshold the filter still prunes.
+        let vals: Vec<Value> = (0..BLOOM_SATURATION_DISTINCT as i64)
+            .map(Value::Int)
+            .collect();
+        let z = ZoneMap::build(vals.iter());
+        assert!(!z.bloom_saturated());
+        let misses = (0..100)
+            .filter(|i| !z.may_contain(&Value::Int(100_000 + i)))
+            .count();
+        assert!(misses > 50, "only {misses}/100 absent integers pruned");
+    }
+
+    #[test]
+    fn an_unsaturated_filter_can_never_equal_the_sentinel() {
+        // ≤64 keys set at most 128 of the 256 bits, so all-ones is reachable
+        // only through `saturate_bloom`: the sentinel is unambiguous.
+        let mut bloom = [0u64; BLOOM_WORDS];
+        for i in 0..BLOOM_SATURATION_DISTINCT as u64 {
+            bloom_insert(&mut bloom, i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        assert_ne!(bloom, [u64::MAX; BLOOM_WORDS]);
+        assert_eq!(saturate_bloom(bloom, BLOOM_SATURATION_DISTINCT), bloom);
+        assert_eq!(
+            saturate_bloom(bloom, BLOOM_SATURATION_DISTINCT + 1),
+            [u64::MAX; BLOOM_WORDS]
+        );
     }
 
     #[test]
