@@ -1,0 +1,366 @@
+//! PR 9 regression benchmark: the `sprout-server` query service —
+//! admission control, overload shedding, and answer-stream fidelity under
+//! concurrent loopback clients.
+//!
+//! Produces `BENCH_PR9.json` with two scenarios over the Fig. 1 catalog:
+//!
+//! 1. **Steady state** — clients ≤ slots + queue: every request should be
+//!    admitted; measures q/s and p50/p99 latency of the full
+//!    request→ranked-stream round trip.
+//! 2. **Overload** — many more clients than slots with a tiny queue and
+//!    queue timeout: the server must shed (429/503 with `Retry-After`)
+//!    rather than wedge; measures the shed rate and the latency of the
+//!    *admitted* requests.
+//!
+//! Acceptance gates asserted here, not just recorded:
+//!
+//! * every admitted (200) response body is **bitwise identical** to the
+//!   library baseline rendered through the same codec (max |Δp| = 0) — at
+//!   every `SPROUT_THREADS` value, since the server splits that budget
+//!   across admitted queries;
+//! * every shed response is well-formed: typed JSON error code and a
+//!   `Retry-After` header;
+//! * under overload nothing panics, nothing wedges: ok + shed = sent, and
+//!   the server drains cleanly at the end.
+//!
+//! Run with `cargo run --release -p sprout-bench --bin bench_pr9`; pass
+//! `--smoke` for a seconds-long CI-sized run. Set `SPROUT_BENCH_OUT` to
+//! change the output path (default `BENCH_PR9.json`, or
+//! `target/BENCH_PR9.smoke.json` under `--smoke`). `SPROUT_THREADS` sets
+//! the server's shared worker budget.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use pdb_exec::fixtures;
+use pdb_query::cq::intro_query_q;
+use sprout::{PlanKind, SproutDb};
+use sprout_server::{proto, ServerConfig, SproutServer};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out_path = std::env::var("SPROUT_BENCH_OUT").unwrap_or_else(|_| {
+        if smoke {
+            "target/BENCH_PR9.smoke.json".to_string()
+        } else {
+            "BENCH_PR9.json".to_string()
+        }
+    });
+    let worker_threads = std::env::var("SPROUT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+        });
+    let per_client = if smoke { 25 } else { 200 };
+
+    // The library baseline, rendered through the server's own codec: a 200
+    // body must equal exactly this.
+    let expected: Vec<String> = {
+        let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+        proto::answer_lines(
+            &db.query(&intro_query_q(), PlanKind::Lazy)
+                .expect("baseline"),
+        )
+    };
+    let query_body = request_body(&expected_query_json());
+
+    let scenarios = [
+        Scenario {
+            name: "steady_state",
+            clients: 4,
+            config: ServerConfig {
+                slots: 2,
+                queue_depth: 16,
+                queue_timeout: Duration::from_secs(10),
+                worker_threads,
+                ..ServerConfig::default()
+            },
+        },
+        Scenario {
+            name: "overload",
+            clients: 12,
+            config: ServerConfig {
+                slots: 1,
+                queue_depth: 1,
+                queue_timeout: Duration::from_millis(1),
+                worker_threads,
+                ..ServerConfig::default()
+            },
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for scenario in &scenarios {
+        eprintln!(
+            "== {}: {} clients x {per_client} requests, slots={}, queue={}, workers={worker_threads}",
+            scenario.name, scenario.clients, scenario.config.slots, scenario.config.queue_depth
+        );
+        let server = SproutServer::bind(
+            SproutDb::from_catalog(fixtures::fig1_catalog_with_keys()),
+            "127.0.0.1:0",
+            scenario.config.clone(),
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        let started = Instant::now();
+        let handles: Vec<_> = (0..scenario.clients)
+            .map(|_| {
+                let body = query_body.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || run_client(addr, &body, &expected, per_client))
+            })
+            .collect();
+        let mut ok = 0usize;
+        let mut shed = 0usize;
+        let mut latencies: Vec<Duration> = Vec::new();
+        for h in handles {
+            let outcome = h.join().expect("client thread");
+            ok += outcome.ok;
+            shed += outcome.shed;
+            latencies.extend(outcome.latencies);
+        }
+        let wall = started.elapsed();
+        server.shutdown();
+
+        let sent = scenario.clients * per_client;
+        assert_eq!(ok + shed, sent, "{}: lost requests", scenario.name);
+        assert!(ok > 0, "{}: nothing was admitted", scenario.name);
+        if scenario.name == "steady_state" {
+            assert_eq!(shed, 0, "steady state must not shed");
+        }
+        latencies.sort();
+        let row = Row {
+            name: scenario.name,
+            clients: scenario.clients,
+            slots: scenario.config.slots,
+            queue_depth: scenario.config.queue_depth,
+            sent,
+            ok,
+            shed,
+            shed_rate: shed as f64 / sent as f64,
+            qps: ok as f64 / wall.as_secs_f64(),
+            p50_ms: percentile(&latencies, 0.50),
+            p99_ms: percentile(&latencies, 0.99),
+            wall_s: wall.as_secs_f64(),
+        };
+        eprintln!(
+            "   ok {} shed {} ({:.1}%), {:.0} q/s, p50 {:.3} ms, p99 {:.3} ms",
+            row.ok,
+            row.shed,
+            100.0 * row.shed_rate,
+            row.qps,
+            row.p50_ms,
+            row.p99_ms
+        );
+        rows.push(row);
+    }
+
+    let json = render_json(smoke, worker_threads, per_client, &rows);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+    eprintln!("admitted-answer max |dp| = 0 (bitwise gate asserted per response)");
+}
+
+struct Scenario {
+    name: &'static str,
+    clients: usize,
+    config: ServerConfig,
+}
+
+struct Row {
+    name: &'static str,
+    clients: usize,
+    slots: usize,
+    queue_depth: usize,
+    sent: usize,
+    ok: usize,
+    shed: usize,
+    shed_rate: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    wall_s: f64,
+}
+
+struct Outcome {
+    ok: usize,
+    shed: usize,
+    latencies: Vec<Duration>,
+}
+
+/// One keep-alive client hammering `/query`. Every 200 is checked bitwise
+/// against the baseline; every shed must carry a typed code and
+/// `Retry-After`.
+fn run_client(addr: SocketAddr, body: &str, expected: &[String], requests: usize) -> Outcome {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    // One buffer, one write: no Nagle / delayed-ACK stalls in the
+    // measurement.
+    let request = format!(
+        "POST /query HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut outcome = Outcome {
+        ok: 0,
+        shed: 0,
+        latencies: Vec::with_capacity(requests),
+    };
+    for _ in 0..requests {
+        let t0 = Instant::now();
+        writer.write_all(request.as_bytes()).expect("send");
+        let (status, headers, resp_body) = read_response(&mut reader);
+        let elapsed = t0.elapsed();
+        match status {
+            200 => {
+                let lines: Vec<String> = resp_body.lines().map(str::to_string).collect();
+                assert_eq!(lines, expected, "admitted answer diverged from the library");
+                outcome.ok += 1;
+                outcome.latencies.push(elapsed);
+            }
+            429 | 503 => {
+                assert!(
+                    headers
+                        .iter()
+                        .any(|(k, _)| k.eq_ignore_ascii_case("retry-after")),
+                    "shed response without Retry-After: {resp_body}"
+                );
+                assert!(
+                    resp_body.contains("\"code\":\"QUEUE_FULL\"")
+                        || resp_body.contains("\"code\":\"QUEUE_TIMEOUT\""),
+                    "untyped shed body: {resp_body}"
+                );
+                outcome.shed += 1;
+            }
+            other => panic!("unexpected status {other}: {resp_body}"),
+        }
+    }
+    outcome
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, Vec<(String, String)>, String) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {line:?}"));
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k.eq_ignore_ascii_case("transfer-encoding") && v == "chunked");
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line).expect("chunk size");
+            let size = usize::from_str_radix(size_line.trim(), 16).expect("chunk size hex");
+            let mut chunk = vec![0u8; size + 2];
+            reader.read_exact(&mut chunk).expect("chunk");
+            if size == 0 {
+                break;
+            }
+            body.extend_from_slice(&chunk[..size]);
+        }
+    } else {
+        let length: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        body = vec![0u8; length];
+        reader.read_exact(&mut body).expect("body");
+    }
+    (status, headers, String::from_utf8(body).expect("UTF-8"))
+}
+
+/// The intro query Q as its wire JSON (kept in sync with
+/// `pdb_query::cq::intro_query_q`).
+fn expected_query_json() -> String {
+    concat!(
+        r#"{"relations":[{"name":"Cust","attrs":["ckey","cname"]},"#,
+        r#"{"name":"Ord","attrs":["okey","ckey","odate"]},"#,
+        r#"{"name":"Item","attrs":["okey","ckey","discount"]}],"#,
+        r#""head":["odate"],"#,
+        r#""predicates":[{"relation":"Cust","attribute":"cname","op":"=","value":"Joe"},"#,
+        r#"{"relation":"Item","attribute":"discount","op":">","value":0.0}]}"#
+    )
+    .to_string()
+}
+
+fn request_body(query_json: &str) -> String {
+    format!("{{\"query\":{query_json}}}")
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+fn render_json(smoke: bool, worker_threads: usize, per_client: usize, rows: &[Row]) -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"pr\": 9,\n");
+    s.push_str(
+        "  \"description\": \"sprout-server: concurrent query service with admission control over one shared worker pool, bounded-queue overload shedding (429/503 + Retry-After), and graceful shutdown. Loopback clients hammer POST /query with the Fig. 1 intro query; every admitted response is asserted bitwise-identical to the library baseline rendered through the same codec (max |dp| = 0), every shed response must be typed and carry Retry-After\",\n",
+    );
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"harness\": \"std::net loopback clients, std::time::Instant per request\",\n");
+    let _ = writeln!(s, "  \"target\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(s, "  \"available_parallelism\": {parallelism},");
+    let _ = writeln!(s, "  \"worker_threads\": {worker_threads},");
+    let _ = writeln!(s, "  \"requests_per_client\": {per_client},");
+    s.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"clients\": {}, \"slots\": {}, \"queue_depth\": {}, \"sent\": {}, \"ok\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"wall_s\": {:.3}}}",
+            r.name,
+            r.clients,
+            r.slots,
+            r.queue_depth,
+            r.sent,
+            r.ok,
+            r.shed,
+            r.shed_rate,
+            r.qps,
+            r.p50_ms,
+            r.p99_ms,
+            r.wall_s,
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"summary\": {\"max_abs_diff\": 0.0, \"acceptance_diff\": 0.0, \"asserted\": \"per-response bitwise equality, typed shed responses, ok+shed == sent\"}\n");
+    s.push_str("}\n");
+    s
+}

@@ -99,6 +99,11 @@ impl TupleConfidence {
 /// tuple with its bracket, ordered by tuple.
 pub type ApproxResult = Vec<TupleConfidence>;
 
+/// Default per-tuple frontier memory budget: 16 MiB of Shannon-expansion
+/// leaves. Refinement that would grow past this degrades to the bounds
+/// reached so far instead of allocating further.
+pub const DEFAULT_FRONTIER_BUDGET: usize = 16 << 20;
+
 /// Configuration of the anytime evaluator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnytimeConfig {
@@ -110,15 +115,26 @@ pub struct AnytimeConfig {
     /// width target, exhaustion, or the deadline). Used by the benchmarks to
     /// chart width against iteration count.
     pub max_rounds: Option<usize>,
+    /// Per-tuple memory budget for the Shannon-expansion frontier, in
+    /// estimated resident bytes (`None` = unbounded). An expansion that
+    /// would exceed it is not performed: refinement stops and the bounds
+    /// reached so far — wider but valid — are returned. The check is
+    /// structural (leaf sizes, not wall clock), so results stay
+    /// bitwise-identical at every thread count. Frontier bytes are also
+    /// accounted against (and released back to) the governor's arena
+    /// budget, whose exhaustion degrades the same way.
+    pub frontier_budget: Option<usize>,
 }
 
 impl AnytimeConfig {
-    /// A configuration with the given policy, seed 0 and no round cap.
+    /// A configuration with the given policy, seed 0, no round cap and the
+    /// default frontier budget ([`DEFAULT_FRONTIER_BUDGET`]).
     pub fn new(policy: ApproxPolicy) -> AnytimeConfig {
         AnytimeConfig {
             policy,
             seed: 0,
             max_rounds: None,
+            frontier_budget: Some(DEFAULT_FRONTIER_BUDGET),
         }
     }
 
@@ -131,6 +147,19 @@ impl AnytimeConfig {
     /// Caps refinement iterations per tuple.
     pub fn with_max_rounds(mut self, rounds: usize) -> Self {
         self.max_rounds = Some(rounds);
+        self
+    }
+
+    /// Sets the per-tuple frontier memory budget in bytes.
+    pub fn with_frontier_budget(mut self, bytes: usize) -> Self {
+        self.frontier_budget = Some(bytes);
+        self
+    }
+
+    /// Removes the frontier memory budget (the pre-PR 9 behaviour: the
+    /// frontier rides the governor's global budget only).
+    pub fn with_unbounded_frontier(mut self) -> Self {
+        self.frontier_budget = None;
         self
     }
 }
@@ -251,6 +280,17 @@ struct BoundsLeaf {
     open: bool,
 }
 
+/// Estimated resident bytes of one frontier leaf holding `dnf` — what the
+/// frontier budget and the governor's arena accounting charge per leaf.
+fn leaf_bytes(dnf: &Dnf) -> usize {
+    let clause_bytes: usize = dnf
+        .clauses()
+        .iter()
+        .map(|c| std::mem::size_of::<Clause>() + std::mem::size_of_val(c.vars()))
+        .sum();
+    std::mem::size_of::<BoundsLeaf>() + clause_bytes
+}
+
 /// Anytime dissociation bounds for a formula that does not factor read-once.
 ///
 /// The loop maintains a Shannon expansion frontier: the global bracket is
@@ -282,78 +322,120 @@ fn dissociation_bounds(
     let mut global_lo = lo0;
     let mut global_hi = hi0;
     let mut rounds = 0usize;
-    loop {
-        if global_hi - global_lo <= eps {
-            break;
-        }
-        if let Some(cap) = config.max_rounds {
-            if rounds >= cap {
+    // The frontier's resident bytes: charged against the per-tuple budget
+    // and the governor's arena accounting, released as leaves are replaced.
+    // Budget exhaustion is not an error here — the bounds reached so far are
+    // valid, just wider; refinement simply stops growing the frontier.
+    let mut frontier_bytes = leaf_bytes(dnf);
+    // A failed initial account is not an error: refinement is skipped and
+    // the crude bounds stand (`account` charges even on failure, so the
+    // unconditional release below is owed either way).
+    if ctx.account(Stage::Confidence, frontier_bytes).is_ok() {
+        loop {
+            if global_hi - global_lo <= eps {
                 break;
             }
-        }
-        // Open leaf with the largest contribution to the bracket width; the
-        // frontier is scanned in insertion order, so ties resolve to the
-        // earliest leaf — deterministic.
-        let mut best: Option<(usize, f64)> = None;
-        for (i, leaf) in leaves.iter().enumerate() {
-            if !leaf.open {
-                continue;
-            }
-            let w = leaf.mass * (leaf.hi - leaf.lo);
-            if best.is_none_or(|(_, bw)| w > bw) {
-                best = Some((i, w));
-            }
-        }
-        let Some((idx, _)) = best else {
-            // Exhausted: every leaf is exact, the bracket is the exact value.
-            break;
-        };
-        match ctx.checkpoint(Stage::Confidence, "conf.bounds", rounds) {
-            Ok(()) => {}
-            Err(SproutError::DeadlineExceeded { .. }) => break,
-            Err(e) => return Err(ConfError::Governed(e)),
-        }
-        rounds += 1;
-
-        // Condition on the most frequent variable of the chosen cofactor;
-        // equally frequent candidates are broken by the seeded generator.
-        let var = {
-            let leaf = &leaves[idx];
-            let mut counts: BTreeMap<Variable, usize> = BTreeMap::new();
-            for clause in leaf.dnf.clauses() {
-                for v in clause.vars() {
-                    *counts.entry(*v).or_insert(0) += 1;
+            if let Some(cap) = config.max_rounds {
+                if rounds >= cap {
+                    break;
                 }
             }
-            let max = counts.values().copied().max().unwrap_or(0);
-            let candidates: Vec<Variable> = counts
-                .into_iter()
-                .filter(|(_, c)| *c == max)
-                .map(|(v, _)| v)
-                .collect();
-            candidates[(rng.next() % candidates.len() as u64) as usize]
-        };
-        let p = probs.get(&var).copied().unwrap_or(0.0);
-        let parent = leaves.swap_remove(idx);
-        for (value, branch_p) in [(true, p), (false, 1.0 - p)] {
-            if branch_p == 0.0 {
-                continue;
+            // Open leaf with the largest contribution to the bracket width; the
+            // frontier is scanned in insertion order, so ties resolve to the
+            // earliest leaf — deterministic.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, leaf) in leaves.iter().enumerate() {
+                if !leaf.open {
+                    continue;
+                }
+                let w = leaf.mass * (leaf.hi - leaf.lo);
+                if best.is_none_or(|(_, bw)| w > bw) {
+                    best = Some((i, w));
+                }
             }
-            let cofactor = parent.dnf.assign(var, value);
-            let leaf = bound_leaf(cofactor, parent.mass * branch_p, probs);
-            leaves.push(leaf);
+            let Some((idx, _)) = best else {
+                // Exhausted: every leaf is exact, the bracket is the exact value.
+                break;
+            };
+            match ctx.checkpoint(Stage::Confidence, "conf.bounds", rounds) {
+                Ok(()) => {}
+                Err(SproutError::DeadlineExceeded { .. }) => break,
+                Err(e) => {
+                    ctx.release(frontier_bytes);
+                    return Err(ConfError::Governed(e));
+                }
+            }
+
+            // Condition on the most frequent variable of the chosen cofactor;
+            // equally frequent candidates are broken by the seeded generator.
+            let var = {
+                let leaf = &leaves[idx];
+                let mut counts: BTreeMap<Variable, usize> = BTreeMap::new();
+                for clause in leaf.dnf.clauses() {
+                    for v in clause.vars() {
+                        *counts.entry(*v).or_insert(0) += 1;
+                    }
+                }
+                let max = counts.values().copied().max().unwrap_or(0);
+                let candidates: Vec<Variable> = counts
+                    .into_iter()
+                    .filter(|(_, c)| *c == max)
+                    .map(|(v, _)| v)
+                    .collect();
+                candidates[(rng.next() % candidates.len() as u64) as usize]
+            };
+            let p = probs.get(&var).copied().unwrap_or(0.0);
+
+            // Build both cofactor leaves *before* touching the frontier, so a
+            // vetoed expansion leaves the parent (and its valid bounds) intact.
+            let mut children: Vec<BoundsLeaf> = Vec::with_capacity(2);
+            let mut children_bytes = 0usize;
+            {
+                let parent = &leaves[idx];
+                for (value, branch_p) in [(true, p), (false, 1.0 - p)] {
+                    if branch_p == 0.0 {
+                        continue;
+                    }
+                    let cofactor = parent.dnf.assign(var, value);
+                    children_bytes += leaf_bytes(&cofactor);
+                    children.push(bound_leaf(cofactor, parent.mass * branch_p, probs));
+                }
+            }
+            let parent_bytes = leaf_bytes(&leaves[idx].dnf);
+            let grown = frontier_bytes - parent_bytes + children_bytes;
+            if let Some(budget) = config.frontier_budget {
+                if grown > budget {
+                    // The frontier's own budget: deterministic (structural
+                    // sizes only), so the degraded bounds are still
+                    // bitwise-identical at every thread count.
+                    break;
+                }
+            }
+            if ctx.account(Stage::Confidence, children_bytes).is_err() {
+                // The governor's arena budget: degrade instead of erroring —
+                // the whole point of bounds mode is an answer under pressure.
+                ctx.release(children_bytes);
+                break;
+            }
+            rounds += 1;
+            leaves.swap_remove(idx);
+            leaves.extend(children);
+            ctx.release(parent_bytes);
+            frontier_bytes = grown;
+
+            // Re-sum the frontier and clamp: both the old and the new bracket
+            // are valid, so their intersection is valid and monotone.
+            let mut sum_lo = 0.0;
+            let mut sum_hi = 0.0;
+            for leaf in &leaves {
+                sum_lo += leaf.mass * leaf.lo;
+                sum_hi += leaf.mass * leaf.hi;
+            }
+            global_lo = global_lo.max(sum_lo);
+            global_hi = global_hi.min(sum_hi);
         }
-        // Re-sum the frontier and clamp: both the old and the new bracket
-        // are valid, so their intersection is valid and monotone.
-        let mut sum_lo = 0.0;
-        let mut sum_hi = 0.0;
-        for leaf in &leaves {
-            sum_lo += leaf.mass * leaf.lo;
-            sum_hi += leaf.mass * leaf.hi;
-        }
-        global_lo = global_lo.max(sum_lo);
-        global_hi = global_hi.min(sum_hi);
     }
+    ctx.release(frontier_bytes);
     Ok(TupleConfidence {
         tuple: tuple.clone(),
         lo: global_lo,
@@ -636,6 +718,88 @@ mod tests {
             err,
             ConfError::Governed(SproutError::Cancelled { .. })
         ));
+    }
+
+    #[test]
+    fn frontier_budget_degrades_to_wider_but_valid_bounds() {
+        let clauses: &[&[u64]] = &[&[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 6]];
+        let probs = probs_for(&[1, 2, 3, 4, 5, 6]);
+        let answer = answer_for(clauses, &probs);
+        let want = oracle(clauses, &probs);
+        let pool = Pool::new(1);
+        let ctx = ExecContext::unbounded();
+        let unbounded = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.0 });
+        let full = anytime_confidences_ctx(&answer, &unbounded, &pool, &ctx).unwrap();
+        // A frontier cap that fits the root leaf but no expansion: the crude
+        // bounds come back unrefined instead of an error.
+        let root_bytes = {
+            let mut d = Dnf::empty();
+            for c in clauses {
+                d.add_clause(Clause::new(c.iter().map(|v| Variable(*v))));
+            }
+            leaf_bytes(&d)
+        };
+        let tight =
+            AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.0 }).with_frontier_budget(root_bytes);
+        let got = anytime_confidences_ctx(&answer, &tight, &pool, &ctx).unwrap();
+        assert_eq!(got[0].rounds, 0);
+        assert!(got[0].lo <= want + 1e-12 && want <= got[0].hi + 1e-12);
+        assert!(got[0].width() >= full[0].width());
+        // A generous cap changes nothing: same bits as the default run.
+        let roomy = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.0 })
+            .with_frontier_budget(root_bytes * 1000);
+        let same = anytime_confidences_ctx(&answer, &roomy, &pool, &ctx).unwrap();
+        assert_eq!(same, full);
+        let open = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.0 }).with_unbounded_frontier();
+        assert_eq!(
+            anytime_confidences_ctx(&answer, &open, &pool, &ctx).unwrap(),
+            full
+        );
+    }
+
+    #[test]
+    fn frontier_budget_is_deterministic_across_pool_sizes() {
+        let clauses: &[&[u64]] = &[&[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 6]];
+        let probs = probs_for(&[1, 2, 3, 4, 5, 6]);
+        let answer = answer_for(clauses, &probs);
+        let config = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.0 })
+            .with_frontier_budget(600)
+            .with_seed(7);
+        let ctx = ExecContext::unbounded();
+        let reference = anytime_confidences_ctx(&answer, &config, &Pool::new(1), &ctx).unwrap();
+        for threads in [2, 8] {
+            let got = anytime_confidences_ctx(&answer, &config, &Pool::new(threads), &ctx).unwrap();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn governor_arena_exhaustion_degrades_instead_of_erroring() {
+        use pdb_govern::GovernorBuilder;
+        let clauses: &[&[u64]] = &[&[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 6]];
+        let probs = probs_for(&[1, 2, 3, 4, 5, 6]);
+        let answer = answer_for(clauses, &probs);
+        let want = oracle(clauses, &probs);
+        let config = AnytimeConfig::new(ApproxPolicy::Bounds { eps: 0.0 });
+        // Budget below even the root leaf: initial accounting fails, the
+        // crude bounds still come back and the budget is released afterwards.
+        let gov = GovernorBuilder::new().memory_budget(64).build();
+        let ctx = ExecContext::governed(&gov);
+        let got = anytime_confidences_ctx(&answer, &config, &Pool::new(2), &ctx).unwrap();
+        assert_eq!(got[0].rounds, 0);
+        assert!(got[0].lo <= want + 1e-12 && want <= got[0].hi + 1e-12);
+        // Budget that fits the root but starves refinement partway: fewer
+        // rounds than the unbounded run, bounds still bracket, and the
+        // frontier's bytes are all released on return.
+        let gov = GovernorBuilder::new().memory_budget(700).build();
+        let ctx = ExecContext::governed(&gov);
+        let full =
+            anytime_confidences_ctx(&answer, &config, &Pool::new(2), &ExecContext::unbounded())
+                .unwrap();
+        let got = anytime_confidences_ctx(&answer, &config, &Pool::new(2), &ctx).unwrap();
+        assert!(got[0].rounds < full[0].rounds);
+        assert!(got[0].lo <= want + 1e-12 && want <= got[0].hi + 1e-12);
+        assert_eq!(gov.memory_used(), 0);
     }
 
     #[test]

@@ -42,6 +42,53 @@ use std::sync::{Arc, Mutex, Once};
 /// is compiled in and no plan was installed programmatically.
 pub const FAULTS_ENV: &str = "SPROUT_FAULTS";
 
+/// The named injection sites the workspace probes. Sites are plain strings —
+/// the harness matches whatever the probes pass — but keeping the catalogue
+/// here lets sweeps enumerate every site without grepping the executors.
+pub mod sites {
+    /// Engine checkpoints (PR 6): morsel/chunk/bag boundaries of the
+    /// governed relational pipeline and confidence operator.
+    pub const ENGINE: &[&str] = &[
+        "plan.enter",
+        "scan.morsel",
+        "scan.write",
+        "scan.chunk",
+        "scan.gather",
+        "join.probe",
+        "join.write",
+        "project.write",
+        "eager.aggregate",
+        "conf.bag",
+        "conf.bounds",
+    ];
+
+    /// Server connection accept: fires per accepted connection, before the
+    /// request is read. Index = connection sequence number.
+    pub const SERVER_ACCEPT: &str = "server.accept";
+    /// Server request parse: fires after the HTTP request is decoded,
+    /// before dispatch. Index = request sequence number on the connection.
+    pub const SERVER_PARSE: &str = "server.parse";
+    /// Server admission: fires while the query holds (or is denied) its
+    /// admission slot, before execution. Index = request sequence number.
+    pub const SERVER_ADMIT: &str = "server.admit";
+    /// Server execution: fires between admission and the governed library
+    /// call. Index = request sequence number.
+    pub const SERVER_EXEC: &str = "server.exec";
+    /// Server answer streaming: fires per streamed answer row (index =
+    /// row rank), after response headers are on the wire.
+    pub const SERVER_STREAM: &str = "server.stream";
+
+    /// Every server lifecycle site, in request order — the fault sweep
+    /// iterates this.
+    pub const SERVER: &[&str] = &[
+        SERVER_ACCEPT,
+        SERVER_PARSE,
+        SERVER_ADMIT,
+        SERVER_EXEC,
+        SERVER_STREAM,
+    ];
+}
+
 /// What an injection point does when its fault fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {

@@ -284,6 +284,30 @@ impl QueryGovernor {
             _ => Ok(()),
         }
     }
+
+    /// Returns `bytes` previously [`account`](Self::account)ed to the budget.
+    ///
+    /// Most governed allocations live until the query ends and are never
+    /// released — the budget is an intra-query high-water mark. The anytime
+    /// refinement frontier is the exception: its Shannon-expansion leaves are
+    /// freed as refinement replaces or abandons them, and releasing their
+    /// accounted bytes keeps long bounds refinements from exhausting the
+    /// budget with memory that is no longer resident. Saturates at zero.
+    pub fn release(&self, bytes: usize) {
+        let mut current = self.inner.memory_used.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(bytes);
+            match self.inner.memory_used.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
 }
 
 impl Default for QueryGovernor {
@@ -413,6 +437,15 @@ impl ExecContext {
         }
     }
 
+    /// Returns `bytes` of previously accounted allocation to the budget
+    /// (no-op when ungoverned). See [`QueryGovernor::release`].
+    #[inline]
+    pub fn release(&self, bytes: usize) {
+        if let Some(g) = &self.governor {
+            g.release(bytes);
+        }
+    }
+
     /// Applies a fired fault action at `(site, index)`.
     ///
     /// Kept out of line so the inlined happy path stays small; unused (and
@@ -526,6 +559,23 @@ mod tests {
             }
             other => panic!("expected MemoryBudgetExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn release_returns_accounted_bytes_and_saturates() {
+        let gov = QueryGovernor::builder().memory_budget(1000).build();
+        let ctx = ExecContext::governed(&gov);
+        assert!(ctx.account(Stage::Confidence, 800).is_ok());
+        ctx.release(300);
+        assert_eq!(gov.memory_used(), 500);
+        // The freed headroom is usable again.
+        assert!(ctx.account(Stage::Confidence, 400).is_ok());
+        assert_eq!(gov.memory_used(), 900);
+        // Saturating: releasing more than is accounted clamps to zero.
+        gov.release(5000);
+        assert_eq!(gov.memory_used(), 0);
+        // Ungoverned contexts ignore release.
+        ExecContext::unbounded().release(1 << 30);
     }
 
     #[test]

@@ -87,6 +87,15 @@ impl FallbackPlan {
         self
     }
 
+    /// Caps the resident bytes of each tuple's Shannon-expansion frontier
+    /// (`None` removes the cap). Refinement that would outgrow the cap stops
+    /// and returns the current — wider but valid — bounds; the same bytes are
+    /// also charged against an attached governor's arena budget.
+    pub fn with_frontier_budget(mut self, bytes: Option<usize>) -> Self {
+        self.config.frontier_budget = bytes;
+        self
+    }
+
     /// The join order the plan uses.
     pub fn join_order(&self) -> &[String] {
         &self.join_order

@@ -41,4 +41,5 @@ pub use error::{PlanError, PlanResult};
 pub use fallback::FallbackPlan;
 pub use pdb_conf::{ApproxPolicy, ApproxResult, ConfMethod, TupleConfidence};
 pub use pdb_govern::{ExecContext, GovernorBuilder, QueryGovernor, SproutError, Stage};
+pub use pdb_par::Pool;
 pub use planner::{PlanKind, PlanReport, Planner};

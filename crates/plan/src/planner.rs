@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use pdb_conf::{ApproxPolicy, ApproxResult, ConfidenceResult};
 use pdb_exec::extensional::ProbAggregation;
 use pdb_govern::{ExecContext, QueryGovernor, Stage};
+use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, Signature};
 use pdb_storage::Catalog;
@@ -95,6 +96,8 @@ pub struct Planner<'a> {
     governor: Option<QueryGovernor>,
     approx_policy: Option<ApproxPolicy>,
     approx_seed: u64,
+    pool: Option<Pool>,
+    frontier_budget: Option<Option<usize>>,
 }
 
 impl<'a> Planner<'a> {
@@ -106,6 +109,8 @@ impl<'a> Planner<'a> {
             governor: None,
             approx_policy: None,
             approx_seed: 0,
+            pool: None,
+            frontier_budget: None,
         }
     }
 
@@ -118,6 +123,8 @@ impl<'a> Planner<'a> {
             governor: None,
             approx_policy: None,
             approx_seed: 0,
+            pool: None,
+            frontier_budget: None,
         }
     }
 
@@ -136,6 +143,24 @@ impl<'a> Planner<'a> {
     /// per seed at every pool size).
     pub fn with_approx_seed(mut self, seed: u64) -> Self {
         self.approx_seed = seed;
+        self
+    }
+
+    /// Sets the worker pool every plan fans out on, instead of each plan
+    /// reading `SPROUT_THREADS` for itself. Results are bitwise-identical at
+    /// every pool size, which is what lets an admission scheduler hand
+    /// queries different thread shares without changing their answers.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Caps the resident bytes of the fallback's per-tuple Shannon-expansion
+    /// frontier: `Some(bytes)` to cap, `None` to remove the default cap.
+    /// Refinement that would outgrow the cap degrades to wider-but-valid
+    /// bounds instead of erroring.
+    pub fn with_frontier_budget(mut self, bytes: Option<usize>) -> Self {
+        self.frontier_budget = Some(bytes);
         self
     }
 
@@ -202,6 +227,9 @@ impl<'a> Planner<'a> {
                 if let Some(gov) = &self.governor {
                     plan = plan.with_governor(gov.clone());
                 }
+                if let Some(pool) = &self.pool {
+                    plan = plan.with_pool(*pool);
+                }
                 let start = Instant::now();
                 let answer = plan.answer_tuples(self.catalog)?;
                 let tuple_time = start.elapsed();
@@ -225,6 +253,9 @@ impl<'a> Planner<'a> {
                 if let Some(gov) = &self.governor {
                     plan = plan.with_governor(gov.clone());
                 }
+                if let Some(pool) = &self.pool {
+                    plan = plan.with_pool(*pool);
+                }
                 let start = Instant::now();
                 let confidences = plan.execute(self.catalog)?;
                 let total = start.elapsed();
@@ -246,11 +277,19 @@ impl<'a> Planner<'a> {
                 if let Some(gov) = &self.governor {
                     plan = plan.with_governor(gov.clone());
                 }
+                if let Some(pool) = &self.pool {
+                    plan = plan.with_pool(*pool);
+                }
                 let start = Instant::now();
                 let answer = plan.answer_tuples(self.catalog)?;
                 let tuple_time = start.elapsed();
                 let start = Instant::now();
-                let mut operator = pdb_conf::ConfidenceOperator::new(plan.top_signature().clone());
+                let mut operator = match &self.pool {
+                    Some(pool) => {
+                        pdb_conf::ConfidenceOperator::with_pool(plan.top_signature().clone(), *pool)
+                    }
+                    None => pdb_conf::ConfidenceOperator::new(plan.top_signature().clone()),
+                };
                 if let Some(gov) = &self.governor {
                     operator = operator.with_governor(gov.clone());
                 }
@@ -314,6 +353,12 @@ impl<'a> Planner<'a> {
             FallbackPlan::build(query, self.catalog, policy)?.with_seed(self.approx_seed);
         if let Some(gov) = &self.governor {
             plan = plan.with_governor(gov.clone());
+        }
+        if let Some(pool) = &self.pool {
+            plan = plan.with_pool(*pool);
+        }
+        if let Some(budget) = self.frontier_budget {
+            plan = plan.with_frontier_budget(budget);
         }
         let start = Instant::now();
         let answer = plan.answer_tuples(self.catalog)?;

@@ -1,0 +1,309 @@
+//! The admission scheduler: a fixed number of execution slots over **one**
+//! shared worker-thread budget, a bounded wait queue, and overload shedding.
+//!
+//! Every admitted query gets a [`Lease`] whose [`thread_share`] is its morsel
+//! budget: `max(1, worker_threads / concurrency)` threads of the shared
+//! `pdb-par` pool policy. Handing different queries different shares is safe
+//! because the engine produces bitwise-identical results at every pool size —
+//! the share is purely a performance dial, never a correctness one.
+//!
+//! Shedding policy once all slots are busy:
+//!
+//! * queue has room → wait up to the configured timeout for a slot;
+//! * queue full → [`Admit::QueueFull`] (HTTP 429 + `Retry-After`);
+//! * timeout in the queue → [`Admit::Timeout`] (HTTP 503 + `Retry-After`);
+//! * server draining → [`Admit::Draining`] (HTTP 503), immediately.
+//!
+//! Graceful shutdown: [`AdmissionControl::drain`] flips the draining flag
+//! (new arrivals are rejected, queued waiters wake up and are rejected) and
+//! [`AdmissionControl::await_idle`] blocks until every in-flight lease is
+//! returned.
+//!
+//! [`thread_share`]: Lease::thread_share
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct State {
+    /// Leases currently held.
+    active: usize,
+    /// Waiters currently parked in the queue.
+    queued: usize,
+    /// Draining: reject new work, finish in-flight work.
+    draining: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: Mutex<State>,
+    /// Signalled on lease return and on drain.
+    cv: Condvar,
+    slots: usize,
+    queue_depth: usize,
+    worker_threads: usize,
+}
+
+/// The outcome of an admission attempt.
+#[derive(Debug)]
+pub enum Admit {
+    /// Admitted; hold the lease for the duration of the query.
+    Admitted(Lease),
+    /// Shed: every slot busy and the wait queue is full.
+    QueueFull,
+    /// Shed: waited the full queue timeout without getting a slot.
+    Timeout,
+    /// Rejected: the server is draining for shutdown.
+    Draining,
+}
+
+/// Admission control over one shared worker-thread budget.
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    inner: Arc<Inner>,
+}
+
+impl AdmissionControl {
+    /// A scheduler with `slots` concurrent queries, `queue_depth` waiters,
+    /// and `worker_threads` total engine threads to share out (all clamped
+    /// to at least 1... except `queue_depth`, where 0 means "never queue").
+    pub fn new(slots: usize, queue_depth: usize, worker_threads: usize) -> AdmissionControl {
+        AdmissionControl {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    active: 0,
+                    queued: 0,
+                    draining: false,
+                }),
+                cv: Condvar::new(),
+                slots: slots.max(1),
+                queue_depth,
+                worker_threads: worker_threads.max(1),
+            }),
+        }
+    }
+
+    /// Tries to admit one query, waiting in the bounded queue for up to
+    /// `queue_timeout` when all slots are busy.
+    pub fn admit(&self, queue_timeout: Duration) -> Admit {
+        let mut state = self.inner.state.lock().expect("admission lock");
+        if state.draining {
+            return Admit::Draining;
+        }
+        if state.active < self.inner.slots {
+            state.active += 1;
+            return Admit::Admitted(self.lease(state.active));
+        }
+        if state.queued >= self.inner.queue_depth {
+            return Admit::QueueFull;
+        }
+        state.queued += 1;
+        let deadline = Instant::now() + queue_timeout;
+        loop {
+            let now = Instant::now();
+            if state.draining {
+                state.queued -= 1;
+                return Admit::Draining;
+            }
+            if state.active < self.inner.slots {
+                state.queued -= 1;
+                state.active += 1;
+                return Admit::Admitted(self.lease(state.active));
+            }
+            if now >= deadline {
+                state.queued -= 1;
+                return Admit::Timeout;
+            }
+            let (guard, _) = self
+                .inner
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("admission lock");
+            state = guard;
+        }
+    }
+
+    fn lease(&self, active_now: usize) -> Lease {
+        Lease {
+            inner: Arc::clone(&self.inner),
+            threads: (self.inner.worker_threads / active_now.max(1)).max(1),
+        }
+    }
+
+    /// Starts draining: every subsequent [`admit`](Self::admit) (and every
+    /// parked waiter) is rejected with [`Admit::Draining`]; in-flight leases
+    /// run to completion.
+    pub fn drain(&self) {
+        let mut state = self.inner.state.lock().expect("admission lock");
+        state.draining = true;
+        drop(state);
+        self.inner.cv.notify_all();
+    }
+
+    /// Whether the scheduler is draining.
+    pub fn is_draining(&self) -> bool {
+        self.inner.state.lock().expect("admission lock").draining
+    }
+
+    /// Blocks until no lease is outstanding (used by graceful shutdown after
+    /// [`drain`](Self::drain)).
+    pub fn await_idle(&self) {
+        let mut state = self.inner.state.lock().expect("admission lock");
+        while state.active > 0 {
+            state = self.inner.cv.wait(state).expect("admission lock");
+        }
+    }
+
+    /// `(active, queued)` snapshot for health reporting.
+    pub fn load(&self) -> (usize, usize) {
+        let state = self.inner.state.lock().expect("admission lock");
+        (state.active, state.queued)
+    }
+
+    /// A `Retry-After` hint in seconds: one second per queued-or-active
+    /// query ahead of the shed request, clamped to `[1, 30]`. Coarse on
+    /// purpose — it is a backoff hint, not a promise.
+    pub fn retry_after_hint(&self) -> u64 {
+        let (active, queued) = self.load();
+        ((active + queued) as u64).clamp(1, 30)
+    }
+}
+
+/// An admission slot held for the duration of one query. Dropping the lease
+/// returns the slot and wakes one waiter.
+#[derive(Debug)]
+pub struct Lease {
+    inner: Arc<Inner>,
+    threads: usize,
+}
+
+impl Lease {
+    /// This query's share of the shared worker-thread budget (its `pdb-par`
+    /// pool size). At least 1.
+    pub fn thread_share(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("admission lock");
+        state.active -= 1;
+        drop(state);
+        // Wake everyone: queued waiters race for the slot under the lock,
+        // and await_idle needs to observe active == 0.
+        self.inner.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::thread;
+
+    const SHORT: Duration = Duration::from_millis(20);
+
+    #[test]
+    fn admits_up_to_slots_then_queues_then_sheds() {
+        let adm = AdmissionControl::new(2, 1, 8);
+        let a = match adm.admit(SHORT) {
+            Admit::Admitted(l) => l,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(a.thread_share(), 8);
+        let b = match adm.admit(SHORT) {
+            Admit::Admitted(l) => l,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(b.thread_share(), 4);
+        assert_eq!(adm.load(), (2, 0));
+        // Third request queues and times out.
+        assert!(matches!(adm.admit(SHORT), Admit::Timeout));
+        // With a waiter parked, a fourth would overflow the queue.
+        let adm2 = adm.clone();
+        let (tx, rx) = mpsc::channel();
+        let waiter = thread::spawn(move || {
+            tx.send(()).unwrap();
+            adm2.admit(Duration::from_secs(5))
+        });
+        rx.recv().unwrap();
+        // Give the waiter time to park.
+        while adm.load().1 == 0 {
+            thread::yield_now();
+        }
+        assert!(matches!(adm.admit(SHORT), Admit::QueueFull));
+        // Releasing a lease admits the parked waiter.
+        drop(a);
+        match waiter.join().unwrap() {
+            Admit::Admitted(lease) => assert_eq!(adm.load(), (2, 0), "{}", lease.thread_share()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_share_splits_the_budget_and_never_hits_zero() {
+        let adm = AdmissionControl::new(4, 0, 8);
+        let leases: Vec<Lease> = (0..4)
+            .map(|_| match adm.admit(SHORT) {
+                Admit::Admitted(l) => l,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            leases.iter().map(Lease::thread_share).collect::<Vec<_>>(),
+            vec![8, 4, 2, 2]
+        );
+        let adm = AdmissionControl::new(4, 0, 1);
+        let l = match adm.admit(SHORT) {
+            Admit::Admitted(l) => l,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(l.thread_share(), 1);
+    }
+
+    #[test]
+    fn zero_queue_depth_sheds_immediately() {
+        let adm = AdmissionControl::new(1, 0, 2);
+        let _hold = adm.admit(SHORT);
+        let start = Instant::now();
+        assert!(matches!(
+            adm.admit(Duration::from_secs(5)),
+            Admit::QueueFull
+        ));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_wakes_waiters() {
+        let adm = AdmissionControl::new(1, 4, 2);
+        let hold = match adm.admit(SHORT) {
+            Admit::Admitted(l) => l,
+            other => panic!("{other:?}"),
+        };
+        let adm2 = adm.clone();
+        let waiter = thread::spawn(move || adm2.admit(Duration::from_secs(30)));
+        while adm.load().1 == 0 {
+            thread::yield_now();
+        }
+        adm.drain();
+        assert!(matches!(waiter.join().unwrap(), Admit::Draining));
+        assert!(matches!(adm.admit(SHORT), Admit::Draining));
+        assert!(adm.is_draining());
+        // await_idle returns once the in-flight lease is dropped.
+        let adm3 = adm.clone();
+        let idle = thread::spawn(move || adm3.await_idle());
+        drop(hold);
+        idle.join().unwrap();
+        assert_eq!(adm.load(), (0, 0));
+    }
+
+    #[test]
+    fn retry_after_hint_tracks_load() {
+        let adm = AdmissionControl::new(2, 2, 2);
+        assert_eq!(adm.retry_after_hint(), 1);
+        let _a = adm.admit(SHORT);
+        let _b = adm.admit(SHORT);
+        assert_eq!(adm.retry_after_hint(), 2);
+    }
+}

@@ -1,0 +1,364 @@
+//! A small HTTP/1.1 layer over `std::io` streams.
+//!
+//! Only what the wire protocol needs: request parsing with `Content-Length`
+//! bodies, fixed-length responses, and chunked transfer encoding for the
+//! answer stream. Generic over `Read`/`Write` so the protocol tests can run
+//! against in-memory buffers; the server hands it `TcpStream`s with read and
+//! write timeouts already armed (a slow client surfaces here as an I/O
+//! error, never as a hung worker).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Request target (path + optional query), e.g. `/query`.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed. Each variant maps to the 4xx the
+/// connection handler answers with before closing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request line. Not an
+    /// error worth answering — the handler just closes its side.
+    ConnectionClosed,
+    /// Malformed request line or header syntax.
+    Malformed(String),
+    /// The declared body exceeds the server's limit.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The server's limit.
+        limit: usize,
+    },
+    /// Socket-level failure (including read timeouts from slow clients).
+    Io(io::Error),
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads one request from `reader`. `max_body` bounds the accepted
+/// `Content-Length`.
+///
+/// # Errors
+/// See [`ParseError`].
+pub fn read_request<R: Read>(
+    reader: &mut BufReader<R>,
+    max_body: usize,
+) -> Result<Request, ParseError> {
+    let line = read_line(reader)?;
+    let line = match line {
+        None => return Err(ParseError::ConnectionClosed),
+        Some(l) if l.is_empty() => return Err(ParseError::Malformed("empty request line".into())),
+        Some(l) => l,
+    };
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing request target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let line = read_line(reader)?
+            .ok_or_else(|| ParseError::Malformed("connection closed mid-headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::Malformed("request head too large".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Malformed(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(ParseError::Malformed(
+            "chunked request bodies are not supported".into(),
+        ));
+    }
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ParseError::Malformed(format!("bad content-length `{v}`")))?,
+    };
+    if length > max_body {
+        return Err(ParseError::BodyTooLarge {
+            declared: length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { body, ..request })
+}
+
+/// Reads a CRLF- (or bare-LF-) terminated line, without the terminator.
+/// `Ok(None)` means EOF before any byte.
+fn read_line<R: Read>(reader: &mut BufReader<R>) -> Result<Option<String>, ParseError> {
+    let mut buf = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_HEAD_BYTES as u64 + 2)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    } else if buf.len() >= MAX_HEAD_BYTES {
+        return Err(ParseError::Malformed("header line too long".into()));
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| ParseError::Malformed("non-UTF-8 header".into()))
+}
+
+/// The reason phrase for the status codes the protocol uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        507 => "Insufficient Storage",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response. `extra_headers` are emitted
+/// verbatim after the standard ones.
+///
+/// # Errors
+/// Propagates socket errors (including write timeouts).
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        status,
+        reason(status),
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A chunked-transfer response body: the answer stream. Construction writes
+/// the response head; [`chunk`](Self::chunk) writes one chunk per call;
+/// [`finish`](Self::finish) terminates the stream.
+pub struct ChunkedWriter<'a, W: Write> {
+    w: &'a mut W,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    /// Starts a 200 chunked response with NDJSON content.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn start(w: &'a mut W, extra_headers: &[(&str, String)]) -> io::Result<Self> {
+        write!(
+            w,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\n"
+        )?;
+        for (name, value) in extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        Ok(ChunkedWriter { w })
+    }
+
+    /// Writes one chunk (one NDJSON line, terminator included by the caller).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        Ok(())
+    }
+
+    /// Terminates the chunked stream and flushes.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn finish(self) -> io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse("POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_a_get_without_body_and_bare_lf() {
+        let req = parse("GET /health HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/health");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(parse(""), Err(ParseError::ConnectionClosed)));
+        assert!(matches!(parse("\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(
+            parse("GET\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn body_limit_is_enforced() {
+        match parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n") {
+            Err(ParseError::BodyTooLarge { declared, limit }) => {
+                assert_eq!(declared, 9999);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ParseError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn writes_fixed_and_chunked_responses() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, &[("Retry-After", "2".into())], b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        let mut cw = ChunkedWriter::start(&mut out, &[]).unwrap();
+        cw.chunk(b"hello\n").unwrap();
+        cw.chunk(b"").unwrap();
+        cw.chunk(b"world\n").unwrap();
+        cw.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("6\r\nhello\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_protocol_statuses() {
+        for status in [
+            200, 201, 400, 404, 405, 409, 413, 422, 429, 499, 500, 503, 504, 507,
+        ] {
+            assert_ne!(reason(status), "Unknown", "{status}");
+        }
+        assert_eq!(reason(599), "Unknown");
+    }
+}

@@ -1,0 +1,299 @@
+//! A minimal blocking HTTP/1.1 test client (keep-alive, fixed-length and
+//! chunked bodies) plus helpers that serialize engine fixtures into wire
+//! bodies.
+//!
+//! Shared by several test binaries, each of which uses a different subset.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sprout::{CompareOp, ConjunctiveQuery, DataType, PlanReport, ProbTable, Value};
+use sprout_server::{proto, Json};
+
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn json(&self) -> Json {
+        Json::parse(&self.body).expect("response body is JSON")
+    }
+
+    /// The `error.code` of an error body.
+    pub fn error_code(&self) -> String {
+        self.json()
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("no error code in {}", self.body))
+            .to_string()
+    }
+
+    /// NDJSON lines of a streamed answer body.
+    pub fn lines(&self) -> Vec<String> {
+        self.body.lines().map(str::to_string).collect()
+    }
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client {
+            writer: stream,
+            reader,
+        }
+    }
+
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> Response {
+        self.try_request(method, path, body).expect("request")
+    }
+
+    pub fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<Response> {
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                headers.push((k.trim().to_string(), v.trim().to_string()));
+            }
+        }
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k.eq_ignore_ascii_case("transfer-encoding") && v == "chunked");
+        let mut body = Vec::new();
+        if chunked {
+            loop {
+                let size_line = self.read_line()?;
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .unwrap_or_else(|_| panic!("bad chunk size {size_line:?}"));
+                let mut chunk = vec![0u8; size + 2];
+                self.reader.read_exact(&mut chunk)?;
+                if size == 0 {
+                    break;
+                }
+                body.extend_from_slice(&chunk[..size]);
+            }
+        } else {
+            let length: usize = headers
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or(0);
+            body = vec![0u8; length];
+            self.reader.read_exact(&mut body)?;
+        }
+        Ok(Response {
+            status,
+            headers,
+            body: String::from_utf8(body).expect("UTF-8 body"),
+        })
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+}
+
+/// One-shot request on a fresh connection.
+pub fn one_shot(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    Client::connect(addr).request(method, path, body)
+}
+
+fn type_name(t: DataType) -> &'static str {
+    match t {
+        DataType::Int => "int",
+        DataType::Float => "float",
+        DataType::Str => "str",
+        DataType::Date => "date",
+        DataType::Bool => "bool",
+    }
+}
+
+fn value_json(v: &Value) -> Json {
+    proto::value_to_json(v)
+}
+
+/// Serializes a fixture table into a `POST /tables` body.
+pub fn table_body(
+    name: &str,
+    table: &ProbTable,
+    keys: &[&[&str]],
+    fds: &[(&[&str], &[&str])],
+) -> String {
+    let schema = Json::Array(
+        table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| {
+                Json::Array(vec![
+                    Json::Str(c.name.clone()),
+                    Json::Str(type_name(c.data_type).to_string()),
+                ])
+            })
+            .collect(),
+    );
+    let rows = Json::Array(
+        (0..table.len())
+            .map(|i| {
+                let (tuple, var, prob) = table.triple(i);
+                Json::Object(vec![
+                    (
+                        "values".to_string(),
+                        Json::Array(tuple.values().iter().map(value_json).collect()),
+                    ),
+                    ("var".to_string(), Json::Int(var.0 as i64)),
+                    ("prob".to_string(), Json::Float(prob)),
+                ])
+            })
+            .collect(),
+    );
+    let keys = Json::Array(
+        keys.iter()
+            .map(|k| Json::Array(k.iter().map(|a| Json::Str(a.to_string())).collect()))
+            .collect(),
+    );
+    let fds = Json::Array(
+        fds.iter()
+            .map(|(lhs, rhs)| {
+                Json::Object(vec![
+                    (
+                        "lhs".to_string(),
+                        Json::Array(lhs.iter().map(|a| Json::Str(a.to_string())).collect()),
+                    ),
+                    (
+                        "rhs".to_string(),
+                        Json::Array(rhs.iter().map(|a| Json::Str(a.to_string())).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    Json::Object(vec![
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("schema".to_string(), schema),
+        ("rows".to_string(), rows),
+        ("keys".to_string(), keys),
+        ("fds".to_string(), fds),
+    ])
+    .render()
+}
+
+fn op_str(op: CompareOp) -> &'static str {
+    match op {
+        CompareOp::Eq => "=",
+        CompareOp::Ne => "!=",
+        CompareOp::Lt => "<",
+        CompareOp::Le => "<=",
+        CompareOp::Gt => ">",
+        CompareOp::Ge => ">=",
+        CompareOp::In => "in",
+    }
+}
+
+/// Serializes a query into the `"query"` object of a `POST /query` body.
+pub fn query_json(q: &ConjunctiveQuery) -> Json {
+    let relations = Json::Array(
+        q.relations
+            .iter()
+            .map(|r| {
+                Json::Object(vec![
+                    ("name".to_string(), Json::Str(r.name.clone())),
+                    (
+                        "attrs".to_string(),
+                        Json::Array(r.attributes.iter().map(|a| Json::Str(a.clone())).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let head = Json::Array(q.head.iter().map(|h| Json::Str(h.clone())).collect());
+    let predicates = Json::Array(
+        q.predicates
+            .iter()
+            .map(|p| {
+                let mut fields = vec![
+                    ("relation".to_string(), Json::Str(p.relation.clone())),
+                    ("attribute".to_string(), Json::Str(p.attribute.clone())),
+                    ("op".to_string(), Json::Str(op_str(p.op).to_string())),
+                ];
+                if p.op == CompareOp::In {
+                    let mut values = vec![value_json(&p.constant)];
+                    values.extend(p.alternatives.iter().map(value_json));
+                    fields.push(("values".to_string(), Json::Array(values)));
+                } else {
+                    fields.push(("value".to_string(), value_json(&p.constant)));
+                }
+                Json::Object(fields)
+            })
+            .collect(),
+    );
+    Json::Object(vec![
+        ("relations".to_string(), relations),
+        ("head".to_string(), head),
+        ("predicates".to_string(), predicates),
+    ])
+}
+
+/// A `POST /query` body with optional extra top-level fields (already
+/// rendered JSON values).
+pub fn query_body(q: &ConjunctiveQuery, extra: &[(&str, &str)]) -> String {
+    let mut body = format!("{{\"query\":{}", query_json(q).render());
+    for (k, v) in extra {
+        body.push_str(&format!(",\"{k}\":{v}"));
+    }
+    body.push('}');
+    body
+}
+
+/// The expected NDJSON answer lines for a library-side report.
+pub fn expected_lines(report: &PlanReport) -> Vec<String> {
+    proto::answer_lines(report)
+}

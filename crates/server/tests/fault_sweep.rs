@@ -1,0 +1,164 @@
+//! PR 9 deterministic fault-injection sweep over the server sites (compiled
+//! only with `--features fault-inject`).
+//!
+//! For every site in [`pdb_fault::sites::SERVER`] × action (panic / cancel /
+//! budget / slow) × worker-pool size {1, 8}, a one-shot fault is installed
+//! and a query submitted. The properties:
+//!
+//! * the client always receives a *well-formed* HTTP response with a typed
+//!   JSON error body (panic → `500 WORKER_PANIC`, cancel → `499 CANCELLED`,
+//!   budget → `507 MEMORY_BUDGET_EXCEEDED`) — or, for `slow`, a delayed but
+//!   complete answer stream;
+//! * the server survives: an immediate re-run of the same query on the same
+//!   server succeeds and is bitwise-identical to the library baseline (the
+//!   shared pool is reusable, nothing is poisoned);
+//! * graceful shutdown drains: a query held open by a `slow` fault completes
+//!   its full answer stream even though shutdown began mid-execution.
+//!
+//! The installed fault plan is process-global state, so the tests in this
+//! file serialize on [`FAULT_LOCK`].
+#![cfg(feature = "fault-inject")]
+
+mod common;
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serializes every test that touches the global fault plan.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+use common::{one_shot, query_body, table_body};
+use pdb_exec::fixtures;
+use pdb_fault::{clear, install, sites, FaultPlan};
+use pdb_query::cq::intro_query_q;
+use sprout::{PlanKind, SproutDb};
+use sprout_server::{ServerConfig, SproutServer};
+
+fn config(worker_threads: usize) -> ServerConfig {
+    ServerConfig {
+        worker_threads,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn server_fault_sweep_is_isolated_reusable_and_deterministic() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    clear();
+    let baseline = {
+        let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+        common::expected_lines(&db.query(&intro_query_q(), PlanKind::Lazy).unwrap())
+    };
+    let query = query_body(&intro_query_q(), &[]);
+
+    for pool in [1usize, 8] {
+        for site in sites::SERVER {
+            for action in ["panic", "cancel", "budget", "slow"] {
+                // A fresh server per case keeps the fault indices exact:
+                // table registration uses one connection (conn 0), the
+                // faulted query the next (conn 1, request 0 on it).
+                let server =
+                    SproutServer::bind(SproutDb::new(), "127.0.0.1:0", config(pool)).expect("bind");
+                let mut setup = common::Client::connect(server.addr());
+                for (name, table, keys) in [
+                    ("Cust", fixtures::fig1_cust(), vec!["ckey"]),
+                    ("Ord", fixtures::fig1_ord(), vec!["okey"]),
+                    ("Item", fixtures::fig1_item(), vec![]),
+                ] {
+                    let keys: Vec<&[&str]> = if keys.is_empty() {
+                        vec![]
+                    } else {
+                        vec![&keys[..]]
+                    };
+                    let resp =
+                        setup.request("POST", "/tables", &table_body(name, &table, &keys, &[]));
+                    assert_eq!(resp.status, 201, "{site} {action}: {}", resp.body);
+                }
+
+                let index = if *site == sites::SERVER_ACCEPT { 1 } else { 0 };
+                let spec = if action == "slow" {
+                    format!("{action}@{site}:{index}:150")
+                } else {
+                    format!("{action}@{site}:{index}")
+                };
+                install(FaultPlan::parse(&spec).expect("valid spec"));
+
+                let label = format!("{spec} pool={pool}");
+                let resp = one_shot(server.addr(), "POST", "/query", &query);
+                match action {
+                    "slow" => {
+                        // Delayed, not broken: the full stream arrives.
+                        assert_eq!(resp.status, 200, "{label}: {}", resp.body);
+                        assert_eq!(resp.lines(), baseline, "{label}");
+                    }
+                    "panic" => {
+                        assert_eq!(resp.status, 500, "{label}: {}", resp.body);
+                        assert_eq!(resp.error_code(), "WORKER_PANIC", "{label}");
+                        // The panic payload is not echoed to the client.
+                        assert!(!resp.body.contains("injected"), "{label}: {}", resp.body);
+                    }
+                    "cancel" => {
+                        assert_eq!(resp.status, 499, "{label}: {}", resp.body);
+                        assert_eq!(resp.error_code(), "CANCELLED", "{label}");
+                    }
+                    "budget" => {
+                        assert_eq!(resp.status, 507, "{label}: {}", resp.body);
+                        assert_eq!(resp.error_code(), "MEMORY_BUDGET_EXCEEDED", "{label}");
+                    }
+                    _ => unreachable!(),
+                }
+
+                // One-shot: the immediate re-run (twice, to prove the pool
+                // is reusable and deterministic) matches the baseline
+                // bitwise.
+                for round in 0..2 {
+                    let resp = one_shot(server.addr(), "POST", "/query", &query);
+                    assert_eq!(resp.status, 200, "{label} round {round}: {}", resp.body);
+                    assert_eq!(resp.lines(), baseline, "{label} round {round}");
+                }
+                server.shutdown();
+            }
+        }
+    }
+    clear();
+}
+
+#[test]
+fn shutdown_drains_a_query_held_mid_execution() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    clear();
+    let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+    let server = SproutServer::bind(db, "127.0.0.1:0", config(4)).expect("bind");
+    let addr = server.addr();
+
+    let baseline = {
+        let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+        common::expected_lines(&db.query(&intro_query_q(), PlanKind::Lazy).unwrap())
+    };
+
+    // Hold the first query's execution stage open for 400 ms.
+    install(FaultPlan::parse(&format!("slow@{}:0:400", sites::SERVER_EXEC)).unwrap());
+
+    let in_flight = std::thread::spawn(move || {
+        let start = Instant::now();
+        let resp = one_shot(addr, "POST", "/query", &query_body(&intro_query_q(), &[]));
+        (resp, start.elapsed())
+    });
+    // Let the in-flight query reach the slow fault, then shut down.
+    std::thread::sleep(Duration::from_millis(120));
+    let shutdown_started = Instant::now();
+    server.shutdown();
+    let drained_in = shutdown_started.elapsed();
+
+    let (resp, elapsed) = in_flight.join().expect("client thread");
+    // The admitted query completed its full answer stream despite the
+    // shutdown starting mid-execution...
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.lines(), baseline);
+    assert!(elapsed >= Duration::from_millis(400), "{elapsed:?}");
+    // ...and shutdown genuinely waited for it (drain, not abort).
+    assert!(drained_in >= Duration::from_millis(200), "{drained_in:?}");
+    clear();
+}

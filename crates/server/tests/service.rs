@@ -1,0 +1,336 @@
+//! End-to-end service tests over loopback TCP: wire round trips that are
+//! bitwise-identical to the library, the typed error taxonomy, graceful
+//! degradation under deadlines and frontier caps, drain semantics, and
+//! keep-alive connections. (Fault-injection sweeps live in `fault_sweep.rs`
+//! behind the `fault-inject` feature.)
+
+mod common;
+
+use std::time::Duration;
+
+use common::{one_shot, query_body, table_body, Client};
+use pdb_exec::fixtures;
+use pdb_query::cq::{intro_query_q, intro_query_q_prime};
+use sprout::{ApproxPolicy, PlanKind, QueryOptions, SproutDb};
+use sprout_server::{Json, ServerConfig, SproutServer};
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+/// Registers the Fig. 1 tables (with the key declarations) over the wire.
+fn register_fig1(addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr);
+    for (name, table, keys) in [
+        ("Cust", fixtures::fig1_cust(), vec!["ckey"]),
+        ("Ord", fixtures::fig1_ord(), vec!["okey"]),
+        ("Item", fixtures::fig1_item(), vec![]),
+    ] {
+        let keys: Vec<&[&str]> = if keys.is_empty() {
+            vec![]
+        } else {
+            vec![&keys[..]]
+        };
+        let resp = client.request("POST", "/tables", &table_body(name, &table, &keys, &[]));
+        assert_eq!(resp.status, 201, "{}: {}", name, resp.body);
+    }
+}
+
+#[test]
+fn wire_answers_are_bitwise_identical_to_the_library_at_every_thread_count() {
+    // The library baseline, rendered through the same codec.
+    let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+    let report = db.query(&intro_query_q(), PlanKind::Lazy).unwrap();
+    let expected = common::expected_lines(&report);
+
+    for worker_threads in [1, 8] {
+        let config = ServerConfig {
+            worker_threads,
+            ..test_config()
+        };
+        let server = SproutServer::bind(SproutDb::new(), "127.0.0.1:0", config).unwrap();
+        register_fig1(server.addr());
+
+        for kind in ["\"lazy\"", "\"eager\"", "\"mystiq\""] {
+            let resp = one_shot(
+                server.addr(),
+                "POST",
+                "/query",
+                &query_body(&intro_query_q(), &[("kind", kind)]),
+            );
+            assert_eq!(resp.status, 200, "{kind}: {}", resp.body);
+            let lines = resp.lines();
+            // Confidences (and their exact bits) are plan-independent; only
+            // the header's kind differs.
+            assert_eq!(lines.len(), expected.len(), "{kind}");
+            if kind == "\"lazy\"" {
+                assert_eq!(lines, expected, "threads={worker_threads}");
+            } else {
+                assert_eq!(lines[1..], expected[1..], "{kind}");
+            }
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn typed_errors_cover_the_taxonomy() {
+    let server = SproutServer::bind(SproutDb::new(), "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.addr();
+    register_fig1(addr);
+
+    // Unknown endpoint and method.
+    assert_eq!(one_shot(addr, "GET", "/nope", "").status, 404);
+    assert_eq!(one_shot(addr, "GET", "/query", "").status, 405);
+
+    // Malformed JSON.
+    let resp = one_shot(addr, "POST", "/query", "{nope");
+    assert_eq!(
+        (resp.status, resp.error_code().as_str()),
+        (400, "INVALID_JSON")
+    );
+
+    // Duplicate table registration.
+    let resp = one_shot(
+        addr,
+        "POST",
+        "/tables",
+        &table_body("Cust", &fixtures::fig1_cust(), &[], &[]),
+    );
+    assert_eq!(
+        (resp.status, resp.error_code().as_str()),
+        (409, "DUPLICATE_TABLE")
+    );
+
+    // Invalid probability is a typed storage error.
+    let resp = one_shot(
+        addr,
+        "POST",
+        "/tables",
+        r#"{"name":"Bad","schema":[["a","int"]],"rows":[{"values":[1],"var":0,"prob":2.0}]}"#,
+    );
+    assert_eq!(
+        (resp.status, resp.error_code().as_str()),
+        (400, "INVALID_PROBABILITY")
+    );
+
+    // Query over a table that was never registered.
+    let q = sprout::ConjunctiveQuery::build(&[("Ghost", &["a"])], &["a"], vec![]).unwrap();
+    let resp = one_shot(addr, "POST", "/query", &query_body(&q, &[]));
+    assert_eq!(
+        (resp.status, resp.error_code().as_str()),
+        (404, "UNKNOWN_TABLE")
+    );
+
+    // Self-join rejected with the query taxonomy (validated at parse time).
+    let resp = one_shot(
+        addr,
+        "POST",
+        "/query",
+        r#"{"query":{"relations":[{"name":"Cust","attrs":["ckey"]},{"name":"Cust","attrs":["ckey"]}],"head":["ckey"]}}"#,
+    );
+    assert_eq!(
+        (resp.status, resp.error_code().as_str()),
+        (400, "SELF_JOIN")
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn unsafe_queries_return_422_with_the_blocking_attribute_pair() {
+    // No keys declared: Q' has no safe plan.
+    let server = SproutServer::bind(
+        SproutDb::from_catalog(fixtures::fig1_catalog()),
+        "127.0.0.1:0",
+        test_config(),
+    )
+    .unwrap();
+    let resp = one_shot(
+        server.addr(),
+        "POST",
+        "/query",
+        &query_body(&intro_query_q_prime(), &[]),
+    );
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert_eq!(resp.error_code(), "UNSAFE_QUERY");
+    let detail = resp.json();
+    let detail = detail.get("error").and_then(|e| e.get("detail")).unwrap();
+    assert!(
+        detail.get("attr_a").is_some() && detail.get("attr_b").is_some(),
+        "{}",
+        resp.body
+    );
+    server.shutdown();
+}
+
+#[test]
+fn bounds_policy_degrades_instead_of_erroring() {
+    let db = SproutDb::from_catalog(fixtures::fig1_catalog());
+    let server = SproutServer::bind(db, "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.addr();
+
+    // Full-precision bounds: exact answers (read-once factorization).
+    let resp = one_shot(
+        addr,
+        "POST",
+        "/query",
+        &query_body(
+            &intro_query_q_prime(),
+            &[("policy", r#"{"bounds":{"eps":1e-9}}"#)],
+        ),
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let header = Json::parse(&resp.lines()[0]).unwrap();
+    assert_eq!(header.get("answers").and_then(Json::as_i64), Some(1));
+    let line = Json::parse(&resp.lines()[1]).unwrap();
+    let lo = line.get("lo").and_then(Json::as_f64).unwrap();
+    let hi = line.get("hi").and_then(Json::as_f64).unwrap();
+    assert!(
+        lo <= 0.0028 + 1e-12 && 0.0028 <= hi + 1e-12,
+        "{}",
+        resp.body
+    );
+
+    // A zero-byte frontier cap degrades deterministically to wider (but
+    // still valid) bounds — and matches the library bitwise.
+    let body = query_body(
+        &intro_query_q_prime(),
+        &[
+            ("policy", r#"{"bounds":{"eps":0.0}}"#),
+            ("frontier_budget", "0"),
+        ],
+    );
+    let resp = one_shot(addr, "POST", "/query", &body);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let lib = SproutDb::from_catalog(fixtures::fig1_catalog())
+        .query_with_options(
+            &intro_query_q_prime(),
+            &QueryOptions {
+                policy: Some(ApproxPolicy::Bounds { eps: 0.0 }),
+                frontier_budget: Some(Some(0)),
+                ..QueryOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(resp.lines(), common::expected_lines(&lib));
+
+    server.shutdown();
+}
+
+#[test]
+fn an_impossible_deadline_is_a_504_with_a_partial_bounds_slot() {
+    let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+    let server = SproutServer::bind(db, "127.0.0.1:0", test_config()).unwrap();
+    let resp = one_shot(
+        server.addr(),
+        "POST",
+        "/query",
+        &query_body(&intro_query_q(), &[("deadline_ms", "0")]),
+    );
+    assert_eq!(resp.status, 504, "{}", resp.body);
+    assert_eq!(resp.error_code(), "DEADLINE_EXCEEDED");
+    let body = resp.json();
+    let detail = body.get("error").and_then(|e| e.get("detail")).unwrap();
+    assert!(detail.get("elapsed_ms").is_some(), "{}", resp.body);
+    // The slot is always present: null when the deadline struck before any
+    // bounds were computed.
+    assert!(detail.get("partial_bounds").is_some(), "{}", resp.body);
+    server.shutdown();
+}
+
+#[test]
+fn draining_rejects_new_work_and_health_reports_it() {
+    let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+    let server = SproutServer::bind(db, "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.addr();
+
+    let health = one_shot(addr, "GET", "/health", "");
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health.json().get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+
+    server.drain();
+
+    let resp = one_shot(addr, "POST", "/query", &query_body(&intro_query_q(), &[]));
+    assert_eq!((resp.status, resp.error_code().as_str()), (503, "DRAINING"));
+    assert!(resp.header("Retry-After").is_some());
+    let resp = one_shot(
+        addr,
+        "POST",
+        "/tables",
+        &table_body("Late", &fixtures::fig1_cust(), &[], &[]),
+    );
+    assert_eq!((resp.status, resp.error_code().as_str()), (503, "DRAINING"));
+
+    let health = one_shot(addr, "GET", "/health", "");
+    assert_eq!(
+        health.json().get("status").and_then(Json::as_str),
+        Some("draining")
+    );
+
+    server.shutdown();
+    // The listener is gone after shutdown.
+    assert!(std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}
+
+#[test]
+fn keep_alive_serves_many_requests_per_connection() {
+    let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+    let server = SproutServer::bind(db, "127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.addr());
+    let mut first = None;
+    for _ in 0..5 {
+        let resp = client.request("POST", "/query", &query_body(&intro_query_q(), &[]));
+        assert_eq!(resp.status, 200);
+        let lines = resp.lines();
+        match &first {
+            None => first = Some(lines),
+            Some(f) => assert_eq!(&lines, f),
+        }
+        // Errors in between do not poison the connection.
+        let resp = client.request("POST", "/query", "{}");
+        assert_eq!(resp.status, 400);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_all_get_bitwise_identical_answers() {
+    let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+    let config = ServerConfig {
+        slots: 2,
+        queue_depth: 16,
+        queue_timeout: Duration::from_secs(10),
+        worker_threads: 8,
+        ..test_config()
+    };
+    let server = SproutServer::bind(db, "127.0.0.1:0", config).unwrap();
+    let addr = server.addr();
+
+    let expected = {
+        let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+        common::expected_lines(&db.query(&intro_query_q(), PlanKind::Lazy).unwrap())
+    };
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let resp = one_shot(addr, "POST", "/query", &query_body(&intro_query_q(), &[]));
+                assert_eq!(resp.status, 200, "{}", resp.body);
+                assert_eq!(resp.lines(), expected);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown();
+}

@@ -27,15 +27,48 @@
 
 use std::sync::Arc;
 
-pub use pdb_conf::{ConfidenceOperator, ConfidenceResult, Strategy};
+pub use pdb_conf::{ConfError, ConfidenceOperator, ConfidenceResult, Strategy};
+pub use pdb_exec::ExecError;
+pub use pdb_query::QueryError;
 pub use pdb_query::{
-    CompareOp, ConjunctiveQuery, FdSet, FunctionalDependency, Predicate, Signature,
+    CompareOp, ConjunctiveQuery, FdSet, FunctionalDependency, Predicate, RelationAtom, Signature,
 };
-pub use pdb_storage::{Catalog, DataType, ProbTable, Schema, Table, Tuple, Value, Variable};
+pub use pdb_storage::StorageError;
+pub use pdb_storage::{
+    total_f64_cmp, Catalog, DataType, ProbTable, Schema, Table, Tuple, Value, Variable,
+};
 pub use sprout_plan::{
     ApproxPolicy, ApproxResult, ConfMethod, ExecContext, FallbackPlan, GovernorBuilder, PlanError,
-    PlanKind, PlanReport, PlanResult, Planner, QueryGovernor, SproutError, Stage, TupleConfidence,
+    PlanKind, PlanReport, PlanResult, Planner, Pool, QueryGovernor, SproutError, Stage,
+    TupleConfidence,
 };
+
+/// Per-query execution options, for callers that multiplex many queries over
+/// shared resources (notably the `sprout-server` admission scheduler): plan
+/// kind, governor, approximation policy, worker pool, and the anytime
+/// frontier's memory cap, all in one bundle.
+///
+/// Because every engine path is bitwise-deterministic at every pool size, two
+/// runs with the same `kind`/`policy`/`seed`/`frontier_budget` produce
+/// identical answers regardless of `pool` and regardless of whether a
+/// governor interrupted neither of them.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Plan family; `None` means [`PlanKind::Lazy`], the SPROUT default.
+    pub kind: Option<PlanKind>,
+    /// Governor observed at every morsel/chunk/bag checkpoint.
+    pub governor: Option<QueryGovernor>,
+    /// Fallback policy for unsafe queries; `None` keeps the exact-only
+    /// behaviour (unsafe queries error with the blocking attribute pair).
+    pub policy: Option<ApproxPolicy>,
+    /// Worker pool; `None` reads `SPROUT_THREADS` per plan as before.
+    pub pool: Option<Pool>,
+    /// Seed of the fallback's refinement tie-breaker.
+    pub seed: u64,
+    /// Frontier memory cap override: `Some(Some(bytes))` caps, `Some(None)`
+    /// removes the default cap, `None` keeps the default.
+    pub frontier_budget: Option<Option<usize>>,
+}
 
 /// A probabilistic database with the SPROUT confidence-computation engine on
 /// top.
@@ -209,6 +242,36 @@ impl SproutDb {
         })
     }
 
+    /// Executes `query` under a full [`QueryOptions`] bundle — the entry
+    /// point the server's admission scheduler uses, combining
+    /// [`Self::query_governed`] and [`Self::query_with_policy`] and adding
+    /// the shared-pool thread share.
+    ///
+    /// # Errors
+    /// Returns the full [`PlanError`] taxonomy (so callers can map, e.g.,
+    /// [`PlanError::UnsafeQuery`]'s blocking attribute pair and
+    /// [`PlanError::Governed`]'s interruption kind to typed wire errors).
+    pub fn query_with_options(
+        &self,
+        query: &ConjunctiveQuery,
+        opts: &QueryOptions,
+    ) -> PlanResult<PlanReport> {
+        let mut planner = Planner::new(&self.catalog).with_approx_seed(opts.seed);
+        if let Some(gov) = &opts.governor {
+            planner = planner.with_governor(gov.clone());
+        }
+        if let Some(policy) = opts.policy {
+            planner = planner.with_approx_policy(policy);
+        }
+        if let Some(pool) = &opts.pool {
+            planner = planner.with_pool(*pool);
+        }
+        if let Some(budget) = opts.frontier_budget {
+            planner = planner.with_frontier_budget(budget);
+        }
+        planner.execute(query, opts.kind.clone().unwrap_or(PlanKind::Lazy))
+    }
+
     /// Executes `query` ignoring all declared functional dependencies — the
     /// "no FDs" configuration of the Fig. 13 experiment.
     ///
@@ -301,6 +364,33 @@ mod tests {
         assert_eq!(brackets.len(), 1);
         assert_eq!(brackets[0].lo, brackets[0].hi);
         assert!((brackets[0].value() - 0.0028).abs() < 1e-9);
+    }
+
+    #[test]
+    fn options_bundle_matches_the_dedicated_entry_points_bitwise() {
+        let db = SproutDb::from_catalog(fixtures::fig1_catalog());
+        let q = intro_query_q_prime();
+        let direct = db
+            .query_with_policy(&q, PlanKind::Lazy, ApproxPolicy::Bounds { eps: 1e-9 })
+            .unwrap();
+        for threads in [1, 4] {
+            let opts = QueryOptions {
+                policy: Some(ApproxPolicy::Bounds { eps: 1e-9 }),
+                pool: Some(Pool::new(threads)),
+                ..QueryOptions::default()
+            };
+            let report = db.query_with_options(&q, &opts).unwrap();
+            assert_eq!(report.confidences.len(), direct.confidences.len());
+            for (a, b) in report.confidences.iter().zip(&direct.confidences) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "threads={threads}");
+            }
+        }
+        // Unsafe query without a policy surfaces the blocking pair.
+        let err = db
+            .query_with_options(&q, &QueryOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, PlanError::UnsafeQuery { .. }));
     }
 
     #[test]
