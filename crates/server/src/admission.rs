@@ -2,10 +2,15 @@
 //! shared worker-thread budget, a bounded wait queue, and overload shedding.
 //!
 //! Every admitted query gets a [`Lease`] whose [`thread_share`] is its morsel
-//! budget: `max(1, worker_threads / concurrency)` threads of the shared
-//! `pdb-par` pool policy. Handing different queries different shares is safe
-//! because the engine produces bitwise-identical results at every pool size —
-//! the share is purely a performance dial, never a correctness one.
+//! budget: `max(1, worker_threads / slots)` threads of the shared `pdb-par`
+//! pool policy. The share is a *static* per-slot split — a pool handed to a
+//! query cannot be resized mid-flight, so sizing by the instantaneous active
+//! count would let concurrently held shares sum past the budget (an early
+//! lone query keeps its large share after later queries are admitted).
+//! Dividing by `slots` guarantees held shares never exceed `worker_threads`
+//! whenever `worker_threads >= slots`. The share is purely a performance
+//! dial, never a correctness one: the engine produces bitwise-identical
+//! results at every pool size.
 //!
 //! Shedding policy once all slots are busy:
 //!
@@ -92,7 +97,7 @@ impl AdmissionControl {
         }
         if state.active < self.inner.slots {
             state.active += 1;
-            return Admit::Admitted(self.lease(state.active));
+            return Admit::Admitted(self.lease());
         }
         if state.queued >= self.inner.queue_depth {
             return Admit::QueueFull;
@@ -108,7 +113,7 @@ impl AdmissionControl {
             if state.active < self.inner.slots {
                 state.queued -= 1;
                 state.active += 1;
-                return Admit::Admitted(self.lease(state.active));
+                return Admit::Admitted(self.lease());
             }
             if now >= deadline {
                 state.queued -= 1;
@@ -123,10 +128,10 @@ impl AdmissionControl {
         }
     }
 
-    fn lease(&self, active_now: usize) -> Lease {
+    fn lease(&self) -> Lease {
         Lease {
             inner: Arc::clone(&self.inner),
-            threads: (self.inner.worker_threads / active_now.max(1)).max(1),
+            threads: (self.inner.worker_threads / self.inner.slots).max(1),
         }
     }
 
@@ -179,7 +184,8 @@ pub struct Lease {
 
 impl Lease {
     /// This query's share of the shared worker-thread budget (its `pdb-par`
-    /// pool size). At least 1.
+    /// pool size): `worker_threads / slots`, at least 1. Static per slot, so
+    /// concurrently held shares never oversubscribe the budget.
     pub fn thread_share(&self) -> usize {
         self.threads
     }
@@ -211,7 +217,7 @@ mod tests {
             Admit::Admitted(l) => l,
             other => panic!("{other:?}"),
         };
-        assert_eq!(a.thread_share(), 8);
+        assert_eq!(a.thread_share(), 4);
         let b = match adm.admit(SHORT) {
             Admit::Admitted(l) => l,
             other => panic!("{other:?}"),
@@ -243,6 +249,8 @@ mod tests {
 
     #[test]
     fn thread_share_splits_the_budget_and_never_hits_zero() {
+        // Static per-slot shares: concurrently held shares sum to exactly
+        // the budget at full load, never past it.
         let adm = AdmissionControl::new(4, 0, 8);
         let leases: Vec<Lease> = (0..4)
             .map(|_| match adm.admit(SHORT) {
@@ -252,8 +260,9 @@ mod tests {
             .collect();
         assert_eq!(
             leases.iter().map(Lease::thread_share).collect::<Vec<_>>(),
-            vec![8, 4, 2, 2]
+            vec![2, 2, 2, 2]
         );
+        assert_eq!(leases.iter().map(Lease::thread_share).sum::<usize>(), 8);
         let adm = AdmissionControl::new(4, 0, 1);
         let l = match adm.admit(SHORT) {
             Admit::Admitted(l) => l,

@@ -156,6 +156,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_ref(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -185,9 +186,16 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting. Recursion depth is bounded by input depth, so
+/// without a cap a body of ~100k `[`s (well under the request size limit)
+/// would overflow the connection thread's stack — and a stack overflow
+/// aborts the process, bypassing every `catch_unwind` isolation layer.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -224,7 +232,14 @@ impl<'a> Parser<'a> {
     }
 
     fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let value = match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -237,7 +252,9 @@ impl<'a> Parser<'a> {
                 other as char, self.pos
             )),
             None => Err("unexpected end of input".to_string()),
-        }
+        };
+        self.depth -= 1;
+        value
     }
 
     fn array(&mut self) -> Result<Json, String> {
@@ -463,6 +480,19 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Just under the cap parses; one deeper is a parse error, and a
+        // pathological 100k-deep body errors instead of blowing the stack.
+        let deep = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+        assert!(Json::parse(deep(MAX_DEPTH - 1)).is_ok());
+        let err = Json::parse(deep(MAX_DEPTH)).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        assert!(Json::parse("[".repeat(100_000)).is_err());
+        let mixed = format!("{}1{}", r#"{"k":["#.repeat(80), "]}".repeat(80));
+        assert!(Json::parse(mixed).unwrap_err().contains("nesting"));
     }
 
     #[test]

@@ -118,7 +118,12 @@ pub fn parse_table(body: &Json) -> Result<TableSpec, WireError> {
             // An integer arriving in a date column is days since epoch.
             if let (Some(col), Value::Int(n)) = (schema.columns().get(j), &value) {
                 if col.data_type == DataType::Date {
-                    value = Value::Date(*n as i32);
+                    let days = i32::try_from(*n).map_err(|_| {
+                        bad(format!(
+                            "row {i}, column {j}: date value {n} is out of the representable range"
+                        ))
+                    })?;
+                    value = Value::Date(days);
                 }
             }
             tuple.push(value);
@@ -150,6 +155,21 @@ pub fn parse_table(body: &Json) -> Result<TableSpec, WireError> {
             .get("rhs")
             .ok_or_else(|| bad("each fd needs `lhs` and `rhs` arrays"))?;
         fds.push((string_list(lhs, "fd `lhs`")?, string_list(rhs, "fd `rhs`")?));
+    }
+
+    // Validate key/FD attributes against the schema *before* the spec is
+    // applied: registration must be atomic, so every declare that would
+    // fail after `register_table` has to be rejected here, while no state
+    // has been committed yet.
+    for attr in keys.iter().flatten().chain(
+        fds.iter()
+            .flat_map(|(lhs, rhs)| lhs.iter().chain(rhs.iter())),
+    ) {
+        if !schema.contains(attr) {
+            return Err(crate::error::from_storage_error(
+                &sprout::StorageError::UnknownColumn(attr.clone()),
+            ));
+        }
     }
 
     Ok(TableSpec {
@@ -350,7 +370,9 @@ pub fn json_to_value(j: &Json) -> Result<Value, String> {
         Json::Float(f) => Ok(Value::Float(*f)),
         Json::Str(s) => Ok(Value::str(s)),
         Json::Object(_) => match j.get("date").and_then(Json::as_i64) {
-            Some(d) => Ok(Value::Date(d as i32)),
+            Some(d) => i32::try_from(d)
+                .map(Value::Date)
+                .map_err(|_| format!("date value {d} is out of the representable range")),
             None => Err(format!("{} is not a value", j.render())),
         },
         Json::Array(_) => Err(format!("{} is not a value", j.render())),
@@ -509,6 +531,37 @@ mod tests {
             r#"{"name":"T","schema":[["a","int"]],"rows":[{"values":[1],"var":0,"prob":1.5}]}"#;
         let err = parse_table(&Json::parse(raw.as_bytes()).unwrap()).unwrap_err();
         assert_eq!(err.code, "INVALID_PROBABILITY");
+    }
+
+    #[test]
+    fn key_and_fd_columns_are_validated_before_the_spec_is_applied() {
+        // Dangling key/FD attributes fail at parse time, so a registration
+        // either commits the table *with* its metadata or commits nothing.
+        for raw in [
+            r#"{"name":"T","schema":[["a","int"]],"keys":[["nope"]]}"#,
+            r#"{"name":"T","schema":[["a","int"]],"fds":[{"lhs":["a"],"rhs":["nope"]}]}"#,
+            r#"{"name":"T","schema":[["a","int"]],"fds":[{"lhs":["nope"],"rhs":["a"]}]}"#,
+        ] {
+            let err = parse_table(&Json::parse(raw.as_bytes()).unwrap()).unwrap_err();
+            assert_eq!((err.status, err.code), (400, "UNKNOWN_COLUMN"), "{raw}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_dates_are_rejected_not_wrapped() {
+        // 2^31 would silently wrap through `as i32`.
+        let err = json_to_value(&Json::parse(br#"{"date":2147483648}"#).unwrap()).unwrap_err();
+        assert!(err.contains("out of the representable range"), "{err}");
+        let raw = r#"{"name":"T","schema":[["d","date"]],
+                      "rows":[{"values":[2147483648],"var":0,"prob":0.5}]}"#;
+        let err = parse_table(&Json::parse(raw.as_bytes()).unwrap()).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("out of the representable range"));
+        // The extremes of the representable range still pass.
+        assert_eq!(
+            json_to_value(&Json::parse(br#"{"date":-2147483648}"#).unwrap()).unwrap(),
+            Value::Date(i32::MIN)
+        );
     }
 
     #[test]

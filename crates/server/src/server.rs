@@ -251,12 +251,17 @@ fn serve_one(
         && !shared.shutting_down.load(Ordering::SeqCst);
 
     // Panic isolation: anything that unwinds out of dispatch becomes a
-    // clean 500 on this connection.
+    // clean 500 on this connection — unless a response head is already on
+    // the wire, in which case writing a second response would corrupt the
+    // stream and desynchronize every request behind it, so the connection
+    // is closed instead (the truncated chunked body marks the failure).
+    let streaming = AtomicBool::new(false);
     let dispatched = catch_unwind(AssertUnwindSafe(|| {
-        dispatch(shared, &request, writer, req_index)
+        dispatch(shared, &request, writer, req_index, &streaming)
     }));
     match dispatched {
         Ok(io_result) => io_result?,
+        Err(_) if streaming.load(Ordering::SeqCst) => return Ok(false),
         Err(_) => respond_error(
             writer,
             &WireError::new(
@@ -274,6 +279,7 @@ fn dispatch(
     request: &Request,
     writer: &mut TcpStream,
     req_index: usize,
+    streaming: &AtomicBool,
 ) -> io::Result<()> {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => health(shared, writer),
@@ -281,7 +287,7 @@ fn dispatch(
             Ok(body) => http::write_response(writer, 201, &[], body.render().as_bytes()),
             Err(e) => respond_error(writer, &e),
         },
-        ("POST", "/query") => handle_query(shared, request, writer, req_index),
+        ("POST", "/query") => handle_query(shared, request, writer, req_index, streaming),
         ("POST", "/health") | ("GET", "/tables") | ("GET", "/query") => respond_error(
             writer,
             &WireError::new(
@@ -359,6 +365,7 @@ fn handle_query(
     request: &Request,
     writer: &mut TcpStream,
     req_index: usize,
+    streaming: &AtomicBool,
 ) -> io::Result<()> {
     // Parse stage.
     let parsed = site_fault(sites::SERVER_PARSE, req_index)
@@ -443,8 +450,26 @@ fn handle_query(
         drop(lease);
         return respond_error(writer, &e);
     }
+    // Materialize every answer line before writing the chunked head: a
+    // panic while rendering still gets a clean single-response 500, and
+    // once the head is on the wire nothing but the socket can fail.
+    let lines = match catch_unwind(AssertUnwindSafe(|| proto::answer_lines(&report))) {
+        Ok(lines) => lines,
+        Err(_) => {
+            drop(lease);
+            return respond_error(
+                writer,
+                &WireError::new(
+                    500,
+                    "WORKER_PANIC",
+                    "rendering the answer stream panicked; the failure is isolated to this request",
+                ),
+            );
+        }
+    };
+    streaming.store(true, Ordering::SeqCst);
     let mut chunked = ChunkedWriter::start(writer, &[])?;
-    for line in proto::answer_lines(&report) {
+    for line in lines {
         let mut bytes = line.into_bytes();
         bytes.push(b'\n');
         chunked.chunk(&bytes)?;

@@ -94,6 +94,39 @@ fn typed_errors_cover_the_taxonomy() {
         (400, "INVALID_JSON")
     );
 
+    // A pathologically nested body is a parse error, not a stack overflow:
+    // 100k levels would otherwise abort the whole process (catch_unwind
+    // cannot contain stack exhaustion). The taxonomy cases below continuing
+    // to pass on the same server proves it survived the attack body.
+    let resp = one_shot(addr, "POST", "/query", &"[".repeat(100_000));
+    assert_eq!(
+        (resp.status, resp.error_code().as_str()),
+        (400, "INVALID_JSON")
+    );
+
+    // Registration is atomic: a table spec with a dangling key column is
+    // rejected without committing the table, so the same name registers
+    // cleanly afterwards (no half-configured leftover, no 409).
+    let resp = one_shot(
+        addr,
+        "POST",
+        "/tables",
+        r#"{"name":"Atomic","schema":[["a","int"]],"keys":[["nope"]],
+            "rows":[{"values":[1],"var":0,"prob":0.5}]}"#,
+    );
+    assert_eq!(
+        (resp.status, resp.error_code().as_str()),
+        (400, "UNKNOWN_COLUMN")
+    );
+    let resp = one_shot(
+        addr,
+        "POST",
+        "/tables",
+        r#"{"name":"Atomic","schema":[["a","int"]],"keys":[["a"]],
+            "rows":[{"values":[1],"var":0,"prob":0.5}]}"#,
+    );
+    assert_eq!(resp.status, 201, "{}", resp.body);
+
     // Duplicate table registration.
     let resp = one_shot(
         addr,
