@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 
 use pdb_exec::Annotated;
-use pdb_govern::{ExecContext, SproutError, Stage};
+use pdb_govern::{Counter, ExecContext, SproutError, Stage};
 use pdb_lineage::readonce::{factorize, Factorization};
 use pdb_lineage::{Clause, Dnf};
 use pdb_par::Pool;
@@ -319,6 +319,7 @@ fn dissociation_bounds(
         hi: hi0,
         open: true,
     }];
+    ctx.tally(Counter::FrontierNodes, 1); // the root leaf
     let mut global_lo = lo0;
     let mut global_hi = hi0;
     let mut rounds = 0usize;
@@ -418,6 +419,10 @@ fn dissociation_bounds(
                 break;
             }
             rounds += 1;
+            // Frontier growth is seeded-deterministic per tuple (insertion-
+            // order scans, structural budgets), so the leaf count is a valid
+            // deterministic counter at every pool size.
+            ctx.tally(Counter::FrontierNodes, children.len() as u64);
             leaves.swap_remove(idx);
             leaves.extend(children);
             ctx.release(parent_bytes);

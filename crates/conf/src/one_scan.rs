@@ -71,7 +71,7 @@
 
 use pdb_exec::key::{SortKeys, CELL_WIDTH};
 use pdb_exec::{Annotated, RowRef};
-use pdb_govern::{ExecContext, Stage};
+use pdb_govern::{Counter, ExecContext, Stage};
 use pdb_par::{independent_or, independent_or_fold, partition_by_weight, Pool};
 use pdb_query::{OneScanTree, Signature};
 use pdb_storage::{Tuple, Variable};
@@ -592,6 +592,19 @@ pub(crate) fn unit_confidences(
     let n = unit_starts.len();
     let unit_range =
         |u: usize| unit_starts[u]..unit_starts.get(u + 1).copied().unwrap_or(order.len());
+    if ctx.obs().is_some() {
+        // Bag counters: the unit count and the number of units *eligible*
+        // for intra-bag splitting (at or above the policy threshold). Both
+        // depend only on the sorted permutation and the policy — how many
+        // sub-ranges a huge unit actually splits into depends on the pool
+        // size and is deliberately not counted.
+        let threshold = policy.min_rows.max(2);
+        ctx.tally(Counter::ConfBags, n as u64);
+        ctx.tally(
+            Counter::ConfHugeBags,
+            (0..n).filter(|&u| unit_range(u).len() >= threshold).count() as u64,
+        );
+    }
     if pool.threads() <= 1 {
         // Sequential: one machine, one pass over the units — intra-unit
         // splitting cannot help without a second worker. Checkpoint per

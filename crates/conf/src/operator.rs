@@ -8,9 +8,10 @@
 //! for testing, ablation benchmarks, and the worked examples.
 
 use std::fmt;
+use std::sync::Arc;
 
 use pdb_exec::Annotated;
-use pdb_govern::{ExecContext, QueryGovernor, Stage};
+use pdb_govern::{ExecContext, QueryGovernor, QueryObs, Stage};
 use pdb_par::Pool;
 use pdb_query::Signature;
 use pdb_storage::Tuple;
@@ -66,6 +67,7 @@ pub struct ConfidenceOperator {
     pool: Pool,
     split_policy: SplitPolicy,
     governor: Option<QueryGovernor>,
+    obs: Option<Arc<QueryObs>>,
     approx: AnytimeConfig,
 }
 
@@ -83,6 +85,7 @@ impl ConfidenceOperator {
             pool,
             split_policy: SplitPolicy::default(),
             governor: None,
+            obs: None,
             approx: AnytimeConfig::new(ApproxPolicy::Exact),
         }
     }
@@ -93,6 +96,15 @@ impl ConfidenceOperator {
     /// [`ConfError::Governed`](crate::ConfError::Governed) when interrupted.
     pub fn with_governor(mut self, governor: QueryGovernor) -> Self {
         self.governor = Some(governor);
+        self
+    }
+
+    /// Attaches a per-query observability collector: subsequent
+    /// [`compute`](Self::compute) / [`compute_anytime`](Self::compute_anytime)
+    /// calls tally bag/frontier counters into it (and record spans when the
+    /// collector has tracing enabled).
+    pub fn with_obs(mut self, obs: Arc<QueryObs>) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -158,7 +170,9 @@ impl ConfidenceOperator {
     pub fn compute(&self, answer: &Annotated, strategy: Strategy) -> ConfResult<ConfidenceResult> {
         let pool = &self.pool.for_items(answer.len());
         let policy = self.split_policy;
-        let ctx = ExecContext::from_governor(self.governor.as_ref());
+        let ctx =
+            ExecContext::from_governor(self.governor.as_ref()).with_obs_opt(self.obs.as_ref());
+        let _span = ctx.span_with("conf", strategy.to_string());
         match strategy {
             Strategy::Auto => {
                 if self.signature.is_one_scan() {
@@ -199,7 +213,9 @@ impl ConfidenceOperator {
     /// bounds refinement returns the best bounds so far instead.
     pub fn compute_anytime(&self, answer: &Annotated) -> ConfResult<ApproxResult> {
         let pool = self.pool.for_items(answer.len());
-        let ctx = ExecContext::from_governor(self.governor.as_ref());
+        let ctx =
+            ExecContext::from_governor(self.governor.as_ref()).with_obs_opt(self.obs.as_ref());
+        let _span = ctx.span("conf.bounds");
         anytime_confidences_ctx(answer, &self.approx, &pool, &ctx)
     }
 }

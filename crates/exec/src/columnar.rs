@@ -44,7 +44,7 @@
 use std::cmp::Ordering;
 use std::sync::Arc;
 
-use pdb_govern::{ExecContext, Stage};
+use pdb_govern::{Counter, ExecContext, Stage};
 use pdb_par::Pool;
 use pdb_query::{CompareOp, Predicate};
 use pdb_storage::columnar::ChunkRepr;
@@ -56,6 +56,11 @@ use crate::kernel;
 
 /// Counters describing how much work zone-statistics pruning saved in one
 /// scan.
+///
+/// A thin view over the pdb-obs counter set: when the [`ExecContext`]
+/// carries a collector, the same numbers are tallied as the
+/// `Counter::Chunks*` / `Counter::Rows*` metrics — this struct remains for
+/// callers that want per-scan numbers without wiring up observability.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ColumnarScanStats {
     /// Chunks in the table.
@@ -820,6 +825,19 @@ pub fn scan_filter_project_columnar_ranked_ctx(
         rows_in: table.len(),
         rows_out: survivors.iter().map(|(s, _)| s.count()).sum(),
     };
+    ctx.tally(Counter::RowsScanned, stats.rows_in as u64);
+    ctx.tally(Counter::RowsEmitted, stats.rows_out as u64);
+    ctx.tally(Counter::ChunksScanned, stats.chunks as u64);
+    ctx.tally(Counter::ChunksSkipped, stats.chunks_skipped as u64);
+    ctx.tally(
+        Counter::ChunksBloomSkipped,
+        stats.chunks_bloom_skipped as u64,
+    );
+    ctx.tally(Counter::ChunksFull, stats.chunks_full as u64);
+    ctx.tally(
+        Counter::ChunksPartial,
+        (stats.chunks - stats.chunks_skipped - stats.chunks_full) as u64,
+    );
 
     // Phase 2: exact-size output (survivor popcounts), disjoint in-place
     // segment writes, chunk order = input order.

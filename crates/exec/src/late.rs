@@ -36,7 +36,7 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use pdb_govern::{ExecContext, Stage};
+use pdb_govern::{Counter, ExecContext, Stage};
 use pdb_par::Pool;
 use pdb_query::ConjunctiveQuery;
 use pdb_storage::{Catalog, StorageBacking, Value};
@@ -46,6 +46,11 @@ use crate::error::{ExecError, ExecResult};
 use crate::ops;
 
 /// Counters describing one late-materialized evaluation.
+///
+/// A thin view over the pdb-obs counter set: when the [`ExecContext`]
+/// carries a collector, the same numbers are tallied as
+/// [`Counter::RankedColumns`] and [`Counter::DecodedStrings`] — this struct
+/// remains for callers that want them without wiring up observability.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LateMatStats {
     /// Head columns carried through the pipeline as dictionary ranks.
@@ -143,6 +148,7 @@ pub fn evaluate_join_order_late_stats_ctx(
             .collect();
         let predicates = query.predicates_for(rel_name);
         let scan_pool = pool.for_items(table.len());
+        let scan_span = ctx.span_with("scan", rel_name.as_str());
         let scanned = match &table {
             StorageBacking::Row(t) => {
                 ops::scan_filter_project_ctx(t, rel_name, &predicates, &keep, &scan_pool, ctx)?
@@ -174,11 +180,16 @@ pub fn evaluate_join_order_late_stats_ctx(
             }
         };
 
+        drop(scan_span);
+
         current = Some(match current {
             None => scanned,
             Some(acc) => {
+                let join_span = ctx.span_with("join", rel_name.as_str());
                 let gated = pool.for_items(acc.len().max(scanned.len()));
-                ops::natural_join_ctx(&acc, &scanned, &gated, ctx)?
+                let joined = ops::natural_join_ctx(&acc, &scanned, &gated, ctx)?;
+                drop(join_span);
+                joined
             }
         });
 
@@ -224,9 +235,11 @@ pub fn evaluate_join_order_late_stats_ctx(
         ranked_columns: ranked_cols.len(),
         decoded_strings: 0,
     };
+    ctx.tally(Counter::RankedColumns, stats.ranked_columns as u64);
     if ranked_cols.is_empty() || answer.is_empty() {
         return Ok((answer, stats));
     }
+    let decode_span = ctx.span("late.decode");
     let rows = answer.len();
     let dw = answer.data_width();
     let decode_pool = pool.for_items(rows);
@@ -254,6 +267,8 @@ pub fn evaluate_join_order_late_stats_ctx(
         })
         .map_err(|f| ExecError::from_task_failure(Stage::Project, f))?;
     stats.decoded_strings = decoded.into_iter().sum();
+    ctx.tally(Counter::DecodedStrings, stats.decoded_strings as u64);
+    drop(decode_span);
     Ok((answer, stats))
 }
 

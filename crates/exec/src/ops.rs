@@ -64,7 +64,7 @@
 //! friends and surfaces as [`pdb_govern::SproutError::WorkerPanic`]; the
 //! partially-written output is discarded and the pool stays reusable.
 
-use pdb_govern::{ExecContext, Stage};
+use pdb_govern::{Counter, ExecContext, Stage};
 use pdb_par::{even_ranges, Pool};
 use pdb_query::Predicate;
 use pdb_storage::{ProbTable, Schema, StorageBacking, Value, Variable};
@@ -201,6 +201,8 @@ pub fn scan_ctx(
 ) -> ExecResult<Annotated> {
     let layout = scan_layout(table, &[], attributes)?;
     let rows = table.len();
+    ctx.tally(Counter::RowsScanned, rows as u64);
+    ctx.tally(Counter::RowsEmitted, rows as u64);
     if pool.threads() <= 1 || rows < 2 {
         let mut out = Annotated::with_row_capacity(layout.schema, vec![relation.to_string()], rows);
         for i in 0..rows {
@@ -301,6 +303,7 @@ pub fn scan_filter_project_ctx(
 ) -> ExecResult<Annotated> {
     let layout = scan_layout(table, predicates, keep)?;
     let rows = table.len();
+    ctx.tally(Counter::RowsScanned, rows as u64);
     let survives = |i: usize| {
         let (row, _, _) = table.triple(i);
         predicates
@@ -326,6 +329,7 @@ pub fn scan_filter_project_ctx(
                 &layout.keep_positions,
             );
         }
+        ctx.tally(Counter::RowsEmitted, out.len() as u64);
         return Ok(out);
     }
     let ranges = even_ranges(rows, pool.threads());
@@ -359,6 +363,7 @@ pub fn scan_filter_project_ctx(
         },
     )
     .map_err(|f| ExecError::from_task_failure(Stage::Scan, f))?;
+    ctx.tally(Counter::RowsEmitted, total as u64);
     Ok(out)
 }
 
@@ -726,16 +731,23 @@ pub fn natural_join_ctx(
     {
         let _ = pool;
         ctx.checkpoint(Stage::Join, "join.probe", 0)?;
-        return crate::baseline::natural_join_rowwise(left, right);
+        let out = crate::baseline::natural_join_rowwise(left, right)?;
+        ctx.tally(Counter::JoinProbes, left.len() as u64);
+        ctx.tally(Counter::JoinMatches, out.len() as u64);
+        return Ok(out);
     }
 
     #[cfg(not(feature = "seed-baseline"))]
     {
         let layout = join_layout(left, right)?;
-        if pool.threads() <= 1 || left.is_empty() || right.is_empty() {
-            return natural_join_sequential(left, right, layout, ctx);
-        }
-        natural_join_partitioned(left, right, layout, pool, ctx)
+        let out = if pool.threads() <= 1 || left.is_empty() || right.is_empty() {
+            natural_join_sequential(left, right, layout, ctx)?
+        } else {
+            natural_join_partitioned(left, right, layout, pool, ctx)?
+        };
+        ctx.tally(Counter::JoinProbes, left.len() as u64);
+        ctx.tally(Counter::JoinMatches, out.len() as u64);
+        Ok(out)
     }
 }
 

@@ -27,6 +27,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub use pdb_obs::{Counter, QueryObs, SpanGuard, SpanNode};
+
 /// The pipeline stage a governance event is attributed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
@@ -369,27 +371,34 @@ impl GovernorBuilder {
     }
 }
 
-/// The execution context threaded through operators: an optional governor.
+/// The execution context threaded through operators: an optional governor
+/// plus an optional per-query observability collector.
 ///
 /// [`ExecContext::unbounded`] is the zero-cost default every pre-existing
-/// `*_with(pool)` entry point uses — `checkpoint` and `account` reduce to a
-/// branch on `None` (plus a fault probe under `fault-inject`).
+/// `*_with(pool)` entry point uses — `checkpoint`, `account`, `tally` and
+/// `span` reduce to a branch on `None` (plus a fault probe under
+/// `fault-inject`).
 #[derive(Debug, Clone, Default)]
 pub struct ExecContext {
     governor: Option<QueryGovernor>,
+    obs: Option<Arc<QueryObs>>,
 }
 
 impl ExecContext {
     /// A context with no governor: checks never fail (but fault probes, when
     /// compiled in, still fire — a `panic` fault does not need a governor).
     pub const fn unbounded() -> Self {
-        ExecContext { governor: None }
+        ExecContext {
+            governor: None,
+            obs: None,
+        }
     }
 
     /// A context governed by `governor`.
     pub fn governed(governor: &QueryGovernor) -> Self {
         ExecContext {
             governor: Some(governor.clone()),
+            obs: None,
         }
     }
 
@@ -397,7 +406,20 @@ impl ExecContext {
     pub fn from_governor(governor: Option<&QueryGovernor>) -> Self {
         ExecContext {
             governor: governor.cloned(),
+            obs: None,
         }
+    }
+
+    /// Attaches a per-query observability collector (builder style).
+    pub fn with_obs(mut self, obs: Arc<QueryObs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Attaches an optional collector (plan plumbing convenience).
+    pub fn with_obs_opt(mut self, obs: Option<&Arc<QueryObs>>) -> Self {
+        self.obs = obs.cloned();
+        self
     }
 
     /// The governor, if any.
@@ -405,9 +427,44 @@ impl ExecContext {
         self.governor.as_ref()
     }
 
+    /// The observability collector, if any.
+    pub fn obs(&self) -> Option<&Arc<QueryObs>> {
+        self.obs.as_ref()
+    }
+
     /// Whether a governor is attached.
     pub fn is_governed(&self) -> bool {
         self.governor.is_some()
+    }
+
+    /// Adds `n` to a deterministic counter (no-op without a collector).
+    ///
+    /// Call sites must increment by amounts that are functions of the query,
+    /// the data, and the backing only — never of the thread count or morsel
+    /// schedule — so totals stay bitwise-identical at every pool size.
+    #[inline]
+    pub fn tally(&self, counter: Counter, n: u64) {
+        if let Some(obs) = &self.obs {
+            obs.add(counter, n);
+        }
+    }
+
+    /// Opens a tracing span at `site` (a no-op guard when no collector is
+    /// attached or tracing is disabled). Spans must only be opened from
+    /// sequential coordinating code, never inside parallel worker loops.
+    pub fn span(&self, site: &'static str) -> SpanGuard {
+        match &self.obs {
+            Some(obs) => obs.span(site),
+            None => SpanGuard::noop(),
+        }
+    }
+
+    /// Opens a tracing span at `site` with a free-form qualifier.
+    pub fn span_with(&self, site: &'static str, detail: impl Into<String>) -> SpanGuard {
+        match &self.obs {
+            Some(obs) => obs.span_with(site, detail),
+            None => SpanGuard::noop(),
+        }
     }
 
     /// One governed checkpoint at injection point `(site, index)` in
@@ -599,6 +656,26 @@ mod tests {
             ctx.checkpoint(Stage::Confidence, "t.site", i).unwrap();
         }
         assert_eq!(gov.checkpoints_seen(), 17);
+    }
+
+    #[test]
+    fn tally_and_span_route_to_the_attached_collector() {
+        let obs = QueryObs::with_tracing();
+        let ctx = ExecContext::unbounded().with_obs(Arc::clone(&obs));
+        {
+            let _s = ctx.span_with("scan", "R");
+            ctx.tally(Counter::RowsScanned, 42);
+        }
+        assert_eq!(obs.get(Counter::RowsScanned), 42);
+        let tree = obs.span_tree();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].site, "scan");
+        assert_eq!(tree[0].counters, vec![("rows_scanned", 42)]);
+        // Without a collector both are no-ops.
+        let bare = ExecContext::unbounded();
+        bare.tally(Counter::RowsScanned, 7);
+        drop(bare.span("scan"));
+        assert!(bare.obs().is_none());
     }
 
     #[test]

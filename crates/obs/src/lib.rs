@@ -1,0 +1,40 @@
+//! # pdb-obs
+//!
+//! Engine-wide observability: a metrics registry, per-query counter
+//! collectors, and a span-based tracer — with **zero** external
+//! dependencies, per the workspace's offline shims-only constraint.
+//!
+//! The crate is split along the engine's determinism contract:
+//!
+//! * **Deterministic counters** ([`Counter`]) — rows scanned, chunks
+//!   skipped/full/partial, bloom prunes, join probes, bag counts, frontier
+//!   nodes, decoded strings. Every increment is a function of the query,
+//!   the data, and (for the scan-shape counters) the storage backing —
+//!   never of the thread count or scheduling. Totals are accumulated with
+//!   relaxed `u64` `fetch_add`, which is commutative and associative, so a
+//!   counter's final value is bitwise-identical at every `SPROUT_THREADS`
+//!   whenever the multiset of increments is. The engine only increments at
+//!   thread-count-invariant points (per relation scanned, per chunk
+//!   decision, per join output, per bag) to keep that true.
+//! * **Timing metrics** — span durations and the server's stage
+//!   [`Histogram`]s are wall-clock measurements and are explicitly
+//!   **outside** the determinism contract.
+//!
+//! A [`QueryObs`] is the per-query collector: one cache-friendly array of
+//! atomics plus an optional [tracer](QueryObs::with_tracing) that records a
+//! span tree (off by default; spans cost one mutex lock at coarse,
+//! sequential boundaries only — never inside parallel worker loops). The
+//! server folds finished collectors into its process-wide [`Registry`] and
+//! renders everything through the [`PromText`] Prometheus-style encoder.
+
+mod hist;
+mod metric;
+mod prom;
+mod query;
+mod registry;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use metric::Counter;
+pub use prom::{escape_label, PromText};
+pub use query::{QueryObs, SpanGuard, SpanNode};
+pub use registry::Registry;

@@ -1,0 +1,164 @@
+//! Prometheus text-exposition encoding (text/plain; version 0.0.4 style).
+
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+
+/// An append-only builder for a Prometheus-style metrics page. Each metric
+/// family is written as `# HELP` / `# TYPE` header lines followed by its
+/// sample lines; families appear in the order they are added, keeping the
+/// page byte-stable across renders of the same state.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty page.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// A single unlabeled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// One counter family with one sample per `(labels, value)` row, where
+    /// `labels` is the rendered label body (e.g. `code="QUEUE_FULL"`).
+    pub fn counter_labeled(&mut self, name: &str, help: &str, rows: &[(String, u64)]) {
+        self.header(name, help, "counter");
+        for (labels, value) in rows {
+            let _ = writeln!(self.out, "{name}{{{labels}}} {value}");
+        }
+    }
+
+    /// A single unlabeled gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {}", format_value(value));
+    }
+
+    /// One gauge family with one sample per `(labels, value)` row.
+    pub fn gauge_labeled(&mut self, name: &str, help: &str, rows: &[(String, f64)]) {
+        self.header(name, help, "gauge");
+        for (labels, value) in rows {
+            let _ = writeln!(self.out, "{name}{{{labels}}} {}", format_value(*value));
+        }
+    }
+
+    /// A histogram family: cumulative `_bucket{le=...}` samples (including
+    /// `+Inf`), `_sum`, and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &Histogram) {
+        let snap = hist.snapshot();
+        self.header(name, help, "histogram");
+        for (bound, cumulative) in &snap.buckets {
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                format_value(*bound)
+            );
+        }
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+        let _ = writeln!(self.out, "{name}_sum {}", format_value(snap.sum_seconds));
+        let _ = writeln!(self.out, "{name}_count {}", snap.count);
+    }
+
+    /// The rendered page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Escapes a label value per the exposition format (`\`, `"`, newline).
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float without trailing `.0` noise for whole numbers.
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_families_have_help_and_type() {
+        let mut p = PromText::new();
+        p.counter("sprout_queries_total", "Total queries", 42);
+        p.gauge("sprout_active_queries", "In-flight queries", 3.0);
+        let page = p.finish();
+        assert!(page.contains("# HELP sprout_queries_total Total queries\n"));
+        assert!(page.contains("# TYPE sprout_queries_total counter\n"));
+        assert!(page.contains("\nsprout_queries_total 42\n") || page.starts_with("# HELP"));
+        assert!(page.contains("sprout_queries_total 42\n"));
+        assert!(page.contains("# TYPE sprout_active_queries gauge\n"));
+        assert!(page.contains("sprout_active_queries 3\n"));
+    }
+
+    #[test]
+    fn labeled_families_render_one_line_per_row() {
+        let mut p = PromText::new();
+        p.counter_labeled(
+            "sprout_sheds_total",
+            "Shed requests by code",
+            &[
+                ("code=\"QUEUE_FULL\"".to_string(), 5),
+                ("code=\"QUEUE_TIMEOUT\"".to_string(), 2),
+            ],
+        );
+        let page = p.finish();
+        assert!(page.contains("sprout_sheds_total{code=\"QUEUE_FULL\"} 5\n"));
+        assert!(page.contains("sprout_sheds_total{code=\"QUEUE_TIMEOUT\"} 2\n"));
+        // One header pair for the family.
+        assert_eq!(page.matches("# TYPE sprout_sheds_total").count(), 1);
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_sum_and_count() {
+        let h = Histogram::new();
+        h.observe(0.003);
+        h.observe(0.003);
+        h.observe(42.0);
+        let mut p = PromText::new();
+        p.histogram("sprout_exec_seconds", "Execution time", &h);
+        let page = p.finish();
+        assert!(page.contains("# TYPE sprout_exec_seconds histogram\n"));
+        assert!(page.contains("sprout_exec_seconds_bucket{le=\"0.005\"} 2\n"));
+        assert!(page.contains("sprout_exec_seconds_bucket{le=\"10\"} 2\n"));
+        assert!(page.contains("sprout_exec_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(page.contains("sprout_exec_seconds_count 3\n"));
+        let sum_line = page
+            .lines()
+            .find(|l| l.starts_with("sprout_exec_seconds_sum"))
+            .unwrap();
+        let sum: f64 = sum_line.split(' ').nth(1).unwrap().parse().unwrap();
+        assert!((sum - 42.006).abs() < 1e-3, "{sum_line}");
+    }
+
+    #[test]
+    fn label_values_escape() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,317 @@
+//! The per-query collector: a counter array plus an optional span tracer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::metric::Counter;
+
+/// One query's observability state, shared by every worker of the run via
+/// `Arc`. Counters are always collected when a `QueryObs` is attached (one
+/// relaxed `fetch_add` at coarse boundaries); the span tracer is opt-in per
+/// query ([`QueryObs::with_tracing`]) and records a tree of timed spans.
+///
+/// Spans must only be opened from sequential, coordinating code (the plan
+/// driver, the server request loop) — the tracer keeps one stack, so
+/// concurrently open spans from parallel workers would interleave
+/// nonsensically. Parallel workers only bump counters.
+#[derive(Debug)]
+pub struct QueryObs {
+    counters: [AtomicU64; Counter::COUNT],
+    tracer: Option<Mutex<Tracer>>,
+    started: Instant,
+}
+
+#[derive(Debug)]
+struct Tracer {
+    spans: Vec<SpanRec>,
+    /// Indices of currently open spans, innermost last.
+    stack: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct SpanRec {
+    site: &'static str,
+    detail: String,
+    parent: Option<usize>,
+    start: Duration,
+    elapsed: Option<Duration>,
+    /// Counter values at span entry; the exported per-span counters are the
+    /// deltas accumulated while the span was open (inclusive of children).
+    entry: [u64; Counter::COUNT],
+    delta: [u64; Counter::COUNT],
+}
+
+/// One node of the exported span tree (children in open order). Durations
+/// are wall-clock and outside the determinism contract; the attached
+/// counter deltas are the deterministic counters accumulated while the span
+/// was open, inclusive of child spans.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// The span site, named after the checkpoint-site family it brackets
+    /// (`"scan"`, `"join"`, `"conf"`, `"server.exec"`, ...).
+    pub site: &'static str,
+    /// Free-form qualifier (relation name, plan kind, ...); may be empty.
+    pub detail: String,
+    /// Microseconds from query start to span entry.
+    pub start_us: u64,
+    /// Microseconds the span was open.
+    pub elapsed_us: u64,
+    /// Non-zero deterministic counter deltas attributed to this span.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Child spans, in the order they were opened.
+    pub children: Vec<SpanNode>,
+}
+
+impl QueryObs {
+    /// A collector with counters only (tracing off — spans are no-ops).
+    pub fn new() -> Arc<QueryObs> {
+        Arc::new(QueryObs {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            tracer: None,
+            started: Instant::now(),
+        })
+    }
+
+    /// A collector that additionally records the span tree.
+    pub fn with_tracing() -> Arc<QueryObs> {
+        Arc::new(QueryObs {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            tracer: Some(Mutex::new(Tracer {
+                spans: Vec::new(),
+                stack: Vec::new(),
+            })),
+            started: Instant::now(),
+        })
+    }
+
+    /// Whether span tracing is enabled for this query.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Adds `n` to a counter. Relaxed: u64 addition is commutative and
+    /// associative, so the total is schedule-independent whenever the
+    /// multiset of increments is.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if n != 0 {
+            self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every counter, in [`Counter::ALL`] order.
+    pub fn counter_values(&self) -> [u64; Counter::COUNT] {
+        std::array::from_fn(|i| self.counters[i].load(Ordering::Relaxed))
+    }
+
+    /// Opens a span at `site`. A no-op guard when tracing is disabled.
+    pub fn span(self: &Arc<Self>, site: &'static str) -> SpanGuard {
+        self.span_with(site, String::new())
+    }
+
+    /// Opens a span at `site` with a free-form qualifier.
+    pub fn span_with(self: &Arc<Self>, site: &'static str, detail: impl Into<String>) -> SpanGuard {
+        if self.tracer.is_none() {
+            return SpanGuard::noop();
+        }
+        let entry = self.counter_values();
+        let start = self.started.elapsed();
+        let tracer = self.tracer.as_ref().expect("checked is_some");
+        let mut t = tracer.lock().expect("tracer lock");
+        let idx = t.spans.len();
+        let parent = t.stack.last().copied();
+        t.spans.push(SpanRec {
+            site,
+            detail: detail.into(),
+            parent,
+            start,
+            elapsed: None,
+            entry,
+            delta: [0; Counter::COUNT],
+        });
+        t.stack.push(idx);
+        SpanGuard {
+            obs: Some(Arc::clone(self)),
+            idx,
+        }
+    }
+
+    fn close_span(&self, idx: usize) {
+        let now = self.started.elapsed();
+        let values = self.counter_values();
+        let tracer = match &self.tracer {
+            Some(t) => t,
+            None => return,
+        };
+        let mut t = tracer.lock().expect("tracer lock");
+        // Guards drop innermost-first in correct code; tolerate out-of-order
+        // drops by removing the span wherever it sits on the stack.
+        if let Some(pos) = t.stack.iter().rposition(|&i| i == idx) {
+            t.stack.remove(pos);
+        }
+        let rec = &mut t.spans[idx];
+        rec.elapsed = Some(now.saturating_sub(rec.start));
+        for (i, v) in values.iter().enumerate() {
+            rec.delta[i] = v.wrapping_sub(rec.entry[i]);
+        }
+    }
+
+    /// Exports the recorded span tree (empty when tracing was off). Spans
+    /// still open at export time appear with their current elapsed time.
+    pub fn span_tree(&self) -> Vec<SpanNode> {
+        let tracer = match &self.tracer {
+            Some(t) => t,
+            None => return Vec::new(),
+        };
+        let t = tracer.lock().expect("tracer lock");
+        let now = self.started.elapsed();
+        let mut nodes: Vec<SpanNode> = t
+            .spans
+            .iter()
+            .map(|rec| SpanNode {
+                site: rec.site,
+                detail: rec.detail.clone(),
+                start_us: rec.start.as_micros() as u64,
+                elapsed_us: rec
+                    .elapsed
+                    .unwrap_or_else(|| now.saturating_sub(rec.start))
+                    .as_micros() as u64,
+                counters: Counter::ALL
+                    .iter()
+                    .filter(|&&c| rec.delta[c as usize] != 0)
+                    .map(|&c| (c.name(), rec.delta[c as usize]))
+                    .collect(),
+                children: Vec::new(),
+            })
+            .collect();
+        // Attach children to parents back-to-front: a span's children always
+        // have larger indices, so they are final before the parent is moved.
+        let mut roots = Vec::new();
+        for idx in (0..nodes.len()).rev() {
+            let node = std::mem::replace(
+                &mut nodes[idx],
+                SpanNode {
+                    site: "",
+                    detail: String::new(),
+                    start_us: 0,
+                    elapsed_us: 0,
+                    counters: Vec::new(),
+                    children: Vec::new(),
+                },
+            );
+            match t.spans[idx].parent {
+                Some(p) => nodes[p].children.insert(0, node),
+                None => roots.insert(0, node),
+            }
+        }
+        roots
+    }
+}
+
+/// Closes its span on drop. [`SpanGuard::noop`] (and every span opened on a
+/// non-tracing collector) does nothing.
+#[derive(Debug)]
+#[must_use = "a span closes when the guard drops"]
+pub struct SpanGuard {
+    obs: Option<Arc<QueryObs>>,
+    idx: usize,
+}
+
+impl SpanGuard {
+    /// A guard that does nothing — the untraced fast path.
+    pub fn noop() -> SpanGuard {
+        SpanGuard { obs: None, idx: 0 }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(obs) = self.obs.take() {
+            obs.close_span(self.idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let obs = QueryObs::new();
+        obs.add(Counter::RowsScanned, 100);
+        obs.add(Counter::RowsScanned, 23);
+        obs.add(Counter::JoinProbes, 7);
+        obs.add(Counter::AnswerRows, 0); // no-op
+        assert_eq!(obs.get(Counter::RowsScanned), 123);
+        let values = obs.counter_values();
+        assert_eq!(values[Counter::RowsScanned as usize], 123);
+        assert_eq!(values[Counter::JoinProbes as usize], 7);
+        assert_eq!(values[Counter::AnswerRows as usize], 0);
+    }
+
+    #[test]
+    fn spans_are_noops_without_tracing() {
+        let obs = QueryObs::new();
+        assert!(!obs.tracing_enabled());
+        {
+            let _g = obs.span("scan");
+            obs.add(Counter::RowsScanned, 5);
+        }
+        assert!(obs.span_tree().is_empty());
+        assert_eq!(obs.get(Counter::RowsScanned), 5);
+    }
+
+    #[test]
+    fn span_tree_nests_and_attaches_counter_deltas() {
+        let obs = QueryObs::with_tracing();
+        assert!(obs.tracing_enabled());
+        {
+            let _exec = obs.span_with("server.exec", "q1");
+            {
+                let _scan = obs.span_with("scan", "Lineitem");
+                obs.add(Counter::RowsScanned, 1000);
+                obs.add(Counter::RowsEmitted, 10);
+            }
+            {
+                let _join = obs.span("join");
+                obs.add(Counter::JoinProbes, 10);
+            }
+        }
+        let tree = obs.span_tree();
+        assert_eq!(tree.len(), 1);
+        let exec = &tree[0];
+        assert_eq!(exec.site, "server.exec");
+        assert_eq!(exec.detail, "q1");
+        assert_eq!(exec.children.len(), 2);
+        assert_eq!(exec.children[0].site, "scan");
+        assert_eq!(exec.children[0].detail, "Lineitem");
+        assert_eq!(exec.children[1].site, "join");
+        // The scan span carries only its own deltas; the parent is inclusive.
+        assert_eq!(
+            exec.children[0].counters,
+            vec![("rows_scanned", 1000), ("rows_emitted", 10)]
+        );
+        assert_eq!(exec.children[1].counters, vec![("join_probes", 10)]);
+        let parent: Vec<(&str, u64)> = exec.counters.clone();
+        assert!(parent.contains(&("rows_scanned", 1000)));
+        assert!(parent.contains(&("join_probes", 10)));
+    }
+
+    #[test]
+    fn sibling_roots_stay_in_order() {
+        let obs = QueryObs::with_tracing();
+        drop(obs.span("a"));
+        drop(obs.span("b"));
+        drop(obs.span("c"));
+        let tree = obs.span_tree();
+        let sites: Vec<&str> = tree.iter().map(|n| n.site).collect();
+        assert_eq!(sites, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,214 @@
+//! The process-wide metrics registry the server exposes at `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::hist::Histogram;
+use crate::metric::Counter;
+use crate::prom::PromText;
+use crate::query::QueryObs;
+
+/// Cumulative process-wide metrics: engine counter totals (merged from each
+/// finished query's [`QueryObs`]), named counters for server-level events
+/// (outcomes, sheds by code), and named latency histograms.
+///
+/// Named metrics are registered once at startup (`counter` / `histogram`
+/// hand back `Arc`s the hot path bumps without touching the registry lock
+/// again), so steady-state cost is one relaxed atomic op per event.
+#[derive(Debug)]
+pub struct Registry {
+    started: Instant,
+    engine: [AtomicU64; Counter::COUNT],
+    counters: Mutex<Vec<NamedCounter>>,
+    hists: Mutex<Vec<NamedHist>>,
+}
+
+#[derive(Debug)]
+struct NamedCounter {
+    name: String,
+    /// Rendered label body (`code="QUEUE_FULL"`), empty for unlabeled.
+    labels: String,
+    help: String,
+    value: Arc<AtomicU64>,
+}
+
+#[derive(Debug)]
+struct NamedHist {
+    name: String,
+    help: String,
+    hist: Arc<Histogram>,
+}
+
+impl Registry {
+    /// A fresh registry; the uptime clock starts now.
+    pub fn new() -> Registry {
+        Registry {
+            started: Instant::now(),
+            engine: std::array::from_fn(|_| AtomicU64::new(0)),
+            counters: Mutex::new(Vec::new()),
+            hists: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Time since the registry was created (process uptime for the server).
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Folds one finished query's counters into the cumulative totals.
+    pub fn merge(&self, obs: &QueryObs) {
+        for (i, v) in obs.counter_values().iter().enumerate() {
+            if *v != 0 {
+                self.engine[i].fetch_add(*v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Cumulative engine counter totals in [`Counter::ALL`] order.
+    pub fn engine_totals(&self) -> [u64; Counter::COUNT] {
+        std::array::from_fn(|i| self.engine[i].load(Ordering::Relaxed))
+    }
+
+    /// Registers (or fetches) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<AtomicU64> {
+        self.counter_labeled(name, "", help)
+    }
+
+    /// Registers (or fetches) one labeled sample of a counter family.
+    pub fn counter_labeled(&self, name: &str, labels: &str, help: &str) -> Arc<AtomicU64> {
+        let mut counters = self.counters.lock().expect("registry lock");
+        if let Some(c) = counters
+            .iter()
+            .find(|c| c.name == name && c.labels == labels)
+        {
+            return Arc::clone(&c.value);
+        }
+        let value = Arc::new(AtomicU64::new(0));
+        counters.push(NamedCounter {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            help: help.to_string(),
+            value: Arc::clone(&value),
+        });
+        value
+    }
+
+    /// Registers (or fetches) a named latency histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut hists = self.hists.lock().expect("registry lock");
+        if let Some(h) = hists.iter().find(|h| h.name == name) {
+            return Arc::clone(&h.hist);
+        }
+        let hist = Arc::new(Histogram::new());
+        hists.push(NamedHist {
+            name: name.to_string(),
+            help: help.to_string(),
+            hist: Arc::clone(&hist),
+        });
+        hist
+    }
+
+    /// Renders the named counters, named histograms, and engine totals into
+    /// a [`PromText`] page (the caller prepends its own gauges).
+    pub fn render(&self, page: &mut PromText) {
+        let counters = self.counters.lock().expect("registry lock");
+        let mut i = 0;
+        while i < counters.len() {
+            let family = &counters[i].name;
+            let rows: Vec<(String, u64)> = counters[i..]
+                .iter()
+                .take_while(|c| &c.name == family)
+                .map(|c| (c.labels.clone(), c.value.load(Ordering::Relaxed)))
+                .collect();
+            if rows.len() == 1 && rows[0].0.is_empty() {
+                page.counter(family, &counters[i].help, rows[0].1);
+            } else {
+                page.counter_labeled(family, &counters[i].help, &rows);
+            }
+            i += rows.len();
+        }
+        drop(counters);
+        for h in self.hists.lock().expect("registry lock").iter() {
+            page.histogram(&h.name, &h.help, &h.hist);
+        }
+        for c in Counter::ALL {
+            page.counter(
+                &format!("sprout_engine_{}_total", c.name()),
+                c.help(),
+                self.engine[c as usize].load(Ordering::Relaxed),
+            );
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_engine_totals() {
+        let reg = Registry::new();
+        let a = QueryObs::new();
+        a.add(Counter::RowsScanned, 10);
+        a.add(Counter::AnswerRows, 2);
+        let b = QueryObs::new();
+        b.add(Counter::RowsScanned, 5);
+        reg.merge(&a);
+        reg.merge(&b);
+        let totals = reg.engine_totals();
+        assert_eq!(totals[Counter::RowsScanned as usize], 15);
+        assert_eq!(totals[Counter::AnswerRows as usize], 2);
+    }
+
+    #[test]
+    fn named_counters_are_get_or_create() {
+        let reg = Registry::new();
+        let a = reg.counter("sprout_queries_total", "Total");
+        let b = reg.counter("sprout_queries_total", "Total");
+        a.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(b.load(Ordering::Relaxed), 3);
+        let lab = reg.counter_labeled("sprout_sheds_total", "code=\"X\"", "Sheds");
+        lab.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(
+            reg.counter_labeled("sprout_sheds_total", "code=\"X\"", "Sheds")
+                .load(Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn render_groups_labeled_families_and_appends_engine_totals() {
+        let reg = Registry::new();
+        reg.counter("sprout_queries_total", "Total queries")
+            .fetch_add(7, Ordering::Relaxed);
+        reg.counter_labeled("sprout_sheds_total", "code=\"QUEUE_FULL\"", "Sheds by code")
+            .fetch_add(1, Ordering::Relaxed);
+        reg.counter_labeled(
+            "sprout_sheds_total",
+            "code=\"QUEUE_TIMEOUT\"",
+            "Sheds by code",
+        );
+        reg.histogram("sprout_exec_seconds", "Exec time")
+            .observe(0.01);
+        let obs = QueryObs::new();
+        obs.add(Counter::JoinProbes, 9);
+        reg.merge(&obs);
+        let mut page = PromText::new();
+        reg.render(&mut page);
+        let text = page.finish();
+        assert!(text.contains("sprout_queries_total 7\n"));
+        assert!(text.contains("sprout_sheds_total{code=\"QUEUE_FULL\"} 1\n"));
+        assert!(text.contains("sprout_sheds_total{code=\"QUEUE_TIMEOUT\"} 0\n"));
+        assert_eq!(text.matches("# TYPE sprout_sheds_total").count(), 1);
+        assert!(text.contains("sprout_exec_seconds_count 1\n"));
+        assert!(text.contains("sprout_engine_join_probes_total 9\n"));
+        assert!(text.contains("sprout_engine_rows_scanned_total 0\n"));
+    }
+}

@@ -11,10 +11,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
+use std::sync::Arc;
 
 use pdb_conf::ConfidenceResult;
 use pdb_exec::{ops, Annotated, AnnotatedRow};
-use pdb_govern::{ExecContext, QueryGovernor, SproutError, Stage};
+use pdb_govern::{Counter, ExecContext, QueryGovernor, QueryObs, SproutError, Stage};
 use pdb_lineage::independent_or;
 use pdb_par::{Pool, TaskFailure};
 use pdb_query::reduct::FdReduct;
@@ -30,6 +31,7 @@ pub struct EagerPlan {
     tree: QueryTree,
     pool: Pool,
     governor: Option<QueryGovernor>,
+    obs: Option<Arc<QueryObs>>,
 }
 
 impl EagerPlan {
@@ -49,7 +51,16 @@ impl EagerPlan {
             tree: reduct.tree()?,
             pool: Pool::from_env(),
             governor: None,
+            obs: None,
         })
+    }
+
+    /// Attaches a per-query observability collector: scans, joins, and the
+    /// per-node aggregations tally deterministic counters into it. Pure
+    /// telemetry — the answer stays bitwise-identical.
+    pub fn with_obs(mut self, obs: Arc<QueryObs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Attaches a [`QueryGovernor`]: the plan's scans, projections and joins
@@ -82,7 +93,8 @@ impl EagerPlan {
     /// # Errors
     /// Fails on execution errors.
     pub fn execute(&self, catalog: &Catalog) -> PlanResult<ConfidenceResult> {
-        let ctx = ExecContext::from_governor(self.governor.as_ref());
+        let ctx =
+            ExecContext::from_governor(self.governor.as_ref()).with_obs_opt(self.obs.as_ref());
         let head: BTreeSet<String> = self.query.head_set();
         let (result, _) = self.eval_node(&self.tree, &BTreeSet::new(), &head, catalog, &ctx)?;
         // The root aggregation groups by the head attributes; its single
@@ -279,6 +291,9 @@ fn aggregate_single_column(
             groups.entry(data).or_default().extend(members);
         }
     }
+    // The merged group count is a function of the input rows alone — the
+    // chunk split never changes it — so it is a deterministic counter.
+    ctx.tally(Counter::EagerGroups, groups.len() as u64);
     let mut out = Annotated::new(input.schema().clone(), input.relations().to_vec());
     for (data, members) in groups {
         let representative = *members.keys().next().expect("non-empty group");
@@ -335,6 +350,7 @@ fn aggregate_joined(
             groups.entry(data).or_default().extend(members);
         }
     }
+    ctx.tally(Counter::EagerGroups, groups.len() as u64);
     let mut out = Annotated::new(input.schema().clone(), vec![representative.to_string()]);
     for (data, members) in groups {
         let rep_var = members.iter().map(|(v, _)| *v).min().expect("non-empty");

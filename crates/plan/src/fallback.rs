@@ -13,9 +13,11 @@
 //! tighter than `eps` (or the governor's deadline fires, which returns the
 //! best bounds so far instead of an error).
 
+use std::sync::Arc;
+
 use pdb_conf::{anytime_confidences_ctx, AnytimeConfig, ApproxPolicy, ApproxResult};
 use pdb_exec::{evaluate_join_order_ctx, Annotated};
-use pdb_govern::{ExecContext, QueryGovernor};
+use pdb_govern::{ExecContext, QueryGovernor, QueryObs};
 use pdb_par::Pool;
 use pdb_query::ConjunctiveQuery;
 use pdb_storage::Catalog;
@@ -32,6 +34,7 @@ pub struct FallbackPlan {
     config: AnytimeConfig,
     pool: Pool,
     governor: Option<QueryGovernor>,
+    obs: Option<Arc<QueryObs>>,
 }
 
 impl FallbackPlan {
@@ -53,7 +56,17 @@ impl FallbackPlan {
             config: AnytimeConfig::new(policy),
             pool: Pool::from_env(),
             governor: None,
+            obs: None,
         })
+    }
+
+    /// Attaches a per-query observability collector: the pipeline and the
+    /// intensional confidence stage tally deterministic counters (including
+    /// the Shannon-frontier leaf count) into it. Pure telemetry — the bounds
+    /// stay bitwise-identical.
+    pub fn with_obs(mut self, obs: Arc<QueryObs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Attaches a [`QueryGovernor`]. The relational pipeline observes it at
@@ -112,7 +125,8 @@ impl FallbackPlan {
     /// Fails on execution errors (missing tables/columns) and on governor
     /// interruption.
     pub fn answer_tuples(&self, catalog: &Catalog) -> PlanResult<Annotated> {
-        let ctx = ExecContext::from_governor(self.governor.as_ref());
+        let ctx =
+            ExecContext::from_governor(self.governor.as_ref()).with_obs_opt(self.obs.as_ref());
         Ok(evaluate_join_order_ctx(
             &self.query,
             catalog,
@@ -130,7 +144,9 @@ impl FallbackPlan {
     /// not read-once, and on governor cancellation.
     pub fn confidences(&self, answer: &Annotated) -> PlanResult<ApproxResult> {
         let pool = self.pool.for_items(answer.len());
-        let ctx = ExecContext::from_governor(self.governor.as_ref());
+        let ctx =
+            ExecContext::from_governor(self.governor.as_ref()).with_obs_opt(self.obs.as_ref());
+        let _span = ctx.span("conf.bounds");
         anytime_confidences_ctx(answer, &self.config, &pool, &ctx).map_err(crate::PlanError::from)
     }
 

@@ -10,11 +10,12 @@
 //! simplified signature (each pushed `R*` replaced by the bare `R`).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use pdb_conf::multi_scan::apply_pre_aggregation_ctx;
 use pdb_conf::{ConfidenceOperator, ConfidenceResult, SplitPolicy, Strategy};
 use pdb_exec::{ops, Annotated};
-use pdb_govern::{ExecContext, QueryGovernor};
+use pdb_govern::{ExecContext, QueryGovernor, QueryObs};
 use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, Signature};
@@ -33,6 +34,7 @@ pub struct HybridPlan {
     pool: Pool,
     split_policy: SplitPolicy,
     governor: Option<QueryGovernor>,
+    obs: Option<Arc<QueryObs>>,
 }
 
 impl HybridPlan {
@@ -72,7 +74,17 @@ impl HybridPlan {
             pool: Pool::from_env(),
             split_policy: SplitPolicy::default(),
             governor: None,
+            obs: None,
         })
+    }
+
+    /// Attaches a per-query observability collector: the pipeline, the
+    /// pushed-down aggregations, and the top-level confidence operator tally
+    /// deterministic counters into it. Pure telemetry — the answer stays
+    /// bitwise-identical.
+    pub fn with_obs(mut self, obs: Arc<QueryObs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Attaches a [`QueryGovernor`]: the relational pipeline, the pushed-down
@@ -125,6 +137,9 @@ impl HybridPlan {
         if let Some(gov) = &self.governor {
             operator = operator.with_governor(gov.clone());
         }
+        if let Some(obs) = &self.obs {
+            operator = operator.with_obs(obs.clone());
+        }
         operator
             .compute(&answer, Strategy::Auto)
             .map_err(PlanError::from)
@@ -136,7 +151,8 @@ impl HybridPlan {
     /// # Errors
     /// Fails on execution errors.
     pub fn answer_tuples(&self, catalog: &Catalog) -> PlanResult<Annotated> {
-        let ctx = ExecContext::from_governor(self.governor.as_ref());
+        let ctx =
+            ExecContext::from_governor(self.governor.as_ref()).with_obs_opt(self.obs.as_ref());
         let head: BTreeSet<String> = self.query.head_set();
         let join_attrs = self.query.join_attributes();
         let mut current: Option<Annotated> = None;

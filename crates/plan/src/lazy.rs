@@ -2,9 +2,11 @@
 //! order and run the confidence-computation operator once, at the very top of
 //! the plan (Fig. 7 (c)).
 
+use std::sync::Arc;
+
 use pdb_conf::{ConfidenceOperator, ConfidenceResult, SplitPolicy, Strategy};
 use pdb_exec::{evaluate_join_order_ctx, Annotated};
-use pdb_govern::{ExecContext, QueryGovernor};
+use pdb_govern::{ExecContext, QueryGovernor, QueryObs};
 use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, Signature};
@@ -22,6 +24,7 @@ pub struct LazyPlan {
     pool: Pool,
     split_policy: SplitPolicy,
     governor: Option<QueryGovernor>,
+    obs: Option<Arc<QueryObs>>,
 }
 
 impl LazyPlan {
@@ -46,7 +49,17 @@ impl LazyPlan {
             pool: Pool::from_env(),
             split_policy: SplitPolicy::default(),
             governor: None,
+            obs: None,
         })
+    }
+
+    /// Attaches a per-query observability collector: the pipeline and the
+    /// confidence operator tally deterministic counters into it (and record
+    /// spans when the collector has tracing enabled). Pure telemetry — the
+    /// answer stays bitwise-identical.
+    pub fn with_obs(mut self, obs: Arc<QueryObs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Attaches a [`QueryGovernor`]: the relational pipeline and the
@@ -100,7 +113,8 @@ impl LazyPlan {
     /// # Errors
     /// Fails on execution errors (missing tables/columns).
     pub fn answer_tuples(&self, catalog: &Catalog) -> PlanResult<Annotated> {
-        let ctx = ExecContext::from_governor(self.governor.as_ref());
+        let ctx =
+            ExecContext::from_governor(self.governor.as_ref()).with_obs_opt(self.obs.as_ref());
         Ok(evaluate_join_order_ctx(
             &self.query,
             catalog,
@@ -129,6 +143,9 @@ impl LazyPlan {
             .with_split_policy(self.split_policy);
         if let Some(gov) = &self.governor {
             operator = operator.with_governor(gov.clone());
+        }
+        if let Some(obs) = &self.obs {
+            operator = operator.with_obs(obs.clone());
         }
         operator
             .compute(answer, Strategy::Auto)

@@ -25,9 +25,12 @@
 //!   aggregation (Section VII).
 //! * [`planner`] — a small facade choosing and executing plans, reporting the
 //!   timings the benchmark harness consumes.
+//! * [`explain`] — the planner's decision procedure as data (EXPLAIN),
+//!   without executing.
 
 pub mod eager;
 pub mod error;
+pub mod explain;
 pub mod fallback;
 pub mod hybrid;
 pub mod join_order;
@@ -38,8 +41,12 @@ pub mod safe;
 pub mod stats;
 
 pub use error::{PlanError, PlanResult};
+pub use explain::{ExplainPath, ExplainScan, PlanExplain};
 pub use fallback::FallbackPlan;
 pub use pdb_conf::{ApproxPolicy, ApproxResult, ConfMethod, TupleConfidence};
-pub use pdb_govern::{ExecContext, GovernorBuilder, QueryGovernor, SproutError, Stage};
+pub use pdb_govern::{
+    Counter, ExecContext, GovernorBuilder, QueryGovernor, QueryObs, SpanGuard, SpanNode,
+    SproutError, Stage,
+};
 pub use pdb_par::Pool;
 pub use planner::{PlanKind, PlanReport, Planner};

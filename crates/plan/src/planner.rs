@@ -4,11 +4,12 @@
 //! tuples vs. distinct tuples, number of scans).
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pdb_conf::{ApproxPolicy, ApproxResult, ConfidenceResult};
 use pdb_exec::extensional::ProbAggregation;
-use pdb_govern::{ExecContext, QueryGovernor, Stage};
+use pdb_govern::{Counter, ExecContext, QueryGovernor, QueryObs, Stage};
 use pdb_par::Pool;
 use pdb_query::reduct::FdReduct;
 use pdb_query::{ConjunctiveQuery, FdSet, Signature};
@@ -16,8 +17,10 @@ use pdb_storage::Catalog;
 
 use crate::eager::EagerPlan;
 use crate::error::{PlanError, PlanResult};
+use crate::explain::{ExplainPath, ExplainScan, PlanExplain};
 use crate::fallback::FallbackPlan;
 use crate::hybrid::HybridPlan;
+use crate::join_order::greedy_join_order;
 use crate::lazy::LazyPlan;
 use crate::safe::SafePlan;
 
@@ -94,6 +97,7 @@ pub struct Planner<'a> {
     catalog: &'a Catalog,
     use_fds: bool,
     governor: Option<QueryGovernor>,
+    obs: Option<Arc<QueryObs>>,
     approx_policy: Option<ApproxPolicy>,
     approx_seed: u64,
     pool: Option<Pool>,
@@ -107,6 +111,7 @@ impl<'a> Planner<'a> {
             catalog,
             use_fds: true,
             governor: None,
+            obs: None,
             approx_policy: None,
             approx_seed: 0,
             pool: None,
@@ -121,6 +126,7 @@ impl<'a> Planner<'a> {
             catalog,
             use_fds: false,
             governor: None,
+            obs: None,
             approx_policy: None,
             approx_seed: 0,
             pool: None,
@@ -175,6 +181,17 @@ impl<'a> Planner<'a> {
         self
     }
 
+    /// Attaches a per-query observability collector to every plan the
+    /// planner executes: scans, joins, aggregations, and confidence stages
+    /// tally deterministic counters into it, and — when the collector has
+    /// tracing enabled — the planner records `plan` / `plan.tuples` /
+    /// `plan.confidence` spans around each phase. Pure telemetry: answers,
+    /// row order, and confidences stay bitwise-identical.
+    pub fn with_obs(mut self, obs: Arc<QueryObs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// The dependency set the planner uses.
     pub fn fds(&self) -> FdSet {
         if self.use_fds {
@@ -200,6 +217,68 @@ impl<'a> Planner<'a> {
             .map_err(PlanError::from)
     }
 
+    /// Explains what executing `query` with the chosen plan kind *would* do,
+    /// without executing: safe plan vs. intensional fallback, the top-level
+    /// signature and scan count, the greedy join order, each relation's
+    /// storage backing and pushed-down predicates, and the approximation
+    /// policy in force. The decision procedure is exactly
+    /// [`execute`](Self::execute)'s — a query that would fall back here falls
+    /// back there.
+    ///
+    /// # Errors
+    /// Fails with [`PlanError::UnsafeQuery`] if the query has no safe plan
+    /// and no approximation policy is set, and on unknown relations.
+    pub fn explain(&self, query: &ConjunctiveQuery, kind: PlanKind) -> PlanResult<PlanExplain> {
+        let fds = self.fds();
+        let reduct = FdReduct::compute(query, &fds);
+        let tractable = reduct.is_hierarchical();
+        let path = if tractable {
+            ExplainPath::Safe
+        } else if self.approx_policy.is_some() {
+            ExplainPath::Fallback
+        } else {
+            return Err(PlanError::unsafe_query(query, &reduct.hierarchy()));
+        };
+        let signature = match path {
+            ExplainPath::Safe => Some(reduct.signature()?),
+            ExplainPath::Fallback => None,
+        };
+        let join_order = greedy_join_order(query, self.catalog)?;
+        let scan_details = join_order
+            .iter()
+            .map(|rel| {
+                let table = self.catalog.backing(rel)?;
+                Ok(ExplainScan {
+                    relation: rel.clone(),
+                    backing: match &table {
+                        pdb_storage::StorageBacking::Row(_) => "row",
+                        pdb_storage::StorageBacking::Columnar(_) => "columnar",
+                    },
+                    rows: table.len(),
+                    pushdowns: query
+                        .predicates_for(rel)
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect(),
+                })
+            })
+            .collect::<PlanResult<Vec<_>>>()?;
+        Ok(PlanExplain {
+            kind,
+            path,
+            tractable,
+            scans: signature.as_ref().map(|s| s.scan_count()),
+            signature: signature.map(|s| s.to_string()),
+            join_order,
+            scan_details,
+            policy: match path {
+                ExplainPath::Fallback => self.approx_policy,
+                ExplainPath::Safe => None,
+            },
+            uses_fds: self.use_fds,
+        })
+    }
+
     /// Executes `query` with the chosen plan kind and reports timings. When
     /// an approximation policy is set (see
     /// [`with_approx_policy`](Self::with_approx_policy)) and the query has
@@ -211,16 +290,23 @@ impl<'a> Planner<'a> {
     /// and no approximation policy is set, if a table is missing, or (for
     /// [`PlanKind::MystiqLogSpace`]) the aggregation overflows.
     pub fn execute(&self, query: &ConjunctiveQuery, kind: PlanKind) -> PlanResult<PlanReport> {
-        match self.execute_exact(query, kind.clone()) {
+        let obs_ctx = ExecContext::unbounded().with_obs_opt(self.obs.as_ref());
+        let _span = obs_ctx.span_with("plan", kind.to_string());
+        let report = match self.execute_exact(query, kind.clone()) {
             Err(PlanError::UnsafeQuery { .. }) if self.approx_policy.is_some() => {
                 self.execute_fallback(query, kind)
             }
             other => other,
-        }
+        }?;
+        obs_ctx.tally(Counter::AnswerRows, report.distinct_tuples as u64);
+        Ok(report)
     }
 
     fn execute_exact(&self, query: &ConjunctiveQuery, kind: PlanKind) -> PlanResult<PlanReport> {
         let fds = self.fds();
+        // Span-only context: the plans carry their own governed contexts; this
+        // one just brackets the planner's two phases in the trace.
+        let obs_ctx = ExecContext::unbounded().with_obs_opt(self.obs.as_ref());
         match &kind {
             PlanKind::Lazy => {
                 let mut plan = LazyPlan::build(query, &fds, self.catalog)?;
@@ -230,12 +316,19 @@ impl<'a> Planner<'a> {
                 if let Some(pool) = &self.pool {
                     plan = plan.with_pool(*pool);
                 }
+                if let Some(obs) = &self.obs {
+                    plan = plan.with_obs(obs.clone());
+                }
+                let span = obs_ctx.span("plan.tuples");
                 let start = Instant::now();
                 let answer = plan.answer_tuples(self.catalog)?;
                 let tuple_time = start.elapsed();
+                drop(span);
+                let span = obs_ctx.span("plan.confidence");
                 let start = Instant::now();
                 let confidences = plan.confidences(&answer)?;
                 let confidence_time = start.elapsed();
+                drop(span);
                 Ok(PlanReport {
                     kind,
                     answer_tuples: Some(answer.len()),
@@ -256,9 +349,16 @@ impl<'a> Planner<'a> {
                 if let Some(pool) = &self.pool {
                     plan = plan.with_pool(*pool);
                 }
+                if let Some(obs) = &self.obs {
+                    plan = plan.with_obs(obs.clone());
+                }
+                // Eager plans fuse tuple and confidence computation into the
+                // per-node aggregations — one phase span covers both.
+                let span = obs_ctx.span("plan.tuples");
                 let start = Instant::now();
                 let confidences = plan.execute(self.catalog)?;
                 let total = start.elapsed();
+                drop(span);
                 Ok(PlanReport {
                     kind,
                     answer_tuples: None,
@@ -280,9 +380,15 @@ impl<'a> Planner<'a> {
                 if let Some(pool) = &self.pool {
                     plan = plan.with_pool(*pool);
                 }
+                if let Some(obs) = &self.obs {
+                    plan = plan.with_obs(obs.clone());
+                }
+                let span = obs_ctx.span("plan.tuples");
                 let start = Instant::now();
                 let answer = plan.answer_tuples(self.catalog)?;
                 let tuple_time = start.elapsed();
+                drop(span);
+                let span = obs_ctx.span("plan.confidence");
                 let start = Instant::now();
                 let mut operator = match &self.pool {
                     Some(pool) => {
@@ -293,10 +399,14 @@ impl<'a> Planner<'a> {
                 if let Some(gov) = &self.governor {
                     operator = operator.with_governor(gov.clone());
                 }
+                if let Some(obs) = &self.obs {
+                    operator = operator.with_obs(obs.clone());
+                }
                 let confidences = operator
                     .compute(&answer, pdb_conf::Strategy::Auto)
                     .map_err(PlanError::from)?;
                 let confidence_time = start.elapsed();
+                drop(span);
                 Ok(PlanReport {
                     kind,
                     answer_tuples: Some(answer.len()),
@@ -323,9 +433,11 @@ impl<'a> Planner<'a> {
                     ProbAggregation::Stable
                 };
                 let plan = SafePlan::build_with_aggregation(query, &fds, aggregation)?;
+                let span = obs_ctx.span("plan.tuples");
                 let start = Instant::now();
                 let confidences = plan.execute(self.catalog)?;
                 let total = start.elapsed();
+                drop(span);
                 Ok(PlanReport {
                     kind,
                     answer_tuples: None,
@@ -360,12 +472,20 @@ impl<'a> Planner<'a> {
         if let Some(budget) = self.frontier_budget {
             plan = plan.with_frontier_budget(budget);
         }
+        if let Some(obs) = &self.obs {
+            plan = plan.with_obs(obs.clone());
+        }
+        let obs_ctx = ExecContext::unbounded().with_obs_opt(self.obs.as_ref());
+        let span = obs_ctx.span("plan.tuples");
         let start = Instant::now();
         let answer = plan.answer_tuples(self.catalog)?;
         let tuple_time = start.elapsed();
+        drop(span);
+        let span = obs_ctx.span("plan.confidence");
         let start = Instant::now();
         let approx = plan.confidences(&answer)?;
         let confidence_time = start.elapsed();
+        drop(span);
         let confidences: ConfidenceResult = approx
             .iter()
             .map(|t| (t.tuple.clone(), t.value()))

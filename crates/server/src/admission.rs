@@ -49,15 +49,34 @@ struct Inner {
     worker_threads: usize,
 }
 
+/// The load observed at the instant a request was shed — what makes a
+/// `429`/`503` debuggable from the wire alone: how long the request actually
+/// waited against the configured timeout, and how loaded the scheduler was
+/// against its configured capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct ShedInfo {
+    /// Leases held when the request was shed.
+    pub active: usize,
+    /// Waiters still parked when the request was shed.
+    pub queued: usize,
+    /// Configured concurrent-query slots.
+    pub slots: usize,
+    /// Configured queue depth.
+    pub queue_depth: usize,
+    /// How long the request waited before being shed (zero for a full
+    /// queue, up to the configured timeout for a queue timeout).
+    pub waited: Duration,
+}
+
 /// The outcome of an admission attempt.
 #[derive(Debug)]
 pub enum Admit {
     /// Admitted; hold the lease for the duration of the query.
     Admitted(Lease),
     /// Shed: every slot busy and the wait queue is full.
-    QueueFull,
+    QueueFull(ShedInfo),
     /// Shed: waited the full queue timeout without getting a slot.
-    Timeout,
+    Timeout(ShedInfo),
     /// Rejected: the server is draining for shutdown.
     Draining,
 }
@@ -100,10 +119,11 @@ impl AdmissionControl {
             return Admit::Admitted(self.lease());
         }
         if state.queued >= self.inner.queue_depth {
-            return Admit::QueueFull;
+            return Admit::QueueFull(self.shed_info(&state, Duration::ZERO));
         }
         state.queued += 1;
-        let deadline = Instant::now() + queue_timeout;
+        let start = Instant::now();
+        let deadline = start + queue_timeout;
         loop {
             let now = Instant::now();
             if state.draining {
@@ -117,7 +137,7 @@ impl AdmissionControl {
             }
             if now >= deadline {
                 state.queued -= 1;
-                return Admit::Timeout;
+                return Admit::Timeout(self.shed_info(&state, now - start));
             }
             let (guard, _) = self
                 .inner
@@ -133,6 +153,26 @@ impl AdmissionControl {
             inner: Arc::clone(&self.inner),
             threads: (self.inner.worker_threads / self.inner.slots).max(1),
         }
+    }
+
+    fn shed_info(&self, state: &State, waited: Duration) -> ShedInfo {
+        ShedInfo {
+            active: state.active,
+            queued: state.queued,
+            slots: self.inner.slots,
+            queue_depth: self.inner.queue_depth,
+            waited,
+        }
+    }
+
+    /// Configured concurrent-query slots.
+    pub fn slots(&self) -> usize {
+        self.inner.slots
+    }
+
+    /// Configured queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue_depth
     }
 
     /// Starts draining: every subsequent [`admit`](Self::admit) (and every
@@ -225,7 +265,7 @@ mod tests {
         assert_eq!(b.thread_share(), 4);
         assert_eq!(adm.load(), (2, 0));
         // Third request queues and times out.
-        assert!(matches!(adm.admit(SHORT), Admit::Timeout));
+        assert!(matches!(adm.admit(SHORT), Admit::Timeout(_)));
         // With a waiter parked, a fourth would overflow the queue.
         let adm2 = adm.clone();
         let (tx, rx) = mpsc::channel();
@@ -238,7 +278,7 @@ mod tests {
         while adm.load().1 == 0 {
             thread::yield_now();
         }
-        assert!(matches!(adm.admit(SHORT), Admit::QueueFull));
+        assert!(matches!(adm.admit(SHORT), Admit::QueueFull(_)));
         // Releasing a lease admits the parked waiter.
         drop(a);
         match waiter.join().unwrap() {
@@ -278,7 +318,7 @@ mod tests {
         let start = Instant::now();
         assert!(matches!(
             adm.admit(Duration::from_secs(5)),
-            Admit::QueueFull
+            Admit::QueueFull(_)
         ));
         assert!(start.elapsed() < Duration::from_secs(1));
     }

@@ -196,11 +196,27 @@ pub fn write_response<W: Write>(
     extra_headers: &[(&str, String)],
     body: &[u8],
 ) -> io::Result<()> {
+    write_response_with_type(w, status, "application/json", extra_headers, body)
+}
+
+/// [`write_response`] with an explicit `Content-Type` (the metrics page is
+/// Prometheus text, not JSON).
+///
+/// # Errors
+/// Propagates socket errors (including write timeouts).
+pub fn write_response_with_type<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
         reason(status),
+        content_type,
         body.len()
     )?;
     for (name, value) in extra_headers {

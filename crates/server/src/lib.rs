@@ -19,6 +19,14 @@
 //!   real) becomes a well-formed `500`, never a dead server.
 //! * **Graceful shutdown** — [`SproutServer::shutdown`] drains in-flight
 //!   queries and answer streams, rejecting new work with `503`.
+//! * **Observability** — `GET /metrics` renders the process-wide `pdb-obs`
+//!   registry (admission gauges, per-stage latency histograms, sheds by
+//!   code, deterministic engine counter totals) as Prometheus text;
+//!   `GET /debug/queries` lists in-flight queries plus a ring of recent
+//!   ones; `POST /query` accepts `"explain": "plan"` (describe the chosen
+//!   plan without executing) and `"explain": "analyze"` (execute with span
+//!   tracing and append a trailer line carrying the plan, the executed span
+//!   tree, and the counter set).
 //!
 //! Because the engine is bitwise-deterministic at every pool size, answers
 //! served under any admission schedule are bitwise-identical to
@@ -38,11 +46,13 @@ pub mod admission;
 pub mod error;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 
-pub use admission::{AdmissionControl, Admit, Lease};
+pub use admission::{AdmissionControl, Admit, Lease, ShedInfo};
 pub use error::WireError;
 pub use json::Json;
+pub use metrics::ServerMetrics;
 pub use proto::{QueryRequest, TableSpec};
 pub use server::{ServerConfig, SproutServer};

@@ -1,0 +1,264 @@
+//! The server's observability state: the process-wide [`Registry`] plus the
+//! named metrics the request path bumps (stage latency histograms, shed and
+//! outcome counters) and the `GET /debug/queries` ring buffer.
+//!
+//! Named metrics are registered once here at startup so the hot path only
+//! touches pre-fetched `Arc`s — one relaxed atomic op per event, never the
+//! registry lock. Everything timed is wall-clock and outside the engine's
+//! determinism contract; the deterministic engine counters arrive separately
+//! via [`Registry::merge`] from each finished query's `QueryObs`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use pdb_obs::{Histogram, Registry};
+
+use crate::json::Json;
+
+/// How many finished queries `GET /debug/queries` remembers.
+const RING_CAPACITY: usize = 64;
+
+/// Process-wide server metrics: the registry, the per-stage latency
+/// histograms, and the outcome/shed counters.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// The registry `GET /metrics` renders (engine totals merge into it).
+    pub registry: Registry,
+    /// Time from arrival at the admission scheduler to a decision.
+    pub admit_seconds: Arc<Histogram>,
+    /// Time executing the query inside the engine.
+    pub exec_seconds: Arc<Histogram>,
+    /// Time streaming the answer NDJSON to the client.
+    pub stream_seconds: Arc<Histogram>,
+    /// Queries that ran to completion and streamed their answers.
+    pub queries_ok: Arc<AtomicU64>,
+    /// Queries that failed after admission (typed wire errors).
+    pub queries_failed: Arc<AtomicU64>,
+    shed_queue_full: Arc<AtomicU64>,
+    shed_queue_timeout: Arc<AtomicU64>,
+    shed_draining: Arc<AtomicU64>,
+    ring: Mutex<DebugRing>,
+}
+
+impl ServerMetrics {
+    /// Registers every named metric the server emits.
+    pub fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        let admit_seconds = registry.histogram(
+            "sprout_admit_seconds",
+            "Time from arrival to an admission decision (includes queueing).",
+        );
+        let exec_seconds = registry.histogram(
+            "sprout_exec_seconds",
+            "Query execution time inside the engine.",
+        );
+        let stream_seconds = registry.histogram(
+            "sprout_stream_seconds",
+            "Time streaming the answer NDJSON to the client.",
+        );
+        let queries_ok = registry.counter(
+            "sprout_queries_ok_total",
+            "Queries that completed and streamed their answers.",
+        );
+        let queries_failed = registry.counter(
+            "sprout_queries_failed_total",
+            "Admitted queries that failed with a typed wire error.",
+        );
+        const SHED_HELP: &str = "Requests shed by the admission scheduler, by response code.";
+        let shed_queue_full =
+            registry.counter_labeled("sprout_sheds_total", "code=\"QUEUE_FULL\"", SHED_HELP);
+        let shed_queue_timeout =
+            registry.counter_labeled("sprout_sheds_total", "code=\"QUEUE_TIMEOUT\"", SHED_HELP);
+        let shed_draining =
+            registry.counter_labeled("sprout_sheds_total", "code=\"DRAINING\"", SHED_HELP);
+        ServerMetrics {
+            registry,
+            admit_seconds,
+            exec_seconds,
+            stream_seconds,
+            queries_ok,
+            queries_failed,
+            shed_queue_full,
+            shed_queue_timeout,
+            shed_draining,
+            ring: Mutex::new(DebugRing {
+                next_id: 0,
+                in_flight: Vec::new(),
+                recent: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Bumps the shed counter for a response code.
+    pub fn shed(&self, code: &str) {
+        let c = match code {
+            "QUEUE_FULL" => &self.shed_queue_full,
+            "QUEUE_TIMEOUT" => &self.shed_queue_timeout,
+            _ => &self.shed_draining,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers a query as in-flight; pair with [`finish`](Self::finish).
+    pub fn begin(&self, summary: String, kind: String) -> u64 {
+        let mut ring = self.ring.lock().expect("debug ring lock");
+        let id = ring.next_id;
+        ring.next_id += 1;
+        ring.in_flight.push(InFlight {
+            id,
+            summary,
+            kind,
+            started: Instant::now(),
+        });
+        id
+    }
+
+    /// Moves an in-flight query into the finished ring with its outcome
+    /// (`"ok"` or the wire error code) and the highlights of its counters.
+    pub fn finish(&self, id: u64, status: &str, answers: usize, rows_scanned: u64) {
+        let mut ring = self.ring.lock().expect("debug ring lock");
+        let Some(pos) = ring.in_flight.iter().position(|q| q.id == id) else {
+            return;
+        };
+        let started = ring.in_flight.swap_remove(pos);
+        if ring.recent.len() == RING_CAPACITY {
+            ring.recent.pop_front();
+        }
+        let elapsed_us = started.started.elapsed().as_micros() as u64;
+        ring.recent.push_back(Finished {
+            id,
+            summary: started.summary,
+            kind: started.kind,
+            status: status.to_string(),
+            answers,
+            rows_scanned,
+            elapsed_us,
+        });
+    }
+
+    /// The `GET /debug/queries` body: in-flight queries plus the last-N
+    /// finished ones, newest last.
+    pub fn debug_queries(&self) -> Json {
+        let ring = self.ring.lock().expect("debug ring lock");
+        let in_flight = ring
+            .in_flight
+            .iter()
+            .map(|q| {
+                Json::Object(vec![
+                    ("id".to_string(), Json::Int(q.id as i64)),
+                    ("query".to_string(), Json::Str(q.summary.clone())),
+                    ("kind".to_string(), Json::Str(q.kind.clone())),
+                    (
+                        "running_us".to_string(),
+                        Json::Int(q.started.elapsed().as_micros() as i64),
+                    ),
+                ])
+            })
+            .collect();
+        let recent = ring
+            .recent
+            .iter()
+            .map(|q| {
+                Json::Object(vec![
+                    ("id".to_string(), Json::Int(q.id as i64)),
+                    ("query".to_string(), Json::Str(q.summary.clone())),
+                    ("kind".to_string(), Json::Str(q.kind.clone())),
+                    ("status".to_string(), Json::Str(q.status.clone())),
+                    ("answers".to_string(), Json::Int(q.answers as i64)),
+                    ("rows_scanned".to_string(), Json::Int(q.rows_scanned as i64)),
+                    ("elapsed_us".to_string(), Json::Int(q.elapsed_us as i64)),
+                ])
+            })
+            .collect();
+        Json::Object(vec![
+            ("in_flight".to_string(), Json::Array(in_flight)),
+            ("recent".to_string(), Json::Array(recent)),
+        ])
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+#[derive(Debug)]
+struct InFlight {
+    id: u64,
+    summary: String,
+    kind: String,
+    started: Instant,
+}
+
+#[derive(Debug)]
+struct Finished {
+    id: u64,
+    summary: String,
+    kind: String,
+    status: String,
+    answers: usize,
+    rows_scanned: u64,
+    elapsed_us: u64,
+}
+
+#[derive(Debug)]
+struct DebugRing {
+    next_id: u64,
+    in_flight: Vec<InFlight>,
+    recent: VecDeque<Finished>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_tracks_in_flight_then_recent_and_caps() {
+        let m = ServerMetrics::new();
+        let id = m.begin("R(a)".to_string(), "lazy".to_string());
+        let body = m.debug_queries();
+        let in_flight = body.get("in_flight").unwrap().as_array().unwrap();
+        assert_eq!(in_flight.len(), 1);
+        assert_eq!(in_flight[0].get("query").unwrap().as_str(), Some("R(a)"));
+        m.finish(id, "ok", 3, 100);
+        let body = m.debug_queries();
+        assert!(body
+            .get("in_flight")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        let recent = body.get("recent").unwrap().as_array().unwrap();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(recent[0].get("answers").unwrap().as_i64(), Some(3));
+        // The ring caps at RING_CAPACITY, dropping the oldest.
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            let id = m.begin(format!("q{i}"), "lazy".to_string());
+            m.finish(id, "ok", 0, 0);
+        }
+        let body = m.debug_queries();
+        let recent = body.get("recent").unwrap().as_array().unwrap();
+        assert_eq!(recent.len(), RING_CAPACITY);
+        // Finishing an unknown id is a no-op, not a panic.
+        m.finish(u64::MAX, "ok", 0, 0);
+    }
+
+    #[test]
+    fn shed_counters_land_under_their_code() {
+        let m = ServerMetrics::new();
+        m.shed("QUEUE_FULL");
+        m.shed("QUEUE_FULL");
+        m.shed("QUEUE_TIMEOUT");
+        m.shed("DRAINING");
+        let mut page = pdb_obs::PromText::new();
+        m.registry.render(&mut page);
+        let text = page.finish();
+        assert!(text.contains("sprout_sheds_total{code=\"QUEUE_FULL\"} 2\n"));
+        assert!(text.contains("sprout_sheds_total{code=\"QUEUE_TIMEOUT\"} 1\n"));
+        assert!(text.contains("sprout_sheds_total{code=\"DRAINING\"} 1\n"));
+    }
+}

@@ -19,9 +19,10 @@
 //! confidence read off the wire is bitwise the confidence the engine
 //! computed.
 
+use pdb_obs::{Counter, QueryObs, SpanNode};
 use sprout::{
-    ApproxPolicy, CompareOp, ConfMethod, ConjunctiveQuery, DataType, PlanKind, PlanReport,
-    Predicate, ProbTable, RelationAtom, Schema, Tuple, Value, Variable,
+    ApproxPolicy, CompareOp, ConfMethod, ConjunctiveQuery, DataType, ExplainMode, PlanExplain,
+    PlanKind, PlanReport, Predicate, ProbTable, RelationAtom, Schema, Tuple, Value, Variable,
 };
 
 use crate::error::WireError;
@@ -62,6 +63,9 @@ pub struct QueryRequest {
     /// Frontier cap override: absent = default, `null` = uncapped,
     /// integer = cap in bytes.
     pub frontier_budget: Option<Option<usize>>,
+    /// `"plan"` describes the chosen plan without executing; `"analyze"`
+    /// executes with tracing on and appends the trailer line.
+    pub explain: Option<ExplainMode>,
 }
 
 /// Parses a `POST /tables` body.
@@ -252,6 +256,15 @@ pub fn parse_query(body: &Json) -> Result<QueryRequest, WireError> {
         },
     };
 
+    let explain = match body.get("explain") {
+        None | Some(Json::Null) => None,
+        Some(e) => match e.as_str() {
+            Some("plan") => Some(ExplainMode::Plan),
+            Some("analyze") => Some(ExplainMode::Analyze),
+            _ => return Err(bad("`explain` must be \"plan\" or \"analyze\"")),
+        },
+    };
+
     Ok(QueryRequest {
         query,
         kind,
@@ -260,6 +273,7 @@ pub fn parse_query(body: &Json) -> Result<QueryRequest, WireError> {
         memory_budget,
         seed,
         frontier_budget,
+        explain,
     })
 }
 
@@ -454,6 +468,108 @@ pub fn answer_lines(report: &PlanReport) -> Vec<String> {
         }
     }
     lines
+}
+
+/// Renders a [`PlanExplain`] as the `"explain": "plan"` response document:
+/// the chosen path, tractability, signature, join order, per-scan backing
+/// and pushdowns, and the policy in force — all as plain data.
+pub fn explain_json(ex: &PlanExplain) -> Json {
+    let mut fields = vec![
+        ("kind".to_string(), Json::Str(ex.kind.to_string())),
+        ("path".to_string(), Json::str(ex.path.name())),
+        ("tractable".to_string(), Json::Bool(ex.tractable)),
+        ("uses_fds".to_string(), Json::Bool(ex.uses_fds)),
+    ];
+    match &ex.signature {
+        Some(sig) => fields.push(("signature".to_string(), Json::str(sig))),
+        None => fields.push(("signature".to_string(), Json::Null)),
+    }
+    fields.push((
+        "scans".to_string(),
+        ex.scans.map_or(Json::Null, |n| Json::Int(n as i64)),
+    ));
+    fields.push((
+        "policy".to_string(),
+        match ex.policy {
+            None => Json::Null,
+            Some(ApproxPolicy::Exact) => Json::str("exact"),
+            Some(ApproxPolicy::Bounds { eps }) => Json::Object(vec![(
+                "bounds".to_string(),
+                Json::Object(vec![("eps".to_string(), Json::Float(eps))]),
+            )]),
+        },
+    ));
+    fields.push((
+        "join_order".to_string(),
+        Json::Array(ex.join_order.iter().map(Json::str).collect()),
+    ));
+    fields.push((
+        "scan_details".to_string(),
+        Json::Array(
+            ex.scan_details
+                .iter()
+                .map(|s| {
+                    Json::Object(vec![
+                        ("relation".to_string(), Json::str(&s.relation)),
+                        ("backing".to_string(), Json::str(s.backing)),
+                        ("rows".to_string(), Json::Int(s.rows as i64)),
+                        (
+                            "pushdowns".to_string(),
+                            Json::Array(s.pushdowns.iter().map(Json::str).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Object(fields)
+}
+
+/// Renders one span of the executed trace, children nested.
+fn span_json(node: &SpanNode) -> Json {
+    Json::Object(vec![
+        ("site".to_string(), Json::str(node.site)),
+        ("detail".to_string(), Json::str(&node.detail)),
+        ("start_us".to_string(), Json::Int(node.start_us as i64)),
+        ("elapsed_us".to_string(), Json::Int(node.elapsed_us as i64)),
+        (
+            "counters".to_string(),
+            Json::Object(
+                node.counters
+                    .iter()
+                    .map(|(name, v)| ((*name).to_string(), Json::Int(*v as i64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "children".to_string(),
+            Json::Array(node.children.iter().map(span_json).collect()),
+        ),
+    ])
+}
+
+/// The EXPLAIN ANALYZE trailer: one NDJSON object appended after the answer
+/// lines, keyed `"analyze"` so clients can tell it from an answer. Carries
+/// the explained plan, the full deterministic counter set (zeros included,
+/// so the schema is stable), and the executed span tree. Span durations are
+/// wall-clock and outside the determinism contract; the counters are not.
+pub fn analyze_trailer(explain: Option<&PlanExplain>, obs: &QueryObs) -> Json {
+    let values = obs.counter_values();
+    let counters = Counter::ALL
+        .iter()
+        .map(|&c| (c.name().to_string(), Json::Int(values[c as usize] as i64)))
+        .collect();
+    Json::Object(vec![(
+        "analyze".to_string(),
+        Json::Object(vec![
+            ("plan".to_string(), explain.map_or(Json::Null, explain_json)),
+            ("counters".to_string(), Json::Object(counters)),
+            (
+                "spans".to_string(),
+                Json::Array(obs.span_tree().iter().map(span_json).collect()),
+            ),
+        ]),
+    )])
 }
 
 fn list<'a>(body: &'a Json, field: &str) -> Result<&'a [Json], WireError> {

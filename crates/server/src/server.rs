@@ -18,15 +18,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pdb_fault::{sites, FaultAction};
-use sprout::GovernorBuilder;
+use pdb_obs::{PromText, QueryObs};
+use sprout::{ExplainMode, GovernorBuilder};
 
-use crate::admission::{AdmissionControl, Admit};
+use crate::admission::{AdmissionControl, Admit, ShedInfo};
 use crate::error::{self, WireError};
 use crate::http::{self, ChunkedWriter, ParseError, Request};
 use crate::json::Json;
+use crate::metrics::ServerMetrics;
 use crate::proto;
 
 /// Server tuning knobs. [`Default`] is sized for tests and small
@@ -67,6 +69,7 @@ struct Shared {
     db: sprout::SproutDb,
     admission: AdmissionControl,
     config: ServerConfig,
+    metrics: ServerMetrics,
     shutting_down: AtomicBool,
     conn_seq: AtomicU64,
 }
@@ -108,6 +111,7 @@ impl SproutServer {
                 config.worker_threads,
             ),
             config,
+            metrics: ServerMetrics::new(),
             shutting_down: AtomicBool::new(false),
             conn_seq: AtomicU64::new(0),
         });
@@ -283,12 +287,23 @@ fn dispatch(
 ) -> io::Result<()> {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => health(shared, writer),
+        ("GET", "/metrics") => metrics(shared, writer),
+        ("GET", "/debug/queries") => http::write_response(
+            writer,
+            200,
+            &[],
+            shared.metrics.debug_queries().render().as_bytes(),
+        ),
         ("POST", "/tables") => match handle_tables(shared, request, req_index) {
             Ok(body) => http::write_response(writer, 201, &[], body.render().as_bytes()),
             Err(e) => respond_error(writer, &e),
         },
         ("POST", "/query") => handle_query(shared, request, writer, req_index, streaming),
-        ("POST", "/health") | ("GET", "/tables") | ("GET", "/query") => respond_error(
+        ("POST", "/health")
+        | ("POST", "/metrics")
+        | ("POST", "/debug/queries")
+        | ("GET", "/tables")
+        | ("GET", "/query") => respond_error(
             writer,
             &WireError::new(
                 405,
@@ -315,14 +330,97 @@ fn health(shared: &Shared, writer: &mut TcpStream) -> io::Result<()> {
             "status".to_string(),
             Json::Str(if draining { "draining" } else { "ok" }.to_string()),
         ),
+        ("version".to_string(), Json::str(env!("CARGO_PKG_VERSION"))),
+        (
+            "uptime_s".to_string(),
+            Json::Float(shared.metrics.registry.uptime().as_secs_f64()),
+        ),
         ("active".to_string(), Json::Int(active as i64)),
         ("queued".to_string(), Json::Int(queued as i64)),
+        (
+            "slots".to_string(),
+            Json::Int(shared.admission.slots() as i64),
+        ),
+        (
+            "queue_depth".to_string(),
+            Json::Int(shared.admission.queue_depth() as i64),
+        ),
         (
             "tables".to_string(),
             Json::Int(shared.db.catalog().table_names().len() as i64),
         ),
     ]);
     http::write_response(writer, 200, &[], body.render().as_bytes())
+}
+
+/// `GET /metrics`: the Prometheus text page. Admission gauges are sampled
+/// here; counters, histograms and engine totals come from the registry.
+fn metrics(shared: &Shared, writer: &mut TcpStream) -> io::Result<()> {
+    let (active, queued) = shared.admission.load();
+    let mut page = PromText::new();
+    page.gauge(
+        "sprout_uptime_seconds",
+        "Seconds since the server started.",
+        shared.metrics.registry.uptime().as_secs_f64(),
+    );
+    page.gauge(
+        "sprout_active_queries",
+        "Admitted queries currently executing or streaming.",
+        active as f64,
+    );
+    page.gauge(
+        "sprout_queued_queries",
+        "Requests parked in the admission queue.",
+        queued as f64,
+    );
+    page.gauge(
+        "sprout_admission_slots",
+        "Configured concurrent-query slots.",
+        shared.admission.slots() as f64,
+    );
+    page.gauge(
+        "sprout_admission_queue_depth",
+        "Configured admission queue depth.",
+        shared.admission.queue_depth() as f64,
+    );
+    page.gauge(
+        "sprout_draining",
+        "1 while the server is draining for shutdown.",
+        if shared.admission.is_draining() {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    let catalog = shared.db.catalog();
+    let mut names = catalog.table_names();
+    names.sort_unstable();
+    page.gauge(
+        "sprout_catalog_tables",
+        "Registered tables.",
+        names.len() as f64,
+    );
+    let rows: Vec<(String, f64)> = names
+        .iter()
+        .map(|name| {
+            let rows = catalog.table(name).map_or(0, |t| t.len());
+            (
+                format!("table=\"{}\"", pdb_obs::escape_label(name)),
+                rows as f64,
+            )
+        })
+        .collect();
+    if !rows.is_empty() {
+        page.gauge_labeled("sprout_table_rows", "Rows per registered table.", &rows);
+    }
+    shared.metrics.registry.render(&mut page);
+    http::write_response_with_type(
+        writer,
+        200,
+        "text/plain; version=0.0.4",
+        &[],
+        page.finish().as_bytes(),
+    )
 }
 
 fn handle_tables(shared: &Shared, request: &Request, req_index: usize) -> Result<Json, WireError> {
@@ -378,13 +476,35 @@ fn handle_query(
         Err(e) => return respond_error(writer, &e),
     };
 
+    // EXPLAIN without ANALYZE: a catalog-only planning pass, no execution,
+    // so it answers ahead of admission even on an overloaded server.
+    if req.explain == Some(ExplainMode::Plan) {
+        let opts = query_options(&req, None);
+        return match shared.db.explain_with_options(&req.query, &opts) {
+            Ok(ex) => http::write_response(
+                writer,
+                200,
+                &[],
+                proto::explain_json(&ex).render().as_bytes(),
+            ),
+            Err(e) => respond_error(writer, &error::from_plan_error(&e)),
+        };
+    }
+
     // Admission stage.
     if let Err(e) = site_fault(sites::SERVER_ADMIT, req_index) {
         return respond_error(writer, &e);
     }
-    let lease = match shared.admission.admit(shared.config.queue_timeout) {
+    let admit_start = Instant::now();
+    let admitted = shared.admission.admit(shared.config.queue_timeout);
+    shared
+        .metrics
+        .admit_seconds
+        .observe(admit_start.elapsed().as_secs_f64());
+    let lease = match admitted {
         Admit::Admitted(lease) => lease,
-        Admit::QueueFull => {
+        Admit::QueueFull(info) => {
+            shared.metrics.shed("QUEUE_FULL");
             return respond_error(
                 writer,
                 &WireError::new(
@@ -392,10 +512,12 @@ fn handle_query(
                     "QUEUE_FULL",
                     "all execution slots are busy and the wait queue is full",
                 )
+                .with_detail(shed_detail(&info))
                 .with_retry_after(shared.admission.retry_after_hint()),
-            )
+            );
         }
-        Admit::Timeout => {
+        Admit::Timeout(info) => {
+            shared.metrics.shed("QUEUE_TIMEOUT");
             return respond_error(
                 writer,
                 &WireError::new(
@@ -403,42 +525,54 @@ fn handle_query(
                     "QUEUE_TIMEOUT",
                     "no execution slot became free within the queue timeout",
                 )
+                .with_detail(shed_detail(&info))
                 .with_retry_after(shared.admission.retry_after_hint()),
-            )
+            );
         }
-        Admit::Draining => return respond_error(writer, &draining_error()),
+        Admit::Draining => {
+            shared.metrics.shed("DRAINING");
+            return respond_error(writer, &draining_error());
+        }
     };
+
+    // Every admitted query gets a collector; EXPLAIN ANALYZE additionally
+    // records the span tree. Pure telemetry either way — answers are
+    // bitwise-identical with or without it.
+    let obs = if req.explain == Some(ExplainMode::Analyze) {
+        QueryObs::with_tracing()
+    } else {
+        QueryObs::new()
+    };
+    let ring_id = shared.metrics.begin(
+        query_summary(&req.query),
+        req.kind
+            .clone()
+            .unwrap_or(sprout::PlanKind::Lazy)
+            .to_string(),
+    );
 
     // Execution stage: the lease's thread share is this query's slice of
     // the shared worker budget; the governor carries its deadline and
     // memory budget.
+    let exec_start = Instant::now();
     let result = site_fault(sites::SERVER_EXEC, req_index).and_then(|()| {
-        let mut opts = sprout::QueryOptions {
-            kind: req.kind.clone(),
-            policy: req.policy,
-            pool: Some(sprout::Pool::new(lease.thread_share())),
-            seed: req.seed,
-            frontier_budget: req.frontier_budget,
-            governor: None,
-        };
-        if req.deadline_ms.is_some() || req.memory_budget.is_some() {
-            let mut builder = GovernorBuilder::new();
-            if let Some(ms) = req.deadline_ms {
-                builder = builder.deadline(Duration::from_millis(ms));
-            }
-            if let Some(bytes) = req.memory_budget {
-                builder = builder.memory_budget(bytes);
-            }
-            opts.governor = Some(builder.build());
-        }
+        let mut opts = query_options(&req, Some(Arc::clone(&obs)));
+        opts.pool = Some(sprout::Pool::new(lease.thread_share()));
         shared
             .db
             .query_with_options(&req.query, &opts)
             .map_err(|e| error::from_plan_error(&e))
     });
+    shared
+        .metrics
+        .exec_seconds
+        .observe(exec_start.elapsed().as_secs_f64());
+    // Merge even failed queries: the work their counters describe was done.
+    shared.metrics.registry.merge(&obs);
     let report = match result {
         Ok(r) => r,
         Err(e) => {
+            finish_query(shared, ring_id, e.code, 0, &obs);
             drop(lease);
             return respond_error(writer, &e);
         }
@@ -447,15 +581,27 @@ fn handle_query(
     // Streaming stage: the lease stays held until the stream is flushed,
     // so drain waits for in-flight responses, not just computations.
     if let Err(e) = site_fault(sites::SERVER_STREAM, req_index) {
+        finish_query(shared, ring_id, e.code, 0, &obs);
         drop(lease);
         return respond_error(writer, &e);
     }
     // Materialize every answer line before writing the chunked head: a
     // panic while rendering still gets a clean single-response 500, and
     // once the head is on the wire nothing but the socket can fail.
-    let lines = match catch_unwind(AssertUnwindSafe(|| proto::answer_lines(&report))) {
+    let lines = match catch_unwind(AssertUnwindSafe(|| {
+        let mut lines = proto::answer_lines(&report);
+        if req.explain == Some(ExplainMode::Analyze) {
+            // The trailer re-explains under the executed options so the
+            // reported plan is the one that actually ran.
+            let opts = query_options(&req, None);
+            let explained = shared.db.explain_with_options(&req.query, &opts).ok();
+            lines.push(proto::analyze_trailer(explained.as_ref(), &obs).render());
+        }
+        lines
+    })) {
         Ok(lines) => lines,
         Err(_) => {
+            finish_query(shared, ring_id, "WORKER_PANIC", 0, &obs);
             drop(lease);
             return respond_error(
                 writer,
@@ -468,6 +614,7 @@ fn handle_query(
         }
     };
     streaming.store(true, Ordering::SeqCst);
+    let stream_start = Instant::now();
     let mut chunked = ChunkedWriter::start(writer, &[])?;
     for line in lines {
         let mut bytes = line.into_bytes();
@@ -475,8 +622,81 @@ fn handle_query(
         chunked.chunk(&bytes)?;
     }
     chunked.finish()?;
+    shared
+        .metrics
+        .stream_seconds
+        .observe(stream_start.elapsed().as_secs_f64());
+    finish_query(shared, ring_id, "ok", report.confidences.len(), &obs);
     drop(lease);
     Ok(())
+}
+
+/// The options bundle `POST /query` executes (and explains) under.
+fn query_options(req: &proto::QueryRequest, obs: Option<Arc<QueryObs>>) -> sprout::QueryOptions {
+    let mut opts = sprout::QueryOptions {
+        kind: req.kind.clone(),
+        policy: req.policy,
+        pool: None,
+        seed: req.seed,
+        frontier_budget: req.frontier_budget,
+        governor: None,
+        obs,
+        explain: req.explain,
+    };
+    if req.deadline_ms.is_some() || req.memory_budget.is_some() {
+        let mut builder = GovernorBuilder::new();
+        if let Some(ms) = req.deadline_ms {
+            builder = builder.deadline(Duration::from_millis(ms));
+        }
+        if let Some(bytes) = req.memory_budget {
+            builder = builder.memory_budget(bytes);
+        }
+        opts.governor = Some(builder.build());
+    }
+    opts
+}
+
+/// A one-line query rendering for `GET /debug/queries`.
+fn query_summary(query: &sprout::ConjunctiveQuery) -> String {
+    let atoms: Vec<String> = query
+        .relations
+        .iter()
+        .map(|r| format!("{}({})", r.name, r.attributes.join(",")))
+        .collect();
+    atoms.join(" ⋈ ")
+}
+
+fn finish_query(shared: &Shared, ring_id: u64, status: &str, answers: usize, obs: &QueryObs) {
+    let outcome = if status == "ok" {
+        &shared.metrics.queries_ok
+    } else {
+        &shared.metrics.queries_failed
+    };
+    outcome.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.finish(
+        ring_id,
+        status,
+        answers,
+        obs.get(pdb_obs::Counter::RowsScanned),
+    );
+}
+
+/// Renders the load snapshot a shed carried into the error `detail`, so a
+/// `429`/`503` is debuggable from the wire alone.
+fn shed_detail(info: &ShedInfo) -> Json {
+    Json::Object(vec![
+        ("active".to_string(), Json::Int(info.active as i64)),
+        ("queued".to_string(), Json::Int(info.queued as i64)),
+        ("slots".to_string(), Json::Int(info.slots as i64)),
+        (
+            "queue_depth".to_string(),
+            Json::Int(info.queue_depth as i64),
+        ),
+        (
+            "waited_ms".to_string(),
+            Json::Int(info.waited.as_millis() as i64),
+        ),
+    ])
 }
 
 fn draining_error() -> WireError {

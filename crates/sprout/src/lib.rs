@@ -38,10 +38,25 @@ pub use pdb_storage::{
     total_f64_cmp, Catalog, DataType, ProbTable, Schema, Table, Tuple, Value, Variable,
 };
 pub use sprout_plan::{
-    ApproxPolicy, ApproxResult, ConfMethod, ExecContext, FallbackPlan, GovernorBuilder, PlanError,
-    PlanKind, PlanReport, PlanResult, Planner, Pool, QueryGovernor, SproutError, Stage,
+    ApproxPolicy, ApproxResult, ConfMethod, Counter, ExecContext, ExplainPath, ExplainScan,
+    FallbackPlan, GovernorBuilder, PlanError, PlanExplain, PlanKind, PlanReport, PlanResult,
+    Planner, Pool, QueryGovernor, QueryObs, SpanGuard, SpanNode, SproutError, Stage,
     TupleConfidence,
 };
+
+/// What [`SproutDb::query_with_options`] should explain, if anything.
+///
+/// `Plan` callers usually skip execution entirely and call
+/// [`SproutDb::explain`] instead; carrying the mode in [`QueryOptions`] lets
+/// multiplexing callers (the server) thread one options bundle through
+/// admission, execution, and response rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainMode {
+    /// Describe the chosen plan without executing.
+    Plan,
+    /// Execute, and report the plan plus the observed span tree and counters.
+    Analyze,
+}
 
 /// Per-query execution options, for callers that multiplex many queries over
 /// shared resources (notably the `sprout-server` admission scheduler): plan
@@ -68,6 +83,15 @@ pub struct QueryOptions {
     /// Frontier memory cap override: `Some(Some(bytes))` caps, `Some(None)`
     /// removes the default cap, `None` keeps the default.
     pub frontier_budget: Option<Option<usize>>,
+    /// Per-query observability collector: when set, every stage tallies its
+    /// deterministic counters into it (and records spans when the collector
+    /// has tracing enabled). Pure telemetry — answers are bitwise-identical
+    /// with or without it.
+    pub obs: Option<Arc<QueryObs>>,
+    /// Explain mode the caller wants rendered alongside (or instead of) the
+    /// result. [`Self::explain`] itself is consulted by wire frontends; the
+    /// engine executes identically either way.
+    pub explain: Option<ExplainMode>,
 }
 
 /// A probabilistic database with the SPROUT confidence-computation engine on
@@ -269,7 +293,40 @@ impl SproutDb {
         if let Some(budget) = opts.frontier_budget {
             planner = planner.with_frontier_budget(budget);
         }
+        if let Some(obs) = &opts.obs {
+            planner = planner.with_obs(obs.clone());
+        }
         planner.execute(query, opts.kind.clone().unwrap_or(PlanKind::Lazy))
+    }
+
+    /// Explains what [`Self::query`] would do for `query` under the given
+    /// plan kind — safe plan vs. fallback, signature, join order, per-scan
+    /// backing and pushdowns — without executing anything.
+    ///
+    /// # Errors
+    /// Fails like planning would: unknown relations, or an unsafe query with
+    /// no approximation policy.
+    pub fn explain(&self, query: &ConjunctiveQuery, kind: PlanKind) -> PlanResult<PlanExplain> {
+        Planner::new(&self.catalog).explain(query, kind)
+    }
+
+    /// Explains under a full [`QueryOptions`] bundle — the same planner
+    /// configuration [`Self::query_with_options`] would execute with, so the
+    /// explained decision (notably safe vs. fallback under the bundle's
+    /// policy) matches execution exactly.
+    ///
+    /// # Errors
+    /// See [`Self::explain`].
+    pub fn explain_with_options(
+        &self,
+        query: &ConjunctiveQuery,
+        opts: &QueryOptions,
+    ) -> PlanResult<PlanExplain> {
+        let mut planner = Planner::new(&self.catalog);
+        if let Some(policy) = opts.policy {
+            planner = planner.with_approx_policy(policy);
+        }
+        planner.explain(query, opts.kind.clone().unwrap_or(PlanKind::Lazy))
     }
 
     /// Executes `query` ignoring all declared functional dependencies — the

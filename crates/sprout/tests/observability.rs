@@ -1,0 +1,339 @@
+//! The observability contract, end to end through the facade:
+//!
+//! * **Counter determinism** — every [`Counter`] total is bitwise-identical
+//!   across worker pool sizes 1/2/4/8, and the backing-independent subset is
+//!   additionally identical between the row and columnar backings, on the
+//!   safe path, the eager path, and the intensional fallback (including the
+//!   anytime frontier).
+//! * **Tracing is pure telemetry** — running with a span-recording collector
+//!   leaves answers and confidences bitwise-identical to an untraced run.
+//! * **EXPLAIN** — the explained decision (safe vs. fallback, signature,
+//!   join order, policy) matches what execution actually does.
+
+use std::sync::Arc;
+
+use pdb_exec::fixtures;
+use pdb_query::cq::{intro_query_q, intro_query_q_prime};
+use pdb_storage::{tuple, Catalog, ColumnarTable, DataType, ProbTable, Schema, Variable};
+use sprout::{
+    ApproxPolicy, CompareOp, ConjunctiveQuery, Counter, ExplainPath, PlanKind, Pool, Predicate,
+    QueryObs, QueryOptions, RelationAtom, SproutDb,
+};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A synthetic two-relation join, big enough that every pool size actually
+/// splits it into morsels: `R(a)` with 2000 rows, `S(a, c)` with 4000 (join
+/// fan-out 2), and a range predicate for the zone maps to prune on.
+fn synthetic_tables() -> (ProbTable, ProbTable) {
+    let r_schema = Schema::from_pairs(&[("a", DataType::Int)]).unwrap();
+    let mut r = ProbTable::new(r_schema);
+    for i in 0..2000i64 {
+        r.insert(tuple![i], Variable(i as u64), 0.05 + (i % 9) as f64 * 0.1)
+            .unwrap();
+    }
+    let s_schema = Schema::from_pairs(&[("a", DataType::Int), ("c", DataType::Str)]).unwrap();
+    let mut s = ProbTable::new(s_schema);
+    for i in 0..4000i64 {
+        s.insert(
+            tuple![i % 2000, format!("tag-{}", i % 37).as_str()],
+            Variable(10_000 + i as u64),
+            0.05 + (i % 7) as f64 * 0.1,
+        )
+        .unwrap();
+    }
+    (r, s)
+}
+
+fn synthetic_catalog(columnar: bool) -> Catalog {
+    let (r, s) = synthetic_tables();
+    let catalog = Catalog::new();
+    for (name, table) in [("R", r), ("S", s)] {
+        if columnar {
+            let col = ColumnarTable::from_prob_table(&table, &Pool::sequential()).unwrap();
+            catalog.register_columnar(name, col).unwrap();
+        } else {
+            catalog.register_table(name, table).unwrap();
+        }
+    }
+    catalog
+}
+
+/// Boolean `Q() :- R(a), S(a, c), S.a < 1000` — hierarchical, so safe.
+fn synthetic_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new(
+        vec![
+            RelationAtom::new("R", &["a"]),
+            RelationAtom::new("S", &["a", "c"]),
+        ],
+        vec![],
+        vec![Predicate::new("S", "a", CompareOp::Lt, 1000i64)],
+    )
+    .unwrap()
+}
+
+/// Runs `query` under `opts_base` with a fresh collector at the given pool
+/// size; returns the counter totals and the answer confidences' bit
+/// patterns.
+fn run_with_counters(
+    db: &SproutDb,
+    query: &ConjunctiveQuery,
+    kind: PlanKind,
+    policy: Option<ApproxPolicy>,
+    threads: usize,
+) -> ([u64; Counter::COUNT], Vec<u64>) {
+    let obs = QueryObs::new();
+    let opts = QueryOptions {
+        kind: Some(kind),
+        policy,
+        pool: Some(Pool::new(threads)),
+        obs: Some(Arc::clone(&obs)),
+        ..QueryOptions::default()
+    };
+    let report = db.query_with_options(query, &opts).unwrap();
+    let bits = match &report.approx {
+        None => report
+            .confidences
+            .iter()
+            .map(|(_, p)| p.to_bits())
+            .collect(),
+        Some(brackets) => brackets
+            .iter()
+            .flat_map(|b| [b.lo.to_bits(), b.hi.to_bits()])
+            .collect(),
+    };
+    (obs.counter_values(), bits)
+}
+
+/// Asserts every pool size produces the same counters and answers, and
+/// returns the shared counter vector.
+fn thread_invariant(
+    db: &SproutDb,
+    query: &ConjunctiveQuery,
+    kind: PlanKind,
+    policy: Option<ApproxPolicy>,
+) -> [u64; Counter::COUNT] {
+    let (baseline, base_bits) = run_with_counters(db, query, kind.clone(), policy, THREADS[0]);
+    for &threads in &THREADS[1..] {
+        let (counters, bits) = run_with_counters(db, query, kind.clone(), policy, threads);
+        assert_eq!(bits, base_bits, "answers diverged at {threads} threads");
+        for c in Counter::ALL {
+            assert_eq!(
+                counters[c as usize],
+                baseline[c as usize],
+                "{} diverged at {threads} threads ({kind})",
+                c.name()
+            );
+        }
+    }
+    baseline
+}
+
+#[test]
+fn safe_path_counters_are_thread_and_backing_invariant() {
+    let query = synthetic_query();
+    for kind in [PlanKind::Lazy, PlanKind::Eager] {
+        let row_db = SproutDb::from_catalog(synthetic_catalog(false));
+        let col_db = SproutDb::from_catalog(synthetic_catalog(true));
+        let row = thread_invariant(&row_db, &query, kind.clone(), None);
+        let col = thread_invariant(&col_db, &query, kind.clone(), None);
+        for c in Counter::ALL {
+            if c.backing_independent() {
+                assert_eq!(
+                    row[c as usize],
+                    col[c as usize],
+                    "{} diverged between backings ({kind})",
+                    c.name()
+                );
+            }
+        }
+        // The run did real work: the scans saw every R row and the
+        // predicate's half of S, and the join probed what the scans
+        // emitted.
+        assert_eq!(row[Counter::RowsScanned as usize], 6000);
+        assert!(row[Counter::RowsEmitted as usize] > 0);
+        assert!(row[Counter::JoinProbes as usize] > 0);
+        // The two families count their own confidence machinery: lazy runs
+        // the bag scan at the end, eager aggregates along the query tree.
+        match kind {
+            PlanKind::Eager => assert!(row[Counter::EagerGroups as usize] > 0),
+            _ => assert!(row[Counter::ConfBags as usize] > 0),
+        }
+        // Chunk decisions only exist on the columnar backing.
+        assert_eq!(row[Counter::ChunksScanned as usize], 0);
+        assert!(col[Counter::ChunksScanned as usize] > 0);
+    }
+}
+
+#[test]
+fn fallback_counters_are_thread_invariant_including_the_frontier() {
+    // The chain query Q() :- R(b), S(b, c), T(c) with a P4 in its lineage:
+    // not hierarchical, not read-once, so the anytime frontier actually
+    // expands (FrontierNodes > 0) and its growth must not depend on the
+    // pool size.
+    let catalog = Catalog::new();
+    let r_schema = Schema::from_pairs(&[("b", DataType::Int)]).unwrap();
+    let mut r = ProbTable::new(r_schema);
+    for b in 0..6i64 {
+        r.insert(tuple![b], Variable(b as u64), 0.3 + (b % 3) as f64 * 0.2)
+            .unwrap();
+    }
+    let s_schema = Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]).unwrap();
+    let mut s = ProbTable::new(s_schema);
+    let mut var = 100;
+    for b in 0..6i64 {
+        for c in 0..6i64 {
+            // A dense-but-irregular bipartite pattern keeps P4s around.
+            if (b + c) % 2 == 0 || b == c {
+                s.insert(
+                    tuple![b, c],
+                    Variable(var),
+                    0.25 + ((b + c) % 4) as f64 * 0.15,
+                )
+                .unwrap();
+                var += 1;
+            }
+        }
+    }
+    let t_schema = Schema::from_pairs(&[("c", DataType::Int)]).unwrap();
+    let mut t = ProbTable::new(t_schema);
+    for c in 0..6i64 {
+        t.insert(
+            tuple![c],
+            Variable(200 + c as u64),
+            0.2 + (c % 5) as f64 * 0.15,
+        )
+        .unwrap();
+    }
+    catalog.register_table("R", r).unwrap();
+    catalog.register_table("S", s).unwrap();
+    catalog.register_table("T", t).unwrap();
+    let db = SproutDb::from_catalog(catalog);
+
+    let query = ConjunctiveQuery::new(
+        vec![
+            RelationAtom::new("R", &["b"]),
+            RelationAtom::new("S", &["b", "c"]),
+            RelationAtom::new("T", &["c"]),
+        ],
+        vec![],
+        vec![],
+    )
+    .unwrap();
+    assert!(!db.is_tractable(&query));
+
+    let policy = Some(ApproxPolicy::Bounds { eps: 1e-6 });
+    let counters = thread_invariant(&db, &query, PlanKind::Lazy, policy);
+    assert!(
+        counters[Counter::FrontierNodes as usize] > 0,
+        "the fixture was supposed to force frontier expansion"
+    );
+}
+
+#[test]
+fn tracing_leaves_answers_bitwise_identical() {
+    let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+    let plain = db.query(&intro_query_q(), PlanKind::Lazy).unwrap();
+
+    let obs = QueryObs::with_tracing();
+    let opts = QueryOptions {
+        obs: Some(Arc::clone(&obs)),
+        ..QueryOptions::default()
+    };
+    let traced = db.query_with_options(&intro_query_q(), &opts).unwrap();
+
+    assert_eq!(plain.confidences.len(), traced.confidences.len());
+    for (a, b) in plain.confidences.iter().zip(&traced.confidences) {
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+    }
+
+    // The trace exists and is shaped like the execution: a plan root whose
+    // children include the tuple and confidence phases, with scans inside.
+    let tree = obs.span_tree();
+    assert!(!tree.is_empty());
+    let plan = &tree[0];
+    assert_eq!(plan.site, "plan");
+    let child_sites: Vec<&str> = plan.children.iter().map(|n| n.site).collect();
+    assert!(child_sites.contains(&"plan.tuples"), "{child_sites:?}");
+    assert!(child_sites.contains(&"plan.confidence"), "{child_sites:?}");
+    fn collect<'a>(nodes: &'a [sprout::SpanNode], out: &mut Vec<&'a str>) {
+        for n in nodes {
+            out.push(n.site);
+            collect(&n.children, out);
+        }
+    }
+    let mut all_sites = Vec::new();
+    collect(&tree, &mut all_sites);
+    assert!(all_sites.contains(&"scan"), "{all_sites:?}");
+    assert!(all_sites.contains(&"conf"), "{all_sites:?}");
+    // And the root span saw the whole run's deterministic counters.
+    let rows: u64 = plan
+        .counters
+        .iter()
+        .find(|(name, _)| *name == "rows_scanned")
+        .map_or(0, |(_, v)| *v);
+    assert_eq!(rows, obs.get(Counter::RowsScanned));
+    assert!(rows > 0);
+}
+
+#[test]
+fn explain_reports_the_decision_execution_takes() {
+    // Safe path: the guiding query under the TPC-H keys.
+    let db = SproutDb::from_catalog(fixtures::fig1_catalog_with_keys());
+    let ex = db.explain(&intro_query_q(), PlanKind::Lazy).unwrap();
+    assert_eq!(ex.path, ExplainPath::Safe);
+    assert!(ex.tractable);
+    assert_eq!(ex.signature.as_deref(), Some("(Cust (Ord Item*)*)*"));
+    assert!(ex.scans.is_some());
+    assert_eq!(ex.join_order.len(), 3);
+    assert_eq!(ex.scan_details.len(), 3);
+    assert!(ex.policy.is_none());
+    assert!(ex.scan_details.iter().all(|s| s.backing == "row"));
+    let rendered = ex.render();
+    assert!(rendered.contains("plan: lazy (safe)"), "{rendered}");
+
+    // Unsafe without a policy: explain fails exactly like execution.
+    let keyless = SproutDb::from_catalog(fixtures::fig1_catalog());
+    assert!(keyless
+        .explain(&intro_query_q_prime(), PlanKind::Lazy)
+        .is_err());
+    assert!(keyless
+        .query(&intro_query_q_prime(), PlanKind::Lazy)
+        .is_err());
+
+    // Unsafe with a policy: the fallback path, policy reported.
+    let opts = QueryOptions {
+        policy: Some(ApproxPolicy::Bounds { eps: 0.01 }),
+        ..QueryOptions::default()
+    };
+    let ex = keyless
+        .explain_with_options(&intro_query_q_prime(), &opts)
+        .unwrap();
+    assert_eq!(ex.path, ExplainPath::Fallback);
+    assert!(!ex.tractable);
+    assert!(ex.signature.is_none());
+    assert_eq!(ex.policy, Some(ApproxPolicy::Bounds { eps: 0.01 }));
+    assert!(keyless
+        .query_with_options(&intro_query_q_prime(), &opts)
+        .is_ok());
+
+    // Columnar backing is reported per scan.
+    let col_db = SproutDb::from_catalog(synthetic_catalog(true));
+    let ex = col_db.explain(&synthetic_query(), PlanKind::Lazy).unwrap();
+    assert!(ex.scan_details.iter().all(|s| s.backing == "columnar"));
+    // The pushed-down predicate shows up on its scan.
+    let s_scan = ex
+        .scan_details
+        .iter()
+        .find(|s| s.relation == "S")
+        .expect("S is scanned");
+    assert!(
+        s_scan
+            .pushdowns
+            .iter()
+            .any(|p| p.contains("a") && p.contains("1000")),
+        "{:?}",
+        s_scan.pushdowns
+    );
+}
